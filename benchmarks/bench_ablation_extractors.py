@@ -1,0 +1,151 @@
+"""E8 (paper §2, and [14]): ablation of link extraction strategies.
+
+The approach's key optimization is "link extraction strategies [that]
+understand the structural properties of Solid pods, and use this to
+optimize LTQP in terms of the number of links that need to be followed".
+We compare extractor stacks on the same queries:
+
+* ``solid-aware`` — the paper's default (cMatch + LDP + storage + type index)
+* ``cmatch-only`` — Solid-agnostic reachability [19]
+* ``call``        — follow *every* IRI (cAll)
+
+Expected shape (who wins, by what): cAll follows the most links by a wide
+margin; cMatch alone follows few links but *misses answers* (it cannot
+discover pod structure); the Solid-aware stack reaches the complete
+answer with far fewer links than cAll.
+"""
+
+from __future__ import annotations
+
+from conftest import print_banner
+
+from repro.bench import render_table, run_query
+from repro.ltqp import (
+    AllIriExtractor,
+    LdpContainerExtractor,
+    MatchIriExtractor,
+    StorageExtractor,
+    TypeIndexExtractor,
+)
+from repro.solidbench import discover_query
+
+CONFIGS = {
+    "solid-aware": lambda: [
+        MatchIriExtractor(),
+        LdpContainerExtractor(),
+        StorageExtractor(),
+        TypeIndexExtractor(),
+    ],
+    "cmatch-only": lambda: [MatchIriExtractor()],
+    "call": lambda: [AllIriExtractor()],
+}
+
+
+def run_ablation(universe, query):
+    rows = {}
+    for name, factory in CONFIGS.items():
+        report = run_query(universe, query, extractors=factory(), check_oracle=True)
+        rows[name] = report
+    return rows
+
+
+def test_extractor_ablation_discover_1(benchmark, universe):
+    query = discover_query(universe, 1, 5)
+    rows = benchmark.pedantic(lambda: run_ablation(universe, query), rounds=1, iterations=1)
+
+    print_banner(f"E8 — extractor ablation on {query.name}")
+    print(
+        render_table(
+            [
+                {
+                    "config": name,
+                    "results": report.result_count,
+                    "oracle": report.oracle_count,
+                    "complete": "yes" if report.complete else "NO",
+                    "links": report.links_queued,
+                    "documents": report.documents_fetched,
+                }
+                for name, report in rows.items()
+            ]
+        )
+    )
+
+    solid_aware, cmatch, call = rows["solid-aware"], rows["cmatch-only"], rows["call"]
+
+    # The Solid-aware stack answers completely.
+    assert solid_aware.complete is True
+    # Blind cAll also answers completely but follows far more links.
+    assert call.complete is True
+    assert call.links_queued > solid_aware.links_queued
+    # cMatch alone cannot discover pod structure → incomplete.
+    assert cmatch.result_count < solid_aware.result_count
+
+
+def test_extractor_ablation_discover_8(benchmark, universe):
+    query = discover_query(universe, 8, 4)
+    rows = benchmark.pedantic(lambda: run_ablation(universe, query), rounds=1, iterations=1)
+
+    print_banner(f"E8 — extractor ablation on {query.name} (multi-pod)")
+    print(
+        render_table(
+            [
+                {
+                    "config": name,
+                    "results": report.result_count,
+                    "complete": "yes" if report.complete else "NO",
+                    "links": report.links_queued,
+                    "documents": report.documents_fetched,
+                }
+                for name, report in rows.items()
+            ]
+        )
+    )
+
+    assert rows["solid-aware"].complete is True
+    assert rows["call"].links_queued > rows["solid-aware"].links_queued
+
+
+def test_type_index_reduces_documents_for_class_queries(benchmark, universe):
+    """The type-index-scoped configuration (the pruning of [14]) answers
+    class-constrained queries completely while skipping irrelevant subtrees
+    (noise/, settings/, comments/ for a posts-only query)."""
+    from repro.ltqp import ScopedLdpContainerExtractor
+
+    query = discover_query(universe, 1, 5)
+
+    def compare():
+        type_index = TypeIndexExtractor()
+        with_index = run_query(
+            universe,
+            query,
+            extractors=[
+                MatchIriExtractor(),
+                StorageExtractor(),
+                type_index,
+                ScopedLdpContainerExtractor(type_index),
+            ],
+            check_oracle=True,
+        )
+        without_index = run_query(
+            universe,
+            query,
+            extractors=[MatchIriExtractor(), StorageExtractor(), LdpContainerExtractor()],
+            check_oracle=True,
+        )
+        return with_index, without_index
+
+    with_index, without_index = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print_banner("E8 — type-index-guided vs container-crawling traversal")
+    print(
+        render_table(
+            [
+                {"config": "type-index", "documents": with_index.documents_fetched,
+                 "complete": "yes" if with_index.complete else "NO"},
+                {"config": "ldp-crawl", "documents": without_index.documents_fetched,
+                 "complete": "yes" if without_index.complete else "NO"},
+            ]
+        )
+    )
+    assert with_index.complete is True
+    assert without_index.complete is True
+    assert with_index.documents_fetched < without_index.documents_fetched

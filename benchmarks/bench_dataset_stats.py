@@ -1,0 +1,74 @@
+"""E5 (paper §4.2): SolidBench default-scale dataset statistics.
+
+    "we host 1.531 Solid pods that were generated using the default
+     settings of the SolidBench dataset generator, which consists of
+     3.556.159 triples spread over 158.233 RDF files across these pods"
+
+At bench scale we verify the *per-pod ratios* (files/pod ≈ 103.4,
+triples/file ≈ 22.5) and extrapolate; set ``REPRO_FULL_SCALE=1`` to
+generate the full 1,531-pod universe and check the absolute numbers
+(within tolerance — our generator is a reimplementation, not a byte
+replica of LDBC datagen).
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import BENCH_SEED, print_banner
+
+from repro.solidbench import PAPER_SCALE_TARGETS, SolidBenchConfig, build_universe
+
+FULL_SCALE = os.environ.get("REPRO_FULL_SCALE") == "1"
+STATS_SCALE = 1.0 if FULL_SCALE else 0.05
+
+
+def generate():
+    universe = build_universe(SolidBenchConfig(scale=STATS_SCALE, seed=BENCH_SEED))
+    return universe.statistics()
+
+
+def test_dataset_statistics_match_paper_ratios(benchmark):
+    stats = benchmark.pedantic(generate, rounds=1, iterations=1)
+
+    scale_factor = PAPER_SCALE_TARGETS["pods"] / stats["pods"]
+    extrapolated_files = stats["files"] * scale_factor
+    extrapolated_triples = stats["triples"] * scale_factor
+
+    print_banner("E5 / §4.2 — SolidBench dataset statistics")
+    print(f"{'':24}{'paper':>12}{'measured*':>14}")
+    print(f"{'pods':24}{PAPER_SCALE_TARGETS['pods']:>12}{stats['pods'] * scale_factor:>14.0f}")
+    print(f"{'RDF files':24}{PAPER_SCALE_TARGETS['files']:>12}{extrapolated_files:>14.0f}")
+    print(f"{'triples':24}{PAPER_SCALE_TARGETS['triples']:>12}{extrapolated_triples:>14.0f}")
+    print(f"{'files / pod':24}{PAPER_SCALE_TARGETS['files_per_pod']:>12.1f}{stats['files_per_pod']:>14.1f}")
+    print(f"{'triples / file':24}{PAPER_SCALE_TARGETS['triples_per_file']:>12.1f}{stats['triples_per_file']:>14.1f}")
+    print(f"(*extrapolated from scale {STATS_SCALE}; REPRO_FULL_SCALE=1 for absolute)")
+
+    tolerance = 0.15
+    assert (
+        abs(stats["files_per_pod"] - PAPER_SCALE_TARGETS["files_per_pod"])
+        / PAPER_SCALE_TARGETS["files_per_pod"]
+        < tolerance
+    )
+    assert (
+        abs(stats["triples_per_file"] - PAPER_SCALE_TARGETS["triples_per_file"])
+        / PAPER_SCALE_TARGETS["triples_per_file"]
+        < tolerance
+    )
+    if FULL_SCALE:
+        assert stats["pods"] == PAPER_SCALE_TARGETS["pods"]
+        assert abs(stats["files"] - PAPER_SCALE_TARGETS["files"]) / PAPER_SCALE_TARGETS["files"] < tolerance
+        assert (
+            abs(stats["triples"] - PAPER_SCALE_TARGETS["triples"]) / PAPER_SCALE_TARGETS["triples"]
+            < tolerance
+        )
+
+
+def test_generation_is_deterministic(benchmark):
+    def twice():
+        first = build_universe(SolidBenchConfig(scale=0.01, seed=123)).statistics()
+        second = build_universe(SolidBenchConfig(scale=0.01, seed=123)).statistics()
+        return first, second
+
+    first, second = benchmark.pedantic(twice, rounds=1, iterations=1)
+    assert first == second

@@ -1,0 +1,88 @@
+"""E14 (paper §1): link traversal vs federated SPARQL.
+
+    "While techniques have been introduced that enable the execution of
+     SPARQL federated queries, they are optimized for handling a small
+     number (~10) of large sources, whereas DKGs such as Solid are
+     characterized by a large number (>1000) of small sources.
+     Additionally, federated SPARQL query processing assumes sources to
+     be known prior to query execution, which is not feasible in DKGs."
+
+We give the federation baseline everything it needs — a SPARQL endpoint
+per pod and the complete source list — and compare against LTQP on a
+single-pod query.  Expected shape:
+
+* both produce the complete answer;
+* federation's request count scales with ``#patterns × #pods`` (every
+  endpoint is probed), LTQP's with the *relevant* subweb only;
+* doubling the universe grows federation's cost but not LTQP's.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SEED, print_banner
+
+from repro.bench import render_table, run_query
+from repro.bench.harness import oracle_bindings
+from repro.federation import FederatedQueryEngine, attach_pod_endpoints
+from repro.net import NoLatency
+from repro.solidbench import SolidBenchConfig, build_universe, discover_query
+
+
+def compare_at_scale(scale: float):
+    universe = build_universe(SolidBenchConfig(scale=scale, seed=BENCH_SEED))
+    endpoints = attach_pod_endpoints(universe)
+    query = discover_query(universe, 1, 1, person_index=3)
+
+    federation = FederatedQueryEngine(universe.client(latency=NoLatency()), endpoints)
+    fed_results, fed_stats = federation.execute_sync(query.text)
+
+    ltqp = run_query(universe, query, check_oracle=True)
+    expected = oracle_bindings(universe, query)
+
+    return {
+        "scale": scale,
+        "pods": universe.person_count,
+        "fed_requests": fed_stats.total_requests,
+        "fed_probes": fed_stats.ask_probes,
+        "ltqp_requests": ltqp.waterfall.request_count,
+        "fed_complete": set(fed_results) == expected,
+        "ltqp_complete": ltqp.complete,
+    }
+
+
+def test_federation_cost_scales_with_pods_ltqp_does_not(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [compare_at_scale(0.01), compare_at_scale(0.02)], rounds=1, iterations=1
+    )
+
+    print_banner("E14 / §1 — federated SPARQL vs link traversal (Discover 1)")
+    print(
+        render_table(
+            [
+                {
+                    "pods": row["pods"],
+                    "federation_requests": row["fed_requests"],
+                    "  (ask probes)": row["fed_probes"],
+                    "ltqp_requests": row["ltqp_requests"],
+                    "both_complete": "yes"
+                    if row["fed_complete"] and row["ltqp_complete"]
+                    else "NO",
+                }
+                for row in rows
+            ]
+        )
+    )
+
+    small, large = rows
+    assert small["fed_complete"] and small["ltqp_complete"]
+    assert large["fed_complete"] and large["ltqp_complete"]
+
+    # Federation probes every endpoint; its cost grows with the universe.
+    assert large["fed_probes"] > small["fed_probes"]
+    assert large["fed_requests"] > small["fed_requests"] * 1.5
+
+    # LTQP's cost tracks the single relevant pod, not the universe.
+    assert abs(large["ltqp_requests"] - small["ltqp_requests"]) / small["ltqp_requests"] < 0.25
+
+    # At the larger scale the traversal engine wins outright.
+    assert large["ltqp_requests"] < large["fed_requests"]

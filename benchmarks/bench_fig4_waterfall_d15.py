@@ -1,0 +1,68 @@
+"""E3 (paper Fig. 4): the resource waterfall of Discover 1.5.
+
+The paper opens the browser Network tab while Discover 1.5 runs: the
+waterfall shows ``card`` → ``publicTypeIndex`` → pod containers (posts/,
+profile/, comments/, settings/, noise/) → date-fragmented post files
+(2010-10-12, 2011-11-21, ...), with dependent requests starting after
+their parent and independent ones overlapping.  Shape reproduced here:
+
+* the traversal stays within a *single* pod (plus the vocabulary host),
+* the first request is the seed WebID profile (``card``),
+* the dependency tree is at least 3 deep (card → root → container → file),
+* date-named post documents appear in the request list.
+"""
+
+from __future__ import annotations
+
+import re
+
+from conftest import print_banner
+
+from repro.bench import render_waterfall, run_query
+from repro.net import SeededJitterLatency
+from repro.solidbench import discover_query
+
+_DATE_NAME = re.compile(r"\d{4}-\d{2}-\d{2}$")
+
+
+def pods_touched(waterfall) -> set[str]:
+    pods = set()
+    for row in waterfall.rows:
+        match = re.search(r"/pods/(\d+)/", row.url)
+        if match:
+            pods.add(match.group(1))
+    return pods
+
+
+def test_fig4_waterfall_discover_1_5(benchmark, universe):
+    query = discover_query(universe, 1, 5)
+    report = benchmark.pedantic(
+        lambda: run_query(
+            universe, query, latency=SeededJitterLatency(seed=4), check_oracle=True
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    waterfall = report.waterfall
+
+    print_banner("E3 / Fig. 4 — Resource Waterfall for Discover 1.5")
+    print(render_waterfall(waterfall, max_rows=25))
+
+    # Single-pod traversal (Fig. 4 targets one person's pod).
+    assert len(pods_touched(waterfall)) == 1
+
+    # The seed WebID document is fetched first.
+    assert waterfall.rows[0].short_name == "card"
+
+    # Dependency chain card → pod root → container → dated file.
+    assert waterfall.max_depth >= 3
+
+    # Date-fragmented post documents are visible, as in the figure.
+    dated = [row for row in waterfall.rows if _DATE_NAME.search(row.short_name)]
+    assert dated, "expected date-fragmented message documents in the waterfall"
+
+    # Requests overlap (the engine fetches in parallel like the browser).
+    assert waterfall.max_parallelism >= 2
+
+    # And the query is still answered completely.
+    assert report.complete is True

@@ -1,0 +1,65 @@
+"""E4 (paper Fig. 5): the resource waterfall of Discover 8.5.
+
+In contrast to Discover 1.5, the paper's Discover 8.5 ("all posts by
+authors of posts that a given person likes") traverses *across multiple
+Solid pods* automatically, and even reaches external documents (the
+"Germany" dbpedia request visible in the figure).  Shape reproduced:
+
+* multiple pods are touched (vs exactly one for Discover 1.5),
+* substantially more requests than the single-pod query,
+* external vocabulary documents are dereferenced,
+* results remain complete w.r.t. the oracle.
+"""
+
+from __future__ import annotations
+
+import re
+
+from conftest import print_banner
+
+from repro.bench import render_waterfall, run_query
+from repro.net import SeededJitterLatency
+from repro.solidbench import discover_query
+
+
+def pods_touched(waterfall) -> set[str]:
+    pods = set()
+    for row in waterfall.rows:
+        match = re.search(r"/pods/(\d+)/", row.url)
+        if match:
+            pods.add(match.group(1))
+    return pods
+
+
+def test_fig5_waterfall_discover_8_5(benchmark, universe):
+    multi_query = discover_query(universe, 8, 4)
+    single_query = discover_query(universe, 1, 5)
+
+    multi = benchmark.pedantic(
+        lambda: run_query(
+            universe, multi_query, latency=SeededJitterLatency(seed=5), check_oracle=True
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    single = run_query(universe, single_query, check_oracle=False)
+
+    print_banner("E4 / Fig. 5 — Resource Waterfall for Discover 8.5")
+    print(render_waterfall(multi.waterfall, max_rows=25))
+    print(
+        f"pods touched: {len(pods_touched(multi.waterfall))} "
+        f"(Discover 1.5 touches {len(pods_touched(single.waterfall))})"
+    )
+    print(f"requests: {multi.waterfall.request_count} vs {single.waterfall.request_count}")
+
+    # Multi-pod traversal without user interaction.
+    assert len(pods_touched(multi.waterfall)) > 1
+    assert len(pods_touched(single.waterfall)) == 1
+
+    # The multi-pod query costs substantially more requests.
+    assert multi.waterfall.request_count > single.waterfall.request_count
+
+    # External (non-pod) origins are reached, like "Germany" in the figure.
+    assert multi.waterfall.origins >= 2
+
+    assert multi.complete is True

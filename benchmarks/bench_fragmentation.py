@@ -1,0 +1,58 @@
+"""E12 ([14], SolidBench design axis): fragmentation strategy ablation.
+
+SolidBench supports multiple data fragmentation strategies; the paper's
+demo runs the dated default (visible as ``posts/2010-10-12`` files in
+Fig. 4).  This bench compares traversal cost across layouts for the same
+abstract data: the answers are invariant, the request count tracks the
+granularity (one big document ≪ per-date files ≤ per-message files).
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SEED, print_banner
+
+from repro.bench import render_table, run_query
+from repro.solidbench import Fragmentation, SolidBenchConfig, build_universe, discover_query
+
+SCALE = 0.01
+
+
+def run_all_modes():
+    rows = []
+    answers = set()
+    for mode in Fragmentation:
+        universe = build_universe(
+            SolidBenchConfig(scale=SCALE, seed=BENCH_SEED, fragmentation=mode)
+        )
+        query = discover_query(universe, 2, 1)
+        report = run_query(universe, query, check_oracle=True)
+        stats = universe.statistics()
+        rows.append(
+            {
+                "fragmentation": mode.value,
+                "files": stats["files"],
+                "results": report.result_count,
+                "complete": "yes" if report.complete else "NO",
+                "requests": report.waterfall.request_count,
+                "bytes": report.waterfall.total_bytes,
+            }
+        )
+        answers.add(report.result_count)
+    return rows, answers
+
+
+def test_fragmentation_ablation(benchmark):
+    rows, answers = benchmark.pedantic(run_all_modes, rounds=1, iterations=1)
+
+    print_banner("E12 / [14] — fragmentation strategy ablation (Discover 2.1)")
+    print(render_table(rows))
+
+    by_mode = {row["fragmentation"]: row for row in rows}
+    # Answers invariant across layouts.
+    assert len(answers) == 1
+    assert all(row["complete"] == "yes" for row in rows)
+    # Coarser layout → fewer requests.
+    assert by_mode["single"]["requests"] < by_mode["dated"]["requests"]
+    assert by_mode["dated"]["requests"] <= by_mode["per-resource"]["requests"]
+    # File counts track granularity.
+    assert by_mode["single"]["files"] < by_mode["dated"]["files"]

@@ -1,0 +1,57 @@
+"""E13 (paper §1): traversal cost is local, not global.
+
+The motivation for LTQP over federation/indexing (paper §1): DKGs have
+*many small sources*, and a central index must grow with the whole web,
+whereas traversal-based execution only pays for the *reachable* part.
+We grow the universe (2×, 4× pods) and measure a single-pod query
+(Discover 1): its request count stays flat while the universe — and the
+oracle's work — grows linearly.  The multi-pod query's cost grows with
+the social neighbourhood instead, as expected.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SEED, print_banner
+
+from repro.bench import render_table, run_query
+from repro.solidbench import SolidBenchConfig, build_universe, discover_query
+
+SCALES = [0.01, 0.02, 0.04]
+
+
+def run_scaling():
+    rows = []
+    for scale in SCALES:
+        universe = build_universe(SolidBenchConfig(scale=scale, seed=BENCH_SEED))
+        # Fix the seed person by index so the query's own pod stays
+        # comparable while the universe around it grows.
+        single = discover_query(universe, 1, 1, person_index=3)
+        report = run_query(universe, single, check_oracle=True)
+        rows.append(
+            {
+                "scale": scale,
+                "pods": universe.person_count,
+                "triples": universe.statistics()["triples"],
+                "requests": report.waterfall.request_count,
+                "documents": report.documents_fetched,
+                "complete": "yes" if report.complete else "NO",
+            }
+        )
+    return rows
+
+
+def test_single_pod_query_cost_is_scale_invariant(benchmark):
+    rows = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+
+    print_banner("E13 / §1 — universe grows, single-pod traversal cost doesn't")
+    print(render_table(rows))
+
+    assert all(row["complete"] == "yes" for row in rows)
+    # Universe grows ~4×...
+    assert rows[-1]["pods"] >= 3 * rows[0]["pods"]
+    assert rows[-1]["triples"] >= 3 * rows[0]["triples"]
+    # ...while the single-pod query's cost stays flat (±25% tolerance for
+    # per-person activity noise across regenerated universes).
+    baseline = rows[0]["requests"]
+    for row in rows[1:]:
+        assert abs(row["requests"] - baseline) / baseline < 0.25

@@ -1,0 +1,85 @@
+"""E6 (paper §1/§5): time-to-first-result and total query time.
+
+    "non-complex queries can be completed in the order of seconds, with
+     first results showing up in less than a second" ... "Many queries
+     start producing results in less than a second, which is below the
+     threshold for obstructive delay in human perception"
+
+Our substrate is an in-process simulation with millisecond latencies, so
+absolute times are far below the paper's; the *shape* assertions:
+
+* every streaming Discover query produces its first result well before it
+  finishes (pipelined execution pays off),
+* with realistic per-request latency, most queries' TTFR stays under
+  Nielsen's 1-second threshold while total times may exceed it,
+* simpler templates (1-5, single pod) finish faster than template 8
+  (multi-pod).
+"""
+
+from __future__ import annotations
+
+from conftest import print_banner
+
+from repro.bench import render_table, run_query
+from repro.net import SeededJitterLatency
+from repro.solidbench import discover_query
+
+#: Realistic per-document latency: 20-80 ms RTT, like a nearby server.
+REALISTIC = SeededJitterLatency(seed=9, min_rtt_seconds=0.02, max_rtt_seconds=0.08)
+
+
+def run_templates(universe):
+    reports = []
+    for template in range(1, 9):
+        query = discover_query(universe, template, 1)
+        reports.append(run_query(universe, query, latency=REALISTIC, check_oracle=False))
+    return reports
+
+
+def test_ttfr_below_one_second_threshold(benchmark, universe):
+    reports = benchmark.pedantic(lambda: run_templates(universe), rounds=1, iterations=1)
+
+    rows = []
+    for report in reports:
+        rows.append(
+            {
+                "query": report.query.name,
+                "results": report.result_count,
+                "ttfr_s": f"{report.time_to_first_result:.3f}"
+                if report.time_to_first_result is not None
+                else "-",
+                "total_s": f"{report.total_time:.3f}",
+                "requests": report.waterfall.request_count,
+            }
+        )
+    print_banner("E6 / §5 — time-to-first-result per Discover template")
+    print(render_table(rows))
+
+    streaming = [r for r in reports if r.result_count and r.time_to_first_result is not None]
+    assert streaming, "no streaming results at all"
+
+    # First results arrive before the query completes (pipelining).
+    for report in streaming:
+        assert report.time_to_first_result < report.total_time
+
+    # Nielsen threshold: most queries show first results < 1 s.
+    under_threshold = sum(1 for r in streaming if r.time_to_first_result < 1.0)
+    assert under_threshold / len(streaming) >= 0.75
+
+    # Multi-pod template 8 costs more than single-pod template 1.
+    by_template = {r.query.template: r for r in reports}
+    assert by_template[8].total_time > by_template[1].total_time
+
+
+def test_first_result_arrives_in_first_half(benchmark, universe):
+    query = discover_query(universe, 2, 1)
+    report = benchmark.pedantic(
+        lambda: run_query(universe, query, latency=REALISTIC, check_oracle=False),
+        rounds=1,
+        iterations=1,
+    )
+    print_banner("E6 — result arrival profile for Discover 2.1")
+    times = report.result_times
+    print(f"results: {len(times)}; first at {times[0]:.3f}s, last at {times[-1]:.3f}s, "
+          f"traversal total {report.total_time:.3f}s")
+    assert times[0] < report.total_time / 2

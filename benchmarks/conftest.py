@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark suite.
+
+Scale is configurable through ``REPRO_BENCH_SCALE`` (default 0.02 ≈ 31
+pods, fast enough for CI).  ``REPRO_FULL_SCALE=1`` switches the dataset
+statistics bench (E5) to the paper's full scale (1,531 pods — several
+minutes and a few GB of RAM).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.solidbench import SolidBenchConfig, build_universe
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "42"))
+
+
+@pytest.fixture(scope="session")
+def universe():
+    """The simulated demo environment all benches run against."""
+    return build_universe(SolidBenchConfig(scale=BENCH_SCALE, seed=BENCH_SEED))
+
+
+def print_banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,20 @@
+"""Benchmark harness: query runners, waterfalls, and table rendering."""
+
+from .harness import QueryRunReport, oracle_bindings, run_query, run_suite
+from .sparkline import queue_sparkline, sparkline
+from .tables import render_table
+from .waterfall import Waterfall, WaterfallRow, build_waterfall, render_waterfall
+
+__all__ = [
+    "QueryRunReport",
+    "run_query",
+    "run_suite",
+    "oracle_bindings",
+    "Waterfall",
+    "WaterfallRow",
+    "build_waterfall",
+    "render_waterfall",
+    "render_table",
+    "sparkline",
+    "queue_sparkline",
+]

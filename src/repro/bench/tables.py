@@ -1,0 +1,60 @@
+"""Plain-text table rendering for bench reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["render_table"]
+
+
+def render_table(rows: Sequence[Mapping[str, object]], columns: Iterable[str] = ()) -> str:
+    """Render dict rows as an aligned fixed-width table.
+
+    Column order defaults to the union of row keys in first-seen order.
+    Values are stringified; numeric columns right-align.
+    """
+    rows = list(rows)
+    if not rows:
+        return "(no rows)\n"
+    column_names = list(columns)
+    if not column_names:
+        seen: set[str] = set()
+        for row in rows:
+            for name in row:
+                if name not in seen:
+                    seen.add(name)
+                    column_names.append(name)
+    cells = [[str(row.get(name, "")) for name in column_names] for row in rows]
+    widths = [
+        max(len(name), *(len(row[index]) for row in cells))
+        for index, name in enumerate(column_names)
+    ]
+    numeric = [
+        all(_is_number(row[index]) for row in cells) for index in range(len(column_names))
+    ]
+
+    def format_row(values: list[str]) -> str:
+        parts = []
+        for index, value in enumerate(values):
+            if numeric[index]:
+                parts.append(value.rjust(widths[index]))
+            else:
+                parts.append(value.ljust(widths[index]))
+        return "  ".join(parts).rstrip()
+
+    lines = [
+        format_row(column_names),
+        "  ".join("-" * width for width in widths),
+    ]
+    lines.extend(format_row(row) for row in cells)
+    return "\n".join(lines) + "\n"
+
+
+def _is_number(text: str) -> bool:
+    if not text or text == "-":
+        return True
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False

@@ -1,0 +1,129 @@
+"""Resource Waterfall rendering (paper Figs. 4-5).
+
+The demo shows Chrome's Network tab while queries run: each HTTP request as
+a bar, offset by start time, with dependency structure visible (requests
+that needed a prior document's links start after it).  We reproduce the
+same observable from the client's :class:`~repro.net.log.RequestLog`:
+an ASCII waterfall plus the aggregate shape metrics benches assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..net.log import RequestLog, RequestRecord
+
+__all__ = ["WaterfallRow", "Waterfall", "build_waterfall", "render_waterfall"]
+
+
+@dataclass(slots=True)
+class WaterfallRow:
+    """One request bar."""
+
+    url: str
+    short_name: str
+    status: int
+    start: float  # seconds from first request
+    end: float
+    size: int
+    depth: int
+    parent_url: Optional[str]
+
+
+@dataclass(slots=True)
+class Waterfall:
+    rows: list[WaterfallRow]
+    total_duration: float
+    request_count: int
+    max_depth: int
+    max_parallelism: int
+    origins: int
+    total_bytes: int
+
+    def summary(self) -> dict:
+        return {
+            "requests": self.request_count,
+            "duration_s": round(self.total_duration, 4),
+            "max_depth": self.max_depth,
+            "max_parallelism": self.max_parallelism,
+            "origins": self.origins,
+            "total_bytes": self.total_bytes,
+        }
+
+
+def _short_name(url: str) -> str:
+    path = url.split("://", 1)[-1]
+    segments = [s for s in path.split("/") if s]
+    if not segments:
+        return path
+    name = segments[-1]
+    if url.endswith("/"):
+        name += "/"
+    return name
+
+
+def build_waterfall(log: RequestLog) -> Waterfall:
+    """Derive waterfall rows and shape metrics from a request log."""
+    records = sorted(log.records, key=lambda r: r.started_at)
+    if not records:
+        return Waterfall([], 0.0, 0, 0, 0, 0, 0)
+    origin_time = records[0].started_at
+    depths = log.dependency_depths()
+    rows = [
+        WaterfallRow(
+            url=record.url,
+            short_name=_short_name(record.url),
+            status=record.status,
+            start=record.started_at - origin_time,
+            end=record.finished_at - origin_time,
+            size=record.response_size,
+            depth=depths.get(record.url, 0),
+            parent_url=record.parent_url,
+        )
+        for record in records
+    ]
+    total = max(row.end for row in rows)
+    return Waterfall(
+        rows=rows,
+        total_duration=total,
+        request_count=len(rows),
+        max_depth=log.max_depth(),
+        max_parallelism=log.max_parallelism(),
+        origins=len(log.origins()),
+        total_bytes=log.total_bytes(),
+    )
+
+
+def render_waterfall(
+    waterfall: Waterfall, width: int = 60, max_rows: int = 40, name_width: int = 32
+) -> str:
+    """ASCII rendering in the spirit of the browser Network tab."""
+    if not waterfall.rows:
+        return "(no requests)\n"
+    lines = [
+        f"{'name':<{name_width}} {'status':>6} {'size':>8} {'ms':>7}  waterfall",
+    ]
+    scale = width / waterfall.total_duration if waterfall.total_duration > 0 else 0.0
+    shown = waterfall.rows[:max_rows]
+    for row in shown:
+        offset = int(row.start * scale)
+        length = max(1, int((row.end - row.start) * scale))
+        length = min(length, width - offset) if offset < width else 1
+        bar = " " * offset + "█" * length
+        name = ("  " * min(row.depth, 6)) + row.short_name
+        if len(name) > name_width:
+            name = name[: name_width - 1] + "…"
+        duration_ms = (row.end - row.start) * 1000
+        lines.append(
+            f"{name:<{name_width}} {row.status:>6} {row.size:>8} {duration_ms:>7.1f}  {bar}"
+        )
+    if len(waterfall.rows) > max_rows:
+        lines.append(f"... and {len(waterfall.rows) - max_rows} more requests")
+    lines.append(
+        "total: {requests} requests, {duration_s}s, depth {max_depth}, "
+        "parallelism {max_parallelism}, {origins} origin(s), {total_bytes} bytes".format(
+            **waterfall.summary()
+        )
+    )
+    return "\n".join(lines) + "\n"

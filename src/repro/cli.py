@@ -1,0 +1,181 @@
+"""Command-line SPARQL link-traversal client (paper Fig. 2).
+
+Mirrors ``comunica-sparql-link-traversal-solid``: takes seed URLs and a
+SPARQL query, runs traversal-based execution, and prints one JSON object
+per result as results stream in::
+
+    repro-sparql-ltqp --simulate 0.02 --discover 6.5
+    repro-sparql-ltqp --simulate 0.02 SEED_URL "SELECT ..." --lenient
+    repro-sparql-ltqp --simulate 0.02 --discover 1.5 --waterfall
+
+Since the session has no network, queries run against a simulated
+SolidBench environment (``--simulate SCALE``); the engine itself is
+transport-agnostic and would run unchanged against real pods.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import time
+from typing import Optional
+
+from .bench.waterfall import build_waterfall, render_waterfall
+from .ltqp.engine import EngineConfig, LinkTraversalEngine
+from .net.latency import NoLatency, SeededJitterLatency
+from .sparql.parser import parse_query
+from .sparql.results import binding_to_cli_line
+from .solidbench.config import SolidBenchConfig
+from .solidbench.queries import discover_query
+from .solidbench.universe import build_universe
+
+__all__ = ["main", "build_arg_parser"]
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sparql-ltqp",
+        description="Link-traversal SPARQL querying over (simulated) Solid pods",
+    )
+    parser.add_argument("seeds", nargs="*", help="seed URLs followed by the SPARQL query text")
+    parser.add_argument(
+        "--query", help="SPARQL query text (alternative to trailing positional)"
+    )
+    parser.add_argument(
+        "--discover",
+        metavar="T.V",
+        help="run a predefined SolidBench Discover query, e.g. 1.5 or 8.5",
+    )
+    parser.add_argument(
+        "--simulate",
+        type=float,
+        default=0.02,
+        metavar="SCALE",
+        help="SolidBench universe scale (default 0.02 ≈ 31 pods)",
+    )
+    parser.add_argument("--bench-seed", type=int, default=42, help="generator seed")
+    parser.add_argument(
+        "--idp",
+        default="void",
+        help="identity provider: 'void' for anonymous, or a person index to log in as",
+    )
+    parser.add_argument("--lenient", action="store_true", help="ignore fetch/parse errors")
+    parser.add_argument("--waterfall", action="store_true", help="print the resource waterfall")
+    parser.add_argument("--stats", action="store_true", help="print execution statistics")
+    parser.add_argument(
+        "--no-latency", action="store_true", help="disable simulated network latency"
+    )
+    parser.add_argument("--limit", type=int, default=0, help="stop after N results (0 = all)")
+    parser.add_argument(
+        "--format",
+        choices=["cli", "json", "xml", "csv", "tsv"],
+        default="cli",
+        help="result format: cli = streaming JSON lines (Fig. 2); others buffer",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the query plan (algebra, join order, extractors) and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+
+    config = SolidBenchConfig(scale=args.simulate, seed=args.bench_seed)
+    universe = build_universe(config)
+
+    if args.discover:
+        template_text, _, variant_text = args.discover.partition(".")
+        named = discover_query(universe, int(template_text), int(variant_text or "1"))
+        query_text = named.text
+        seeds: list[str] = list(named.seeds)
+        print(f"# {named.name}: {named.description}", file=sys.stderr)
+    else:
+        positional = list(args.seeds)
+        query_text = args.query
+        if query_text is None:
+            if not positional:
+                print("error: no query given (use --discover or pass a query)", file=sys.stderr)
+                return 2
+            query_text = positional.pop()
+        seeds = positional
+
+    auth_headers: Optional[dict[str, str]] = None
+    if args.idp != "void":
+        person_index = int(args.idp)
+        session = universe.idp.login(universe.webid(person_index))
+        auth_headers = session.headers
+        print(f"# logged in as {session.webid}", file=sys.stderr)
+
+    latency = NoLatency() if args.no_latency else SeededJitterLatency(seed=args.bench_seed)
+    client = universe.client(latency=latency)
+    engine = LinkTraversalEngine(
+        client,
+        config=EngineConfig(lenient=True if args.lenient else True),
+        auth_headers=auth_headers,
+    )
+
+    query = parse_query(query_text)
+    variables = query.variables()
+
+    if args.explain:
+        from .ltqp.explain import explain_plan
+
+        print(explain_plan(query, seeds=seeds, extractors=engine.extractors))
+        return 0
+
+    if args.format != "cli":
+        from .sparql.results import (
+            results_to_csv,
+            results_to_sparql_json,
+            results_to_sparql_xml,
+            results_to_tsv,
+        )
+
+        execution = engine.execute_sync(query, seeds=seeds or None)
+        bindings = execution.bindings
+        if args.limit:
+            bindings = bindings[: args.limit]
+        renderers = {
+            "json": results_to_sparql_json,
+            "xml": results_to_sparql_xml,
+            "csv": results_to_csv,
+            "tsv": results_to_tsv,
+        }
+        print(renderers[args.format](variables, bindings), end="")
+        print(f"# {len(bindings)} results", file=sys.stderr)
+        if args.waterfall:
+            print(render_waterfall(build_waterfall(client.log)), file=sys.stderr)
+        return 0
+
+    async def run() -> int:
+        count = 0
+        start = time.monotonic()
+        async for binding in engine.stream(query, seeds=seeds or None):
+            print(binding_to_cli_line(binding, variables), flush=True)
+            count += 1
+            if args.limit and count >= args.limit:
+                break
+        elapsed = time.monotonic() - start
+        print(f"# {count} results in {elapsed:.2f}s", file=sys.stderr)
+        return count
+
+    asyncio.run(run())
+
+    if args.waterfall:
+        print(render_waterfall(build_waterfall(client.log)), file=sys.stderr)
+    if args.stats:
+        log = client.log
+        print(
+            f"# requests={len(log)} bytes={log.total_bytes()} "
+            f"depth={log.max_depth()} parallelism={log.max_parallelism()}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,23 @@
+"""Federated SPARQL baseline (the alternative the paper argues against).
+
+§1 of the paper: federated SPARQL engines "are optimized for handling a
+small number (~10) of large sources, whereas DKGs such as Solid are
+characterized by a large number (>1000) of small sources", and they
+"assume sources to be known prior to query execution".  This subpackage
+provides that baseline — per-pod SPARQL endpoints plus a FedX-style
+engine with ASK-based source selection — so bench E14 can quantify the
+contrast against link traversal.
+"""
+
+from .endpoint import SparqlEndpointApp
+from .engine import FederatedQueryEngine, FederationStats
+from .setup import ENDPOINT_ORIGIN, EndpointDirectory, attach_pod_endpoints
+
+__all__ = [
+    "SparqlEndpointApp",
+    "FederatedQueryEngine",
+    "FederationStats",
+    "EndpointDirectory",
+    "attach_pod_endpoints",
+    "ENDPOINT_ORIGIN",
+]

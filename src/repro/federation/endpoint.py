@@ -1,0 +1,70 @@
+"""A SPARQL endpoint app over the simulated Web.
+
+The paper's §1 contrasts LTQP with *federated SPARQL processing* [8,9,10],
+which assumes every source exposes a SPARQL endpoint and that all sources
+are known up front.  To reproduce that comparison we need the substrate
+the federation literature assumes: this module turns any dataset (e.g. a
+pod's documents) into a ``GET /sparql?query=...`` endpoint speaking the
+SPARQL JSON results format.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Union
+from urllib.parse import parse_qs, unquote_plus, urlsplit
+
+from ..net.message import Request, Response
+from ..net.router import App
+from ..rdf.dataset import Dataset, Graph
+from ..sparql.eval import SnapshotEvaluator
+from ..sparql.parser import SparqlParseError, parse_query
+from ..sparql.results import results_to_sparql_json
+
+__all__ = ["SparqlEndpointApp"]
+
+
+class SparqlEndpointApp(App):
+    """Answers SPARQL queries over a fixed dataset at ``/sparql``."""
+
+    def __init__(self, data: Union[Graph, Dataset], path: str = "/sparql") -> None:
+        self._data = data
+        self._path = path
+        self.queries_served = 0
+
+    async def handle(self, request: Request) -> Response:
+        parts = urlsplit(request.url)
+        if parts.path != self._path:
+            return Response.not_found(request.url)
+        if request.method == "GET":
+            query_text = parse_qs(parts.query).get("query", [""])[0]
+        elif request.method == "POST":
+            content_type = request.header("content-type").split(";")[0].strip()
+            body = request.body.decode("utf-8")
+            if content_type == "application/sparql-query":
+                query_text = body
+            else:  # application/x-www-form-urlencoded
+                query_text = parse_qs(body).get("query", [""])[0]
+        else:
+            return Response(405, {"content-type": "text/plain"}, b"Method not allowed")
+        query_text = unquote_plus(query_text) if "%" in query_text else query_text
+        if not query_text:
+            return Response(400, {"content-type": "text/plain"}, b"missing query parameter")
+        try:
+            query = parse_query(query_text)
+        except SparqlParseError as error:
+            return Response(400, {"content-type": "text/plain"}, str(error).encode("utf-8"))
+        evaluator = SnapshotEvaluator(self._data)
+        self.queries_served += 1
+        if query.form == "SELECT":
+            bindings = list(evaluator.select(query))
+            body = results_to_sparql_json(query.variables(), bindings)
+            return Response(
+                200, {"content-type": "application/sparql-results+json"}, body.encode("utf-8")
+            )
+        if query.form == "ASK":
+            document = json.dumps({"head": {}, "boolean": evaluator.ask(query)})
+            return Response(
+                200, {"content-type": "application/sparql-results+json"}, document.encode("utf-8")
+            )
+        return Response(400, {"content-type": "text/plain"}, b"only SELECT/ASK supported")

@@ -1,0 +1,66 @@
+"""Link Traversal Query Processing — the paper's primary contribution.
+
+The engine (:class:`LinkTraversalEngine`) executes SPARQL queries over
+decentralized environments by recursively dereferencing links from seed
+URLs (link queue + dereferencer + extractors feeding a growing triple
+source) while a pipelined query plan streams results in parallel —
+the architecture of the paper's Fig. 1.
+"""
+
+from .adaptive import AdaptivePipeline, observed_cardinality
+from .dereference import DereferenceResult, Dereferencer
+from .engine import EngineConfig, ExecutionResult, LinkTraversalEngine
+from .explain import explain_algebra, explain_plan
+from .extractors import (
+    AllIriExtractor,
+    LdpContainerExtractor,
+    LinkExtractor,
+    MatchIriExtractor,
+    QueryContext,
+    ScopedLdpContainerExtractor,
+    SOLID_AWARE_EXTRACTORS,
+    StorageExtractor,
+    TypeIndexExtractor,
+    build_query_context,
+    default_extractors,
+)
+from .links import FifoLinkQueue, LifoLinkQueue, Link, LinkQueue, PriorityLinkQueue, QueueSample
+from .pipeline import NotStreamable, Pipeline, compile_pipeline, total_work
+from .source import GrowingTripleSource
+from .stats import ExecutionStats, TimedResult
+
+__all__ = [
+    "LinkTraversalEngine",
+    "EngineConfig",
+    "ExecutionResult",
+    "ExecutionStats",
+    "TimedResult",
+    "Link",
+    "LinkQueue",
+    "FifoLinkQueue",
+    "LifoLinkQueue",
+    "PriorityLinkQueue",
+    "QueueSample",
+    "GrowingTripleSource",
+    "Dereferencer",
+    "DereferenceResult",
+    "LinkExtractor",
+    "AllIriExtractor",
+    "MatchIriExtractor",
+    "LdpContainerExtractor",
+    "ScopedLdpContainerExtractor",
+    "StorageExtractor",
+    "TypeIndexExtractor",
+    "SOLID_AWARE_EXTRACTORS",
+    "default_extractors",
+    "build_query_context",
+    "QueryContext",
+    "Pipeline",
+    "AdaptivePipeline",
+    "observed_cardinality",
+    "explain_algebra",
+    "explain_plan",
+    "compile_pipeline",
+    "total_work",
+    "NotStreamable",
+]

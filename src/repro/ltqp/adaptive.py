@@ -1,0 +1,178 @@
+"""Adaptive query planning during traversal (paper §5, future work).
+
+    "In future work, we will investigate further optimizations, which may
+     involve adaptive query planning techniques [29] — which have only
+     seen limited adoption within LTQP [30]"
+
+Zero-knowledge planning must guess join orders before any data exists; a
+bad guess only becomes visible once documents arrive.  This module adds
+the classic mid-flight correction: monitor observed pattern
+cardinalities, and when the running join order is badly wrong, *replan* —
+recompile the pipeline with a cardinality-informed order and replay the
+(locally stored) traversal log through it.  Already-delivered answers are
+deduplicated, so downstream consumers never see repeats; replay is cheap
+because LTQP keeps all fetched triples in the growing source.
+
+Restriction: replanning applies per BGP; queries stream correctly either
+way — adaptivity only changes intermediate-result volume, never answers.
+Replayed results are set-deduplicated, which matches the DISTINCT
+semantics of the benchmark queries; for non-DISTINCT queries replanning
+is still answer-correct since the pipeline's operators are themselves
+duplicate-free per derivation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..rdf.dataset import Dataset
+from ..rdf.terms import Variable
+from ..rdf.triples import TriplePattern
+from ..sparql.algebra import Operator, PathPattern
+from ..sparql.bindings import Binding
+from ..sparql.planner import plan_bgp_order
+from .pipeline import NotStreamable, Pipeline, compile_pipeline, total_work
+
+__all__ = ["AdaptivePipeline", "observed_cardinality"]
+
+
+def observed_cardinality(pattern, dataset: Dataset) -> int:
+    """How many triples in the current snapshot match ``pattern``."""
+    if isinstance(pattern, PathPattern):
+        # Approximate a path by the total count of its member predicates.
+        from ..sparql.paths import path_predicates
+
+        return sum(
+            dataset.union.count(None, predicate, None)
+            for predicate in path_predicates(pattern.path)
+        )
+    return dataset.union.count(pattern.subject, pattern.predicate, pattern.object)
+
+
+def _cardinality_order(patterns: Sequence, dataset: Dataset) -> list:
+    """Greedy connected order by ascending observed cardinality."""
+    remaining = list(patterns)
+    ordered: list = []
+    bound: set[Variable] = set()
+    counts = {id(p): observed_cardinality(p, dataset) for p in remaining}
+    while remaining:
+        connected = [p for p in remaining if not ordered or (p.variables() & bound)]
+        candidates = connected if connected else remaining
+        best = min(candidates, key=lambda p: counts[id(p)])
+        remaining.remove(best)
+        ordered.append(best)
+        bound |= best.variables()
+    return ordered
+
+
+class AdaptivePipeline:
+    """A :class:`~repro.ltqp.pipeline.Pipeline` wrapper that replans.
+
+    Drop-in for ``Pipeline`` (same ``advance`` / ``complete`` interface).
+    Every ``check_interval`` deltas it compares the running plan's leading
+    pattern against the cardinality-optimal one; when the current leader
+    is ``replan_factor`` times larger than the best available, it
+    recompiles with the observed order and replays the log.
+    """
+
+    def __init__(
+        self,
+        where: Operator,
+        seed_iris: Iterable[str] = (),
+        check_interval: int = 10,
+        replan_factor: float = 4.0,
+        max_replans: int = 2,
+    ) -> None:
+        self._where = where
+        self._seed_iris = tuple(seed_iris)
+        self._check_interval = max(1, check_interval)
+        self._replan_factor = replan_factor
+        self._max_replans = max_replans
+
+        self._current_order: Optional[list] = None
+        self._pipeline = self._compile(order=None)
+        self._emitted: set[Binding] = set()
+        self._deltas_seen = 0
+        self._retired_work = 0
+        self.replans = 0
+
+    # -- Pipeline interface -------------------------------------------------
+
+    @property
+    def complete(self) -> bool:
+        return self._pipeline.complete
+
+    @property
+    def root(self):
+        return self._pipeline.root
+
+    @property
+    def total_work(self) -> int:
+        """Bindings produced across all plans, including retired ones."""
+        return self._retired_work + total_work(self._pipeline.root)
+
+    def advance(self, dataset: Dataset) -> list[Binding]:
+        produced = self._dedupe(self._pipeline.advance(dataset))
+        self._deltas_seen += 1
+        if (
+            self.replans < self._max_replans
+            and self._deltas_seen % self._check_interval == 0
+        ):
+            produced.extend(self._maybe_replan(dataset))
+        return produced
+
+    # -- internals ------------------------------------------------------------
+
+    def _compile(self, order: Optional[list]) -> Pipeline:
+        if order is None:
+            def bgp_order(patterns):
+                chosen = plan_bgp_order(patterns, seed_iris=self._seed_iris)
+                self._current_order = chosen
+                return chosen
+        else:
+            def bgp_order(patterns):
+                # Map the stored order onto this BGP's pattern objects.
+                by_key = {self._pattern_key(p): p for p in patterns}
+                chosen = [
+                    by_key[self._pattern_key(p)]
+                    for p in order
+                    if self._pattern_key(p) in by_key
+                ]
+                leftover = [p for p in patterns if p not in chosen]
+                chosen.extend(leftover)
+                self._current_order = chosen
+                return chosen
+
+        return compile_pipeline(self._where, seed_iris=self._seed_iris, bgp_order=bgp_order)
+
+    @staticmethod
+    def _pattern_key(pattern) -> str:
+        return str(pattern)
+
+    def _dedupe(self, bindings: list[Binding]) -> list[Binding]:
+        fresh = []
+        for binding in bindings:
+            if binding not in self._emitted:
+                self._emitted.add(binding)
+                fresh.append(binding)
+        return fresh
+
+    def _maybe_replan(self, dataset: Dataset) -> list[Binding]:
+        order = self._current_order
+        if not order or len(order) < 2:
+            return []
+        counts = [observed_cardinality(pattern, dataset) for pattern in order]
+        best = min(counts)
+        if best <= 0 or counts[0] <= best * self._replan_factor:
+            return []  # current leader is fine
+
+        better = _cardinality_order(order, dataset)
+        if [self._pattern_key(p) for p in better] == [self._pattern_key(p) for p in order]:
+            return []
+
+        self.replans += 1
+        self._retired_work += total_work(self._pipeline.root)
+        self._pipeline = self._compile(order=better)
+        # Replay everything fetched so far through the new plan; dedupe so
+        # consumers never see repeated answers.
+        return self._dedupe(self._pipeline.advance(dataset))

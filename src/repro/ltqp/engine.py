@@ -1,0 +1,424 @@
+"""The link-traversal SPARQL query engine (the paper's core system).
+
+Architecture (paper Fig. 1): a link queue seeded with URLs; a pool of
+dereferencer workers draining it and feeding triples into the growing
+triple source; link extractors appending newly discovered links; and — in
+parallel — a pipelined query plan over the growing source that streams
+results to the caller while traversal is still running.
+
+Usage::
+
+    engine = LinkTraversalEngine(client)
+    execution = await engine.execute(query_text)            # gather all
+    async for binding in engine.stream(query_text):          # or stream
+        ...
+
+Seed URLs come from the caller or, following the demo UI's fallback, from
+the IRIs mentioned in the query itself.  Monotonic queries stream through
+the incremental pipeline; non-monotonic ones (OPTIONAL, ORDER BY, …) are
+evaluated over the final snapshot at traversal quiescence — matching the
+paper's "pipelined implementations of all *monotonic* SPARQL operators".
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Iterable, Optional, Union as TypingUnion
+
+from ..net.client import HttpClient
+from ..rdf.terms import NamedNode
+from ..rdf.triples import Triple
+from ..sparql.algebra import Query
+from ..sparql.bindings import Binding
+from ..sparql.eval import SnapshotEvaluator
+from ..sparql.parser import parse_query
+from .dereference import Dereferencer
+from .extractors import (
+    LinkExtractor,
+    QueryContext,
+    build_query_context,
+    default_extractors,
+)
+from .links import FifoLinkQueue, Link, LinkQueue
+from .pipeline import NotStreamable, Pipeline, compile_pipeline
+from .source import GrowingTripleSource
+from .stats import ExecutionStats, TimedResult
+
+__all__ = ["EngineConfig", "ExecutionResult", "LinkTraversalEngine"]
+
+
+@dataclass(slots=True)
+class EngineConfig:
+    """Tunables for one engine instance.
+
+    ``worker_count`` parallel dereferencers (the browser demo fetches with
+    ~6-way parallelism per origin; the client enforces the per-origin cap,
+    this caps global parallelism).  ``max_documents``/``max_depth`` bound
+    traversal on the open Web; ``0`` disables the bound.
+    """
+
+    worker_count: int = 8
+    max_documents: int = 0
+    max_depth: int = 0
+    max_duration: float = 0.0
+    max_results: int = 0
+    lenient: bool = True
+    follow_unknown_origins: bool = True
+    adaptive: bool = False
+
+
+@dataclass(slots=True)
+class ExecutionResult:
+    """Everything one query execution produced."""
+
+    query: Query
+    results: list[TimedResult] = field(default_factory=list)
+    stats: ExecutionStats = field(default_factory=ExecutionStats)
+    seeds: list[str] = field(default_factory=list)
+
+    @property
+    def bindings(self) -> list[Binding]:
+        return [timed.binding for timed in self.results]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+class LinkTraversalEngine:
+    """Executes SPARQL queries over the Web by link traversal."""
+
+    def __init__(
+        self,
+        client: HttpClient,
+        extractors: Optional[list[LinkExtractor]] = None,
+        config: Optional[EngineConfig] = None,
+        queue_factory=FifoLinkQueue,
+        auth_headers: Optional[dict[str, str]] = None,
+    ) -> None:
+        self._client = client
+        self._extractors = extractors if extractors is not None else default_extractors()
+        self._config = config if config is not None else EngineConfig()
+        self._queue_factory = queue_factory
+        self._auth_headers = dict(auth_headers or {})
+
+    @property
+    def client(self) -> HttpClient:
+        return self._client
+
+    @property
+    def extractors(self) -> list[LinkExtractor]:
+        return list(self._extractors)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    async def execute(
+        self,
+        query: TypingUnion[str, Query],
+        seeds: Optional[Iterable[str]] = None,
+    ) -> ExecutionResult:
+        """Run a query to completion, collecting all (timed) results."""
+        execution = ExecutionResult(query=self._parse(query))
+        async for _ in self._run(execution, seeds):
+            pass
+        return execution
+
+    async def stream(
+        self,
+        query: TypingUnion[str, Query],
+        seeds: Optional[Iterable[str]] = None,
+    ) -> AsyncIterator[Binding]:
+        """Stream results as the engine produces them."""
+        execution = ExecutionResult(query=self._parse(query))
+        async for binding in self._run(execution, seeds):
+            yield binding
+
+    def execute_sync(
+        self,
+        query: TypingUnion[str, Query],
+        seeds: Optional[Iterable[str]] = None,
+    ) -> ExecutionResult:
+        """Blocking convenience wrapper around :meth:`execute`."""
+        return asyncio.run(self.execute(query, seeds))
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _parse(query: TypingUnion[str, Query]) -> Query:
+        if isinstance(query, Query):
+            return query
+        return parse_query(query)
+
+    @staticmethod
+    def seeds_from_query(query: Query) -> list[str]:
+        """The demo UI's fallback: IRIs mentioned in the query are seeds.
+
+        Only entity IRIs (subject/object positions) count — vocabulary IRIs
+        (predicates, classes) are not dereferenceable data anchors.
+        """
+        context = build_query_context(query.where)
+        seeds = {
+            iri for iri in context.entity_iris if iri.startswith(("http://", "https://"))
+        }
+        for target in query.describe_targets:
+            if isinstance(target, NamedNode) and target.value.startswith(("http://", "https://")):
+                seeds.add(target.value)
+        return sorted(seeds)
+
+    async def _run(
+        self,
+        execution: ExecutionResult,
+        seeds: Optional[Iterable[str]],
+    ) -> AsyncIterator[Binding]:
+        query = execution.query
+        context = build_query_context(query.where)
+        seed_list = list(seeds) if seeds is not None else self.seeds_from_query(query)
+        execution.seeds = seed_list
+        stats = execution.stats
+        stats.started_at = time.monotonic()
+
+        source = GrowingTripleSource()
+        queue: LinkQueue = self._queue_factory()
+        for seed in seed_list:
+            if queue.push(Link(url=seed, via="seed")):
+                stats.links_queued += 1
+                stats.links_by_extractor["seed"] = stats.links_by_extractor.get("seed", 0) + 1
+
+        # ASK streams at most one (empty) solution; CONSTRUCT streams its
+        # WHERE bindings and instantiates the template per new solution.
+        pipeline_where = query.where
+        if query.form == "ASK":
+            from ..sparql.algebra import Project, Slice
+
+            pipeline_where = Slice(Project(query.where, ()), offset=0, limit=1)
+
+        pipeline: Optional[Pipeline] = None
+        try:
+            if query.form == "DESCRIBE":
+                # DESCRIBE needs the final snapshot to compute bounded
+                # descriptions; traversal streams, the answer does not.
+                raise NotStreamable("DESCRIBE evaluates at quiescence")
+            if self._config.adaptive:
+                from .adaptive import AdaptivePipeline
+
+                pipeline = AdaptivePipeline(pipeline_where, seed_iris=context.iris)
+            else:
+                pipeline = compile_pipeline(pipeline_where, seed_iris=context.iris)
+        except NotStreamable:
+            stats.streaming = False
+
+        constructed: set = set()
+
+        def transform_results(bindings):
+            """Map raw pipeline bindings to what the query form returns."""
+            if query.form != "CONSTRUCT":
+                return bindings
+            from ..rdf.terms import Variable
+            from ..sparql.eval import construct_triples
+
+            output = []
+            for binding in bindings:
+                for triple in construct_triples(
+                    query.construct_template, binding, len(constructed)
+                ):
+                    if triple not in constructed:
+                        constructed.add(triple)
+                        output.append(
+                            Binding(
+                                {
+                                    Variable("subject"): triple.subject,
+                                    Variable("predicate"): triple.predicate,
+                                    Variable("object"): triple.object,
+                                }
+                            )
+                        )
+            return output
+
+        result_queue: asyncio.Queue[Optional[Binding]] = asyncio.Queue()
+        stop_traversal = asyncio.Event()
+
+        def emit(binding: Binding) -> None:
+            now = time.monotonic()
+            if self._config.max_results and stats.result_count >= self._config.max_results:
+                stop_traversal.set()
+                return
+            if stats.first_result_at is None:
+                stats.first_result_at = now
+            stats.result_count += 1
+            execution.results.append(TimedResult(binding=binding, elapsed=now - stats.started_at))
+            result_queue.put_nowait(binding)
+            if self._config.max_results and stats.result_count >= self._config.max_results:
+                stop_traversal.set()
+
+        def on_document(url: str, triples: list[Triple]) -> None:
+            added = source.add_document(url, triples)
+            stats.triples_discovered += added
+            if pipeline is not None and added:
+                for binding in transform_results(pipeline.advance(source.dataset)):
+                    emit(binding)
+                if pipeline.complete:
+                    stop_traversal.set()
+
+        traversal = asyncio.create_task(
+            self._traverse(queue, source, context, stats, on_document, stop_traversal)
+        )
+
+        try:
+            while True:
+                drain = asyncio.create_task(result_queue.get())
+                done, _ = await asyncio.wait(
+                    {drain, traversal}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if drain in done:
+                    binding = drain.result()
+                    if binding is not None:
+                        yield binding
+                    continue
+                # Traversal finished; cancel the pending drain and flush.
+                drain.cancel()
+                break
+            await traversal  # re-raise worker exceptions
+            # Final pipeline advance (documents that landed after the last poll).
+            if pipeline is not None:
+                for binding in transform_results(pipeline.advance(source.dataset)):
+                    emit(binding)
+            else:
+                self._evaluate_snapshot(execution, source, context, emit)
+            while not result_queue.empty():
+                binding = result_queue.get_nowait()
+                if binding is not None:
+                    yield binding
+        finally:
+            if not traversal.done():
+                traversal.cancel()
+                try:
+                    await traversal
+                except (asyncio.CancelledError, Exception):
+                    pass
+            source.close()
+            stats.finished_at = time.monotonic()
+            stats.documents_fetched = source.document_count
+            stats.queue_samples = queue.samples
+            stats.links_queued = queue.pushed_total
+            stats.replans = getattr(pipeline, "replans", 0)
+
+    def _evaluate_snapshot(self, execution, source, context, emit) -> None:
+        """Endgame evaluation for non-monotonic queries."""
+        query = execution.query
+        evaluator = SnapshotEvaluator(source.dataset, seed_iris=context.iris)
+        if query.form == "ASK":
+            # Represent ASK as zero/one empty binding result.
+            if evaluator.ask(query):
+                emit(Binding())
+            return
+        if query.form in ("CONSTRUCT", "DESCRIBE"):
+            triples = (
+                evaluator.construct(query)
+                if query.form == "CONSTRUCT"
+                else evaluator.describe(query)
+            )
+            for triple in triples:
+                from ..rdf.terms import Variable
+
+                emit(
+                    Binding(
+                        {
+                            Variable("subject"): triple.subject,
+                            Variable("predicate"): triple.predicate,
+                            Variable("object"): triple.object,
+                        }
+                    )
+                )
+            return
+        for binding in evaluator.select(query):
+            emit(binding)
+
+    # ------------------------------------------------------------------
+    # traversal loop
+    # ------------------------------------------------------------------
+
+    async def _traverse(
+        self,
+        queue: LinkQueue,
+        source: GrowingTripleSource,
+        context: QueryContext,
+        stats: ExecutionStats,
+        on_document,
+        stop_traversal: asyncio.Event,
+    ) -> None:
+        dereferencer = Dereferencer(
+            self._client, lenient=self._config.lenient, extra_headers=self._auth_headers
+        )
+        in_flight = 0
+        wake = asyncio.Condition()
+
+        async def worker() -> None:
+            nonlocal in_flight
+            while True:
+                async with wake:
+                    while queue.empty:
+                        if in_flight == 0 or stop_traversal.is_set():
+                            wake.notify_all()
+                            return
+                        await wake.wait()
+                    if stop_traversal.is_set():
+                        wake.notify_all()
+                        return
+                    link = queue.pop()
+                    in_flight += 1
+                try:
+                    await self._process_link(link, dereferencer, queue, context, stats, on_document)
+                finally:
+                    async with wake:
+                        in_flight -= 1
+                        wake.notify_all()
+
+        workers = [asyncio.create_task(worker()) for _ in range(self._config.worker_count)]
+        try:
+            await asyncio.gather(*workers)
+        finally:
+            for task in workers:
+                if not task.done():
+                    task.cancel()
+
+    async def _process_link(
+        self,
+        link: Link,
+        dereferencer: Dereferencer,
+        queue: LinkQueue,
+        context: QueryContext,
+        stats: ExecutionStats,
+        on_document,
+    ) -> None:
+        if self._config.max_documents and stats.documents_fetched >= self._config.max_documents:
+            return
+        if (
+            self._config.max_duration
+            and time.monotonic() - stats.started_at > self._config.max_duration
+        ):
+            return
+        result = await dereferencer.dereference(link.url, parent_url=link.parent_url)
+        if not result.ok:
+            stats.documents_failed += 1
+            return
+        on_document(result.url, result.triples)
+        stats.documents_fetched += 1
+
+        if self._config.max_depth and link.depth >= self._config.max_depth:
+            return
+        for extractor in self._extractors:
+            for url in extractor.extract(result.url, result.triples, context):
+                if not url.startswith(("http://", "https://")):
+                    continue
+                pushed = queue.push(
+                    Link(url=url, parent_url=result.url, depth=link.depth + 1, via=extractor.name)
+                )
+                if pushed:
+                    stats.links_by_extractor[extractor.name] = (
+                        stats.links_by_extractor.get(extractor.name, 0) + 1
+                    )

@@ -1,0 +1,159 @@
+"""Query plan explanation.
+
+Renders what the engine will do before it does it: the algebra tree, the
+zero-knowledge BGP join order with per-pattern scores, whether the query
+streams through the incremental pipeline or waits for traversal
+quiescence, the seed URLs, and the extractor stack — the observability
+counterpart to Comunica's ``--explain`` flag.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..rdf.terms import Variable
+from ..sparql.algebra import (
+    BGP,
+    Distinct,
+    Extend,
+    Filter,
+    GraphOp,
+    GroupBy,
+    Join,
+    LeftJoin,
+    Minus,
+    Operator,
+    OrderBy,
+    Project,
+    Query,
+    Reduced,
+    Slice,
+    SubSelect,
+    Union,
+    ValuesOp,
+    is_monotonic,
+)
+from ..sparql.planner import pattern_score, plan_bgp_order
+from .extractors import LinkExtractor, build_query_context
+
+__all__ = ["explain_algebra", "explain_plan"]
+
+
+def explain_algebra(op: Operator, indent: int = 0) -> str:
+    """Indented textual rendering of an algebra tree."""
+    pad = "  " * indent
+    if isinstance(op, BGP):
+        lines = [f"{pad}BGP"]
+        for pattern in op.patterns:
+            lines.append(f"{pad}  {pattern}")
+        for path_pattern in op.path_patterns:
+            lines.append(f"{pad}  {path_pattern.subject} <path> {path_pattern.object}")
+        return "\n".join(lines)
+    if isinstance(op, (Join, Union, LeftJoin, Minus)):
+        name = type(op).__name__
+        return (
+            f"{pad}{name}\n"
+            + explain_algebra(op.left, indent + 1)
+            + "\n"
+            + explain_algebra(op.right, indent + 1)
+        )
+    if isinstance(op, Filter):
+        return f"{pad}Filter\n" + explain_algebra(op.input, indent + 1)
+    if isinstance(op, Extend):
+        return f"{pad}Extend ?{op.variable.value}\n" + explain_algebra(op.input, indent + 1)
+    if isinstance(op, GraphOp):
+        return f"{pad}Graph {op.name}\n" + explain_algebra(op.input, indent + 1)
+    if isinstance(op, ValuesOp):
+        return f"{pad}Values ({len(op.rows)} rows)"
+    if isinstance(op, Project):
+        variables = " ".join(f"?{v.value}" for v in op.variables)
+        return f"{pad}Project [{variables}]\n" + explain_algebra(op.input, indent + 1)
+    if isinstance(op, (Distinct, Reduced)):
+        return f"{pad}{type(op).__name__}\n" + explain_algebra(op.input, indent + 1)
+    if isinstance(op, Slice):
+        return (
+            f"{pad}Slice offset={op.offset} limit={op.limit}\n"
+            + explain_algebra(op.input, indent + 1)
+        )
+    if isinstance(op, OrderBy):
+        return f"{pad}OrderBy ({len(op.conditions)} keys)\n" + explain_algebra(op.input, indent + 1)
+    if isinstance(op, GroupBy):
+        return f"{pad}GroupBy ({len(op.keys)} keys, {len(op.bindings)} aggregates)\n" + explain_algebra(
+            op.input, indent + 1
+        )
+    if isinstance(op, SubSelect):
+        return f"{pad}SubSelect\n" + explain_algebra(op.query.where, indent + 1)
+    return f"{pad}{type(op).__name__}"
+
+
+def _find_bgps(op: Operator, out: list[BGP]) -> None:
+    if isinstance(op, BGP):
+        out.append(op)
+        return
+    if isinstance(op, (Join, Union, LeftJoin, Minus)):
+        _find_bgps(op.left, out)
+        _find_bgps(op.right, out)
+        return
+    if isinstance(op, (Filter, Extend, Project, Distinct, Reduced, Slice, OrderBy, GroupBy, GraphOp)):
+        _find_bgps(op.input, out)
+        return
+    if isinstance(op, SubSelect):
+        _find_bgps(op.query.where, out)
+
+
+def explain_plan(
+    query: Query,
+    seeds: Iterable[str] = (),
+    extractors: Optional[list[LinkExtractor]] = None,
+) -> str:
+    """Full engine-level explanation for a parsed query."""
+    context = build_query_context(query.where)
+    seed_list = list(seeds) or sorted(context.entity_iris)
+    sections: list[str] = []
+
+    sections.append(f"query form: {query.form}")
+    sections.append(
+        "execution: "
+        + (
+            "streaming (pipelined incremental operators)"
+            if is_monotonic(query.where)
+            else "snapshot at traversal quiescence (non-monotonic operators)"
+        )
+    )
+
+    sections.append("seeds:")
+    for seed in seed_list:
+        sections.append(f"  {seed}")
+    if not seed_list:
+        sections.append("  (none — query mentions no entity IRIs)")
+
+    if extractors is not None:
+        sections.append("extractors: " + ", ".join(e.name for e in extractors))
+
+    if context.classes:
+        classes = ", ".join(sorted(c.value.rsplit("/", 1)[-1] for c in context.classes))
+        sections.append(f"type-index class filter: {classes}")
+
+    sections.append("\nalgebra:")
+    sections.append(explain_algebra(query.where, indent=1))
+
+    bgps: list[BGP] = []
+    _find_bgps(query.where, bgps)
+    for index, bgp in enumerate(bgps):
+        patterns = list(bgp.patterns) + list(bgp.path_patterns)
+        if len(patterns) < 2:
+            continue
+        ordered = plan_bgp_order(patterns, seed_iris=context.iris)
+        sections.append(f"\nzero-knowledge join order (BGP {index}):")
+        bound: set[Variable] = set()
+        for position, pattern in enumerate(ordered):
+            score = pattern_score(pattern, frozenset(bound), frozenset(context.iris))
+            rendered = (
+                str(pattern)
+                if not hasattr(pattern, "path")
+                else f"{pattern.subject} <path> {pattern.object}"
+            )
+            sections.append(f"  {position + 1}. {rendered}   score={score}")
+            bound |= pattern.variables()
+
+    return "\n".join(sections) + "\n"

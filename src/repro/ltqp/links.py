@@ -1,0 +1,210 @@
+"""Links and link queues.
+
+The link queue is the central data structure of LTQP (Fig. 1): seed URLs
+initialize it, the dereferencer drains it, and link extractors append to
+it.  Queues deduplicate (a URL is traversed at most once per execution) and
+record statistics for the queue-evolution analysis (bench E9, after [34]).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["Link", "LinkQueue", "FifoLinkQueue", "LifoLinkQueue", "PriorityLinkQueue", "QueueSample"]
+
+
+@dataclass(frozen=True, slots=True)
+class Link:
+    """A URL awaiting dereferencing.
+
+    ``parent_url`` is the document whose content produced this link (None
+    for seeds), ``depth`` its distance from the seeds, ``via`` the name of
+    the extractor that found it.
+    """
+
+    url: str
+    parent_url: Optional[str] = None
+    depth: int = 0
+    via: str = "seed"
+
+    @property
+    def is_seed(self) -> bool:
+        return self.parent_url is None
+
+
+@dataclass(slots=True)
+class QueueSample:
+    """A point-in-time snapshot of queue state."""
+
+    timestamp: float
+    queue_length: int
+    pushed_total: int
+    popped_total: int
+
+
+class LinkQueue:
+    """Base class: a deduplicating queue of :class:`Link` items."""
+
+    def __init__(self) -> None:
+        self._seen: set[str] = set()
+        self._pushed = 0
+        self._popped = 0
+        self._samples: list[QueueSample] = []
+
+    # -- subclass interface ---------------------------------------------------
+
+    def _push_impl(self, link: Link) -> None:
+        raise NotImplementedError
+
+    def _pop_impl(self) -> Link:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    # -- public API -------------------------------------------------------------
+
+    def push(self, link: Link) -> bool:
+        """Enqueue unless the URL was already seen; returns True if enqueued."""
+        url = _strip_fragment(link.url)
+        if url in self._seen:
+            return False
+        self._seen.add(url)
+        self._push_impl(Link(url, link.parent_url, link.depth, link.via))
+        self._pushed += 1
+        self._sample()
+        return True
+
+    def pop(self) -> Link:
+        """Dequeue the next link; raises IndexError when empty."""
+        link = self._pop_impl()
+        self._popped += 1
+        self._sample()
+        return link
+
+    def has_seen(self, url: str) -> bool:
+        return _strip_fragment(url) in self._seen
+
+    @property
+    def empty(self) -> bool:
+        return len(self) == 0
+
+    @property
+    def pushed_total(self) -> int:
+        return self._pushed
+
+    @property
+    def popped_total(self) -> int:
+        return self._popped
+
+    @property
+    def samples(self) -> list[QueueSample]:
+        """Queue-length samples recorded at every push/pop."""
+        return list(self._samples)
+
+    def _sample(self) -> None:
+        self._samples.append(
+            QueueSample(
+                timestamp=time.monotonic(),
+                queue_length=len(self),
+                pushed_total=self._pushed,
+                popped_total=self._popped,
+            )
+        )
+
+
+class FifoLinkQueue(LinkQueue):
+    """Breadth-first traversal order — the default in the paper's engine."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._items: list[Link] = []
+        self._head = 0
+
+    def _push_impl(self, link: Link) -> None:
+        self._items.append(link)
+
+    def _pop_impl(self) -> Link:
+        if self._head >= len(self._items):
+            raise IndexError("pop from empty link queue")
+        link = self._items[self._head]
+        self._head += 1
+        # Compact occasionally so memory stays bounded.
+        if self._head > 1024 and self._head * 2 > len(self._items):
+            self._items = self._items[self._head:]
+            self._head = 0
+        return link
+
+    def __len__(self) -> int:
+        return len(self._items) - self._head
+
+
+class LifoLinkQueue(LinkQueue):
+    """Depth-first traversal order.
+
+    Dives into each pod before finishing breadth — one of the queue
+    disciplines whose effect on result arrival [34] studies.  Termination
+    and answers are unaffected; arrival order and queue shape change.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._items: list[Link] = []
+
+    def _push_impl(self, link: Link) -> None:
+        self._items.append(link)
+
+    def _pop_impl(self) -> Link:
+        if not self._items:
+            raise IndexError("pop from empty link queue")
+        return self._items.pop()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class PriorityLinkQueue(LinkQueue):
+    """Priority-ordered queue (an enhancement direction the paper cites [34]).
+
+    ``priority`` maps a link to a sortable key — smaller pops first.  The
+    default prioritizes shallow links, then Solid-metadata extractors
+    (profile/type-index links) over plain data links, so structural
+    documents are read early.
+    """
+
+    _DEFAULT_VIA_RANK = {
+        "seed": 0,
+        "storage": 1,
+        "type-index": 2,
+        "ldp-container": 3,
+        "match": 4,
+        "all-iris": 5,
+    }
+
+    def __init__(self, priority: Optional[Callable[[Link], tuple]] = None) -> None:
+        super().__init__()
+        self._priority = priority if priority is not None else self._default_priority
+        self._heap: list[tuple[tuple, int, Link]] = []
+        self._counter = 0
+
+    def _default_priority(self, link: Link) -> tuple:
+        return (link.depth, self._DEFAULT_VIA_RANK.get(link.via, 9))
+
+    def _push_impl(self, link: Link) -> None:
+        self._counter += 1
+        heapq.heappush(self._heap, (self._priority(link), self._counter, link))
+
+    def _pop_impl(self) -> Link:
+        if not self._heap:
+            raise IndexError("pop from empty link queue")
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+def _strip_fragment(url: str) -> str:
+    return url.split("#", 1)[0]

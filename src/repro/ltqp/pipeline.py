@@ -1,0 +1,523 @@
+"""Incremental pipelined query operators.
+
+The paper's engine evaluates queries *while* traversal is still adding
+triples: "the actual query processing happens in parallel over the
+continuously growing internal triple source", with "pipelined
+implementations of all monotonic SPARQL operators".  This module provides
+exactly that: an operator tree compiled from the algebra where every node
+consumes *deltas* (batches of newly added quads) and emits only the *new*
+solutions they enable.
+
+* :class:`ScanNode` — matches delta quads against a triple pattern.
+* :class:`PathScanNode` — property paths; re-evaluates the path over the
+  grown snapshot per delta and emits unseen endpoint pairs (paths are
+  monotonic, so previously emitted pairs stay valid).
+* :class:`JoinNode` — symmetric hash join: each side keeps a table of all
+  bindings seen; new left bindings probe the right table and vice versa,
+  so late-arriving data joins with everything that came before without
+  restarting the pipeline.
+* Union / Filter / Extend / Project / Distinct / Limit — straightforward
+  streaming forms.
+
+Non-monotonic operators (OPTIONAL, MINUS, ORDER BY, GROUP BY, OFFSET,
+EXISTS filters) cannot stream soundly; :func:`compile_pipeline` raises
+:class:`NotStreamable` and the engine falls back to snapshot evaluation at
+traversal quiescence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..rdf.dataset import Dataset
+from ..rdf.terms import NamedNode, Term, Variable
+from ..rdf.triples import Quad, TriplePattern
+from ..sparql.algebra import (
+    BGP,
+    Distinct,
+    Extend,
+    Filter,
+    GraphOp,
+    Join,
+    Operator,
+    PathPattern,
+    Project,
+    Reduced,
+    Slice,
+    SubSelect,
+    Union,
+    ValuesOp,
+    is_monotonic,
+)
+from ..sparql.bindings import EMPTY_BINDING, Binding
+from ..sparql.expr import ExpressionError, ExpressionEvaluator
+from ..sparql.paths import evaluate_path, path_predicates
+from ..sparql.planner import plan_bgp_order
+
+__all__ = ["NotStreamable", "IncrementalNode", "Pipeline", "compile_pipeline", "total_work"]
+
+
+class NotStreamable(ValueError):
+    """The operator tree contains non-monotonic operators."""
+
+
+class IncrementalNode:
+    """Base class: push-based delta processing.
+
+    ``certain_variables`` are bound in every emitted solution — the safe
+    hash-key basis for joins above this node.
+    """
+
+    def __init__(self, certain_variables: frozenset[Variable]) -> None:
+        self.certain_variables = certain_variables
+        self.produced_total = 0
+
+    def process(self, delta: Sequence[Quad], dataset: Dataset) -> list[Binding]:
+        """Consume newly added quads; return newly derivable solutions."""
+        raise NotImplementedError
+
+    def _count(self, produced: list[Binding]) -> list[Binding]:
+        self.produced_total += len(produced)
+        return produced
+
+    def children(self) -> tuple["IncrementalNode", ...]:
+        return ()
+
+
+class ScanNode(IncrementalNode):
+    """A triple-pattern leaf fed directly by the delta stream."""
+
+    def __init__(self, pattern: TriplePattern, graph: Optional[Term] = None) -> None:
+        variables = pattern.variables()
+        if isinstance(graph, Variable):
+            variables = variables | {graph}
+        super().__init__(frozenset(variables))
+        self._pattern = pattern
+        self._graph = graph
+        self._emitted: set[Binding] = set()
+
+    def process(self, delta: Sequence[Quad], dataset: Dataset) -> list[Binding]:
+        produced: list[Binding] = []
+        for quad in delta:
+            if self._graph is not None and not isinstance(self._graph, Variable):
+                if quad.graph != self._graph:
+                    continue
+            binding = self._match(quad)
+            if binding is not None and binding not in self._emitted:
+                self._emitted.add(binding)
+                produced.append(binding)
+        return self._count(produced)
+
+    def _match(self, quad: Quad) -> Optional[Binding]:
+        items: dict[Variable, Term] = {}
+        for pattern_term, data_term in zip(self._pattern, quad):
+            if isinstance(pattern_term, Variable):
+                bound = items.get(pattern_term)
+                if bound is None:
+                    items[pattern_term] = data_term
+                elif bound != data_term:
+                    return None
+            elif pattern_term is not None and pattern_term != data_term:
+                return None
+        if isinstance(self._graph, Variable):
+            if quad.graph is None:
+                return None
+            items[self._graph] = quad.graph
+        return Binding(items)
+
+
+class PathScanNode(IncrementalNode):
+    """A property-path leaf, re-evaluated over the grown snapshot per delta."""
+
+    def __init__(self, pattern: PathPattern, graph: Optional[Term] = None) -> None:
+        super().__init__(frozenset(pattern.variables()))
+        self._pattern = pattern
+        self._graph = graph if isinstance(graph, NamedNode) else None
+        self._relevant = path_predicates(pattern.path)
+        self._negated = _is_negated(pattern.path)
+        self._emitted: set[tuple[Term, Term]] = set()
+
+    def process(self, delta: Sequence[Quad], dataset: Dataset) -> list[Binding]:
+        if not self._delta_relevant(delta):
+            return []
+        graph = dataset.union if self._graph is None else dataset.graph(self._graph)
+        produced: list[Binding] = []
+        subject = self._pattern.subject
+        object_term = self._pattern.object
+        for start, end in evaluate_path(graph, subject, self._pattern.path, object_term):
+            pair = (start, end)
+            if pair in self._emitted:
+                continue
+            self._emitted.add(pair)
+            items: dict[Variable, Term] = {}
+            if isinstance(subject, Variable):
+                items[subject] = start
+            if isinstance(object_term, Variable):
+                if object_term in items and items[object_term] != end:
+                    continue
+                items[object_term] = end
+            produced.append(Binding(items))
+        return self._count(produced)
+
+    def _delta_relevant(self, delta: Sequence[Quad]) -> bool:
+        if self._negated:
+            return bool(delta)  # negated sets can match any predicate
+        for quad in delta:
+            if quad.predicate in self._relevant:
+                return True
+        return False
+
+
+def _is_negated(path) -> bool:
+    from ..sparql.algebra import (
+        AlternativePath,
+        InversePath,
+        NegatedPropertySet,
+        OneOrMorePath,
+        SequencePath,
+        ZeroOrMorePath,
+        ZeroOrOnePath,
+    )
+
+    if isinstance(path, NegatedPropertySet):
+        return True
+    if isinstance(path, (InversePath, ZeroOrMorePath, OneOrMorePath, ZeroOrOnePath)):
+        return _is_negated(path.path)
+    if isinstance(path, SequencePath):
+        return any(_is_negated(step) for step in path.steps)
+    if isinstance(path, AlternativePath):
+        return any(_is_negated(option) for option in path.options)
+    return False
+
+
+class ValuesNode(IncrementalNode):
+    """Inline data: emits its rows exactly once, on the first delta."""
+
+    def __init__(self, op: ValuesOp) -> None:
+        certain = frozenset(
+            variable
+            for index, variable in enumerate(op.variables)
+            if all(row[index] is not None for row in op.rows)
+        )
+        super().__init__(certain)
+        self._rows = [
+            Binding({v: t for v, t in zip(op.variables, row) if t is not None})
+            for row in op.rows
+        ]
+        self._emitted = False
+
+    def process(self, delta: Sequence[Quad], dataset: Dataset) -> list[Binding]:
+        if self._emitted:
+            return []
+        self._emitted = True
+        return self._count(list(self._rows))
+
+
+class JoinNode(IncrementalNode):
+    """Symmetric hash join on the certainly-bound shared variables."""
+
+    def __init__(self, left: IncrementalNode, right: IncrementalNode) -> None:
+        super().__init__(left.certain_variables | right.certain_variables)
+        self._left = left
+        self._right = right
+        self._key_variables = tuple(
+            sorted(left.certain_variables & right.certain_variables, key=lambda v: v.value)
+        )
+        self._left_table: dict[tuple, list[Binding]] = {}
+        self._right_table: dict[tuple, list[Binding]] = {}
+
+    def process(self, delta: Sequence[Quad], dataset: Dataset) -> list[Binding]:
+        new_left = self._left.process(delta, dataset)
+        new_right = self._right.process(delta, dataset)
+        produced: list[Binding] = []
+
+        # New left rows join the right table as it stood before this delta…
+        for binding in new_left:
+            key = binding.key(self._key_variables)
+            for other in self._right_table.get(key, ()):
+                merged = binding.merged(other)
+                if merged is not None:
+                    produced.append(merged)
+        for binding in new_left:
+            self._left_table.setdefault(binding.key(self._key_variables), []).append(binding)
+
+        # …and new right rows join the left table *including* this delta's
+        # left rows, so each new-new pair is produced exactly once.
+        for binding in new_right:
+            key = binding.key(self._key_variables)
+            for other in self._left_table.get(key, ()):
+                merged = other.merged(binding)
+                if merged is not None:
+                    produced.append(merged)
+        for binding in new_right:
+            self._right_table.setdefault(binding.key(self._key_variables), []).append(binding)
+        return self._count(produced)
+
+    def children(self):
+        return (self._left, self._right)
+
+
+class UnionNode(IncrementalNode):
+    def __init__(self, left: IncrementalNode, right: IncrementalNode) -> None:
+        super().__init__(left.certain_variables & right.certain_variables)
+        self._left = left
+        self._right = right
+
+    def process(self, delta: Sequence[Quad], dataset: Dataset) -> list[Binding]:
+        return self._count(self._left.process(delta, dataset) + self._right.process(delta, dataset))
+
+    def children(self):
+        return (self._left, self._right)
+
+
+class FilterNode(IncrementalNode):
+    def __init__(self, input_node: IncrementalNode, expression, evaluator: ExpressionEvaluator) -> None:
+        super().__init__(input_node.certain_variables)
+        self._input = input_node
+        self._expression = expression
+        self._evaluator = evaluator
+
+    def process(self, delta: Sequence[Quad], dataset: Dataset) -> list[Binding]:
+        return self._count(
+            [
+                binding
+                for binding in self._input.process(delta, dataset)
+                if self._evaluator.satisfied(self._expression, binding)
+            ]
+        )
+
+    def children(self):
+        return (self._input,)
+
+
+class ExtendNode(IncrementalNode):
+    def __init__(
+        self,
+        input_node: IncrementalNode,
+        variable: Variable,
+        expression,
+        evaluator: ExpressionEvaluator,
+    ) -> None:
+        # The extended variable is not *certain*: the expression may error.
+        super().__init__(input_node.certain_variables)
+        self._input = input_node
+        self._variable = variable
+        self._expression = expression
+        self._evaluator = evaluator
+
+    def process(self, delta: Sequence[Quad], dataset: Dataset) -> list[Binding]:
+        produced: list[Binding] = []
+        for binding in self._input.process(delta, dataset):
+            try:
+                value = self._evaluator.evaluate(self._expression, binding)
+            except ExpressionError:
+                produced.append(binding)
+                continue
+            if self._variable in binding:
+                if binding[self._variable] == value:
+                    produced.append(binding)
+                continue
+            produced.append(binding.extended(self._variable, value))
+        return self._count(produced)
+
+    def children(self):
+        return (self._input,)
+
+
+class ProjectNode(IncrementalNode):
+    def __init__(self, input_node: IncrementalNode, variables: tuple[Variable, ...]) -> None:
+        super().__init__(input_node.certain_variables & frozenset(variables))
+        self._input = input_node
+        self._variables = variables
+
+    def process(self, delta: Sequence[Quad], dataset: Dataset) -> list[Binding]:
+        return self._count(
+            [b.projected(self._variables) for b in self._input.process(delta, dataset)]
+        )
+
+    def children(self):
+        return (self._input,)
+
+
+class DistinctNode(IncrementalNode):
+    def __init__(self, input_node: IncrementalNode) -> None:
+        super().__init__(input_node.certain_variables)
+        self._input = input_node
+        self._seen: set[Binding] = set()
+
+    def process(self, delta: Sequence[Quad], dataset: Dataset) -> list[Binding]:
+        produced: list[Binding] = []
+        for binding in self._input.process(delta, dataset):
+            if binding not in self._seen:
+                self._seen.add(binding)
+                produced.append(binding)
+        return self._count(produced)
+
+    def children(self):
+        return (self._input,)
+
+
+class LimitNode(IncrementalNode):
+    """LIMIT without OFFSET: any N results are a correct answer prefix."""
+
+    def __init__(self, input_node: IncrementalNode, limit: int) -> None:
+        super().__init__(input_node.certain_variables)
+        self._input = input_node
+        self._limit = limit
+        self._taken = 0
+
+    @property
+    def satisfied(self) -> bool:
+        return self._taken >= self._limit
+
+    def _counted(self, produced: list[Binding]) -> list[Binding]:
+        self.produced_total += len(produced)
+        return produced
+
+    def children(self):
+        return (self._input,)
+
+    def process(self, delta: Sequence[Quad], dataset: Dataset) -> list[Binding]:
+        if self.satisfied:
+            return []
+        produced = self._input.process(delta, dataset)
+        remaining = self._limit - self._taken
+        produced = produced[:remaining]
+        self._taken += len(produced)
+        return self._counted(produced)
+
+
+def total_work(node: IncrementalNode) -> int:
+    """Sum of bindings produced by every node in a pipeline tree.
+
+    A proxy for evaluation effort: bad join orders inflate intermediate
+    results, which this counter exposes (used by the adaptive-planning
+    bench E10).
+    """
+    return node.produced_total + sum(total_work(child) for child in node.children())
+
+
+class Pipeline:
+    """A compiled incremental operator tree plus its feeding cursor."""
+
+    def __init__(self, root: IncrementalNode) -> None:
+        self._root = root
+        self._cursor = 0
+
+    @property
+    def root(self) -> IncrementalNode:
+        return self._root
+
+    @property
+    def complete(self) -> bool:
+        """True once a top-level LIMIT has been satisfied."""
+        return isinstance(self._root, LimitNode) and self._root.satisfied
+
+    def advance(self, dataset: Dataset) -> list[Binding]:
+        """Feed all quads logged since the last call; return new solutions."""
+        position = dataset.log_position
+        if position == self._cursor:
+            return []
+        delta = list(dataset.match_since(self._cursor))
+        self._cursor = position
+        if not delta:
+            return []
+        return self._root.process(delta, dataset)
+
+
+def compile_pipeline(
+    where: Operator,
+    evaluator: Optional[ExpressionEvaluator] = None,
+    seed_iris: Iterable[str] = (),
+    bgp_order=None,
+) -> Pipeline:
+    """Compile a monotonic algebra tree into an incremental pipeline.
+
+    ``bgp_order`` optionally overrides join ordering: a callable taking the
+    list of (triple & path) patterns of a BGP and returning them in the
+    order the left-deep join tree should use.  The default is the
+    zero-knowledge planner.  The adaptive engine (see
+    :mod:`repro.ltqp.adaptive`) re-compiles with a cardinality-informed
+    order mid-execution.
+
+    Raises :class:`NotStreamable` when the tree contains non-monotonic
+    operators; callers should then fall back to snapshot evaluation.
+    """
+    if not is_monotonic(where):
+        raise NotStreamable("query contains non-monotonic operators")
+    if evaluator is None:
+        evaluator = ExpressionEvaluator()
+    if bgp_order is None:
+        seeds = tuple(seed_iris)
+
+        def bgp_order(patterns):
+            return plan_bgp_order(patterns, seed_iris=seeds)
+
+    root = _compile(where, evaluator, bgp_order, graph=None)
+    return Pipeline(root)
+
+
+def _compile(
+    op: Operator,
+    evaluator: ExpressionEvaluator,
+    bgp_order,
+    graph: Optional[Term],
+) -> IncrementalNode:
+    if isinstance(op, BGP):
+        return _compile_bgp(op, bgp_order, graph)
+    if isinstance(op, Join):
+        return JoinNode(
+            _compile(op.left, evaluator, bgp_order, graph),
+            _compile(op.right, evaluator, bgp_order, graph),
+        )
+    if isinstance(op, Union):
+        return UnionNode(
+            _compile(op.left, evaluator, bgp_order, graph),
+            _compile(op.right, evaluator, bgp_order, graph),
+        )
+    if isinstance(op, Filter):
+        return FilterNode(_compile(op.input, evaluator, bgp_order, graph), op.expression, evaluator)
+    if isinstance(op, Extend):
+        return ExtendNode(
+            _compile(op.input, evaluator, bgp_order, graph), op.variable, op.expression, evaluator
+        )
+    if isinstance(op, GraphOp):
+        return _compile(op.input, evaluator, bgp_order, op.name)
+    if isinstance(op, ValuesOp):
+        return ValuesNode(op)
+    if isinstance(op, Project):
+        return ProjectNode(_compile(op.input, evaluator, bgp_order, graph), op.variables)
+    if isinstance(op, Distinct):
+        return DistinctNode(_compile(op.input, evaluator, bgp_order, graph))
+    if isinstance(op, Reduced):
+        # Streaming REDUCED: full dedup is permitted by the spec and free here.
+        return DistinctNode(_compile(op.input, evaluator, bgp_order, graph))
+    if isinstance(op, Slice):
+        if op.offset != 0:
+            raise NotStreamable("OFFSET is not streamable")
+        inner = _compile(op.input, evaluator, bgp_order, graph)
+        if op.limit is None:
+            return inner
+        return LimitNode(inner, op.limit)
+    if isinstance(op, SubSelect):
+        return _compile(op.query.where, evaluator, bgp_order, graph)
+    raise NotStreamable(f"operator {type(op).__name__} is not streamable")
+
+
+def _compile_bgp(
+    op: BGP, bgp_order, graph: Optional[Term]
+) -> IncrementalNode:
+    patterns = bgp_order(list(op.patterns) + list(op.path_patterns))
+    if not patterns:
+        empty = ValuesOp((), ((),))
+        return ValuesNode(empty)
+    nodes: list[IncrementalNode] = []
+    for pattern in patterns:
+        if isinstance(pattern, PathPattern):
+            nodes.append(PathScanNode(pattern, graph=graph))
+        else:
+            nodes.append(ScanNode(pattern, graph=graph))
+    root = nodes[0]
+    for node in nodes[1:]:
+        root = JoinNode(root, node)
+    return root

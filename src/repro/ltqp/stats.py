@@ -1,0 +1,73 @@
+"""Execution statistics: time-to-first-result, links followed, queue evolution.
+
+The paper's headline quantitative claims live here:
+
+* "first results showing up in less than a second" → :attr:`ExecutionStats.time_to_first_result`
+* "non-complex queries can be completed in the order of seconds" → :attr:`total_time`
+* optimizing "the number of links that need to be followed" → :attr:`documents_fetched`, :attr:`links_queued`
+* link-queue evolution [34] → :attr:`queue_samples`
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .links import QueueSample
+
+__all__ = ["TimedResult", "ExecutionStats"]
+
+
+@dataclass(slots=True)
+class TimedResult:
+    """One query result annotated with its arrival time (seconds from start)."""
+
+    binding: "object"
+    elapsed: float
+
+
+@dataclass(slots=True)
+class ExecutionStats:
+    """Aggregated metrics for one query execution."""
+
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    first_result_at: Optional[float] = None
+    result_count: int = 0
+    documents_fetched: int = 0
+    documents_failed: int = 0
+    triples_discovered: int = 0
+    links_queued: int = 0
+    links_by_extractor: dict[str, int] = field(default_factory=dict)
+    queue_samples: list[QueueSample] = field(default_factory=list)
+    streaming: bool = True
+    replans: int = 0
+
+    @property
+    def total_time(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def time_to_first_result(self) -> Optional[float]:
+        if self.first_result_at is None:
+            return None
+        return self.first_result_at - self.started_at
+
+    def summary(self) -> dict:
+        """A JSON-friendly digest (used by the bench harness)."""
+        return {
+            "results": self.result_count,
+            "total_time_s": round(self.total_time, 4),
+            "ttfr_s": (
+                round(self.time_to_first_result, 4)
+                if self.time_to_first_result is not None
+                else None
+            ),
+            "documents_fetched": self.documents_fetched,
+            "documents_failed": self.documents_failed,
+            "triples_discovered": self.triples_discovered,
+            "links_queued": self.links_queued,
+            "links_by_extractor": dict(sorted(self.links_by_extractor.items())),
+            "streaming": self.streaming,
+            "replans": self.replans,
+        }

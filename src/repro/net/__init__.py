@@ -1,0 +1,36 @@
+"""Simulated asynchronous HTTP layer.
+
+The engine sees ordinary HTTP semantics (``fetch(url) -> Response``);
+underneath, requests route in-process to registered origin apps with
+deterministic simulated latency and full request logging — or over real
+sockets via :class:`RealHttpServer` for end-to-end integration tests.
+"""
+
+from .cache import CacheEntry, HttpCache
+from .client import FetchError, HttpClient
+from .latency import ConstantLatency, LatencyModel, NoLatency, SeededJitterLatency
+from .log import RequestLog, RequestRecord
+from .message import Request, Response, split_url
+from .realserver import RealHttpServer
+from .router import App, FunctionApp, Internet, StaticApp
+
+__all__ = [
+    "Request",
+    "Response",
+    "split_url",
+    "App",
+    "FunctionApp",
+    "StaticApp",
+    "Internet",
+    "HttpClient",
+    "FetchError",
+    "HttpCache",
+    "CacheEntry",
+    "RequestLog",
+    "RequestRecord",
+    "LatencyModel",
+    "NoLatency",
+    "ConstantLatency",
+    "SeededJitterLatency",
+    "RealHttpServer",
+]

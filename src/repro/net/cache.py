@@ -1,0 +1,105 @@
+"""Client-side HTTP caching.
+
+The paper's demo runs in a browser whose disk cache answers most repeat
+requests — the Fig. 4 waterfall shows almost every document served
+"(disk cache)" in 2-13 ms.  This module reproduces that layer:
+
+* fresh entries (within ``max-age``) are served locally without touching
+  the network;
+* stale entries revalidate with ``If-None-Match``; a ``304 Not Modified``
+  renews the entry without re-transferring the body.
+
+The cache is transport-agnostic: :class:`~repro.net.client.HttpClient`
+consults it when constructed with ``cache=HttpCache()``.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .message import Response
+
+__all__ = ["CacheEntry", "HttpCache"]
+
+_MAX_AGE_RE = re.compile(r"max-age=(\d+)")
+
+
+@dataclass(slots=True)
+class CacheEntry:
+    """A cached response body plus its validators."""
+
+    response: Response
+    etag: str
+    stored_at: float
+    max_age: float
+
+    def is_fresh(self, now: Optional[float] = None) -> bool:
+        if self.max_age <= 0:
+            return False
+        current = now if now is not None else time.monotonic()
+        return current - self.stored_at < self.max_age
+
+    def renew(self, now: Optional[float] = None) -> None:
+        self.stored_at = now if now is not None else time.monotonic()
+
+
+class HttpCache:
+    """URL-keyed response cache with ETag revalidation.
+
+    Only successful ``GET`` responses are cached.  ``default_max_age``
+    applies when the server sends no ``Cache-Control``; pass ``0`` to
+    force revalidation on every reuse.
+    """
+
+    def __init__(self, default_max_age: float = 300.0, max_entries: int = 100_000) -> None:
+        self._entries: dict[str, CacheEntry] = {}
+        self._default_max_age = default_max_age
+        self._max_entries = max_entries
+        self.hits = 0
+        self.revalidations = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, url: str) -> Optional[CacheEntry]:
+        return self._entries.get(url)
+
+    def store(self, url: str, response: Response) -> Optional[CacheEntry]:
+        """Cache a 200 response; returns the entry (or None if uncacheable)."""
+        if response.status != 200:
+            return None
+        cache_control = response.header("cache-control")
+        if "no-store" in cache_control:
+            return None
+        max_age = self._default_max_age
+        match = _MAX_AGE_RE.search(cache_control)
+        if match:
+            max_age = float(match.group(1))
+        if len(self._entries) >= self._max_entries and url not in self._entries:
+            # Simple bound: drop the oldest entry.
+            oldest = min(self._entries, key=lambda key: self._entries[key].stored_at)
+            del self._entries[oldest]
+        entry = CacheEntry(
+            response=response,
+            etag=response.header("etag"),
+            stored_at=time.monotonic(),
+            max_age=max_age,
+        )
+        self._entries[url] = entry
+        return entry
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = self.revalidations = self.misses = 0
+
+    def statistics(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "revalidations": self.revalidations,
+            "misses": self.misses,
+        }

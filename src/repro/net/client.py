@@ -1,0 +1,162 @@
+"""Async HTTP client over the simulated :class:`~repro.net.router.Internet`.
+
+Reproduces the client-side behaviours that shape the paper's resource
+waterfalls: a browser-like per-origin concurrency cap, simulated latency
+(see :mod:`repro.net.latency`), and full request logging with parent-URL
+provenance (see :mod:`repro.net.log`).  Errors never raise by default —
+the LTQP engine runs ``--lenient`` against the open Web, so failures are
+represented as status-0 responses the caller can skip.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Optional
+
+from .cache import HttpCache
+from .latency import LatencyModel, SeededJitterLatency
+from .log import RequestLog
+from .message import Request, Response, split_url
+from .router import Internet
+
+__all__ = ["HttpClient", "FetchError"]
+
+
+class FetchError(RuntimeError):
+    """Raised by :meth:`HttpClient.fetch` in strict mode on network failure."""
+
+    def __init__(self, url: str, message: str) -> None:
+        super().__init__(f"{message}: {url}")
+        self.url = url
+
+
+class HttpClient:
+    """Asynchronous client with logging, latency, and connection limits."""
+
+    def __init__(
+        self,
+        internet: Internet,
+        latency: Optional[LatencyModel] = None,
+        max_connections_per_origin: int = 6,
+        latency_scale: float = 1.0,
+        log: Optional[RequestLog] = None,
+        default_headers: Optional[dict[str, str]] = None,
+        cache: Optional[HttpCache] = None,
+    ) -> None:
+        self._internet = internet
+        self._latency = latency if latency is not None else SeededJitterLatency()
+        self._latency_scale = latency_scale
+        self._max_per_origin = max_connections_per_origin
+        self._semaphores: dict[str, asyncio.Semaphore] = {}
+        self._log = log if log is not None else RequestLog()
+        self._default_headers = dict(default_headers or {})
+        self._cache = cache
+
+    @property
+    def cache(self) -> Optional[HttpCache]:
+        return self._cache
+
+    @property
+    def log(self) -> RequestLog:
+        return self._log
+
+    @property
+    def internet(self) -> Internet:
+        return self._internet
+
+    def _semaphore_for(self, origin: str) -> asyncio.Semaphore:
+        if origin not in self._semaphores:
+            self._semaphores[origin] = asyncio.Semaphore(self._max_per_origin)
+        return self._semaphores[origin]
+
+    async def fetch(
+        self,
+        url: str,
+        method: str = "GET",
+        headers: Optional[dict[str, str]] = None,
+        parent_url: Optional[str] = None,
+        strict: bool = False,
+    ) -> Response:
+        """Fetch a URL through the simulated Web.
+
+        ``parent_url`` records which document's links led here (waterfall
+        provenance).  In lenient mode (default) transport errors come back
+        as status-0 responses; with ``strict=True`` they raise
+        :class:`FetchError`.
+        """
+        origin, _, clean_url = split_url(url)
+        request_headers = dict(self._default_headers)
+        request_headers.setdefault("accept", "text/turtle, application/n-triples;q=0.8")
+        if headers:
+            request_headers.update(headers)
+
+        # -- cache consultation (the browser "(disk cache)" of Fig. 4) ----
+        cache_entry = None
+        if self._cache is not None and method == "GET":
+            cache_entry = self._cache.lookup(clean_url)
+            if cache_entry is not None and cache_entry.is_fresh():
+                self._cache.hits += 1
+                now = time.monotonic()
+                self._log.record(
+                    method=method,
+                    url=clean_url,
+                    status=cache_entry.response.status,
+                    started_at=now,
+                    finished_at=now,
+                    response_size=len(cache_entry.response.body),
+                    parent_url=parent_url,
+                    from_cache=True,
+                )
+                return cache_entry.response
+            if cache_entry is not None and cache_entry.etag:
+                request_headers["if-none-match"] = cache_entry.etag
+
+        request = Request(method=method, url=clean_url, headers=request_headers)
+
+        semaphore = self._semaphore_for(origin)
+        async with semaphore:
+            started = time.monotonic()
+            try:
+                response = await self._internet.dispatch(request)
+            except Exception as error:  # a buggy app is a 500, not a crash
+                response = Response(500, {"content-type": "text/plain"}, str(error).encode())
+            delay = self._latency.latency_for(clean_url, len(response.body))
+            if delay > 0 and self._latency_scale > 0:
+                await asyncio.sleep(delay * self._latency_scale)
+            finished = time.monotonic()
+
+        served_from_cache = False
+        if self._cache is not None and method == "GET":
+            if response.status == 304 and cache_entry is not None:
+                # Revalidated: renew and answer with the cached body.
+                cache_entry.renew()
+                self._cache.revalidations += 1
+                response = cache_entry.response
+                served_from_cache = True
+            elif response.status == 200:
+                self._cache.misses += 1
+                self._cache.store(clean_url, response)
+
+        error_text = ""
+        if response.status == 0:
+            error_text = "connection failed (unknown origin)"
+        self._log.record(
+            method=method,
+            url=clean_url,
+            status=response.status,
+            started_at=started,
+            finished_at=finished,
+            response_size=len(response.body),
+            parent_url=parent_url,
+            error=error_text,
+            from_cache=served_from_cache,
+        )
+        if strict and (response.status == 0 or response.status >= 400):
+            raise FetchError(clean_url, f"HTTP {response.status}" if response.status else error_text)
+        return response
+
+    async def get_text(self, url: str, strict: bool = True) -> str:
+        """Convenience GET returning the body text."""
+        response = await self.fetch(url, strict=strict)
+        return response.text

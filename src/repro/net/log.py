@@ -1,0 +1,154 @@
+"""Request logging: the data source for Resource Waterfalls (Figs. 4-5).
+
+Every request the simulated client performs is recorded with timing,
+status, size, and — crucially for the waterfall's dependency arrows — the
+*parent* URL: the document whose links led the engine to this one.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+__all__ = ["RequestRecord", "RequestLog"]
+
+
+@dataclass(slots=True)
+class RequestRecord:
+    """One completed (or failed) HTTP exchange."""
+
+    sequence: int
+    method: str
+    url: str
+    status: int
+    started_at: float
+    finished_at: float
+    response_size: int
+    parent_url: Optional[str] = None
+    error: str = ""
+    from_cache: bool = False
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class RequestLog:
+    """Append-only, thread-safe log of request records."""
+
+    def __init__(self) -> None:
+        self._records: list[RequestRecord] = []
+        self._lock = threading.Lock()
+        self._sequence = 0
+
+    def record(
+        self,
+        method: str,
+        url: str,
+        status: int,
+        started_at: float,
+        finished_at: float,
+        response_size: int,
+        parent_url: Optional[str] = None,
+        error: str = "",
+        from_cache: bool = False,
+    ) -> RequestRecord:
+        with self._lock:
+            self._sequence += 1
+            entry = RequestRecord(
+                sequence=self._sequence,
+                method=method,
+                url=url,
+                status=status,
+                started_at=started_at,
+                finished_at=finished_at,
+                response_size=response_size,
+                parent_url=parent_url,
+                error=error,
+                from_cache=from_cache,
+            )
+            self._records.append(entry)
+            return entry
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self._sequence = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __iter__(self) -> Iterator[RequestRecord]:
+        with self._lock:
+            return iter(list(self._records))
+
+    @property
+    def records(self) -> list[RequestRecord]:
+        with self._lock:
+            return list(self._records)
+
+    # -- aggregate statistics used by benches --------------------------------
+
+    def total_bytes(self) -> int:
+        return sum(r.response_size for r in self.records)
+
+    def count_by_status(self) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for record in self.records:
+            counts[record.status] = counts.get(record.status, 0) + 1
+        return counts
+
+    def origins(self) -> set[str]:
+        from .message import split_url
+
+        result: set[str] = set()
+        for record in self.records:
+            try:
+                result.add(split_url(record.url)[0])
+            except ValueError:
+                continue
+        return result
+
+    def dependency_depths(self) -> dict[str, int]:
+        """Depth of each URL in the discovered-from tree (seeds are 0)."""
+        records = self.records
+        parents = {r.url: r.parent_url for r in records}
+        depths: dict[str, int] = {}
+
+        def depth_of(url: str, guard: int = 0) -> int:
+            if url in depths:
+                return depths[url]
+            parent = parents.get(url)
+            if parent is None or guard > len(parents):
+                depths[url] = 0
+                return 0
+            value = depth_of(parent, guard + 1) + 1
+            depths[url] = value
+            return value
+
+        for record in records:
+            depth_of(record.url)
+        return depths
+
+    def max_depth(self) -> int:
+        depths = self.dependency_depths()
+        return max(depths.values(), default=0)
+
+    def max_parallelism(self) -> int:
+        """Largest number of requests simultaneously in flight."""
+        events: list[tuple[float, int]] = []
+        for record in self.records:
+            events.append((record.started_at, 1))
+            events.append((record.finished_at, -1))
+        events.sort()
+        current = best = 0
+        for _, delta in events:
+            current += delta
+            best = max(best, current)
+        return best

@@ -1,0 +1,119 @@
+"""Serve a simulated :class:`~repro.net.router.Internet` over real sockets.
+
+The in-process transport is the default (fast, deterministic), but the demo
+paper's system talks real HTTP; this adapter proves the same apps work
+end-to-end over sockets.  All registered origins are multiplexed onto one
+local port — the original origin is reconstructed from the URL path prefix
+``/origin/<scheme>/<host>/...``, or via the ``Host`` header when only one
+origin is registered.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from .message import Request
+from .router import Internet
+
+__all__ = ["RealHttpServer"]
+
+
+class RealHttpServer:
+    """A threaded stdlib HTTP server fronting an :class:`Internet`.
+
+    Use as a context manager::
+
+        with RealHttpServer(internet) as server:
+            url = server.url_for("https://pod.example/profile/card")
+            # fetch it with any real HTTP client
+    """
+
+    def __init__(self, internet: Internet, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._internet = internet
+        self._host = host
+        self._requested_port = port
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("server is not running")
+        return self._server.server_address[1]
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    def url_for(self, simulated_url: str) -> str:
+        """Map a simulated URL to a URL served by this real server."""
+        scheme, rest = simulated_url.split("://", 1)
+        host, _, path = rest.partition("/")
+        return f"{self.base_url}/origin/{scheme}/{host}/{path}"
+
+    def start(self) -> "RealHttpServer":
+        internet = self._internet
+
+        class _Handler(BaseHTTPRequestHandler):
+            def log_message(self, format: str, *args) -> None:  # silence
+                pass
+
+            def _dispatch(self, method: str) -> None:
+                simulated_url = self._simulated_url()
+                if simulated_url is None:
+                    self.send_response(400)
+                    self.end_headers()
+                    self.wfile.write(b"expected /origin/<scheme>/<host>/<path>")
+                    return
+                headers = {k.lower(): v for k, v in self.headers.items()}
+                request = Request(method=method, url=simulated_url, headers=headers)
+                response = asyncio.run(internet.dispatch(request))
+                status = response.status if response.status else 502
+                self.send_response(status)
+                for name, value in response.headers.items():
+                    self.send_header(name, value)
+                self.send_header("content-length", str(len(response.body)))
+                self.end_headers()
+                if method != "HEAD":
+                    self.wfile.write(response.body)
+
+            def _simulated_url(self) -> Optional[str]:
+                parts = self.path.split("/")
+                # ['', 'origin', scheme, host, ...path]
+                if len(parts) >= 4 and parts[1] == "origin":
+                    scheme, host = parts[2], parts[3]
+                    path = "/".join(parts[4:])
+                    return f"{scheme}://{host}/{path}"
+                origins = internet.origins()
+                if len(origins) == 1:
+                    return origins[0] + self.path
+                return None
+
+            def do_GET(self) -> None:
+                self._dispatch("GET")
+
+            def do_HEAD(self) -> None:
+                self._dispatch("HEAD")
+
+        self._server = ThreadingHTTPServer((self._host, self._requested_port), _Handler)
+        self._thread = threading.Thread(target=self._server.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "RealHttpServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

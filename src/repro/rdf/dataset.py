@@ -1,0 +1,292 @@
+"""Indexed in-memory RDF stores.
+
+Two stores are provided:
+
+* :class:`Graph` — a set of triples with SPO/POS/OSP hash indexes giving
+  O(matching) pattern scans for any bound-position combination.
+* :class:`Dataset` — a set of quads (triple + source document IRI), built on
+  per-graph :class:`Graph` instances plus a union index.  This is the store
+  the LTQP engine's growing triple source builds on: it is append-only in
+  spirit and assigns each inserted triple a monotonically increasing
+  sequence number, which restartable iterators use as cursors.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator, Optional
+
+from .terms import NamedNode, Term, Variable
+from .triples import ObjectTerm, PredicateTerm, Quad, SubjectTerm, Triple
+
+__all__ = ["Graph", "Dataset"]
+
+
+def _is_concrete(term: Optional[Term]) -> bool:
+    return term is not None and not isinstance(term, Variable)
+
+
+class Graph:
+    """A mutable set of triples with three hash indexes (SPO, POS, OSP)."""
+
+    __slots__ = ("_triples", "_spo", "_pos", "_osp")
+
+    def __init__(self, triples: Iterable[Triple] = ()) -> None:
+        self._triples: set[Triple] = set()
+        self._spo: dict[SubjectTerm, dict[PredicateTerm, set[ObjectTerm]]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+        self._pos: dict[PredicateTerm, dict[ObjectTerm, set[SubjectTerm]]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+        self._osp: dict[ObjectTerm, dict[SubjectTerm, set[PredicateTerm]]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+        for triple in triples:
+            self.add(triple)
+
+    def add(self, triple: Triple) -> bool:
+        """Insert; returns ``True`` when the triple was not present before."""
+        if triple in self._triples:
+            return False
+        self._triples.add(triple)
+        self._spo[triple.subject][triple.predicate].add(triple.object)
+        self._pos[triple.predicate][triple.object].add(triple.subject)
+        self._osp[triple.object][triple.subject].add(triple.predicate)
+        return True
+
+    def discard(self, triple: Triple) -> bool:
+        """Remove; returns ``True`` when the triple was present."""
+        if triple not in self._triples:
+            return False
+        self._triples.discard(triple)
+        self._discard_index(self._spo, triple.subject, triple.predicate, triple.object)
+        self._discard_index(self._pos, triple.predicate, triple.object, triple.subject)
+        self._discard_index(self._osp, triple.object, triple.subject, triple.predicate)
+        return True
+
+    @staticmethod
+    def _discard_index(index: dict, first: Term, second: Term, third: Term) -> None:
+        level_two = index[first]
+        level_two[second].discard(third)
+        if not level_two[second]:
+            del level_two[second]
+        if not level_two:
+            del index[first]
+
+    def update(self, triples: Iterable[Triple]) -> int:
+        """Insert many; returns the number of newly added triples."""
+        return sum(1 for triple in triples if self.add(triple))
+
+    def match(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        object: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        """Yield triples matching the pattern (``None``/Variable = wildcard).
+
+        Picks the most selective available index for the bound positions.
+        """
+        s = subject if _is_concrete(subject) else None
+        p = predicate if _is_concrete(predicate) else None
+        o = object if _is_concrete(object) else None
+
+        if s is not None and p is not None and o is not None:
+            candidate = Triple(s, p, o)  # type: ignore[arg-type]
+            if candidate in self._triples:
+                yield candidate
+            return
+        if s is not None and p is not None:
+            for obj in self._spo.get(s, {}).get(p, ()):
+                yield Triple(s, p, obj)  # type: ignore[arg-type]
+            return
+        if p is not None and o is not None:
+            for subj in self._pos.get(p, {}).get(o, ()):
+                yield Triple(subj, p, o)  # type: ignore[arg-type]
+            return
+        if s is not None and o is not None:
+            for pred in self._osp.get(o, {}).get(s, ()):
+                yield Triple(s, pred, o)  # type: ignore[arg-type]
+            return
+        if s is not None:
+            for pred, objs in self._spo.get(s, {}).items():
+                for obj in objs:
+                    yield Triple(s, pred, obj)  # type: ignore[arg-type]
+            return
+        if p is not None:
+            for obj, subjs in self._pos.get(p, {}).items():
+                for subj in subjs:
+                    yield Triple(subj, p, obj)  # type: ignore[arg-type]
+            return
+        if o is not None:
+            for subj, preds in self._osp.get(o, {}).items():
+                for pred in preds:
+                    yield Triple(subj, pred, o)  # type: ignore[arg-type]
+            return
+        yield from self._triples
+
+    def count(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        object: Optional[Term] = None,
+    ) -> int:
+        return sum(1 for _ in self.match(subject, predicate, object))
+
+    def subjects(self, predicate: Optional[Term] = None, object: Optional[Term] = None) -> Iterator[SubjectTerm]:
+        seen: set[SubjectTerm] = set()
+        for triple in self.match(None, predicate, object):
+            if triple.subject not in seen:
+                seen.add(triple.subject)
+                yield triple.subject
+
+    def objects(self, subject: Optional[Term] = None, predicate: Optional[Term] = None) -> Iterator[ObjectTerm]:
+        seen: set[ObjectTerm] = set()
+        for triple in self.match(subject, predicate, None):
+            if triple.object not in seen:
+                seen.add(triple.object)
+                yield triple.object
+
+    def value(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        object: Optional[Term] = None,
+    ) -> Optional[Term]:
+        """Return one matching term for the single wildcard position, or None."""
+        for triple in self.match(subject, predicate, object):
+            if subject is None:
+                return triple.subject
+            if object is None:
+                return triple.object
+            return triple.predicate
+        return None
+
+    def __contains__(self, triple: object) -> bool:
+        return triple in self._triples
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __bool__(self) -> bool:
+        return bool(self._triples)
+
+    def copy(self) -> "Graph":
+        return Graph(self._triples)
+
+    def __repr__(self) -> str:
+        return f"<Graph with {len(self._triples)} triples>"
+
+
+class Dataset:
+    """A quad store: named graphs keyed by document IRI plus a union view.
+
+    Every successfully inserted quad is recorded in an append-only log with a
+    monotonically increasing sequence number.  :meth:`match_since` lets
+    consumers resume a scan from a previous log position, which is the
+    mechanism behind the LTQP engine's restartable pipelined scans.
+    """
+
+    __slots__ = ("_graphs", "_union", "_log")
+
+    def __init__(self) -> None:
+        self._graphs: dict[Optional[NamedNode], Graph] = {}
+        self._union = Graph()
+        self._log: list[Quad] = []
+
+    @property
+    def union(self) -> Graph:
+        """The union of all graphs (default + named)."""
+        return self._union
+
+    @property
+    def log_position(self) -> int:
+        """Sequence number just past the most recent insertion."""
+        return len(self._log)
+
+    def graph(self, name: Optional[NamedNode] = None) -> Graph:
+        """Get (creating if needed) the graph with the given name."""
+        if name not in self._graphs:
+            self._graphs[name] = Graph()
+        return self._graphs[name]
+
+    def graph_names(self) -> Iterator[Optional[NamedNode]]:
+        return iter(self._graphs)
+
+    def has_graph(self, name: Optional[NamedNode]) -> bool:
+        return name in self._graphs
+
+    def add(self, quad: Quad) -> bool:
+        """Insert a quad; returns ``True`` when new *in its graph*.
+
+        The union graph deduplicates across graphs, but the log records every
+        per-graph novelty so per-document provenance is never lost.
+        """
+        added = self.graph(quad.graph).add(quad.triple)
+        if not added:
+            return False
+        self._union.add(quad.triple)
+        self._log.append(quad)
+        return True
+
+    def add_triples(self, triples: Iterable[Triple], graph: Optional[NamedNode] = None) -> int:
+        return sum(1 for t in triples if self.add(Quad(t.subject, t.predicate, t.object, graph)))
+
+    def update(self, quads: Iterable[Quad]) -> int:
+        return sum(1 for q in quads if self.add(q))
+
+    def match(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        object: Optional[Term] = None,
+        graph: Optional[NamedNode] = None,
+    ) -> Iterator[Triple]:
+        """Match over the union (``graph=None``) or a single named graph."""
+        target = self._union if graph is None else self._graphs.get(graph)
+        if target is None:
+            return iter(())
+        return target.match(subject, predicate, object)
+
+    def match_since(
+        self,
+        position: int,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        object: Optional[Term] = None,
+    ) -> Iterator[Quad]:
+        """Yield logged quads at sequence >= ``position`` matching the pattern.
+
+        Note this scans the log linearly from ``position``; consumers keep
+        their cursor close to the head so the scan is effectively
+        incremental.
+        """
+        s = subject if _is_concrete(subject) else None
+        p = predicate if _is_concrete(predicate) else None
+        o = object if _is_concrete(object) else None
+        for index in range(position, len(self._log)):
+            quad = self._log[index]
+            if s is not None and quad.subject != s:
+                continue
+            if p is not None and quad.predicate != p:
+                continue
+            if o is not None and quad.object != o:
+                continue
+            yield quad
+
+    def quads(self) -> Iterator[Quad]:
+        return iter(self._log)
+
+    def __len__(self) -> int:
+        """Total number of (triple, graph) pairs stored."""
+        return len(self._log)
+
+    def __contains__(self, triple: object) -> bool:
+        return triple in self._union
+
+    def __repr__(self) -> str:
+        return f"<Dataset with {len(self._log)} quads in {len(self._graphs)} graphs>"

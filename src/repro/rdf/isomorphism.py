@@ -1,0 +1,131 @@
+"""RDF graph isomorphism (blank-node-respecting equality).
+
+Two RDF graphs are isomorphic when a bijection between their blank nodes
+makes them equal — the right notion of equality for round-trip tests and
+document comparison, where blank node labels are arbitrary.
+
+The implementation uses iterative colour refinement (signature hashing) to
+narrow candidate bijections, then backtracking over the (usually tiny)
+remaining choices.  Exponential in the worst case — as every isomorphism
+check is — but instantaneous on real-world documents.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Optional
+
+from .terms import BlankNode, Term
+from .triples import Triple
+
+__all__ = ["isomorphic", "find_bnode_bijection"]
+
+
+def _partition(triples: Iterable[Triple]):
+    """Split into ground triples and blank-node-involving triples."""
+    ground: set[Triple] = set()
+    with_bnodes: list[Triple] = []
+    for triple in triples:
+        if isinstance(triple.subject, BlankNode) or isinstance(triple.object, BlankNode):
+            with_bnodes.append(triple)
+        else:
+            ground.add(triple)
+    return ground, with_bnodes
+
+
+def _signatures(triples: list[Triple], rounds: int = 3) -> dict[BlankNode, int]:
+    """Colour refinement: stable hash per blank node from its neighbourhood."""
+    colors: dict[BlankNode, int] = defaultdict(int)
+    for _ in range(rounds):
+        next_colors: dict[BlankNode, int] = {}
+        for node in _bnodes_of(triples):
+            parts: list[int] = [colors[node]]
+            for triple in triples:
+                if triple.subject == node:
+                    other = triple.object
+                    parts.append(
+                        hash(("out", triple.predicate,
+                              colors[other] if isinstance(other, BlankNode) else other))
+                    )
+                if triple.object == node:
+                    other = triple.subject
+                    parts.append(
+                        hash(("in", triple.predicate,
+                              colors[other] if isinstance(other, BlankNode) else other))
+                    )
+            next_colors[node] = hash(tuple(sorted(parts)))
+        colors = defaultdict(int, next_colors)
+    return dict(colors)
+
+
+def _bnodes_of(triples: Iterable[Triple]) -> set[BlankNode]:
+    nodes: set[BlankNode] = set()
+    for triple in triples:
+        if isinstance(triple.subject, BlankNode):
+            nodes.add(triple.subject)
+        if isinstance(triple.object, BlankNode):
+            nodes.add(triple.object)
+    return nodes
+
+
+def _substitute(triple: Triple, mapping: dict[BlankNode, BlankNode]) -> Triple:
+    subject = mapping.get(triple.subject, triple.subject) if isinstance(
+        triple.subject, BlankNode
+    ) else triple.subject
+    object_term = mapping.get(triple.object, triple.object) if isinstance(
+        triple.object, BlankNode
+    ) else triple.object
+    return Triple(subject, triple.predicate, object_term)
+
+
+def find_bnode_bijection(
+    first: Iterable[Triple], second: Iterable[Triple]
+) -> Optional[dict[BlankNode, BlankNode]]:
+    """A blank-node bijection making the graphs equal, or ``None``.
+
+    The returned mapping maps blank nodes of ``first`` onto blank nodes of
+    ``second``.
+    """
+    ground_a, bnode_a = _partition(first)
+    ground_b, bnode_b = _partition(second)
+    if ground_a != ground_b or len(bnode_a) != len(bnode_b):
+        return None
+
+    nodes_a = sorted(_bnodes_of(bnode_a), key=lambda n: n.value)
+    nodes_b = _bnodes_of(bnode_b)
+    if len(nodes_a) != len(nodes_b):
+        return None
+    if not nodes_a:
+        return {}
+
+    colors_a = _signatures(bnode_a)
+    colors_b = _signatures(bnode_b)
+    by_color_b: dict[int, list[BlankNode]] = defaultdict(list)
+    for node in nodes_b:
+        by_color_b[colors_b[node]].append(node)
+
+    target = set(bnode_b)
+
+    def backtrack(index: int, mapping: dict[BlankNode, BlankNode], used: set[BlankNode]):
+        if index == len(nodes_a):
+            translated = {_substitute(t, mapping) for t in bnode_a}
+            return dict(mapping) if translated == target else None
+        node = nodes_a[index]
+        for candidate in by_color_b.get(colors_a[node], ()):
+            if candidate in used:
+                continue
+            mapping[node] = candidate
+            used.add(candidate)
+            result = backtrack(index + 1, mapping, used)
+            if result is not None:
+                return result
+            used.discard(candidate)
+            del mapping[node]
+        return None
+
+    return backtrack(0, {}, set())
+
+
+def isomorphic(first: Iterable[Triple], second: Iterable[Triple]) -> bool:
+    """True when the two triple collections are RDF-isomorphic."""
+    return find_bnode_bijection(list(first), list(second)) is not None

@@ -1,0 +1,279 @@
+"""RDF term model.
+
+Immutable, hashable term classes following the RDF 1.1 abstract syntax:
+:class:`NamedNode` (IRIs), :class:`BlankNode`, :class:`Literal`, and the
+SPARQL-only :class:`Variable`.  Terms compare by value, are usable as
+dictionary keys, and render to their N-Triples / SPARQL surface syntax via
+:func:`term_to_ntriples`.
+
+The module also provides typed-literal helpers (:func:`literal_from_python`,
+:meth:`Literal.to_python`) covering the XSD types used by SolidBench data:
+strings, booleans, integers/longs, decimals, doubles, dates and dateTimes.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from datetime import date, datetime, timezone
+from decimal import Decimal
+from typing import Union
+
+__all__ = [
+    "Term",
+    "NamedNode",
+    "BlankNode",
+    "Literal",
+    "Variable",
+    "XSD",
+    "RDF_LANGSTRING",
+    "XSD_STRING",
+    "XSD_BOOLEAN",
+    "XSD_INTEGER",
+    "XSD_LONG",
+    "XSD_INT",
+    "XSD_DECIMAL",
+    "XSD_DOUBLE",
+    "XSD_FLOAT",
+    "XSD_DATE",
+    "XSD_DATETIME",
+    "literal_from_python",
+    "term_to_ntriples",
+    "escape_string_literal",
+    "unescape_string_literal",
+]
+
+XSD = "http://www.w3.org/2001/XMLSchema#"
+XSD_STRING = XSD + "string"
+XSD_BOOLEAN = XSD + "boolean"
+XSD_INTEGER = XSD + "integer"
+XSD_LONG = XSD + "long"
+XSD_INT = XSD + "int"
+XSD_DECIMAL = XSD + "decimal"
+XSD_DOUBLE = XSD + "double"
+XSD_FLOAT = XSD + "float"
+XSD_DATE = XSD + "date"
+XSD_DATETIME = XSD + "dateTime"
+RDF_LANGSTRING = "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString"
+
+_NUMERIC_DATATYPES = frozenset(
+    {
+        XSD_INTEGER,
+        XSD_LONG,
+        XSD_INT,
+        XSD_DECIMAL,
+        XSD_DOUBLE,
+        XSD_FLOAT,
+        XSD + "short",
+        XSD + "byte",
+        XSD + "nonNegativeInteger",
+        XSD + "nonPositiveInteger",
+        XSD + "negativeInteger",
+        XSD + "positiveInteger",
+        XSD + "unsignedLong",
+        XSD + "unsignedInt",
+        XSD + "unsignedShort",
+        XSD + "unsignedByte",
+    }
+)
+
+_INTEGER_DATATYPES = _NUMERIC_DATATYPES - {XSD_DECIMAL, XSD_DOUBLE, XSD_FLOAT}
+
+
+@dataclass(frozen=True, slots=True)
+class NamedNode:
+    """An IRI reference term.
+
+    The ``value`` is stored as given; callers are expected to pass absolute
+    IRIs (relative resolution happens in the parsers).
+    """
+
+    value: str
+
+    def __str__(self) -> str:
+        return f"<{self.value}>"
+
+    def __repr__(self) -> str:
+        return f"NamedNode({self.value!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class BlankNode:
+    """A blank node with a document/store-scoped label."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return f"_:{self.value}"
+
+    def __repr__(self) -> str:
+        return f"BlankNode({self.value!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A SPARQL variable (``?name``); never appears in stored data."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return f"?{self.value}"
+
+    def __repr__(self) -> str:
+        return f"Variable({self.value!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """An RDF literal with lexical form, optional language tag and datatype.
+
+    Plain literals default to ``xsd:string``; language-tagged literals get
+    ``rdf:langString`` per RDF 1.1.
+    """
+
+    value: str
+    language: str = ""
+    datatype: str = field(default=XSD_STRING)
+
+    def __post_init__(self) -> None:
+        if self.language:
+            object.__setattr__(self, "language", self.language.lower())
+            object.__setattr__(self, "datatype", RDF_LANGSTRING)
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.datatype in _NUMERIC_DATATYPES
+
+    @property
+    def is_integer(self) -> bool:
+        return self.datatype in _INTEGER_DATATYPES
+
+    def to_python(self) -> Union[str, int, float, bool, Decimal, date, datetime]:
+        """Convert to the closest native Python value.
+
+        Raises :class:`ValueError` when the lexical form is invalid for the
+        datatype (ill-typed literal).
+        """
+        dt = self.datatype
+        if dt in _INTEGER_DATATYPES:
+            return int(self.value)
+        if dt == XSD_DECIMAL:
+            return Decimal(self.value)
+        if dt in (XSD_DOUBLE, XSD_FLOAT):
+            return float(self.value)
+        if dt == XSD_BOOLEAN:
+            if self.value in ("true", "1"):
+                return True
+            if self.value in ("false", "0"):
+                return False
+            raise ValueError(f"invalid xsd:boolean lexical form: {self.value!r}")
+        if dt == XSD_DATETIME:
+            return _parse_datetime(self.value)
+        if dt == XSD_DATE:
+            return date.fromisoformat(self.value)
+        return self.value
+
+    def __str__(self) -> str:
+        return term_to_ntriples(self)
+
+    def __repr__(self) -> str:
+        if self.language:
+            return f"Literal({self.value!r}, language={self.language!r})"
+        if self.datatype != XSD_STRING:
+            return f"Literal({self.value!r}, datatype={self.datatype!r})"
+        return f"Literal({self.value!r})"
+
+
+Term = Union[NamedNode, BlankNode, Literal, Variable]
+
+
+def _parse_datetime(lexical: str) -> datetime:
+    """Parse an ``xsd:dateTime`` lexical form, handling trailing ``Z``."""
+    text = lexical
+    if text.endswith("Z"):
+        text = text[:-1] + "+00:00"
+    parsed = datetime.fromisoformat(text)
+    if parsed.tzinfo is None:
+        parsed = parsed.replace(tzinfo=timezone.utc)
+    return parsed
+
+
+def literal_from_python(value: Union[str, int, float, bool, Decimal, date, datetime]) -> Literal:
+    """Build a typed literal from a native Python value."""
+    if isinstance(value, bool):
+        return Literal("true" if value else "false", datatype=XSD_BOOLEAN)
+    if isinstance(value, int):
+        return Literal(str(value), datatype=XSD_INTEGER)
+    if isinstance(value, float):
+        return Literal(repr(value), datatype=XSD_DOUBLE)
+    if isinstance(value, Decimal):
+        return Literal(str(value), datatype=XSD_DECIMAL)
+    if isinstance(value, datetime):
+        return Literal(value.isoformat(), datatype=XSD_DATETIME)
+    if isinstance(value, date):
+        return Literal(value.isoformat(), datatype=XSD_DATE)
+    if isinstance(value, str):
+        return Literal(value)
+    raise TypeError(f"cannot convert {type(value).__name__} to an RDF literal")
+
+
+_ESCAPES = {
+    "\\": "\\\\",
+    '"': '\\"',
+    "\n": "\\n",
+    "\r": "\\r",
+    "\t": "\\t",
+    "\b": "\\b",
+    "\f": "\\f",
+}
+
+_UNESCAPES = {
+    "\\": "\\",
+    '"': '"',
+    "'": "'",
+    "n": "\n",
+    "r": "\r",
+    "t": "\t",
+    "b": "\b",
+    "f": "\f",
+}
+
+_ESCAPE_RE = re.compile(r'[\\"\n\r\t\b\f]')
+_UNESCAPE_RE = re.compile(r"\\(u[0-9a-fA-F]{4}|U[0-9a-fA-F]{8}|.)")
+
+
+def escape_string_literal(text: str) -> str:
+    """Escape a string for inclusion in a double-quoted Turtle/N-Triples literal."""
+    return _ESCAPE_RE.sub(lambda match: _ESCAPES[match.group(0)], text)
+
+
+def unescape_string_literal(text: str) -> str:
+    """Reverse :func:`escape_string_literal`, including ``\\uXXXX`` forms."""
+
+    def _sub(match: re.Match[str]) -> str:
+        body = match.group(1)
+        if body[0] in "uU":
+            return chr(int(body[1:], 16))
+        if body in _UNESCAPES:
+            return _UNESCAPES[body]
+        raise ValueError(f"invalid escape sequence: \\{body}")
+
+    return _UNESCAPE_RE.sub(_sub, text)
+
+
+def term_to_ntriples(term: Term) -> str:
+    """Serialize a term to N-Triples surface syntax (SPARQL syntax for variables)."""
+    if isinstance(term, NamedNode):
+        return f"<{term.value}>"
+    if isinstance(term, BlankNode):
+        return f"_:{term.value}"
+    if isinstance(term, Variable):
+        return f"?{term.value}"
+    if isinstance(term, Literal):
+        body = f'"{escape_string_literal(term.value)}"'
+        if term.language:
+            return f"{body}@{term.language}"
+        if term.datatype and term.datatype != XSD_STRING:
+            return f"{body}^^<{term.datatype}>"
+        return body
+    raise TypeError(f"not an RDF term: {term!r}")

@@ -1,0 +1,104 @@
+"""Triples, quads, and triple patterns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Union
+
+from .terms import BlankNode, Literal, NamedNode, Term, Variable, term_to_ntriples
+
+__all__ = ["Triple", "Quad", "TriplePattern", "SubjectTerm", "PredicateTerm", "ObjectTerm"]
+
+SubjectTerm = Union[NamedNode, BlankNode]
+PredicateTerm = NamedNode
+ObjectTerm = Union[NamedNode, BlankNode, Literal]
+
+
+@dataclass(frozen=True, slots=True)
+class Triple:
+    """An RDF triple (subject, predicate, object)."""
+
+    subject: SubjectTerm
+    predicate: PredicateTerm
+    object: ObjectTerm
+
+    def __iter__(self) -> Iterator[Term]:
+        yield self.subject
+        yield self.predicate
+        yield self.object
+
+    def to_ntriples(self) -> str:
+        return (
+            f"{term_to_ntriples(self.subject)} "
+            f"{term_to_ntriples(self.predicate)} "
+            f"{term_to_ntriples(self.object)} ."
+        )
+
+    def __str__(self) -> str:
+        return self.to_ntriples()
+
+
+@dataclass(frozen=True, slots=True)
+class Quad:
+    """An RDF quad: a triple plus the graph (document IRI) it came from."""
+
+    subject: SubjectTerm
+    predicate: PredicateTerm
+    object: ObjectTerm
+    graph: Optional[NamedNode] = None
+
+    @property
+    def triple(self) -> Triple:
+        return Triple(self.subject, self.predicate, self.object)
+
+    def __iter__(self) -> Iterator[Term]:
+        yield self.subject
+        yield self.predicate
+        yield self.object
+
+    def to_nquads(self) -> str:
+        parts = [
+            term_to_ntriples(self.subject),
+            term_to_ntriples(self.predicate),
+            term_to_ntriples(self.object),
+        ]
+        if self.graph is not None:
+            parts.append(term_to_ntriples(self.graph))
+        return " ".join(parts) + " ."
+
+    def __str__(self) -> str:
+        return self.to_nquads()
+
+
+@dataclass(frozen=True, slots=True)
+class TriplePattern:
+    """A triple pattern: any position may be a :class:`Variable` or ``None``
+    (wildcard).  Used both by the SPARQL algebra (variables) and by the
+    dataset match API (``None`` wildcards)."""
+
+    subject: Optional[Term]
+    predicate: Optional[Term]
+    object: Optional[Term]
+
+    def variables(self) -> set[Variable]:
+        return {t for t in (self.subject, self.predicate, self.object) if isinstance(t, Variable)}
+
+    def matches(self, triple: Triple) -> bool:
+        """Positional match, treating variables and ``None`` as wildcards."""
+        for pattern_term, data_term in zip(self, triple):
+            if pattern_term is None or isinstance(pattern_term, Variable):
+                continue
+            if pattern_term != data_term:
+                return False
+        return True
+
+    def __iter__(self) -> Iterator[Optional[Term]]:
+        yield self.subject
+        yield self.predicate
+        yield self.object
+
+    def __str__(self) -> str:
+        def render(term: Optional[Term]) -> str:
+            return "_" if term is None else term_to_ntriples(term)
+
+        return f"{render(self.subject)} {render(self.predicate)} {render(self.object)}"

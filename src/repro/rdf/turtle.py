@@ -1,0 +1,479 @@
+"""A recursive-descent Turtle parser.
+
+Supports the Turtle constructs that appear in Solid pods and SolidBench
+data — which is nearly the whole language:
+
+* ``@prefix`` / ``@base`` and SPARQL-style ``PREFIX`` / ``BASE``
+* IRIs (with relative-reference resolution against the base), prefixed names
+* the ``a`` keyword
+* predicate-object lists (``;``) and object lists (``,``)
+* literals: short/long quoted strings (single and double quotes), language
+  tags, datatype annotations, numeric shorthands (integer, decimal, double),
+  booleans
+* blank node labels (``_:b``), anonymous blank nodes (``[ ... ]``)
+* RDF collections (``( ... )``)
+* comments
+
+Parse errors raise :class:`TurtleParseError` carrying line/column context.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, Optional
+from urllib.parse import urljoin
+
+from .terms import (
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+    BlankNode,
+    Literal,
+    NamedNode,
+    unescape_string_literal,
+)
+from .namespaces import RDF
+from .triples import ObjectTerm, SubjectTerm, Triple
+
+__all__ = ["TurtleParseError", "TurtleParser", "parse_turtle"]
+
+_RDF_FIRST = RDF.first
+_RDF_REST = RDF.rest
+_RDF_NIL = RDF.nil
+_RDF_TYPE = RDF.type
+
+# PN_CHARS_BASE approximation: broad enough for real-world Turtle, including
+# the full Unicode letter ranges Turtle permits.
+_PN_LOCAL_RE = re.compile(r"[0-9A-Za-z_\-.%À-￿:]*")
+_PREFIX_NAME_RE = re.compile(r"[A-Za-z0-9_\-.À-￿]*")
+_NUMBER_RE = re.compile(
+    r"[+-]?(?:\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?)"
+)
+_LANGTAG_RE = re.compile(r"@[a-zA-Z]+(?:-[a-zA-Z0-9]+)*")
+_BLANK_LABEL_RE = re.compile(r"_:[A-Za-z0-9_\-.À-￿]+")
+_IRIREF_RE = re.compile(r"<([^<>\"{}|^`\\\x00-\x20]*)>")
+
+
+class TurtleParseError(ValueError):
+    """Raised on malformed Turtle input, with 1-based line/column info."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class TurtleParser:
+    """Single-document Turtle parser producing :class:`Triple` instances.
+
+    Blank node labels are scoped to the parser instance; distinct documents
+    parsed with distinct parsers never share blank nodes, matching RDF
+    document semantics.  When ``base_iri`` is set, relative IRIs are resolved
+    against it (and against subsequent ``@base`` directives).
+    """
+
+    def __init__(self, text: str, base_iri: str = "", bnode_prefix: str = "b") -> None:
+        self._text = text
+        self._length = len(text)
+        self._pos = 0
+        self._base = base_iri
+        self._prefixes: dict[str, str] = {}
+        self._bnode_prefix = bnode_prefix
+        self._bnode_counter = 0
+        self._bnode_labels: dict[str, BlankNode] = {}
+        self._triples: list[Triple] = []
+
+    # -- public API --------------------------------------------------------
+
+    def parse(self) -> list[Triple]:
+        """Parse the whole document and return its triples in order."""
+        self._skip_ws()
+        while self._pos < self._length:
+            self._parse_statement()
+            self._skip_ws()
+        return self._triples
+
+    @property
+    def prefixes(self) -> dict[str, str]:
+        """Prefix map collected from the document's directives."""
+        return dict(self._prefixes)
+
+    # -- statement level ----------------------------------------------------
+
+    def _parse_statement(self) -> None:
+        if self._peek_is("@prefix"):
+            self._expect_token("@prefix")
+            self._parse_prefix_directive(require_dot=True)
+            return
+        if self._peek_is("@base"):
+            self._expect_token("@base")
+            self._parse_base_directive(require_dot=True)
+            return
+        if self._peek_keyword_ci("PREFIX"):
+            self._parse_prefix_directive(require_dot=False)
+            return
+        if self._peek_keyword_ci("BASE"):
+            self._parse_base_directive(require_dot=False)
+            return
+        self._parse_triples_block()
+
+    def _parse_prefix_directive(self, require_dot: bool) -> None:
+        self._skip_ws()
+        name = self._read_prefix_name()
+        self._skip_ws()
+        iri = self._read_iriref()
+        self._prefixes[name] = iri
+        if require_dot:
+            self._skip_ws()
+            self._expect_char(".")
+
+    def _parse_base_directive(self, require_dot: bool) -> None:
+        self._skip_ws()
+        iri = self._read_iriref()
+        self._base = iri
+        if require_dot:
+            self._skip_ws()
+            self._expect_char(".")
+
+    def _parse_triples_block(self) -> None:
+        char = self._peek_char()
+        if char == "[":
+            subject = self._parse_blank_node_property_list()
+            self._skip_ws()
+            # A bare "[...] ." statement is legal; predicates optional then.
+            if self._peek_char() != ".":
+                self._parse_predicate_object_list(subject)
+        elif char == "(":
+            subject = self._parse_collection()
+            self._skip_ws()
+            self._parse_predicate_object_list(subject)
+        else:
+            subject = self._parse_subject()
+            self._skip_ws()
+            self._parse_predicate_object_list(subject)
+        self._skip_ws()
+        self._expect_char(".")
+
+    def _parse_predicate_object_list(self, subject: SubjectTerm) -> None:
+        while True:
+            self._skip_ws()
+            predicate = self._parse_predicate()
+            while True:
+                self._skip_ws()
+                obj = self._parse_object()
+                self._triples.append(Triple(subject, predicate, obj))
+                self._skip_ws()
+                if self._peek_char() == ",":
+                    self._advance()
+                    continue
+                break
+            if self._peek_char() == ";":
+                self._advance()
+                self._skip_ws()
+                # Trailing semicolons before "." or "]" are legal.
+                if self._peek_char() in ".];,":
+                    continue_chars = self._peek_char()
+                    if continue_chars in ".]":
+                        return
+                continue
+            return
+
+    # -- term level ----------------------------------------------------------
+
+    def _parse_subject(self) -> SubjectTerm:
+        char = self._peek_char()
+        if char == "<":
+            return NamedNode(self._read_iriref())
+        if char == "_":
+            return self._read_blank_node_label()
+        term = self._read_prefixed_name()
+        return term
+
+    def _parse_predicate(self) -> NamedNode:
+        char = self._peek_char()
+        if char == "<":
+            return NamedNode(self._read_iriref())
+        if char == "a" and self._is_bare_a():
+            self._advance()
+            return _RDF_TYPE
+        term = self._read_prefixed_name()
+        return term
+
+    def _parse_object(self) -> ObjectTerm:
+        char = self._peek_char()
+        if char == "<":
+            return NamedNode(self._read_iriref())
+        if char == "_":
+            return self._read_blank_node_label()
+        if char == "[":
+            return self._parse_blank_node_property_list()
+        if char == "(":
+            return self._parse_collection()
+        if char in "\"'":
+            return self._read_rdf_literal()
+        if char.isdigit() or char in "+-." and self._looks_numeric():
+            return self._read_numeric_literal()
+        if self._peek_is("true") and self._boundary_after(4):
+            self._pos += 4
+            return Literal("true", datatype=XSD_BOOLEAN)
+        if self._peek_is("false") and self._boundary_after(5):
+            self._pos += 5
+            return Literal("false", datatype=XSD_BOOLEAN)
+        return self._read_prefixed_name()
+
+    def _parse_blank_node_property_list(self) -> BlankNode:
+        self._expect_char("[")
+        node = self._fresh_bnode()
+        self._skip_ws()
+        if self._peek_char() != "]":
+            self._parse_predicate_object_list(node)
+            self._skip_ws()
+        self._expect_char("]")
+        return node
+
+    def _parse_collection(self) -> SubjectTerm:
+        self._expect_char("(")
+        self._skip_ws()
+        items: list[ObjectTerm] = []
+        while self._peek_char() != ")":
+            items.append(self._parse_object())
+            self._skip_ws()
+        self._advance()  # consume ")"
+        if not items:
+            return _RDF_NIL
+        head = self._fresh_bnode()
+        current = head
+        for index, item in enumerate(items):
+            self._triples.append(Triple(current, _RDF_FIRST, item))
+            if index + 1 < len(items):
+                next_node = self._fresh_bnode()
+                self._triples.append(Triple(current, _RDF_REST, next_node))
+                current = next_node
+            else:
+                self._triples.append(Triple(current, _RDF_REST, _RDF_NIL))
+        return head
+
+    # -- lexical level --------------------------------------------------------
+
+    def _read_iriref(self) -> str:
+        match = _IRIREF_RE.match(self._text, self._pos)
+        if not match:
+            self._fail("expected IRI reference")
+        self._pos = match.end()
+        raw = match.group(1)
+        if "\\" in raw:
+            raw = unescape_string_literal(raw)
+        if self._base and not _is_absolute_iri(raw):
+            return urljoin(self._base, raw)
+        return raw
+
+    def _read_prefix_name(self) -> str:
+        start = self._pos
+        match = _PREFIX_NAME_RE.match(self._text, self._pos)
+        if match:
+            self._pos = match.end()
+        name = self._text[start:self._pos]
+        self._expect_char(":")
+        return name
+
+    def _read_prefixed_name(self) -> NamedNode:
+        start = self._pos
+        colon = -1
+        # Scan prefix part up to ':'
+        while self._pos < self._length:
+            char = self._text[self._pos]
+            if char == ":":
+                colon = self._pos
+                self._pos += 1
+                break
+            if not (char.isalnum() or char in "_-." or ord(char) >= 0xC0):
+                break
+            self._pos += 1
+        if colon < 0:
+            self._fail("expected prefixed name")
+        prefix = self._text[start:colon]
+        if prefix not in self._prefixes:
+            self._fail(f"undefined prefix {prefix!r}")
+        local_match = _PN_LOCAL_RE.match(self._text, self._pos)
+        local = ""
+        if local_match:
+            local = local_match.group(0)
+            self._pos = local_match.end()
+        # PN_LOCAL cannot end with '.'; give trailing dots back to the stream.
+        while local.endswith("."):
+            local = local[:-1]
+            self._pos -= 1
+        if "\\" in local:
+            local = re.sub(r"\\(.)", r"\1", local)
+        local = local.replace("%%", "%")
+        return NamedNode(self._prefixes[prefix] + local)
+
+    def _read_blank_node_label(self) -> BlankNode:
+        match = _BLANK_LABEL_RE.match(self._text, self._pos)
+        if not match:
+            self._fail("expected blank node label")
+        self._pos = match.end()
+        label = match.group(0)[2:]
+        while label.endswith("."):
+            label = label[:-1]
+            self._pos -= 1
+        if label not in self._bnode_labels:
+            self._bnode_labels[label] = self._fresh_bnode(hint=label)
+        return self._bnode_labels[label]
+
+    def _read_rdf_literal(self) -> Literal:
+        value = self._read_string_body()
+        language = ""
+        datatype = ""
+        if self._peek_char(eof_ok=True) == "@":
+            match = _LANGTAG_RE.match(self._text, self._pos)
+            if not match:
+                self._fail("malformed language tag")
+            language = match.group(0)[1:]
+            self._pos = match.end()
+        elif self._text.startswith("^^", self._pos):
+            self._pos += 2
+            if self._peek_char() == "<":
+                datatype = self._read_iriref()
+            else:
+                datatype = self._read_prefixed_name().value
+        if language:
+            return Literal(value, language=language)
+        if datatype:
+            return Literal(value, datatype=datatype)
+        return Literal(value)
+
+    def _read_string_body(self) -> str:
+        quote = self._text[self._pos]
+        long_quote = quote * 3
+        if self._text.startswith(long_quote, self._pos):
+            end = self._text.find(long_quote, self._pos + 3)
+            while end > 0 and _escaped_at(self._text, end):
+                end = self._text.find(long_quote, end + 1)
+            if end < 0:
+                self._fail("unterminated long string literal")
+            raw = self._text[self._pos + 3:end]
+            self._pos = end + 3
+            return unescape_string_literal(raw)
+        # Short string: scan for the closing quote, honoring escapes.
+        index = self._pos + 1
+        while index < self._length:
+            char = self._text[index]
+            if char == "\\":
+                index += 2
+                continue
+            if char == quote:
+                raw = self._text[self._pos + 1:index]
+                self._pos = index + 1
+                return unescape_string_literal(raw)
+            if char == "\n":
+                break
+            index += 1
+        self._fail("unterminated string literal")
+        raise AssertionError  # unreachable
+
+    def _read_numeric_literal(self) -> Literal:
+        match = _NUMBER_RE.match(self._text, self._pos)
+        if not match:
+            self._fail("malformed numeric literal")
+        lexical = match.group(0)
+        self._pos = match.end()
+        if "e" in lexical or "E" in lexical:
+            return Literal(lexical, datatype=XSD_DOUBLE)
+        if "." in lexical:
+            return Literal(lexical, datatype=XSD_DECIMAL)
+        return Literal(lexical, datatype=XSD_INTEGER)
+
+    def _looks_numeric(self) -> bool:
+        match = _NUMBER_RE.match(self._text, self._pos)
+        return match is not None and match.end() > self._pos
+
+    def _is_bare_a(self) -> bool:
+        after = self._pos + 1
+        return after >= self._length or self._text[after].isspace() or self._text[after] in "<[#\"'"
+
+    def _boundary_after(self, length: int) -> bool:
+        after = self._pos + length
+        if after >= self._length:
+            return True
+        char = self._text[after]
+        return not (char.isalnum() or char in "_-:")
+
+    # -- low-level cursor helpers ---------------------------------------------
+
+    def _fresh_bnode(self, hint: str = "") -> BlankNode:
+        self._bnode_counter += 1
+        suffix = f"_{hint}" if hint else ""
+        return BlankNode(f"{self._bnode_prefix}{self._bnode_counter}{suffix}")
+
+    def _skip_ws(self) -> None:
+        while self._pos < self._length:
+            char = self._text[self._pos]
+            if char in " \t\r\n":
+                self._pos += 1
+            elif char == "#":
+                newline = self._text.find("\n", self._pos)
+                self._pos = self._length if newline < 0 else newline + 1
+            else:
+                return
+
+    def _peek_char(self, eof_ok: bool = False) -> str:
+        if self._pos >= self._length:
+            if eof_ok:
+                return ""
+            self._fail("unexpected end of input")
+        return self._text[self._pos]
+
+    def _peek_is(self, token: str) -> bool:
+        return self._text.startswith(token, self._pos)
+
+    def _peek_keyword_ci(self, keyword: str) -> bool:
+        end = self._pos + len(keyword)
+        if self._text[self._pos:end].upper() != keyword:
+            return False
+        if end < self._length and not self._text[end].isspace() and self._text[end] != "<":
+            return False
+        self._pos = end
+        return True
+
+    def _expect_token(self, token: str) -> None:
+        if not self._peek_is(token):
+            self._fail(f"expected {token!r}")
+        self._pos += len(token)
+
+    def _expect_char(self, char: str) -> None:
+        if self._peek_char() != char:
+            self._fail(f"expected {char!r}, found {self._peek_char()!r}")
+        self._pos += 1
+
+    def _advance(self) -> None:
+        self._pos += 1
+
+    def _fail(self, message: str) -> None:
+        consumed = self._text[:self._pos]
+        line = consumed.count("\n") + 1
+        column = self._pos - (consumed.rfind("\n") + 1) + 1
+        raise TurtleParseError(message, line, column)
+
+
+def _escaped_at(text: str, index: int) -> bool:
+    backslashes = 0
+    index -= 1
+    while index >= 0 and text[index] == "\\":
+        backslashes += 1
+        index -= 1
+    return backslashes % 2 == 1
+
+
+def _is_absolute_iri(iri: str) -> bool:
+    scheme_end = iri.find(":")
+    if scheme_end <= 0:
+        return False
+    scheme = iri[:scheme_end]
+    return scheme.isalpha() or all(c.isalnum() or c in "+-." for c in scheme)
+
+
+def parse_turtle(text: str, base_iri: str = "", bnode_prefix: str = "b") -> list[Triple]:
+    """Parse a Turtle document into a list of triples."""
+    return TurtleParser(text, base_iri=base_iri, bnode_prefix=bnode_prefix).parse()

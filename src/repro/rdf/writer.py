@@ -1,0 +1,157 @@
+"""Turtle serialization with prefix compaction and subject grouping."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Mapping, Optional
+
+from .namespaces import PREFIXES, RDF
+from .terms import (
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_INTEGER,
+    XSD_STRING,
+    BlankNode,
+    Literal,
+    NamedNode,
+    Term,
+    escape_string_literal,
+)
+from .triples import Triple
+
+__all__ = ["TurtleWriter", "serialize_turtle"]
+
+_RDF_TYPE = RDF.type
+
+# Characters allowed unescaped in a PN_LOCAL tail (approximation).
+_LOCAL_SAFE = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-")
+
+
+class TurtleWriter:
+    """Serialize triples as readable Turtle.
+
+    Groups statements by subject with ``;``/``,`` shorthand, compacts IRIs
+    using the supplied prefix map (only prefixes that are actually used are
+    emitted), uses ``a`` for ``rdf:type``, and renders plain
+    integer/decimal/boolean literals with their native shorthand.
+    """
+
+    def __init__(
+        self,
+        prefixes: Optional[Mapping[str, str]] = None,
+        base_iri: str = "",
+    ) -> None:
+        self._prefixes = dict(prefixes if prefixes is not None else PREFIXES)
+        self._base = base_iri
+        # Longest-first so that nested namespaces compact correctly.
+        self._sorted_prefixes = sorted(
+            self._prefixes.items(), key=lambda item: len(item[1]), reverse=True
+        )
+
+    def serialize(self, triples: Iterable[Triple]) -> str:
+        grouped: dict[Term, list[Triple]] = defaultdict(list)
+        order: list[Term] = []
+        for triple in triples:
+            if triple.subject not in grouped:
+                order.append(triple.subject)
+            grouped[triple.subject].append(triple)
+
+        used_prefixes: set[str] = set()
+        body_lines: list[str] = []
+        for subject in order:
+            body_lines.append(self._render_subject_block(subject, grouped[subject], used_prefixes))
+
+        header_lines = []
+        if self._base:
+            header_lines.append(f"@base <{self._base}> .")
+        for name, iri in sorted(self._prefixes.items()):
+            if name in used_prefixes:
+                header_lines.append(f"@prefix {name}: <{iri}> .")
+        header = "\n".join(header_lines)
+        body = "\n".join(body_lines)
+        if header and body:
+            return header + "\n\n" + body + "\n"
+        return (header or body) + ("\n" if (header or body) else "")
+
+    def _render_subject_block(
+        self, subject: Term, triples: list[Triple], used: set[str]
+    ) -> str:
+        by_predicate: dict[Term, list[Term]] = defaultdict(list)
+        predicate_order: list[Term] = []
+        for triple in triples:
+            if triple.predicate not in by_predicate:
+                predicate_order.append(triple.predicate)
+            by_predicate[triple.predicate].append(triple.object)
+
+        # rdf:type first, per Turtle convention.
+        if _RDF_TYPE in by_predicate and predicate_order[0] != _RDF_TYPE:
+            predicate_order.remove(_RDF_TYPE)
+            predicate_order.insert(0, _RDF_TYPE)
+
+        lines = [self._render_term(subject, used)]
+        for index, predicate in enumerate(predicate_order):
+            rendered_predicate = (
+                "a" if predicate == _RDF_TYPE else self._render_term(predicate, used)
+            )
+            objects = ", ".join(
+                self._render_term(obj, used) for obj in by_predicate[predicate]
+            )
+            terminator = " ;" if index + 1 < len(predicate_order) else " ."
+            lines.append(f"    {rendered_predicate} {objects}{terminator}")
+        return "\n".join(lines)
+
+    def _render_term(self, term: Term, used: set[str]) -> str:
+        if isinstance(term, NamedNode):
+            return self._render_iri(term.value, used)
+        if isinstance(term, BlankNode):
+            return f"_:{term.value}"
+        if isinstance(term, Literal):
+            return self._render_literal(term, used)
+        raise TypeError(f"cannot serialize term {term!r}")
+
+    def _render_iri(self, iri: str, used: set[str]) -> str:
+        for name, base in self._sorted_prefixes:
+            if iri.startswith(base):
+                local = iri[len(base):]
+                if local and all(c in _LOCAL_SAFE for c in local):
+                    used.add(name)
+                    return f"{name}:{local}"
+        if self._base and iri.startswith(self._base):
+            return f"<{iri[len(self._base):]}>"
+        return f"<{iri}>"
+
+    def _render_literal(self, literal: Literal, used: set[str]) -> str:
+        if literal.datatype == XSD_INTEGER and _is_plain_integer(literal.value):
+            return literal.value
+        if literal.datatype == XSD_BOOLEAN and literal.value in ("true", "false"):
+            return literal.value
+        if literal.datatype == XSD_DECIMAL and _is_plain_decimal(literal.value):
+            return literal.value
+        body = f'"{escape_string_literal(literal.value)}"'
+        if literal.language:
+            return f"{body}@{literal.language}"
+        if literal.datatype and literal.datatype != XSD_STRING:
+            return f"{body}^^{self._render_iri(literal.datatype, used)}"
+        return body
+
+
+def _is_plain_integer(lexical: str) -> bool:
+    body = lexical[1:] if lexical[:1] in "+-" else lexical
+    return body.isdigit() and bool(body)
+
+
+def _is_plain_decimal(lexical: str) -> bool:
+    body = lexical[1:] if lexical[:1] in "+-" else lexical
+    if body.count(".") != 1:
+        return False
+    integral, fractional = body.split(".")
+    return bool(fractional) and (integral or fractional).isdigit() and fractional.isdigit()
+
+
+def serialize_turtle(
+    triples: Iterable[Triple],
+    prefixes: Optional[Mapping[str, str]] = None,
+    base_iri: str = "",
+) -> str:
+    """Serialize triples as Turtle text with the given prefix map."""
+    return TurtleWriter(prefixes=prefixes, base_iri=base_iri).serialize(triples)

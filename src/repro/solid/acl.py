@@ -1,0 +1,130 @@
+"""Web Access Control (WAC) for simulated Solid pods.
+
+The paper's engine supports authenticated querying: "users log into the
+query engine using their Solid WebID, after which the query engine will
+execute queries on their behalf across all data the user can access."
+This module provides the server side of that: per-resource ACL rules with
+the standard WAC agent categories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Optional
+
+from ..rdf.namespaces import ACL as ACL_NS, FOAF, RDF
+from ..rdf.terms import NamedNode
+from ..rdf.triples import Triple
+
+__all__ = ["AccessMode", "AclRule", "AccessControlList", "acl_document_triples"]
+
+
+class AccessMode(str, Enum):
+    READ = "Read"
+    WRITE = "Write"
+    APPEND = "Append"
+    CONTROL = "Control"
+
+
+@dataclass(slots=True)
+class AclRule:
+    """One WAC authorization.
+
+    ``agents``: explicitly allowed WebIDs.  ``public`` allows every agent
+    (``acl:agentClass foaf:Agent``); ``authenticated`` allows any logged-in
+    agent (``acl:agentClass acl:AuthenticatedAgent``).
+    """
+
+    modes: frozenset[AccessMode] = frozenset({AccessMode.READ})
+    agents: frozenset[str] = frozenset()
+    public: bool = False
+    authenticated: bool = False
+
+    def allows(self, webid: Optional[str], mode: AccessMode) -> bool:
+        if mode not in self.modes:
+            return False
+        if self.public:
+            return True
+        if self.authenticated and webid is not None:
+            return True
+        return webid is not None and webid in self.agents
+
+
+class AccessControlList:
+    """Resource-path → rules mapping with container inheritance.
+
+    Rules attach to pod-relative paths.  A rule on a container path (ending
+    in ``/`` or the empty string for the root) is inherited by everything
+    beneath it unless a more specific rule exists — mirroring WAC's
+    ``acl:default`` semantics.
+    """
+
+    def __init__(self, owner_webid: str) -> None:
+        self._owner = owner_webid
+        self._rules: dict[str, list[AclRule]] = {}
+        # Default: the whole pod is publicly readable (SolidBench default).
+        self.grant("", AclRule(public=True))
+
+    @property
+    def owner(self) -> str:
+        return self._owner
+
+    def grant(self, path: str, rule: AclRule) -> None:
+        self._rules.setdefault(path, []).append(rule)
+
+    def has_rule(self, path: str) -> bool:
+        """True when an explicit (non-inherited) rule exists for ``path``."""
+        return path in self._rules
+
+    def restrict(self, path: str, agents: Iterable[str] = (), authenticated: bool = False) -> None:
+        """Make ``path`` private: readable only by owner + ``agents``."""
+        allowed = frozenset(agents) | {self._owner}
+        self._rules[path] = [
+            AclRule(
+                modes=frozenset({AccessMode.READ}),
+                agents=allowed,
+                authenticated=authenticated,
+            )
+        ]
+
+    def rules_for(self, path: str) -> list[AclRule]:
+        """Effective rules: most specific matching path wins."""
+        if path in self._rules:
+            return self._rules[path]
+        # Walk up the container hierarchy.
+        current = path
+        while current:
+            slash = current.rstrip("/").rfind("/")
+            if slash < 0:
+                current = ""
+            else:
+                current = current[: slash + 1]
+            if current in self._rules:
+                return self._rules[current]
+            if current == "":
+                break
+        return self._rules.get("", [])
+
+    def allows(self, path: str, webid: Optional[str], mode: AccessMode = AccessMode.READ) -> bool:
+        if webid is not None and webid == self._owner:
+            return True  # owners always control their pods
+        return any(rule.allows(webid, mode) for rule in self.rules_for(path))
+
+
+def acl_document_triples(resource_url: str, acl_url: str, rules: list[AclRule]) -> list[Triple]:
+    """Render rules as a WAC RDF document (for serving ``.acl`` resources)."""
+    triples: list[Triple] = []
+    for index, rule in enumerate(rules):
+        auth = NamedNode(f"{acl_url}#authorization{index}")
+        triples.append(Triple(auth, RDF.type, ACL_NS.Authorization))
+        triples.append(Triple(auth, ACL_NS.accessTo, NamedNode(resource_url)))
+        for mode in sorted(rule.modes, key=lambda m: m.value):
+            triples.append(Triple(auth, ACL_NS.mode, ACL_NS[mode.value]))
+        if rule.public:
+            triples.append(Triple(auth, ACL_NS.agentClass, FOAF.Agent))
+        if rule.authenticated:
+            triples.append(Triple(auth, ACL_NS.agentClass, ACL_NS.AuthenticatedAgent))
+        for agent in sorted(rule.agents):
+            triples.append(Triple(auth, ACL_NS.agent, NamedNode(agent)))
+    return triples

@@ -1,0 +1,78 @@
+"""Simulated Solid-OIDC authentication.
+
+The real demo logs users in through a Solid OIDC issuer and attaches DPoP
+tokens to every engine request.  The behaviour the engine depends on is
+simply: *a request carries a token; the server resolves it to a WebID and
+enforces ACLs against it*.  :class:`IdentityProvider` reproduces exactly
+that: it issues opaque bearer tokens bound to WebIDs and validates them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Optional
+
+__all__ = ["IdentityProvider", "AuthSession"]
+
+
+class AuthSession:
+    """A logged-in identity: attach :attr:`headers` to engine requests."""
+
+    def __init__(self, webid: str, token: str) -> None:
+        self.webid = webid
+        self.token = token
+
+    @property
+    def headers(self) -> dict[str, str]:
+        return {"authorization": f"Bearer {self.token}"}
+
+    def __repr__(self) -> str:
+        return f"<AuthSession for {self.webid}>"
+
+
+class IdentityProvider:
+    """Issues and validates bearer tokens for WebIDs.
+
+    Tokens are HMAC-derived from a server secret, so validation is
+    stateless and deterministic; revocation is supported through an
+    explicit denylist.
+    """
+
+    def __init__(self, issuer_url: str, secret: bytes = b"solid-sim-secret") -> None:
+        self.issuer_url = issuer_url.rstrip("/") + "/"
+        self._secret = secret
+        self._revoked: set[str] = set()
+        self._tokens: dict[str, str] = {}
+
+    def login(self, webid: str) -> AuthSession:
+        """Authenticate as ``webid`` (the simulation trusts the caller —
+        it plays both the user and the issuer)."""
+        token = self._mint(webid)
+        self._tokens[token] = webid
+        return AuthSession(webid, token)
+
+    def _mint(self, webid: str) -> str:
+        digest = hmac.new(self._secret, webid.encode("utf-8"), hashlib.sha256)
+        return digest.hexdigest()
+
+    def resolve(self, token: Optional[str]) -> Optional[str]:
+        """Return the WebID for a valid, unrevoked token, else ``None``."""
+        if not token or token in self._revoked:
+            return None
+        webid = self._tokens.get(token)
+        if webid is not None and self._mint(webid) == token:
+            return webid
+        return None
+
+    def resolve_authorization_header(self, header_value: str) -> Optional[str]:
+        """Extract and resolve a ``Bearer`` token from an Authorization header."""
+        if not header_value:
+            return None
+        scheme, _, token = header_value.partition(" ")
+        if scheme.lower() != "bearer":
+            return None
+        return self.resolve(token.strip())
+
+    def revoke(self, token: str) -> None:
+        self._revoked.add(token)

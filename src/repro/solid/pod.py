@@ -1,0 +1,220 @@
+"""Solid pod data model.
+
+A pod is a hierarchy of RDF documents rooted at a base URL, exposed through
+LDP containers (Listing 1 of the paper), owned by an agent identified by a
+WebID (Listing 2), and optionally indexed by a Solid Type Index
+(Listing 3).  This module models the *contents*; :mod:`repro.solid.server`
+serves them over the simulated Web.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from ..rdf.namespaces import FOAF, LDP, PIM, RDF, SOLID
+from ..rdf.terms import Literal, NamedNode
+from ..rdf.triples import Triple
+from ..rdf.writer import serialize_turtle
+
+__all__ = ["PodDocument", "Pod"]
+
+
+@dataclass(slots=True)
+class PodDocument:
+    """One RDF document stored in a pod.
+
+    ``path`` is pod-relative without a leading slash (``profile/card``).
+    ``public`` documents are world-readable; private ones require an
+    authorized WebID (see :mod:`repro.solid.acl`).
+    """
+
+    path: str
+    triples: list[Triple] = field(default_factory=list)
+    public: bool = True
+
+    def __post_init__(self) -> None:
+        if self.path.startswith("/"):
+            raise ValueError("document paths are pod-relative (no leading slash)")
+        if self.path.endswith("/"):
+            raise ValueError("document paths must not end with '/' (that's a container)")
+
+
+class Pod:
+    """A Solid personal data pod.
+
+    The pod derives its LDP container tree from document paths: storing
+    ``posts/2010-10-12`` implies containers ``/`` and ``posts/``.  Container
+    representations (Listing 1) are generated on demand.
+    """
+
+    def __init__(self, base_url: str, owner_name: str = "", oidc_issuer: str = "") -> None:
+        if not base_url.endswith("/"):
+            base_url += "/"
+        self.base_url = base_url
+        self.owner_name = owner_name
+        self.oidc_issuer = oidc_issuer or base_url
+        self._documents: dict[str, PodDocument] = {}
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+
+    @property
+    def profile_path(self) -> str:
+        return "profile/card"
+
+    @property
+    def profile_url(self) -> str:
+        return self.base_url + self.profile_path
+
+    @property
+    def webid(self) -> str:
+        return self.profile_url + "#me"
+
+    @property
+    def type_index_path(self) -> str:
+        return "settings/publicTypeIndex"
+
+    @property
+    def type_index_url(self) -> str:
+        return self.base_url + self.type_index_path
+
+    # ------------------------------------------------------------------
+    # documents
+    # ------------------------------------------------------------------
+
+    def add_document(
+        self, path: str, triples: Iterable[Triple], public: bool = True
+    ) -> PodDocument:
+        document = PodDocument(path=path, triples=list(triples), public=public)
+        self._documents[path] = document
+        return document
+
+    def document(self, path: str) -> Optional[PodDocument]:
+        return self._documents.get(path)
+
+    def has_document(self, path: str) -> bool:
+        return path in self._documents
+
+    def document_paths(self) -> list[str]:
+        return sorted(self._documents)
+
+    def documents(self) -> Iterator[PodDocument]:
+        return iter(self._documents.values())
+
+    def document_url(self, path: str) -> str:
+        return self.base_url + path
+
+    def triple_count(self) -> int:
+        return sum(len(d.triples) for d in self._documents.values())
+
+    # ------------------------------------------------------------------
+    # LDP containers
+    # ------------------------------------------------------------------
+
+    def container_paths(self) -> set[str]:
+        """All container paths implied by stored documents ('' = root)."""
+        containers: set[str] = {""}
+        for path in self._documents:
+            parts = path.split("/")[:-1]
+            for index in range(len(parts)):
+                containers.add("/".join(parts[: index + 1]) + "/")
+        return containers
+
+    def is_container(self, path: str) -> bool:
+        if path in ("", "/"):
+            return True
+        return path.rstrip("/") + "/" in self.container_paths()
+
+    def container_members(self, container_path: str) -> tuple[list[str], list[str]]:
+        """Direct (document_paths, child_container_paths) of a container."""
+        prefix = "" if container_path in ("", "/") else container_path.rstrip("/") + "/"
+        documents: list[str] = []
+        children: set[str] = set()
+        for path in self._documents:
+            if not path.startswith(prefix):
+                continue
+            remainder = path[len(prefix):]
+            if "/" in remainder:
+                children.add(prefix + remainder.split("/", 1)[0] + "/")
+            else:
+                documents.append(path)
+        return sorted(documents), sorted(children)
+
+    def container_triples(self, container_path: str) -> list[Triple]:
+        """The LDP representation of a container (paper Listing 1)."""
+        prefix = "" if container_path in ("", "/") else container_path.rstrip("/") + "/"
+        container = NamedNode(self.base_url + prefix)
+        triples = [
+            Triple(container, RDF.type, LDP.Container),
+            Triple(container, RDF.type, LDP.BasicContainer),
+            Triple(container, RDF.type, LDP.Resource),
+        ]
+        documents, children = self.container_members(container_path)
+        for path in documents:
+            member = NamedNode(self.base_url + path)
+            triples.append(Triple(container, LDP.contains, member))
+            triples.append(Triple(member, RDF.type, LDP.Resource))
+        for child in children:
+            member = NamedNode(self.base_url + child)
+            triples.append(Triple(container, LDP.contains, member))
+            triples.append(Triple(member, RDF.type, LDP.Container))
+            triples.append(Triple(member, RDF.type, LDP.BasicContainer))
+            triples.append(Triple(member, RDF.type, LDP.Resource))
+        return triples
+
+    # ------------------------------------------------------------------
+    # standard documents
+    # ------------------------------------------------------------------
+
+    def build_profile(self, extra_triples: Iterable[Triple] = ()) -> PodDocument:
+        """Create the WebID profile document (paper Listing 2)."""
+        me = NamedNode(self.webid)
+        triples = [
+            Triple(me, RDF.type, FOAF.Person),
+            Triple(me, PIM.storage, NamedNode(self.base_url)),
+            Triple(me, SOLID.oidcIssuer, NamedNode(self.oidc_issuer)),
+            Triple(me, SOLID.publicTypeIndex, NamedNode(self.type_index_url)),
+        ]
+        if self.owner_name:
+            triples.append(Triple(me, FOAF.name, Literal(self.owner_name)))
+        triples.extend(extra_triples)
+        return self.add_document(self.profile_path, triples)
+
+    def build_type_index(
+        self, registrations: Iterable[tuple[NamedNode, str, bool]]
+    ) -> PodDocument:
+        """Create the public Type Index (paper Listing 3).
+
+        ``registrations`` holds ``(rdf_class, target_path, is_container)``
+        tuples; container targets use ``solid:instanceContainer``, single
+        documents use ``solid:instance``.
+        """
+        index_node = NamedNode(self.type_index_url)
+        triples = [
+            Triple(index_node, RDF.type, SOLID.TypeIndex),
+            Triple(index_node, RDF.type, SOLID.ListedDocument),
+        ]
+        for position, (rdf_class, target_path, is_container) in enumerate(registrations):
+            registration = NamedNode(f"{self.type_index_url}#registration{position}")
+            target = NamedNode(self.base_url + target_path)
+            triples.append(Triple(registration, RDF.type, SOLID.TypeRegistration))
+            triples.append(Triple(registration, SOLID.forClass, rdf_class))
+            predicate = SOLID.instanceContainer if is_container else SOLID.instance
+            triples.append(Triple(registration, predicate, target))
+        return self.add_document(self.type_index_path, triples)
+
+    # ------------------------------------------------------------------
+
+    def serialize_document(self, path: str) -> str:
+        """Turtle text of a stored document or a generated container view."""
+        document = self._documents.get(path)
+        if document is not None:
+            return serialize_turtle(document.triples, base_iri=self.base_url)
+        if self.is_container(path):
+            return serialize_turtle(self.container_triples(path), base_iri=self.base_url)
+        raise KeyError(path)
+
+    def __repr__(self) -> str:
+        return f"<Pod {self.base_url} with {len(self._documents)} documents>"

@@ -1,0 +1,39 @@
+"""SolidBench: the simulated decentralized social-network benchmark.
+
+A deterministic reimplementation of the SolidBench dataset generator the
+paper demonstrates against (§4.2): an LDBC-SNB-style social network
+fragmented into Solid pods, plus the 37-query "Discover" suite.
+"""
+
+from .config import Fragmentation, PAPER_SCALE_TARGETS, SolidBenchConfig
+from .fragmenter import PodFragmenter
+from .queries import NamedQuery, TEMPLATE_DESCRIPTIONS, discover_query, discover_suite
+from .social import SocialNetwork, generate_social_network
+from .universe import SolidBenchUniverse, build_universe
+from .validation import (
+    ValidationReport,
+    build_manifest,
+    load_manifest,
+    validate_results,
+    write_manifest,
+)
+
+__all__ = [
+    "SolidBenchConfig",
+    "Fragmentation",
+    "PAPER_SCALE_TARGETS",
+    "SocialNetwork",
+    "generate_social_network",
+    "PodFragmenter",
+    "SolidBenchUniverse",
+    "build_universe",
+    "NamedQuery",
+    "discover_query",
+    "discover_suite",
+    "TEMPLATE_DESCRIPTIONS",
+    "build_manifest",
+    "write_manifest",
+    "load_manifest",
+    "validate_results",
+    "ValidationReport",
+]

@@ -1,0 +1,81 @@
+"""SolidBench generator CLI.
+
+``repro-solidbench --scale 0.05`` prints dataset statistics (paper §4.2);
+``--out DIR`` additionally materializes every pod document as a Turtle
+file on disk, mirroring the layout a real Solid server would host.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional
+
+from .config import PAPER_SCALE_TARGETS, Fragmentation, SolidBenchConfig
+from .queries import discover_suite
+from .universe import build_universe
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-solidbench", description="Generate a simulated SolidBench dataset"
+    )
+    parser.add_argument("--scale", type=float, default=0.02, help="fraction of paper scale")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--fragmentation",
+        choices=[f.value for f in Fragmentation],
+        default=Fragmentation.DATED.value,
+    )
+    parser.add_argument("--out", metavar="DIR", help="write pod documents as Turtle files")
+    parser.add_argument("--queries", action="store_true", help="print the 37 Discover queries")
+    args = parser.parse_args(argv)
+
+    config = SolidBenchConfig(
+        scale=args.scale, seed=args.seed, fragmentation=Fragmentation(args.fragmentation)
+    )
+    universe = build_universe(config)
+    stats = universe.statistics()
+
+    report = {
+        "generated": stats,
+        "paper_default_scale": {
+            "pods": PAPER_SCALE_TARGETS["pods"],
+            "files": PAPER_SCALE_TARGETS["files"],
+            "triples": PAPER_SCALE_TARGETS["triples"],
+        },
+        "ratio_check": {
+            "files_per_pod": round(stats["files_per_pod"], 1),
+            "paper_files_per_pod": round(PAPER_SCALE_TARGETS["files_per_pod"], 1),
+            "triples_per_file": round(stats["triples_per_file"], 1),
+            "paper_triples_per_file": round(PAPER_SCALE_TARGETS["triples_per_file"], 1),
+        },
+    }
+    print(json.dumps(report, indent=2))
+
+    if args.out:
+        root = Path(args.out)
+        written = 0
+        for pod in universe.pods.values():
+            pod_dir = root / pod.base_url.rstrip("/").rsplit("/", 1)[-1]
+            for path in pod.document_paths():
+                target = pod_dir / (path + ".ttl")
+                target.parent.mkdir(parents=True, exist_ok=True)
+                target.write_text(pod.serialize_document(path), encoding="utf-8")
+                written += 1
+        print(f"# wrote {written} Turtle documents under {root}", file=sys.stderr)
+
+    if args.queries:
+        for query in discover_suite(universe):
+            print(f"### {query.name} — {query.description}")
+            print(query.text)
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

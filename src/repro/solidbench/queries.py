@@ -1,0 +1,174 @@
+"""The SolidBench "Discover" SPARQL query suite.
+
+Eight query templates over the social-network data, each instantiated for
+several seed persons, yielding the 37 default queries the paper's demo UI
+offers (§4.2).  Template 1 and 8 are the two queries walked through in the
+demonstration scenario (Figs. 4 and 5); template 6 is the UI screenshot
+query (Fig. 3).
+
+Query ids follow SolidBench's ``<template>.<variant>`` convention
+("Discover 1.5", "Discover 8.5", ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..rdf.namespaces import RDF, SNVOC
+from .universe import SolidBenchUniverse
+
+__all__ = ["NamedQuery", "discover_query", "discover_suite", "TEMPLATE_DESCRIPTIONS"]
+
+TEMPLATE_DESCRIPTIONS = {
+    1: "All posts of a given person",
+    2: "All messages (posts and comments) of a given person",
+    3: "All comments replying to messages of a given person",
+    4: "All tags used on messages of a given person",
+    5: "All locations of posts of a given person",
+    6: "All forums containing messages of a given person",
+    7: "All moderators of forums containing messages of a given person",
+    8: "All content by creators of messages a given person likes",
+}
+
+#: variants per template: 5+5+5+5+5+4+4+4 = 37 default queries (paper §4.2).
+_VARIANTS_PER_TEMPLATE = {1: 5, 2: 5, 3: 5, 4: 5, 5: 5, 6: 4, 7: 4, 8: 4}
+
+
+@dataclass(frozen=True)
+class NamedQuery:
+    """A ready-to-run query with its SolidBench-style identifier."""
+
+    query_id: str
+    template: int
+    variant: int
+    description: str
+    text: str
+    person_index: int
+    seeds: tuple[str, ...]
+
+    @property
+    def name(self) -> str:
+        return f"Discover {self.query_id}"
+
+
+def _prefix_block() -> str:
+    return (
+        f"PREFIX snvoc: <{SNVOC.base}>\n"
+        f"PREFIX rdf: <{RDF.base}>\n"
+    )
+
+
+def _template_text(template: int, webid: str) -> str:
+    person = f"<{webid}>"
+    if template == 1:
+        body = f"""SELECT DISTINCT ?messageId ?messageCreationDate ?messageContent WHERE {{
+  ?message snvoc:hasCreator {person} ;
+    rdf:type snvoc:Post ;
+    snvoc:content ?messageContent ;
+    snvoc:creationDate ?messageCreationDate ;
+    snvoc:id ?messageId .
+}}"""
+    elif template == 2:
+        body = f"""SELECT DISTINCT ?messageId ?messageContent WHERE {{
+  ?message snvoc:hasCreator {person} ;
+    snvoc:content ?messageContent ;
+    snvoc:id ?messageId .
+}}"""
+    elif template == 3:
+        body = f"""SELECT DISTINCT ?commentId ?commentContent WHERE {{
+  ?message snvoc:hasCreator {person} ;
+    snvoc:hasReply ?comment .
+  ?comment rdf:type snvoc:Comment ;
+    snvoc:id ?commentId ;
+    snvoc:content ?commentContent .
+}}"""
+    elif template == 4:
+        body = f"""SELECT DISTINCT ?tag WHERE {{
+  ?message snvoc:hasCreator {person} ;
+    snvoc:hasTag ?tag .
+}}"""
+    elif template == 5:
+        body = f"""SELECT DISTINCT ?locationIri WHERE {{
+  ?message snvoc:hasCreator {person} ;
+    rdf:type snvoc:Post ;
+    snvoc:isLocatedIn ?locationIri .
+}}"""
+    elif template == 6:
+        body = f"""SELECT DISTINCT ?forumId ?forumTitle WHERE {{
+  ?message snvoc:hasCreator {person} .
+  ?forum snvoc:containerOf ?message ;
+    snvoc:id ?forumId ;
+    snvoc:title ?forumTitle .
+}}"""
+    elif template == 7:
+        body = f"""SELECT DISTINCT ?firstName ?lastName WHERE {{
+  ?message snvoc:hasCreator {person} .
+  ?forum snvoc:containerOf ?message ;
+    snvoc:hasModerator ?moderator .
+  ?moderator snvoc:firstName ?firstName ;
+    snvoc:lastName ?lastName .
+}}"""
+    elif template == 8:
+        body = f"""SELECT DISTINCT ?creator ?messageContent WHERE {{
+  {person} snvoc:likes _:g_0 .
+  _:g_0 (snvoc:hasPost|snvoc:hasComment) ?message .
+  ?message snvoc:hasCreator ?creator .
+  ?otherMessage snvoc:hasCreator ?creator ;
+    snvoc:content ?messageContent .
+}}"""
+    else:
+        raise ValueError(f"unknown Discover template {template}")
+    return _prefix_block() + body
+
+
+def _variant_person(universe: SolidBenchUniverse, template: int, variant: int) -> int:
+    """Deterministic person choice per (template, variant).
+
+    Spread across the universe so variants exercise different pods; always
+    picks a person that has the data the template needs (posts, likes, ...).
+    """
+    count = universe.person_count
+    candidate = (template * 7 + variant * 13) % count
+    for offset in range(count):
+        index = (candidate + offset) % count
+        person = universe.network.persons[index]
+        if template == 8:
+            if universe.network.likes_of(index):
+                return index
+        elif universe.network.posts_of(index):
+            return index
+        del person
+    return candidate
+
+
+def discover_query(
+    universe: SolidBenchUniverse,
+    template: int,
+    variant: int = 5,
+    person_index: Optional[int] = None,
+) -> NamedQuery:
+    """Instantiate one Discover query (e.g. ``discover_query(u, 1, 5)`` for
+    the paper's "Discover 1.5")."""
+    if person_index is None:
+        person_index = _variant_person(universe, template, variant)
+    webid = universe.webid(person_index)
+    text = _template_text(template, webid)
+    return NamedQuery(
+        query_id=f"{template}.{variant}",
+        template=template,
+        variant=variant,
+        description=TEMPLATE_DESCRIPTIONS[template],
+        text=text,
+        person_index=person_index,
+        seeds=(webid,),
+    )
+
+
+def discover_suite(universe: SolidBenchUniverse) -> list[NamedQuery]:
+    """All 37 default queries of the demo UI's dropdown."""
+    queries: list[NamedQuery] = []
+    for template in sorted(_VARIANTS_PER_TEMPLATE):
+        for variant in range(1, _VARIANTS_PER_TEMPLATE[template] + 1):
+            queries.append(discover_query(universe, template, variant))
+    return queries

@@ -1,0 +1,108 @@
+"""Validation manifests: expected results per Discover query.
+
+SolidBench ships validation result sets so engines can be checked for
+correctness, not just speed.  This module generates the same artifact for
+our universe: a JSON manifest mapping each query id to its ground-truth
+answer (computed by the snapshot oracle over all generated documents),
+plus a checker that validates an engine execution against it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from ..sparql.bindings import Binding
+from ..sparql.eval import SnapshotEvaluator
+from ..sparql.parser import parse_query
+from ..sparql.results import binding_to_json_dict
+from ..rdf.terms import BlankNode, Literal, NamedNode, Variable
+from .queries import NamedQuery, discover_suite
+from .universe import SolidBenchUniverse
+
+__all__ = [
+    "build_manifest",
+    "write_manifest",
+    "load_manifest",
+    "validate_results",
+    "ValidationReport",
+]
+
+
+def _binding_key(entry: dict) -> tuple:
+    """Canonical, order-independent key for one solution."""
+    return tuple(sorted((name, term["type"], term["value"], term.get("xml:lang", ""),
+                         term.get("datatype", "")) for name, term in entry.items()))
+
+
+def build_manifest(
+    universe: SolidBenchUniverse, queries: Optional[Sequence[NamedQuery]] = None
+) -> dict:
+    """Compute expected results for each query over the oracle dataset."""
+    if queries is None:
+        queries = discover_suite(universe)
+    oracle = SnapshotEvaluator(universe.oracle_dataset())
+    manifest: dict = {
+        "generator": {
+            "scale": universe.config.scale,
+            "seed": universe.config.seed,
+            "fragmentation": universe.config.fragmentation.value,
+        },
+        "queries": {},
+    }
+    for query in queries:
+        parsed = parse_query(query.text)
+        bindings = [binding_to_json_dict(b) for b in oracle.select(parsed)]
+        manifest["queries"][query.name] = {
+            "template": query.template,
+            "variant": query.variant,
+            "seeds": list(query.seeds),
+            "expected_count": len(bindings),
+            "expected": bindings,
+        }
+    return manifest
+
+
+def write_manifest(manifest: dict, path: Union[str, Path]) -> Path:
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8")
+    return target
+
+
+def load_manifest(path: Union[str, Path]) -> dict:
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+class ValidationReport:
+    """Outcome of validating one engine execution against the manifest."""
+
+    def __init__(self, query_name: str, missing: list, unexpected: list) -> None:
+        self.query_name = query_name
+        self.missing = missing
+        self.unexpected = unexpected
+
+    @property
+    def valid(self) -> bool:
+        return not self.missing and not self.unexpected
+
+    def __repr__(self) -> str:
+        return (
+            f"<ValidationReport {self.query_name}: "
+            f"{'ok' if self.valid else f'-{len(self.missing)}/+{len(self.unexpected)}'}>"
+        )
+
+
+def validate_results(
+    manifest: dict, query_name: str, bindings: Sequence[Binding]
+) -> ValidationReport:
+    """Compare an engine's answer set against the manifest entry."""
+    entry = manifest["queries"].get(query_name)
+    if entry is None:
+        raise KeyError(f"query {query_name!r} not in manifest")
+    expected = {_binding_key(e) for e in entry["expected"]}
+    actual = {_binding_key(binding_to_json_dict(b)) for b in bindings}
+    missing = sorted(expected - actual)
+    unexpected = sorted(actual - expected)
+    return ValidationReport(query_name, missing, unexpected)

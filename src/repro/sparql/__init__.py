@@ -1,0 +1,57 @@
+"""SPARQL 1.1 query processing.
+
+Pipeline: :func:`parse_query` (text → algebra) → planner
+(:mod:`repro.sparql.planner`, zero-knowledge BGP ordering) → evaluation —
+either the snapshot evaluator here (:class:`SnapshotEvaluator`) or the
+incremental pipelined operators in :mod:`repro.ltqp.pipeline`.
+"""
+
+from .algebra import Operator, Query, is_monotonic, operator_variables
+from .bindings import Binding
+from .eval import SnapshotEvaluator, evaluate_query
+from .expr import ExpressionError, ExpressionEvaluator, compare_terms, effective_boolean_value
+from .parser import SparqlParseError, parse_query
+from .paths import evaluate_path
+from .planner import plan_bgp_order
+from .update import (
+    DeleteData,
+    DeleteWhere,
+    InsertData,
+    Modify,
+    apply_update,
+    parse_update,
+)
+from .results import (
+    binding_to_cli_line,
+    binding_to_json_dict,
+    results_to_csv,
+    results_to_sparql_json,
+)
+
+__all__ = [
+    "parse_query",
+    "SparqlParseError",
+    "Query",
+    "Operator",
+    "Binding",
+    "SnapshotEvaluator",
+    "evaluate_query",
+    "ExpressionEvaluator",
+    "ExpressionError",
+    "effective_boolean_value",
+    "compare_terms",
+    "evaluate_path",
+    "plan_bgp_order",
+    "is_monotonic",
+    "operator_variables",
+    "binding_to_json_dict",
+    "binding_to_cli_line",
+    "results_to_sparql_json",
+    "results_to_csv",
+    "parse_update",
+    "apply_update",
+    "InsertData",
+    "DeleteData",
+    "DeleteWhere",
+    "Modify",
+]

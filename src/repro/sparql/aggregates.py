@@ -1,0 +1,220 @@
+"""Grouping and aggregate computation for GROUP BY queries."""
+
+from __future__ import annotations
+
+from decimal import Decimal
+from typing import Optional, Sequence
+
+from ..rdf.terms import Literal, Term, Variable, XSD_INTEGER
+from .algebra import (
+    AggregateExpr,
+    And,
+    Arithmetic,
+    Compare,
+    Expression,
+    FunctionCall,
+    InExpr,
+    Not,
+    Or,
+    TermExpr,
+    UnaryMinus,
+    UnaryPlus,
+    VariableExpr,
+)
+from .bindings import Binding
+from .expr import ExpressionError, ExpressionEvaluator, compare_terms
+
+__all__ = ["group_solutions", "compute_aggregates"]
+
+
+def group_solutions(
+    solutions: list[Binding],
+    keys: Sequence[tuple[Expression, Optional[Variable]]],
+    expressions: ExpressionEvaluator,
+) -> list[tuple[Binding, list[Binding]]]:
+    """Partition solutions into groups keyed by the GROUP BY expressions.
+
+    Returns ``(key_binding, members)`` pairs; ``key_binding`` carries the
+    grouped variables (and aliases) so they survive into the output.  With
+    no keys, all solutions form one implicit group (even when empty, per the
+    spec's single-empty-group rule for aggregate-only queries).
+    """
+    if not keys:
+        return [(Binding(), solutions)]
+
+    groups: dict[tuple, tuple[Binding, list[Binding]]] = {}
+    for solution in solutions:
+        key_terms: list[Optional[Term]] = []
+        items: dict[Variable, Term] = {}
+        for expression, alias in keys:
+            try:
+                value: Optional[Term] = expressions.evaluate(expression, solution)
+            except ExpressionError:
+                value = None
+            key_terms.append(value)
+            if value is not None:
+                if alias is not None:
+                    items[alias] = value
+                elif isinstance(expression, VariableExpr):
+                    items[expression.variable] = value
+        key = tuple(key_terms)
+        if key not in groups:
+            groups[key] = (Binding(items), [])
+        groups[key][1].append(solution)
+    return list(groups.values())
+
+
+def compute_aggregates(
+    key_binding: Binding,
+    members: list[Binding],
+    bindings: Sequence[tuple[Variable, Expression]],
+    expressions: ExpressionEvaluator,
+) -> Optional[Binding]:
+    """Evaluate aggregate output bindings for one group."""
+    result = dict(key_binding)
+    for variable, expression in bindings:
+        try:
+            value = _evaluate_with_aggregates(expression, members, key_binding, expressions)
+        except ExpressionError:
+            continue  # aggregate error leaves the variable unbound
+        result[variable] = value
+    return Binding(result)
+
+
+def evaluate_having(
+    expression: Expression,
+    members: list[Binding],
+    result_binding: Binding,
+    expressions: ExpressionEvaluator,
+) -> bool:
+    """HAVING semantics: aggregate-aware EBV; errors count as false."""
+    from .expr import effective_boolean_value
+
+    try:
+        value = _evaluate_with_aggregates(expression, members, result_binding, expressions)
+        return effective_boolean_value(value)
+    except ExpressionError:
+        return False
+
+
+def _evaluate_with_aggregates(
+    expression: Expression,
+    members: list[Binding],
+    key_binding: Binding,
+    expressions: ExpressionEvaluator,
+) -> Term:
+    if isinstance(expression, AggregateExpr):
+        return _compute_aggregate(expression, members, expressions)
+    if isinstance(expression, (TermExpr, VariableExpr)):
+        return expressions.evaluate(expression, key_binding)
+    if isinstance(expression, Arithmetic):
+        left = _evaluate_with_aggregates(expression.left, members, key_binding, expressions)
+        right = _evaluate_with_aggregates(expression.right, members, key_binding, expressions)
+        return expressions.evaluate(
+            Arithmetic(expression.operator, TermExpr(left), TermExpr(right)), key_binding
+        )
+    if isinstance(expression, Compare):
+        left = _evaluate_with_aggregates(expression.left, members, key_binding, expressions)
+        right = _evaluate_with_aggregates(expression.right, members, key_binding, expressions)
+        return expressions.evaluate(
+            Compare(expression.operator, TermExpr(left), TermExpr(right)), key_binding
+        )
+    if isinstance(expression, FunctionCall):
+        evaluated_args = tuple(
+            TermExpr(_evaluate_with_aggregates(argument, members, key_binding, expressions))
+            for argument in expression.args
+        )
+        return expressions.evaluate(FunctionCall(expression.name, evaluated_args), key_binding)
+    # And/Or/Not etc. with aggregates inside are rare; evaluate per key binding.
+    return expressions.evaluate(expression, key_binding)
+
+
+def _compute_aggregate(
+    aggregate: AggregateExpr,
+    members: list[Binding],
+    expressions: ExpressionEvaluator,
+) -> Term:
+    values: list[Term] = []
+    if aggregate.operand is None:
+        # COUNT(*): every solution counts.
+        if aggregate.name != "COUNT":
+            raise ExpressionError(f"{aggregate.name}(*) is not defined")
+        count = len(members) if not aggregate.distinct else len(set(members))
+        return Literal(str(count), datatype=XSD_INTEGER)
+
+    for member in members:
+        try:
+            values.append(expressions.evaluate(aggregate.operand, member))
+        except ExpressionError:
+            if aggregate.name != "COUNT":
+                # Per spec, an error in SUM/AVG/MIN/MAX propagates; COUNT skips.
+                raise
+    if aggregate.distinct:
+        unique: list[Term] = []
+        seen: set[Term] = set()
+        for value in values:
+            if value not in seen:
+                seen.add(value)
+                unique.append(value)
+        values = unique
+
+    name = aggregate.name
+    if name == "COUNT":
+        return Literal(str(len(values)), datatype=XSD_INTEGER)
+    if name == "SAMPLE":
+        if not values:
+            raise ExpressionError("SAMPLE of empty group")
+        return values[0]
+    if name == "GROUP_CONCAT":
+        parts = []
+        for value in values:
+            if not isinstance(value, Literal):
+                raise ExpressionError("GROUP_CONCAT over non-literal")
+            parts.append(value.value)
+        return Literal(aggregate.separator.join(parts))
+    if not values:
+        if name == "SUM":
+            return Literal("0", datatype=XSD_INTEGER)
+        raise ExpressionError(f"{name} of empty group")
+    if name in ("MIN", "MAX"):
+        best = values[0]
+        for value in values[1:]:
+            operator = "<" if name == "MIN" else ">"
+            try:
+                if compare_terms(value, best, operator):
+                    best = value
+            except ExpressionError:
+                # Fall back to lexical comparison for mixed types.
+                if (str(value) < str(best)) == (name == "MIN"):
+                    best = value
+        return best
+    if name in ("SUM", "AVG"):
+        total: object = 0
+        for value in values:
+            if not isinstance(value, Literal) or not value.is_numeric:
+                raise ExpressionError(f"{name} over non-numeric value {value!r}")
+            number = value.to_python()
+            if isinstance(total, float) or isinstance(number, float):
+                total = float(total) + float(number)
+            elif isinstance(total, Decimal) or isinstance(number, Decimal):
+                total = Decimal(total) + Decimal(number)
+            else:
+                total = total + number
+        if name == "AVG":
+            if isinstance(total, float):
+                average = total / len(values)
+            else:
+                average = Decimal(total) / Decimal(len(values))
+            return _to_literal(average)
+        return _to_literal(total)
+    raise ExpressionError(f"unknown aggregate {name!r}")
+
+
+def _to_literal(value) -> Literal:
+    from ..rdf.terms import XSD_DECIMAL, XSD_DOUBLE
+
+    if isinstance(value, int):
+        return Literal(str(value), datatype=XSD_INTEGER)
+    if isinstance(value, Decimal):
+        return Literal(format(value, "f"), datatype=XSD_DECIMAL)
+    return Literal(repr(value), datatype=XSD_DOUBLE)

@@ -1,0 +1,508 @@
+"""SPARQL algebra: operator tree and expression tree dataclasses.
+
+The parser (:mod:`repro.sparql.parser`) translates query syntax directly into
+this algebra, closely following the SPARQL 1.1 specification's translation
+rules (group graph patterns become joins, ``OPTIONAL`` becomes ``LeftJoin``,
+etc.).  Evaluators — the snapshot evaluator in :mod:`repro.sparql.eval` and
+the incremental pipeline in :mod:`repro.ltqp.pipeline` — both consume this
+representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from ..rdf.terms import NamedNode, Term, Variable  # noqa: F401 (Term used in Query)
+from ..rdf.triples import TriplePattern
+
+__all__ = [
+    # expressions
+    "Expression",
+    "TermExpr",
+    "VariableExpr",
+    "And",
+    "Or",
+    "Not",
+    "Compare",
+    "Arithmetic",
+    "UnaryMinus",
+    "UnaryPlus",
+    "FunctionCall",
+    "InExpr",
+    "ExistsExpr",
+    "AggregateExpr",
+    # property paths
+    "Path",
+    "PredicatePath",
+    "InversePath",
+    "SequencePath",
+    "AlternativePath",
+    "ZeroOrMorePath",
+    "OneOrMorePath",
+    "ZeroOrOnePath",
+    "NegatedPropertySet",
+    "PathPattern",
+    # operators
+    "Operator",
+    "BGP",
+    "Join",
+    "LeftJoin",
+    "Union",
+    "Minus",
+    "Filter",
+    "Extend",
+    "GraphOp",
+    "ValuesOp",
+    "Project",
+    "Distinct",
+    "Reduced",
+    "Slice",
+    "OrderBy",
+    "OrderCondition",
+    "GroupBy",
+    "SubSelect",
+    "Query",
+    "is_monotonic",
+    "operator_variables",
+]
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expression:
+    """Base class for SPARQL expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class TermExpr(Expression):
+    """A constant RDF term (IRI or literal) in an expression."""
+
+    term: Term
+
+
+@dataclass(frozen=True, slots=True)
+class VariableExpr(Expression):
+    """A variable reference in an expression."""
+
+    variable: Variable
+
+
+@dataclass(frozen=True, slots=True)
+class And(Expression):
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True, slots=True)
+class Or(Expression):
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True, slots=True)
+class Not(Expression):
+    operand: Expression
+
+
+@dataclass(frozen=True, slots=True)
+class Compare(Expression):
+    """Binary comparison: operator is one of ``= != < <= > >=``."""
+
+    operator: str
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True, slots=True)
+class Arithmetic(Expression):
+    """Binary arithmetic: operator is one of ``+ - * /``."""
+
+    operator: str
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True, slots=True)
+class UnaryMinus(Expression):
+    operand: Expression
+
+
+@dataclass(frozen=True, slots=True)
+class UnaryPlus(Expression):
+    operand: Expression
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionCall(Expression):
+    """A built-in (by upper-cased name) or extension function (by IRI)."""
+
+    name: str
+    args: tuple[Expression, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class InExpr(Expression):
+    """``expr IN (e1, ..., en)`` or its negation."""
+
+    operand: Expression
+    choices: tuple[Expression, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class ExistsExpr(Expression):
+    """``EXISTS { pattern }`` / ``NOT EXISTS { pattern }``."""
+
+    pattern: "Operator"
+    negated: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class AggregateExpr(Expression):
+    """An aggregate: name in COUNT/SUM/MIN/MAX/AVG/SAMPLE/GROUP_CONCAT.
+
+    ``operand`` is ``None`` for ``COUNT(*)``.
+    """
+
+    name: str
+    operand: Optional[Expression]
+    distinct: bool = False
+    separator: str = " "
+
+
+# ---------------------------------------------------------------------------
+# Property paths
+# ---------------------------------------------------------------------------
+
+
+class Path:
+    """Base class for property-path expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class PredicatePath(Path):
+    predicate: NamedNode
+
+
+@dataclass(frozen=True, slots=True)
+class InversePath(Path):
+    path: Path
+
+
+@dataclass(frozen=True, slots=True)
+class SequencePath(Path):
+    steps: tuple[Path, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class AlternativePath(Path):
+    options: tuple[Path, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class ZeroOrMorePath(Path):
+    path: Path
+
+
+@dataclass(frozen=True, slots=True)
+class OneOrMorePath(Path):
+    path: Path
+
+
+@dataclass(frozen=True, slots=True)
+class ZeroOrOnePath(Path):
+    path: Path
+
+
+@dataclass(frozen=True, slots=True)
+class NegatedPropertySet(Path):
+    """``!(iri1|...|irin)`` including inverse members."""
+
+    forward: tuple[NamedNode, ...]
+    inverse: tuple[NamedNode, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class PathPattern:
+    """A subject-path-object pattern inside a BGP."""
+
+    subject: Term
+    path: Path
+    object: Term
+
+    def variables(self) -> set[Variable]:
+        return {t for t in (self.subject, self.object) if isinstance(t, Variable)}
+
+
+# ---------------------------------------------------------------------------
+# Operators
+# ---------------------------------------------------------------------------
+
+
+class Operator:
+    """Base class for algebra operators."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class BGP(Operator):
+    """Basic graph pattern: triple patterns plus property-path patterns."""
+
+    patterns: tuple[TriplePattern, ...]
+    path_patterns: tuple[PathPattern, ...] = ()
+
+    def variables(self) -> set[Variable]:
+        result: set[Variable] = set()
+        for pattern in self.patterns:
+            result |= pattern.variables()
+        for path_pattern in self.path_patterns:
+            result |= path_pattern.variables()
+        return result
+
+
+@dataclass(frozen=True, slots=True)
+class Join(Operator):
+    left: Operator
+    right: Operator
+
+
+@dataclass(frozen=True, slots=True)
+class LeftJoin(Operator):
+    """OPTIONAL with an optional embedded filter expression."""
+
+    left: Operator
+    right: Operator
+    expression: Optional[Expression] = None
+
+
+@dataclass(frozen=True, slots=True)
+class Union(Operator):
+    left: Operator
+    right: Operator
+
+
+@dataclass(frozen=True, slots=True)
+class Minus(Operator):
+    left: Operator
+    right: Operator
+
+
+@dataclass(frozen=True, slots=True)
+class Filter(Operator):
+    expression: Expression
+    input: Operator
+
+
+@dataclass(frozen=True, slots=True)
+class Extend(Operator):
+    """BIND: extend each solution with variable := expression."""
+
+    input: Operator
+    variable: Variable
+    expression: Expression
+
+
+@dataclass(frozen=True, slots=True)
+class GraphOp(Operator):
+    """GRAPH term { pattern } — term is an IRI or a variable."""
+
+    name: Term
+    input: Operator
+
+
+@dataclass(frozen=True, slots=True)
+class ValuesOp(Operator):
+    """Inline data: VALUES clause."""
+
+    variables: tuple[Variable, ...]
+    rows: tuple[tuple[Optional[Term], ...], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Project(Operator):
+    input: Operator
+    variables: tuple[Variable, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Distinct(Operator):
+    input: Operator
+
+
+@dataclass(frozen=True, slots=True)
+class Reduced(Operator):
+    input: Operator
+
+
+@dataclass(frozen=True, slots=True)
+class Slice(Operator):
+    input: Operator
+    offset: int = 0
+    limit: Optional[int] = None
+
+
+@dataclass(frozen=True, slots=True)
+class OrderCondition:
+    expression: Expression
+    descending: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class OrderBy(Operator):
+    input: Operator
+    conditions: tuple[OrderCondition, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class GroupBy(Operator):
+    """Grouping plus aggregate bindings plus HAVING filters.
+
+    ``bindings`` maps output variables to expressions that may contain
+    :class:`AggregateExpr` nodes; ``keys`` are the GROUP BY expressions
+    (paired with an optional output variable for ``GROUP BY (expr AS ?v)``).
+    """
+
+    input: Operator
+    keys: tuple[tuple[Expression, Optional[Variable]], ...]
+    bindings: tuple[tuple[Variable, Expression], ...]
+    having: tuple[Expression, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class SubSelect(Operator):
+    """A nested SELECT used as a group graph pattern element."""
+
+    query: "Query"
+
+
+@dataclass(frozen=True, slots=True)
+class Query:
+    """A parsed SPARQL query.
+
+    ``form`` is one of ``SELECT``, ``ASK``, ``CONSTRUCT``.  ``where`` is the
+    full algebra tree including solution modifiers (Project/Distinct/Slice
+    etc. are part of the tree, rooted at ``where``).
+    """
+
+    form: str
+    where: Operator
+    construct_template: tuple[TriplePattern, ...] = ()
+    describe_targets: tuple[Term, ...] = ()
+    prefixes: tuple[tuple[str, str], ...] = ()
+    base_iri: str = ""
+
+    def variables(self) -> tuple[Variable, ...]:
+        """Projected variables (for SELECT), in projection order."""
+        node = self.where
+        while True:
+            if isinstance(node, Project):
+                return node.variables
+            if isinstance(node, (Distinct, Reduced)):
+                node = node.input
+            elif isinstance(node, Slice):
+                node = node.input
+            elif isinstance(node, OrderBy):
+                node = node.input
+            else:
+                return tuple(sorted(operator_variables(node), key=lambda v: v.value))
+
+
+# ---------------------------------------------------------------------------
+# Introspection helpers
+# ---------------------------------------------------------------------------
+
+_MONOTONIC_SAFE = (BGP, Join, Union, Filter, Extend, ValuesOp, Project, Distinct, Reduced, GraphOp)
+
+
+def is_monotonic(op: Operator) -> bool:
+    """True when the operator tree yields only monotonic results.
+
+    Monotonic means: as the underlying data grows, the result set only
+    grows — previously emitted solutions remain valid.  This is the class of
+    queries the paper's engine evaluates fully pipelined during traversal;
+    non-monotonic operators (OPTIONAL, MINUS, ORDER BY, GROUP BY, OFFSET)
+    must wait for traversal quiescence.
+
+    LIMIT without OFFSET is monotonic (any N answers are a valid prefix).
+    """
+    if isinstance(op, BGP):
+        return True
+    if isinstance(op, (Join, Union)):
+        return is_monotonic(op.left) and is_monotonic(op.right)
+    if isinstance(op, Filter):
+        return _expression_monotonic(op.expression) and is_monotonic(op.input)
+    if isinstance(op, Extend):
+        return _expression_monotonic(op.expression) and is_monotonic(op.input)
+    if isinstance(op, (Project, Distinct, Reduced)):
+        return is_monotonic(op.input)
+    if isinstance(op, GraphOp):
+        return is_monotonic(op.input)
+    if isinstance(op, ValuesOp):
+        return True
+    if isinstance(op, Slice):
+        return op.offset == 0 and is_monotonic(op.input)
+    if isinstance(op, SubSelect):
+        return is_monotonic(op.query.where)
+    return False
+
+
+def _expression_monotonic(expression: Expression) -> bool:
+    """EXISTS / NOT EXISTS make a filter non-monotonic; everything else is fine."""
+    if isinstance(expression, ExistsExpr):
+        return False
+    if isinstance(expression, (And, Or, Compare, Arithmetic)):
+        return _expression_monotonic(expression.left) and _expression_monotonic(expression.right)
+    if isinstance(expression, (Not, UnaryMinus, UnaryPlus)):
+        return _expression_monotonic(expression.operand)
+    if isinstance(expression, FunctionCall):
+        return all(_expression_monotonic(a) for a in expression.args)
+    if isinstance(expression, InExpr):
+        return _expression_monotonic(expression.operand) and all(
+            _expression_monotonic(c) for c in expression.choices
+        )
+    return True
+
+
+def operator_variables(op: Operator) -> set[Variable]:
+    """All variables that the operator may bind (in-scope variables)."""
+    if isinstance(op, BGP):
+        return op.variables()
+    if isinstance(op, (Join, LeftJoin, Union, Minus)):
+        left = operator_variables(op.left)
+        if isinstance(op, Minus):
+            return left
+        return left | operator_variables(op.right)
+    if isinstance(op, Filter):
+        return operator_variables(op.input)
+    if isinstance(op, Extend):
+        return operator_variables(op.input) | {op.variable}
+    if isinstance(op, GraphOp):
+        inner = operator_variables(op.input)
+        if isinstance(op.name, Variable):
+            inner = inner | {op.name}
+        return inner
+    if isinstance(op, ValuesOp):
+        return set(op.variables)
+    if isinstance(op, Project):
+        return set(op.variables)
+    if isinstance(op, (Distinct, Reduced, Slice, OrderBy)):
+        return operator_variables(op.input)
+    if isinstance(op, GroupBy):
+        result = {var for _, var in op.keys if var is not None}
+        for expression, _ in ((k, v) for k, v in op.keys):
+            if isinstance(expression, VariableExpr):
+                result.add(expression.variable)
+        result |= {var for var, _ in op.bindings}
+        return result
+    if isinstance(op, SubSelect):
+        return set(op.query.variables())
+    raise TypeError(f"unknown operator: {op!r}")

@@ -1,0 +1,94 @@
+"""Solution mappings (bindings) for SPARQL evaluation."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional
+
+from ..rdf.terms import Term, Variable
+
+__all__ = ["Binding", "EMPTY_BINDING"]
+
+
+class Binding(Mapping[Variable, Term]):
+    """An immutable solution mapping from variables to RDF terms.
+
+    Hashable (usable in DISTINCT sets and hash-join tables) and cheap to
+    extend: :meth:`extended` shares nothing mutable with its parent.
+    """
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, items: Optional[Mapping[Variable, Term]] = None) -> None:
+        self._items: dict[Variable, Term] = dict(items) if items else {}
+        self._hash: Optional[int] = None
+
+    # -- Mapping interface --------------------------------------------------
+
+    def __getitem__(self, variable: Variable) -> Term:
+        return self._items[variable]
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, variable: object) -> bool:
+        return variable in self._items
+
+    # -- SPARQL semantics ----------------------------------------------------
+
+    def compatible(self, other: "Binding") -> bool:
+        """Two mappings are compatible when shared variables agree."""
+        small, large = (self, other) if len(self) <= len(other) else (other, self)
+        for variable, term in small._items.items():
+            existing = large._items.get(variable)
+            if existing is not None and existing != term:
+                return False
+        return True
+
+    def merged(self, other: "Binding") -> Optional["Binding"]:
+        """Union of two mappings, or ``None`` when incompatible."""
+        if not self.compatible(other):
+            return None
+        if not other._items:
+            return self
+        if not self._items:
+            return other
+        combined = dict(self._items)
+        combined.update(other._items)
+        return Binding(combined)
+
+    def extended(self, variable: Variable, term: Term) -> "Binding":
+        """Return a new binding with one additional pair."""
+        combined = dict(self._items)
+        combined[variable] = term
+        return Binding(combined)
+
+    def projected(self, variables: Iterable[Variable]) -> "Binding":
+        """Restrict to the given variables (unbound ones are dropped)."""
+        return Binding({v: self._items[v] for v in variables if v in self._items})
+
+    def key(self, variables: Iterable[Variable]) -> tuple:
+        """Hashable join key over ``variables`` (None for unbound)."""
+        return tuple(self._items.get(v) for v in variables)
+
+    # -- identity -------------------------------------------------------------
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._items.items()))
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Binding):
+            return self._items == other._items
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"?{v.value}={t}" for v, t in sorted(
+            self._items.items(), key=lambda item: item[0].value))
+        return f"{{{body}}}"
+
+
+EMPTY_BINDING = Binding()

@@ -1,0 +1,594 @@
+"""Snapshot SPARQL evaluator.
+
+Evaluates an algebra tree over an immutable snapshot of data — a
+:class:`repro.rdf.dataset.Graph` or a :class:`repro.rdf.dataset.Dataset`
+(the latter enables ``GRAPH`` patterns over per-document named graphs).
+
+This evaluator plays three roles in the reproduction:
+
+* the *oracle* for LTQP completeness tests (evaluate over the union of all
+  generated documents);
+* the endgame evaluator for non-monotonic queries inside the LTQP engine
+  (OPTIONAL / MINUS / ORDER BY / GROUP BY wait for traversal quiescence);
+* a standalone local query engine over any parsed RDF document.
+
+Generator-based: every operator yields :class:`Binding` solutions lazily.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Union as TypingUnion
+
+from ..rdf.dataset import Dataset, Graph
+from ..rdf.terms import BlankNode, Literal, NamedNode, Term, Variable
+from ..rdf.triples import Triple, TriplePattern
+from .algebra import (
+    AggregateExpr,
+    And,
+    Arithmetic,
+    BGP,
+    Compare,
+    Distinct,
+    ExistsExpr,
+    Expression,
+    Extend,
+    Filter,
+    FunctionCall,
+    GraphOp,
+    GroupBy,
+    InExpr,
+    Join,
+    LeftJoin,
+    Minus,
+    Not,
+    Operator,
+    OrderBy,
+    PathPattern,
+    Project,
+    Query,
+    Reduced,
+    Slice,
+    SubSelect,
+    TermExpr,
+    UnaryMinus,
+    UnaryPlus,
+    Union,
+    ValuesOp,
+    VariableExpr,
+)
+from .bindings import EMPTY_BINDING, Binding
+from .expr import ExpressionError, ExpressionEvaluator, order_key
+from .aggregates import compute_aggregates, evaluate_having, group_solutions
+from .paths import evaluate_path
+from .planner import plan_bgp_order
+
+__all__ = ["SnapshotEvaluator", "evaluate_query", "construct_triples"]
+
+
+class SnapshotEvaluator:
+    """Evaluate SPARQL algebra over a fixed :class:`Graph` or :class:`Dataset`."""
+
+    def __init__(
+        self,
+        data: TypingUnion[Graph, Dataset],
+        seed_iris: Iterable[str] = (),
+    ) -> None:
+        if isinstance(data, Dataset):
+            self._dataset: Optional[Dataset] = data
+            self._graph = data.union
+        else:
+            self._dataset = None
+            self._graph = data
+        self._seed_iris = tuple(seed_iris)
+        self._expressions = ExpressionEvaluator(exists_evaluator=self._evaluate_exists)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def evaluate(self, op: Operator, graph: Optional[Graph] = None) -> Iterator[Binding]:
+        """Evaluate an operator tree, yielding solution mappings."""
+        return self._eval(op, self._graph if graph is None else graph)
+
+    def ask(self, query: Query) -> bool:
+        """Evaluate an ASK query."""
+        for _ in self.evaluate(query.where):
+            return True
+        return False
+
+    def select(self, query: Query) -> Iterator[Binding]:
+        """Evaluate a SELECT query."""
+        return self.evaluate(query.where)
+
+    def describe(self, query: Query) -> Iterator[Triple]:
+        """Evaluate a DESCRIBE query: the concise bounded description (CBD)
+        of each target resource — its outgoing triples, recursing through
+        blank-node objects."""
+        resources: set[Term] = set()
+        variables = [t for t in query.describe_targets if isinstance(t, Variable)]
+        constants = [t for t in query.describe_targets if not isinstance(t, Variable)]
+        resources.update(constants)
+        needs_where = bool(variables) or not query.describe_targets
+        if needs_where:
+            from .algebra import operator_variables
+
+            in_scope = variables if variables else sorted(
+                operator_variables(query.where), key=lambda v: v.value
+            )
+            for binding in self.evaluate(query.where):
+                for variable in in_scope:
+                    term = binding.get(variable)
+                    if term is not None and not isinstance(term, Literal):
+                        resources.add(term)
+        emitted: set[Triple] = set()
+        for resource in sorted(resources, key=str):
+            yield from self._cbd(resource, emitted)
+
+    def _cbd(self, resource: Term, emitted: set[Triple]) -> Iterator[Triple]:
+        frontier = [resource]
+        visited: set[Term] = set()
+        while frontier:
+            node = frontier.pop()
+            if node in visited:
+                continue
+            visited.add(node)
+            for triple in self._graph.match(node, None, None):
+                if triple not in emitted:
+                    emitted.add(triple)
+                    yield triple
+                if isinstance(triple.object, BlankNode):
+                    frontier.append(triple.object)
+
+    def construct(self, query: Query) -> Iterator[Triple]:
+        """Evaluate a CONSTRUCT query, instantiating the template."""
+        emitted: set[Triple] = set()
+        for index, binding in enumerate(self.evaluate(query.where)):
+            for triple in construct_triples(query.construct_template, binding, index):
+                if triple not in emitted:
+                    emitted.add(triple)
+                    yield triple
+
+    # ------------------------------------------------------------------
+    # operator dispatch
+    # ------------------------------------------------------------------
+
+    def _eval(self, op: Operator, graph: Graph) -> Iterator[Binding]:
+        if isinstance(op, BGP):
+            return self._eval_bgp(op, graph)
+        if isinstance(op, Join):
+            return self._eval_join(op, graph)
+        if isinstance(op, LeftJoin):
+            return self._eval_left_join(op, graph)
+        if isinstance(op, Union):
+            return self._eval_union(op, graph)
+        if isinstance(op, Minus):
+            return self._eval_minus(op, graph)
+        if isinstance(op, Filter):
+            return self._eval_filter(op, graph)
+        if isinstance(op, Extend):
+            return self._eval_extend(op, graph)
+        if isinstance(op, GraphOp):
+            return self._eval_graph(op)
+        if isinstance(op, ValuesOp):
+            return self._eval_values(op)
+        if isinstance(op, Project):
+            return self._eval_project(op, graph)
+        if isinstance(op, Distinct):
+            return self._eval_distinct(op, graph)
+        if isinstance(op, Reduced):
+            return self._eval_reduced(op, graph)
+        if isinstance(op, Slice):
+            return self._eval_slice(op, graph)
+        if isinstance(op, OrderBy):
+            return self._eval_order(op, graph)
+        if isinstance(op, GroupBy):
+            return self._eval_group(op, graph)
+        if isinstance(op, SubSelect):
+            return self._eval(op.query.where, graph)
+        raise TypeError(f"unknown operator: {op!r}")
+
+    # ------------------------------------------------------------------
+    # leaves
+    # ------------------------------------------------------------------
+
+    def _eval_bgp(self, op: BGP, graph: Graph) -> Iterator[Binding]:
+        patterns = plan_bgp_order(
+            list(op.patterns) + list(op.path_patterns), seed_iris=self._seed_iris
+        )
+        if not patterns:
+            yield EMPTY_BINDING
+            return
+        yield from self._join_patterns(patterns, 0, EMPTY_BINDING, graph)
+
+    def _join_patterns(
+        self,
+        patterns: list,
+        index: int,
+        binding: Binding,
+        graph: Graph,
+    ) -> Iterator[Binding]:
+        if index == len(patterns):
+            yield binding
+            return
+        pattern = patterns[index]
+        if isinstance(pattern, PathPattern):
+            candidates = self._match_path_pattern(pattern, binding, graph)
+        else:
+            candidates = self._match_triple_pattern(pattern, binding, graph)
+        for extended in candidates:
+            yield from self._join_patterns(patterns, index + 1, extended, graph)
+
+    def _match_triple_pattern(
+        self, pattern: TriplePattern, binding: Binding, graph: Graph
+    ) -> Iterator[Binding]:
+        subject = _substitute(pattern.subject, binding)
+        predicate = _substitute(pattern.predicate, binding)
+        object_term = _substitute(pattern.object, binding)
+        for triple in graph.match(subject, predicate, object_term):
+            extended = _extend_with_triple(binding, pattern, triple)
+            if extended is not None:
+                yield extended
+
+    def _match_path_pattern(
+        self, pattern: PathPattern, binding: Binding, graph: Graph
+    ) -> Iterator[Binding]:
+        subject = _substitute(pattern.subject, binding)
+        object_term = _substitute(pattern.object, binding)
+        for start, end in evaluate_path(graph, subject, pattern.path, object_term):
+            extended = binding
+            if isinstance(pattern.subject, Variable):
+                bound = extended.get(pattern.subject)
+                if bound is not None and bound != start:
+                    continue
+                extended = extended.extended(pattern.subject, start)
+            if isinstance(pattern.object, Variable):
+                bound = extended.get(pattern.object)
+                if bound is not None and bound != end:
+                    continue
+                extended = extended.extended(pattern.object, end)
+            yield extended
+
+    # ------------------------------------------------------------------
+    # binary operators
+    # ------------------------------------------------------------------
+
+    def _eval_join(self, op: Join, graph: Graph) -> Iterator[Binding]:
+        # Hash join on shared variables; falls back to cross product.
+        left_solutions = list(self._eval(op.left, graph))
+        if not left_solutions:
+            return
+        from .algebra import operator_variables
+
+        shared = tuple(
+            sorted(
+                (operator_variables(op.left) & operator_variables(op.right)),
+                key=lambda v: v.value,
+            )
+        )
+        if not shared:
+            for right_binding in self._eval(op.right, graph):
+                for left_binding in left_solutions:
+                    merged = left_binding.merged(right_binding)
+                    if merged is not None:
+                        yield merged
+            return
+        table: dict[tuple, list[Binding]] = {}
+        for left_binding in left_solutions:
+            table.setdefault(left_binding.key(shared), []).append(left_binding)
+        for right_binding in self._eval(op.right, graph):
+            # Unbound shared vars on either side require compatibility checks;
+            # enumerate candidate keys (exact, plus all-unbound probe).
+            key = right_binding.key(shared)
+            candidates = table.get(key, [])
+            for left_binding in candidates:
+                merged = left_binding.merged(right_binding)
+                if merged is not None:
+                    yield merged
+            if any(k is None for k in key):
+                # Right side leaves some shared variable unbound: probe all.
+                for bucket_key, bucket in table.items():
+                    if bucket_key == key:
+                        continue
+                    if _keys_compatible(bucket_key, key):
+                        for left_binding in bucket:
+                            merged = left_binding.merged(right_binding)
+                            if merged is not None:
+                                yield merged
+
+    def _eval_left_join(self, op: LeftJoin, graph: Graph) -> Iterator[Binding]:
+        right_solutions = list(self._eval(op.right, graph))
+        for left_binding in self._eval(op.left, graph):
+            matched = False
+            for right_binding in right_solutions:
+                merged = left_binding.merged(right_binding)
+                if merged is None:
+                    continue
+                if op.expression is not None and not self._expressions.satisfied(
+                    op.expression, merged
+                ):
+                    continue
+                matched = True
+                yield merged
+            if not matched:
+                yield left_binding
+
+    def _eval_union(self, op: Union, graph: Graph) -> Iterator[Binding]:
+        yield from self._eval(op.left, graph)
+        yield from self._eval(op.right, graph)
+
+    def _eval_minus(self, op: Minus, graph: Graph) -> Iterator[Binding]:
+        right_solutions = list(self._eval(op.right, graph))
+        for left_binding in self._eval(op.left, graph):
+            excluded = False
+            for right_binding in right_solutions:
+                shared = set(left_binding) & set(right_binding)
+                if not shared:
+                    continue
+                if left_binding.compatible(right_binding):
+                    excluded = True
+                    break
+            if not excluded:
+                yield left_binding
+
+    # ------------------------------------------------------------------
+    # unary operators
+    # ------------------------------------------------------------------
+
+    def _eval_filter(self, op: Filter, graph: Graph) -> Iterator[Binding]:
+        for binding in self._eval(op.input, graph):
+            if self._expressions.satisfied(op.expression, binding):
+                yield binding
+
+    def _eval_extend(self, op: Extend, graph: Graph) -> Iterator[Binding]:
+        for binding in self._eval(op.input, graph):
+            try:
+                value = self._expressions.evaluate(op.expression, binding)
+            except ExpressionError:
+                yield binding  # BIND error leaves the variable unbound
+                continue
+            if op.variable in binding:
+                # Re-binding an existing variable is a query error; keep the
+                # solution only when values agree.
+                if binding[op.variable] == value:
+                    yield binding
+                continue
+            yield binding.extended(op.variable, value)
+
+    def _eval_graph(self, op: GraphOp) -> Iterator[Binding]:
+        if self._dataset is None:
+            raise ValueError("GRAPH patterns require a Dataset, not a bare Graph")
+        if isinstance(op.name, Variable):
+            for name in list(self._dataset.graph_names()):
+                if name is None:
+                    continue
+                named_graph = self._dataset.graph(name)
+                for binding in self._eval(op.input, named_graph):
+                    if op.name in binding:
+                        if binding[op.name] == name:
+                            yield binding
+                    else:
+                        yield binding.extended(op.name, name)
+        else:
+            if not isinstance(op.name, NamedNode):
+                raise ValueError("GRAPH name must be an IRI or variable")
+            if not self._dataset.has_graph(op.name):
+                return
+            yield from self._eval(op.input, self._dataset.graph(op.name))
+
+    def _eval_values(self, op: ValuesOp) -> Iterator[Binding]:
+        for row in op.rows:
+            items = {
+                variable: term
+                for variable, term in zip(op.variables, row)
+                if term is not None
+            }
+            yield Binding(items)
+
+    def _eval_project(self, op: Project, graph: Graph) -> Iterator[Binding]:
+        for binding in self._eval(op.input, graph):
+            yield binding.projected(op.variables)
+
+    def _eval_distinct(self, op: Distinct, graph: Graph) -> Iterator[Binding]:
+        seen: set[Binding] = set()
+        for binding in self._eval(op.input, graph):
+            if binding not in seen:
+                seen.add(binding)
+                yield binding
+
+    def _eval_reduced(self, op: Reduced, graph: Graph) -> Iterator[Binding]:
+        # REDUCED permits but does not require deduplication; dedupe
+        # adjacent duplicates, the cheap half-measure.
+        previous: Optional[Binding] = None
+        for binding in self._eval(op.input, graph):
+            if binding != previous:
+                yield binding
+            previous = binding
+
+    def _eval_slice(self, op: Slice, graph: Graph) -> Iterator[Binding]:
+        produced = 0
+        skipped = 0
+        for binding in self._eval(op.input, graph):
+            if skipped < op.offset:
+                skipped += 1
+                continue
+            if op.limit is not None and produced >= op.limit:
+                return
+            produced += 1
+            yield binding
+
+    def _eval_order(self, op: OrderBy, graph: Graph) -> Iterator[Binding]:
+        solutions = list(self._eval(op.input, graph))
+
+        def sort_key(binding: Binding):
+            keys = []
+            for condition in op.conditions:
+                try:
+                    term = self._expressions.evaluate(condition.expression, binding)
+                except ExpressionError:
+                    term = None
+                key = order_key(term)
+                keys.append(_Reversed(key) if condition.descending else key)
+            return tuple(keys)
+
+        solutions.sort(key=sort_key)
+        return iter(solutions)
+
+    def _eval_group(self, op: GroupBy, graph: Graph) -> Iterator[Binding]:
+        solutions = list(self._eval(op.input, graph))
+        groups = group_solutions(solutions, op.keys, self._expressions)
+        for key_binding, members in groups:
+            result = compute_aggregates(key_binding, members, op.bindings, self._expressions)
+            if result is None:
+                continue
+            keep = True
+            for having in op.having:
+                if not evaluate_having(having, members, result, self._expressions):
+                    keep = False
+                    break
+            if keep:
+                yield result
+
+    # ------------------------------------------------------------------
+
+    def _evaluate_exists(self, pattern: Operator, binding: Binding) -> bool:
+        substituted = _substitute_operator(pattern, binding)
+        for _ in self._eval(substituted, self._graph):
+            return True
+        return False
+
+
+class _Reversed:
+    """Inverts comparison order for DESC sort keys."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key) -> None:
+        self.key = key
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and other.key == self.key
+
+
+def _substitute(term: Optional[Term], binding: Binding) -> Optional[Term]:
+    if isinstance(term, Variable):
+        return binding.get(term)
+    return term
+
+
+def _extend_with_triple(
+    binding: Binding, pattern: TriplePattern, triple: Triple
+) -> Optional[Binding]:
+    items: Optional[dict] = None
+    for pattern_term, data_term in zip(pattern, triple):
+        if isinstance(pattern_term, Variable):
+            bound = binding.get(pattern_term)
+            if bound is None and items is not None:
+                bound = items.get(pattern_term)
+            if bound is None:
+                if items is None:
+                    items = dict(binding)
+                items[pattern_term] = data_term
+            elif bound != data_term:
+                return None
+    if items is None:
+        return binding
+    return Binding(items)
+
+
+def _keys_compatible(left: tuple, right: tuple) -> bool:
+    for a, b in zip(left, right):
+        if a is not None and b is not None and a != b:
+            return False
+    return True
+
+
+def _substitute_operator(op: Operator, binding: Binding) -> Operator:
+    """Inject bound variable values into a pattern (for EXISTS)."""
+    if isinstance(op, BGP):
+        new_patterns = tuple(
+            TriplePattern(
+                _substitute(p.subject, binding) if isinstance(p.subject, Variable) and p.subject in binding else p.subject,
+                _substitute(p.predicate, binding) if isinstance(p.predicate, Variable) and p.predicate in binding else p.predicate,
+                _substitute(p.object, binding) if isinstance(p.object, Variable) and p.object in binding else p.object,
+            )
+            for p in op.patterns
+        )
+        new_paths = tuple(
+            PathPattern(
+                binding.get(p.subject, p.subject) if isinstance(p.subject, Variable) else p.subject,
+                p.path,
+                binding.get(p.object, p.object) if isinstance(p.object, Variable) else p.object,
+            )
+            for p in op.path_patterns
+        )
+        return BGP(new_patterns, new_paths)
+    if isinstance(op, Join):
+        return Join(_substitute_operator(op.left, binding), _substitute_operator(op.right, binding))
+    if isinstance(op, Union):
+        return Union(_substitute_operator(op.left, binding), _substitute_operator(op.right, binding))
+    if isinstance(op, Filter):
+        return Filter(op.expression, _substitute_operator(op.input, binding))
+    if isinstance(op, LeftJoin):
+        return LeftJoin(
+            _substitute_operator(op.left, binding),
+            _substitute_operator(op.right, binding),
+            op.expression,
+        )
+    return op
+
+
+def construct_triples(
+    template: tuple[TriplePattern, ...], binding: Binding, solution_index: int
+) -> Iterator[Triple]:
+    """Instantiate a CONSTRUCT template for one solution.
+
+    Query blank-node variables (``?__bn...``) get fresh blank nodes scoped
+    per solution, per the CONSTRUCT semantics.
+    """
+    bnode_scope: dict[Variable, BlankNode] = {}
+    for pattern in template:
+        terms = []
+        valid = True
+        for position, term in enumerate(pattern):
+            if isinstance(term, Variable):
+                if term.value.startswith("__bn"):
+                    if term not in bnode_scope:
+                        bnode_scope[term] = BlankNode(f"c{solution_index}_{len(bnode_scope)}")
+                    value: Optional[Term] = bnode_scope[term]
+                else:
+                    value = binding.get(term)
+                if value is None:
+                    valid = False
+                    break
+                terms.append(value)
+            else:
+                terms.append(term)
+        if not valid:
+            continue
+        subject, predicate, object_term = terms
+        if isinstance(subject, Literal) or not isinstance(predicate, NamedNode):
+            continue
+        yield Triple(subject, predicate, object_term)
+
+
+def evaluate_query(
+    data: TypingUnion[Graph, Dataset], query: Query, seed_iris: Iterable[str] = ()
+):
+    """One-shot convenience: evaluate a parsed query over a snapshot.
+
+    Returns a list of bindings (SELECT), a bool (ASK), or a list of triples
+    (CONSTRUCT).
+    """
+    evaluator = SnapshotEvaluator(data, seed_iris=seed_iris)
+    if query.form == "SELECT":
+        return list(evaluator.select(query))
+    if query.form == "ASK":
+        return evaluator.ask(query)
+    if query.form == "CONSTRUCT":
+        return list(evaluator.construct(query))
+    if query.form == "DESCRIBE":
+        return list(evaluator.describe(query))
+    raise ValueError(f"unsupported query form {query.form!r}")

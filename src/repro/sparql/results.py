@@ -1,0 +1,168 @@
+"""SPARQL result serialization: JSON results format, CSV, and the
+line-delimited JSON bindings the paper's CLI prints (Fig. 2)."""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Optional, Sequence
+
+from ..rdf.terms import RDF_LANGSTRING, XSD_STRING, BlankNode, Literal, NamedNode, Term, Variable
+from .bindings import Binding
+
+__all__ = [
+    "binding_to_json_dict",
+    "results_to_sparql_json",
+    "results_to_csv",
+    "results_to_tsv",
+    "results_to_sparql_xml",
+    "binding_to_cli_line",
+]
+
+
+def _term_to_json(term: Term) -> dict:
+    if isinstance(term, NamedNode):
+        return {"type": "uri", "value": term.value}
+    if isinstance(term, BlankNode):
+        return {"type": "bnode", "value": term.value}
+    if isinstance(term, Literal):
+        result: dict = {"type": "literal", "value": term.value}
+        if term.language:
+            result["xml:lang"] = term.language
+        elif term.datatype and term.datatype not in (XSD_STRING,):
+            result["datatype"] = term.datatype
+        return result
+    raise TypeError(f"cannot serialize term {term!r}")
+
+
+def binding_to_json_dict(binding: Binding) -> dict:
+    """One solution as a SPARQL-JSON-results binding object."""
+    return {variable.value: _term_to_json(term) for variable, term in binding.items()}
+
+
+def results_to_sparql_json(
+    variables: Sequence[Variable], bindings: Iterable[Binding]
+) -> str:
+    """Full application/sparql-results+json document."""
+    document = {
+        "head": {"vars": [v.value for v in variables]},
+        "results": {"bindings": [binding_to_json_dict(b) for b in bindings]},
+    }
+    return json.dumps(document, indent=2)
+
+
+def _term_to_csv(term: Optional[Term]) -> str:
+    if term is None:
+        return ""
+    if isinstance(term, NamedNode):
+        return term.value
+    if isinstance(term, BlankNode):
+        return f"_:{term.value}"
+    if isinstance(term, Literal):
+        return term.value
+    raise TypeError(f"cannot serialize term {term!r}")
+
+
+def results_to_csv(variables: Sequence[Variable], bindings: Iterable[Binding]) -> str:
+    """text/csv results per the SPARQL 1.1 CSV results format."""
+    def escape(cell: str) -> str:
+        if any(c in cell for c in ",\"\n\r"):
+            return '"' + cell.replace('"', '""') + '"'
+        return cell
+
+    lines = [",".join(v.value for v in variables)]
+    for binding in bindings:
+        lines.append(",".join(escape(_term_to_csv(binding.get(v))) for v in variables))
+    return "\r\n".join(lines) + "\r\n"
+
+
+def _xml_escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def results_to_sparql_xml(
+    variables: Sequence[Variable], bindings: Iterable[Binding]
+) -> str:
+    """application/sparql-results+xml document."""
+    lines = [
+        '<?xml version="1.0"?>',
+        '<sparql xmlns="http://www.w3.org/2005/sparql-results#">',
+        "  <head>",
+    ]
+    for variable in variables:
+        lines.append(f'    <variable name="{_xml_escape(variable.value)}"/>')
+    lines.append("  </head>")
+    lines.append("  <results>")
+    for binding in bindings:
+        lines.append("    <result>")
+        for variable, term in binding.items():
+            name = _xml_escape(variable.value)
+            if isinstance(term, NamedNode):
+                body = f"<uri>{_xml_escape(term.value)}</uri>"
+            elif isinstance(term, BlankNode):
+                body = f"<bnode>{_xml_escape(term.value)}</bnode>"
+            else:
+                value = _xml_escape(term.value)
+                if term.language:
+                    body = f'<literal xml:lang="{term.language}">{value}</literal>'
+                elif term.datatype and term.datatype != XSD_STRING:
+                    body = f'<literal datatype="{_xml_escape(term.datatype)}">{value}</literal>'
+                else:
+                    body = f"<literal>{value}</literal>"
+            lines.append(f'      <binding name="{name}">{body}</binding>')
+        lines.append("    </result>")
+    lines.append("  </results>")
+    lines.append("</sparql>")
+    return "\n".join(lines) + "\n"
+
+
+def _term_to_tsv(term: Optional[Term]) -> str:
+    if term is None:
+        return ""
+    from ..rdf.terms import term_to_ntriples
+
+    rendered = term_to_ntriples(term)
+    return rendered.replace("\t", "\\t").replace("\n", "\\n").replace("\r", "\\r")
+
+
+def results_to_tsv(variables: Sequence[Variable], bindings: Iterable[Binding]) -> str:
+    """text/tab-separated-values results per the SPARQL 1.1 TSV format.
+
+    Unlike CSV, TSV keeps full term syntax (angle brackets, quoted
+    literals with datatypes), so it round-trips losslessly.
+    """
+    lines = ["\t".join(f"?{v.value}" for v in variables)]
+    for binding in bindings:
+        lines.append("\t".join(_term_to_tsv(binding.get(v)) for v in variables))
+    return "\n".join(lines) + "\n"
+
+
+def _term_to_cli(term: Term) -> str:
+    """Comunica-CLI-style rendering: literals keep quotes, typed literals
+    append ``^^datatype`` — matching the output shown in the paper's Fig. 2."""
+    if isinstance(term, NamedNode):
+        return term.value
+    if isinstance(term, BlankNode):
+        return f"_:{term.value}"
+    if isinstance(term, Literal):
+        body = f'"{term.value}"'
+        if term.language:
+            return f"{body}@{term.language}"
+        if term.datatype and term.datatype not in (XSD_STRING, RDF_LANGSTRING):
+            return f"{body}^^{term.datatype}"
+        return body
+    raise TypeError(f"cannot serialize term {term!r}")
+
+
+def binding_to_cli_line(binding: Binding, variables: Sequence[Variable]) -> str:
+    """One line of the CLI's streaming JSON output (Fig. 2 format)."""
+    payload = {
+        variable.value: _term_to_cli(binding[variable])
+        for variable in variables
+        if variable in binding
+    }
+    return json.dumps(payload, ensure_ascii=False)

@@ -1,0 +1,225 @@
+"""Web-based demonstration interface (paper Fig. 3, §4.1).
+
+The paper demonstrates the engine through a browser page with a query
+editor, a dropdown of the 37 Discover queries, and a streaming result
+list.  This module reproduces that experience locally:
+
+* :func:`render_page` produces the static HTML page (editor + dropdown +
+  results pane), and
+* :class:`DemoServer` serves it plus a ``/execute`` endpoint that runs the
+  engine against the simulated pods, streaming results as NDJSON — the
+  same incremental display the demo's Web worker provides.
+
+Run ``python -m repro.webui`` and open the printed URL.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import parse_qs, urlsplit
+
+from .ltqp.engine import LinkTraversalEngine
+from .net.latency import SeededJitterLatency
+from .sparql.parser import SparqlParseError, parse_query
+from .sparql.results import binding_to_cli_line
+from .solidbench.config import SolidBenchConfig
+from .solidbench.queries import discover_suite
+from .solidbench.universe import SolidBenchUniverse, build_universe
+
+__all__ = ["render_page", "DemoServer"]
+
+_PAGE_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>Comunica-style Link Traversal — Python reproduction</title>
+<style>
+ body {{ font-family: sans-serif; margin: 2em; max-width: 60em; }}
+ textarea {{ width: 100%; height: 14em; font-family: monospace; }}
+ select, button {{ font-size: 1em; margin: 0.3em 0; }}
+ #results {{ border: 1px solid #ccc; padding: 0.5em; height: 20em; overflow-y: scroll;
+            font-family: monospace; white-space: pre; }}
+ .meta {{ color: #666; }}
+</style>
+</head>
+<body>
+<h1>Link Traversal SPARQL over simulated Solid pods</h1>
+<p class="meta">Using solid-default config · {pod_count} simulated pods</p>
+<label>Type or pick a query:
+<select id="preset" onchange="pick()">{options}</select></label>
+<textarea id="query">{default_query}</textarea>
+<br><button onclick="execute()">Execute query</button>
+<span id="status" class="meta"></span>
+<h2>Query results:</h2>
+<div id="results"></div>
+<script>
+const PRESETS = {presets_json};
+function pick() {{
+  const key = document.getElementById('preset').value;
+  if (PRESETS[key]) document.getElementById('query').value = PRESETS[key];
+}}
+async function execute() {{
+  const out = document.getElementById('results');
+  const status = document.getElementById('status');
+  out.textContent = '';
+  status.textContent = 'running...';
+  const started = performance.now();
+  const response = await fetch('/execute?query=' + encodeURIComponent(
+      document.getElementById('query').value));
+  const reader = response.body.getReader();
+  const decoder = new TextDecoder();
+  let count = 0, buffer = '';
+  while (true) {{
+    const {{done, value}} = await reader.read();
+    if (done) break;
+    buffer += decoder.decode(value, {{stream: true}});
+    const lines = buffer.split('\\n');
+    buffer = lines.pop();
+    for (const line of lines) {{
+      if (!line) continue;
+      out.textContent += line + '\\n';
+      count += 1;
+      status.textContent = count + ' results in ' +
+          ((performance.now() - started) / 1000).toFixed(1) + 's';
+    }}
+  }}
+  status.textContent = count + ' results in ' +
+      ((performance.now() - started) / 1000).toFixed(1) + 's (done)';
+}}
+</script>
+</body>
+</html>
+"""
+
+
+def render_page(universe: SolidBenchUniverse) -> str:
+    """The static demo page with the 37 preset queries."""
+    queries = discover_suite(universe)
+    options = "".join(
+        f'<option value="{query.name}">[SolidBench] {query.name}</option>'
+        for query in queries
+    )
+    presets = {query.name: query.text for query in queries}
+    return _PAGE_TEMPLATE.format(
+        pod_count=universe.person_count,
+        options=options,
+        default_query=html.escape(queries[0].text),
+        presets_json=json.dumps(presets),
+    )
+
+
+class DemoServer:
+    """Serves the demo page and executes queries over the simulation."""
+
+    def __init__(
+        self,
+        universe: Optional[SolidBenchUniverse] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._universe = universe if universe is not None else build_universe(
+            SolidBenchConfig(scale=0.02)
+        )
+        self._host = host
+        self._requested_port = port
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._page = render_page(self._universe)
+
+    @property
+    def universe(self) -> SolidBenchUniverse:
+        return self._universe
+
+    @property
+    def url(self) -> str:
+        if self._server is None:
+            raise RuntimeError("server is not running")
+        return f"http://{self._host}:{self._server.server_address[1]}/"
+
+    def start(self) -> "DemoServer":
+        demo = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def log_message(self, format: str, *args) -> None:
+                pass
+
+            def do_GET(self) -> None:
+                parts = urlsplit(self.path)
+                if parts.path == "/":
+                    body = demo._page.encode("utf-8")
+                    self.send_response(200)
+                    self.send_header("content-type", "text/html; charset=utf-8")
+                    self.send_header("content-length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                    return
+                if parts.path == "/execute":
+                    query_text = parse_qs(parts.query).get("query", [""])[0]
+                    demo._execute(self, query_text)
+                    return
+                self.send_response(404)
+                self.end_headers()
+
+        self._server = ThreadingHTTPServer((self._host, self._requested_port), _Handler)
+        self._thread = threading.Thread(target=self._server.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def _execute(self, handler: BaseHTTPRequestHandler, query_text: str) -> None:
+        try:
+            query = parse_query(query_text)
+        except SparqlParseError as error:
+            body = json.dumps({"error": str(error)}).encode("utf-8")
+            handler.send_response(400)
+            handler.send_header("content-type", "application/json")
+            handler.send_header("content-length", str(len(body)))
+            handler.end_headers()
+            handler.wfile.write(body)
+            return
+        client = self._universe.client(latency=SeededJitterLatency())
+        engine = LinkTraversalEngine(client)
+        execution = engine.execute_sync(query)
+        variables = query.variables()
+        handler.send_response(200)
+        handler.send_header("content-type", "application/x-ndjson")
+        handler.end_headers()
+        for timed in execution.results:
+            line = binding_to_cli_line(timed.binding, variables) + "\n"
+            handler.wfile.write(line.encode("utf-8"))
+            handler.wfile.flush()
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "DemoServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def main() -> int:
+    server = DemoServer(port=8765)
+    server.start()
+    print(f"Demo UI running at {server.url} — Ctrl-C to stop")
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,55 @@
+"""Unit tests for the benchmark harness."""
+
+import pytest
+
+from repro.bench.harness import oracle_bindings, run_query, run_suite
+from repro.ltqp.extractors import AllIriExtractor
+from repro.solidbench.queries import discover_query
+
+
+class TestRunQuery:
+    def test_report_is_complete_against_oracle(self, tiny_universe):
+        query = discover_query(tiny_universe, 1, 5)
+        report = run_query(tiny_universe, query)
+        assert report.complete is True
+        assert report.result_count == report.oracle_count
+        assert report.streaming is True
+        assert report.waterfall.request_count > 0
+        assert report.documents_fetched > 0
+
+    def test_result_times_are_monotonic(self, tiny_universe):
+        query = discover_query(tiny_universe, 2, 1)
+        report = run_query(tiny_universe, query)
+        assert report.result_times == sorted(report.result_times)
+        if report.result_times:
+            assert report.time_to_first_result is not None
+
+    def test_oracle_check_can_be_skipped(self, tiny_universe):
+        query = discover_query(tiny_universe, 1, 1)
+        report = run_query(tiny_universe, query, check_oracle=False)
+        assert report.oracle_count is None and report.complete is None
+
+    def test_custom_extractors_accepted(self, tiny_universe):
+        query = discover_query(tiny_universe, 1, 1)
+        report = run_query(tiny_universe, query, extractors=[AllIriExtractor()], check_oracle=False)
+        assert report.links_by_extractor.get("all-iris", 0) > 0
+
+    def test_row_shape(self, tiny_universe):
+        query = discover_query(tiny_universe, 1, 1)
+        row = run_query(tiny_universe, query).row()
+        assert row["query"] == "Discover 1.1"
+        assert row["complete"] == "yes"
+        assert set(row) >= {"results", "oracle", "ttfr_s", "total_s", "requests"}
+
+
+class TestRunSuite:
+    def test_runs_each_query(self, tiny_universe):
+        queries = [discover_query(tiny_universe, 1, 1), discover_query(tiny_universe, 4, 1)]
+        reports = run_suite(tiny_universe, queries, check_oracle=False)
+        assert [r.query.name for r in reports] == ["Discover 1.1", "Discover 4.1"]
+
+
+class TestOracle:
+    def test_oracle_bindings_nonempty_for_post_queries(self, tiny_universe):
+        query = discover_query(tiny_universe, 1, 5)
+        assert oracle_bindings(tiny_universe, query)

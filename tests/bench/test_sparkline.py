@@ -1,0 +1,44 @@
+"""Tests for sparkline rendering."""
+
+from repro.bench.sparkline import queue_sparkline, sparkline
+from repro.ltqp.links import QueueSample
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_zero(self):
+        assert sparkline([0, 0, 0]) == "▁▁▁"
+
+    def test_monotonic_ramp_uses_increasing_bars(self):
+        chart = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert chart == "▁▂▃▄▅▆▇█"
+
+    def test_peak_maps_to_full_bar(self):
+        chart = sparkline([1, 10, 1])
+        assert "█" in chart and chart[1] == "█"
+
+    def test_bucketing_preserves_peak(self):
+        values = [0] * 100 + [50] + [0] * 100
+        chart = sparkline(values, width=20)
+        assert len(chart) == 20
+        assert "█" in chart
+
+    def test_short_input_not_padded(self):
+        assert len(sparkline([1, 2], width=60)) == 2
+
+
+class TestQueueSparkline:
+    def make_samples(self, lengths):
+        return [
+            QueueSample(timestamp=float(i), queue_length=length, pushed_total=0, popped_total=0)
+            for i, length in enumerate(lengths)
+        ]
+
+    def test_annotated_with_peak(self):
+        chart = queue_sparkline(self.make_samples([0, 5, 12, 3, 0]))
+        assert chart.endswith("peak=12")
+
+    def test_no_samples(self):
+        assert queue_sparkline([]) == "(no samples)"

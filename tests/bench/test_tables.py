@@ -1,0 +1,34 @@
+"""Unit tests for table rendering."""
+
+from repro.bench.tables import render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        rows = [
+            {"query": "Discover 1.5", "results": 35, "ttfr_s": "0.02"},
+            {"query": "Discover 8.5", "results": 1019, "ttfr_s": "0.5"},
+        ]
+        text = render_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("query")
+        assert set(lines[1]) <= {"-", " "}
+        assert "1019" in lines[3]
+
+    def test_numeric_columns_right_aligned(self):
+        rows = [{"name": "a", "count": 5}, {"name": "bb", "count": 12345}]
+        lines = render_table(rows).splitlines()
+        assert lines[2].endswith("    5")
+        assert lines[3].endswith("12345")
+
+    def test_explicit_column_order(self):
+        rows = [{"a": 1, "b": 2}]
+        text = render_table(rows, columns=["b", "a"])
+        assert text.splitlines()[0].startswith("b")
+
+    def test_empty(self):
+        assert render_table([]) == "(no rows)\n"
+
+    def test_missing_cells_render_empty(self):
+        text = render_table([{"a": 1}, {"a": 2, "b": "x"}])
+        assert "x" in text

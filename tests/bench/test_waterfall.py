@@ -1,0 +1,61 @@
+"""Unit tests for resource-waterfall construction and rendering."""
+
+from repro.bench.waterfall import build_waterfall, render_waterfall
+from repro.net.log import RequestLog
+
+
+def make_log():
+    log = RequestLog()
+    log.record("GET", "https://h/pods/1/profile/card", 200, 0.0, 0.01, 500, None)
+    log.record("GET", "https://h/pods/1/", 200, 0.01, 0.02, 300, "https://h/pods/1/profile/card")
+    log.record("GET", "https://h/pods/1/posts/", 200, 0.02, 0.03, 200, "https://h/pods/1/")
+    log.record("GET", "https://h/pods/1/posts/2010-10-12", 200, 0.03, 0.05, 800, "https://h/pods/1/posts/")
+    log.record("GET", "https://h/missing", 404, 0.03, 0.04, 20, "https://h/pods/1/")
+    return log
+
+
+class TestBuildWaterfall:
+    def test_summary_metrics(self):
+        waterfall = build_waterfall(make_log())
+        assert waterfall.request_count == 5
+        assert waterfall.max_depth == 3
+        assert waterfall.origins == 1
+        assert waterfall.total_bytes == 1820
+        assert waterfall.max_parallelism == 2  # 404 overlaps the post fetch
+        assert abs(waterfall.total_duration - 0.05) < 1e-9
+
+    def test_rows_sorted_by_start(self):
+        rows = build_waterfall(make_log()).rows
+        assert [r.start for r in rows] == sorted(r.start for r in rows)
+
+    def test_short_names(self):
+        rows = build_waterfall(make_log()).rows
+        names = {r.short_name for r in rows}
+        assert "card" in names
+        assert "posts/" in names
+        assert "2010-10-12" in names
+
+    def test_depths_follow_parent_chain(self):
+        rows = {r.url: r.depth for r in build_waterfall(make_log()).rows}
+        assert rows["https://h/pods/1/profile/card"] == 0
+        assert rows["https://h/pods/1/posts/2010-10-12"] == 3
+
+    def test_empty_log(self):
+        waterfall = build_waterfall(RequestLog())
+        assert waterfall.request_count == 0
+        assert render_waterfall(waterfall) == "(no requests)\n"
+
+
+class TestRenderWaterfall:
+    def test_render_contains_bars_and_totals(self):
+        text = render_waterfall(build_waterfall(make_log()))
+        assert "█" in text
+        assert "total: 5 requests" in text
+        assert "404" in text
+
+    def test_row_cap(self):
+        log = RequestLog()
+        for i in range(50):
+            log.record("GET", f"https://h/{i}", 200, i * 0.01, i * 0.01 + 0.005, 10, None)
+        text = render_waterfall(build_waterfall(log), max_rows=10)
+        assert "and 40 more requests" in text

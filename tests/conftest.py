@@ -1,0 +1,24 @@
+"""Shared fixtures: small SolidBench universes and common RDF snippets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.solidbench import SolidBenchConfig, build_universe
+
+
+@pytest.fixture(scope="session")
+def tiny_universe():
+    """~15 pods; enough for every Discover template to return results."""
+    return build_universe(SolidBenchConfig(scale=0.01, seed=7))
+
+
+@pytest.fixture(scope="session")
+def small_universe():
+    """~31 pods; used by heavier integration tests."""
+    return build_universe(SolidBenchConfig(scale=0.02, seed=42))
+
+
+@pytest.fixture()
+def fast_engine(tiny_universe):
+    return tiny_universe.fast_engine()

@@ -1,0 +1,197 @@
+"""Unit/integration tests for the link-traversal engine."""
+
+import asyncio
+
+import pytest
+
+from repro.ltqp import (
+    AllIriExtractor,
+    EngineConfig,
+    LinkTraversalEngine,
+    PriorityLinkQueue,
+)
+from repro.net import HttpClient, Internet, NoLatency, StaticApp
+from repro.rdf import Literal, NamedNode, RDF, SNVOC, Triple, Variable
+from repro.solid import Pod, SolidServer
+
+ORIGIN = "https://bench.example"
+SNB = f"PREFIX snvoc: <{SNVOC.base}>\n"
+
+
+def build_two_pod_world():
+    """Pod 1: creator with posts; pod 2: a liker pointing into pod 1."""
+    server = SolidServer(ORIGIN)
+
+    pod1 = Pod(ORIGIN + "/pods/0001/", owner_name="Zulma")
+    me1 = NamedNode(pod1.webid)
+    for index, day in enumerate(["2010-10-12", "2011-11-21"]):
+        message = NamedNode(f"{pod1.base_url}posts/{day}#post{index}")
+        pod1.add_document(
+            f"posts/{day}",
+            [
+                Triple(message, RDF.type, SNVOC.Post),
+                Triple(message, SNVOC.hasCreator, me1),
+                Triple(message, SNVOC.content, Literal(f"post {index}")),
+            ],
+        )
+    pod1.build_profile()
+    pod1.build_type_index([(SNVOC.Post, "posts/", True)])
+    server.mount(pod1)
+
+    pod2 = Pod(ORIGIN + "/pods/0002/", owner_name="Ana")
+    liked = NamedNode(pod1.base_url + "posts/2010-10-12#post0")
+    pod2.add_document("likes", [Triple(NamedNode(pod2.webid), SNVOC.likes, liked)])
+    pod2.build_profile()
+    server.mount(pod2)
+
+    internet = Internet()
+    internet.register(ORIGIN, server)
+    return internet, pod1, pod2
+
+
+@pytest.fixture()
+def world():
+    return build_two_pod_world()
+
+
+def engine_for(internet, **kwargs):
+    return LinkTraversalEngine(HttpClient(internet, latency=NoLatency()), **kwargs)
+
+
+class TestExecution:
+    def test_streams_results_while_traversing(self, world):
+        internet, pod1, _ = world
+        engine = engine_for(internet)
+        query = SNB + f"SELECT ?c WHERE {{ ?m snvoc:hasCreator <{pod1.webid}> ; snvoc:content ?c }}"
+        result = engine.execute_sync(query)
+        assert len(result) == 2
+        assert result.stats.streaming
+        assert result.stats.time_to_first_result is not None
+        assert result.stats.time_to_first_result <= result.stats.total_time
+
+    def test_query_based_seed_fallback(self, world):
+        internet, pod1, _ = world
+        engine = engine_for(internet)
+        query = SNB + f"SELECT ?c WHERE {{ ?m snvoc:hasCreator <{pod1.webid}> ; snvoc:content ?c }}"
+        result = engine.execute_sync(query)  # no explicit seeds
+        assert result.seeds == [pod1.webid]
+        assert len(result) == 2
+
+    def test_explicit_seeds_override(self, world):
+        internet, pod1, pod2 = world
+        engine = engine_for(internet)
+        query = SNB + "SELECT ?c WHERE { ?m snvoc:content ?c }"
+        result = engine.execute_sync(query, seeds=[pod1.webid])
+        assert result.seeds == [pod1.webid]
+        assert len(result) == 2
+
+    def test_stream_api_yields_incrementally(self, world):
+        internet, pod1, _ = world
+        engine = engine_for(internet)
+        query = SNB + f"SELECT ?c WHERE {{ ?m snvoc:hasCreator <{pod1.webid}> ; snvoc:content ?c }}"
+
+        async def collect():
+            seen = []
+            async for binding in engine.stream(query):
+                seen.append(binding)
+            return seen
+
+        assert len(asyncio.run(collect())) == 2
+
+    def test_cross_pod_traversal(self, world):
+        internet, pod1, pod2 = world
+        engine = engine_for(internet)
+        query = SNB + (
+            f"SELECT ?creator WHERE {{ <{pod2.webid}> snvoc:likes ?m . "
+            "?m snvoc:hasCreator ?creator }"
+        )
+        result = engine.execute_sync(query)
+        assert [b[Variable("creator")].value for b in result.bindings] == [pod1.webid]
+        fetched_origin_paths = {r.url for r in engine.client.log.records}
+        assert any("/pods/0001/" in url for url in fetched_origin_paths)
+
+    def test_limit_stops_traversal_early(self, world):
+        internet, pod1, _ = world
+        engine = engine_for(internet)
+        unbounded = engine.execute_sync(
+            SNB + f"SELECT ?c WHERE {{ ?m snvoc:hasCreator <{pod1.webid}> ; snvoc:content ?c }}"
+        )
+        engine2 = engine_for(internet)
+        limited = engine2.execute_sync(
+            SNB + f"SELECT ?c WHERE {{ ?m snvoc:hasCreator <{pod1.webid}> ; snvoc:content ?c }} LIMIT 1"
+        )
+        assert len(limited) == 1
+        assert limited.stats.documents_fetched <= unbounded.stats.documents_fetched
+
+    def test_non_monotonic_query_falls_back_to_snapshot(self, world):
+        internet, pod1, _ = world
+        engine = engine_for(internet)
+        query = SNB + (
+            f"SELECT ?c WHERE {{ ?m snvoc:hasCreator <{pod1.webid}> ; snvoc:content ?c }} ORDER BY ?c"
+        )
+        result = engine.execute_sync(query)
+        assert not result.stats.streaming
+        assert [b[Variable("c")].value for b in result.bindings] == ["post 0", "post 1"]
+
+    def test_ask_query(self, world):
+        internet, pod1, _ = world
+        engine = engine_for(internet)
+        result = engine.execute_sync(SNB + f"ASK {{ ?m snvoc:hasCreator <{pod1.webid}> }}")
+        assert len(result) == 1  # one empty binding = true
+
+    def test_dead_seed_is_lenient(self, world):
+        internet, pod1, _ = world
+        engine = engine_for(internet)
+        query = SNB + f"SELECT ?c WHERE {{ ?m snvoc:hasCreator <{pod1.webid}> ; snvoc:content ?c }}"
+        result = engine.execute_sync(query, seeds=["https://nowhere.example/x", pod1.webid])
+        assert len(result) == 2
+        assert result.stats.documents_failed >= 1
+
+    def test_no_seeds_completes_empty(self, world):
+        internet, _, _ = world
+        engine = engine_for(internet)
+        result = engine.execute_sync(SNB + "SELECT ?c WHERE { ?m snvoc:content ?c }", seeds=[])
+        assert len(result) == 0
+
+
+class TestConfiguration:
+    def test_max_documents_bounds_traversal(self, world):
+        internet, pod1, _ = world
+        engine = engine_for(internet, config=EngineConfig(max_documents=3))
+        query = SNB + f"SELECT ?c WHERE {{ ?m snvoc:hasCreator <{pod1.webid}> ; snvoc:content ?c }}"
+        result = engine.execute_sync(query)
+        assert result.stats.documents_fetched <= 3
+
+    def test_max_depth_bounds_traversal(self, world):
+        internet, pod1, _ = world
+        shallow = engine_for(internet, config=EngineConfig(max_depth=1))
+        query = SNB + f"SELECT ?c WHERE {{ ?m snvoc:hasCreator <{pod1.webid}> ; snvoc:content ?c }}"
+        result = shallow.execute_sync(query)
+        assert len(result) == 0  # posts live at depth > 1
+
+    def test_priority_queue_factory(self, world):
+        internet, pod1, _ = world
+        engine = engine_for(internet, queue_factory=PriorityLinkQueue)
+        query = SNB + f"SELECT ?c WHERE {{ ?m snvoc:hasCreator <{pod1.webid}> ; snvoc:content ?c }}"
+        assert len(engine.execute_sync(query)) == 2
+
+    def test_custom_extractors(self, world):
+        internet, pod1, _ = world
+        engine = engine_for(internet, extractors=[AllIriExtractor()])
+        query = SNB + f"SELECT ?c WHERE {{ ?m snvoc:hasCreator <{pod1.webid}> ; snvoc:content ?c }}"
+        result = engine.execute_sync(query)
+        assert len(result) == 2
+        assert set(result.stats.links_by_extractor) <= {"seed", "all-iris"}
+
+    def test_stats_accounting(self, world):
+        internet, pod1, _ = world
+        engine = engine_for(internet)
+        query = SNB + f"SELECT ?c WHERE {{ ?m snvoc:hasCreator <{pod1.webid}> ; snvoc:content ?c }}"
+        result = engine.execute_sync(query)
+        stats = result.stats
+        assert stats.documents_fetched == len(engine.client.log.records) - stats.documents_failed
+        assert stats.links_queued >= stats.documents_fetched
+        assert stats.queue_samples
+        assert stats.triples_discovered > 0
+        summary = stats.summary()
+        assert summary["results"] == 2

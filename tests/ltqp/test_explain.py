@@ -1,0 +1,61 @@
+"""Tests for query plan explanation."""
+
+from repro.ltqp import default_extractors, explain_algebra, explain_plan
+from repro.sparql import parse_query
+
+EX = "PREFIX ex: <http://x/>\n"
+
+
+class TestExplainAlgebra:
+    def test_bgp_patterns_listed(self):
+        query = parse_query(EX + "SELECT ?a WHERE { ?a ex:p ?b . ?b ex:q ?c }")
+        text = explain_algebra(query.where)
+        assert "BGP" in text and "Project" in text
+        assert text.count("?a") >= 1
+
+    def test_operators_named(self):
+        query = parse_query(
+            EX
+            + "SELECT DISTINCT ?a WHERE { { ?a ex:p ?b } UNION { ?a ex:q ?b } "
+            + "OPTIONAL { ?b ex:r ?c } FILTER(?b != ex:x) } LIMIT 3"
+        )
+        text = explain_algebra(query.where)
+        for token in ("Union", "LeftJoin", "Filter", "Distinct", "Slice"):
+            assert token in text, token
+
+
+class TestExplainPlan:
+    def make_query(self):
+        return parse_query(
+            EX
+            + "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+            + "SELECT ?c WHERE { ?m ex:creator <http://h/card#me> ; "
+            + "rdf:type ex:Post ; ex:content ?c }"
+        )
+
+    def test_sections_present(self):
+        text = explain_plan(self.make_query(), extractors=default_extractors())
+        assert "query form: SELECT" in text
+        assert "streaming" in text
+        assert "http://h/card#me" in text
+        assert "extractors: match, ldp-container, storage, type-index" in text
+        assert "type-index class filter: Post" in text
+        assert "zero-knowledge join order" in text
+
+    def test_join_order_starts_with_most_selective(self):
+        text = explain_plan(self.make_query())
+        order_section = text.split("zero-knowledge join order")[1]
+        first_line = order_section.splitlines()[1]
+        assert "creator" in first_line  # the bound-object anchor pattern
+
+    def test_non_monotonic_flagged(self):
+        query = parse_query(EX + "SELECT ?a WHERE { ?a ex:p ?b } ORDER BY ?a")
+        assert "snapshot at traversal quiescence" in explain_plan(query)
+
+    def test_no_seed_query(self):
+        query = parse_query(EX + "SELECT ?a WHERE { ?a ex:p ?b }")
+        assert "(none" in explain_plan(query)
+
+    def test_explicit_seeds_override(self):
+        text = explain_plan(self.make_query(), seeds=["https://other.example/seed"])
+        assert "https://other.example/seed" in text

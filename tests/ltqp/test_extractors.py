@@ -1,0 +1,143 @@
+"""Unit tests for link extraction strategies."""
+
+import pytest
+
+from repro.ltqp.extractors import (
+    AllIriExtractor,
+    LdpContainerExtractor,
+    MatchIriExtractor,
+    QueryContext,
+    StorageExtractor,
+    TypeIndexExtractor,
+    build_query_context,
+    default_extractors,
+)
+from repro.rdf import LDP, Literal, NamedNode, PIM, RDF, SNVOC, SOLID, Triple
+from repro.rdf.triples import TriplePattern
+from repro.rdf import Variable
+from repro.sparql import parse_query
+
+DOC = "https://h/pods/1/doc"
+
+
+def n(value):
+    return NamedNode(value)
+
+
+def extract(extractor, triples, context=QueryContext()):
+    return set(extractor.extract(DOC, triples, context))
+
+
+class TestAllIris:
+    def test_extracts_every_http_iri(self):
+        triples = [
+            Triple(n("https://h/a"), n("https://h/p"), n("https://h/b")),
+            Triple(n("https://h/a"), n("https://h/p"), Literal("not a link")),
+            Triple(n("urn:uuid:xyz"), n("https://h/p"), n("https://h/c")),
+        ]
+        result = extract(AllIriExtractor(), triples)
+        assert result == {"https://h/a", "https://h/p", "https://h/b", "https://h/c"}
+
+
+class TestMatchIris:
+    def test_only_matching_triples_contribute(self):
+        context = QueryContext(
+            patterns=(TriplePattern(Variable("m"), SNVOC.hasCreator, Variable("c")),)
+        )
+        matching = Triple(n("https://h/msg"), SNVOC.hasCreator, n("https://h/person"))
+        other = Triple(n("https://h/x"), n("https://h/unrelated"), n("https://h/y"))
+        result = extract(MatchIriExtractor(), [matching, other], context)
+        assert "https://h/msg" in result and "https://h/person" in result
+        assert "https://h/x" not in result
+
+    def test_no_patterns_means_no_links(self):
+        triples = [Triple(n("https://h/a"), n("https://h/p"), n("https://h/b"))]
+        assert extract(MatchIriExtractor(), triples, QueryContext()) == set()
+
+
+class TestLdpExtractor:
+    def test_follows_contains(self):
+        triples = [
+            Triple(n(DOC), LDP.contains, n("https://h/pods/1/posts/")),
+            Triple(n(DOC), RDF.type, LDP.Container),
+        ]
+        assert extract(LdpContainerExtractor(), triples) == {"https://h/pods/1/posts/"}
+
+
+class TestStorageExtractor:
+    def test_follows_pim_storage(self):
+        triples = [Triple(n("https://h/card#me"), PIM.storage, n("https://h/pods/1/"))]
+        assert extract(StorageExtractor(), triples) == {"https://h/pods/1/"}
+
+
+class TestTypeIndexExtractor:
+    def make_index(self):
+        reg_post = n("https://h/idx#post")
+        reg_comment = n("https://h/idx#comment")
+        return [
+            Triple(reg_post, SOLID.forClass, SNVOC.Post),
+            Triple(reg_post, SOLID.instanceContainer, n("https://h/pods/1/posts/")),
+            Triple(reg_comment, SOLID.forClass, SNVOC.Comment),
+            Triple(reg_comment, SOLID.instance, n("https://h/pods/1/comments")),
+        ]
+
+    def test_follows_type_index_link(self):
+        triples = [Triple(n("https://h/card#me"), SOLID.publicTypeIndex, n("https://h/idx"))]
+        assert extract(TypeIndexExtractor(), triples) == {"https://h/idx"}
+
+    def test_unconstrained_query_follows_all_registrations(self):
+        result = extract(TypeIndexExtractor(), self.make_index(), QueryContext())
+        assert result == {"https://h/pods/1/posts/", "https://h/pods/1/comments"}
+
+    def test_class_constrained_query_filters_registrations(self):
+        context = QueryContext(classes=frozenset({SNVOC.Post}))
+        result = extract(TypeIndexExtractor(), self.make_index(), context)
+        assert result == {"https://h/pods/1/posts/"}
+
+    def test_registration_without_forclass_always_followed(self):
+        triples = [Triple(n("https://h/idx#r"), SOLID.instance, n("https://h/pods/1/data"))]
+        context = QueryContext(classes=frozenset({SNVOC.Post}))
+        assert extract(TypeIndexExtractor(), triples, context) == {"https://h/pods/1/data"}
+
+
+class TestBuildQueryContext:
+    def test_collects_predicates_classes_and_iris(self):
+        query = parse_query(
+            f"""PREFIX snvoc: <{SNVOC.base}>
+            PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+            SELECT ?c WHERE {{
+              ?m snvoc:hasCreator <https://h/card#me> ;
+                 rdf:type snvoc:Post ;
+                 snvoc:content ?c .
+            }}"""
+        )
+        context = build_query_context(query.where)
+        assert SNVOC.hasCreator in context.predicates
+        assert SNVOC.Post in context.classes
+        assert "https://h/card#me" in context.entity_iris
+        assert SNVOC.Post.value not in context.entity_iris  # classes are not seeds
+
+    def test_path_predicates_included(self):
+        query = parse_query(
+            f"""PREFIX snvoc: <{SNVOC.base}>
+            SELECT ?m WHERE {{ <https://h/card#me> snvoc:likes/(snvoc:hasPost|snvoc:hasComment) ?m }}"""
+        )
+        context = build_query_context(query.where)
+        assert SNVOC.hasPost in context.predicates
+        assert SNVOC.hasComment in context.predicates
+
+    def test_patterns_from_union_and_optional(self):
+        query = parse_query(
+            """SELECT ?x WHERE {
+                 { ?x <http://x/a> ?y } UNION { ?x <http://x/b> ?y }
+                 OPTIONAL { ?y <http://x/c> ?z }
+               }"""
+        )
+        context = build_query_context(query.where)
+        assert {p.value for p in context.predicates} == {"http://x/a", "http://x/b", "http://x/c"}
+
+
+class TestDefaults:
+    def test_default_stack_is_solid_aware(self):
+        names = {extractor.name for extractor in default_extractors()}
+        assert names == {"match", "ldp-container", "storage", "type-index"}

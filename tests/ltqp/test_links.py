@@ -1,0 +1,101 @@
+"""Unit tests for links and link queues."""
+
+import pytest
+
+from repro.ltqp.links import FifoLinkQueue, Link, PriorityLinkQueue
+
+
+class TestFifoQueue:
+    def test_fifo_order(self):
+        queue = FifoLinkQueue()
+        queue.push(Link("https://h/a"))
+        queue.push(Link("https://h/b"))
+        assert queue.pop().url == "https://h/a"
+        assert queue.pop().url == "https://h/b"
+
+    def test_deduplication(self):
+        queue = FifoLinkQueue()
+        assert queue.push(Link("https://h/a"))
+        assert not queue.push(Link("https://h/a"))
+        assert len(queue) == 1
+
+    def test_fragment_stripped_for_dedup(self):
+        queue = FifoLinkQueue()
+        queue.push(Link("https://h/doc#me"))
+        assert not queue.push(Link("https://h/doc#other"))
+        assert queue.pop().url == "https://h/doc"
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            FifoLinkQueue().pop()
+
+    def test_has_seen(self):
+        queue = FifoLinkQueue()
+        queue.push(Link("https://h/a#frag"))
+        assert queue.has_seen("https://h/a")
+        assert queue.has_seen("https://h/a#x")
+        assert not queue.has_seen("https://h/b")
+
+    def test_counters(self):
+        queue = FifoLinkQueue()
+        queue.push(Link("https://h/a"))
+        queue.push(Link("https://h/b"))
+        queue.pop()
+        assert queue.pushed_total == 2
+        assert queue.popped_total == 1
+        assert not queue.empty
+
+    def test_compaction_preserves_order(self):
+        queue = FifoLinkQueue()
+        for i in range(3000):
+            queue.push(Link(f"https://h/{i}"))
+        for i in range(2999):
+            assert queue.pop().url == f"https://h/{i}"
+        queue.push(Link("https://h/last"))
+        assert queue.pop().url == "https://h/2999"
+        assert queue.pop().url == "https://h/last"
+
+    def test_samples_recorded(self):
+        queue = FifoLinkQueue()
+        queue.push(Link("https://h/a"))
+        queue.pop()
+        samples = queue.samples
+        assert len(samples) == 2
+        assert samples[0].queue_length == 1
+        assert samples[1].queue_length == 0
+
+
+class TestPriorityQueue:
+    def test_depth_ordering(self):
+        queue = PriorityLinkQueue()
+        queue.push(Link("https://h/deep", depth=3))
+        queue.push(Link("https://h/shallow", depth=1))
+        assert queue.pop().url == "https://h/shallow"
+
+    def test_extractor_rank_breaks_ties(self):
+        queue = PriorityLinkQueue()
+        queue.push(Link("https://h/data", depth=1, via="match"))
+        queue.push(Link("https://h/index", depth=1, via="type-index"))
+        assert queue.pop().url == "https://h/index"
+
+    def test_custom_priority(self):
+        queue = PriorityLinkQueue(priority=lambda link: (len(link.url),))
+        queue.push(Link("https://h/looooong"))
+        queue.push(Link("https://h/x"))
+        assert queue.pop().url == "https://h/x"
+
+    def test_insertion_order_for_equal_priority(self):
+        queue = PriorityLinkQueue()
+        queue.push(Link("https://h/a", depth=1, via="match"))
+        queue.push(Link("https://h/b", depth=1, via="match"))
+        assert queue.pop().url == "https://h/a"
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            PriorityLinkQueue().pop()
+
+
+class TestLink:
+    def test_seed_detection(self):
+        assert Link("https://h/a").is_seed
+        assert not Link("https://h/a", parent_url="https://h/b").is_seed

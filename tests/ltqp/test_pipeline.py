@@ -1,0 +1,182 @@
+"""Unit tests for the incremental pipelined operators."""
+
+import pytest
+
+from repro.ltqp.pipeline import NotStreamable, compile_pipeline
+from repro.rdf import Dataset, Literal, NamedNode, Quad, Variable
+from repro.sparql import parse_query
+from repro.sparql.bindings import Binding
+
+EX = "PREFIX ex: <http://x/>\n"
+
+
+def n(suffix):
+    return NamedNode(f"http://x/{suffix}")
+
+
+def q(subject, predicate, object, graph="https://h/doc"):
+    return Quad(subject, predicate, object, NamedNode(graph))
+
+
+def feed(pipeline, dataset, quads):
+    """Add quads then advance the pipeline, returning new results."""
+    for quad in quads:
+        dataset.add(quad)
+    return pipeline.advance(dataset)
+
+
+def make(text):
+    query = parse_query(EX + text)
+    return compile_pipeline(query.where), Dataset()
+
+
+class TestScans:
+    def test_single_pattern_streams(self):
+        pipeline, ds = make("SELECT ?o WHERE { ex:a ex:p ?o }")
+        first = feed(pipeline, ds, [q(n("a"), n("p"), Literal("1"))])
+        assert len(first) == 1
+        second = feed(pipeline, ds, [q(n("a"), n("p"), Literal("2"))])
+        assert len(second) == 1
+        assert not pipeline.advance(ds)  # no new data, no new results
+
+    def test_duplicate_triples_across_documents_deduplicated(self):
+        pipeline, ds = make("SELECT ?o WHERE { ex:a ex:p ?o }")
+        first = feed(pipeline, ds, [q(n("a"), n("p"), Literal("1"), "https://h/d1")])
+        second = feed(pipeline, ds, [q(n("a"), n("p"), Literal("1"), "https://h/d2")])
+        assert len(first) == 1 and len(second) == 0
+
+    def test_same_variable_twice_in_pattern(self):
+        pipeline, ds = make("SELECT ?x WHERE { ?x ex:p ?x }")
+        results = feed(pipeline, ds, [q(n("a"), n("p"), n("a")), q(n("a"), n("p"), n("b"))])
+        assert [b[Variable("x")] for b in results] == [n("a")]
+
+
+class TestIncrementalJoin:
+    def test_late_arriving_right_side_joins_earlier_left(self):
+        pipeline, ds = make("SELECT ?m ?c WHERE { ?m ex:creator ex:me . ?m ex:content ?c }")
+        assert feed(pipeline, ds, [q(n("m1"), n("creator"), n("me"))]) == []
+        results = feed(pipeline, ds, [q(n("m1"), n("content"), Literal("hello"))])
+        assert len(results) == 1
+        assert results[0][Variable("c")] == Literal("hello")
+
+    def test_late_arriving_left_side_joins_earlier_right(self):
+        pipeline, ds = make("SELECT ?m ?c WHERE { ?m ex:creator ex:me . ?m ex:content ?c }")
+        feed(pipeline, ds, [q(n("m1"), n("content"), Literal("hello"))])
+        results = feed(pipeline, ds, [q(n("m1"), n("creator"), n("me"))])
+        assert len(results) == 1
+
+    def test_simultaneous_arrival_produces_exactly_once(self):
+        pipeline, ds = make("SELECT ?m ?c WHERE { ?m ex:creator ex:me . ?m ex:content ?c }")
+        results = feed(
+            pipeline,
+            ds,
+            [q(n("m1"), n("creator"), n("me")), q(n("m1"), n("content"), Literal("x"))],
+        )
+        assert len(results) == 1
+
+    def test_three_way_join(self):
+        pipeline, ds = make(
+            "SELECT ?f ?t WHERE { ?m ex:creator ex:me . ?f ex:contains ?m . ?f ex:title ?t }"
+        )
+        feed(pipeline, ds, [q(n("m1"), n("creator"), n("me"))])
+        feed(pipeline, ds, [q(n("f1"), n("contains"), n("m1"))])
+        results = feed(pipeline, ds, [q(n("f1"), n("title"), Literal("Wall"))])
+        assert len(results) == 1
+
+    def test_cross_product_when_no_shared_variables(self):
+        pipeline, ds = make("SELECT ?a ?b WHERE { ex:x ex:p ?a . ex:y ex:q ?b }")
+        feed(pipeline, ds, [q(n("x"), n("p"), Literal("1"))])
+        results = feed(pipeline, ds, [q(n("y"), n("q"), Literal("2"))])
+        assert len(results) == 1
+
+
+class TestStreamingOperators:
+    def test_union_merges_both_branches(self):
+        pipeline, ds = make("SELECT ?x WHERE { { ?x ex:p ?y } UNION { ?x ex:q ?y } }")
+        results = feed(pipeline, ds, [q(n("a"), n("p"), Literal("1")), q(n("b"), n("q"), Literal("2"))])
+        assert {b[Variable("x")] for b in results} == {n("a"), n("b")}
+
+    def test_filter(self):
+        pipeline, ds = make("SELECT ?v WHERE { ?s ex:p ?v FILTER(?v > 5) }")
+        results = feed(
+            pipeline,
+            ds,
+            [
+                q(n("a"), n("p"), Literal("3", datatype="http://www.w3.org/2001/XMLSchema#integer")),
+                q(n("b"), n("p"), Literal("7", datatype="http://www.w3.org/2001/XMLSchema#integer")),
+            ],
+        )
+        assert len(results) == 1
+
+    def test_bind_extends(self):
+        pipeline, ds = make("SELECT ?u WHERE { ?s ex:p ?v BIND(UCASE(?v) AS ?u) }")
+        results = feed(pipeline, ds, [q(n("a"), n("p"), Literal("hi"))])
+        assert results[0][Variable("u")] == Literal("HI")
+
+    def test_distinct_across_deltas(self):
+        pipeline, ds = make("SELECT DISTINCT ?v WHERE { ?s ex:p ?v }")
+        first = feed(pipeline, ds, [q(n("a"), n("p"), Literal("x"))])
+        second = feed(pipeline, ds, [q(n("b"), n("p"), Literal("x"))])
+        assert len(first) == 1 and len(second) == 0
+
+    def test_limit_marks_pipeline_complete(self):
+        pipeline, ds = make("SELECT ?v WHERE { ?s ex:p ?v } LIMIT 2")
+        feed(pipeline, ds, [q(n("a"), n("p"), Literal("1"))])
+        assert not pipeline.complete
+        results = feed(pipeline, ds, [q(n("b"), n("p"), Literal("2")), q(n("c"), n("p"), Literal("3"))])
+        assert len(results) == 1  # capped at remaining budget
+        assert pipeline.complete
+        assert feed(pipeline, ds, [q(n("d"), n("p"), Literal("4"))]) == []
+
+    def test_values_joined_with_scan(self):
+        pipeline, ds = make("SELECT ?v WHERE { VALUES ?s { ex:a } ?s ex:p ?v }")
+        results = feed(pipeline, ds, [q(n("a"), n("p"), Literal("1")), q(n("b"), n("p"), Literal("2"))])
+        assert len(results) == 1
+
+
+class TestPathStreaming:
+    def test_alternative_path_streams(self):
+        pipeline, ds = make("SELECT ?m WHERE { ex:me (ex:hasPost|ex:hasComment) ?m }")
+        first = feed(pipeline, ds, [q(n("me"), n("hasPost"), n("p1"))])
+        second = feed(pipeline, ds, [q(n("me"), n("hasComment"), n("c1"))])
+        assert len(first) == 1 and len(second) == 1
+
+    def test_path_emits_each_pair_once(self):
+        pipeline, ds = make("SELECT ?m WHERE { ex:me ex:likes/ex:hasPost ?m }")
+        feed(pipeline, ds, [q(n("me"), n("likes"), n("g"))])
+        results = feed(pipeline, ds, [q(n("g"), n("hasPost"), n("p1"))])
+        assert len(results) == 1
+        # Irrelevant growth does not re-emit.
+        assert feed(pipeline, ds, [q(n("z"), n("likes"), n("zz"))]) == []
+
+    def test_transitive_path_grows_with_data(self):
+        pipeline, ds = make("SELECT ?x WHERE { ex:a ex:knows+ ?x }")
+        first = feed(pipeline, ds, [q(n("a"), n("knows"), n("b"))])
+        assert {b[Variable("x")] for b in first} == {n("b")}
+        second = feed(pipeline, ds, [q(n("b"), n("knows"), n("c"))])
+        assert {b[Variable("x")] for b in second} == {n("c")}
+
+
+class TestNotStreamable:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "SELECT ?a WHERE { ?a ex:p ?b OPTIONAL { ?b ex:q ?c } }",
+            "SELECT ?a WHERE { ?a ex:p ?b MINUS { ?a ex:q ?b } }",
+            "SELECT ?a WHERE { ?a ex:p ?b } ORDER BY ?a",
+            "SELECT (COUNT(*) AS ?n) WHERE { ?a ex:p ?b }",
+            "SELECT ?a WHERE { ?a ex:p ?b } LIMIT 1 OFFSET 1",
+        ],
+    )
+    def test_non_monotonic_queries_rejected(self, text):
+        query = parse_query(EX + text)
+        with pytest.raises(NotStreamable):
+            compile_pipeline(query.where)
+
+    def test_graph_scoped_scan(self):
+        query = parse_query(EX + "SELECT ?o WHERE { GRAPH <https://h/d1> { ex:a ex:p ?o } }")
+        pipeline = compile_pipeline(query.where)
+        ds = Dataset()
+        in_graph = feed(pipeline, ds, [q(n("a"), n("p"), Literal("1"), "https://h/d1")])
+        other_graph = feed(pipeline, ds, [q(n("a"), n("p"), Literal("2"), "https://h/d2")])
+        assert len(in_graph) == 1 and len(other_graph) == 0

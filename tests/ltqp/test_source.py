@@ -1,0 +1,73 @@
+"""Unit tests for the growing triple source."""
+
+import asyncio
+
+from repro.ltqp.source import GrowingTripleSource
+from repro.rdf import NamedNode, Triple
+
+
+def t(index: int) -> Triple:
+    return Triple(NamedNode(f"http://x/s{index}"), NamedNode("http://x/p"), NamedNode("http://x/o"))
+
+
+class TestGrowingTripleSource:
+    def test_add_document_counts_new_triples(self):
+        source = GrowingTripleSource()
+        assert source.add_document("https://h/doc", [t(1), t(2)]) == 2
+        assert source.add_document("https://h/doc2", [t(1)]) == 1  # new in its graph
+        assert source.document_count == 2
+        assert source.dataset.union.count() == 2  # deduplicated in union
+
+    def test_same_document_duplicates_skipped(self):
+        source = GrowingTripleSource()
+        source.add_document("https://h/doc", [t(1), t(1)])
+        assert source.position == 1
+
+    def test_per_document_graphs(self):
+        source = GrowingTripleSource()
+        source.add_document("https://h/doc", [t(1)])
+        assert source.dataset.has_graph(NamedNode("https://h/doc"))
+
+    def test_wait_for_growth_returns_when_data_arrives(self):
+        async def scenario():
+            source = GrowingTripleSource()
+
+            async def producer():
+                await asyncio.sleep(0.01)
+                source.add_document("https://h/doc", [t(1)])
+
+            task = asyncio.create_task(producer())
+            grew = await source.wait_for_growth(0)
+            await task
+            return grew
+
+        assert asyncio.run(scenario()) is True
+
+    def test_wait_for_growth_returns_false_on_close(self):
+        async def scenario():
+            source = GrowingTripleSource()
+
+            async def closer():
+                await asyncio.sleep(0.01)
+                source.close()
+
+            task = asyncio.create_task(closer())
+            grew = await source.wait_for_growth(0)
+            await task
+            return grew
+
+        assert asyncio.run(scenario()) is False
+
+    def test_wait_returns_immediately_if_already_grown(self):
+        async def scenario():
+            source = GrowingTripleSource()
+            source.add_document("https://h/doc", [t(1)])
+            return await source.wait_for_growth(0)
+
+        assert asyncio.run(scenario()) is True
+
+    def test_closed_flag(self):
+        source = GrowingTripleSource()
+        assert not source.closed
+        source.close()
+        assert source.closed

@@ -1,0 +1,138 @@
+"""Unit tests for the simulated HTTP client."""
+
+import asyncio
+
+import pytest
+
+from repro.net import (
+    ConstantLatency,
+    FetchError,
+    FunctionApp,
+    HttpClient,
+    Internet,
+    NoLatency,
+    Request,
+    Response,
+    StaticApp,
+)
+
+
+def make_internet():
+    internet = Internet()
+    app = StaticApp()
+    app.put("/doc", "<http://x/a> <http://x/p> <http://x/b> .")
+    internet.register("https://pods.example", app)
+    return internet
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestFetch:
+    def test_successful_get(self):
+        client = HttpClient(make_internet(), latency=NoLatency())
+        response = run(client.fetch("https://pods.example/doc"))
+        assert response.status == 200
+        assert "<http://x/a>" in response.text
+
+    def test_fragment_is_stripped_before_dispatch(self):
+        client = HttpClient(make_internet(), latency=NoLatency())
+        response = run(client.fetch("https://pods.example/doc#me"))
+        assert response.status == 200
+
+    def test_unknown_path_is_404(self):
+        client = HttpClient(make_internet(), latency=NoLatency())
+        assert run(client.fetch("https://pods.example/missing")).status == 404
+
+    def test_unknown_origin_is_status_zero(self):
+        client = HttpClient(make_internet(), latency=NoLatency())
+        response = run(client.fetch("https://unknown.example/x"))
+        assert response.status == 0
+
+    def test_strict_mode_raises(self):
+        client = HttpClient(make_internet(), latency=NoLatency())
+        with pytest.raises(FetchError):
+            run(client.fetch("https://pods.example/missing", strict=True))
+
+    def test_crashing_app_becomes_500(self):
+        internet = Internet()
+
+        def boom(request: Request) -> Response:
+            raise RuntimeError("kaboom")
+
+        internet.register("https://bad.example", FunctionApp(boom))
+        client = HttpClient(internet, latency=NoLatency())
+        assert run(client.fetch("https://bad.example/x")).status == 500
+
+    def test_default_accept_header_sent(self):
+        captured = {}
+
+        def echo(request: Request) -> Response:
+            captured["accept"] = request.header("accept")
+            return Response(200, {"content-type": "text/plain"}, b"")
+
+        internet = Internet()
+        internet.register("https://echo.example", FunctionApp(echo))
+        client = HttpClient(internet, latency=NoLatency())
+        run(client.fetch("https://echo.example/"))
+        assert "text/turtle" in captured["accept"]
+
+
+class TestLogging:
+    def test_every_request_logged_with_parent(self):
+        client = HttpClient(make_internet(), latency=NoLatency())
+        run(client.fetch("https://pods.example/doc", parent_url="https://pods.example/root"))
+        records = client.log.records
+        assert len(records) == 1
+        assert records[0].parent_url == "https://pods.example/root"
+        assert records[0].status == 200
+        assert records[0].response_size > 0
+
+    def test_failures_logged_with_error(self):
+        client = HttpClient(make_internet(), latency=NoLatency())
+        run(client.fetch("https://unknown.example/x"))
+        record = client.log.records[0]
+        assert record.status == 0 and record.error
+
+
+class TestLatencyAndConcurrency:
+    def test_latency_model_delays_requests(self):
+        client = HttpClient(
+            make_internet(), latency=ConstantLatency(rtt_seconds=0.01), latency_scale=1.0
+        )
+        run(client.fetch("https://pods.example/doc"))
+        record = client.log.records[0]
+        assert record.duration >= 0.009
+
+    def test_latency_scale_zero_disables_sleep(self):
+        client = HttpClient(
+            make_internet(), latency=ConstantLatency(rtt_seconds=10.0), latency_scale=0.0
+        )
+        run(client.fetch("https://pods.example/doc"))  # returns immediately
+
+    def test_per_origin_connection_cap(self):
+        active = {"now": 0, "peak": 0}
+
+        async def slow(request: Request) -> Response:
+            active["now"] += 1
+            active["peak"] = max(active["peak"], active["now"])
+            await asyncio.sleep(0.01)
+            active["now"] -= 1
+            return Response(200, {"content-type": "text/plain"}, b"x")
+
+        internet = Internet()
+        internet.register("https://slow.example", FunctionApp(slow))
+        client = HttpClient(internet, latency=NoLatency(), max_connections_per_origin=2)
+
+        async def many():
+            await asyncio.gather(
+                *[client.fetch(f"https://slow.example/{i}") for i in range(8)]
+            )
+
+        run(many())
+        assert active["peak"] <= 2
+
+    def test_get_text_convenience(self):
+        client = HttpClient(make_internet(), latency=NoLatency())
+        assert "<http://x/a>" in run(client.get_text("https://pods.example/doc"))

@@ -1,0 +1,32 @@
+"""Unit tests for latency models."""
+
+from repro.net.latency import ConstantLatency, NoLatency, SeededJitterLatency
+
+
+class TestModels:
+    def test_no_latency(self):
+        assert NoLatency().latency_for("https://h/x", 10_000) == 0.0
+
+    def test_constant_includes_transfer_time(self):
+        model = ConstantLatency(rtt_seconds=0.01, bytes_per_second=1000)
+        assert model.latency_for("u", 1000) == 0.01 + 1.0
+
+    def test_jitter_is_deterministic_per_url(self):
+        model = SeededJitterLatency(seed=1)
+        assert model.latency_for("https://h/a", 0) == model.latency_for("https://h/a", 0)
+
+    def test_jitter_differs_between_urls(self):
+        model = SeededJitterLatency(seed=1)
+        values = {model.latency_for(f"https://h/{i}", 0) for i in range(16)}
+        assert len(values) > 1
+
+    def test_jitter_respects_bounds(self):
+        model = SeededJitterLatency(seed=5, min_rtt_seconds=0.002, max_rtt_seconds=0.004)
+        for i in range(32):
+            latency = model.latency_for(f"https://h/{i}", 0)
+            assert 0.002 <= latency <= 0.004
+
+    def test_different_seeds_differ(self):
+        a = SeededJitterLatency(seed=1).latency_for("https://h/x", 0)
+        b = SeededJitterLatency(seed=2).latency_for("https://h/x", 0)
+        assert a != b

@@ -1,0 +1,52 @@
+"""Unit tests for the request log and its waterfall metrics."""
+
+from repro.net.log import RequestLog
+
+
+def fill(log: RequestLog):
+    # seed at t0..t1; two children overlap; one grandchild.
+    log.record("GET", "https://h/seed", 200, 0.0, 1.0, 100, parent_url=None)
+    log.record("GET", "https://h/a", 200, 1.0, 2.5, 200, parent_url="https://h/seed")
+    log.record("GET", "https://h/b", 404, 1.2, 2.0, 50, parent_url="https://h/seed")
+    log.record("GET", "https://x/c", 200, 2.5, 3.0, 300, parent_url="https://h/a")
+    return log
+
+
+class TestRequestLog:
+    def test_sequences_are_monotonic(self):
+        log = fill(RequestLog())
+        assert [r.sequence for r in log.records] == [1, 2, 3, 4]
+
+    def test_total_bytes(self):
+        assert fill(RequestLog()).total_bytes() == 650
+
+    def test_count_by_status(self):
+        counts = fill(RequestLog()).count_by_status()
+        assert counts == {200: 3, 404: 1}
+
+    def test_origins(self):
+        assert fill(RequestLog()).origins() == {"https://h", "https://x"}
+
+    def test_dependency_depths(self):
+        depths = fill(RequestLog()).dependency_depths()
+        assert depths["https://h/seed"] == 0
+        assert depths["https://h/a"] == 1
+        assert depths["https://x/c"] == 2
+
+    def test_max_depth(self):
+        assert fill(RequestLog()).max_depth() == 2
+
+    def test_max_parallelism(self):
+        # /a and /b overlap between 1.2 and 2.0.
+        assert fill(RequestLog()).max_parallelism() == 2
+
+    def test_clear(self):
+        log = fill(RequestLog())
+        log.clear()
+        assert len(log) == 0
+        assert log.record("GET", "u", 200, 0, 1, 0).sequence == 1
+
+    def test_orphan_parent_treated_as_root(self):
+        log = RequestLog()
+        log.record("GET", "https://h/x", 200, 0, 1, 0, parent_url="https://h/never-fetched")
+        assert log.max_depth() == 1

@@ -1,0 +1,58 @@
+"""Unit tests for HTTP messages and URL handling."""
+
+import pytest
+
+from repro.net.message import Request, Response, split_url
+
+
+class TestSplitUrl:
+    def test_basic(self):
+        origin, path, url = split_url("https://host.example/a/b?x=1")
+        assert origin == "https://host.example"
+        assert path == "/a/b?x=1"
+        assert url == "https://host.example/a/b?x=1"
+
+    def test_root_path_defaults(self):
+        assert split_url("https://host.example")[1] == "/"
+
+    def test_port_preserved(self):
+        assert split_url("http://localhost:8080/x")[0] == "http://localhost:8080"
+
+    def test_rejects_non_http(self):
+        with pytest.raises(ValueError):
+            split_url("ftp://host/x")
+
+
+class TestRequest:
+    def test_header_names_lowercased(self):
+        request = Request("GET", "https://h/x", headers={"Accept": "text/turtle"})
+        assert request.header("accept") == "text/turtle"
+        assert request.header("ACCEPT") == "text/turtle"
+
+    def test_method_uppercased(self):
+        assert Request("get", "https://h/x").method == "GET"
+
+    def test_origin_and_path(self):
+        request = Request("GET", "https://h/a/b")
+        assert request.origin == "https://h"
+        assert request.path == "/a/b"
+
+
+class TestResponse:
+    def test_ok_range(self):
+        assert Response(200).ok and Response(204).ok
+        assert not Response(404).ok and not Response(301).ok
+
+    def test_content_type_strips_parameters(self):
+        response = Response(200, {"content-type": "text/turtle; charset=utf-8"})
+        assert response.content_type == "text/turtle"
+
+    def test_text_decoding(self):
+        assert Response(200, body="héllo".encode("utf-8")).text == "héllo"
+
+    def test_factories(self):
+        assert Response.ok_turtle("x").content_type == "text/turtle"
+        assert Response.not_found("https://h/x").status == 404
+        assert Response.unauthorized().status == 401
+        assert Response.unauthorized().header("www-authenticate") == "Bearer"
+        assert Response.forbidden().status == 403

@@ -1,0 +1,40 @@
+"""Integration tests: simulated apps served over real sockets."""
+
+import urllib.request
+
+from repro.net import Internet, RealHttpServer, StaticApp
+
+
+def make_internet():
+    internet = Internet()
+    app = StaticApp()
+    app.put("/profile/card", "<https://pod.example/profile/card#me> a <http://x/Person> .")
+    internet.register("https://pod.example", app)
+    return internet
+
+
+class TestRealHttpServer:
+    def test_serves_registered_origin_over_sockets(self):
+        with RealHttpServer(make_internet()) as server:
+            url = server.url_for("https://pod.example/profile/card")
+            with urllib.request.urlopen(url, timeout=5) as response:
+                body = response.read().decode("utf-8")
+                assert response.status == 200
+                assert "Person" in body
+                assert response.headers["content-type"] == "text/turtle"
+
+    def test_404_passthrough(self):
+        with RealHttpServer(make_internet()) as server:
+            url = server.url_for("https://pod.example/nope")
+            try:
+                urllib.request.urlopen(url, timeout=5)
+            except urllib.error.HTTPError as error:
+                assert error.code == 404
+            else:
+                raise AssertionError("expected 404")
+
+    def test_single_origin_shorthand_path(self):
+        with RealHttpServer(make_internet()) as server:
+            url = f"{server.base_url}/profile/card"
+            with urllib.request.urlopen(url, timeout=5) as response:
+                assert response.status == 200

@@ -1,0 +1,115 @@
+"""Property-based tests for query evaluation and the incremental pipeline.
+
+The central property: for any (monotonic) BGP query and any dataset,
+feeding the data incrementally through the pipelined operators must yield
+exactly the same solution multiset as snapshot evaluation over the final
+data — regardless of how the data is partitioned into delta batches or
+ordered.  This is the invariant that makes "query processing in parallel
+with traversal" (paper §2) sound.
+"""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ltqp.pipeline import compile_pipeline
+from repro.rdf import Dataset, Graph, Literal, NamedNode, Quad, Triple, Variable
+from repro.rdf.triples import TriplePattern
+from repro.sparql.algebra import BGP, Distinct, Join, Project, Union
+from repro.sparql.bindings import Binding
+from repro.sparql.eval import SnapshotEvaluator
+from repro.sparql.planner import plan_bgp_order
+
+# A tiny closed world: few node/predicate names → dense joins.
+nodes = st.sampled_from([NamedNode(f"http://x/n{i}") for i in range(6)])
+predicates = st.sampled_from([NamedNode(f"http://x/p{i}") for i in range(3)])
+values = st.sampled_from([Literal(str(i)) for i in range(3)])
+triples = st.builds(Triple, nodes, predicates, nodes | values)
+datasets = st.lists(triples, min_size=0, max_size=25)
+
+variables = st.sampled_from([Variable(name) for name in "abcd"])
+pattern_terms = nodes | variables
+patterns = st.builds(TriplePattern, pattern_terms, predicates | variables, pattern_terms | values)
+bgps = st.lists(patterns, min_size=1, max_size=3).map(lambda ps: BGP(tuple(ps)))
+
+
+def snapshot_solutions(op, data: list[Triple]) -> list[Binding]:
+    return sorted(
+        SnapshotEvaluator(Graph(data)).evaluate(op),
+        key=lambda b: sorted((v.value, str(t)) for v, t in b.items()),
+    )
+
+
+def incremental_solutions(op, data: list[Triple], chunk: int) -> list[Binding]:
+    pipeline = compile_pipeline(op)
+    dataset = Dataset()
+    produced: list[Binding] = []
+    graph_counter = 0
+    for start in range(0, len(data), chunk):
+        graph_counter += 1
+        graph = NamedNode(f"https://h/doc{graph_counter}")
+        for triple in data[start:start + chunk]:
+            dataset.add(Quad(triple.subject, triple.predicate, triple.object, graph))
+        produced.extend(pipeline.advance(dataset))
+    return sorted(
+        produced, key=lambda b: sorted((v.value, str(t)) for v, t in b.items())
+    )
+
+
+class TestPipelineEquivalence:
+    @given(bgps, datasets, st.integers(1, 7))
+    @settings(max_examples=80, deadline=None)
+    def test_incremental_bgp_equals_snapshot(self, bgp, data, chunk):
+        assert incremental_solutions(bgp, data, chunk) == snapshot_solutions(bgp, data)
+
+    @given(bgps, bgps, datasets, st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_incremental_union_equals_snapshot(self, left, right, data, chunk):
+        op = Union(left, right)
+        assert incremental_solutions(op, data, chunk) == snapshot_solutions(op, data)
+
+    @given(bgps, datasets, st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_incremental_distinct_equals_snapshot(self, bgp, data, chunk):
+        op = Distinct(Project(bgp, tuple(sorted(bgp.variables(), key=lambda v: v.value))))
+        assert incremental_solutions(op, data, chunk) == snapshot_solutions(op, data)
+
+    @given(bgps, datasets)
+    @settings(max_examples=40, deadline=None)
+    def test_chunking_is_irrelevant(self, bgp, data):
+        one_by_one = incremental_solutions(bgp, data, 1)
+        all_at_once = incremental_solutions(bgp, data, max(1, len(data)))
+        assert one_by_one == all_at_once
+
+
+class TestPlannerProperties:
+    @given(st.lists(patterns, min_size=1, max_size=5))
+    @settings(max_examples=60)
+    def test_plan_is_a_permutation(self, pattern_list):
+        ordered = plan_bgp_order(pattern_list)
+        assert sorted(map(id, ordered)) == sorted(map(id, pattern_list))
+
+    @given(bgps, datasets)
+    @settings(max_examples=40, deadline=None)
+    def test_plan_order_does_not_change_results(self, bgp, data):
+        # Evaluating with the planner's order and the original order agree.
+        planned = snapshot_solutions(bgp, data)
+        reversed_bgp = BGP(tuple(reversed(bgp.patterns)))
+        assert planned == snapshot_solutions(reversed_bgp, data)
+
+
+class TestJoinAlgebraProperties:
+    @given(bgps, bgps, datasets)
+    @settings(max_examples=40, deadline=None)
+    def test_join_commutativity(self, left, right, data):
+        assert snapshot_solutions(Join(left, right), data) == snapshot_solutions(
+            Join(right, left), data
+        )
+
+    @given(bgps, datasets)
+    @settings(max_examples=40, deadline=None)
+    def test_union_idempotent_under_distinct(self, bgp, data):
+        projected = Project(bgp, tuple(sorted(bgp.variables(), key=lambda v: v.value)))
+        once = snapshot_solutions(Distinct(projected), data)
+        doubled = snapshot_solutions(Distinct(Union(projected, projected)), data)
+        assert once == doubled

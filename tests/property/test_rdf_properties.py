@@ -1,0 +1,126 @@
+"""Property-based tests for the RDF layer (hypothesis)."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf import (
+    Graph,
+    Literal,
+    NamedNode,
+    Triple,
+    parse_ntriples,
+    parse_turtle,
+    serialize_ntriples,
+    serialize_turtle,
+)
+from repro.rdf.terms import (
+    XSD_BOOLEAN,
+    XSD_INTEGER,
+    escape_string_literal,
+    unescape_string_literal,
+)
+
+# -- strategies -------------------------------------------------------------
+
+_iri_chars = st.text(
+    alphabet=string.ascii_letters + string.digits + "-._~/",
+    min_size=1,
+    max_size=24,
+)
+
+iris = st.builds(lambda tail: NamedNode("http://example.org/" + tail), _iri_chars)
+
+literal_text = st.text(
+    alphabet=st.characters(
+        blacklist_categories=("Cs",),  # no lone surrogates
+        min_codepoint=0x09,
+    ),
+    max_size=48,
+)
+
+plain_literals = st.builds(Literal, literal_text)
+lang_literals = st.builds(
+    lambda value, lang: Literal(value, language=lang),
+    literal_text,
+    st.sampled_from(["en", "de", "nl-be", "fr"]),
+)
+typed_literals = st.builds(
+    lambda n: Literal(str(n), datatype=XSD_INTEGER), st.integers(-10**9, 10**9)
+) | st.builds(
+    lambda b: Literal("true" if b else "false", datatype=XSD_BOOLEAN), st.booleans()
+)
+literals = plain_literals | lang_literals | typed_literals
+
+triples = st.builds(Triple, iris, iris, iris | literals)
+triple_lists = st.lists(triples, max_size=30)
+
+
+class TestStringEscaping:
+    @given(literal_text)
+    def test_escape_roundtrip(self, text):
+        assert unescape_string_literal(escape_string_literal(text)) == text
+
+    @given(literal_text)
+    def test_escaped_form_has_no_raw_quotes_or_newlines(self, text):
+        escaped = escape_string_literal(text)
+        assert "\n" not in escaped and '"' not in escaped.replace('\\"', "")
+
+
+class TestSerializationRoundTrips:
+    @given(triple_lists)
+    @settings(max_examples=60)
+    def test_ntriples_roundtrip(self, items):
+        assert list(parse_ntriples(serialize_ntriples(items))) == items
+
+    @given(triple_lists)
+    @settings(max_examples=60)
+    def test_turtle_roundtrip(self, items):
+        text = serialize_turtle(items, prefixes={})
+        assert set(parse_turtle(text)) == set(items)
+
+    @given(triple_lists)
+    @settings(max_examples=30)
+    def test_turtle_roundtrip_with_prefixes(self, items):
+        text = serialize_turtle(items, prefixes={"ex": "http://example.org/"})
+        assert set(parse_turtle(text)) == set(items)
+
+
+class TestGraphInvariants:
+    @given(triple_lists)
+    @settings(max_examples=60)
+    def test_graph_is_a_set(self, items):
+        graph = Graph(items)
+        assert len(graph) == len(set(items))
+
+    @given(triple_lists, triples)
+    @settings(max_examples=60)
+    def test_add_then_discard_restores(self, items, extra):
+        graph = Graph(items)
+        before = set(graph)
+        was_new = graph.add(extra)
+        if was_new:
+            graph.discard(extra)
+        assert set(graph) == before
+
+    @given(triple_lists)
+    @settings(max_examples=40)
+    def test_every_index_agrees_with_full_scan(self, items):
+        graph = Graph(items)
+        for triple in list(graph)[:10]:
+            assert triple in set(graph.match(triple.subject, None, None))
+            assert triple in set(graph.match(None, triple.predicate, None))
+            assert triple in set(graph.match(None, None, triple.object))
+            assert triple in set(graph.match(triple.subject, triple.predicate, None))
+            assert triple in set(graph.match(None, triple.predicate, triple.object))
+            assert triple in set(graph.match(triple.subject, None, triple.object))
+
+    @given(triple_lists)
+    @settings(max_examples=40)
+    def test_match_results_actually_match(self, items):
+        graph = Graph(items)
+        if not items:
+            return
+        probe = items[0]
+        for triple in graph.match(None, probe.predicate, None):
+            assert triple.predicate == probe.predicate

@@ -1,0 +1,145 @@
+"""Property-based tests for SPARQL expression and path semantics."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf import Graph, Literal, NamedNode, Triple
+from repro.rdf.terms import XSD_INTEGER
+from repro.sparql.algebra import (
+    AlternativePath,
+    Arithmetic,
+    Compare,
+    InversePath,
+    OneOrMorePath,
+    PredicatePath,
+    SequencePath,
+    TermExpr,
+    ZeroOrMorePath,
+)
+from repro.sparql.bindings import Binding
+from repro.sparql.expr import ExpressionError, ExpressionEvaluator, compare_terms
+from repro.sparql.paths import evaluate_path
+
+EMPTY = Binding()
+EVALUATOR = ExpressionEvaluator()
+
+integers = st.integers(-10**6, 10**6)
+
+
+def int_lit(value: int) -> Literal:
+    return Literal(str(value), datatype=XSD_INTEGER)
+
+
+class TestArithmeticProperties:
+    @given(integers, integers)
+    def test_addition_matches_python(self, a, b):
+        result = EVALUATOR.evaluate(
+            Arithmetic("+", TermExpr(int_lit(a)), TermExpr(int_lit(b))), EMPTY
+        )
+        assert result.to_python() == a + b
+
+    @given(integers, integers)
+    def test_addition_commutative(self, a, b):
+        ab = EVALUATOR.evaluate(Arithmetic("+", TermExpr(int_lit(a)), TermExpr(int_lit(b))), EMPTY)
+        ba = EVALUATOR.evaluate(Arithmetic("+", TermExpr(int_lit(b)), TermExpr(int_lit(a))), EMPTY)
+        assert ab == ba
+
+    @given(integers, integers)
+    def test_subtraction_inverts_addition(self, a, b):
+        summed = EVALUATOR.evaluate(
+            Arithmetic("+", TermExpr(int_lit(a)), TermExpr(int_lit(b))), EMPTY
+        )
+        back = EVALUATOR.evaluate(
+            Arithmetic("-", TermExpr(summed), TermExpr(int_lit(b))), EMPTY
+        )
+        assert back.to_python() == a
+
+
+class TestComparisonProperties:
+    @given(integers, integers)
+    def test_trichotomy(self, a, b):
+        left, right = int_lit(a), int_lit(b)
+        outcomes = [
+            compare_terms(left, right, "<"),
+            compare_terms(left, right, "="),
+            compare_terms(left, right, ">"),
+        ]
+        assert outcomes.count(True) == 1
+
+    @given(integers, integers)
+    def test_comparison_matches_python(self, a, b):
+        assert compare_terms(int_lit(a), int_lit(b), "<=") == (a <= b)
+
+    @given(st.text(max_size=20), st.text(max_size=20))
+    def test_string_comparison_matches_python(self, a, b):
+        assert compare_terms(Literal(a), Literal(b), "<") == (a < b)
+
+    @given(integers)
+    def test_numeric_equality_across_datatypes(self, a):
+        from repro.rdf.terms import XSD_DECIMAL
+
+        assert compare_terms(int_lit(a), Literal(str(a), datatype=XSD_DECIMAL), "=")
+
+
+# -- path properties over random small graphs ------------------------------
+
+nodes = st.sampled_from([NamedNode(f"http://x/n{i}") for i in range(5)])
+edges = st.lists(st.tuples(nodes, nodes), max_size=15)
+P = NamedNode("http://x/p")
+
+
+def graph_of(edge_list):
+    return Graph(Triple(s, P, o) for s, o in edge_list)
+
+
+class TestPathProperties:
+    @given(edges)
+    @settings(max_examples=60)
+    def test_inverse_swaps_pairs(self, edge_list):
+        graph = graph_of(edge_list)
+        forward = set(evaluate_path(graph, None, PredicatePath(P), None))
+        backward = set(evaluate_path(graph, None, InversePath(PredicatePath(P)), None))
+        assert backward == {(o, s) for s, o in forward}
+
+    @given(edges)
+    @settings(max_examples=60)
+    def test_alternative_is_union(self, edge_list):
+        graph = graph_of(edge_list)
+        base = PredicatePath(P)
+        single = set(evaluate_path(graph, None, base, None))
+        doubled = set(evaluate_path(graph, None, AlternativePath((base, base)), None))
+        assert doubled == single
+
+    @given(edges)
+    @settings(max_examples=60)
+    def test_one_or_more_contains_single_step(self, edge_list):
+        graph = graph_of(edge_list)
+        single = set(evaluate_path(graph, None, PredicatePath(P), None))
+        closure = set(evaluate_path(graph, None, OneOrMorePath(PredicatePath(P)), None))
+        assert single <= closure
+
+    @given(edges)
+    @settings(max_examples=60)
+    def test_closure_is_transitive(self, edge_list):
+        graph = graph_of(edge_list)
+        closure = set(evaluate_path(graph, None, OneOrMorePath(PredicatePath(P)), None))
+        for a, b in closure:
+            for c, d in closure:
+                if b == c:
+                    assert (a, d) in closure
+
+    @given(edges)
+    @settings(max_examples=40)
+    def test_sequence_of_self_is_two_hops(self, edge_list):
+        graph = graph_of(edge_list)
+        base = PredicatePath(P)
+        two_hop = set(evaluate_path(graph, None, SequencePath((base, base)), None))
+        single = set(evaluate_path(graph, None, base, None))
+        manual = {(a, d) for a, b in single for c, d in single if b == c}
+        assert two_hop == manual
+
+    @given(edges, nodes)
+    @settings(max_examples=40)
+    def test_zero_or_more_reflexive_at_bound_subject(self, edge_list, start):
+        graph = graph_of(edge_list)
+        result = set(evaluate_path(graph, start, ZeroOrMorePath(PredicatePath(P)), None))
+        assert (start, start) in result

@@ -1,0 +1,122 @@
+"""Unit tests for the indexed Graph and Dataset stores."""
+
+import pytest
+
+from repro.rdf import Dataset, Graph, Literal, NamedNode, Quad, Triple
+
+
+def n(suffix: str) -> NamedNode:
+    return NamedNode(f"http://example.org/{suffix}")
+
+
+@pytest.fixture()
+def graph() -> Graph:
+    g = Graph()
+    g.add(Triple(n("a"), n("p"), n("b")))
+    g.add(Triple(n("a"), n("p"), n("c")))
+    g.add(Triple(n("a"), n("q"), Literal("x")))
+    g.add(Triple(n("b"), n("p"), n("c")))
+    return g
+
+
+class TestGraph:
+    def test_add_is_idempotent(self, graph):
+        assert not graph.add(Triple(n("a"), n("p"), n("b")))
+        assert len(graph) == 4
+
+    def test_match_fully_bound(self, graph):
+        assert list(graph.match(n("a"), n("p"), n("b"))) == [Triple(n("a"), n("p"), n("b"))]
+        assert list(graph.match(n("a"), n("p"), n("zzz"))) == []
+
+    def test_match_by_subject_predicate(self, graph):
+        objects = {t.object for t in graph.match(n("a"), n("p"), None)}
+        assert objects == {n("b"), n("c")}
+
+    def test_match_by_predicate_object(self, graph):
+        subjects = {t.subject for t in graph.match(None, n("p"), n("c"))}
+        assert subjects == {n("a"), n("b")}
+
+    def test_match_by_subject_object(self, graph):
+        predicates = {t.predicate for t in graph.match(n("a"), None, n("b"))}
+        assert predicates == {n("p")}
+
+    def test_match_single_position(self, graph):
+        assert graph.count(n("a"), None, None) == 3
+        assert graph.count(None, n("p"), None) == 3
+        assert graph.count(None, None, n("c")) == 2
+
+    def test_match_all(self, graph):
+        assert graph.count() == 4
+
+    def test_discard_updates_all_indexes(self, graph):
+        assert graph.discard(Triple(n("a"), n("p"), n("b")))
+        assert not graph.discard(Triple(n("a"), n("p"), n("b")))
+        assert graph.count(n("a"), n("p"), None) == 1
+        assert graph.count(None, n("p"), n("b")) == 0
+        assert graph.count(n("a"), None, n("b")) == 0
+
+    def test_discard_then_match_empty_bucket(self, graph):
+        graph.discard(Triple(n("b"), n("p"), n("c")))
+        assert list(graph.match(n("b"), None, None)) == []
+
+    def test_subjects_objects_value(self, graph):
+        assert set(graph.subjects(n("p"), None)) == {n("a"), n("b")}
+        assert set(graph.objects(n("a"), n("p"))) == {n("b"), n("c")}
+        assert graph.value(n("a"), n("q"), None) == Literal("x")
+        assert graph.value(n("zzz"), n("q"), None) is None
+
+    def test_copy_is_independent(self, graph):
+        clone = graph.copy()
+        clone.add(Triple(n("z"), n("p"), n("z")))
+        assert len(clone) == len(graph) + 1
+
+    def test_contains(self, graph):
+        assert Triple(n("a"), n("p"), n("b")) in graph
+        assert Triple(n("z"), n("p"), n("b")) not in graph
+
+
+class TestDataset:
+    def test_union_deduplicates_across_graphs(self):
+        ds = Dataset()
+        triple = Triple(n("a"), n("p"), n("b"))
+        assert ds.add(Quad(triple.subject, triple.predicate, triple.object, n("g1")))
+        assert ds.add(Quad(triple.subject, triple.predicate, triple.object, n("g2")))
+        assert ds.union.count() == 1
+        assert len(ds) == 2  # per-graph provenance preserved
+
+    def test_duplicate_in_same_graph_rejected(self):
+        ds = Dataset()
+        quad = Quad(n("a"), n("p"), n("b"), n("g1"))
+        assert ds.add(quad)
+        assert not ds.add(quad)
+
+    def test_match_specific_graph(self):
+        ds = Dataset()
+        ds.add(Quad(n("a"), n("p"), n("b"), n("g1")))
+        ds.add(Quad(n("c"), n("p"), n("d"), n("g2")))
+        assert ds.union.count() == 2
+        assert list(ds.match(graph=n("g1"))) == [Triple(n("a"), n("p"), n("b"))]
+        assert list(ds.match(graph=n("missing"))) == []
+
+    def test_log_positions_are_monotonic(self):
+        ds = Dataset()
+        assert ds.log_position == 0
+        ds.add(Quad(n("a"), n("p"), n("b"), None))
+        position = ds.log_position
+        ds.add(Quad(n("a"), n("p"), n("c"), None))
+        assert ds.log_position == position + 1
+
+    def test_match_since_returns_only_new_quads(self):
+        ds = Dataset()
+        ds.add(Quad(n("a"), n("p"), n("b"), None))
+        cursor = ds.log_position
+        ds.add(Quad(n("a"), n("p"), n("c"), None))
+        ds.add(Quad(n("x"), n("q"), n("y"), None))
+        new = list(ds.match_since(cursor, predicate=n("p")))
+        assert [q.object for q in new] == [n("c")]
+
+    def test_add_triples_helper(self):
+        ds = Dataset()
+        count = ds.add_triples([Triple(n("a"), n("p"), n("b"))], graph=n("doc"))
+        assert count == 1
+        assert ds.has_graph(n("doc"))

@@ -1,0 +1,125 @@
+"""Tests for RDF graph isomorphism."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf import BlankNode, Literal, NamedNode, Triple, parse_turtle
+from repro.rdf.isomorphism import find_bnode_bijection, isomorphic
+
+
+def n(suffix):
+    return NamedNode(f"http://x/{suffix}")
+
+
+def b(label):
+    return BlankNode(label)
+
+
+class TestGroundGraphs:
+    def test_equal_ground_graphs(self):
+        triples = [Triple(n("a"), n("p"), n("b"))]
+        assert isomorphic(triples, list(triples))
+
+    def test_different_ground_graphs(self):
+        assert not isomorphic(
+            [Triple(n("a"), n("p"), n("b"))], [Triple(n("a"), n("p"), n("c"))]
+        )
+
+    def test_ground_difference_with_matching_bnodes(self):
+        shared = Triple(b("x"), n("p"), Literal("1"))
+        assert not isomorphic(
+            [shared, Triple(n("a"), n("q"), n("b"))],
+            [shared, Triple(n("a"), n("q"), n("c"))],
+        )
+
+
+class TestBlankNodeBijections:
+    def test_renamed_blank_nodes_isomorphic(self):
+        first = [Triple(b("x"), n("p"), Literal("1")), Triple(b("x"), n("q"), Literal("2"))]
+        second = [Triple(b("y"), n("p"), Literal("1")), Triple(b("y"), n("q"), Literal("2"))]
+        mapping = find_bnode_bijection(first, second)
+        assert mapping == {b("x"): b("y")}
+
+    def test_structurally_different_bnodes(self):
+        first = [Triple(b("x"), n("p"), Literal("1"))]
+        second = [Triple(b("y"), n("q"), Literal("1"))]
+        assert not isomorphic(first, second)
+
+    def test_chain_vs_fork(self):
+        # x -> y -> z  (chain) vs  x -> y, x -> z (fork): not isomorphic.
+        chain = [Triple(b("x"), n("p"), b("y")), Triple(b("y"), n("p"), b("z"))]
+        fork = [Triple(b("x"), n("p"), b("y")), Triple(b("x"), n("p"), b("z"))]
+        assert not isomorphic(chain, fork)
+
+    def test_cycle_isomorphism(self):
+        first = [Triple(b("a"), n("p"), b("b")), Triple(b("b"), n("p"), b("a"))]
+        second = [Triple(b("u"), n("p"), b("v")), Triple(b("v"), n("p"), b("u"))]
+        assert isomorphic(first, second)
+
+    def test_different_bnode_counts(self):
+        first = [Triple(b("x"), n("p"), b("y"))]
+        second = [Triple(b("x"), n("p"), b("x"))]
+        assert not isomorphic(first, second)
+
+    def test_symmetric_pair_with_distinguishing_literal(self):
+        first = [
+            Triple(b("x"), n("p"), Literal("1")),
+            Triple(b("y"), n("p"), Literal("2")),
+        ]
+        second = [
+            Triple(b("u"), n("p"), Literal("2")),
+            Triple(b("v"), n("p"), Literal("1")),
+        ]
+        mapping = find_bnode_bijection(first, second)
+        assert mapping == {b("x"): b("v"), b("y"): b("u")}
+
+
+class TestParserIntegration:
+    def test_reparsed_document_is_isomorphic(self):
+        text = """
+        @prefix ex: <http://x/> .
+        ex:a ex:p [ ex:q 1 ; ex:r [ ex:s 2 ] ] .
+        _:named ex:t ex:a .
+        """
+        first = parse_turtle(text, bnode_prefix="one")
+        second = parse_turtle(text, bnode_prefix="two")
+        assert first != second  # labels differ
+        assert isomorphic(first, second)
+
+    def test_turtle_roundtrip_with_bnodes(self):
+        from repro.rdf import serialize_turtle
+
+        triples = [
+            Triple(b("x"), n("p"), b("y")),
+            Triple(b("y"), n("p"), Literal("leaf")),
+            Triple(n("a"), n("q"), b("x")),
+        ]
+        text = serialize_turtle(triples, prefixes={})
+        assert isomorphic(triples, parse_turtle(text))
+
+
+# Property: relabelling blank nodes never breaks isomorphism.
+labels = st.sampled_from(["b0", "b1", "b2", "b3"])
+predicates = st.sampled_from([n("p"), n("q")])
+bnode_triples = st.lists(
+    st.builds(Triple, st.builds(BlankNode, labels), predicates,
+              st.builds(BlankNode, labels) | st.sampled_from([Literal("1"), n("o")])),
+    max_size=8,
+)
+
+
+class TestIsomorphismProperties:
+    @given(bnode_triples)
+    @settings(max_examples=60, deadline=None)
+    def test_relabelling_preserves_isomorphism(self, triples):
+        mapping = {BlankNode(f"b{i}"): BlankNode(f"renamed{i}") for i in range(4)}
+
+        def rename(term):
+            return mapping.get(term, term) if isinstance(term, BlankNode) else term
+
+        renamed = [Triple(rename(t.subject), t.predicate, rename(t.object)) for t in triples]
+        assert isomorphic(triples, renamed)
+
+    @given(bnode_triples)
+    @settings(max_examples=60, deadline=None)
+    def test_reflexive(self, triples):
+        assert isomorphic(triples, list(triples))

@@ -1,0 +1,35 @@
+"""Unit tests for namespace helpers."""
+
+import pytest
+
+from repro.rdf import FOAF, LDP, Namespace, NamedNode, PREFIXES, SNVOC
+
+
+class TestNamespace:
+    def test_attribute_access(self):
+        assert FOAF.name == NamedNode("http://xmlns.com/foaf/0.1/name")
+
+    def test_item_access_for_non_identifiers(self):
+        ns = Namespace("http://x/")
+        assert ns["with-dash"] == NamedNode("http://x/with-dash")
+
+    def test_contains(self):
+        assert FOAF.name in FOAF
+        assert LDP.contains not in FOAF
+        assert "not a node" not in FOAF
+
+    def test_local_name(self):
+        assert FOAF.local_name(FOAF.knows) == "knows"
+        with pytest.raises(ValueError):
+            FOAF.local_name(LDP.contains)
+
+    def test_underscore_attributes_raise(self):
+        with pytest.raises(AttributeError):
+            FOAF._private
+
+    def test_snvoc_matches_solidbench_host(self):
+        assert SNVOC.base.startswith("https://solidbench.linkeddatafragments.org/")
+
+    def test_default_prefix_map_is_consistent(self):
+        assert PREFIXES["foaf"] == FOAF.base
+        assert PREFIXES["snvoc"] == SNVOC.base

@@ -1,0 +1,92 @@
+"""Unit tests for N-Triples / N-Quads parsing and serialization."""
+
+import pytest
+
+from repro.rdf import (
+    BlankNode,
+    Literal,
+    NamedNode,
+    NTriplesParseError,
+    Quad,
+    Triple,
+    parse_nquads,
+    parse_ntriples,
+    serialize_nquads,
+    serialize_ntriples,
+)
+
+
+class TestParsing:
+    def test_simple_triple(self):
+        ts = list(parse_ntriples("<http://x/a> <http://x/p> <http://x/b> ."))
+        assert ts == [Triple(NamedNode("http://x/a"), NamedNode("http://x/p"), NamedNode("http://x/b"))]
+
+    def test_blank_nodes(self):
+        ts = list(parse_ntriples("_:s <http://x/p> _:o ."))
+        assert ts[0].subject == BlankNode("s")
+        assert ts[0].object == BlankNode("o")
+
+    def test_typed_literal(self):
+        line = '<http://x/a> <http://x/p> "5"^^<http://www.w3.org/2001/XMLSchema#long> .'
+        ts = list(parse_ntriples(line))
+        assert ts[0].object.datatype.endswith("long")
+
+    def test_language_literal(self):
+        ts = list(parse_ntriples('<http://x/a> <http://x/p> "hoi"@nl-BE .'))
+        assert ts[0].object.language == "nl-be"
+
+    def test_escaped_literal(self):
+        ts = list(parse_ntriples('<http://x/a> <http://x/p> "a\\nb" .'))
+        assert ts[0].object.value == "a\nb"
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "# comment\n\n<http://x/a> <http://x/p> <http://x/b> .\n"
+        assert len(list(parse_ntriples(text))) == 1
+
+    def test_quad_with_graph(self):
+        qs = list(parse_nquads("<http://x/a> <http://x/p> <http://x/b> <http://x/g> ."))
+        assert qs[0].graph == NamedNode("http://x/g")
+
+    def test_quad_without_graph(self):
+        qs = list(parse_nquads("<http://x/a> <http://x/p> <http://x/b> ."))
+        assert qs[0].graph is None
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<http://x/a> <http://x/p> .",
+            '"lit" <http://x/p> <http://x/o> .',
+            "<http://x/a> _:p <http://x/o> .",
+            "<http://x/a> <http://x/p> <http://x/o>",
+        ],
+    )
+    def test_malformed_lines_raise(self, bad):
+        with pytest.raises(NTriplesParseError):
+            list(parse_ntriples(bad))
+
+    def test_error_reports_line_number(self):
+        text = "<http://x/a> <http://x/p> <http://x/b> .\nbroken line\n"
+        try:
+            list(parse_ntriples(text))
+        except NTriplesParseError as error:
+            assert error.line_number == 2
+        else:
+            pytest.fail("expected NTriplesParseError")
+
+
+class TestSerialization:
+    def test_roundtrip_triples(self):
+        triples = [
+            Triple(NamedNode("http://x/a"), NamedNode("http://x/p"), Literal("v\n1")),
+            Triple(BlankNode("b"), NamedNode("http://x/p"), Literal("x", language="en")),
+        ]
+        text = serialize_ntriples(triples)
+        assert list(parse_ntriples(text)) == triples
+
+    def test_roundtrip_quads(self):
+        quads = [
+            Quad(NamedNode("http://x/a"), NamedNode("http://x/p"), Literal("v"), NamedNode("http://x/g")),
+            Quad(NamedNode("http://x/a"), NamedNode("http://x/p"), Literal("w"), None),
+        ]
+        text = serialize_nquads(quads)
+        assert list(parse_nquads(text)) == quads

@@ -1,0 +1,52 @@
+"""Unit tests for Triple, Quad, and TriplePattern."""
+
+from repro.rdf import Literal, NamedNode, Quad, Triple, TriplePattern, Variable
+
+
+def n(suffix: str) -> NamedNode:
+    return NamedNode(f"http://x/{suffix}")
+
+
+class TestTriple:
+    def test_iteration_order(self):
+        t = Triple(n("s"), n("p"), Literal("o"))
+        assert list(t) == [n("s"), n("p"), Literal("o")]
+
+    def test_ntriples_rendering(self):
+        t = Triple(n("s"), n("p"), Literal("o"))
+        assert t.to_ntriples() == '<http://x/s> <http://x/p> "o" .'
+
+    def test_hashable(self):
+        assert len({Triple(n("s"), n("p"), n("o")), Triple(n("s"), n("p"), n("o"))}) == 1
+
+
+class TestQuad:
+    def test_triple_projection(self):
+        q = Quad(n("s"), n("p"), n("o"), n("g"))
+        assert q.triple == Triple(n("s"), n("p"), n("o"))
+
+    def test_nquads_rendering_with_and_without_graph(self):
+        with_graph = Quad(n("s"), n("p"), n("o"), n("g"))
+        without = Quad(n("s"), n("p"), n("o"))
+        assert with_graph.to_nquads().endswith("<http://x/g> .")
+        assert without.to_nquads().endswith("<http://x/o> .")
+
+
+class TestTriplePattern:
+    def test_variables(self):
+        p = TriplePattern(Variable("s"), n("p"), Variable("o"))
+        assert p.variables() == {Variable("s"), Variable("o")}
+
+    def test_matches_with_variables_as_wildcards(self):
+        p = TriplePattern(Variable("s"), n("p"), None)
+        assert p.matches(Triple(n("a"), n("p"), Literal("x")))
+        assert not p.matches(Triple(n("a"), n("q"), Literal("x")))
+
+    def test_matches_concrete_terms(self):
+        p = TriplePattern(n("a"), n("p"), Literal("x"))
+        assert p.matches(Triple(n("a"), n("p"), Literal("x")))
+        assert not p.matches(Triple(n("a"), n("p"), Literal("y")))
+
+    def test_str_rendering(self):
+        p = TriplePattern(None, n("p"), Variable("o"))
+        assert str(p) == "_ <http://x/p> ?o"

@@ -1,0 +1,79 @@
+"""Unit tests for the Turtle writer, including parse→write→parse round-trips."""
+
+from repro.rdf import (
+    Literal,
+    NamedNode,
+    RDF,
+    Triple,
+    parse_turtle,
+    serialize_turtle,
+)
+from repro.rdf.terms import XSD_DECIMAL, XSD_INTEGER
+
+
+def roundtrip(triples, **kwargs):
+    return set(parse_turtle(serialize_turtle(triples, **kwargs)))
+
+
+class TestWriter:
+    def test_prefix_compaction(self):
+        triples = [Triple(NamedNode("http://x/a"), RDF.type, NamedNode("http://x/C"))]
+        text = serialize_turtle(triples, prefixes={"ex": "http://x/"})
+        assert "ex:a" in text and "ex:C" in text
+        assert "@prefix ex:" in text
+
+    def test_unused_prefixes_omitted(self):
+        triples = [Triple(NamedNode("http://x/a"), NamedNode("http://x/p"), Literal("v"))]
+        text = serialize_turtle(triples, prefixes={"foaf": "http://xmlns.com/foaf/0.1/", "ex": "http://x/"})
+        assert "foaf" not in text
+
+    def test_rdf_type_renders_as_a(self):
+        triples = [Triple(NamedNode("http://x/a"), RDF.type, NamedNode("http://x/C"))]
+        text = serialize_turtle(triples, prefixes={"ex": "http://x/"})
+        assert " a ex:C" in text
+
+    def test_subject_grouping_with_semicolons(self):
+        s = NamedNode("http://x/s")
+        triples = [
+            Triple(s, NamedNode("http://x/p"), Literal("1", datatype=XSD_INTEGER)),
+            Triple(s, NamedNode("http://x/q"), Literal("2", datatype=XSD_INTEGER)),
+        ]
+        text = serialize_turtle(triples, prefixes={})
+        assert text.count("http://x/s") == 1
+        assert ";" in text
+
+    def test_integer_shorthand(self):
+        triples = [Triple(NamedNode("http://x/s"), NamedNode("http://x/p"), Literal("42", datatype=XSD_INTEGER))]
+        text = serialize_turtle(triples, prefixes={})
+        assert " 42 " in text or " 42 ." in text
+
+    def test_decimal_shorthand(self):
+        triples = [Triple(NamedNode("http://x/s"), NamedNode("http://x/p"), Literal("4.5", datatype=XSD_DECIMAL))]
+        text = serialize_turtle(triples, prefixes={})
+        assert "4.5" in text and "^^" not in text
+
+    def test_base_relative_rendering(self):
+        base = "https://pod.example/"
+        triples = [Triple(NamedNode(base + "posts/x"), NamedNode("http://x/p"), NamedNode(base))]
+        text = serialize_turtle(triples, prefixes={}, base_iri=base)
+        assert "<posts/x>" in text and "<>" in text
+
+    def test_roundtrip_preserves_triples(self):
+        triples = [
+            Triple(NamedNode("http://x/a"), RDF.type, NamedNode("http://x/C")),
+            Triple(NamedNode("http://x/a"), NamedNode("http://x/p"), Literal("hi", language="en")),
+            Triple(NamedNode("http://x/a"), NamedNode("http://x/q"), Literal("x\ny")),
+            Triple(NamedNode("http://x/b"), NamedNode("http://x/p"), Literal("5", datatype=XSD_INTEGER)),
+        ]
+        assert roundtrip(triples, prefixes={"ex": "http://x/"}) == set(triples)
+
+    def test_roundtrip_with_base(self):
+        base = "https://pod.example/dir/"
+        triples = [
+            Triple(NamedNode(base + "doc"), NamedNode("http://x/p"), NamedNode(base)),
+        ]
+        text = serialize_turtle(triples, prefixes={}, base_iri=base)
+        assert set(parse_turtle(text, base_iri=base)) == set(triples)
+
+    def test_empty_input(self):
+        assert serialize_turtle([], prefixes={}) == ""

@@ -1,0 +1,77 @@
+"""Unit tests for WAC access control."""
+
+from repro.rdf import ACL as ACL_NS, FOAF
+from repro.solid.acl import AccessControlList, AccessMode, AclRule, acl_document_triples
+
+OWNER = "https://h/pods/1/profile/card#me"
+FRIEND = "https://h/pods/2/profile/card#me"
+STRANGER = "https://h/pods/3/profile/card#me"
+
+
+class TestAclRule:
+    def test_public_rule_allows_anonymous(self):
+        rule = AclRule(public=True)
+        assert rule.allows(None, AccessMode.READ)
+
+    def test_mode_must_match(self):
+        rule = AclRule(public=True, modes=frozenset({AccessMode.READ}))
+        assert not rule.allows(None, AccessMode.WRITE)
+
+    def test_agent_list(self):
+        rule = AclRule(agents=frozenset({FRIEND}))
+        assert rule.allows(FRIEND, AccessMode.READ)
+        assert not rule.allows(STRANGER, AccessMode.READ)
+        assert not rule.allows(None, AccessMode.READ)
+
+    def test_authenticated_agents(self):
+        rule = AclRule(authenticated=True)
+        assert rule.allows(STRANGER, AccessMode.READ)
+        assert not rule.allows(None, AccessMode.READ)
+
+
+class TestAccessControlList:
+    def test_default_is_public(self):
+        acl = AccessControlList(OWNER)
+        assert acl.allows("anything/here", None)
+
+    def test_owner_always_allowed(self):
+        acl = AccessControlList(OWNER)
+        acl.restrict("private/secret")
+        assert acl.allows("private/secret", OWNER)
+
+    def test_restrict_excludes_public(self):
+        acl = AccessControlList(OWNER)
+        acl.restrict("private/secret", agents=[FRIEND])
+        assert not acl.allows("private/secret", None)
+        assert not acl.allows("private/secret", STRANGER)
+        assert acl.allows("private/secret", FRIEND)
+
+    def test_container_inheritance(self):
+        acl = AccessControlList(OWNER)
+        acl.restrict("private/")
+        assert not acl.allows("private/deep/file", STRANGER)
+        assert acl.allows("public-file", STRANGER)
+
+    def test_most_specific_rule_wins(self):
+        acl = AccessControlList(OWNER)
+        acl.restrict("dir/")
+        acl.grant("dir/open-file", AclRule(public=True))
+        assert acl.allows("dir/open-file", None)
+        assert not acl.allows("dir/other", None)
+
+    def test_has_rule(self):
+        acl = AccessControlList(OWNER)
+        acl.restrict("x")
+        assert acl.has_rule("x") and not acl.has_rule("y")
+
+
+class TestAclDocument:
+    def test_renders_wac_vocabulary(self):
+        rules = [AclRule(public=True), AclRule(agents=frozenset({FRIEND}), authenticated=True)]
+        triples = acl_document_triples("https://h/r", "https://h/r.acl", rules)
+        predicates = {t.predicate for t in triples}
+        assert ACL_NS.accessTo in predicates
+        assert ACL_NS.mode in predicates
+        objects = {t.object for t in triples}
+        assert FOAF.Agent in objects  # public
+        assert ACL_NS.AuthenticatedAgent in objects

@@ -1,0 +1,50 @@
+"""Unit tests for the simulated identity provider."""
+
+from repro.solid import IdentityProvider
+
+WEBID = "https://h/pods/1/profile/card#me"
+
+
+class TestIdentityProvider:
+    def test_login_and_resolve(self):
+        idp = IdentityProvider("https://h")
+        session = idp.login(WEBID)
+        assert idp.resolve(session.token) == WEBID
+
+    def test_tokens_are_deterministic_per_webid(self):
+        idp = IdentityProvider("https://h")
+        assert idp.login(WEBID).token == idp.login(WEBID).token
+
+    def test_distinct_webids_distinct_tokens(self):
+        idp = IdentityProvider("https://h")
+        assert idp.login(WEBID).token != idp.login("https://h/other#me").token
+
+    def test_unknown_token_resolves_to_none(self):
+        idp = IdentityProvider("https://h")
+        assert idp.resolve("bogus") is None
+        assert idp.resolve(None) is None
+        assert idp.resolve("") is None
+
+    def test_revocation(self):
+        idp = IdentityProvider("https://h")
+        session = idp.login(WEBID)
+        idp.revoke(session.token)
+        assert idp.resolve(session.token) is None
+
+    def test_authorization_header_parsing(self):
+        idp = IdentityProvider("https://h")
+        session = idp.login(WEBID)
+        assert idp.resolve_authorization_header(f"Bearer {session.token}") == WEBID
+        assert idp.resolve_authorization_header(f"Basic {session.token}") is None
+        assert idp.resolve_authorization_header("") is None
+
+    def test_session_headers(self):
+        idp = IdentityProvider("https://h")
+        session = idp.login(WEBID)
+        assert session.headers["authorization"].startswith("Bearer ")
+
+    def test_cross_instance_tokens_rejected(self):
+        first = IdentityProvider("https://h", secret=b"one")
+        second = IdentityProvider("https://h", secret=b"two")
+        token = first.login(WEBID).token
+        assert second.resolve(token) is None

@@ -1,0 +1,113 @@
+"""Unit tests for the pod data model."""
+
+import pytest
+
+from repro.rdf import LDP, Literal, NamedNode, PIM, RDF, SOLID, Triple, parse_turtle
+from repro.solid import Pod, PodDocument
+
+BASE = "https://host.example/pods/0001/"
+
+
+def n(value):
+    return NamedNode(value)
+
+
+@pytest.fixture()
+def pod():
+    p = Pod(BASE, owner_name="Zulma")
+    p.add_document("posts/2010-10-12", [Triple(n(BASE + "posts/2010-10-12#m1"), RDF.type, n("http://x/Post"))])
+    p.add_document("posts/2010-11-01", [Triple(n(BASE + "posts/2010-11-01#m2"), RDF.type, n("http://x/Post"))])
+    p.add_document("file", [Triple(n(BASE + "file#x"), RDF.type, n("http://x/Thing"))])
+    return p
+
+
+class TestPodBasics:
+    def test_base_url_gets_trailing_slash(self):
+        assert Pod("https://h/pods/1").base_url.endswith("/")
+
+    def test_webid_shape(self, pod):
+        assert pod.webid == BASE + "profile/card#me"
+
+    def test_document_paths_validated(self):
+        with pytest.raises(ValueError):
+            PodDocument(path="/absolute")
+        with pytest.raises(ValueError):
+            PodDocument(path="container/")
+
+    def test_document_lookup(self, pod):
+        assert pod.has_document("file")
+        assert pod.document("missing") is None
+        assert pod.document_url("file") == BASE + "file"
+
+    def test_triple_count(self, pod):
+        assert pod.triple_count() == 3
+
+
+class TestContainers:
+    def test_container_paths_derived_from_documents(self, pod):
+        assert pod.container_paths() == {"", "posts/"}
+
+    def test_is_container(self, pod):
+        assert pod.is_container("")
+        assert pod.is_container("posts/")
+        assert not pod.is_container("file/")
+
+    def test_container_members_root(self, pod):
+        documents, children = pod.container_members("")
+        assert documents == ["file"]
+        assert children == ["posts/"]
+
+    def test_container_members_nested(self, pod):
+        documents, children = pod.container_members("posts/")
+        assert documents == ["posts/2010-10-12", "posts/2010-11-01"]
+        assert children == []
+
+    def test_container_triples_follow_listing_1(self, pod):
+        # Paper Listing 1: container typed Container/BasicContainer/Resource
+        # with ldp:contains links to members.
+        triples = pod.container_triples("")
+        container = n(BASE)
+        assert Triple(container, RDF.type, LDP.BasicContainer) in triples
+        contains = {t.object for t in triples if t.predicate == LDP.contains}
+        assert contains == {n(BASE + "file"), n(BASE + "posts/")}
+
+
+class TestStandardDocuments:
+    def test_profile_follows_listing_2(self, pod):
+        pod.build_profile()
+        profile = pod.document("profile/card")
+        me = n(pod.webid)
+        assert Triple(me, PIM.storage, n(BASE)) in profile.triples
+        assert Triple(me, SOLID.publicTypeIndex, n(pod.type_index_url)) in profile.triples
+        names = [t.object for t in profile.triples if t.predicate.value.endswith("name")]
+        assert Literal("Zulma") in names
+
+    def test_type_index_follows_listing_3(self, pod):
+        pod.build_type_index(
+            [
+                (n("http://x/Post"), "posts/", True),
+                (n("http://x/Note"), "file", False),
+            ]
+        )
+        index = pod.document(pod.type_index_path)
+        registrations = [t for t in index.triples if t.predicate == SOLID.forClass]
+        assert {t.object for t in registrations} == {n("http://x/Post"), n("http://x/Note")}
+        container_targets = [t.object for t in index.triples if t.predicate == SOLID.instanceContainer]
+        instance_targets = [t.object for t in index.triples if t.predicate == SOLID.instance]
+        assert container_targets == [n(BASE + "posts/")]
+        assert instance_targets == [n(BASE + "file")]
+
+
+class TestSerialization:
+    def test_serialize_document_roundtrips(self, pod):
+        text = pod.serialize_document("file")
+        assert set(parse_turtle(text, base_iri=BASE)) == set(pod.document("file").triples)
+
+    def test_serialize_container(self, pod):
+        text = pod.serialize_document("posts/")
+        triples = parse_turtle(text, base_iri=BASE + "posts/")
+        assert any(t.predicate == LDP.contains for t in triples)
+
+    def test_serialize_missing_raises(self, pod):
+        with pytest.raises(KeyError):
+            pod.serialize_document("missing")

@@ -1,0 +1,157 @@
+"""Unit tests for the Solid pod server."""
+
+import asyncio
+
+import pytest
+
+from repro.net import HttpClient, Internet, NoLatency
+from repro.rdf import LDP, Literal, NamedNode, RDF, Triple, parse_turtle
+from repro.solid import AccessControlList, IdentityProvider, Pod, SolidServer
+
+ORIGIN = "https://host.example"
+BASE = ORIGIN + "/pods/0001/"
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture()
+def setup():
+    idp = IdentityProvider(ORIGIN)
+    server = SolidServer(ORIGIN, idp=idp)
+    pod = Pod(BASE, owner_name="Zulma")
+    pod.add_document(
+        "posts/2010-10-12",
+        [Triple(NamedNode(BASE + "posts/2010-10-12#m"), RDF.type, NamedNode("http://x/Post"))],
+    )
+    pod.add_document(
+        "private/diary",
+        [Triple(NamedNode(BASE + "private/diary#e"), RDF.type, NamedNode("http://x/Entry"))],
+        public=False,
+    )
+    pod.build_profile()
+    server.mount(pod)
+    internet = Internet()
+    internet.register(ORIGIN, server)
+    client = HttpClient(internet, latency=NoLatency())
+    return idp, server, pod, client
+
+
+class TestDocumentServing:
+    def test_get_document_as_turtle(self, setup):
+        _, _, pod, client = setup
+        response = run(client.fetch(BASE + "posts/2010-10-12"))
+        assert response.status == 200
+        assert response.content_type == "text/turtle"
+        triples = parse_turtle(response.text, base_iri=BASE + "posts/2010-10-12")
+        assert len(triples) == 1
+
+    def test_head_has_no_body(self, setup):
+        _, _, _, client = setup
+        response = run(client.fetch(BASE + "profile/card", method="HEAD"))
+        assert response.status == 200 and response.body == b""
+
+    def test_content_negotiation_ntriples(self, setup):
+        _, _, _, client = setup
+        response = run(
+            client.fetch(BASE + "posts/2010-10-12", headers={"accept": "application/n-triples"})
+        )
+        assert response.content_type == "application/n-triples"
+        assert response.text.strip().endswith(".")
+
+    def test_missing_document_404(self, setup):
+        _, _, _, client = setup
+        assert run(client.fetch(BASE + "nope")).status == 404
+
+    def test_unmounted_prefix_404(self, setup):
+        _, _, _, client = setup
+        assert run(client.fetch(ORIGIN + "/pods/9999/profile/card")).status == 404
+
+    def test_post_method_not_allowed(self, setup):
+        _, _, _, client = setup
+        assert run(client.fetch(BASE + "profile/card", method="POST")).status == 405
+
+    def test_container_redirect_without_slash(self, setup):
+        _, _, _, client = setup
+        response = run(client.fetch(BASE + "posts"))
+        assert response.status == 301
+        assert response.header("location") == BASE + "posts/"
+
+
+class TestContainerServing:
+    def test_container_listing_with_link_header(self, setup):
+        _, _, _, client = setup
+        response = run(client.fetch(BASE + "posts/"))
+        assert response.status == 200
+        assert "BasicContainer" in response.header("link")
+        triples = parse_turtle(response.text, base_iri=BASE + "posts/")
+        members = {t.object for t in triples if t.predicate == LDP.contains}
+        assert NamedNode(BASE + "posts/2010-10-12") in members
+
+    def test_root_container(self, setup):
+        _, _, _, client = setup
+        response = run(client.fetch(BASE))
+        triples = parse_turtle(response.text, base_iri=BASE)
+        members = {t.object.value for t in triples if t.predicate == LDP.contains}
+        assert BASE + "posts/" in members and BASE + "profile/" in members
+
+
+class TestAccessControl:
+    def test_private_document_needs_auth(self, setup):
+        idp, _, pod, client = setup
+        assert run(client.fetch(BASE + "private/diary")).status == 401
+        session = idp.login(pod.webid)
+        response = run(client.fetch(BASE + "private/diary", headers=session.headers))
+        assert response.status == 200
+
+    def test_wrong_user_forbidden(self, setup):
+        idp, _, _, client = setup
+        other = idp.login("https://host.example/pods/0002/profile/card#me")
+        assert run(client.fetch(BASE + "private/diary", headers=other.headers)).status == 403
+
+    def test_explicitly_shared_document(self):
+        idp = IdentityProvider(ORIGIN)
+        server = SolidServer(ORIGIN, idp=idp)
+        pod = Pod(BASE)
+        pod.add_document("shared/data", [], public=False)
+        acl = AccessControlList(pod.webid)
+        friend = "https://host.example/pods/0002/profile/card#me"
+        acl.restrict("shared/data", agents=[friend])
+        server.mount(pod, acl=acl)
+        internet = Internet()
+        internet.register(ORIGIN, server)
+        client = HttpClient(internet, latency=NoLatency())
+        session = idp.login(friend)
+        assert run(client.fetch(BASE + "shared/data", headers=session.headers)).status == 200
+
+    def test_acl_document_owner_only(self, setup):
+        idp, _, pod, client = setup
+        assert run(client.fetch(BASE + "private/diary.acl")).status == 401
+        session = idp.login(pod.webid)
+        response = run(client.fetch(BASE + "private/diary.acl", headers=session.headers))
+        assert response.status == 200
+        assert "Authorization" in response.text
+
+    def test_invalid_token_is_anonymous(self, setup):
+        _, _, _, client = setup
+        response = run(
+            client.fetch(BASE + "private/diary", headers={"authorization": "Bearer bogus"})
+        )
+        assert response.status == 401
+
+
+class TestMounting:
+    def test_mount_rejects_foreign_origin(self):
+        server = SolidServer(ORIGIN)
+        with pytest.raises(ValueError):
+            server.mount(Pod("https://elsewhere.example/pods/1/"))
+
+    def test_multiple_pods_longest_prefix(self, setup):
+        idp, server, _, client = setup
+        second = Pod(ORIGIN + "/pods/0002/", owner_name="Ana")
+        second.build_profile()
+        server.mount(second)
+        response = run(client.fetch(ORIGIN + "/pods/0002/profile/card"))
+        assert response.status == 200
+        assert "Ana" in response.text

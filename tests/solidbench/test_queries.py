@@ -1,0 +1,62 @@
+"""Unit tests for the Discover query suite."""
+
+import pytest
+
+from repro.sparql import parse_query
+from repro.sparql.algebra import is_monotonic
+from repro.solidbench.queries import TEMPLATE_DESCRIPTIONS, discover_query, discover_suite
+
+
+class TestSuite:
+    def test_exactly_37_default_queries(self, tiny_universe):
+        # §4.2: "we provide a total of 37 default queries".
+        queries = discover_suite(tiny_universe)
+        assert len(queries) == 37
+
+    def test_all_eight_templates_covered(self, tiny_universe):
+        templates = {q.template for q in discover_suite(tiny_universe)}
+        assert templates == set(range(1, 9))
+        assert set(TEMPLATE_DESCRIPTIONS) == templates
+
+    def test_all_queries_parse(self, tiny_universe):
+        for query in discover_suite(tiny_universe):
+            parsed = parse_query(query.text)
+            assert parsed.form == "SELECT"
+
+    def test_all_queries_are_monotonic(self, tiny_universe):
+        # The Discover suite exercises the pipelined (monotonic) engine path.
+        for query in discover_suite(tiny_universe):
+            assert is_monotonic(parse_query(query.text).where), query.name
+
+    def test_ids_follow_solidbench_convention(self, tiny_universe):
+        names = {q.name for q in discover_suite(tiny_universe)}
+        assert "Discover 1.5" in names
+        assert "Discover 8.4" in names
+
+    def test_seeds_are_person_webids(self, tiny_universe):
+        for query in discover_suite(tiny_universe):
+            assert len(query.seeds) == 1
+            assert query.seeds[0].endswith("profile/card#me")
+
+    def test_variants_use_different_persons(self, tiny_universe):
+        persons = {q.person_index for q in discover_suite(tiny_universe) if q.template == 1}
+        assert len(persons) > 1
+
+
+class TestDiscoverQuery:
+    def test_explicit_person_index(self, tiny_universe):
+        query = discover_query(tiny_universe, 1, 5, person_index=3)
+        assert query.person_index == 3
+        assert tiny_universe.webid(3) in query.text
+
+    def test_template_8_person_has_likes(self, tiny_universe):
+        query = discover_query(tiny_universe, 8, 1)
+        assert tiny_universe.network.likes_of(query.person_index)
+
+    def test_unknown_template_raises(self, tiny_universe):
+        with pytest.raises(ValueError):
+            discover_query(tiny_universe, 99, 1)
+
+    def test_template_8_uses_alternative_path(self, tiny_universe):
+        query = discover_query(tiny_universe, 8, 1)
+        assert "(snvoc:hasPost|snvoc:hasComment)" in query.text

@@ -1,0 +1,89 @@
+"""Unit tests for the social network generator."""
+
+import pytest
+
+from repro.solidbench.config import SolidBenchConfig
+from repro.solidbench.social import generate_social_network
+
+
+@pytest.fixture(scope="module")
+def network():
+    return generate_social_network(SolidBenchConfig(scale=0.01, seed=11))
+
+
+class TestDeterminism:
+    def test_same_seed_same_network(self):
+        config = SolidBenchConfig(scale=0.01, seed=5)
+        first = generate_social_network(config)
+        second = generate_social_network(config)
+        assert [p.ldbc_id for p in first.persons] == [p.ldbc_id for p in second.persons]
+        assert sorted(first.messages) == sorted(second.messages)
+        assert len(first.likes) == len(second.likes)
+
+    def test_different_seed_differs(self):
+        first = generate_social_network(SolidBenchConfig(scale=0.01, seed=1))
+        second = generate_social_network(SolidBenchConfig(scale=0.01, seed=2))
+        assert sorted(first.messages) != sorted(second.messages)
+
+
+class TestStructure:
+    def test_person_count_matches_scale(self, network):
+        config = SolidBenchConfig(scale=0.01)
+        assert len(network.persons) == config.person_count
+
+    def test_knows_is_symmetric(self, network):
+        for person in network.persons:
+            for friend in person.knows:
+                assert person.index in network.persons[friend].knows
+
+    def test_nobody_knows_themselves(self, network):
+        for person in network.persons:
+            assert person.index not in person.knows
+
+    def test_every_person_has_a_wall(self, network):
+        for person in network.persons:
+            kinds = {f.kind for f in network.forums_of(person.index)}
+            assert "wall" in kinds
+
+    def test_forum_titles_match_paper_format(self, network):
+        titles = [f.title for f in network.forums.values()]
+        assert any(t.startswith("Wall of ") for t in titles)
+        assert any(t.startswith("Album ") and " of " in t for t in titles)
+
+    def test_posts_are_assigned_to_owners_forums(self, network):
+        for forum in network.forums.values():
+            for message_id in forum.message_ids:
+                assert network.messages[message_id].creator_index == forum.owner_index
+
+    def test_every_post_belongs_to_a_forum(self, network):
+        for message in network.messages.values():
+            if message.kind == "post":
+                assert message.forum_id in network.forums
+
+    def test_comments_reply_to_existing_messages(self, network):
+        for message in network.messages.values():
+            if message.kind == "comment":
+                assert message.reply_of_id in network.messages
+
+    def test_likes_reference_existing_messages(self, network):
+        for like in network.likes:
+            assert like.message_id in network.messages
+            assert network.messages[like.message_id].kind == like.message_kind
+
+    def test_likes_target_friends_content(self, network):
+        for like in network.likes[:50]:
+            liker = network.persons[like.person_index]
+            creator = network.messages[like.message_id].creator_index
+            assert creator in liker.knows
+
+    def test_message_ids_unique_and_dates_in_window(self, network):
+        config = network.config
+        for message in network.messages.values():
+            assert config.start_year <= message.creation_date.year <= config.end_year
+
+    def test_ldbc_ids_are_distinct(self, network):
+        ids = [p.ldbc_id for p in network.persons]
+        assert len(ids) == len(set(ids))
+
+    def test_pod_names_are_20_digit(self, network):
+        assert all(len(p.pod_name) == 20 and p.pod_name.isdigit() for p in network.persons)

@@ -1,0 +1,61 @@
+"""Unit tests for solution mappings."""
+
+from repro.rdf import Literal, NamedNode, Variable
+from repro.sparql.bindings import EMPTY_BINDING, Binding
+
+
+def v(name):
+    return Variable(name)
+
+
+class TestBinding:
+    def test_mapping_interface(self):
+        b = Binding({v("x"): Literal("1")})
+        assert b[v("x")] == Literal("1")
+        assert v("x") in b and v("y") not in b
+        assert len(b) == 1
+        assert list(b) == [v("x")]
+
+    def test_compatible_shares_agreeing_values(self):
+        a = Binding({v("x"): Literal("1"), v("y"): Literal("2")})
+        b = Binding({v("y"): Literal("2"), v("z"): Literal("3")})
+        assert a.compatible(b) and b.compatible(a)
+
+    def test_incompatible_on_conflict(self):
+        a = Binding({v("x"): Literal("1")})
+        b = Binding({v("x"): Literal("2")})
+        assert not a.compatible(b)
+        assert a.merged(b) is None
+
+    def test_merged_unions(self):
+        a = Binding({v("x"): Literal("1")})
+        b = Binding({v("y"): Literal("2")})
+        merged = a.merged(b)
+        assert merged == Binding({v("x"): Literal("1"), v("y"): Literal("2")})
+
+    def test_merge_with_empty_returns_self(self):
+        a = Binding({v("x"): Literal("1")})
+        assert a.merged(EMPTY_BINDING) is a
+        assert EMPTY_BINDING.merged(a) is a
+
+    def test_extended_does_not_mutate(self):
+        a = Binding({v("x"): Literal("1")})
+        b = a.extended(v("y"), Literal("2"))
+        assert v("y") not in a and v("y") in b
+
+    def test_projected(self):
+        a = Binding({v("x"): Literal("1"), v("y"): Literal("2")})
+        assert a.projected([v("x"), v("missing")]) == Binding({v("x"): Literal("1")})
+
+    def test_key_with_unbound_positions(self):
+        a = Binding({v("x"): Literal("1")})
+        assert a.key([v("x"), v("y")]) == (Literal("1"), None)
+
+    def test_hash_consistency(self):
+        a = Binding({v("x"): NamedNode("http://x/1")})
+        b = Binding({v("x"): NamedNode("http://x/1")})
+        assert a == b and hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_empty_binding_is_falsy_length(self):
+        assert len(EMPTY_BINDING) == 0

@@ -1,0 +1,295 @@
+"""Unit tests for SPARQL expression evaluation."""
+
+import pytest
+
+from repro.rdf import Literal, NamedNode, Variable
+from repro.rdf.terms import (
+    XSD_BOOLEAN,
+    XSD_DATETIME,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+)
+from repro.sparql.algebra import (
+    Arithmetic,
+    Compare,
+    FunctionCall,
+    InExpr,
+    Not,
+    TermExpr,
+    UnaryMinus,
+    VariableExpr,
+)
+from repro.sparql.bindings import Binding
+from repro.sparql.expr import (
+    ExpressionError,
+    ExpressionEvaluator,
+    compare_terms,
+    effective_boolean_value,
+)
+
+
+@pytest.fixture()
+def ev():
+    return ExpressionEvaluator()
+
+
+def lit_int(n: int) -> TermExpr:
+    return TermExpr(Literal(str(n), datatype=XSD_INTEGER))
+
+
+def lit_str(s: str) -> TermExpr:
+    return TermExpr(Literal(s))
+
+
+EMPTY = Binding()
+
+
+class TestEffectiveBooleanValue:
+    def test_boolean_literals(self):
+        assert effective_boolean_value(Literal("true", datatype=XSD_BOOLEAN)) is True
+        assert effective_boolean_value(Literal("false", datatype=XSD_BOOLEAN)) is False
+
+    def test_strings(self):
+        assert effective_boolean_value(Literal("x")) is True
+        assert effective_boolean_value(Literal("")) is False
+
+    def test_numbers(self):
+        assert effective_boolean_value(Literal("1", datatype=XSD_INTEGER)) is True
+        assert effective_boolean_value(Literal("0", datatype=XSD_INTEGER)) is False
+        assert effective_boolean_value(Literal("0.0", datatype=XSD_DOUBLE)) is False
+
+    def test_iri_has_no_ebv(self):
+        with pytest.raises(ExpressionError):
+            effective_boolean_value(NamedNode("http://x/a"))
+
+
+class TestComparison:
+    def test_numeric_promotion(self):
+        assert compare_terms(
+            Literal("1", datatype=XSD_INTEGER), Literal("1.0", datatype=XSD_DECIMAL), "="
+        )
+        assert compare_terms(
+            Literal("1", datatype=XSD_INTEGER), Literal("1.5", datatype=XSD_DOUBLE), "<"
+        )
+
+    def test_string_comparison(self):
+        assert compare_terms(Literal("abc"), Literal("abd"), "<")
+
+    def test_datetime_comparison(self):
+        early = Literal("2010-01-01T00:00:00Z", datatype=XSD_DATETIME)
+        late = Literal("2012-01-01T00:00:00Z", datatype=XSD_DATETIME)
+        assert compare_terms(early, late, "<")
+        assert compare_terms(late, early, ">=")
+
+    def test_iri_equality_only(self):
+        a, b = NamedNode("http://x/a"), NamedNode("http://x/b")
+        assert compare_terms(a, a, "=")
+        assert compare_terms(a, b, "!=")
+        with pytest.raises(ExpressionError):
+            compare_terms(a, b, "<")
+
+    def test_cross_type_ordering_fails(self):
+        with pytest.raises(ExpressionError):
+            compare_terms(Literal("5", datatype=XSD_INTEGER), Literal("abc"), "<")
+
+
+class TestArithmetic:
+    def test_integer_addition(self, ev):
+        result = ev.evaluate(Arithmetic("+", lit_int(2), lit_int(3)), EMPTY)
+        assert result == Literal("5", datatype=XSD_INTEGER)
+
+    def test_integer_division_yields_decimal(self, ev):
+        result = ev.evaluate(Arithmetic("/", lit_int(7), lit_int(2)), EMPTY)
+        assert result.datatype == XSD_DECIMAL
+        assert float(result.value) == 3.5
+
+    def test_integer_division_by_zero_errors(self, ev):
+        with pytest.raises(ExpressionError):
+            ev.evaluate(Arithmetic("/", lit_int(1), lit_int(0)), EMPTY)
+
+    def test_double_division_by_zero_gives_inf(self, ev):
+        expr = Arithmetic(
+            "/", TermExpr(Literal("1.0", datatype=XSD_DOUBLE)), TermExpr(Literal("0.0", datatype=XSD_DOUBLE))
+        )
+        assert ev.evaluate(expr, EMPTY).value == "INF"
+
+    def test_unary_minus(self, ev):
+        assert ev.evaluate(UnaryMinus(lit_int(5)), EMPTY).value == "-5"
+
+    def test_arithmetic_on_strings_errors(self, ev):
+        with pytest.raises(ExpressionError):
+            ev.evaluate(Arithmetic("+", lit_str("a"), lit_int(1)), EMPTY)
+
+
+class TestLogic:
+    def test_or_short_circuits_errors(self, ev):
+        # T || error = T
+        error_side = FunctionCall("ABS", (lit_str("x"),))
+        expr = parse_or(TermExpr(Literal("true", datatype=XSD_BOOLEAN)), error_side)
+        assert ev.evaluate(expr, EMPTY).value == "true"
+
+    def test_and_short_circuits_errors(self, ev):
+        # F && error = F
+        error_side = FunctionCall("ABS", (lit_str("x"),))
+        expr = parse_and(TermExpr(Literal("false", datatype=XSD_BOOLEAN)), error_side)
+        assert ev.evaluate(expr, EMPTY).value == "false"
+
+    def test_error_and_true_propagates(self, ev):
+        error_side = FunctionCall("ABS", (lit_str("x"),))
+        expr = parse_and(error_side, TermExpr(Literal("true", datatype=XSD_BOOLEAN)))
+        with pytest.raises(ExpressionError):
+            ev.evaluate(expr, EMPTY)
+
+    def test_not(self, ev):
+        assert ev.evaluate(Not(TermExpr(Literal("", ))), EMPTY).value == "true"
+
+    def test_satisfied_treats_errors_as_false(self, ev):
+        error_expr = FunctionCall("ABS", (lit_str("x"),))
+        assert ev.satisfied(error_expr, EMPTY) is False
+
+
+def parse_or(left, right):
+    from repro.sparql.algebra import Or
+
+    return Or(left, right)
+
+
+def parse_and(left, right):
+    from repro.sparql.algebra import And
+
+    return And(left, right)
+
+
+class TestVariables:
+    def test_bound_variable(self, ev):
+        binding = Binding({Variable("x"): Literal("5", datatype=XSD_INTEGER)})
+        assert ev.evaluate(VariableExpr(Variable("x")), binding).value == "5"
+
+    def test_unbound_variable_errors(self, ev):
+        with pytest.raises(ExpressionError):
+            ev.evaluate(VariableExpr(Variable("x")), EMPTY)
+
+    def test_bound_function(self, ev):
+        binding = Binding({Variable("x"): Literal("5")})
+        assert ev.evaluate(FunctionCall("BOUND", (VariableExpr(Variable("x")),)), binding).value == "true"
+        assert ev.evaluate(FunctionCall("BOUND", (VariableExpr(Variable("y")),)), binding).value == "false"
+
+
+class TestBuiltins:
+    @pytest.mark.parametrize(
+        "name,args,expected",
+        [
+            ("STRLEN", [lit_str("hello")], "5"),
+            ("UCASE", [lit_str("hi")], "HI"),
+            ("LCASE", [lit_str("HI")], "hi"),
+            ("CONCAT", [lit_str("a"), lit_str("b"), lit_str("c")], "abc"),
+            ("CONTAINS", [lit_str("foobar"), lit_str("oba")], "true"),
+            ("STRSTARTS", [lit_str("foobar"), lit_str("foo")], "true"),
+            ("STRENDS", [lit_str("foobar"), lit_str("bar")], "true"),
+            ("STRBEFORE", [lit_str("abc"), lit_str("b")], "a"),
+            ("STRAFTER", [lit_str("abc"), lit_str("b")], "c"),
+            ("SUBSTR", [lit_str("foobar"), lit_int(4)], "bar"),
+            ("ABS", [lit_int(-4)], "4"),
+            ("CEIL", [TermExpr(Literal("2.2", datatype=XSD_DECIMAL))], "3"),
+            ("FLOOR", [TermExpr(Literal("2.8", datatype=XSD_DECIMAL))], "2"),
+            ("MD5", [lit_str("abc")], "900150983cd24fb0d6963f7d28e17f72"),
+        ],
+    )
+    def test_value_functions(self, ev, name, args, expected):
+        assert ev.evaluate(FunctionCall(name, tuple(args)), EMPTY).value == expected
+
+    def test_substr_with_length(self, ev):
+        result = ev.evaluate(FunctionCall("SUBSTR", (lit_str("foobar"), lit_int(2), lit_int(3))), EMPTY)
+        assert result.value == "oob"
+
+    def test_str_of_iri(self, ev):
+        assert ev.evaluate(FunctionCall("STR", (TermExpr(NamedNode("http://x/a")),)), EMPTY).value == "http://x/a"
+
+    def test_iri_of_string(self, ev):
+        assert ev.evaluate(FunctionCall("IRI", (lit_str("http://x/a"),)), EMPTY) == NamedNode("http://x/a")
+
+    def test_lang_and_datatype(self, ev):
+        lang = ev.evaluate(FunctionCall("LANG", (TermExpr(Literal("x", language="en")),)), EMPTY)
+        assert lang.value == "en"
+        datatype = ev.evaluate(FunctionCall("DATATYPE", (lit_int(1),)), EMPTY)
+        assert datatype == NamedNode(XSD_INTEGER)
+
+    def test_langmatches(self, ev):
+        call = FunctionCall(
+            "LANGMATCHES",
+            (FunctionCall("LANG", (TermExpr(Literal("x", language="en-GB")),)), lit_str("en")),
+        )
+        assert ev.evaluate(call, EMPTY).value == "true"
+
+    def test_ucase_preserves_language(self, ev):
+        result = ev.evaluate(FunctionCall("UCASE", (TermExpr(Literal("hi", language="en")),)), EMPTY)
+        assert result.language == "en"
+
+    def test_regex(self, ev):
+        assert ev.evaluate(FunctionCall("REGEX", (lit_str("Post 42"), lit_str(r"\d+"))), EMPTY).value == "true"
+
+    def test_regex_case_insensitive_flag(self, ev):
+        call = FunctionCall("REGEX", (lit_str("HELLO"), lit_str("hello"), lit_str("i")))
+        assert ev.evaluate(call, EMPTY).value == "true"
+
+    def test_replace(self, ev):
+        result = ev.evaluate(
+            FunctionCall("REPLACE", (lit_str("aaa"), lit_str("a"), lit_str("b"))), EMPTY
+        )
+        assert result.value == "bbb"
+
+    def test_if(self, ev):
+        call = FunctionCall("IF", (TermExpr(Literal("true", datatype=XSD_BOOLEAN)), lit_int(1), lit_int(2)))
+        assert ev.evaluate(call, EMPTY).value == "1"
+
+    def test_coalesce_skips_errors(self, ev):
+        call = FunctionCall("COALESCE", (VariableExpr(Variable("missing")), lit_int(7)))
+        assert ev.evaluate(call, EMPTY).value == "7"
+
+    def test_coalesce_all_errors(self, ev):
+        with pytest.raises(ExpressionError):
+            ev.evaluate(FunctionCall("COALESCE", (VariableExpr(Variable("m")),)), EMPTY)
+
+    def test_datetime_accessors(self, ev):
+        moment = TermExpr(Literal("2011-03-17T14:05:30Z", datatype=XSD_DATETIME))
+        assert ev.evaluate(FunctionCall("YEAR", (moment,)), EMPTY).value == "2011"
+        assert ev.evaluate(FunctionCall("MONTH", (moment,)), EMPTY).value == "3"
+        assert ev.evaluate(FunctionCall("DAY", (moment,)), EMPTY).value == "17"
+        assert ev.evaluate(FunctionCall("HOURS", (moment,)), EMPTY).value == "14"
+
+    def test_isiri_isliteral(self, ev):
+        assert ev.evaluate(FunctionCall("ISIRI", (TermExpr(NamedNode("http://x")),)), EMPTY).value == "true"
+        assert ev.evaluate(FunctionCall("ISLITERAL", (lit_str("x"),)), EMPTY).value == "true"
+        assert ev.evaluate(FunctionCall("ISNUMERIC", (lit_int(1),)), EMPTY).value == "true"
+
+    def test_strlang_strdt(self, ev):
+        tagged = ev.evaluate(FunctionCall("STRLANG", (lit_str("x"), lit_str("fr"))), EMPTY)
+        assert tagged.language == "fr"
+        typed = ev.evaluate(
+            FunctionCall("STRDT", (lit_str("5"), TermExpr(NamedNode(XSD_INTEGER)))), EMPTY
+        )
+        assert typed.datatype == XSD_INTEGER
+
+    def test_unknown_function_errors(self, ev):
+        with pytest.raises(ExpressionError):
+            ev.evaluate(FunctionCall("NO_SUCH_FN", ()), EMPTY)
+
+
+class TestInExpression:
+    def test_in(self, ev):
+        expr = InExpr(lit_int(2), (lit_int(1), lit_int(2)))
+        assert ev.evaluate(expr, EMPTY).value == "true"
+
+    def test_not_in(self, ev):
+        expr = InExpr(lit_int(5), (lit_int(1), lit_int(2)), negated=True)
+        assert ev.evaluate(expr, EMPTY).value == "true"
+
+    def test_in_with_error_and_no_match_errors(self, ev):
+        expr = InExpr(lit_int(5), (VariableExpr(Variable("m")), lit_int(1)))
+        with pytest.raises(ExpressionError):
+            ev.evaluate(expr, EMPTY)
+
+    def test_in_match_wins_over_error(self, ev):
+        expr = InExpr(lit_int(1), (lit_int(1), VariableExpr(Variable("m"))))
+        assert ev.evaluate(expr, EMPTY).value == "true"

@@ -1,0 +1,85 @@
+"""Unit tests for zero-knowledge query planning."""
+
+from repro.rdf import Literal, NamedNode, Variable
+from repro.rdf.triples import TriplePattern
+from repro.sparql.algebra import PathPattern, PredicatePath
+from repro.sparql.planner import pattern_score, plan_bgp_order
+
+
+def n(suffix):
+    return NamedNode(f"http://x/{suffix}")
+
+
+V = Variable
+
+
+class TestPatternScore:
+    def test_more_bound_terms_score_higher(self):
+        fully = TriplePattern(n("s"), n("p"), Literal("o"))
+        partial = TriplePattern(V("s"), n("p"), Literal("o"))
+        assert pattern_score(fully, frozenset(), frozenset()) > pattern_score(
+            partial, frozenset(), frozenset()
+        )
+
+    def test_subject_bound_beats_object_bound(self):
+        subject_bound = TriplePattern(n("s"), n("p"), V("o"))
+        object_bound = TriplePattern(V("s"), n("p"), Literal("o"))
+        assert pattern_score(subject_bound, frozenset(), frozenset()) > pattern_score(
+            object_bound, frozenset(), frozenset()
+        )
+
+    def test_seed_iri_bonus(self):
+        with_seed = pattern_score(
+            TriplePattern(n("seed"), n("p"), V("o")), frozenset(), frozenset({"http://x/seed"})
+        )
+        without = pattern_score(
+            TriplePattern(n("other"), n("p"), V("o")), frozenset(), frozenset({"http://x/seed"})
+        )
+        assert with_seed > without
+
+    def test_previously_bound_variables_count(self):
+        pattern = TriplePattern(V("m"), n("p"), V("o"))
+        unbound_score = pattern_score(pattern, frozenset(), frozenset())
+        bound_score = pattern_score(pattern, frozenset({V("m")}), frozenset())
+        assert bound_score > unbound_score
+        assert bound_score[0] == 1  # connected
+
+
+class TestPlanOrder:
+    def test_most_selective_first(self):
+        selective = TriplePattern(n("person"), n("likes"), V("m"))
+        broad = TriplePattern(V("m"), n("content"), V("c"))
+        ordered = plan_bgp_order([broad, selective])
+        assert ordered[0] is selective
+
+    def test_connectedness_avoids_cartesian_products(self):
+        anchor = TriplePattern(n("person"), n("likes"), V("m"))
+        connected = TriplePattern(V("m"), n("creator"), V("p2"))
+        disconnected = TriplePattern(V("other"), n("content"), V("c"))
+        ordered = plan_bgp_order([disconnected, connected, anchor])
+        assert ordered[0] is anchor
+        assert ordered[1] is connected
+        assert ordered[2] is disconnected
+
+    def test_is_a_permutation(self):
+        patterns = [
+            TriplePattern(V("a"), n("p"), V("b")),
+            TriplePattern(V("b"), n("q"), V("c")),
+            TriplePattern(n("x"), n("r"), V("a")),
+        ]
+        ordered = plan_bgp_order(patterns)
+        assert sorted(map(id, ordered)) == sorted(map(id, patterns))
+
+    def test_stable_for_ties(self):
+        first = TriplePattern(V("a"), n("p"), V("b"))
+        second = TriplePattern(V("a"), n("q"), V("c"))
+        assert plan_bgp_order([first, second])[0] is first
+
+    def test_path_patterns_participate(self):
+        path = PathPattern(n("person"), PredicatePath(n("likes")), V("m"))
+        broad = TriplePattern(V("m"), n("content"), V("c"))
+        ordered = plan_bgp_order([broad, path])
+        assert ordered[0] is path
+
+    def test_empty_input(self):
+        assert plan_bgp_order([]) == []

@@ -1,0 +1,80 @@
+"""Unit tests for result serialization formats."""
+
+import json
+
+from repro.rdf import BlankNode, Literal, NamedNode, Variable
+from repro.rdf.terms import XSD_LONG
+from repro.sparql.bindings import Binding
+from repro.sparql.results import (
+    binding_to_cli_line,
+    binding_to_json_dict,
+    results_to_csv,
+    results_to_sparql_json,
+)
+
+
+def v(name):
+    return Variable(name)
+
+
+BINDING = Binding(
+    {
+        v("iri"): NamedNode("http://x/a"),
+        v("lit"): Literal("plain"),
+        v("typed"): Literal("755914244147", datatype=XSD_LONG),
+        v("lang"): Literal("hoi", language="nl"),
+        v("blank"): BlankNode("b0"),
+    }
+)
+
+
+class TestSparqlJson:
+    def test_term_shapes(self):
+        d = binding_to_json_dict(BINDING)
+        assert d["iri"] == {"type": "uri", "value": "http://x/a"}
+        assert d["lit"] == {"type": "literal", "value": "plain"}
+        assert d["typed"]["datatype"] == XSD_LONG
+        assert d["lang"]["xml:lang"] == "nl"
+        assert d["blank"] == {"type": "bnode", "value": "b0"}
+
+    def test_document_structure(self):
+        doc = json.loads(results_to_sparql_json([v("lit")], [BINDING]))
+        assert doc["head"]["vars"] == ["lit"]
+        assert doc["results"]["bindings"][0]["lit"]["value"] == "plain"
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        text = results_to_csv([v("lit"), v("typed")], [BINDING])
+        lines = text.strip().split("\r\n")
+        assert lines[0] == "lit,typed"
+        assert lines[1] == "plain,755914244147"
+
+    def test_quoting(self):
+        binding = Binding({v("x"): Literal('with,comma and "quote"')})
+        text = results_to_csv([v("x")], [binding])
+        assert '"with,comma and ""quote"""' in text
+
+    def test_unbound_is_empty_cell(self):
+        text = results_to_csv([v("x"), v("y")], [Binding({v("x"): Literal("a")})])
+        assert text.strip().split("\r\n")[1] == "a,"
+
+
+class TestCliFormat:
+    def test_matches_paper_figure_2_shape(self):
+        # Fig. 2 shows: {"forumId":"\"755914244147\"^^http://...#long", ...}
+        line = binding_to_cli_line(BINDING, [v("typed")])
+        parsed = json.loads(line)
+        assert parsed["typed"] == f'"755914244147"^^{XSD_LONG}'
+
+    def test_plain_literal_keeps_quotes(self):
+        line = binding_to_cli_line(BINDING, [v("lit")])
+        assert json.loads(line)["lit"] == '"plain"'
+
+    def test_unbound_variables_omitted(self):
+        line = binding_to_cli_line(BINDING, [v("lit"), v("missing")])
+        assert "missing" not in json.loads(line)
+
+    def test_iri_rendered_bare(self):
+        line = binding_to_cli_line(BINDING, [v("iri")])
+        assert json.loads(line)["iri"] == "http://x/a"

@@ -1,0 +1,69 @@
+"""Tests for the XML and TSV result serializations."""
+
+from repro.rdf import BlankNode, Literal, NamedNode, Variable
+from repro.rdf.terms import XSD_LONG
+from repro.sparql.bindings import Binding
+from repro.sparql.results import results_to_sparql_xml, results_to_tsv
+
+
+def v(name):
+    return Variable(name)
+
+
+BINDING = Binding(
+    {
+        v("iri"): NamedNode("http://x/a?b=1&c=2"),
+        v("lit"): Literal("a <b> & \"c\""),
+        v("typed"): Literal("42", datatype=XSD_LONG),
+        v("lang"): Literal("hoi", language="nl"),
+        v("blank"): BlankNode("b0"),
+    }
+)
+VARIABLES = [v("iri"), v("lit"), v("typed"), v("lang"), v("blank")]
+
+
+class TestXml:
+    def test_header_lists_variables(self):
+        xml = results_to_sparql_xml(VARIABLES, [BINDING])
+        for variable in VARIABLES:
+            assert f'<variable name="{variable.value}"/>' in xml
+
+    def test_term_elements(self):
+        xml = results_to_sparql_xml(VARIABLES, [BINDING])
+        assert "<uri>http://x/a?b=1&amp;c=2</uri>" in xml
+        assert "<bnode>b0</bnode>" in xml
+        assert f'<literal datatype="{XSD_LONG}">42</literal>' in xml
+        assert '<literal xml:lang="nl">hoi</literal>' in xml
+
+    def test_special_characters_escaped(self):
+        xml = results_to_sparql_xml([v("lit")], [BINDING])
+        assert "a &lt;b&gt; &amp; &quot;c&quot;" in xml
+        assert "<b>" not in xml.split("<literal>")[1].split("</literal>")[0]
+
+    def test_empty_results(self):
+        xml = results_to_sparql_xml([v("x")], [])
+        assert "<results>" in xml and "</sparql>" in xml
+
+
+class TestTsv:
+    def test_header_uses_question_marks(self):
+        tsv = results_to_tsv([v("a"), v("b")], [])
+        assert tsv.splitlines()[0] == "?a\t?b"
+
+    def test_full_term_syntax_preserved(self):
+        tsv = results_to_tsv(VARIABLES, [BINDING])
+        row = tsv.splitlines()[1].split("\t")
+        assert row[0] == "<http://x/a?b=1&c=2>"
+        assert row[2] == f'"42"^^<{XSD_LONG}>'
+        assert row[3] == '"hoi"@nl'
+        assert row[4] == "_:b0"
+
+    def test_unbound_cells_empty(self):
+        tsv = results_to_tsv([v("x"), v("missing")], [Binding({v("x"): Literal("1")})])
+        assert tsv.splitlines()[1].endswith("\t")
+
+    def test_tabs_in_literals_escaped(self):
+        binding = Binding({v("x"): Literal("a\tb")})
+        tsv = results_to_tsv([v("x")], [binding])
+        assert "\\t" in tsv.splitlines()[1]
+        assert tsv.splitlines()[1].count("\t") == 0

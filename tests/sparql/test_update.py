@@ -1,0 +1,131 @@
+"""Unit tests for SPARQL Update parsing and application."""
+
+import pytest
+
+from repro.rdf import Graph, Literal, NamedNode, Triple, parse_turtle
+from repro.sparql.parser import SparqlParseError
+from repro.sparql.update import (
+    DeleteData,
+    DeleteWhere,
+    InsertData,
+    Modify,
+    apply_update,
+    parse_update,
+)
+
+EX = "PREFIX ex: <http://x/>\n"
+
+
+def n(suffix):
+    return NamedNode(f"http://x/{suffix}")
+
+
+@pytest.fixture()
+def graph():
+    return Graph(
+        parse_turtle(
+            """
+            @prefix ex: <http://x/> .
+            ex:a ex:p ex:b ; ex:q "old" .
+            ex:b ex:p ex:c .
+            """
+        )
+    )
+
+
+class TestParsing:
+    def test_insert_data(self):
+        ops = parse_update(EX + "INSERT DATA { ex:a ex:p ex:b . ex:a ex:q 5 }")
+        assert len(ops) == 1 and isinstance(ops[0], InsertData)
+        assert len(ops[0].triples) == 2
+
+    def test_delete_data(self):
+        ops = parse_update(EX + 'DELETE DATA { ex:a ex:q "old" }')
+        assert isinstance(ops[0], DeleteData)
+
+    def test_delete_where(self):
+        ops = parse_update(EX + "DELETE WHERE { ?s ex:p ?o }")
+        assert isinstance(ops[0], DeleteWhere)
+        assert len(ops[0].patterns) == 1
+
+    def test_modify(self):
+        ops = parse_update(
+            EX + 'DELETE { ?s ex:q "old" } INSERT { ?s ex:q "new" } WHERE { ?s ex:q "old" }'
+        )
+        op = ops[0]
+        assert isinstance(op, Modify)
+        assert op.delete_template and op.insert_template and op.where
+
+    def test_insert_where_without_delete(self):
+        ops = parse_update(EX + "INSERT { ?s ex:r ?o } WHERE { ?s ex:p ?o }")
+        op = ops[0]
+        assert isinstance(op, Modify) and op.delete_template == ()
+
+    def test_multiple_operations_separated_by_semicolons(self):
+        ops = parse_update(
+            EX + "INSERT DATA { ex:a ex:p ex:b } ; DELETE DATA { ex:a ex:p ex:c }"
+        )
+        assert len(ops) == 2
+
+    def test_prefixes_expand(self):
+        ops = parse_update(EX + "INSERT DATA { ex:a ex:p ex:b }")
+        assert ops[0].triples[0].subject == n("a")
+
+    def test_variables_rejected_in_data_block(self):
+        with pytest.raises(SparqlParseError):
+            parse_update(EX + "INSERT DATA { ?s ex:p ex:b }")
+
+    def test_blank_nodes_allowed_in_insert_data(self):
+        ops = parse_update(EX + "INSERT DATA { _:x ex:p ex:b }")
+        from repro.rdf import BlankNode
+
+        assert isinstance(ops[0].triples[0].subject, BlankNode)
+
+    def test_empty_update_rejected(self):
+        with pytest.raises(SparqlParseError):
+            parse_update(EX)
+
+
+class TestApplication:
+    def test_insert_data(self, graph):
+        before = len(graph)
+        counts = apply_update(graph, parse_update(EX + "INSERT DATA { ex:z ex:p ex:w }"))
+        assert counts == {"added": 1, "removed": 0}
+        assert len(graph) == before + 1
+
+    def test_insert_is_idempotent(self, graph):
+        update = parse_update(EX + "INSERT DATA { ex:a ex:p ex:b }")
+        counts = apply_update(graph, update)
+        assert counts["added"] == 0  # triple already present
+
+    def test_delete_data(self, graph):
+        counts = apply_update(graph, parse_update(EX + 'DELETE DATA { ex:a ex:q "old" }'))
+        assert counts["removed"] == 1
+        assert Triple(n("a"), n("q"), Literal("old")) not in graph
+
+    def test_delete_where_removes_all_instantiations(self, graph):
+        counts = apply_update(graph, parse_update(EX + "DELETE WHERE { ?s ex:p ?o }"))
+        assert counts["removed"] == 2
+        assert graph.count(None, n("p"), None) == 0
+
+    def test_modify_rewrites_values(self, graph):
+        update = parse_update(
+            EX + 'DELETE { ?s ex:q "old" } INSERT { ?s ex:q "new" } WHERE { ?s ex:q "old" }'
+        )
+        counts = apply_update(graph, update)
+        assert counts == {"added": 1, "removed": 1}
+        assert graph.value(n("a"), n("q"), None) == Literal("new")
+
+    def test_insert_where_copies_pattern(self, graph):
+        update = parse_update(EX + "INSERT { ?o ex:invP ?s } WHERE { ?s ex:p ?o }")
+        counts = apply_update(graph, update)
+        assert counts["added"] == 2
+        assert Triple(n("b"), n("invP"), n("a")) in graph
+
+    def test_sequence_applied_in_order(self, graph):
+        updates = parse_update(
+            EX + "INSERT DATA { ex:t ex:p ex:u } ; DELETE DATA { ex:t ex:p ex:u }"
+        )
+        counts = apply_update(graph, updates)
+        assert counts == {"added": 1, "removed": 1}
+        assert Triple(n("t"), n("p"), n("u")) not in graph

@@ -1,0 +1,123 @@
+"""Tests for the command-line interfaces (paper Fig. 2)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_arg_parser, main as ltqp_main
+from repro.solidbench.cli import main as solidbench_main
+
+
+class TestLtqpCli:
+    def test_discover_query_prints_json_lines(self, capsys):
+        code = ltqp_main(["--simulate", "0.01", "--discover", "1.5", "--no-latency"])
+        assert code == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert out
+        for line in out:
+            parsed = json.loads(line)
+            assert "messageId" in parsed
+
+    def test_fig2_output_format(self, capsys):
+        # Fig. 2 shows typed literals rendered as "value"^^datatype.
+        ltqp_main(["--simulate", "0.01", "--discover", "6.1", "--no-latency"])
+        first = json.loads(capsys.readouterr().out.strip().splitlines()[0])
+        assert first["forumId"].startswith('"')
+        assert "^^http://www.w3.org/2001/XMLSchema#long" in first["forumId"]
+        assert first["forumTitle"].startswith('"')
+
+    def test_custom_query_with_explicit_seed(self, capsys, tiny_universe):
+        webid = tiny_universe.webid(0)
+        query = (
+            "PREFIX snvoc: <https://solidbench.linkeddatafragments.org/www.ldbc.eu/"
+            "ldbc_socialnet/1.0/vocabulary/> "
+            f"SELECT ?c WHERE {{ ?m snvoc:hasCreator <{webid}> ; snvoc:content ?c }}"
+        )
+        code = ltqp_main(["--simulate", "0.01", "--bench-seed", "7", "--no-latency", webid, query])
+        assert code == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_limit_flag(self, capsys):
+        ltqp_main(["--simulate", "0.01", "--discover", "2.1", "--no-latency", "--limit", "3"])
+        assert len(capsys.readouterr().out.strip().splitlines()) == 3
+
+    def test_waterfall_flag_writes_stderr(self, capsys):
+        ltqp_main(["--simulate", "0.01", "--discover", "1.1", "--no-latency", "--waterfall"])
+        err = capsys.readouterr().err
+        assert "total:" in err and "requests" in err
+
+    def test_missing_query_errors(self, capsys):
+        assert ltqp_main(["--simulate", "0.01"]) == 2
+
+    def test_login_flag(self, capsys):
+        code = ltqp_main(["--simulate", "0.01", "--discover", "1.1", "--no-latency", "--idp", "0"])
+        assert code == 0
+        assert "logged in as" in capsys.readouterr().err
+
+    def test_arg_parser_defaults(self):
+        args = build_arg_parser().parse_args([])
+        assert args.simulate == 0.02 and args.idp == "void"
+
+
+class TestSolidbenchCli:
+    def test_stats_report(self, capsys):
+        code = solidbench_main(["--scale", "0.01"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["generated"]["pods"] == 15
+        assert report["paper_default_scale"]["pods"] == 1531
+
+    def test_queries_flag_prints_37(self, capsys):
+        solidbench_main(["--scale", "0.01", "--queries"])
+        out = capsys.readouterr().out
+        assert out.count("### Discover") == 37
+
+    def test_out_writes_turtle_files(self, tmp_path, capsys):
+        solidbench_main(["--scale", "0.01", "--out", str(tmp_path)])
+        files = list(tmp_path.rglob("*.ttl"))
+        assert files
+        card = next(p for p in files if p.name == "card.ttl")
+        assert "publicTypeIndex" in card.read_text()
+
+
+class TestCliFormatsAndExplain:
+    def test_csv_format(self, capsys):
+        from repro.cli import main as cli_main
+
+        cli_main(["--simulate", "0.01", "--discover", "6.1", "--no-latency", "--format", "csv"])
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == "forumId,forumTitle"
+
+    def test_tsv_format(self, capsys):
+        from repro.cli import main as cli_main
+
+        cli_main(["--simulate", "0.01", "--discover", "6.1", "--no-latency", "--format", "tsv"])
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == "?forumId\t?forumTitle"
+
+    def test_json_format_is_sparql_results_document(self, capsys):
+        import json as json_module
+
+        from repro.cli import main as cli_main
+
+        cli_main(["--simulate", "0.01", "--discover", "1.1", "--no-latency", "--format", "json"])
+        document = json_module.loads(capsys.readouterr().out)
+        assert document["head"]["vars"]
+        assert document["results"]["bindings"]
+
+    def test_xml_format(self, capsys):
+        from repro.cli import main as cli_main
+
+        cli_main(["--simulate", "0.01", "--discover", "1.1", "--no-latency", "--format", "xml"])
+        out = capsys.readouterr().out
+        assert out.startswith("<?xml")
+        assert "sparql-results#" in out
+
+    def test_explain_flag(self, capsys):
+        from repro.cli import main as cli_main
+
+        code = cli_main(["--simulate", "0.01", "--discover", "1.1", "--explain"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "zero-knowledge join order" in out
+        assert "extractors:" in out

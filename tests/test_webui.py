@@ -1,0 +1,70 @@
+"""Tests for the Web-based demonstration interface (paper Fig. 3, §4.1)."""
+
+import json
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.webui import DemoServer, render_page
+
+
+@pytest.fixture(scope="module")
+def demo(tiny_universe):
+    server = DemoServer(universe=tiny_universe)
+    server.start()
+    yield server
+    server.stop()
+
+
+class TestRenderPage:
+    def test_page_lists_37_preset_queries(self, tiny_universe):
+        page = render_page(tiny_universe)
+        assert page.count("<option") == 37
+        assert "[SolidBench] Discover 1.5" in page
+        assert "Execute query" in page
+
+    def test_page_embeds_query_texts(self, tiny_universe):
+        page = render_page(tiny_universe)
+        assert "snvoc:hasCreator" in page
+        assert "PRESETS" in page
+
+
+class TestDemoServer:
+    def test_serves_index_page(self, demo):
+        with urllib.request.urlopen(demo.url, timeout=10) as response:
+            body = response.read().decode("utf-8")
+            assert response.status == 200
+            assert "Link Traversal" in body
+
+    def test_execute_endpoint_streams_ndjson(self, demo):
+        from repro.solidbench import discover_query
+
+        query = discover_query(demo.universe, 1, 5)
+        url = demo.url + "execute?query=" + urllib.parse.quote(query.text)
+        with urllib.request.urlopen(url, timeout=60) as response:
+            assert response.status == 200
+            assert "ndjson" in response.headers["content-type"]
+            lines = [l for l in response.read().decode("utf-8").splitlines() if l]
+        assert lines
+        for line in lines:
+            assert json.loads(line)
+
+    def test_execute_rejects_invalid_sparql(self, demo):
+        url = demo.url + "execute?query=" + urllib.parse.quote("NOT SPARQL AT ALL {")
+        try:
+            urllib.request.urlopen(url, timeout=10)
+        except urllib.error.HTTPError as error:
+            assert error.code == 400
+            payload = json.loads(error.read().decode("utf-8"))
+            assert "error" in payload
+        else:
+            raise AssertionError("expected HTTP 400")
+
+    def test_unknown_path_404(self, demo):
+        try:
+            urllib.request.urlopen(demo.url + "nope", timeout=10)
+        except urllib.error.HTTPError as error:
+            assert error.code == 404
+        else:
+            raise AssertionError("expected HTTP 404")
