@@ -1,0 +1,153 @@
+"""Hot-path microbenchmarks: routing, interning, batching.
+
+Companion to the hot-path overhaul (predicate-routed delta dispatch,
+interned terms with cached hashes, micro-batched pipeline advancement).
+Four metrics, each a pytest bench and an importable ``measure_*``
+function so :mod:`check_hotpath_regression` can re-run them headlessly:
+
+* **term construction throughput** — terms/s for a mixed IRI/literal
+  workload (cached hashes + intern pool),
+* **delta dispatch throughput** — quads/s pushed through a 3-pattern BGP
+  pipeline where 19 of 20 quads are noise (predicate routing),
+* **end-to-end Discover 8.5** — wall seconds for the paper's Fig. 5
+  multi-pod query with oracle check (everything combined),
+* **TTFR guard** — time-to-first-result for Discover 2.1 under realistic
+  latency (batching must not delay the first answer).
+
+``REPRO_WRITE_BENCH=1 pytest benchmarks/bench_hotpath.py`` rewrites the
+committed baseline ``BENCH_hotpath.json``;
+``python benchmarks/check_hotpath_regression.py`` gates against it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.bench import run_query
+from repro.ltqp.pipeline import compile_pipeline
+from repro.net import SeededJitterLatency
+from repro.rdf import Dataset, Literal, NamedNode, Quad
+from repro.solidbench import discover_query
+from repro.sparql import parse_query
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+
+#: Realistic per-document latency for the TTFR guard (matches E6).
+REALISTIC = SeededJitterLatency(seed=9, min_rtt_seconds=0.02, max_rtt_seconds=0.08)
+
+
+def measure_term_throughput(n: int = 200_000) -> float:
+    """Terms constructed per second (mixed NamedNode / Literal workload)."""
+    start = time.perf_counter()
+    for i in range(n):
+        NamedNode("http://example.org/entity/" + str(i % 512))
+        Literal(str(i % 64))
+    return 2 * n / (time.perf_counter() - start)
+
+
+def measure_dispatch_throughput(n_quads: int = 60_000, chunk: int = 200) -> float:
+    """Delta quads per second through a 3-pattern BGP pipeline.
+
+    Only 1 in 20 quads carries a predicate any scan listens on — the
+    router should make the other 19 nearly free.
+    """
+    query = parse_query(
+        "PREFIX ex: <http://x/>\n"
+        "SELECT ?m ?c WHERE { ?m ex:creator ex:me . ?m ex:content ?c . ?m ex:tag ?t }"
+    )
+    pipeline = compile_pipeline(query.where)
+    dataset = Dataset()
+    graph = NamedNode("https://h/doc")
+    quads = []
+    for i in range(n_quads):
+        pred = ("creator", "content", "tag")[i % 3] if i % 20 == 0 else f"noise{i % 7}"
+        quads.append(
+            Quad(
+                NamedNode(f"http://x/m{i % 500}"),
+                NamedNode(f"http://x/{pred}"),
+                Literal(str(i)),
+                graph,
+            )
+        )
+    start = time.perf_counter()
+    for chunk_start in range(0, len(quads), chunk):
+        for quad in quads[chunk_start:chunk_start + chunk]:
+            dataset.add(quad)
+        pipeline.advance(dataset)
+    return len(quads) / (time.perf_counter() - start)
+
+
+def measure_e2e_d85(universe) -> dict:
+    """End-to-end Discover 8.5 (Fig. 5 shape) with oracle completeness."""
+    query = discover_query(universe, 8, 4)
+    start = time.perf_counter()
+    report = run_query(
+        universe, query, latency=SeededJitterLatency(seed=5), check_oracle=True
+    )
+    return {
+        "wall_s": time.perf_counter() - start,
+        "results": report.result_count,
+        "complete": bool(report.complete),
+    }
+
+
+def measure_ttfr_d21(universe) -> float:
+    """TTFR for Discover 2.1 under realistic (20-80 ms) latency."""
+    report = run_query(
+        universe, discover_query(universe, 2, 1), latency=REALISTIC, check_oracle=False
+    )
+    assert report.time_to_first_result is not None
+    return report.time_to_first_result
+
+
+def collect_metrics(universe) -> dict:
+    """All hot-path metrics in the BENCH_hotpath.json schema."""
+    e2e = measure_e2e_d85(universe)
+    return {
+        "terms_per_s": round(measure_term_throughput()),
+        "dispatch_quads_per_s": round(measure_dispatch_throughput()),
+        "d85_wall_s": round(e2e["wall_s"], 3),
+        "d85_results": e2e["results"],
+        "d85_complete": e2e["complete"],
+        "ttfr_d21_s": round(measure_ttfr_d21(universe), 4),
+    }
+
+
+# -- pytest benches ----------------------------------------------------------
+
+
+def test_term_construction_throughput(benchmark):
+    rate = benchmark.pedantic(measure_term_throughput, rounds=1, iterations=1)
+    print(f"\nterm construction: {rate:,.0f} terms/s")
+    assert rate > 100_000
+
+
+def test_delta_dispatch_throughput(benchmark):
+    rate = benchmark.pedantic(measure_dispatch_throughput, rounds=1, iterations=1)
+    print(f"\ndelta dispatch: {rate:,.0f} quads/s")
+    assert rate > 10_000
+
+
+def test_e2e_discover_8_5(benchmark, universe):
+    e2e = benchmark.pedantic(lambda: measure_e2e_d85(universe), rounds=1, iterations=1)
+    print(f"\nDiscover 8.5: {e2e['wall_s']:.2f} s, {e2e['results']} results")
+    assert e2e["complete"], "routing/batching must not lose answers"
+
+
+def test_ttfr_guard(benchmark, universe):
+    ttfr = benchmark.pedantic(lambda: measure_ttfr_d21(universe), rounds=1, iterations=1)
+    print(f"\nTTFR Discover 2.1: {ttfr:.3f} s")
+    # Batching must keep first results under the 1-second Nielsen threshold.
+    assert ttfr < 1.0
+
+
+def test_write_baseline(universe):
+    """Rewrite BENCH_hotpath.json when REPRO_WRITE_BENCH=1 (no-op otherwise)."""
+    if os.environ.get("REPRO_WRITE_BENCH") != "1":
+        return
+    metrics = collect_metrics(universe)
+    BASELINE_PATH.write_text(json.dumps(metrics, indent=1) + "\n")
+    print(f"\nwrote {BASELINE_PATH}: {metrics}")

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Hot-path performance regression gate.
+
+Re-measures the hot-path metrics and compares them against the committed
+baseline ``BENCH_hotpath.json``.  Fails (exit 1) when any *throughput*
+metric drops more than ``TOLERANCE`` (20%) below baseline, or when the
+Discover 8.5 run loses completeness.  Wall-clock metrics are reported for
+context but not gated — they vary too much across machines; the
+throughput ratios are the stable signal.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_hotpath_regression.py
+
+Refresh the baseline after an intentional perf change::
+
+    REPRO_WRITE_BENCH=1 PYTHONPATH=src python -m pytest benchmarks/bench_hotpath.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_hotpath import BASELINE_PATH, collect_metrics  # noqa: E402
+
+from repro.solidbench import SolidBenchConfig, build_universe  # noqa: E402
+
+#: Maximum tolerated throughput drop relative to the committed baseline.
+TOLERANCE = 0.20
+
+#: Metrics gated as throughputs (higher is better).
+THROUGHPUT_KEYS = ("terms_per_s", "dispatch_quads_per_s")
+
+
+def main() -> int:
+    if not BASELINE_PATH.exists():
+        print(f"no baseline at {BASELINE_PATH}; run with REPRO_WRITE_BENCH=1 first")
+        return 1
+    baseline = json.loads(BASELINE_PATH.read_text())
+
+    universe = build_universe(SolidBenchConfig(scale=0.02, seed=42))
+    current = collect_metrics(universe)
+
+    failures = []
+    print(f"{'metric':<24}{'baseline':>14}{'current':>14}{'ratio':>8}")
+    for key in sorted(set(baseline) | set(current)):
+        base, now = baseline.get(key), current.get(key)
+        if key in THROUGHPUT_KEYS and isinstance(base, (int, float)) and base:
+            ratio = now / base
+            print(f"{key:<24}{base:>14,.0f}{now:>14,.0f}{ratio:>8.2f}")
+            if ratio < 1.0 - TOLERANCE:
+                failures.append(
+                    f"{key} dropped {1 - ratio:.0%} (>{TOLERANCE:.0%} tolerated)"
+                )
+        else:
+            print(f"{key:<24}{base!s:>14}{now!s:>14}{'':>8}")
+
+    if not current.get("d85_complete"):
+        failures.append("Discover 8.5 no longer matches the oracle")
+    if current.get("d85_results") != baseline.get("d85_results"):
+        failures.append(
+            f"Discover 8.5 result count changed: "
+            f"{baseline.get('d85_results')} -> {current.get('d85_results')}"
+        )
+
+    if failures:
+        print("\nREGRESSION:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nhot-path throughput within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,7 +37,12 @@ __all__ = ["AdaptivePipeline", "observed_cardinality"]
 
 
 def observed_cardinality(pattern, dataset: Dataset) -> int:
-    """How many triples in the current snapshot match ``pattern``."""
+    """How many triples in the current snapshot match ``pattern``.
+
+    :meth:`Graph.count` answers from index bucket sizes without
+    materialising matches, so sampling cardinalities on every replan check
+    stays cheap even late in a large traversal.
+    """
     if isinstance(pattern, PathPattern):
         # Approximate a path by the total count of its member predicates.
         from ..sparql.paths import path_predicates
@@ -105,6 +110,18 @@ class AdaptivePipeline:
     @property
     def root(self):
         return self._pipeline.root
+
+    @property
+    def router(self):
+        """The *active* plan's delta router.
+
+        Every recompile builds a fresh :class:`~repro.ltqp.pipeline.Pipeline`,
+        whose constructor walks the new operator tree and re-registers every
+        scan's predicate key — so after a replan the routing table always
+        matches the running plan, with no stale registrations from retired
+        plans.
+        """
+        return self._pipeline.router
 
     @property
     def total_work(self) -> int:

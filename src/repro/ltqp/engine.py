@@ -67,6 +67,17 @@ class EngineConfig:
     lenient: bool = True
     follow_unknown_origins: bool = True
     adaptive: bool = False
+    #: Micro-batching of pipeline advancement: documents accumulate in the
+    #: growing source until at least this many new quads are pending, then
+    #: one ``advance`` feeds them all — tiny documents coalesce instead of
+    #: each paying a full pipeline pass.  Until the first result is emitted
+    #: the engine flushes per document, so time-to-first-result is not
+    #: traded away.  ``<= 1`` restores strict per-document advancement.
+    advance_batch_quads: int = 192
+    #: Upper bound on how long a partial batch may sit before a timer
+    #: flushes it (seconds; ``0`` disables the timer).  Quiescence always
+    #: flushes regardless.
+    advance_flush_interval: float = 0.02
 
 
 @dataclass(slots=True)
@@ -243,30 +254,60 @@ class LinkTraversalEngine:
         stop_traversal = asyncio.Event()
 
         def emit(binding: Binding) -> None:
-            now = time.monotonic()
-            if self._config.max_results and stats.result_count >= self._config.max_results:
-                stop_traversal.set()
+            # Single limit check against the pre-increment count decides both
+            # acceptance and traversal stop: the binding that lands exactly on
+            # the limit is counted *and* triggers the stop — it is never
+            # silently dropped, and anything past the limit is ignored.
+            limit = self._config.max_results
+            count = stats.result_count
+            if limit and count >= limit:
                 return
+            now = time.monotonic()
             if stats.first_result_at is None:
                 stats.first_result_at = now
-            stats.result_count += 1
+            stats.result_count = count + 1
             execution.results.append(TimedResult(binding=binding, elapsed=now - stats.started_at))
             result_queue.put_nowait(binding)
-            if self._config.max_results and stats.result_count >= self._config.max_results:
+            if limit and count + 1 >= limit:
+                stop_traversal.set()
+
+        batch_quads = max(1, self._config.advance_batch_quads)
+        pending_quads = 0
+
+        def flush_pipeline() -> None:
+            nonlocal pending_quads
+            if pipeline is None or pending_quads == 0:
+                return
+            pending_quads = 0
+            for binding in transform_results(pipeline.advance(source.dataset)):
+                emit(binding)
+            if pipeline.complete:
                 stop_traversal.set()
 
         def on_document(url: str, triples: list[Triple]) -> None:
+            nonlocal pending_quads
             added = source.add_document(url, triples)
             stats.triples_discovered += added
-            if pipeline is not None and added:
-                for binding in transform_results(pipeline.advance(source.dataset)):
-                    emit(binding)
-                if pipeline.complete:
-                    stop_traversal.set()
+            if pipeline is None or not added:
+                return
+            pending_quads += added
+            # Flush per document until the first result (TTFR protection),
+            # then coalesce small documents up to the batch threshold.
+            if stats.result_count == 0 or pending_quads >= batch_quads:
+                flush_pipeline()
+
+        async def flush_timer() -> None:
+            interval = self._config.advance_flush_interval
+            while not stop_traversal.is_set():
+                await asyncio.sleep(interval)
+                flush_pipeline()
 
         traversal = asyncio.create_task(
             self._traverse(queue, source, context, stats, on_document, stop_traversal)
         )
+        timer: Optional[asyncio.Task] = None
+        if pipeline is not None and batch_quads > 1 and self._config.advance_flush_interval > 0:
+            timer = asyncio.create_task(flush_timer())
 
         try:
             while True:
@@ -283,8 +324,10 @@ class LinkTraversalEngine:
                 drain.cancel()
                 break
             await traversal  # re-raise worker exceptions
-            # Final pipeline advance (documents that landed after the last poll).
+            # Quiescence flush: feed whatever landed after the last batched
+            # advance (the cursor makes this exact, batching or not).
             if pipeline is not None:
+                pending_quads = 0
                 for binding in transform_results(pipeline.advance(source.dataset)):
                     emit(binding)
             else:
@@ -294,6 +337,12 @@ class LinkTraversalEngine:
                 if binding is not None:
                     yield binding
         finally:
+            if timer is not None and not timer.done():
+                timer.cancel()
+                try:
+                    await timer
+                except (asyncio.CancelledError, Exception):
+                    pass
             if not traversal.done():
                 traversal.cancel()
                 try:

@@ -176,8 +176,27 @@ class MatchIriExtractor(LinkExtractor):
     def extract(self, document_url, triples, context):
         if not context.patterns:
             return
+        # Bucket patterns by concrete predicate so a triple only ever tests
+        # the patterns that could match it — most document triples carry a
+        # predicate no query pattern mentions and fall through for free.
+        by_predicate: dict[Term, list[TriplePattern]] = {}
+        wildcard: list[TriplePattern] = []
+        for pattern in context.patterns:
+            predicate = pattern.predicate
+            if predicate is None or isinstance(predicate, Variable):
+                wildcard.append(pattern)
+            else:
+                by_predicate.setdefault(predicate, []).append(pattern)
         for triple in triples:
-            for pattern in context.patterns:
+            candidates = by_predicate.get(triple.predicate)
+            if candidates is not None:
+                if wildcard:
+                    candidates = candidates + wildcard
+            elif wildcard:
+                candidates = wildcard
+            else:
+                continue
+            for pattern in candidates:
                 if pattern.matches(triple):
                     yield from _iris_of(triple)
                     break

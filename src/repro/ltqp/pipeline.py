@@ -19,6 +19,14 @@ solutions they enable.
 * Union / Filter / Extend / Project / Distinct / Limit — straightforward
   streaming forms.
 
+Delta dispatch is *predicate-routed*: at compile time every scan registers
+its concrete predicate with the pipeline's :class:`DeltaRouter`; each
+``advance`` buckets the incoming quads once by predicate
+(:class:`DeltaBatch`) and every scan then reads only its own bucket —
+wildcard-predicate scans get the full delta.  A document whose predicates
+touch none of a scan's patterns costs that scan nothing, instead of a full
+broadcast re-match per scan per delta.
+
 Non-monotonic operators (OPTIONAL, MINUS, ORDER BY, GROUP BY, OFFSET,
 EXISTS filters) cannot stream soundly; :func:`compile_pipeline` raises
 :class:`NotStreamable` and the engine falls back to snapshot evaluation at
@@ -27,7 +35,7 @@ traversal quiescence.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Iterator, Optional, Sequence, Union as TypingUnion
 
 from ..rdf.dataset import Dataset
 from ..rdf.terms import NamedNode, Term, Variable
@@ -54,11 +62,121 @@ from ..sparql.expr import ExpressionError, ExpressionEvaluator
 from ..sparql.paths import evaluate_path, path_predicates
 from ..sparql.planner import plan_bgp_order
 
-__all__ = ["NotStreamable", "IncrementalNode", "Pipeline", "compile_pipeline", "total_work"]
+__all__ = [
+    "NotStreamable",
+    "IncrementalNode",
+    "DeltaRouter",
+    "DeltaBatch",
+    "Pipeline",
+    "compile_pipeline",
+    "total_work",
+]
 
 
 class NotStreamable(ValueError):
     """The operator tree contains non-monotonic operators."""
+
+
+_EMPTY_QUADS: tuple[Quad, ...] = ()
+
+
+class DeltaBatch:
+    """One advance's worth of quads, bucketed by predicate at most once.
+
+    Scans with a concrete predicate read only their bucket via
+    :meth:`for_predicate`; wildcard scans iterate :attr:`quads` directly.
+    Buckets are built lazily (a delta that reaches no predicate-routed scan
+    never pays for bucketing) and cover only the predicates the router has
+    registered — everything else in the delta is noise to this pipeline.
+    Iterable and sized, so code written against ``Sequence[Quad]`` deltas
+    keeps working.
+    """
+
+    __slots__ = ("quads", "_routed", "_buckets")
+
+    def __init__(
+        self,
+        quads: Sequence[Quad],
+        routed_predicates: Optional[frozenset] = None,
+    ) -> None:
+        self.quads = quads
+        self._routed = routed_predicates
+        self._buckets: Optional[dict] = None
+
+    def __len__(self) -> int:
+        return len(self.quads)
+
+    def __iter__(self) -> Iterator[Quad]:
+        return iter(self.quads)
+
+    def __bool__(self) -> bool:
+        return bool(self.quads)
+
+    def for_predicate(self, predicate: Term) -> Sequence[Quad]:
+        """The delta quads carrying ``predicate`` (empty when none do)."""
+        buckets = self._buckets
+        if buckets is None:
+            buckets = self._build_buckets()
+        return buckets.get(predicate, _EMPTY_QUADS)
+
+    def _build_buckets(self) -> dict:
+        routed = self._routed
+        buckets: dict = {}
+        for quad in self.quads:
+            predicate = quad.predicate
+            if routed is not None and predicate not in routed:
+                continue
+            bucket = buckets.get(predicate)
+            if bucket is None:
+                buckets[predicate] = bucket = []
+            bucket.append(quad)
+        self._buckets = buckets
+        return buckets
+
+
+class DeltaRouter:
+    """Compile-time registry of the (predicate, graph) keys scans listen on.
+
+    The router lives at the :class:`Pipeline` root.  Scans register
+    themselves while the pipeline is built (and re-register automatically
+    when the adaptive engine recompiles, because recompiling constructs a
+    fresh ``Pipeline`` and therefore a fresh router).  Per advance it wraps
+    the raw delta in a :class:`DeltaBatch` restricted to the registered
+    predicates.
+    """
+
+    __slots__ = ("_predicates", "_wildcard_listeners", "_frozen")
+
+    def __init__(self) -> None:
+        self._predicates: set = set()
+        self._wildcard_listeners = 0
+        self._frozen: Optional[frozenset] = None
+
+    def register(self, predicate: Optional[Term]) -> None:
+        """Declare a listener; ``None`` means wildcard (gets every quad)."""
+        if predicate is None:
+            self._wildcard_listeners += 1
+        else:
+            self._predicates.add(predicate)
+        self._frozen = None
+
+    @property
+    def predicates(self) -> frozenset:
+        """The concrete predicates any scan listens on."""
+        if self._frozen is None:
+            self._frozen = frozenset(self._predicates)
+        return self._frozen
+
+    @property
+    def wildcard_listeners(self) -> int:
+        return self._wildcard_listeners
+
+    def batch(self, quads: Sequence[Quad]) -> DeltaBatch:
+        """Wrap one advance's delta for routed dispatch."""
+        return DeltaBatch(quads, self.predicates)
+
+
+Delta = TypingUnion[Sequence[Quad], DeltaBatch]
 
 
 class IncrementalNode:
@@ -72,9 +190,14 @@ class IncrementalNode:
         self.certain_variables = certain_variables
         self.produced_total = 0
 
-    def process(self, delta: Sequence[Quad], dataset: Dataset) -> list[Binding]:
+    def process(self, delta: Delta, dataset: Dataset) -> list[Binding]:
         """Consume newly added quads; return newly derivable solutions."""
         raise NotImplementedError
+
+    def register(self, router: DeltaRouter) -> None:
+        """Declare this subtree's delta interests to the router."""
+        for child in self.children():
+            child.register(router)
 
     def _count(self, produced: list[Binding]) -> list[Binding]:
         self.produced_total += len(produced)
@@ -85,7 +208,19 @@ class IncrementalNode:
 
 
 class ScanNode(IncrementalNode):
-    """A triple-pattern leaf fed directly by the delta stream."""
+    """A triple-pattern leaf fed directly by the delta stream.
+
+    The pattern is decomposed at construction into per-slot checks: concrete
+    terms to compare (``_s``/``_p``/``_o``), variable slots to bind, and any
+    repeated-variable position pairs — no per-quad ``zip``/``isinstance``
+    walk over the pattern.
+    """
+
+    _GETTERS = (
+        lambda quad: quad.subject,
+        lambda quad: quad.predicate,
+        lambda quad: quad.object,
+    )
 
     def __init__(self, pattern: TriplePattern, graph: Optional[Term] = None) -> None:
         variables = pattern.variables()
@@ -96,34 +231,66 @@ class ScanNode(IncrementalNode):
         self._graph = graph
         self._emitted: set[Binding] = set()
 
-    def process(self, delta: Sequence[Quad], dataset: Dataset) -> list[Binding]:
+        # Precomputed slot checks.
+        def concrete(term: Optional[Term]) -> Optional[Term]:
+            return term if term is not None and not isinstance(term, Variable) else None
+
+        self._s = concrete(pattern.subject)
+        self._p = concrete(pattern.predicate)
+        self._o = concrete(pattern.object)
+        self._var_slots: tuple[tuple[Variable, object], ...] = tuple(
+            (term, self._GETTERS[position])
+            for position, term in enumerate(pattern)
+            if isinstance(term, Variable)
+        )
+        self._graph_concrete = (
+            graph if graph is not None and not isinstance(graph, Variable) else None
+        )
+        self._graph_variable = graph if isinstance(graph, Variable) else None
+
+    def register(self, router: DeltaRouter) -> None:
+        router.register(self._p)
+
+    def process(self, delta: Delta, dataset: Dataset) -> list[Binding]:
+        if isinstance(delta, DeltaBatch):
+            quads = delta.for_predicate(self._p) if self._p is not None else delta.quads
+        else:
+            quads = delta
+        if not quads:
+            return []
         produced: list[Binding] = []
-        for quad in delta:
-            if self._graph is not None and not isinstance(self._graph, Variable):
-                if quad.graph != self._graph:
-                    continue
+        emitted = self._emitted
+        graph_term = self._graph_concrete
+        for quad in quads:
+            if graph_term is not None and quad.graph != graph_term:
+                continue
             binding = self._match(quad)
-            if binding is not None and binding not in self._emitted:
-                self._emitted.add(binding)
+            if binding is not None and binding not in emitted:
+                emitted.add(binding)
                 produced.append(binding)
         return self._count(produced)
 
     def _match(self, quad: Quad) -> Optional[Binding]:
+        if self._s is not None and quad.subject != self._s:
+            return None
+        if self._p is not None and quad.predicate != self._p:
+            return None
+        if self._o is not None and quad.object != self._o:
+            return None
         items: dict[Variable, Term] = {}
-        for pattern_term, data_term in zip(self._pattern, quad):
-            if isinstance(pattern_term, Variable):
-                bound = items.get(pattern_term)
-                if bound is None:
-                    items[pattern_term] = data_term
-                elif bound != data_term:
-                    return None
-            elif pattern_term is not None and pattern_term != data_term:
+        for variable, getter in self._var_slots:
+            term = getter(quad)
+            bound = items.get(variable)
+            if bound is None:
+                items[variable] = term
+            elif bound != term:
                 return None
-        if isinstance(self._graph, Variable):
+        graph_variable = self._graph_variable
+        if graph_variable is not None:
             if quad.graph is None:
                 return None
-            items[self._graph] = quad.graph
-        return Binding(items)
+            items[graph_variable] = quad.graph
+        return Binding._adopt(items)
 
 
 class PathScanNode(IncrementalNode):
@@ -137,8 +304,22 @@ class PathScanNode(IncrementalNode):
         self._negated = _is_negated(pattern.path)
         self._emitted: set[tuple[Term, Term]] = set()
 
-    def process(self, delta: Sequence[Quad], dataset: Dataset) -> list[Binding]:
-        if not self._delta_relevant(delta):
+    def register(self, router: DeltaRouter) -> None:
+        if self._negated or not self._relevant:
+            router.register(None)  # negated sets can match any predicate
+        else:
+            for predicate in self._relevant:
+                router.register(predicate)
+
+    def process(self, delta: Delta, dataset: Dataset) -> list[Binding]:
+        if isinstance(delta, DeltaBatch):
+            if not delta.quads:
+                return []
+            if not self._negated and not any(
+                delta.for_predicate(predicate) for predicate in self._relevant
+            ):
+                return []
+        elif not self._delta_relevant(delta):
             return []
         graph = dataset.union if self._graph is None else dataset.graph(self._graph)
         produced: list[Binding] = []
@@ -206,7 +387,7 @@ class ValuesNode(IncrementalNode):
         ]
         self._emitted = False
 
-    def process(self, delta: Sequence[Quad], dataset: Dataset) -> list[Binding]:
+    def process(self, delta: Delta, dataset: Dataset) -> list[Binding]:
         if self._emitted:
             return []
         self._emitted = True
@@ -226,7 +407,7 @@ class JoinNode(IncrementalNode):
         self._left_table: dict[tuple, list[Binding]] = {}
         self._right_table: dict[tuple, list[Binding]] = {}
 
-    def process(self, delta: Sequence[Quad], dataset: Dataset) -> list[Binding]:
+    def process(self, delta: Delta, dataset: Dataset) -> list[Binding]:
         new_left = self._left.process(delta, dataset)
         new_right = self._right.process(delta, dataset)
         produced: list[Binding] = []
@@ -263,7 +444,7 @@ class UnionNode(IncrementalNode):
         self._left = left
         self._right = right
 
-    def process(self, delta: Sequence[Quad], dataset: Dataset) -> list[Binding]:
+    def process(self, delta: Delta, dataset: Dataset) -> list[Binding]:
         return self._count(self._left.process(delta, dataset) + self._right.process(delta, dataset))
 
     def children(self):
@@ -277,7 +458,7 @@ class FilterNode(IncrementalNode):
         self._expression = expression
         self._evaluator = evaluator
 
-    def process(self, delta: Sequence[Quad], dataset: Dataset) -> list[Binding]:
+    def process(self, delta: Delta, dataset: Dataset) -> list[Binding]:
         return self._count(
             [
                 binding
@@ -305,7 +486,7 @@ class ExtendNode(IncrementalNode):
         self._expression = expression
         self._evaluator = evaluator
 
-    def process(self, delta: Sequence[Quad], dataset: Dataset) -> list[Binding]:
+    def process(self, delta: Delta, dataset: Dataset) -> list[Binding]:
         produced: list[Binding] = []
         for binding in self._input.process(delta, dataset):
             try:
@@ -330,7 +511,7 @@ class ProjectNode(IncrementalNode):
         self._input = input_node
         self._variables = variables
 
-    def process(self, delta: Sequence[Quad], dataset: Dataset) -> list[Binding]:
+    def process(self, delta: Delta, dataset: Dataset) -> list[Binding]:
         return self._count(
             [b.projected(self._variables) for b in self._input.process(delta, dataset)]
         )
@@ -345,7 +526,7 @@ class DistinctNode(IncrementalNode):
         self._input = input_node
         self._seen: set[Binding] = set()
 
-    def process(self, delta: Sequence[Quad], dataset: Dataset) -> list[Binding]:
+    def process(self, delta: Delta, dataset: Dataset) -> list[Binding]:
         produced: list[Binding] = []
         for binding in self._input.process(delta, dataset):
             if binding not in self._seen:
@@ -377,7 +558,7 @@ class LimitNode(IncrementalNode):
     def children(self):
         return (self._input,)
 
-    def process(self, delta: Sequence[Quad], dataset: Dataset) -> list[Binding]:
+    def process(self, delta: Delta, dataset: Dataset) -> list[Binding]:
         if self.satisfied:
             return []
         produced = self._input.process(delta, dataset)
@@ -398,15 +579,26 @@ def total_work(node: IncrementalNode) -> int:
 
 
 class Pipeline:
-    """A compiled incremental operator tree plus its feeding cursor."""
+    """A compiled incremental operator tree plus its feeding cursor.
+
+    Construction walks the tree once so every scan registers its predicate
+    key with the pipeline's :class:`DeltaRouter`; each :meth:`advance` then
+    buckets the delta once and dispatches only the matching slices.
+    """
 
     def __init__(self, root: IncrementalNode) -> None:
         self._root = root
         self._cursor = 0
+        self._router = DeltaRouter()
+        root.register(self._router)
 
     @property
     def root(self) -> IncrementalNode:
         return self._root
+
+    @property
+    def router(self) -> DeltaRouter:
+        return self._router
 
     @property
     def complete(self) -> bool:
@@ -418,11 +610,11 @@ class Pipeline:
         position = dataset.log_position
         if position == self._cursor:
             return []
-        delta = list(dataset.match_since(self._cursor))
+        delta = dataset.log_slice(self._cursor, position)
         self._cursor = position
         if not delta:
             return []
-        return self._root.process(delta, dataset)
+        return self._root.process(self._router.batch(delta), dataset)
 
 
 def compile_pipeline(

@@ -13,7 +13,7 @@ import asyncio
 from typing import Iterable, Optional
 
 from ..rdf.dataset import Dataset
-from ..rdf.terms import NamedNode
+from ..rdf.terms import NamedNode, intern_iri
 from ..rdf.triples import Quad, Triple
 
 __all__ = ["GrowingTripleSource"]
@@ -51,7 +51,7 @@ class GrowingTripleSource:
 
     def add_document(self, url: str, triples: Iterable[Triple]) -> int:
         """Ingest one dereferenced document; returns #new quads."""
-        graph = NamedNode(url)
+        graph = intern_iri(url)
         added = 0
         for triple in triples:
             if self._dataset.add(Quad(triple.subject, triple.predicate, triple.object, graph)):

@@ -37,6 +37,8 @@ from .terms import (
     NamedNode,
     Term,
     Variable,
+    intern,
+    intern_iri,
     literal_from_python,
     term_to_ntriples,
 )
@@ -81,6 +83,8 @@ __all__ = [
     "NTriplesParseError",
     "TurtleWriter",
     "serialize_turtle",
+    "intern",
+    "intern_iri",
     "literal_from_python",
     "isomorphic",
     "find_bnode_bijection",

@@ -13,7 +13,6 @@ Two stores are provided:
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Iterable, Iterator, Optional
 
 from .terms import NamedNode, Term, Variable
@@ -33,26 +32,49 @@ class Graph:
 
     def __init__(self, triples: Iterable[Triple] = ()) -> None:
         self._triples: set[Triple] = set()
-        self._spo: dict[SubjectTerm, dict[PredicateTerm, set[ObjectTerm]]] = defaultdict(
-            lambda: defaultdict(set)
-        )
-        self._pos: dict[PredicateTerm, dict[ObjectTerm, set[SubjectTerm]]] = defaultdict(
-            lambda: defaultdict(set)
-        )
-        self._osp: dict[ObjectTerm, dict[SubjectTerm, set[PredicateTerm]]] = defaultdict(
-            lambda: defaultdict(set)
-        )
+        self._spo: dict[SubjectTerm, dict[PredicateTerm, set[ObjectTerm]]] = {}
+        self._pos: dict[PredicateTerm, dict[ObjectTerm, set[SubjectTerm]]] = {}
+        self._osp: dict[ObjectTerm, dict[SubjectTerm, set[PredicateTerm]]] = {}
         for triple in triples:
             self.add(triple)
 
     def add(self, triple: Triple) -> bool:
-        """Insert; returns ``True`` when the triple was not present before."""
-        if triple in self._triples:
+        """Insert; returns ``True`` when the triple was not present before.
+
+        This is the hottest write path in the whole engine (every parsed
+        quad lands here twice: named graph + union), so the three index
+        insertions are spelled out with explicit ``get`` chains on plain
+        dicts instead of nested defaultdicts.
+        """
+        triples = self._triples
+        if triple in triples:
             return False
-        self._triples.add(triple)
-        self._spo[triple.subject][triple.predicate].add(triple.object)
-        self._pos[triple.predicate][triple.object].add(triple.subject)
-        self._osp[triple.object][triple.subject].add(triple.predicate)
+        triples.add(triple)
+        s, p, o = triple.subject, triple.predicate, triple.object
+
+        level = self._spo.get(s)
+        if level is None:
+            level = self._spo[s] = {}
+        bucket = level.get(p)
+        if bucket is None:
+            bucket = level[p] = set()
+        bucket.add(o)
+
+        level = self._pos.get(p)
+        if level is None:
+            level = self._pos[p] = {}
+        bucket = level.get(o)
+        if bucket is None:
+            bucket = level[o] = set()
+        bucket.add(s)
+
+        level = self._osp.get(o)
+        if level is None:
+            level = self._osp[o] = {}
+        bucket = level.get(s)
+        if bucket is None:
+            bucket = level[s] = set()
+        bucket.add(p)
         return True
 
     def discard(self, triple: Triple) -> bool:
@@ -132,7 +154,32 @@ class Graph:
         predicate: Optional[Term] = None,
         object: Optional[Term] = None,
     ) -> int:
-        return sum(1 for _ in self.match(subject, predicate, object))
+        """Number of triples matching the pattern.
+
+        Answered from index bucket sizes — O(1) for 0-2 bound positions with
+        at most one bucket walk, never materialising the matching triples.
+        The planner calls this on every BGP ordering decision, so it must
+        stay cheap even on multi-million-triple stores.
+        """
+        s = subject if _is_concrete(subject) else None
+        p = predicate if _is_concrete(predicate) else None
+        o = object if _is_concrete(object) else None
+
+        if s is not None and p is not None and o is not None:
+            return 1 if Triple(s, p, o) in self._triples else 0  # type: ignore[arg-type]
+        if s is not None and p is not None:
+            return len(self._spo.get(s, {}).get(p, ()))
+        if p is not None and o is not None:
+            return len(self._pos.get(p, {}).get(o, ()))
+        if s is not None and o is not None:
+            return len(self._osp.get(o, {}).get(s, ()))
+        if s is not None:
+            return sum(len(objs) for objs in self._spo.get(s, {}).values())
+        if p is not None:
+            return sum(len(subjs) for subjs in self._pos.get(p, {}).values())
+        if o is not None:
+            return sum(len(preds) for preds in self._osp.get(o, {}).values())
+        return len(self._triples)
 
     def subjects(self, predicate: Optional[Term] = None, object: Optional[Term] = None) -> Iterator[SubjectTerm]:
         seen: set[SubjectTerm] = set()
@@ -226,10 +273,10 @@ class Dataset:
         The union graph deduplicates across graphs, but the log records every
         per-graph novelty so per-document provenance is never lost.
         """
-        added = self.graph(quad.graph).add(quad.triple)
-        if not added:
+        triple = quad.triple
+        if not self.graph(quad.graph).add(triple):
             return False
-        self._union.add(quad.triple)
+        self._union.add(triple)
         self._log.append(quad)
         return True
 
@@ -277,6 +324,15 @@ class Dataset:
             if o is not None and quad.object != o:
                 continue
             yield quad
+
+    def log_slice(self, start: int, stop: Optional[int] = None) -> list[Quad]:
+        """The logged quads in ``[start, stop)`` — the delta between two
+        log positions, in insertion order.  One list slice, no filtering;
+        this is what the pipeline's :class:`~repro.ltqp.pipeline.DeltaRouter`
+        buckets per advance."""
+        if stop is None:
+            return self._log[start:]
+        return self._log[start:stop]
 
     def quads(self) -> Iterator[Quad]:
         return iter(self._log)

@@ -10,7 +10,7 @@ attribute or item access::
 
 from __future__ import annotations
 
-from .terms import NamedNode
+from .terms import NamedNode, intern_iri
 
 __all__ = [
     "Namespace",
@@ -32,9 +32,13 @@ __all__ = [
 
 
 class Namespace:
-    """A factory for IRIs that share a common prefix."""
+    """A factory for IRIs that share a common prefix.
 
-    __slots__ = ("_base",)
+    Minted nodes are cached as instance attributes, so ``FOAF.name`` pays
+    the ``__getattr__`` + intern cost only on first access — hot loops
+    (extractors, serializers) that mention ``NS.term`` inline then hit a
+    plain attribute lookup.
+    """
 
     def __init__(self, base: str) -> None:
         self._base = base
@@ -46,10 +50,15 @@ class Namespace:
     def __getattr__(self, local: str) -> NamedNode:
         if local.startswith("_"):
             raise AttributeError(local)
-        return NamedNode(self._base + local)
+        node = intern_iri(self._base + local)
+        object.__setattr__(self, local, node)
+        return node
 
     def __getitem__(self, local: str) -> NamedNode:
-        return NamedNode(self._base + local)
+        node = self.__dict__.get(local)
+        if node is None:
+            node = self.__dict__[local] = intern_iri(self._base + local)
+        return node
 
     def __contains__(self, node: object) -> bool:
         return isinstance(node, NamedNode) and node.value.startswith(self._base)

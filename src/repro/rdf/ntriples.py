@@ -10,6 +10,7 @@ from .terms import (
     BlankNode,
     Literal,
     NamedNode,
+    intern_iri,
     unescape_string_literal,
 )
 from .triples import ObjectTerm, Quad, SubjectTerm, Triple
@@ -51,7 +52,7 @@ def _parse_term(line: str, pos: int, line_number: int) -> tuple[object, int]:
         value = match.group(1)
         if "\\" in value:
             value = unescape_string_literal(value)
-        return NamedNode(value), match.end()
+        return intern_iri(value), match.end()
     if char == "_":
         match = _BNODE_RE.match(line, pos)
         if not match:
@@ -87,7 +88,7 @@ def _parse_line(
         match = _IRI_RE.match(rest)
         if not match:
             raise NTriplesParseError("malformed graph IRI", line_number)
-        graph = NamedNode(match.group(1))
+        graph = intern_iri(match.group(1))
         rest = rest[match.end():].strip()
     if rest != ".":
         raise NTriplesParseError("expected terminating '.'", line_number)

@@ -6,6 +6,19 @@ SPARQL-only :class:`Variable`.  Terms compare by value, are usable as
 dictionary keys, and render to their N-Triples / SPARQL surface syntax via
 :func:`term_to_ntriples`.
 
+Terms sit on the engine's hottest path: every triple insert hashes its
+three terms into the SPO/POS/OSP indexes, and every delta match hashes
+them again into bindings and join tables.  The classes here are therefore
+hand-rolled ``__slots__`` classes (not dataclasses) with the hash computed
+once at construction and stored, and with identity short-circuits in
+``__eq__``.  Nothing mutates a term after construction; treat them as
+frozen.
+
+:func:`intern_iri` / :func:`intern` provide a bounded intern pool so bulk
+producers (the Turtle/N-Triples parsers, the SolidBench generator, the
+namespace factories) share one object per distinct IRI instead of
+allocating millions of duplicates.
+
 The module also provides typed-literal helpers (:func:`literal_from_python`,
 :meth:`Literal.to_python`) covering the XSD types used by SolidBench data:
 strings, booleans, integers/longs, decimals, doubles, dates and dateTimes.
@@ -14,7 +27,6 @@ strings, booleans, integers/longs, decimals, doubles, dates and dateTimes.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
 from datetime import date, datetime, timezone
 from decimal import Decimal
 from typing import Union
@@ -37,6 +49,10 @@ __all__ = [
     "XSD_FLOAT",
     "XSD_DATE",
     "XSD_DATETIME",
+    "intern",
+    "intern_iri",
+    "intern_pool_stats",
+    "clear_intern_pools",
     "literal_from_python",
     "term_to_ntriples",
     "escape_string_literal",
@@ -80,7 +96,13 @@ _NUMERIC_DATATYPES = frozenset(
 _INTEGER_DATATYPES = _NUMERIC_DATATYPES - {XSD_DECIMAL, XSD_DOUBLE, XSD_FLOAT}
 
 
-@dataclass(frozen=True, slots=True)
+# Per-class hash salts keep equal-valued terms of different kinds (e.g.
+# NamedNode("x") vs BlankNode("x")) from landing in the same hash bucket.
+_NAMED_SALT = 0x5B1D_9E37
+_BLANK_SALT = 0x2F0C_63A5
+_VARIABLE_SALT = 0x7A3D_11C9
+
+
 class NamedNode:
     """An IRI reference term.
 
@@ -88,7 +110,21 @@ class NamedNode:
     IRIs (relative resolution happens in the parsers).
     """
 
-    value: str
+    __slots__ = ("value", "_hash")
+
+    def __init__(self, value: str) -> None:
+        self.value = value
+        self._hash = hash(value) ^ _NAMED_SALT
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is NamedNode:
+            return self.value == other.value  # type: ignore[attr-defined]
+        return NotImplemented
 
     def __str__(self) -> str:
         return f"<{self.value}>"
@@ -97,11 +133,24 @@ class NamedNode:
         return f"NamedNode({self.value!r})"
 
 
-@dataclass(frozen=True, slots=True)
 class BlankNode:
     """A blank node with a document/store-scoped label."""
 
-    value: str
+    __slots__ = ("value", "_hash")
+
+    def __init__(self, value: str) -> None:
+        self.value = value
+        self._hash = hash(value) ^ _BLANK_SALT
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is BlankNode:
+            return self.value == other.value  # type: ignore[attr-defined]
+        return NotImplemented
 
     def __str__(self) -> str:
         return f"_:{self.value}"
@@ -110,11 +159,24 @@ class BlankNode:
         return f"BlankNode({self.value!r})"
 
 
-@dataclass(frozen=True, slots=True)
 class Variable:
     """A SPARQL variable (``?name``); never appears in stored data."""
 
-    value: str
+    __slots__ = ("value", "_hash")
+
+    def __init__(self, value: str) -> None:
+        self.value = value
+        self._hash = hash(value) ^ _VARIABLE_SALT
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is Variable:
+            return self.value == other.value  # type: ignore[attr-defined]
+        return NotImplemented
 
     def __str__(self) -> str:
         return f"?{self.value}"
@@ -123,7 +185,6 @@ class Variable:
         return f"Variable({self.value!r})"
 
 
-@dataclass(frozen=True, slots=True)
 class Literal:
     """An RDF literal with lexical form, optional language tag and datatype.
 
@@ -131,14 +192,30 @@ class Literal:
     ``rdf:langString`` per RDF 1.1.
     """
 
-    value: str
-    language: str = ""
-    datatype: str = field(default=XSD_STRING)
+    __slots__ = ("value", "language", "datatype", "_hash")
 
-    def __post_init__(self) -> None:
-        if self.language:
-            object.__setattr__(self, "language", self.language.lower())
-            object.__setattr__(self, "datatype", RDF_LANGSTRING)
+    def __init__(self, value: str, language: str = "", datatype: str = XSD_STRING) -> None:
+        self.value = value
+        if language:
+            language = language.lower()
+            datatype = RDF_LANGSTRING
+        self.language = language
+        self.datatype = datatype
+        self._hash = hash((value, language, datatype))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is Literal:
+            return (
+                self.value == other.value  # type: ignore[attr-defined]
+                and self.language == other.language  # type: ignore[attr-defined]
+                and self.datatype == other.datatype  # type: ignore[attr-defined]
+            )
+        return NotImplemented
 
     @property
     def is_numeric(self) -> bool:
@@ -185,6 +262,64 @@ class Literal:
 
 
 Term = Union[NamedNode, BlankNode, Literal, Variable]
+
+
+# ---------------------------------------------------------------------------
+# interning
+# ---------------------------------------------------------------------------
+
+#: Upper bound on each intern pool.  Past this the pools stop growing (new
+#: terms are still constructed, just not shared) — a safety valve for
+#: adversarial workloads with unbounded distinct IRIs.
+INTERN_POOL_LIMIT = 1 << 20
+
+_IRI_POOL: dict[str, NamedNode] = {}
+_TERM_POOL: dict[Term, Term] = {}
+
+
+def intern_iri(value: str) -> NamedNode:
+    """Return the canonical :class:`NamedNode` for ``value``.
+
+    Repeated calls with the same IRI string return the *same* object, so
+    equality checks short-circuit on identity and the hash is computed only
+    once per distinct IRI across the whole process.  The pool is bounded by
+    :data:`INTERN_POOL_LIMIT`.
+    """
+    node = _IRI_POOL.get(value)
+    if node is None:
+        node = NamedNode(value)
+        if len(_IRI_POOL) < INTERN_POOL_LIMIT:
+            _IRI_POOL[value] = node
+    return node
+
+
+def intern(term: Term) -> Term:
+    """Return the canonical instance of any term (value- and type-equal).
+
+    :class:`NamedNode` interning goes through the dedicated string-keyed
+    pool (cheaper lookups); other term kinds share a generic pool.  Interned
+    and non-interned terms compare and hash identically — interning is purely
+    a memory/speed optimisation.
+    """
+    if term.__class__ is NamedNode:
+        return intern_iri(term.value)
+    canonical = _TERM_POOL.get(term)
+    if canonical is None:
+        canonical = term
+        if len(_TERM_POOL) < INTERN_POOL_LIMIT:
+            _TERM_POOL[term] = term
+    return canonical
+
+
+def intern_pool_stats() -> dict[str, int]:
+    """Sizes of the intern pools (for diagnostics and benchmarks)."""
+    return {"iris": len(_IRI_POOL), "terms": len(_TERM_POOL), "limit": INTERN_POOL_LIMIT}
+
+
+def clear_intern_pools() -> None:
+    """Drop all interned terms (tests and memory-pressure escape hatch)."""
+    _IRI_POOL.clear()
+    _TERM_POOL.clear()
 
 
 def _parse_datetime(lexical: str) -> datetime:

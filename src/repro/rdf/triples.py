@@ -1,4 +1,12 @@
-"""Triples, quads, and triple patterns."""
+"""Triples, quads, and triple patterns.
+
+:class:`Triple` and :class:`Quad` are hand-rolled ``__slots__`` classes with
+the hash computed once at construction (from the terms' own cached hashes),
+because every insert into the dataset's three indexes and every membership
+probe re-hashes the statement.  They are value-equal and must be treated as
+immutable.  :class:`TriplePattern` stays a frozen dataclass — patterns are
+built once per query, not per triple.
+"""
 
 from __future__ import annotations
 
@@ -14,13 +22,30 @@ PredicateTerm = NamedNode
 ObjectTerm = Union[NamedNode, BlankNode, Literal]
 
 
-@dataclass(frozen=True, slots=True)
 class Triple:
     """An RDF triple (subject, predicate, object)."""
 
-    subject: SubjectTerm
-    predicate: PredicateTerm
-    object: ObjectTerm
+    __slots__ = ("subject", "predicate", "object", "_hash")
+
+    def __init__(self, subject: SubjectTerm, predicate: PredicateTerm, object: ObjectTerm) -> None:
+        self.subject = subject
+        self.predicate = predicate
+        self.object = object
+        self._hash = hash((subject, predicate, object))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is Triple:
+            return (
+                self.subject == other.subject  # type: ignore[attr-defined]
+                and self.predicate == other.predicate  # type: ignore[attr-defined]
+                and self.object == other.object  # type: ignore[attr-defined]
+            )
+        return NotImplemented
 
     def __iter__(self) -> Iterator[Term]:
         yield self.subject
@@ -37,15 +62,42 @@ class Triple:
     def __str__(self) -> str:
         return self.to_ntriples()
 
+    def __repr__(self) -> str:
+        return f"Triple({self.subject!r}, {self.predicate!r}, {self.object!r})"
 
-@dataclass(frozen=True, slots=True)
+
 class Quad:
     """An RDF quad: a triple plus the graph (document IRI) it came from."""
 
-    subject: SubjectTerm
-    predicate: PredicateTerm
-    object: ObjectTerm
-    graph: Optional[NamedNode] = None
+    __slots__ = ("subject", "predicate", "object", "graph", "_hash")
+
+    def __init__(
+        self,
+        subject: SubjectTerm,
+        predicate: PredicateTerm,
+        object: ObjectTerm,
+        graph: Optional[NamedNode] = None,
+    ) -> None:
+        self.subject = subject
+        self.predicate = predicate
+        self.object = object
+        self.graph = graph
+        self._hash = hash((subject, predicate, object, graph))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is Quad:
+            return (
+                self.subject == other.subject  # type: ignore[attr-defined]
+                and self.predicate == other.predicate  # type: ignore[attr-defined]
+                and self.object == other.object  # type: ignore[attr-defined]
+                and self.graph == other.graph  # type: ignore[attr-defined]
+            )
+        return NotImplemented
 
     @property
     def triple(self) -> Triple:
@@ -69,6 +121,9 @@ class Quad:
     def __str__(self) -> str:
         return self.to_nquads()
 
+    def __repr__(self) -> str:
+        return f"Quad({self.subject!r}, {self.predicate!r}, {self.object!r}, {self.graph!r})"
+
 
 @dataclass(frozen=True, slots=True)
 class TriplePattern:
@@ -85,11 +140,15 @@ class TriplePattern:
 
     def matches(self, triple: Triple) -> bool:
         """Positional match, treating variables and ``None`` as wildcards."""
-        for pattern_term, data_term in zip(self, triple):
-            if pattern_term is None or isinstance(pattern_term, Variable):
-                continue
-            if pattern_term != data_term:
-                return False
+        term = self.subject
+        if term is not None and term.__class__ is not Variable and term != triple.subject:
+            return False
+        term = self.predicate
+        if term is not None and term.__class__ is not Variable and term != triple.predicate:
+            return False
+        term = self.object
+        if term is not None and term.__class__ is not Variable and term != triple.object:
+            return False
         return True
 
     def __iter__(self) -> Iterator[Optional[Term]]:

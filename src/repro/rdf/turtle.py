@@ -31,6 +31,7 @@ from .terms import (
     BlankNode,
     Literal,
     NamedNode,
+    intern_iri,
     unescape_string_literal,
 )
 from .namespaces import RDF
@@ -184,7 +185,7 @@ class TurtleParser:
     def _parse_subject(self) -> SubjectTerm:
         char = self._peek_char()
         if char == "<":
-            return NamedNode(self._read_iriref())
+            return intern_iri(self._read_iriref())
         if char == "_":
             return self._read_blank_node_label()
         term = self._read_prefixed_name()
@@ -193,7 +194,7 @@ class TurtleParser:
     def _parse_predicate(self) -> NamedNode:
         char = self._peek_char()
         if char == "<":
-            return NamedNode(self._read_iriref())
+            return intern_iri(self._read_iriref())
         if char == "a" and self._is_bare_a():
             self._advance()
             return _RDF_TYPE
@@ -203,7 +204,7 @@ class TurtleParser:
     def _parse_object(self) -> ObjectTerm:
         char = self._peek_char()
         if char == "<":
-            return NamedNode(self._read_iriref())
+            return intern_iri(self._read_iriref())
         if char == "_":
             return self._read_blank_node_label()
         if char == "[":
@@ -265,7 +266,7 @@ class TurtleParser:
         if "\\" in raw:
             raw = unescape_string_literal(raw)
         if self._base and not _is_absolute_iri(raw):
-            return urljoin(self._base, raw)
+            return _resolve_relative(self._base, raw)
         return raw
 
     def _read_prefix_name(self) -> str:
@@ -307,7 +308,7 @@ class TurtleParser:
         if "\\" in local:
             local = re.sub(r"\\(.)", r"\1", local)
         local = local.replace("%%", "%")
-        return NamedNode(self._prefixes[prefix] + local)
+        return intern_iri(self._prefixes[prefix] + local)
 
     def _read_blank_node_label(self) -> BlankNode:
         match = _BLANK_LABEL_RE.match(self._text, self._pos)
@@ -464,6 +465,23 @@ def _escaped_at(text: str, index: int) -> bool:
         backslashes += 1
         index -= 1
     return backslashes % 2 == 1
+
+
+#: Bounded memo for relative-IRI resolution.  Documents resolve the same
+#: handful of (base, reference) pairs over and over; ``urljoin`` re-parses
+#: both strings every call, so a dict hit is ~20x cheaper.
+_RESOLVE_CACHE: dict[tuple[str, str], str] = {}
+_RESOLVE_CACHE_LIMIT = 1 << 16
+
+
+def _resolve_relative(base: str, reference: str) -> str:
+    key = (base, reference)
+    resolved = _RESOLVE_CACHE.get(key)
+    if resolved is None:
+        resolved = urljoin(base, reference)
+        if len(_RESOLVE_CACHE) < _RESOLVE_CACHE_LIMIT:
+            _RESOLVE_CACHE[key] = resolved
+    return resolved
 
 
 def _is_absolute_iri(iri: str) -> bool:

@@ -47,6 +47,9 @@ class TurtleWriter:
         self._sorted_prefixes = sorted(
             self._prefixes.items(), key=lambda item: len(item[1]), reverse=True
         )
+        # IRI → (rendered form, prefix name used) memo: vocabulary IRIs
+        # (predicates, classes) recur on nearly every line of a document.
+        self._iri_cache: dict[str, tuple[str, Optional[str]]] = {}
 
     def serialize(self, triples: Iterable[Triple]) -> str:
         grouped: dict[Term, list[Triple]] = defaultdict(list)
@@ -110,15 +113,27 @@ class TurtleWriter:
         raise TypeError(f"cannot serialize term {term!r}")
 
     def _render_iri(self, iri: str, used: set[str]) -> str:
+        cached = self._iri_cache.get(iri)
+        if cached is not None:
+            rendered, prefix_name = cached
+            if prefix_name is not None:
+                used.add(prefix_name)
+            return rendered
+        rendered, prefix_name = self._compact_iri(iri)
+        self._iri_cache[iri] = (rendered, prefix_name)
+        if prefix_name is not None:
+            used.add(prefix_name)
+        return rendered
+
+    def _compact_iri(self, iri: str) -> tuple[str, Optional[str]]:
         for name, base in self._sorted_prefixes:
             if iri.startswith(base):
                 local = iri[len(base):]
                 if local and all(c in _LOCAL_SAFE for c in local):
-                    used.add(name)
-                    return f"{name}:{local}"
+                    return f"{name}:{local}", name
         if self._base and iri.startswith(self._base):
-            return f"<{iri[len(self._base):]}>"
-        return f"<{iri}>"
+            return f"<{iri[len(self._base):]}>", None
+        return f"<{iri}>", None
 
     def _render_literal(self, literal: Literal, used: set[str]) -> str:
         if literal.datatype == XSD_INTEGER and _is_plain_integer(literal.value):
@@ -148,10 +163,23 @@ def _is_plain_decimal(lexical: str) -> bool:
     return bool(fractional) and (integral or fractional).isdigit() and fractional.isdigit()
 
 
+#: Writers for the default prefix map, one per base IRI, so the IRI
+#: rendering memo survives across the many documents of one pod.
+_WRITER_CACHE: dict[str, TurtleWriter] = {}
+_WRITER_CACHE_LIMIT = 4096
+
+
 def serialize_turtle(
     triples: Iterable[Triple],
     prefixes: Optional[Mapping[str, str]] = None,
     base_iri: str = "",
 ) -> str:
     """Serialize triples as Turtle text with the given prefix map."""
+    if prefixes is None:
+        writer = _WRITER_CACHE.get(base_iri)
+        if writer is None:
+            writer = TurtleWriter(base_iri=base_iri)
+            if len(_WRITER_CACHE) < _WRITER_CACHE_LIMIT:
+                _WRITER_CACHE[base_iri] = writer
+        return writer.serialize(triples)
     return TurtleWriter(prefixes=prefixes, base_iri=base_iri).serialize(triples)

@@ -38,6 +38,11 @@ class SolidServer(App):
         self.idp = idp
         self._pods: dict[str, Pod] = {}
         self._acls: dict[str, AccessControlList] = {}
+        # Rendered representations keyed by (pod, path, content type).
+        # Documents are static between writes, so serialization — the
+        # dominant per-GET cost — is paid once per representation; any
+        # PATCH/PUT invalidates the whole cache (writes are rare).
+        self._render_cache: dict[tuple[str, str, str], bytes] = {}
 
     # ------------------------------------------------------------------
     # pod management
@@ -105,9 +110,14 @@ class SolidServer(App):
                 return Response.not_found(request.url)
             if not acl.allows(container_path, webid, AccessMode.READ):
                 return Response.unauthorized() if webid is None else Response.forbidden()
-            body = self._render(pod.container_triples(container_path), pod, request)
+            content_type = self._content_type(request)
+            cache_key = (pod.base_url, container_path, content_type)
+            body = self._render_cache.get(cache_key)
+            if body is None:
+                body = self._render(pod.container_triples(container_path), pod, request)
+                self._render_cache[cache_key] = body
             headers = {
-                "content-type": self._content_type(request),
+                "content-type": content_type,
                 "link": _LDP_CONTAINER_LINK,
             }
             return self._finish(request, headers, body)
@@ -121,8 +131,13 @@ class SolidServer(App):
             return Response.not_found(request.url)
         if not acl.allows(relative, webid, AccessMode.READ):
             return Response.unauthorized() if webid is None else Response.forbidden()
-        body = self._render(document.triples, pod, request)
-        headers = {"content-type": self._content_type(request), "link": _LDP_RESOURCE_LINK}
+        content_type = self._content_type(request)
+        cache_key = (pod.base_url, relative, content_type)
+        body = self._render_cache.get(cache_key)
+        if body is None:
+            body = self._render(document.triples, pod, request)
+            self._render_cache[cache_key] = body
+        headers = {"content-type": content_type, "link": _LDP_RESOURCE_LINK}
         return self._finish(request, headers, body)
 
     def _serve_acl(
@@ -180,6 +195,7 @@ class SolidServer(App):
         graph = Graph(document.triples)
         counts = apply_update(graph, operations)
         document.triples[:] = list(graph)
+        self._render_cache.clear()
         body = f"added {counts['added']}, removed {counts['removed']}".encode("utf-8")
         return Response(200, {"content-type": "text/plain"}, body)
 
@@ -208,6 +224,7 @@ class SolidServer(App):
             return Response(400, {"content-type": "text/plain"}, str(error).encode("utf-8"))
         existed = pod.has_document(relative)
         pod.add_document(relative, triples)
+        self._render_cache.clear()
         return Response(204 if existed else 201, {"content-type": "text/plain"}, b"")
 
     # ------------------------------------------------------------------

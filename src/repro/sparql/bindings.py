@@ -22,6 +22,14 @@ class Binding(Mapping[Variable, Term]):
         self._items: dict[Variable, Term] = dict(items) if items else {}
         self._hash: Optional[int] = None
 
+    @classmethod
+    def _adopt(cls, items: dict[Variable, Term]) -> "Binding":
+        """Wrap ``items`` without copying; the caller must not reuse it."""
+        binding = cls.__new__(cls)
+        binding._items = items
+        binding._hash = None
+        return binding
+
     # -- Mapping interface --------------------------------------------------
 
     def __getitem__(self, variable: Variable) -> Term:
@@ -48,26 +56,41 @@ class Binding(Mapping[Variable, Term]):
         return True
 
     def merged(self, other: "Binding") -> Optional["Binding"]:
-        """Union of two mappings, or ``None`` when incompatible."""
-        if not self.compatible(other):
-            return None
+        """Union of two mappings, or ``None`` when incompatible.
+
+        Single-pass: the compatibility check is folded into the merge loop —
+        the smaller side is walked once, checking shared variables and
+        collecting new pairs as it goes (the hash-join hot path calls this
+        for every candidate pair).
+        """
         if not other._items:
             return self
         if not self._items:
             return other
-        combined = dict(self._items)
-        combined.update(other._items)
-        return Binding(combined)
+        small, large = (self, other) if len(self._items) <= len(other._items) else (other, self)
+        combined = None  # copy of large's items, made lazily on first new pair
+        for variable, term in small._items.items():
+            existing = large._items.get(variable)
+            if existing is None:
+                if combined is None:
+                    combined = dict(large._items)
+                combined[variable] = term
+            elif existing != term:
+                return None
+        if combined is None:
+            return large  # small is a sub-mapping of large
+        return Binding._adopt(combined)
 
     def extended(self, variable: Variable, term: Term) -> "Binding":
         """Return a new binding with one additional pair."""
         combined = dict(self._items)
         combined[variable] = term
-        return Binding(combined)
+        return Binding._adopt(combined)
 
     def projected(self, variables: Iterable[Variable]) -> "Binding":
         """Restrict to the given variables (unbound ones are dropped)."""
-        return Binding({v: self._items[v] for v in variables if v in self._items})
+        items = self._items
+        return Binding._adopt({v: items[v] for v in variables if v in items})
 
     def key(self, variables: Iterable[Variable]) -> tuple:
         """Hashable join key over ``variables`` (None for unbound)."""

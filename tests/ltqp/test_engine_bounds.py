@@ -36,6 +36,25 @@ class TestMaxResults:
         )
         assert set(bounded.bindings) <= set(full.bindings)
 
+    def test_limit_boundary_is_exact(self, tiny_universe):
+        """The binding arriving exactly at the limit is counted, none past it.
+
+        Regression test for the former double check in ``emit()``: the count
+        was compared against the limit both before and after appending, so a
+        binding landing exactly on the boundary could be double-handled.  Every
+        cap must yield exactly ``min(cap, total)`` results.
+        """
+        query = discover_query(tiny_universe, 2, 1)
+        full = make_engine(tiny_universe).execute_sync(query.text, seeds=query.seeds)
+        total = len(full)
+        assert total >= 2
+        for cap in (1, total - 1, total, total + 3):
+            bounded = make_engine(tiny_universe, max_results=cap).execute_sync(
+                query.text, seeds=query.seeds
+            )
+            assert len(bounded) == min(cap, total)
+            assert bounded.stats.result_count == min(cap, total)
+
 
 class TestMaxDuration:
     def test_deadline_cuts_traversal_short(self, tiny_universe):

@@ -1,0 +1,102 @@
+"""Property tests for the hot-path machinery: routing, batching, interning.
+
+Two invariants introduced by the hot-path overhaul:
+
+* Predicate-routed, micro-batched delta dispatch is *semantically
+  invisible*: for any BGP, any dataset, any partition of the data into
+  documents, and any document arrival order, the pipeline produces exactly
+  the snapshot answer multiset.
+* Term interning is *observationally invisible*: an interned term is
+  ``==`` to, and hashes identically to, a freshly constructed term with
+  the same value — so interned and non-interned terms mix freely in sets,
+  dicts, and indexes.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ltqp.pipeline import compile_pipeline
+from repro.rdf import Dataset, Graph, Literal, NamedNode, Quad, Triple, Variable
+from repro.rdf.terms import intern, intern_iri
+from repro.rdf.triples import TriplePattern
+from repro.sparql.algebra import BGP
+from repro.sparql.eval import SnapshotEvaluator
+
+# Same tiny closed world as test_engine_properties: dense joins, few names.
+nodes = st.sampled_from([NamedNode(f"http://x/n{i}") for i in range(6)])
+predicates = st.sampled_from([NamedNode(f"http://x/p{i}") for i in range(3)])
+values = st.sampled_from([Literal(str(i)) for i in range(3)])
+triples = st.builds(Triple, nodes, predicates, nodes | values)
+
+variables = st.sampled_from([Variable(name) for name in "abcd"])
+pattern_terms = nodes | variables
+patterns = st.builds(
+    TriplePattern, pattern_terms, predicates | variables, pattern_terms | values
+)
+bgps = st.lists(patterns, min_size=1, max_size=3).map(lambda ps: BGP(tuple(ps)))
+
+# A "universe" is a handful of documents, each holding a few triples.
+documents = st.lists(st.lists(triples, min_size=0, max_size=6), min_size=0, max_size=6)
+
+
+def _key(binding):
+    return sorted((v.value, str(t)) for v, t in binding.items())
+
+
+class TestRoutedBatchedEquivalence:
+    @given(bgps, documents, st.randoms(use_true_random=False), st.integers(1, 3))
+    @settings(max_examples=80, deadline=None)
+    def test_any_arrival_order_matches_snapshot(self, bgp, docs, rng, docs_per_advance):
+        """Routing + batching never change answers, whatever order documents
+        arrive in and however many are coalesced into one advance."""
+        arrival = list(range(len(docs)))
+        rng.shuffle(arrival)
+
+        pipeline = compile_pipeline(bgp)
+        dataset = Dataset()
+        produced = []
+        for start in range(0, len(arrival), docs_per_advance):
+            for doc_index in arrival[start:start + docs_per_advance]:
+                graph = NamedNode(f"https://h/doc{doc_index}")
+                for triple in docs[doc_index]:
+                    dataset.add(
+                        Quad(triple.subject, triple.predicate, triple.object, graph)
+                    )
+            produced.extend(pipeline.advance(dataset))
+
+        all_triples = [t for doc in docs for t in doc]
+        expected = SnapshotEvaluator(Graph(all_triples)).evaluate(bgp)
+        assert sorted(produced, key=_key) == sorted(expected, key=_key)
+
+
+iri_texts = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126, exclude_characters='<>"{}|^`\\'),
+    min_size=1,
+    max_size=40,
+).map(lambda s: "http://x/" + s)
+
+
+class TestInternTransparency:
+    @given(iri_texts)
+    @settings(max_examples=100, deadline=None)
+    def test_interned_iri_equals_fresh_node(self, value):
+        interned = intern_iri(value)
+        fresh = NamedNode(value)
+        assert interned == fresh
+        assert hash(interned) == hash(fresh)
+        assert len({interned, fresh}) == 1
+
+    @given(iri_texts)
+    @settings(max_examples=50, deadline=None)
+    def test_interning_is_idempotent(self, value):
+        assert intern_iri(value) is intern_iri(value)
+        node = NamedNode(value)
+        assert intern(intern(node)) is intern(node)
+
+    @given(st.text(max_size=20), st.sampled_from(["", "en", "en-GB"]))
+    @settings(max_examples=50, deadline=None)
+    def test_interned_literal_equals_fresh_literal(self, value, language):
+        fresh = Literal(value, language=language)
+        interned = intern(fresh)
+        again = Literal(value, language=language)
+        assert interned == again
+        assert hash(interned) == hash(again)

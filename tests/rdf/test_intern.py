@@ -1,0 +1,88 @@
+"""Unit tests for the bounded term intern pool."""
+
+import pytest
+
+from repro.rdf.terms import (
+    INTERN_POOL_LIMIT,
+    BlankNode,
+    Literal,
+    NamedNode,
+    Variable,
+    clear_intern_pools,
+    intern,
+    intern_iri,
+    intern_pool_stats,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_pools():
+    clear_intern_pools()
+    yield
+    clear_intern_pools()
+
+
+class TestInternIri:
+    def test_returns_same_object_for_same_iri(self):
+        a = intern_iri("http://example.org/a")
+        b = intern_iri("http://example.org/a")
+        assert a is b
+
+    def test_interned_and_fresh_nodes_are_interchangeable(self):
+        interned = intern_iri("http://example.org/a")
+        fresh = NamedNode("http://example.org/a")
+        assert interned == fresh
+        assert fresh == interned
+        assert hash(interned) == hash(fresh)
+        # They collapse in hash containers, as dataset indexes rely on.
+        assert {interned: 1}[fresh] == 1
+        assert len({interned, fresh}) == 1
+
+    def test_distinct_iris_stay_distinct(self):
+        assert intern_iri("http://x/a") != intern_iri("http://x/b")
+
+
+class TestInternGeneric:
+    def test_named_node_goes_through_iri_pool(self):
+        node = NamedNode("http://example.org/n")
+        assert intern(node) is intern_iri("http://example.org/n")
+
+    def test_literal_blank_variable_pool(self):
+        for term in (Literal("hi", language="en"), BlankNode("b0"), Variable("v")):
+            pooled = intern(term)
+            assert pooled == term
+            assert hash(pooled) == hash(term)
+            assert intern(term) is pooled
+
+    def test_interning_preserves_literal_facets(self):
+        lit = intern(Literal("42", datatype="http://www.w3.org/2001/XMLSchema#integer"))
+        assert lit.is_integer
+        assert lit.to_python() == 42
+
+
+class TestPoolBounds:
+    def test_stats_track_pool_sizes(self):
+        intern_iri("http://x/a")
+        intern_iri("http://x/b")
+        intern(Literal("x"))
+        stats = intern_pool_stats()
+        assert stats["iris"] == 2
+        assert stats["terms"] == 1
+        assert stats["limit"] == INTERN_POOL_LIMIT
+
+    def test_pool_stops_growing_at_limit(self, monkeypatch):
+        import repro.rdf.terms as terms_module
+
+        monkeypatch.setattr(terms_module, "INTERN_POOL_LIMIT", 2)
+        intern_iri("http://x/a")
+        intern_iri("http://x/b")
+        overflow = intern_iri("http://x/c")
+        # Still a correct term — just not retained in the pool.
+        assert overflow == NamedNode("http://x/c")
+        assert intern_pool_stats()["iris"] == 2
+        assert intern_iri("http://x/c") is not overflow
+
+    def test_clear_empties_pools(self):
+        intern_iri("http://x/a")
+        clear_intern_pools()
+        assert intern_pool_stats()["iris"] == 0
