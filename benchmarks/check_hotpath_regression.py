@@ -1,18 +1,25 @@
 #!/usr/bin/env python
-"""Hot-path performance regression gate.
+"""Shared performance regression gate runner.
 
-Re-measures the hot-path metrics and compares them against the committed
-baseline ``BENCH_hotpath.json``.  Fails (exit 1) when any *throughput*
-metric drops more than ``TOLERANCE`` (20%) below baseline, or when the
-Discover 8.5 run loses completeness.  Wall-clock metrics are reported for
-context but not gated — they vary too much across machines; the
-throughput ratios are the stable signal.
+Runs every registered gate against one freshly built universe and fails
+(exit 1) if any gate reports a regression:
+
+* **hot-path gate** — re-measures the hot-path metrics and compares them
+  against the committed baseline ``BENCH_hotpath.json``: any *throughput*
+  metric dropping more than ``TOLERANCE`` (20%) below baseline fails, as
+  does a Discover 8.5 completeness or result-count change.  Wall-clock
+  metrics are reported for context but not gated — they vary too much
+  across machines; the throughput ratios are the stable signal.
+* **fault-overhead gate** — the resilience layer (retry loop, breaker
+  checks, installed-but-empty fault plan) must keep the zero-fault
+  Discover 8.5 path within ``TOLERANCE`` of the plain client, measured
+  in-process so machine speed cancels out.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/check_hotpath_regression.py
 
-Refresh the baseline after an intentional perf change::
+Refresh the hot-path baseline after an intentional perf change::
 
     REPRO_WRITE_BENCH=1 PYTHONPATH=src python -m pytest benchmarks/bench_hotpath.py
 """
@@ -25,24 +32,23 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
+from bench_faults import measure_zero_fault_overhead  # noqa: E402
 from bench_hotpath import BASELINE_PATH, collect_metrics  # noqa: E402
 
 from repro.solidbench import SolidBenchConfig, build_universe  # noqa: E402
 
-#: Maximum tolerated throughput drop relative to the committed baseline.
+#: Maximum tolerated throughput drop (or overhead) relative to baseline.
 TOLERANCE = 0.20
 
 #: Metrics gated as throughputs (higher is better).
 THROUGHPUT_KEYS = ("terms_per_s", "dispatch_quads_per_s")
 
 
-def main() -> int:
+def gate_hotpath(universe) -> list[str]:
+    """Throughput + completeness vs the committed BENCH_hotpath.json."""
     if not BASELINE_PATH.exists():
-        print(f"no baseline at {BASELINE_PATH}; run with REPRO_WRITE_BENCH=1 first")
-        return 1
+        return [f"no baseline at {BASELINE_PATH}; run with REPRO_WRITE_BENCH=1 first"]
     baseline = json.loads(BASELINE_PATH.read_text())
-
-    universe = build_universe(SolidBenchConfig(scale=0.02, seed=42))
     current = collect_metrics(universe)
 
     failures = []
@@ -66,13 +72,44 @@ def main() -> int:
             f"Discover 8.5 result count changed: "
             f"{baseline.get('d85_results')} -> {current.get('d85_results')}"
         )
+    return failures
+
+
+def gate_fault_overhead(universe) -> list[str]:
+    """The zero-fault resilient path must cost <20% over the plain client."""
+    overhead = measure_zero_fault_overhead(universe)
+    print(
+        f"{'d85 plain_wall_s':<24}{'':>14}{overhead['plain_wall_s']:>14}{'':>8}\n"
+        f"{'d85 resilient_wall_s':<24}{'':>14}{overhead['resilient_wall_s']:>14}"
+        f"{overhead['overhead_ratio']:>8.2f}"
+    )
+    if overhead["overhead_ratio"] > 1.0 + TOLERANCE:
+        return [
+            f"zero-fault resilience overhead {overhead['overhead_ratio']:.2f}x "
+            f"(>{1 + TOLERANCE:.2f}x tolerated)"
+        ]
+    return []
+
+
+GATES = (
+    ("hot path vs baseline", gate_hotpath),
+    ("zero-fault resilience overhead", gate_fault_overhead),
+)
+
+
+def main() -> int:
+    universe = build_universe(SolidBenchConfig(scale=0.02, seed=42))
+    failures = []
+    for title, gate in GATES:
+        print(f"\n== {title} ==")
+        failures.extend(gate(universe))
 
     if failures:
         print("\nREGRESSION:")
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    print("\nhot-path throughput within tolerance")
+    print("\nall gates within tolerance")
     return 0
 
 

@@ -31,7 +31,7 @@ def main() -> None:
 
     # 1. Anonymous: traversal hits 401s on the post documents.
     engine = universe.engine()
-    anonymous = engine.execute_sync(query.text, seeds=query.seeds)
+    anonymous = engine.query(query.text, seeds=query.seeds).run_sync()
     print(f"anonymous:      {len(anonymous):4d} results "
           f"({anonymous.stats.documents_failed} documents denied)")
 
@@ -39,14 +39,14 @@ def main() -> None:
     #    every dereference and sees everything.
     session = universe.idp.login(universe.webid(person_index))
     engine = universe.engine(auth_headers=session.headers)
-    as_owner = engine.execute_sync(query.text, seeds=query.seeds)
+    as_owner = engine.query(query.text, seeds=query.seeds).run_sync()
     print(f"as {owner.name}: {len(as_owner):4d} results "
           f"({as_owner.stats.documents_failed} documents denied)")
 
     # 3. Logged in as someone else: authenticated but not authorized.
     stranger = universe.idp.login(universe.webid((person_index + 1) % universe.person_count))
     engine = universe.engine(auth_headers=stranger.headers)
-    as_stranger = engine.execute_sync(query.text, seeds=query.seeds)
+    as_stranger = engine.query(query.text, seeds=query.seeds).run_sync()
     print(f"as a stranger:  {len(as_stranger):4d} results "
           f"({as_stranger.stats.documents_failed} documents denied)")
 

@@ -46,7 +46,7 @@ class FriendExtractor(LinkExtractor):
 
 def run(universe, query, extractors, label):
     engine = universe.engine(extractors=extractors)
-    result = engine.execute_sync(query.text, seeds=query.seeds)
+    result = engine.query(query.text, seeds=query.seeds).run_sync()
     print(f"{label:<22} results={len(result):4d}  documents={result.stats.documents_fetched:4d}  "
           f"links={result.stats.links_queued:4d}  by={result.stats.links_by_extractor}")
     return result

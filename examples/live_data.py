@@ -38,7 +38,7 @@ async def write(universe, method, url, body, content_type, session):
 
 def count_results(universe, query):
     engine = LinkTraversalEngine(universe.client(latency=NoLatency()))
-    return len(engine.execute_sync(query.text, seeds=query.seeds))
+    return len(engine.query(query.text, seeds=query.seeds).run_sync())
 
 
 def main() -> None:

@@ -26,7 +26,7 @@ def main() -> None:
     print(f"seed person: {person.name} ({query.seeds[0]})\n")
 
     engine = universe.engine()
-    result = engine.execute_sync(query.text, seeds=query.seeds)
+    result = engine.query(query.text, seeds=query.seeds).run_sync()
 
     # Which pods did traversal reach, starting from one WebID?
     pods = Counter()

@@ -25,7 +25,7 @@ def main() -> None:
 
     # 3. Execute by link traversal, starting from the person's WebID.
     engine = universe.engine()
-    result = engine.execute_sync(query.text, seeds=query.seeds)
+    result = engine.query(query.text, seeds=query.seeds).run_sync()
 
     # 4. Results streamed in while traversal was still running.
     for timed in result.results[:5]:

@@ -32,13 +32,33 @@ Quickstart
 >>> universe = build_universe(SolidBenchConfig(scale=0.01))
 >>> query = discover_query(universe, 1, 5)
 >>> engine = universe.fast_engine()
->>> result = engine.execute_sync(query.text, seeds=query.seeds)
+>>> result = engine.query(query.text, seeds=query.seeds).run_sync()
 >>> result.stats.result_count == len(result.bindings)
 True
 """
 
-from .ltqp.engine import EngineConfig, ExecutionResult, LinkTraversalEngine
+from .ltqp.engine import (
+    EngineConfig,
+    ExecutionResult,
+    LinkTraversalEngine,
+    QueryExecution,
+    TraversalPolicy,
+)
+from .net.faults import FaultPlan, FaultRule
+from .net.resilience import NetworkPolicy, RetryPolicy, BreakerPolicy
 
 __version__ = "1.0.0"
 
-__all__ = ["LinkTraversalEngine", "EngineConfig", "ExecutionResult", "__version__"]
+__all__ = [
+    "LinkTraversalEngine",
+    "EngineConfig",
+    "TraversalPolicy",
+    "NetworkPolicy",
+    "RetryPolicy",
+    "BreakerPolicy",
+    "FaultPlan",
+    "FaultRule",
+    "QueryExecution",
+    "ExecutionResult",
+    "__version__",
+]

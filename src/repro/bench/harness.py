@@ -86,7 +86,7 @@ def run_query(
     engine = LinkTraversalEngine(
         client, extractors=extractors, config=engine_config, auth_headers=auth_headers
     )
-    execution = engine.execute_sync(query.text, seeds=query.seeds)
+    execution = engine.query(query.text, seeds=query.seeds).run_sync()
     stats = execution.stats
 
     oracle_count: Optional[int] = None

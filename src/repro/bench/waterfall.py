@@ -29,6 +29,12 @@ class WaterfallRow:
     size: int
     depth: int
     parent_url: Optional[str]
+    #: Which attempt this bar is (1 = first try; >1 = a retry bar).
+    attempt: int = 1
+
+    @property
+    def is_retry(self) -> bool:
+        return self.attempt > 1
 
 
 @dataclass(slots=True)
@@ -40,6 +46,7 @@ class Waterfall:
     max_parallelism: int
     origins: int
     total_bytes: int
+    retries: int = 0
 
     def summary(self) -> dict:
         return {
@@ -49,6 +56,7 @@ class Waterfall:
             "max_parallelism": self.max_parallelism,
             "origins": self.origins,
             "total_bytes": self.total_bytes,
+            "retries": self.retries,
         }
 
 
@@ -68,6 +76,7 @@ def build_waterfall(log: RequestLog) -> Waterfall:
     records = sorted(log.records, key=lambda r: r.started_at)
     if not records:
         return Waterfall([], 0.0, 0, 0, 0, 0, 0)
+    retries = sum(1 for record in records if record.attempt > 1)
     origin_time = records[0].started_at
     depths = log.dependency_depths()
     rows = [
@@ -80,6 +89,7 @@ def build_waterfall(log: RequestLog) -> Waterfall:
             size=record.response_size,
             depth=depths.get(record.url, 0),
             parent_url=record.parent_url,
+            attempt=record.attempt,
         )
         for record in records
     ]
@@ -92,6 +102,7 @@ def build_waterfall(log: RequestLog) -> Waterfall:
         max_parallelism=log.max_parallelism(),
         origins=len(log.origins()),
         total_bytes=log.total_bytes(),
+        retries=retries,
     )
 
 
@@ -110,7 +121,11 @@ def render_waterfall(
         offset = int(row.start * scale)
         length = max(1, int((row.end - row.start) * scale))
         length = min(length, width - offset) if offset < width else 1
-        bar = " " * offset + "█" * length
+        # Retry bars render hollow with an attempt marker, so flaky
+        # resources are visually distinct from first-try fetches.
+        bar = " " * offset + ("░" if row.is_retry else "█") * length
+        if row.is_retry:
+            bar += f" (retry #{row.attempt})"
         name = ("  " * min(row.depth, 6)) + row.short_name
         if len(name) > name_width:
             name = name[: name_width - 1] + "…"
@@ -122,8 +137,7 @@ def render_waterfall(
         lines.append(f"... and {len(waterfall.rows) - max_rows} more requests")
     lines.append(
         "total: {requests} requests, {duration_s}s, depth {max_depth}, "
-        "parallelism {max_parallelism}, {origins} origin(s), {total_bytes} bytes".format(
-            **waterfall.summary()
-        )
+        "parallelism {max_parallelism}, {origins} origin(s), {total_bytes} bytes, "
+        "{retries} retries".format(**waterfall.summary())
     )
     return "\n".join(lines) + "\n"

@@ -21,9 +21,13 @@ import sys
 import time
 from typing import Optional
 
+import json
+
 from .bench.waterfall import build_waterfall, render_waterfall
 from .ltqp.engine import EngineConfig, LinkTraversalEngine
+from .net.faults import FaultPlan
 from .net.latency import NoLatency, SeededJitterLatency
+from .net.resilience import NetworkPolicy
 from .sparql.parser import parse_query
 from .sparql.results import binding_to_cli_line
 from .solidbench.config import SolidBenchConfig
@@ -60,7 +64,40 @@ def build_arg_parser() -> argparse.ArgumentParser:
         default="void",
         help="identity provider: 'void' for anonymous, or a person index to log in as",
     )
-    parser.add_argument("--lenient", action="store_true", help="ignore fetch/parse errors")
+    parser.add_argument(
+        "--lenient",
+        action="store_true",
+        default=True,
+        help="ignore fetch/parse errors (the default; see --strict)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_false",
+        dest="lenient",
+        help="raise on fetch/parse errors instead of skipping documents",
+    )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="inject transient 503 faults on fraction P of URLs (deterministic)",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=42, help="seed for the injected fault plan"
+    )
+    parser.add_argument(
+        "--no-retry",
+        action="store_true",
+        help="disable retries/backoff/circuit breaking (the pre-resilience client)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-request timeout in seconds (default from NetworkPolicy)",
+    )
     parser.add_argument("--waterfall", action="store_true", help="print the resource waterfall")
     parser.add_argument("--stats", action="store_true", help="print execution statistics")
     parser.add_argument(
@@ -112,9 +149,23 @@ def main(argv: Optional[list[str]] = None) -> int:
 
     latency = NoLatency() if args.no_latency else SeededJitterLatency(seed=args.bench_seed)
     client = universe.client(latency=latency)
+
+    if args.fault_rate > 0:
+        client.internet.install_fault_plan(
+            FaultPlan.transient(rate=args.fault_rate, seed=args.fault_seed)
+        )
+        print(
+            f"# fault injection: transient 503s on {args.fault_rate:.0%} of URLs "
+            f"(seed {args.fault_seed})",
+            file=sys.stderr,
+        )
+
+    network = NetworkPolicy.no_retry() if args.no_retry else NetworkPolicy()
+    if args.timeout is not None:
+        network.request_timeout = args.timeout
     engine = LinkTraversalEngine(
         client,
-        config=EngineConfig(lenient=True if args.lenient else True),
+        config=EngineConfig(network=network, lenient=args.lenient),
         auth_headers=auth_headers,
     )
 
@@ -135,7 +186,7 @@ def main(argv: Optional[list[str]] = None) -> int:
             results_to_tsv,
         )
 
-        execution = engine.execute_sync(query, seeds=seeds or None)
+        execution = engine.query(query, seeds=seeds or None).run_sync()
         bindings = execution.bindings
         if args.limit:
             bindings = bindings[: args.limit]
@@ -151,13 +202,16 @@ def main(argv: Optional[list[str]] = None) -> int:
             print(render_waterfall(build_waterfall(client.log)), file=sys.stderr)
         return 0
 
+    execution = engine.query(query, seeds=seeds or None)
+
     async def run() -> int:
         count = 0
         start = time.monotonic()
-        async for binding in engine.stream(query, seeds=seeds or None):
+        async for binding in execution:
             print(binding_to_cli_line(binding, variables), flush=True)
             count += 1
             if args.limit and count >= args.limit:
+                await execution.cancel()
                 break
         elapsed = time.monotonic() - start
         print(f"# {count} results in {elapsed:.2f}s", file=sys.stderr)
@@ -171,9 +225,12 @@ def main(argv: Optional[list[str]] = None) -> int:
         log = client.log
         print(
             f"# requests={len(log)} bytes={log.total_bytes()} "
-            f"depth={log.max_depth()} parallelism={log.max_parallelism()}",
+            f"depth={log.max_depth()} parallelism={log.max_parallelism()} "
+            f"retries={log.retry_count()}",
             file=sys.stderr,
         )
+        completeness = execution.stats.completeness()
+        print(f"# completeness: {json.dumps(completeness)}", file=sys.stderr)
     return 0
 
 

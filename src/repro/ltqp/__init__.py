@@ -8,8 +8,15 @@ the architecture of the paper's Fig. 1.
 """
 
 from .adaptive import AdaptivePipeline, observed_cardinality
-from .dereference import DereferenceResult, Dereferencer
-from .engine import EngineConfig, ExecutionResult, LinkTraversalEngine
+from .dereference import DereferenceError, DereferenceResult, Dereferencer
+from .engine import (
+    EngineConfig,
+    ExecutionResult,
+    LinkTraversalEngine,
+    QueryExecution,
+    TraversalPolicy,
+)
+from ..net.resilience import NetworkPolicy
 from .explain import explain_algebra, explain_plan
 from .extractors import (
     AllIriExtractor,
@@ -32,6 +39,9 @@ from .stats import ExecutionStats, TimedResult
 __all__ = [
     "LinkTraversalEngine",
     "EngineConfig",
+    "TraversalPolicy",
+    "NetworkPolicy",
+    "QueryExecution",
     "ExecutionResult",
     "ExecutionStats",
     "TimedResult",
@@ -44,6 +54,7 @@ __all__ = [
     "GrowingTripleSource",
     "Dereferencer",
     "DereferenceResult",
+    "DereferenceError",
     "LinkExtractor",
     "AllIriExtractor",
     "MatchIriExtractor",

@@ -3,22 +3,39 @@
 Fetches a document over the (simulated) Web, negotiates an RDF
 serialization, and parses it with the document URL as base IRI.  In
 lenient mode — the paper's CLI runs ``--lenient`` against the open Web —
-HTTP errors and parse failures yield an empty result recorded as a
-warning instead of aborting the query.
+*every* failure class follows the same contract: HTTP errors, redirect
+anomalies (loops, missing or malformed ``Location`` headers), invalid
+URLs, unsupported content types, and parse failures all yield an empty
+:class:`DereferenceResult` carrying the error text; with
+``lenient=False`` they all raise :class:`DereferenceError` instead.
+
+Failures are additionally classified as *retryable* (transient transport
+or server trouble — worth re-queueing through the link queue) or
+permanent (the document simply is not there / is not RDF).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Optional
+from urllib.parse import urljoin
 
 from ..net.client import HttpClient
 from ..net.message import Response
+from ..net.resilience import PERMANENT_ERROR_MARKERS, RETRYABLE_STATUSES
 from ..rdf.ntriples import NTriplesParseError, parse_ntriples
 from ..rdf.triples import Triple
 from ..rdf.turtle import TurtleParseError, parse_turtle
 
-__all__ = ["DereferenceResult", "Dereferencer"]
+__all__ = ["DereferenceError", "DereferenceResult", "Dereferencer"]
+
+
+class DereferenceError(RuntimeError):
+    """Raised in strict (non-lenient) mode when dereferencing fails."""
+
+    def __init__(self, url: str, message: str) -> None:
+        super().__init__(f"dereference failed for {url}: {message}")
+        self.url = url
 
 
 @dataclass(slots=True)
@@ -29,6 +46,8 @@ class DereferenceResult:
     status: int
     triples: list[Triple] = field(default_factory=list)
     error: str = ""
+    #: Transient failure — retrying (or re-queueing the link) may succeed.
+    retryable: bool = False
 
     @property
     def ok(self) -> bool:
@@ -36,7 +55,7 @@ class DereferenceResult:
 
 
 class Dereferencer:
-    """Fetch-and-parse with lenient error handling."""
+    """Fetch-and-parse with a uniform lenient-error contract."""
 
     def __init__(
         self,
@@ -62,23 +81,36 @@ class Dereferencer:
         the container, whose members then resolve correctly."""
         clean_url = url.split("#", 1)[0]
         for _ in range(self._max_redirects + 1):
-            response = await self._client.fetch(
-                clean_url, headers=self._extra_headers, parent_url=parent_url
-            )
+            try:
+                response = await self._client.fetch(
+                    clean_url, headers=self._extra_headers, parent_url=parent_url
+                )
+            except ValueError as error:
+                # An unsupported scheme or malformed URL is the same class
+                # of lenient failure as a redirect loop — not a crash.
+                return self._failure(clean_url, 0, f"invalid URL: {error}")
             if response.status in (301, 302, 303, 307, 308):
                 location = response.header("location")
                 if not location:
                     return self._failure(clean_url, response.status, "redirect without location")
                 parent_url = clean_url
-                clean_url = location.split("#", 1)[0]
+                # Relative Location headers are legal (RFC 7231 §7.1.2).
+                clean_url = urljoin(clean_url, location).split("#", 1)[0]
                 continue
             break
         else:
             return self._failure(clean_url, 0, "too many redirects")
         if response.status == 0:
-            return self._failure(clean_url, 0, "connection failed")
+            return self._failure(
+                clean_url, 0, "connection failed", retryable=_response_retryable(response)
+            )
         if not response.ok:
-            return self._failure(clean_url, response.status, f"HTTP {response.status}")
+            return self._failure(
+                clean_url,
+                response.status,
+                f"HTTP {response.status}",
+                retryable=_response_retryable(response),
+            )
         return self._parse(clean_url, response)
 
     def _parse(self, url: str, response: Response) -> DereferenceResult:
@@ -108,7 +140,15 @@ class Dereferencer:
             return self._failure(url, response.status, f"parse error: {error}")
         return DereferenceResult(url=url, status=response.status, triples=triples)
 
-    def _failure(self, url: str, status: int, message: str) -> DereferenceResult:
+    def _failure(
+        self, url: str, status: int, message: str, retryable: bool = False
+    ) -> DereferenceResult:
         if not self._lenient:
-            raise RuntimeError(f"dereference failed for {url}: {message}")
-        return DereferenceResult(url=url, status=status, error=message)
+            raise DereferenceError(url, message)
+        return DereferenceResult(url=url, status=status, error=message, retryable=retryable)
+
+
+def _response_retryable(response: Response) -> bool:
+    if response.status not in RETRYABLE_STATUSES:
+        return False
+    return response.header("x-error") not in PERMANENT_ERROR_MARKERS

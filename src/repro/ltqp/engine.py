@@ -9,25 +9,38 @@ results to the caller while traversal is still running.
 Usage::
 
     engine = LinkTraversalEngine(client)
-    execution = await engine.execute(query_text)            # gather all
-    async for binding in engine.stream(query_text):          # or stream
+    execution = engine.query(query_text)            # a QueryExecution handle
+    async for binding in execution:                  # stream results, or
         ...
+    await execution.gather()                         # run to completion
+    execution.stats.summary()                        # live statistics
+
+    engine.query(query_text).run_sync()              # blocking convenience
 
 Seed URLs come from the caller or, following the demo UI's fallback, from
 the IRIs mentioned in the query itself.  Monotonic queries stream through
 the incremental pipeline; non-monotonic ones (OPTIONAL, ORDER BY, …) are
 evaluated over the final snapshot at traversal quiescence — matching the
 paper's "pipelined implementations of all *monotonic* SPARQL operators".
+
+Configuration is split by layer: :class:`TraversalPolicy` bounds the
+crawl (depth, documents, duration, results), while
+:class:`~repro.net.resilience.NetworkPolicy` governs fault handling
+(timeouts, retries, circuit breakers).  :class:`EngineConfig` nests both
+and keeps accepting the historical flat keyword arguments.
 """
 
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import AsyncIterator, Iterable, Optional, Union as TypingUnion
 
 from ..net.client import HttpClient
+from ..net.resilience import NetworkPolicy
 from ..rdf.terms import NamedNode
 from ..rdf.triples import Triple
 from ..sparql.algebra import Query
@@ -46,12 +59,19 @@ from .pipeline import NotStreamable, Pipeline, compile_pipeline
 from .source import GrowingTripleSource
 from .stats import ExecutionStats, TimedResult
 
-__all__ = ["EngineConfig", "ExecutionResult", "LinkTraversalEngine"]
+__all__ = [
+    "TraversalPolicy",
+    "NetworkPolicy",
+    "EngineConfig",
+    "ExecutionResult",
+    "QueryExecution",
+    "LinkTraversalEngine",
+]
 
 
 @dataclass(slots=True)
-class EngineConfig:
-    """Tunables for one engine instance.
+class TraversalPolicy:
+    """Bounds and behaviour of the traversal itself.
 
     ``worker_count`` parallel dereferencers (the browser demo fetches with
     ~6-way parallelism per origin; the client enforces the per-origin cap,
@@ -80,6 +100,68 @@ class EngineConfig:
     advance_flush_interval: float = 0.02
 
 
+_TRAVERSAL_FIELDS = frozenset(f.name for f in dataclasses.fields(TraversalPolicy))
+_NETWORK_FIELDS = frozenset(f.name for f in dataclasses.fields(NetworkPolicy))
+
+
+class EngineConfig:
+    """Tunables for one engine instance, split into two nested policies.
+
+    ``traversal`` (a :class:`TraversalPolicy`) bounds the crawl;
+    ``network`` (a :class:`~repro.net.resilience.NetworkPolicy`) governs
+    timeouts, retries, and circuit breaking.  For backwards compatibility
+    every field of either policy is also accepted as a flat keyword
+    argument and readable/writable as a flat attribute::
+
+        EngineConfig(max_depth=2, request_timeout=1.0)
+        EngineConfig(traversal=TraversalPolicy(max_depth=2))
+        config.worker_count          # reads config.traversal.worker_count
+    """
+
+    __slots__ = ("network", "traversal")
+
+    def __init__(
+        self,
+        network: Optional[NetworkPolicy] = None,
+        traversal: Optional[TraversalPolicy] = None,
+        **flat,
+    ) -> None:
+        object.__setattr__(self, "network", network if network is not None else NetworkPolicy())
+        object.__setattr__(
+            self, "traversal", traversal if traversal is not None else TraversalPolicy()
+        )
+        for name, value in flat.items():
+            if name not in _TRAVERSAL_FIELDS and name not in _NETWORK_FIELDS:
+                raise TypeError(f"EngineConfig got an unknown knob {name!r}")
+            setattr(self, name, value)
+
+    def __getattr__(self, name: str):
+        # Only reached when normal lookup fails — i.e. for flat names.
+        if name in _TRAVERSAL_FIELDS:
+            return getattr(object.__getattribute__(self, "traversal"), name)
+        if name in _NETWORK_FIELDS:
+            return getattr(object.__getattribute__(self, "network"), name)
+        raise AttributeError(f"EngineConfig has no knob {name!r}")
+
+    def __setattr__(self, name: str, value) -> None:
+        if name in ("network", "traversal"):
+            object.__setattr__(self, name, value)
+        elif name in _TRAVERSAL_FIELDS:
+            setattr(self.traversal, name, value)
+        elif name in _NETWORK_FIELDS:
+            setattr(self.network, name, value)
+        else:
+            raise AttributeError(f"EngineConfig has no knob {name!r}")
+
+    def __repr__(self) -> str:
+        return f"EngineConfig(traversal={self.traversal!r}, network={self.network!r})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, EngineConfig):
+            return NotImplemented
+        return self.traversal == other.traversal and self.network == other.network
+
+
 @dataclass(slots=True)
 class ExecutionResult:
     """Everything one query execution produced."""
@@ -95,6 +177,100 @@ class ExecutionResult:
 
     def __len__(self) -> int:
         return len(self.results)
+
+
+class QueryExecution:
+    """Handle for one query execution — the unified entry point.
+
+    Created by :meth:`LinkTraversalEngine.query`; nothing runs until the
+    handle is driven.  Supports four consumption styles::
+
+        async for binding in execution: ...     # stream
+        await execution.gather()                # run to completion
+        execution.run_sync()                    # blocking gather
+        await execution.cancel()                # stop traversal, keep stats
+
+    ``stats``/``results``/``bindings`` are live views — they update while
+    the execution streams and are final once ``done`` is true.
+    """
+
+    def __init__(
+        self, engine: "LinkTraversalEngine", query: Query, seeds: Optional[Iterable[str]]
+    ) -> None:
+        self._result = ExecutionResult(query=query)
+        self._generator = engine._run(self._result, seeds)
+        self._finished = False
+        self._cancelled = False
+
+    # -- live views ----------------------------------------------------
+
+    @property
+    def query(self) -> Query:
+        return self._result.query
+
+    @property
+    def result(self) -> ExecutionResult:
+        """The underlying :class:`ExecutionResult` container."""
+        return self._result
+
+    @property
+    def stats(self) -> ExecutionStats:
+        return self._result.stats
+
+    @property
+    def results(self) -> list[TimedResult]:
+        return self._result.results
+
+    @property
+    def bindings(self) -> list[Binding]:
+        return self._result.bindings
+
+    @property
+    def seeds(self) -> list[str]:
+        return self._result.seeds
+
+    @property
+    def done(self) -> bool:
+        return self._finished
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def __len__(self) -> int:
+        return len(self._result)
+
+    # -- consumption ---------------------------------------------------
+
+    def __aiter__(self) -> "QueryExecution":
+        return self
+
+    async def __anext__(self) -> Binding:
+        if self._finished:
+            raise StopAsyncIteration
+        try:
+            return await self._generator.__anext__()
+        except StopAsyncIteration:
+            self._finished = True
+            raise
+
+    async def gather(self) -> "QueryExecution":
+        """Drain the execution to completion; returns this handle."""
+        async for _ in self:
+            pass
+        return self
+
+    async def cancel(self) -> "QueryExecution":
+        """Stop traversal and finalize statistics for what was produced."""
+        if not self._finished:
+            self._cancelled = True
+            self._finished = True
+            await self._generator.aclose()
+        return self
+
+    def run_sync(self) -> "QueryExecution":
+        """Blocking convenience: run the execution on a fresh event loop."""
+        return asyncio.run(self.gather())
 
 
 class LinkTraversalEngine:
@@ -113,10 +289,18 @@ class LinkTraversalEngine:
         self._config = config if config is not None else EngineConfig()
         self._queue_factory = queue_factory
         self._auth_headers = dict(auth_headers or {})
+        # The engine's network policy governs its client, unless the
+        # caller constructed the client with an explicit policy of its own.
+        if not client.has_explicit_policy:
+            client.apply_policy(self._config.network)
 
     @property
     def client(self) -> HttpClient:
         return self._client
+
+    @property
+    def config(self) -> EngineConfig:
+        return self._config
 
     @property
     def extractors(self) -> list[LinkExtractor]:
@@ -126,34 +310,62 @@ class LinkTraversalEngine:
     # public API
     # ------------------------------------------------------------------
 
+    def query(
+        self,
+        query: TypingUnion[str, Query],
+        seeds: Optional[Iterable[str]] = None,
+    ) -> QueryExecution:
+        """Begin a query execution and return its :class:`QueryExecution`.
+
+        The single entry point replacing ``execute``/``stream``/
+        ``execute_sync``: iterate the handle to stream, ``await
+        .gather()`` (or ``.run_sync()``) to collect everything, ``await
+        .cancel()`` to stop early — ``.stats`` is live throughout.
+        """
+        return QueryExecution(self, self._parse(query), seeds)
+
+    # -- deprecated entry points (kept as thin wrappers) ----------------
+
     async def execute(
         self,
         query: TypingUnion[str, Query],
         seeds: Optional[Iterable[str]] = None,
     ) -> ExecutionResult:
-        """Run a query to completion, collecting all (timed) results."""
-        execution = ExecutionResult(query=self._parse(query))
-        async for _ in self._run(execution, seeds):
-            pass
-        return execution
+        """Deprecated: use ``await engine.query(...).gather()``."""
+        warnings.warn(
+            "LinkTraversalEngine.execute() is deprecated; use engine.query(...).gather()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        execution = self.query(query, seeds=seeds)
+        await execution.gather()
+        return execution.result
 
-    async def stream(
+    def stream(
         self,
         query: TypingUnion[str, Query],
         seeds: Optional[Iterable[str]] = None,
     ) -> AsyncIterator[Binding]:
-        """Stream results as the engine produces them."""
-        execution = ExecutionResult(query=self._parse(query))
-        async for binding in self._run(execution, seeds):
-            yield binding
+        """Deprecated: use ``async for binding in engine.query(...)``."""
+        warnings.warn(
+            "LinkTraversalEngine.stream() is deprecated; iterate engine.query(...) directly",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.query(query, seeds=seeds)
 
     def execute_sync(
         self,
         query: TypingUnion[str, Query],
         seeds: Optional[Iterable[str]] = None,
     ) -> ExecutionResult:
-        """Blocking convenience wrapper around :meth:`execute`."""
-        return asyncio.run(self.execute(query, seeds))
+        """Deprecated: use ``engine.query(...).run_sync()``."""
+        warnings.warn(
+            "LinkTraversalEngine.execute_sync() is deprecated; use engine.query(...).run_sync()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.query(query, seeds=seeds).run_sync().result
 
     # ------------------------------------------------------------------
     # internals
@@ -192,6 +404,7 @@ class LinkTraversalEngine:
         execution.seeds = seed_list
         stats = execution.stats
         stats.started_at = time.monotonic()
+        resilience_before = self._client.resilience_snapshot()
 
         source = GrowingTripleSource()
         queue: LinkQueue = self._queue_factory()
@@ -286,6 +499,13 @@ class LinkTraversalEngine:
 
         def on_document(url: str, triples: list[Triple]) -> None:
             nonlocal pending_quads
+            # Hard document bound: concurrent workers may all pass the
+            # pre-fetch check, but only the first max_documents results
+            # are admitted into the source.
+            doc_limit = self._config.max_documents
+            if doc_limit and source.document_count >= doc_limit:
+                stop_traversal.set()
+                return
             added = source.add_document(url, triples)
             stats.triples_discovered += added
             if pipeline is None or not added:
@@ -309,6 +529,7 @@ class LinkTraversalEngine:
         if pipeline is not None and batch_quads > 1 and self._config.advance_flush_interval > 0:
             timer = asyncio.create_task(flush_timer())
 
+        drain: Optional[asyncio.Task] = None
         try:
             while True:
                 drain = asyncio.create_task(result_queue.get())
@@ -337,6 +558,8 @@ class LinkTraversalEngine:
                 if binding is not None:
                     yield binding
         finally:
+            if drain is not None and not drain.done():
+                drain.cancel()
             if timer is not None and not timer.done():
                 timer.cancel()
                 try:
@@ -355,6 +578,22 @@ class LinkTraversalEngine:
             stats.queue_samples = queue.samples
             stats.links_queued = queue.pushed_total
             stats.replans = getattr(pipeline, "replans", 0)
+            self._finalize_resilience(stats, resilience_before)
+
+    def _finalize_resilience(self, stats: ExecutionStats, before: dict) -> None:
+        """Fold the client's resilience counter deltas into the stats."""
+        after = self._client.resilience_snapshot()
+        stats.http_retries = after["retries"] - before["retries"]
+        stats.http_timeouts = after["timeouts"] - before["timeouts"]
+        stats.breaker_fast_fails = (
+            after["breaker_fast_fails"] - before["breaker_fast_fails"]
+        )
+        trips_before = before["trips_by_origin"]
+        stats.origins_tripped = {
+            origin: trips - trips_before.get(origin, 0)
+            for origin, trips in after["trips_by_origin"].items()
+            if trips > trips_before.get(origin, 0)
+        }
 
     def _evaluate_snapshot(self, execution, source, context, emit) -> None:
         """Endgame evaluation for non-monotonic queries."""
@@ -454,6 +693,23 @@ class LinkTraversalEngine:
         result = await dereferencer.dereference(link.url, parent_url=link.parent_url)
         if not result.ok:
             stats.documents_failed += 1
+            if result.retryable:
+                # Transient trouble that survived client-level retries
+                # (e.g. a tripped breaker): give the link another pass
+                # through the queue instead of discarding the document.
+                if link.attempts < self._config.network.max_link_requeues:
+                    queue.requeue(
+                        Link(
+                            url=link.url,
+                            parent_url=link.parent_url,
+                            depth=link.depth,
+                            via=link.via,
+                            attempts=link.attempts + 1,
+                        )
+                    )
+                    stats.documents_retried += 1
+                else:
+                    stats.documents_abandoned += 1
             return
         on_document(result.url, result.triples)
         stats.documents_fetched += 1

@@ -22,13 +22,15 @@ class Link:
 
     ``parent_url`` is the document whose content produced this link (None
     for seeds), ``depth`` its distance from the seeds, ``via`` the name of
-    the extractor that found it.
+    the extractor that found it, ``attempts`` how many times it has been
+    re-queued after retryable dereference failures.
     """
 
     url: str
     parent_url: Optional[str] = None
     depth: int = 0
     via: str = "seed"
+    attempts: int = 0
 
     @property
     def is_seed(self) -> bool:
@@ -52,6 +54,7 @@ class LinkQueue:
         self._seen: set[str] = set()
         self._pushed = 0
         self._popped = 0
+        self._requeued = 0
         self._samples: list[QueueSample] = []
 
     # -- subclass interface ---------------------------------------------------
@@ -73,8 +76,24 @@ class LinkQueue:
         if url in self._seen:
             return False
         self._seen.add(url)
-        self._push_impl(Link(url, link.parent_url, link.depth, link.via))
+        self._push_impl(Link(url, link.parent_url, link.depth, link.via, link.attempts))
         self._pushed += 1
+        self._sample()
+        return True
+
+    def requeue(self, link: Link) -> bool:
+        """Re-admit an already-seen URL for another dereference attempt.
+
+        Bypasses deduplication — the fault-tolerant engine uses this to
+        give retryable failures (e.g. a tripped circuit breaker) another
+        chance once the queue cycles back around, instead of silently
+        discarding the document.  Requeues are counted separately from
+        first-time pushes so link statistics stay comparable.
+        """
+        url = _strip_fragment(link.url)
+        self._seen.add(url)
+        self._push_impl(Link(url, link.parent_url, link.depth, link.via, link.attempts))
+        self._requeued += 1
         self._sample()
         return True
 
@@ -99,6 +118,10 @@ class LinkQueue:
     @property
     def popped_total(self) -> int:
         return self._popped
+
+    @property
+    def requeued_total(self) -> int:
+        return self._requeued
 
     @property
     def samples(self) -> list[QueueSample]:

@@ -6,6 +6,14 @@ The paper's headline quantitative claims live here:
 * "non-complex queries can be completed in the order of seconds" → :attr:`total_time`
 * optimizing "the number of links that need to be followed" → :attr:`documents_fetched`, :attr:`links_queued`
 * link-queue evolution [34] → :attr:`queue_samples`
+
+Since lenient execution silently tolerates network faults, the stats also
+carry a **completeness report** (:meth:`ExecutionStats.completeness`):
+how many documents were attempted, retried, and finally abandoned, which
+origins tripped their circuit breakers, and an estimate of how many links
+the abandoned documents would have contributed — so "the query returned
+N results" can always be qualified with "and here is what it may have
+missed".
 """
 
 from __future__ import annotations
@@ -43,6 +51,20 @@ class ExecutionStats:
     streaming: bool = True
     replans: int = 0
 
+    # -- degradation accounting (lenient mode under faults) ----------------
+    #: Links re-queued after a retryable dereference failure.
+    documents_retried: int = 0
+    #: Retryable failures given up on for good (retries + re-queues spent).
+    documents_abandoned: int = 0
+    #: Client-level HTTP retry attempts during this execution.
+    http_retries: int = 0
+    #: Attempts that hit the per-request timeout.
+    http_timeouts: int = 0
+    #: Requests fast-failed because the origin's circuit breaker was open.
+    breaker_fast_fails: int = 0
+    #: Origin → number of closed→open breaker transitions in this run.
+    origins_tripped: dict[str, int] = field(default_factory=dict)
+
     @property
     def total_time(self) -> float:
         return self.finished_at - self.started_at
@@ -52,6 +74,41 @@ class ExecutionStats:
         if self.first_result_at is None:
             return None
         return self.first_result_at - self.started_at
+
+    @property
+    def documents_attempted(self) -> int:
+        """Distinct documents traversal tried to obtain (fetched or lost)."""
+        return self.documents_fetched + self.documents_abandoned
+
+    def estimated_missing_links(self) -> int:
+        """How many links the abandoned documents likely held.
+
+        Abandoned documents were never parsed, so their out-links are
+        unknown; estimate with the mean out-degree of the documents that
+        *were* fetched.  Zero when nothing was abandoned.
+        """
+        if not self.documents_abandoned:
+            return 0
+        seeds = self.links_by_extractor.get("seed", 0)
+        discovered = max(0, self.links_queued - seeds)
+        if not self.documents_fetched:
+            return self.documents_abandoned
+        return round(self.documents_abandoned * discovered / self.documents_fetched)
+
+    def completeness(self) -> dict:
+        """The degradation report: what lenient execution may have lost."""
+        return {
+            "complete": self.documents_abandoned == 0,
+            "documents_attempted": self.documents_attempted,
+            "documents_fetched": self.documents_fetched,
+            "documents_retried": self.documents_retried,
+            "documents_abandoned": self.documents_abandoned,
+            "http_retries": self.http_retries,
+            "http_timeouts": self.http_timeouts,
+            "breaker_fast_fails": self.breaker_fast_fails,
+            "origins_tripped": dict(sorted(self.origins_tripped.items())),
+            "estimated_missing_links": self.estimated_missing_links(),
+        }
 
     def summary(self) -> dict:
         """A JSON-friendly digest (used by the bench harness)."""
@@ -70,4 +127,5 @@ class ExecutionStats:
             "links_by_extractor": dict(sorted(self.links_by_extractor.items())),
             "streaming": self.streaming,
             "replans": self.replans,
+            "completeness": self.completeness(),
         }

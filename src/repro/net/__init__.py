@@ -8,10 +8,26 @@ sockets via :class:`RealHttpServer` for end-to-end integration tests.
 
 from .cache import CacheEntry, HttpCache
 from .client import FetchError, HttpClient
-from .latency import ConstantLatency, LatencyModel, NoLatency, SeededJitterLatency
+from .faults import FAULT_KINDS, FaultPlan, FaultRule
+from .latency import (
+    ConstantLatency,
+    LatencyModel,
+    NoLatency,
+    SeededJitterLatency,
+    seeded_uniform,
+)
 from .log import RequestLog, RequestRecord
 from .message import Request, Response, split_url
 from .realserver import RealHttpServer
+from .resilience import (
+    RETRYABLE_STATUSES,
+    BreakerPolicy,
+    BreakerRegistry,
+    CircuitBreaker,
+    NetworkPolicy,
+    ResilienceStats,
+    RetryPolicy,
+)
 from .router import App, FunctionApp, Internet, StaticApp
 
 __all__ = [
@@ -32,5 +48,16 @@ __all__ = [
     "NoLatency",
     "ConstantLatency",
     "SeededJitterLatency",
+    "seeded_uniform",
     "RealHttpServer",
+    "FaultPlan",
+    "FaultRule",
+    "FAULT_KINDS",
+    "NetworkPolicy",
+    "RetryPolicy",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "BreakerRegistry",
+    "ResilienceStats",
+    "RETRYABLE_STATUSES",
 ]

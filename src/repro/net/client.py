@@ -6,6 +6,13 @@ waterfalls: a browser-like per-origin concurrency cap, simulated latency
 provenance (see :mod:`repro.net.log`).  Errors never raise by default —
 the LTQP engine runs ``--lenient`` against the open Web, so failures are
 represented as status-0 responses the caller can skip.
+
+On top of that sits the resilience layer (see :mod:`repro.net.resilience`):
+per-attempt timeouts, retries with seeded exponential backoff,
+``Retry-After`` honouring, and a per-origin circuit breaker — all
+governed by the :class:`~repro.net.resilience.NetworkPolicy` passed in
+(or its defaults).  Every attempt is logged individually, so waterfalls
+show retries as separate bars.
 """
 
 from __future__ import annotations
@@ -18,6 +25,13 @@ from .cache import HttpCache
 from .latency import LatencyModel, SeededJitterLatency
 from .log import RequestLog
 from .message import Request, Response, split_url
+from .resilience import (
+    BreakerRegistry,
+    NetworkPolicy,
+    PERMANENT_ERROR_MARKERS,
+    RETRYABLE_STATUSES,
+    ResilienceStats,
+)
 from .router import Internet
 
 __all__ = ["HttpClient", "FetchError"]
@@ -31,8 +45,43 @@ class FetchError(RuntimeError):
         self.url = url
 
 
+def _error_text(response: Response) -> str:
+    if response.status != 0:
+        return ""
+    marker = response.header("x-error")
+    if marker == "unknown-origin":
+        return "connection failed (unknown origin)"
+    if marker == "timeout":
+        return "request timed out"
+    if marker == "circuit-open":
+        return "circuit breaker open"
+    if response.header("x-fault"):
+        return f"connection failed (injected {response.header('x-fault')})"
+    return "connection failed"
+
+
+def _is_retryable(response: Response) -> bool:
+    """Transient failure worth another attempt?  Transport drops, request
+    timeouts, throttling, and 5xx are; NXDOMAIN and client errors are not."""
+    if response.status not in RETRYABLE_STATUSES:
+        return False
+    return response.header("x-error") not in PERMANENT_ERROR_MARKERS
+
+
+def _is_breaker_failure(response: Response) -> bool:
+    """Does this response count against the origin's circuit breaker?
+
+    Only origin-health signals do: transport drops, timeouts, 408/429,
+    and 5xx.  A 404/403 is a *healthy* origin answering correctly, and an
+    unknown origin has no server whose health is worth tracking.
+    """
+    if response.status == 0:
+        return response.header("x-error") not in PERMANENT_ERROR_MARKERS
+    return response.status in (408, 429) or response.status >= 500
+
+
 class HttpClient:
-    """Asynchronous client with logging, latency, and connection limits."""
+    """Asynchronous client with logging, latency, limits, and retries."""
 
     def __init__(
         self,
@@ -43,6 +92,7 @@ class HttpClient:
         log: Optional[RequestLog] = None,
         default_headers: Optional[dict[str, str]] = None,
         cache: Optional[HttpCache] = None,
+        policy: Optional[NetworkPolicy] = None,
     ) -> None:
         self._internet = internet
         self._latency = latency if latency is not None else SeededJitterLatency()
@@ -52,6 +102,10 @@ class HttpClient:
         self._log = log if log is not None else RequestLog()
         self._default_headers = dict(default_headers or {})
         self._cache = cache
+        self._explicit_policy = policy is not None
+        self._policy = policy if policy is not None else NetworkPolicy()
+        self._breakers = BreakerRegistry(self._policy.breaker)
+        self._resilience = ResilienceStats()
 
     @property
     def cache(self) -> Optional[HttpCache]:
@@ -64,6 +118,36 @@ class HttpClient:
     @property
     def internet(self) -> Internet:
         return self._internet
+
+    @property
+    def policy(self) -> NetworkPolicy:
+        return self._policy
+
+    @property
+    def has_explicit_policy(self) -> bool:
+        """Was this client constructed with its own :class:`NetworkPolicy`?
+
+        If not, an engine adopting the client installs its own policy."""
+        return self._explicit_policy
+
+    def apply_policy(self, policy: NetworkPolicy) -> None:
+        """Install ``policy``, resetting per-origin breakers to match."""
+        self._policy = policy
+        self._breakers = BreakerRegistry(policy.breaker)
+
+    @property
+    def resilience(self) -> ResilienceStats:
+        return self._resilience
+
+    @property
+    def breakers(self) -> BreakerRegistry:
+        return self._breakers
+
+    def resilience_snapshot(self) -> dict:
+        """Counters + per-origin breaker trips, for per-execution deltas."""
+        snapshot = self._resilience.as_dict()
+        snapshot["trips_by_origin"] = self._breakers.trips_by_origin()
+        return snapshot
 
     def _semaphore_for(self, origin: str) -> asyncio.Semaphore:
         if origin not in self._semaphores:
@@ -83,7 +167,9 @@ class HttpClient:
         ``parent_url`` records which document's links led here (waterfall
         provenance).  In lenient mode (default) transport errors come back
         as status-0 responses; with ``strict=True`` they raise
-        :class:`FetchError`.
+        :class:`FetchError`.  Transient failures are retried according to
+        the client's :class:`~repro.net.resilience.NetworkPolicy`; each
+        attempt is logged separately.
         """
         origin, _, clean_url = split_url(url)
         request_headers = dict(self._default_headers)
@@ -114,17 +200,88 @@ class HttpClient:
 
         request = Request(method=method, url=clean_url, headers=request_headers)
 
-        semaphore = self._semaphore_for(origin)
-        async with semaphore:
-            started = time.monotonic()
-            try:
-                response = await self._internet.dispatch(request)
-            except Exception as error:  # a buggy app is a 500, not a crash
-                response = Response(500, {"content-type": "text/plain"}, str(error).encode())
-            delay = self._latency.latency_for(clean_url, len(response.body))
-            if delay > 0 and self._latency_scale > 0:
-                await asyncio.sleep(delay * self._latency_scale)
-            finished = time.monotonic()
+        retry = self._policy.retry
+        max_attempts = max(1, retry.max_attempts)
+        breaker = self._breakers.for_origin(origin)
+        attempt = 0
+        started = finished = time.monotonic()
+        # The breaker judges the *final* outcome of the last real attempt —
+        # a request that recovers via retries proves the origin is alive,
+        # so transient flakiness never trips it; only requests that stay
+        # failed after the retry loop (or with retries off) count.
+        last_real_response: Optional[Response] = None
+        while True:
+            attempt += 1
+            if not breaker.allow():
+                # Fast-fail: the origin tripped its breaker; don't queue
+                # behind it, and don't retry — the dereferencer may
+                # re-queue the link for after the recovery window.
+                self._resilience.breaker_fast_fails += 1
+                started = finished = time.monotonic()
+                response = Response(0, {"x-error": "circuit-open"}, b"")
+                break
+            self._resilience.attempts += 1
+            semaphore = self._semaphore_for(origin)
+            async with semaphore:
+                started = time.monotonic()
+                try:
+                    timeout = self._policy.request_timeout
+                    if timeout and timeout > 0:
+                        # asyncio.timeout (3.11+) instead of wait_for: it
+                        # adds no extra task or scheduling point, so an
+                        # in-process app that answers without awaiting
+                        # keeps the exact pre-timeout interleaving.
+                        async with asyncio.timeout(timeout):
+                            response = await self._internet.dispatch(request)
+                    else:
+                        response = await self._internet.dispatch(request)
+                except asyncio.TimeoutError:
+                    self._resilience.timeouts += 1
+                    response = Response(0, {"x-error": "timeout"}, b"")
+                except Exception as error:  # a buggy app is a 500, not a crash
+                    response = Response(500, {"content-type": "text/plain"}, str(error).encode())
+                delay = self._latency.latency_for(clean_url, len(response.body))
+                if delay > 0 and self._latency_scale > 0:
+                    await asyncio.sleep(delay * self._latency_scale)
+                finished = time.monotonic()
+            last_real_response = response
+
+            if not _is_retryable(response) or attempt >= max_attempts:
+                break
+            if retry.budget and self._resilience.retries >= retry.budget:
+                self._resilience.budget_exhausted += 1
+                break
+
+            # -- log the failed attempt, back off, go again ------------
+            self._log.record(
+                method=method,
+                url=clean_url,
+                status=response.status,
+                started_at=started,
+                finished_at=finished,
+                response_size=len(response.body),
+                parent_url=parent_url,
+                error=_error_text(response) or f"HTTP {response.status}",
+                attempt=attempt,
+            )
+            self._resilience.retries += 1
+            backoff = retry.backoff_delay(clean_url, attempt - 1)
+            retry_after = response.header("retry-after")
+            if retry.respect_retry_after and retry_after:
+                try:
+                    backoff = max(backoff, min(float(retry_after), retry.max_retry_after))
+                    self._resilience.retry_after_waits += 1
+                except ValueError:
+                    pass
+            if backoff > 0:
+                await asyncio.sleep(backoff * self._latency_scale)
+
+        if last_real_response is not None:
+            # Fast-failed requests (no real attempt) carry no health signal.
+            if _is_breaker_failure(last_real_response):
+                breaker.record_failure()
+            else:
+                breaker.record_success()
 
         served_from_cache = False
         if self._cache is not None and method == "GET":
@@ -138,9 +295,7 @@ class HttpClient:
                 self._cache.misses += 1
                 self._cache.store(clean_url, response)
 
-        error_text = ""
-        if response.status == 0:
-            error_text = "connection failed (unknown origin)"
+        error_text = _error_text(response)
         self._log.record(
             method=method,
             url=clean_url,
@@ -151,6 +306,7 @@ class HttpClient:
             parent_url=parent_url,
             error=error_text,
             from_cache=served_from_cache,
+            attempt=attempt,
         )
         if strict and (response.status == 0 or response.status >= 400):
             raise FetchError(clean_url, f"HTTP {response.status}" if response.status else error_text)

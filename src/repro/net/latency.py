@@ -15,7 +15,23 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-__all__ = ["LatencyModel", "ConstantLatency", "SeededJitterLatency", "NoLatency"]
+__all__ = [
+    "LatencyModel",
+    "ConstantLatency",
+    "SeededJitterLatency",
+    "NoLatency",
+    "seeded_uniform",
+]
+
+
+def seeded_uniform(seed: int, key: str, low: float, high: float) -> float:
+    """A uniform draw that is a pure function of ``(seed, key)``.
+
+    Shared by the latency model (per-URL RTT jitter) and the retry
+    policy's backoff jitter (per ``url/attempt``), so network timing and
+    retry timing replay identically run after run.
+    """
+    return random.Random(f"{seed}/{key}").uniform(low, high)
 
 
 class LatencyModel:
@@ -70,6 +86,5 @@ class SeededJitterLatency(LatencyModel):
         self._bandwidth = bytes_per_second
 
     def latency_for(self, url: str, response_size: int) -> float:
-        rng = random.Random(f"{self._seed}/{url}")
-        rtt = rng.uniform(self._min, self._max)
+        rtt = seeded_uniform(self._seed, url, self._min, self._max)
         return rtt + response_size / self._bandwidth

@@ -28,10 +28,16 @@ class RequestRecord:
     parent_url: Optional[str] = None
     error: str = ""
     from_cache: bool = False
+    #: Which attempt at this URL the record is (1 = first try, >1 = retry).
+    attempt: int = 1
 
     @property
     def duration(self) -> float:
         return self.finished_at - self.started_at
+
+    @property
+    def is_retry(self) -> bool:
+        return self.attempt > 1
 
     @property
     def ok(self) -> bool:
@@ -57,6 +63,7 @@ class RequestLog:
         parent_url: Optional[str] = None,
         error: str = "",
         from_cache: bool = False,
+        attempt: int = 1,
     ) -> RequestRecord:
         with self._lock:
             self._sequence += 1
@@ -71,6 +78,7 @@ class RequestLog:
                 parent_url=parent_url,
                 error=error,
                 from_cache=from_cache,
+                attempt=attempt,
             )
             self._records.append(entry)
             return entry
@@ -103,6 +111,10 @@ class RequestLog:
         for record in self.records:
             counts[record.status] = counts.get(record.status, 0) + 1
         return counts
+
+    def retry_count(self) -> int:
+        """How many records are retries (attempt > 1)."""
+        return sum(1 for r in self.records if r.attempt > 1)
 
     def origins(self) -> set[str]:
         from .message import split_url

@@ -1,0 +1,269 @@
+"""Client-side resilience: retry policies, backoff, circuit breakers.
+
+The paper's engine runs ``--lenient`` against the open Web, where flaky
+pods are the norm, not the exception.  This module holds the policy
+objects the :class:`~repro.net.client.HttpClient` consults to survive
+them:
+
+* :class:`RetryPolicy` — how many attempts a request gets, the
+  exponential-backoff schedule between them (with *seeded* jitter so
+  every run is reproducible), and a global retry budget;
+* :class:`BreakerPolicy` / :class:`CircuitBreaker` — the classic
+  closed → open → half-open state machine, one breaker per origin, so a
+  dead pod is fast-failed instead of hammered while healthy pods keep
+  being queried;
+* :class:`NetworkPolicy` — the umbrella dataclass the engine's
+  ``EngineConfig`` nests (timeouts, retry, breaker, link re-queue knobs);
+* :class:`ResilienceStats` — counters the completeness report in
+  :class:`~repro.ltqp.stats.ExecutionStats` is built from.
+
+Everything is deterministic: backoff jitter derives from
+``(seed, url, attempt)`` exactly like the latency model's per-URL jitter,
+so a seeded fault plan plus a seeded retry policy replays identically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .latency import seeded_uniform
+
+__all__ = [
+    "RETRYABLE_STATUSES",
+    "RetryPolicy",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "BreakerRegistry",
+    "NetworkPolicy",
+    "ResilienceStats",
+]
+
+#: HTTP statuses worth retrying: transport failure (0), request timeout,
+#: throttling, and server-side errors.  4xx client errors and 404s are
+#: permanent — retrying them would only re-ask a correct question.
+RETRYABLE_STATUSES = frozenset({0, 408, 429, 500, 502, 503, 504})
+
+#: ``x-error`` marker values that make a status-0 response *permanent*
+#: (an unresolvable host is NXDOMAIN, not a transient blip).
+PERMANENT_ERROR_MARKERS = frozenset({"unknown-origin"})
+
+
+@dataclass(slots=True)
+class RetryPolicy:
+    """Retry/backoff knobs for one client.
+
+    ``max_attempts`` counts the first try: ``1`` disables retries.  The
+    backoff before retry *i* (0-based) is
+    ``min(max_delay, base_delay * multiplier**i)`` scaled by a seeded
+    jitter factor in ``[1 - jitter, 1]`` — deterministic per
+    ``(seed, url, i)``.  ``budget`` caps total retries across a client's
+    lifetime so a widely-broken Web cannot stall traversal indefinitely
+    (``0`` disables the cap).
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    max_delay: float = 0.25
+    jitter: float = 0.5
+    seed: int = 42
+    respect_retry_after: bool = True
+    #: Cap honoured for a server-sent ``Retry-After`` (simulated seconds).
+    max_retry_after: float = 1.0
+    budget: int = 1024
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_attempts > 1
+
+    def backoff_delay(self, url: str, retry_index: int) -> float:
+        """Seconds to wait before retry ``retry_index`` of ``url``."""
+        raw = min(self.max_delay, self.base_delay * self.multiplier**retry_index)
+        if self.jitter <= 0:
+            return raw
+        factor = seeded_uniform(self.seed, f"backoff/{url}/{retry_index}", 1.0 - self.jitter, 1.0)
+        return raw * factor
+
+    def schedule(self, url: str) -> list[float]:
+        """The full deterministic backoff schedule for ``url``."""
+        return [self.backoff_delay(url, i) for i in range(max(0, self.max_attempts - 1))]
+
+    @classmethod
+    def disabled(cls) -> "RetryPolicy":
+        return cls(max_attempts=1)
+
+
+@dataclass(slots=True)
+class BreakerPolicy:
+    """Thresholds for the per-origin circuit breakers.
+
+    ``failure_threshold`` consecutive failures open the breaker;
+    ``recovery_seconds`` later it half-opens and admits
+    ``half_open_probes`` trial requests — one success recloses it, one
+    failure re-opens it.  ``failure_threshold <= 0`` disables breaking.
+    """
+
+    failure_threshold: int = 5
+    recovery_seconds: float = 0.25
+    half_open_probes: int = 1
+
+    @property
+    def enabled(self) -> bool:
+        return self.failure_threshold > 0
+
+
+class CircuitBreaker:
+    """Closed → open → half-open state machine guarding one origin."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        policy: Optional[BreakerPolicy] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._policy = policy if policy is not None else BreakerPolicy()
+        self._clock = clock
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self.trips = 0  # closed→open transitions
+
+    @property
+    def state(self) -> str:
+        self._maybe_half_open()
+        return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self._policy.recovery_seconds
+        ):
+            self._state = self.HALF_OPEN
+            self._probes_in_flight = 0
+
+    def allow(self) -> bool:
+        """May a request be sent to this origin right now?
+
+        In half-open state each ``allow`` admits a probe; callers must
+        report its outcome via ``record_success``/``record_failure``.
+        """
+        if not self._policy.enabled:
+            return True
+        self._maybe_half_open()
+        if self._state == self.CLOSED:
+            return True
+        if self._state == self.HALF_OPEN:
+            if self._probes_in_flight < self._policy.half_open_probes:
+                self._probes_in_flight += 1
+                return True
+            return False
+        return False
+
+    def record_success(self) -> None:
+        if self._state == self.HALF_OPEN:
+            self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._probes_in_flight = 0
+
+    def record_failure(self) -> None:
+        if not self._policy.enabled:
+            return
+        if self._state == self.HALF_OPEN:
+            self._trip()
+            return
+        self._consecutive_failures += 1
+        if self._state == self.CLOSED and self._consecutive_failures >= self._policy.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = self.OPEN
+        self._opened_at = self._clock()
+        self._consecutive_failures = 0
+        self._probes_in_flight = 0
+        self.trips += 1
+
+
+class BreakerRegistry:
+    """One :class:`CircuitBreaker` per origin, created on demand."""
+
+    def __init__(
+        self,
+        policy: Optional[BreakerPolicy] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._policy = policy if policy is not None else BreakerPolicy()
+        self._clock = clock
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def for_origin(self, origin: str) -> CircuitBreaker:
+        breaker = self._breakers.get(origin)
+        if breaker is None:
+            breaker = self._breakers[origin] = CircuitBreaker(self._policy, clock=self._clock)
+        return breaker
+
+    def trips_by_origin(self) -> dict[str, int]:
+        return {origin: b.trips for origin, b in self._breakers.items() if b.trips}
+
+    @property
+    def trips_total(self) -> int:
+        return sum(b.trips for b in self._breakers.values())
+
+
+@dataclass(slots=True)
+class NetworkPolicy:
+    """Everything the network layer needs to know about fault handling.
+
+    Nested inside :class:`~repro.ltqp.engine.EngineConfig` (the
+    traversal-side counterpart is ``TraversalPolicy``), and consumed
+    directly by :class:`~repro.net.client.HttpClient`.
+    """
+
+    #: Per-attempt timeout in simulated seconds (0 disables).
+    request_timeout: float = 5.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker: BreakerPolicy = field(default_factory=BreakerPolicy)
+    #: How many times the *dereferencer* may re-queue a link whose fetch
+    #: failed retryably even after client-level retries (e.g. a tripped
+    #: breaker that later recovers).
+    max_link_requeues: int = 2
+
+    @classmethod
+    def no_retry(cls) -> "NetworkPolicy":
+        """Retries, breaking, and re-queueing all off — the old behaviour."""
+        return cls(
+            retry=RetryPolicy.disabled(),
+            breaker=BreakerPolicy(failure_threshold=0),
+            max_link_requeues=0,
+        )
+
+
+@dataclass(slots=True)
+class ResilienceStats:
+    """Counters the client maintains across its lifetime.
+
+    The engine snapshots these per execution to build the completeness
+    report (see ``ExecutionStats.completeness``).
+    """
+
+    attempts: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    retry_after_waits: int = 0
+    breaker_fast_fails: int = 0
+    budget_exhausted: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "retry_after_waits": self.retry_after_waits,
+            "breaker_fast_fails": self.breaker_fast_fails,
+            "budget_exhausted": self.budget_exhausted,
+        }

@@ -12,6 +12,7 @@ from __future__ import annotations
 import inspect
 from typing import Awaitable, Callable, Optional, Union
 
+from .faults import FaultPlan
 from .message import Request, Response
 
 __all__ = ["App", "Internet", "StaticApp", "FunctionApp"]
@@ -73,12 +74,26 @@ class Internet:
     def __init__(self) -> None:
         self._origins: dict[str, App] = {}
         self._fallback: Optional[App] = None
+        self._fault_plan: Optional["FaultPlan"] = None
 
     def register(self, origin: str, app: App) -> None:
         self._origins[origin.rstrip("/")] = app
 
     def set_fallback(self, app: App) -> None:
         self._fallback = app
+
+    def install_fault_plan(self, plan: Optional["FaultPlan"]) -> None:
+        """Install (or, with ``None``, remove) a fault-injection plan.
+
+        Faults intercept *before* origin routing, like real network
+        failures: even requests to registered, healthy apps can drop,
+        stall, or bounce according to the plan.
+        """
+        self._fault_plan = plan
+
+    @property
+    def fault_plan(self) -> Optional["FaultPlan"]:
+        return self._fault_plan
 
     def app_for(self, origin: str) -> Optional[App]:
         app = self._origins.get(origin.rstrip("/"))
@@ -93,9 +108,16 @@ class Internet:
         """Route a request to its origin's app.
 
         An unknown origin without fallback behaves like an unresolvable
-        host: the client surfaces it as a connection error (status 0).
+        host: the client surfaces it as a connection error (status 0),
+        marked ``x-error: unknown-origin`` so retry logic can treat it as
+        permanent (NXDOMAIN) rather than a transient drop.
         """
+        if self._fault_plan is not None:
+            return await self._fault_plan.apply(request, lambda: self._route(request))
+        return await self._route(request)
+
+    async def _route(self, request: Request) -> Response:
         app = self.app_for(request.origin)
         if app is None:
-            return Response(0, {}, b"")
+            return Response(0, {"x-error": "unknown-origin"}, b"")
         return await app.handle(request)

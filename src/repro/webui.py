@@ -182,7 +182,7 @@ class DemoServer:
             return
         client = self._universe.client(latency=SeededJitterLatency())
         engine = LinkTraversalEngine(client)
-        execution = engine.execute_sync(query)
+        execution = engine.query(query).run_sync()
         variables = query.variables()
         handler.send_response(200)
         handler.send_header("content-type", "application/x-ndjson")

@@ -1,0 +1,115 @@
+"""Integration tests: traversal under injected faults (the ISSUE scenario).
+
+A seeded 20% transient-fault plan with the default retry policy must
+yield *exactly* the fault-free answer; the same plan with resilience
+disabled must demonstrably lose results — and say so in the stats'
+completeness report.
+"""
+
+import pytest
+
+from repro.ltqp import EngineConfig, LinkTraversalEngine, NetworkPolicy
+from repro.net.faults import FaultPlan, FaultRule
+from repro.net.resilience import BreakerPolicy, RetryPolicy
+from repro.solidbench import discover_query
+
+
+def fast_network() -> NetworkPolicy:
+    """Default resilience semantics, negligible backoff sleeps."""
+    return NetworkPolicy(retry=RetryPolicy(base_delay=0.0001, max_delay=0.001))
+
+
+def run_with_plan(universe, query, plan, network):
+    universe.internet.install_fault_plan(plan)
+    try:
+        engine = universe.fast_engine(config=EngineConfig(network=network))
+        return engine.query(query.text, seeds=query.seeds).run_sync()
+    finally:
+        universe.internet.install_fault_plan(None)
+
+
+def multiset(execution):
+    return sorted(repr(binding) for binding in execution.bindings)
+
+
+class TestTransientFaultRecovery:
+    def test_discover_8_5_identical_under_20_percent_faults(self, tiny_universe):
+        query = discover_query(tiny_universe, 8, 5)
+        baseline = run_with_plan(tiny_universe, query, None, fast_network())
+        assert len(baseline) > 0
+        faulted = run_with_plan(
+            tiny_universe, query, FaultPlan.transient(rate=0.2, seed=13), fast_network()
+        )
+        assert multiset(faulted) == multiset(baseline)
+        assert faulted.stats.http_retries > 0  # faults actually happened
+        assert faulted.stats.completeness()["complete"]
+
+    def test_no_retry_loses_results_and_reports_loss(self, tiny_universe):
+        query = discover_query(tiny_universe, 8, 5)
+        baseline = run_with_plan(tiny_universe, query, None, fast_network())
+        degraded = run_with_plan(
+            tiny_universe,
+            query,
+            FaultPlan.transient(rate=0.2, seed=13),
+            NetworkPolicy.no_retry(),
+        )
+        assert len(degraded) < len(baseline)
+        report = degraded.stats.completeness()
+        assert not report["complete"]
+        assert report["documents_abandoned"] > 0
+        assert report["estimated_missing_links"] > 0
+        assert degraded.stats.documents_attempted == (
+            degraded.stats.documents_fetched + degraded.stats.documents_abandoned
+        )
+
+    def test_completeness_surfaces_in_summary(self, tiny_universe):
+        query = discover_query(tiny_universe, 1, 5)
+        execution = run_with_plan(
+            tiny_universe, query, FaultPlan.transient(rate=0.2, seed=13), fast_network()
+        )
+        summary = execution.stats.summary()
+        assert "completeness" in summary
+        assert summary["completeness"]["complete"]
+        assert summary["completeness"]["http_retries"] == execution.stats.http_retries
+
+
+class TestOriginOutage:
+    def test_dead_origin_trips_breaker_and_is_reported(self, tiny_universe):
+        query = discover_query(tiny_universe, 1, 5)
+        # Kill the single origin every pod lives on: traversal gets nothing.
+        origin = query.seeds[0].split("/pods/")[0]
+        execution = run_with_plan(
+            tiny_universe,
+            query,
+            FaultPlan.origin_outage(origin),
+            NetworkPolicy(
+                retry=RetryPolicy(max_attempts=2, base_delay=0.0001, max_delay=0.001),
+                breaker=BreakerPolicy(failure_threshold=3, recovery_seconds=60.0),
+            ),
+        )
+        assert len(execution) == 0
+        report = execution.stats.completeness()
+        assert not report["complete"]
+        assert report["origins_tripped"].get(origin, 0) >= 1
+        assert execution.stats.breaker_fast_fails >= 0  # seeds may trip it late
+
+
+class TestLinkRequeue:
+    def test_retryable_failure_requeues_until_budget(self, tiny_universe):
+        """A fault outliving client retries is re-queued, then abandoned."""
+        query = discover_query(tiny_universe, 1, 5)
+        seed_url = query.seeds[0].split("#", 1)[0]
+        # Fault the seed profile for more attempts than one fetch retries.
+        plan = FaultPlan(
+            [FaultRule(kind="status", status=503, url_pattern=seed_url, fail_attempts=3)]
+        )
+        network = NetworkPolicy(
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0001, max_delay=0.001),
+            max_link_requeues=2,
+        )
+        execution = run_with_plan(tiny_universe, query, plan, network)
+        # attempt 1: 2 client tries (both faulted); re-queue; attempt 2:
+        # first try faulted, second passes — traversal completes fully.
+        assert execution.stats.documents_retried >= 1
+        assert len(execution) > 0
+        assert execution.stats.completeness()["complete"]

@@ -149,3 +149,93 @@ class TestRedirects:
         assert result.url == pod.base_url + "posts/"
         member_subjects = {t.subject.value for t in result.triples}
         assert pod.base_url + "posts/" in member_subjects
+
+
+class TestLenientSymmetry:
+    """Regression tests: every failure class honours the lenient flag.
+
+    Historically redirect loops warned leniently while a malformed or
+    relative ``Location`` escaped as a raw ``ValueError`` even with
+    ``lenient=True`` — the two sides of the same contract must agree.
+    """
+
+    def make_client(self):
+        from repro.net import FunctionApp, Request, Response
+
+        def handler(request: Request) -> Response:
+            if request.path == "/relative-redirect":
+                return Response(301, {"location": "target"})  # relative Location
+            if request.path == "/target":
+                return Response.ok_turtle("<https://h/a> <https://h/p> <https://h/b> .")
+            if request.path == "/bad-scheme":
+                return Response(301, {"location": "ftp://h/elsewhere"})
+            if request.path == "/loop":
+                return Response(302, {"location": "https://h/loop"})
+            return Response.not_found(request.url)
+
+        internet = Internet()
+        internet.register("https://h", FunctionApp(handler))
+        return HttpClient(internet, latency=NoLatency())
+
+    def test_relative_location_resolved_not_crashed(self):
+        result = deref("https://h/relative-redirect", client=self.make_client())
+        assert result.ok
+        assert result.url == "https://h/target"
+
+    def test_unfetchable_scheme_is_lenient_failure(self):
+        result = deref("https://h/bad-scheme", client=self.make_client())
+        assert not result.ok
+        assert "invalid URL" in result.error
+
+    def test_unfetchable_scheme_raises_in_strict_mode(self):
+        from repro.ltqp.dereference import DereferenceError
+
+        with pytest.raises(DereferenceError):
+            deref("https://h/bad-scheme", lenient=False, client=self.make_client())
+
+    def test_redirect_loop_raises_in_strict_mode(self):
+        from repro.ltqp.dereference import DereferenceError
+
+        with pytest.raises(DereferenceError):
+            deref("https://h/loop", lenient=False, client=self.make_client())
+
+    def test_parse_error_raises_in_strict_mode(self):
+        from repro.ltqp.dereference import DereferenceError
+
+        with pytest.raises(DereferenceError):
+            deref("https://h/broken", lenient=False)
+
+    def test_dereference_error_is_runtime_error_with_url(self):
+        from repro.ltqp.dereference import DereferenceError
+
+        with pytest.raises(RuntimeError) as excinfo:
+            deref("https://h/missing", lenient=False)
+        assert excinfo.value.url == "https://h/missing"
+
+
+class TestRetryableClassification:
+    def test_503_failure_is_retryable(self):
+        from repro.net import FunctionApp, Response
+
+        internet = Internet()
+        internet.register(
+            "https://h",
+            FunctionApp(lambda r: Response(503, {"content-type": "text/plain"}, b"")),
+        )
+        from repro.net.resilience import NetworkPolicy
+
+        client = HttpClient(internet, latency=NoLatency(), policy=NetworkPolicy.no_retry())
+        result = deref("https://h/doc", client=client)
+        assert not result.ok and result.retryable
+
+    def test_404_failure_is_not_retryable(self):
+        result = deref("https://h/missing")
+        assert not result.ok and not result.retryable
+
+    def test_unknown_origin_is_not_retryable(self):
+        result = deref("https://unknown.example/x")
+        assert not result.ok and not result.retryable
+
+    def test_parse_error_is_not_retryable(self):
+        result = deref("https://h/broken")
+        assert not result.ok and not result.retryable

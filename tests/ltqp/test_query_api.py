@@ -1,0 +1,202 @@
+"""Tests for the unified engine.query() API and the EngineConfig split."""
+
+import asyncio
+
+import pytest
+
+from repro.ltqp import (
+    EngineConfig,
+    LinkTraversalEngine,
+    NetworkPolicy,
+    QueryExecution,
+    TraversalPolicy,
+)
+from repro.net import HttpClient, NoLatency
+from repro.net.resilience import BreakerPolicy, RetryPolicy
+
+from .test_engine import SNB, build_two_pod_world
+
+
+def engine_for(internet, **kwargs):
+    return LinkTraversalEngine(HttpClient(internet, latency=NoLatency()), **kwargs)
+
+
+@pytest.fixture()
+def world():
+    return build_two_pod_world()
+
+
+class TestQueryExecution:
+    def query_text(self, pod1):
+        return (
+            SNB + f"SELECT ?c WHERE {{ ?m snvoc:hasCreator <{pod1.webid}> ; snvoc:content ?c }}"
+        )
+
+    def test_run_sync_collects_everything(self, world):
+        internet, pod1, _ = world
+        execution = engine_for(internet).query(self.query_text(pod1)).run_sync()
+        assert isinstance(execution, QueryExecution)
+        assert len(execution) == 2
+        assert execution.done and not execution.cancelled
+
+    def test_async_iteration_streams(self, world):
+        internet, pod1, _ = world
+        execution = engine_for(internet).query(self.query_text(pod1))
+
+        async def collect():
+            return [binding async for binding in execution]
+
+        bindings = asyncio.run(collect())
+        assert len(bindings) == 2
+        assert execution.bindings == bindings
+
+    def test_gather_returns_handle(self, world):
+        internet, pod1, _ = world
+        execution = engine_for(internet).query(self.query_text(pod1))
+
+        async def drive():
+            handle = await execution.gather()
+            assert handle is execution
+
+        asyncio.run(drive())
+        assert execution.done
+
+    def test_cancel_stops_early_and_finalizes_stats(self, world):
+        internet, pod1, _ = world
+        execution = engine_for(internet).query(self.query_text(pod1))
+
+        async def take_one():
+            async for _ in execution:
+                break
+            await execution.cancel()
+
+        asyncio.run(take_one())
+        assert execution.cancelled and execution.done
+        assert len(execution) >= 1
+        assert execution.stats.finished_at > 0  # stats were finalized
+
+    def test_stats_are_live_during_streaming(self, world):
+        internet, pod1, _ = world
+        execution = engine_for(internet).query(self.query_text(pod1))
+        assert execution.stats.result_count == 0
+
+        async def watch():
+            async for _ in execution:
+                assert execution.stats.result_count >= 1
+                break
+            await execution.cancel()
+
+        asyncio.run(watch())
+
+    def test_seeds_resolved_on_handle(self, world):
+        internet, pod1, _ = world
+        execution = engine_for(internet).query(self.query_text(pod1)).run_sync()
+        assert execution.seeds == [pod1.webid]
+
+    def test_matches_deprecated_entry_points(self, world):
+        internet, pod1, _ = world
+        query = self.query_text(pod1)
+        via_query = engine_for(internet).query(query).run_sync()
+        with pytest.warns(DeprecationWarning):
+            via_execute_sync = engine_for(internet).execute_sync(query)
+        assert sorted(map(repr, via_query.bindings)) == sorted(
+            map(repr, via_execute_sync.bindings)
+        )
+
+
+class TestDeprecatedWrappers:
+    def test_execute_sync_warns(self, world):
+        internet, pod1, _ = world
+        engine = engine_for(internet)
+        with pytest.warns(DeprecationWarning, match="execute_sync"):
+            result = engine.execute_sync(SNB + "SELECT ?s WHERE { ?s ?p ?o }", seeds=[pod1.webid])
+        assert result.stats.documents_fetched > 0
+
+    def test_stream_warns_at_call_time(self, world):
+        internet, pod1, _ = world
+        engine = engine_for(internet)
+        with pytest.warns(DeprecationWarning, match="stream"):
+            iterator = engine.stream(SNB + "SELECT ?s WHERE { ?s ?p ?o }", seeds=[pod1.webid])
+
+        async def drain():
+            return [b async for b in iterator]
+
+        assert asyncio.run(drain())
+
+    def test_execute_warns(self, world):
+        internet, pod1, _ = world
+        engine = engine_for(internet)
+
+        async def drive():
+            with pytest.warns(DeprecationWarning, match="execute"):
+                return await engine.execute(
+                    SNB + "SELECT ?s WHERE { ?s ?p ?o }", seeds=[pod1.webid]
+                )
+
+        result = asyncio.run(drive())
+        assert len(result) > 0
+
+
+class TestEngineConfigSplit:
+    def test_defaults_nest_both_policies(self):
+        config = EngineConfig()
+        assert isinstance(config.traversal, TraversalPolicy)
+        assert isinstance(config.network, NetworkPolicy)
+
+    def test_flat_kwargs_route_to_policies(self):
+        config = EngineConfig(max_depth=2, worker_count=3, request_timeout=1.5)
+        assert config.traversal.max_depth == 2
+        assert config.traversal.worker_count == 3
+        assert config.network.request_timeout == 1.5
+
+    def test_flat_attribute_reads_and_writes(self):
+        config = EngineConfig()
+        config.max_documents = 9
+        assert config.traversal.max_documents == 9
+        assert config.max_documents == 9
+        config.request_timeout = 0.5
+        assert config.network.request_timeout == 0.5
+
+    def test_nested_construction(self):
+        config = EngineConfig(
+            traversal=TraversalPolicy(max_depth=1),
+            network=NetworkPolicy(retry=RetryPolicy(max_attempts=2)),
+        )
+        assert config.max_depth == 1
+        assert config.network.retry.max_attempts == 2
+
+    def test_unknown_flat_kwarg_raises(self):
+        with pytest.raises(TypeError, match="unknown knob"):
+            EngineConfig(warp_speed=9)
+
+    def test_unknown_attribute_raises(self):
+        config = EngineConfig()
+        with pytest.raises(AttributeError):
+            config.warp_speed = 9
+        with pytest.raises(AttributeError):
+            _ = config.warp_speed
+
+    def test_equality_compares_policies(self):
+        assert EngineConfig(max_depth=2) == EngineConfig(max_depth=2)
+        assert EngineConfig(max_depth=2) != EngineConfig(max_depth=3)
+
+    def test_engine_installs_network_policy_on_client(self, world):
+        internet, _, _ = world
+        client = HttpClient(internet, latency=NoLatency())
+        config = EngineConfig(network=NetworkPolicy(request_timeout=2.5))
+        engine = LinkTraversalEngine(client, config=config)
+        assert client.policy.request_timeout == 2.5
+        assert engine.config.network is client.policy
+
+    def test_explicit_client_policy_wins(self, world):
+        internet, _, _ = world
+        own = NetworkPolicy(request_timeout=9.9)
+        client = HttpClient(internet, latency=NoLatency(), policy=own)
+        LinkTraversalEngine(client, config=EngineConfig(request_timeout=1.0))
+        assert client.policy is own
+
+    def test_breaker_knobs_reachable_flat(self):
+        config = EngineConfig(
+            network=NetworkPolicy(breaker=BreakerPolicy(failure_threshold=7))
+        )
+        assert config.network.breaker.failure_threshold == 7

@@ -1,0 +1,142 @@
+"""Unit tests for deterministic fault injection (FaultPlan / FaultRule)."""
+
+import asyncio
+
+import pytest
+
+from repro.net import HttpClient, Internet, NoLatency, StaticApp
+from repro.net.faults import FAULT_KINDS, FaultPlan, FaultRule
+from repro.net.message import Request
+from repro.net.resilience import NetworkPolicy
+
+ORIGIN = "https://pods.example"
+
+
+def make_internet():
+    internet = Internet()
+    app = StaticApp()
+    for index in range(20):
+        app.put(f"/doc{index}", f"<http://x/s{index}> <http://x/p> <http://x/o> .")
+    internet.register(ORIGIN, app)
+    return internet
+
+
+def make_client(internet, policy=None):
+    return HttpClient(
+        internet, latency=NoLatency(), policy=policy if policy else NetworkPolicy.no_retry()
+    )
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestFaultRule:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultRule(kind="meteor")
+
+    def test_matches_by_origin(self):
+        rule = FaultRule(origin=ORIGIN)
+        assert rule.matches(Request("GET", f"{ORIGIN}/doc0"))
+        assert not rule.matches(Request("GET", "https://elsewhere.example/doc0"))
+
+    def test_matches_by_url_substring(self):
+        rule = FaultRule(url_pattern="/profile/")
+        assert rule.matches(Request("GET", f"{ORIGIN}/profile/card"))
+        assert not rule.matches(Request("GET", f"{ORIGIN}/posts/1"))
+
+    def test_all_kinds_constructible(self):
+        for kind in FAULT_KINDS:
+            FaultRule(kind=kind)
+
+
+class TestFaultedUrlDraw:
+    def test_draw_is_deterministic(self):
+        plan_a = FaultPlan([FaultRule(rate=0.5)], seed=7)
+        plan_b = FaultPlan([FaultRule(rate=0.5)], seed=7)
+        urls = [f"{ORIGIN}/doc{i}" for i in range(50)]
+        assert [plan_a.is_faulted_url(0, u) for u in urls] == [
+            plan_b.is_faulted_url(0, u) for u in urls
+        ]
+
+    def test_different_seeds_differ(self):
+        urls = [f"{ORIGIN}/doc{i}" for i in range(100)]
+        draws_a = [FaultPlan([FaultRule(rate=0.5)], seed=1).is_faulted_url(0, u) for u in urls]
+        draws_b = [FaultPlan([FaultRule(rate=0.5)], seed=2).is_faulted_url(0, u) for u in urls]
+        assert draws_a != draws_b
+
+    def test_rate_roughly_respected(self):
+        plan = FaultPlan([FaultRule(rate=0.3)], seed=11)
+        urls = [f"{ORIGIN}/doc{i}" for i in range(500)]
+        hit = sum(plan.is_faulted_url(0, u) for u in urls)
+        assert 100 < hit < 200  # 30% of 500 = 150, generous band
+
+
+class TestInjection:
+    def test_drop_yields_status_zero_with_marker(self):
+        internet = make_internet()
+        internet.install_fault_plan(FaultPlan([FaultRule(kind="drop")]))
+        response = run(make_client(internet).fetch(f"{ORIGIN}/doc0"))
+        assert response.status == 0
+        assert response.header("x-fault") == "drop"
+
+    def test_status_injects_503_with_retry_after(self):
+        internet = make_internet()
+        internet.install_fault_plan(
+            FaultPlan([FaultRule(kind="status", status=503, retry_after=0.5)])
+        )
+        response = run(make_client(internet).fetch(f"{ORIGIN}/doc0"))
+        assert response.status == 503
+        assert response.header("x-fault") == "status"
+        assert response.header("retry-after") == "0.5"
+
+    def test_delay_forwards_to_origin(self):
+        internet = make_internet()
+        internet.install_fault_plan(
+            FaultPlan([FaultRule(kind="delay", delay_seconds=0.001)])
+        )
+        response = run(make_client(internet).fetch(f"{ORIGIN}/doc0"))
+        assert response.status == 200  # delayed, not broken
+
+    def test_transient_fault_recovers_after_fail_attempts(self):
+        internet = make_internet()
+        internet.install_fault_plan(FaultPlan.transient(rate=1.0, fail_attempts=2))
+        client = make_client(internet)
+        url = f"{ORIGIN}/doc0"
+        assert run(client.fetch(url)).status == 503
+        assert run(client.fetch(url)).status == 503
+        assert run(client.fetch(url)).status == 200  # third attempt passes
+
+    def test_flap_oscillates_per_origin_window(self):
+        internet = make_internet()
+        internet.install_fault_plan(
+            FaultPlan([FaultRule(kind="flap", flap_period=4, flap_down=2)])
+        )
+        client = make_client(internet)
+        statuses = [run(client.fetch(f"{ORIGIN}/doc{i}")).status for i in range(8)]
+        assert statuses == [0, 0, 200, 200, 0, 0, 200, 200]
+
+    def test_unmatched_origin_untouched(self):
+        internet = make_internet()
+        internet.install_fault_plan(
+            FaultPlan([FaultRule(kind="drop", origin="https://elsewhere.example")])
+        )
+        assert run(make_client(internet).fetch(f"{ORIGIN}/doc0")).status == 200
+
+    def test_counters_track_injections(self):
+        internet = make_internet()
+        plan = FaultPlan([FaultRule(kind="drop")])
+        internet.install_fault_plan(plan)
+        client = make_client(internet)
+        run(client.fetch(f"{ORIGIN}/doc0"))
+        run(client.fetch(f"{ORIGIN}/doc1"))
+        assert plan.injected_by_kind == {"drop": 2}
+        assert plan.injected_by_origin == {ORIGIN: 2}
+        assert plan.total_injected == 2
+
+    def test_uninstall_restores_clean_network(self):
+        internet = make_internet()
+        internet.install_fault_plan(FaultPlan([FaultRule(kind="drop")]))
+        internet.install_fault_plan(None)
+        assert run(make_client(internet).fetch(f"{ORIGIN}/doc0")).status == 200

@@ -1,0 +1,73 @@
+"""Property test: resilient traversal masks any under-budget transient fault.
+
+For *any* seeded transient FaultPlan whose per-URL failure streak is
+shorter than the client's retry budget, the Discover answer multiset must
+equal the fault-free run — fault injection with retries enabled is
+unobservable in the results (only in the stats).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ltqp import EngineConfig, NetworkPolicy
+from repro.net.faults import FaultPlan
+from repro.net.resilience import RetryPolicy
+from repro.solidbench import discover_query
+
+_BASELINES: dict[int, list[str]] = {}
+
+
+def run_discover(universe, plan, max_attempts=4):
+    universe.internet.install_fault_plan(plan)
+    try:
+        query = discover_query(universe, 1, 5)
+        network = NetworkPolicy(
+            retry=RetryPolicy(
+                max_attempts=max_attempts, base_delay=0.0001, max_delay=0.001
+            )
+        )
+        engine = universe.fast_engine(config=EngineConfig(network=network))
+        execution = engine.query(query.text, seeds=query.seeds).run_sync()
+        return sorted(repr(binding) for binding in execution.bindings)
+    finally:
+        universe.internet.install_fault_plan(None)
+
+
+def baseline(universe) -> list[str]:
+    key = id(universe)
+    if key not in _BASELINES:
+        _BASELINES[key] = run_discover(universe, None)
+    return _BASELINES[key]
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    rate=st.floats(min_value=0.05, max_value=0.5),
+    fault_seed=st.integers(min_value=0, max_value=10_000),
+    fail_attempts=st.integers(min_value=1, max_value=3),
+    status=st.sampled_from([429, 500, 503]),
+)
+def test_under_budget_faults_are_masked(
+    tiny_universe, rate, fault_seed, fail_attempts, status
+):
+    # fail_attempts <= 3 < max_attempts=4: every faulted URL recovers
+    # within one fetch's retry loop, so the answer must be unchanged.
+    plan = FaultPlan.transient(
+        rate=rate, seed=fault_seed, fail_attempts=fail_attempts, status=status
+    )
+    assert run_discover(tiny_universe, plan) == baseline(tiny_universe)
+
+
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(fault_seed=st.integers(min_value=0, max_value=10_000))
+def test_drop_faults_also_masked(tiny_universe, fault_seed):
+    plan = FaultPlan.transient(rate=0.3, seed=fault_seed, fail_attempts=2, kind="drop")
+    assert run_discover(tiny_universe, plan) == baseline(tiny_universe)
