@@ -104,11 +104,18 @@ def measure_ttfr_d21(universe) -> float:
 
 
 def collect_metrics(universe) -> dict:
-    """All hot-path metrics in the BENCH_hotpath.json schema."""
+    """All hot-path metrics in the BENCH_hotpath.json schema.
+
+    The two tight-loop throughputs are best-of-3: a single round is at
+    the mercy of transient contention on single-core CI hosts, while a
+    real regression slows every round.
+    """
     e2e = measure_e2e_d85(universe)
     return {
-        "terms_per_s": round(measure_term_throughput()),
-        "dispatch_quads_per_s": round(measure_dispatch_throughput()),
+        "terms_per_s": round(max(measure_term_throughput() for _ in range(3))),
+        "dispatch_quads_per_s": round(
+            max(measure_dispatch_throughput() for _ in range(3))
+        ),
         "d85_wall_s": round(e2e["wall_s"], 3),
         "d85_results": e2e["results"],
         "d85_complete": e2e["complete"],

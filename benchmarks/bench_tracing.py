@@ -1,0 +1,91 @@
+"""Tracing-overhead benchmark: the observability layer must stay cheap.
+
+Measures Discover 8.5 wall time in two modes over the same universe:
+
+* **disabled** — ``tracer=None`` (the default): every instrumentation
+  point is a single identity check, so this must track the committed
+  pre-instrumentation wall time within 5%;
+* **enabled** — a live :class:`~repro.obs.Tracer` plus
+  :class:`~repro.obs.Metrics`, recording the full span tree (~10k spans
+  for this query), gated in-process at 20% over the disabled run.
+
+Rounds are interleaved (plain, traced, plain, ...) and the enabled
+ratio is the *median of paired per-round ratios*: adjacent runs see the
+same machine state, so per-pair ratios stay stable even when individual
+walls swing on a contended host.  ``check_hotpath_regression`` runs both
+gates against the committed ``BENCH_tracing.json``.
+
+Refresh the baseline after an intentional change (via the gate script,
+so it is measured at the same process position it is compared at)::
+
+    REPRO_WRITE_BENCH=1 PYTHONPATH=src python benchmarks/check_hotpath_regression.py
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.ltqp import LinkTraversalEngine
+from repro.net import NoLatency
+from repro.obs import Metrics, Tracer
+from repro.solidbench import discover_query
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_tracing.json"
+
+#: Best-of rounds per mode (wall-clock minimum is the stable statistic;
+#: 5 paired rounds keep the minima stable on noisy single-core hosts).
+ROUNDS = 5
+
+
+def _run_d85(universe, tracer=None, metrics=None):
+    query = discover_query(universe, 8, 5)
+    engine = LinkTraversalEngine(universe.client(latency=NoLatency()))
+    start = time.perf_counter()
+    execution = engine.query(
+        query.text, seeds=query.seeds, tracer=tracer, metrics=metrics
+    ).run_sync()
+    return time.perf_counter() - start, execution
+
+
+def measure_tracing_overhead(universe, rounds: int = ROUNDS) -> dict:
+    """Interleaved Discover 8.5 walls: tracing disabled vs enabled.
+
+    Rounds are interleaved (plain, traced, plain, ...) so both modes see
+    the same process state drift (heap growth, GC pressure).  The
+    enabled ratio is the median of per-pair ratios — each pair runs
+    back-to-back, so contention noise hits both sides of the division —
+    rather than a ratio of minima, which is skewed whenever one mode
+    draws a single lucky round.
+    """
+    plain_walls, traced_walls = [], []
+    plain_results = traced_results = 0
+    span_count = 0
+    for _ in range(rounds):
+        wall, execution = _run_d85(universe)
+        plain_walls.append(wall)
+        plain_results = len(execution)
+        tracer = Tracer()
+        wall, execution = _run_d85(universe, tracer=tracer, metrics=Metrics())
+        traced_walls.append(wall)
+        traced_results = len(execution)
+        span_count = len(tracer)
+    assert plain_results == traced_results, "tracing must not change answers"
+    pair_ratios = sorted(t / p for p, t in zip(plain_walls, traced_walls))
+    return {
+        "plain_wall_s": round(min(plain_walls), 3),
+        "traced_wall_s": round(min(traced_walls), 3),
+        "enabled_ratio": round(pair_ratios[len(pair_ratios) // 2], 3),
+        "spans": span_count,
+        "results": traced_results,
+    }
+
+
+# -- pytest benches ----------------------------------------------------------
+
+
+def test_tracing_overhead(universe):
+    overhead = measure_tracing_overhead(universe)
+    print(f"\ntracing overhead: {overhead}")
+    # In-process gate: a full span tree may cost at most 20% wall time.
+    assert overhead["enabled_ratio"] < 1.2

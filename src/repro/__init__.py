@@ -22,6 +22,9 @@ Subpackages
 ``repro.ltqp``
     The paper's engine: link queue + dereferencer + extractors feeding a
     growing triple source, with pipelined incremental query execution.
+``repro.obs``
+    Structured tracing (span trees, Chrome trace-event export) and a
+    counters/gauges/histograms metrics registry.
 ``repro.bench``
     Benchmark harness: suite runners, resource waterfalls, tables.
 
@@ -46,6 +49,7 @@ from .ltqp.engine import (
 )
 from .net.faults import FaultPlan, FaultRule
 from .net.resilience import NetworkPolicy, RetryPolicy, BreakerPolicy
+from .obs import Metrics, Tracer
 
 __version__ = "1.0.0"
 
@@ -60,5 +64,7 @@ __all__ = [
     "FaultRule",
     "QueryExecution",
     "ExecutionResult",
+    "Tracer",
+    "Metrics",
     "__version__",
 ]

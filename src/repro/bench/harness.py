@@ -16,12 +16,13 @@ from ..ltqp.engine import EngineConfig, LinkTraversalEngine
 from ..ltqp.extractors import LinkExtractor
 from ..net.latency import LatencyModel, NoLatency
 from ..net.log import RequestLog
+from ..obs import Metrics, Tracer
 from ..sparql.bindings import Binding
 from ..sparql.eval import SnapshotEvaluator
 from ..sparql.parser import parse_query
 from ..solidbench.queries import NamedQuery
 from ..solidbench.universe import SolidBenchUniverse
-from .waterfall import Waterfall, build_waterfall
+from .waterfall import Waterfall, build_waterfall, build_waterfall_from_trace
 
 __all__ = ["QueryRunReport", "run_query", "run_suite", "oracle_bindings"]
 
@@ -43,6 +44,10 @@ class QueryRunReport:
     waterfall: Waterfall
     streaming: bool
     result_times: list[float] = field(default_factory=list)
+    #: The span tree recorded for this run (``trace=True`` only).
+    trace: Optional[Tracer] = None
+    #: Counters/gauges/histograms collected for this run (``trace=True`` only).
+    metrics: Optional[Metrics] = None
 
     def row(self) -> dict:
         """A flat dict for table rendering."""
@@ -77,8 +82,14 @@ def run_query(
     latency: Optional[LatencyModel] = None,
     check_oracle: bool = True,
     auth_headers: Optional[dict[str, str]] = None,
+    trace: bool = False,
 ) -> QueryRunReport:
-    """Execute one Discover query by link traversal and measure it."""
+    """Execute one Discover query by link traversal and measure it.
+
+    With ``trace=True`` the run records a full span tree plus metrics,
+    returned on the report, and the waterfall is built from trace events
+    (identical rows, plus cache provenance and the first-result marker).
+    """
     log = RequestLog()
     client = universe.client(
         latency=latency if latency is not None else NoLatency(), log=log
@@ -86,7 +97,11 @@ def run_query(
     engine = LinkTraversalEngine(
         client, extractors=extractors, config=engine_config, auth_headers=auth_headers
     )
-    execution = engine.query(query.text, seeds=query.seeds).run_sync()
+    tracer = Tracer() if trace else None
+    metrics = Metrics() if trace else None
+    execution = engine.query(
+        query.text, seeds=query.seeds, tracer=tracer, metrics=metrics
+    ).run_sync()
     stats = execution.stats
 
     oracle_count: Optional[int] = None
@@ -107,9 +122,13 @@ def run_query(
         documents_failed=stats.documents_failed,
         links_queued=stats.links_queued,
         links_by_extractor=dict(stats.links_by_extractor),
-        waterfall=build_waterfall(log),
+        waterfall=(
+            build_waterfall_from_trace(tracer) if tracer is not None else build_waterfall(log)
+        ),
         streaming=stats.streaming,
         result_times=[timed.elapsed for timed in execution.results],
+        trace=tracer,
+        metrics=metrics,
     )
 
 

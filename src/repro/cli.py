@@ -23,7 +23,8 @@ from typing import Optional
 
 import json
 
-from .bench.waterfall import build_waterfall, render_waterfall
+from .bench.waterfall import build_waterfall_from_trace, render_waterfall
+from .obs import Metrics, Tracer, render_trace_summary, write_chrome_trace
 from .ltqp.engine import EngineConfig, LinkTraversalEngine
 from .net.faults import FaultPlan
 from .net.latency import NoLatency, SeededJitterLatency
@@ -101,6 +102,22 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--waterfall", action="store_true", help="print the resource waterfall")
     parser.add_argument("--stats", action="store_true", help="print execution statistics")
     parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record a span trace and write Chrome trace-event JSON to PATH "
+        "(open in chrome://tracing or Perfetto)",
+    )
+    parser.add_argument(
+        "--trace-summary",
+        action="store_true",
+        help="print a flamegraph-style text summary of the recorded trace",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect counters/gauges/histograms and print them after the run",
+    )
+    parser.add_argument(
         "--no-latency", action="store_true", help="disable simulated network latency"
     )
     parser.add_argument("--limit", type=int, default=0, help="stop after N results (0 = all)")
@@ -172,6 +189,24 @@ def main(argv: Optional[list[str]] = None) -> int:
     query = parse_query(query_text)
     variables = query.variables()
 
+    # The waterfall is trace-driven: any of these flags turns tracing on
+    # for this run (the engine is a strict no-op when tracer is None).
+    tracer: Optional[Tracer] = None
+    if args.trace or args.trace_summary or args.waterfall:
+        tracer = Tracer()
+    metrics: Optional[Metrics] = Metrics() if args.metrics else None
+
+    def emit_observability() -> None:
+        if tracer is not None and args.waterfall:
+            print(render_waterfall(build_waterfall_from_trace(tracer)), file=sys.stderr)
+        if tracer is not None and args.trace:
+            events = write_chrome_trace(tracer, args.trace)
+            print(f"# trace: {events} events -> {args.trace}", file=sys.stderr)
+        if tracer is not None and args.trace_summary:
+            print(render_trace_summary(tracer), file=sys.stderr)
+        if metrics is not None:
+            print(metrics.render(), file=sys.stderr)
+
     if args.explain:
         from .ltqp.explain import explain_plan
 
@@ -186,7 +221,9 @@ def main(argv: Optional[list[str]] = None) -> int:
             results_to_tsv,
         )
 
-        execution = engine.query(query, seeds=seeds or None).run_sync()
+        execution = engine.query(
+            query, seeds=seeds or None, tracer=tracer, metrics=metrics
+        ).run_sync()
         bindings = execution.bindings
         if args.limit:
             bindings = bindings[: args.limit]
@@ -198,11 +235,10 @@ def main(argv: Optional[list[str]] = None) -> int:
         }
         print(renderers[args.format](variables, bindings), end="")
         print(f"# {len(bindings)} results", file=sys.stderr)
-        if args.waterfall:
-            print(render_waterfall(build_waterfall(client.log)), file=sys.stderr)
+        emit_observability()
         return 0
 
-    execution = engine.query(query, seeds=seeds or None)
+    execution = engine.query(query, seeds=seeds or None, tracer=tracer, metrics=metrics)
 
     async def run() -> int:
         count = 0
@@ -219,8 +255,7 @@ def main(argv: Optional[list[str]] = None) -> int:
 
     asyncio.run(run())
 
-    if args.waterfall:
-        print(render_waterfall(build_waterfall(client.log)), file=sys.stderr)
+    emit_observability()
     if args.stats:
         log = client.log
         print(

@@ -95,11 +95,19 @@ class AdaptivePipeline:
         self._max_replans = max_replans
 
         self._current_order: Optional[list] = None
+        self._tracer = None
+        self._trace_parent = None
         self._pipeline = self._compile(order=None)
         self._emitted: set[Binding] = set()
         self._deltas_seen = 0
         self._retired_work = 0
         self.replans = 0
+
+    def enable_tracing(self, tracer, parent=None) -> None:
+        """Trace the active plan (and every replanned successor)."""
+        self._tracer = tracer
+        self._trace_parent = parent
+        self._pipeline.enable_tracing(tracer, parent)
 
     # -- Pipeline interface -------------------------------------------------
 
@@ -190,6 +198,11 @@ class AdaptivePipeline:
         self.replans += 1
         self._retired_work += total_work(self._pipeline.root)
         self._pipeline = self._compile(order=better)
+        if self._tracer is not None:
+            self._tracer.instant(
+                "replan", parent=self._trace_parent, replans=self.replans
+            )
+            self._pipeline.enable_tracing(self._tracer, self._trace_parent)
         # Replay everything fetched so far through the new plan; dedupe so
         # consumers never see repeated answers.
         return self._dedupe(self._pipeline.advance(dataset))

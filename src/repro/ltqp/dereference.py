@@ -63,27 +63,40 @@ class Dereferencer:
         lenient: bool = True,
         extra_headers: Optional[dict[str, str]] = None,
         max_redirects: int = 5,
+        tracer=None,
     ) -> None:
         self._client = client
         self._lenient = lenient
         self._extra_headers = dict(extra_headers or {})
         self._max_redirects = max_redirects
         self._document_counter = 0
+        #: Optional :class:`~repro.obs.trace.Tracer`; when set, each
+        #: dereference records ``parse`` spans under ``trace_parent``.
+        self.tracer = tracer
 
     @property
     def client(self) -> HttpClient:
         return self._client
 
-    async def dereference(self, url: str, parent_url: Optional[str] = None) -> DereferenceResult:
+    async def dereference(
+        self,
+        url: str,
+        parent_url: Optional[str] = None,
+        trace_parent=None,
+    ) -> DereferenceResult:
         """Fetch ``url`` (fragment stripped), following redirects, and
         parse the RDF body.  The *final* URL becomes the base IRI and the
         document's provenance — e.g. a slash-less container URL 301s to
-        the container, whose members then resolve correctly."""
+        the container, whose members then resolve correctly.
+        ``trace_parent`` nests this dereference's fetch/parse spans."""
         clean_url = url.split("#", 1)[0]
         for _ in range(self._max_redirects + 1):
             try:
                 response = await self._client.fetch(
-                    clean_url, headers=self._extra_headers, parent_url=parent_url
+                    clean_url,
+                    headers=self._extra_headers,
+                    parent_url=parent_url,
+                    trace_parent=trace_parent,
                 )
             except ValueError as error:
                 # An unsupported scheme or malformed URL is the same class
@@ -111,11 +124,15 @@ class Dereferencer:
                 f"HTTP {response.status}",
                 retryable=_response_retryable(response),
             )
-        return self._parse(clean_url, response)
+        return self._parse(clean_url, response, trace_parent=trace_parent)
 
-    def _parse(self, url: str, response: Response) -> DereferenceResult:
+    def _parse(
+        self, url: str, response: Response, trace_parent=None
+    ) -> DereferenceResult:
         content_type = response.content_type
         self._document_counter += 1
+        tracer = self.tracer
+        parse_started = tracer.clock() if tracer is not None else 0.0
         try:
             if content_type in ("application/n-triples", "application/n-quads"):
                 triples = list(parse_ntriples(response.text))
@@ -137,7 +154,27 @@ class Dereferencer:
             else:
                 return self._failure(url, response.status, f"unsupported content type {content_type!r}")
         except (TurtleParseError, NTriplesParseError, ValueError) as error:
+            if tracer is not None:
+                tracer.add(
+                    "parse",
+                    parse_started,
+                    tracer.clock(),
+                    parent=trace_parent,
+                    url=url,
+                    format=content_type,
+                    error=f"parse error: {error}",
+                )
             return self._failure(url, response.status, f"parse error: {error}")
+        if tracer is not None:
+            tracer.add(
+                "parse",
+                parse_started,
+                tracer.clock(),
+                parent=trace_parent,
+                url=url,
+                format=content_type,
+                triples=len(triples),
+            )
         return DereferenceResult(url=url, status=response.status, triples=triples)
 
     def _failure(

@@ -195,10 +195,17 @@ class QueryExecution:
     """
 
     def __init__(
-        self, engine: "LinkTraversalEngine", query: Query, seeds: Optional[Iterable[str]]
+        self,
+        engine: "LinkTraversalEngine",
+        query: Query,
+        seeds: Optional[Iterable[str]],
+        tracer=None,
+        metrics=None,
     ) -> None:
         self._result = ExecutionResult(query=query)
-        self._generator = engine._run(self._result, seeds)
+        self._tracer = tracer
+        self._metrics = metrics
+        self._generator = engine._run(self._result, seeds, tracer, metrics)
         self._finished = False
         self._cancelled = False
 
@@ -228,6 +235,16 @@ class QueryExecution:
     @property
     def seeds(self) -> list[str]:
         return self._result.seeds
+
+    @property
+    def tracer(self):
+        """The :class:`~repro.obs.trace.Tracer` recording this execution (or None)."""
+        return self._tracer
+
+    @property
+    def metrics(self):
+        """The :class:`~repro.obs.metrics.Metrics` registry in use (or None)."""
+        return self._metrics
 
     @property
     def done(self) -> bool:
@@ -314,6 +331,8 @@ class LinkTraversalEngine:
         self,
         query: TypingUnion[str, Query],
         seeds: Optional[Iterable[str]] = None,
+        tracer=None,
+        metrics=None,
     ) -> QueryExecution:
         """Begin a query execution and return its :class:`QueryExecution`.
 
@@ -321,8 +340,13 @@ class LinkTraversalEngine:
         ``execute_sync``: iterate the handle to stream, ``await
         .gather()`` (or ``.run_sync()``) to collect everything, ``await
         .cancel()`` to stop early — ``.stats`` is live throughout.
+
+        Pass a :class:`~repro.obs.trace.Tracer` to record the execution's
+        span tree and/or a :class:`~repro.obs.metrics.Metrics` registry
+        for counters/gauges/histograms; with neither, no instrumentation
+        code runs (the observability layer is strictly opt-in).
         """
-        return QueryExecution(self, self._parse(query), seeds)
+        return QueryExecution(self, self._parse(query), seeds, tracer=tracer, metrics=metrics)
 
     # -- deprecated entry points (kept as thin wrappers) ----------------
 
@@ -397,17 +421,40 @@ class LinkTraversalEngine:
         self,
         execution: ExecutionResult,
         seeds: Optional[Iterable[str]],
+        tracer=None,
+        metrics=None,
     ) -> AsyncIterator[Binding]:
         query = execution.query
         context = build_query_context(query.where)
         seed_list = list(seeds) if seeds is not None else self.seeds_from_query(query)
         execution.seeds = seed_list
         stats = execution.stats
-        stats.started_at = time.monotonic()
+        # Every timestamp in a traced execution (stats, queue samples,
+        # request log, spans) comes from the tracer's clock, so a seeded
+        # TickClock makes the whole run a deterministic artifact.
+        clock = tracer.clock if tracer is not None else time.monotonic
+        stats.started_at = clock()
         resilience_before = self._client.resilience_snapshot()
+
+        query_span = traversal_span = None
+        client_tracer_before = self._client.tracer
+        client_metrics_before = self._client.metrics
+        if tracer is not None:
+            query_span = tracer.begin(
+                "query", start=stats.started_at, form=query.form, seeds=len(seed_list)
+            )
+            # Opened before the seeds enqueue so their stamps nest inside.
+            traversal_span = tracer.begin("traversal", parent=query_span)
+            self._client.tracer = tracer
+        if metrics is not None:
+            self._client.metrics = metrics
 
         source = GrowingTripleSource()
         queue: LinkQueue = self._queue_factory()
+        queue.clock = clock
+        if metrics is not None:
+            depth_gauge = metrics.gauge("queue.depth")
+            queue.observer = lambda sample: depth_gauge.set(sample.queue_length)
         for seed in seed_list:
             if queue.push(Link(url=seed, via="seed")):
                 stats.links_queued += 1
@@ -422,6 +469,7 @@ class LinkTraversalEngine:
             pipeline_where = Slice(Project(query.where, ()), offset=0, limit=1)
 
         pipeline: Optional[Pipeline] = None
+        plan_started = clock() if tracer is not None else 0.0
         try:
             if query.form == "DESCRIBE":
                 # DESCRIBE needs the final snapshot to compute bounded
@@ -435,6 +483,17 @@ class LinkTraversalEngine:
                 pipeline = compile_pipeline(pipeline_where, seed_iris=context.iris)
         except NotStreamable:
             stats.streaming = False
+        if tracer is not None:
+            tracer.add(
+                "plan",
+                plan_started,
+                clock(),
+                parent=query_span,
+                streaming=stats.streaming,
+                adaptive=self._config.adaptive,
+            )
+            if pipeline is not None:
+                pipeline.enable_tracing(tracer, query_span)
 
         constructed: set = set()
 
@@ -475,9 +534,13 @@ class LinkTraversalEngine:
             count = stats.result_count
             if limit and count >= limit:
                 return
-            now = time.monotonic()
+            now = clock()
             if stats.first_result_at is None:
                 stats.first_result_at = now
+                if tracer is not None:
+                    # Same `now` as the stats field, so the trace-derived
+                    # time-to-first-result reconciles exactly.
+                    tracer.instant("first-result", parent=query_span, ts=now)
             stats.result_count = count + 1
             execution.results.append(TimedResult(binding=binding, elapsed=now - stats.started_at))
             result_queue.put_nowait(binding)
@@ -523,7 +586,17 @@ class LinkTraversalEngine:
                 flush_pipeline()
 
         traversal = asyncio.create_task(
-            self._traverse(queue, source, context, stats, on_document, stop_traversal)
+            self._traverse(
+                queue,
+                source,
+                context,
+                stats,
+                on_document,
+                stop_traversal,
+                tracer=tracer,
+                traversal_span=traversal_span,
+                clock=clock,
+            )
         )
         timer: Optional[asyncio.Task] = None
         if pipeline is not None and batch_quads > 1 and self._config.advance_flush_interval > 0:
@@ -545,6 +618,8 @@ class LinkTraversalEngine:
                 drain.cancel()
                 break
             await traversal  # re-raise worker exceptions
+            if tracer is not None:
+                tracer.end(traversal_span)
             # Quiescence flush: feed whatever landed after the last batched
             # advance (the cursor makes this exact, batching or not).
             if pipeline is not None:
@@ -573,12 +648,28 @@ class LinkTraversalEngine:
                 except (asyncio.CancelledError, Exception):
                     pass
             source.close()
-            stats.finished_at = time.monotonic()
+            stats.finished_at = clock()
             stats.documents_fetched = source.document_count
             stats.queue_samples = queue.samples
             stats.links_queued = queue.pushed_total
             stats.replans = getattr(pipeline, "replans", 0)
             self._finalize_resilience(stats, resilience_before)
+            if tracer is not None:
+                # Idempotent for the happy path; the cancellation path
+                # closes traversal (and any interrupted descendants) here.
+                tracer.end(traversal_span, end=stats.finished_at)
+                tracer.end(query_span, end=stats.finished_at, results=stats.result_count)
+                tracer.close_open_spans(end=stats.finished_at)
+            self._client.tracer = client_tracer_before
+            self._client.metrics = client_metrics_before
+            if metrics is not None:
+                metrics.counter("documents.fetched").inc(stats.documents_fetched)
+                metrics.counter("triples.discovered").inc(stats.triples_discovered)
+                metrics.counter("results.emitted").inc(stats.result_count)
+                if stats.total_time > 0:
+                    metrics.gauge("triples.per_s").set(
+                        stats.triples_discovered / stats.total_time
+                    )
 
     def _finalize_resilience(self, stats: ExecutionStats, before: dict) -> None:
         """Fold the client's resilience counter deltas into the stats."""
@@ -638,14 +729,20 @@ class LinkTraversalEngine:
         stats: ExecutionStats,
         on_document,
         stop_traversal: asyncio.Event,
+        tracer=None,
+        traversal_span=None,
+        clock=time.monotonic,
     ) -> None:
         dereferencer = Dereferencer(
-            self._client, lenient=self._config.lenient, extra_headers=self._auth_headers
+            self._client,
+            lenient=self._config.lenient,
+            extra_headers=self._auth_headers,
+            tracer=tracer,
         )
         in_flight = 0
         wake = asyncio.Condition()
 
-        async def worker() -> None:
+        async def worker(track: int) -> None:
             nonlocal in_flight
             while True:
                 async with wake:
@@ -660,13 +757,27 @@ class LinkTraversalEngine:
                     link = queue.pop()
                     in_flight += 1
                 try:
-                    await self._process_link(link, dereferencer, queue, context, stats, on_document)
+                    await self._process_link(
+                        link,
+                        dereferencer,
+                        queue,
+                        context,
+                        stats,
+                        on_document,
+                        tracer=tracer,
+                        traversal_span=traversal_span,
+                        clock=clock,
+                        track=track,
+                    )
                 finally:
                     async with wake:
                         in_flight -= 1
                         wake.notify_all()
 
-        workers = [asyncio.create_task(worker()) for _ in range(self._config.worker_count)]
+        workers = [
+            asyncio.create_task(worker(index + 1))
+            for index in range(self._config.worker_count)
+        ]
         try:
             await asyncio.gather(*workers)
         finally:
@@ -682,48 +793,95 @@ class LinkTraversalEngine:
         context: QueryContext,
         stats: ExecutionStats,
         on_document,
+        tracer=None,
+        traversal_span=None,
+        clock=time.monotonic,
+        track: int = 0,
     ) -> None:
         if self._config.max_documents and stats.documents_fetched >= self._config.max_documents:
             return
         if (
             self._config.max_duration
-            and time.monotonic() - stats.started_at > self._config.max_duration
+            and clock() - stats.started_at > self._config.max_duration
         ):
             return
-        result = await dereferencer.dereference(link.url, parent_url=link.parent_url)
-        if not result.ok:
-            stats.documents_failed += 1
-            if result.retryable:
-                # Transient trouble that survived client-level retries
-                # (e.g. a tripped breaker): give the link another pass
-                # through the queue instead of discarding the document.
-                if link.attempts < self._config.network.max_link_requeues:
-                    queue.requeue(
-                        Link(
-                            url=link.url,
-                            parent_url=link.parent_url,
-                            depth=link.depth,
-                            via=link.via,
-                            attempts=link.attempts + 1,
+        deref_span = None
+        if tracer is not None:
+            popped_at = clock()
+            enqueued_at = link.enqueued_at or popped_at
+            # The span covers the document's whole lifetime in the system,
+            # queue wait included — matching the paper's waterfall bars.
+            deref_span = tracer.begin(
+                "dereference",
+                parent=traversal_span,
+                start=enqueued_at,
+                track=track,
+                url=link.url,
+                via=link.via,
+                depth=link.depth,
+                attempt=link.attempts + 1,
+            )
+            tracer.add("queue-wait", enqueued_at, popped_at, parent=deref_span)
+        try:
+            result = await dereferencer.dereference(
+                link.url, parent_url=link.parent_url, trace_parent=deref_span
+            )
+            if not result.ok:
+                stats.documents_failed += 1
+                outcome = "failed"
+                if result.retryable:
+                    # Transient trouble that survived client-level retries
+                    # (e.g. a tripped breaker): give the link another pass
+                    # through the queue instead of discarding the document.
+                    if link.attempts < self._config.network.max_link_requeues:
+                        queue.requeue(
+                            Link(
+                                url=link.url,
+                                parent_url=link.parent_url,
+                                depth=link.depth,
+                                via=link.via,
+                                attempts=link.attempts + 1,
+                            )
                         )
-                    )
-                    stats.documents_retried += 1
-                else:
-                    stats.documents_abandoned += 1
-            return
-        on_document(result.url, result.triples)
-        stats.documents_fetched += 1
+                        stats.documents_retried += 1
+                        outcome = "retried"
+                    else:
+                        stats.documents_abandoned += 1
+                        outcome = "abandoned"
+                if deref_span is not None:
+                    deref_span.args["outcome"] = outcome
+                    deref_span.args["error"] = result.error
+                return
+            on_document(result.url, result.triples)
+            stats.documents_fetched += 1
+            if deref_span is not None:
+                deref_span.args["outcome"] = "ok"
+                deref_span.args["triples"] = len(result.triples)
 
-        if self._config.max_depth and link.depth >= self._config.max_depth:
-            return
-        for extractor in self._extractors:
-            for url in extractor.extract(result.url, result.triples, context):
-                if not url.startswith(("http://", "https://")):
-                    continue
-                pushed = queue.push(
-                    Link(url=url, parent_url=result.url, depth=link.depth + 1, via=extractor.name)
-                )
-                if pushed:
-                    stats.links_by_extractor[extractor.name] = (
-                        stats.links_by_extractor.get(extractor.name, 0) + 1
+            if self._config.max_depth and link.depth >= self._config.max_depth:
+                return
+            extract_started = clock() if tracer is not None else 0.0
+            links_pushed = 0
+            for extractor in self._extractors:
+                for url in extractor.extract(result.url, result.triples, context):
+                    if not url.startswith(("http://", "https://")):
+                        continue
+                    pushed = queue.push(
+                        Link(url=url, parent_url=result.url, depth=link.depth + 1, via=extractor.name)
                     )
+                    if pushed:
+                        links_pushed += 1
+                        stats.links_by_extractor[extractor.name] = (
+                            stats.links_by_extractor.get(extractor.name, 0) + 1
+                        )
+            if tracer is not None:
+                tracer.add(
+                    "extract",
+                    extract_started,
+                    clock(),
+                    parent=deref_span,
+                    links=links_pushed,
+                )
+        finally:
+            if deref_span is not None:
+                tracer.end(deref_span)

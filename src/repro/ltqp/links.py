@@ -23,7 +23,9 @@ class Link:
     ``parent_url`` is the document whose content produced this link (None
     for seeds), ``depth`` its distance from the seeds, ``via`` the name of
     the extractor that found it, ``attempts`` how many times it has been
-    re-queued after retryable dereference failures.
+    re-queued after retryable dereference failures.  ``enqueued_at`` is
+    stamped by the queue (its clock) on push/requeue — the tracer's
+    ``queue-wait`` spans measure from it.
     """
 
     url: str
@@ -31,6 +33,7 @@ class Link:
     depth: int = 0
     via: str = "seed"
     attempts: int = 0
+    enqueued_at: float = 0.0
 
     @property
     def is_seed(self) -> bool:
@@ -56,6 +59,11 @@ class LinkQueue:
         self._popped = 0
         self._requeued = 0
         self._samples: list[QueueSample] = []
+        #: Timestamp source for samples and ``Link.enqueued_at`` stamps;
+        #: the engine swaps in the tracer's clock on traced executions.
+        self.clock: Callable[[], float] = time.monotonic
+        #: Optional per-sample callback (queue-depth gauge wiring).
+        self.observer: Optional[Callable[[QueueSample], None]] = None
 
     # -- subclass interface ---------------------------------------------------
 
@@ -76,7 +84,9 @@ class LinkQueue:
         if url in self._seen:
             return False
         self._seen.add(url)
-        self._push_impl(Link(url, link.parent_url, link.depth, link.via, link.attempts))
+        self._push_impl(
+            Link(url, link.parent_url, link.depth, link.via, link.attempts, self.clock())
+        )
         self._pushed += 1
         self._sample()
         return True
@@ -92,7 +102,9 @@ class LinkQueue:
         """
         url = _strip_fragment(link.url)
         self._seen.add(url)
-        self._push_impl(Link(url, link.parent_url, link.depth, link.via, link.attempts))
+        self._push_impl(
+            Link(url, link.parent_url, link.depth, link.via, link.attempts, self.clock())
+        )
         self._requeued += 1
         self._sample()
         return True
@@ -129,14 +141,15 @@ class LinkQueue:
         return list(self._samples)
 
     def _sample(self) -> None:
-        self._samples.append(
-            QueueSample(
-                timestamp=time.monotonic(),
-                queue_length=len(self),
-                pushed_total=self._pushed,
-                popped_total=self._popped,
-            )
+        sample = QueueSample(
+            timestamp=self.clock(),
+            queue_length=len(self),
+            pushed_total=self._pushed,
+            popped_total=self._popped,
         )
+        self._samples.append(sample)
+        if self.observer is not None:
+            self.observer(sample)
 
 
 class FifoLinkQueue(LinkQueue):

@@ -397,6 +397,11 @@ class ValuesNode(IncrementalNode):
 class JoinNode(IncrementalNode):
     """Symmetric hash join on the certainly-bound shared variables."""
 
+    #: Class-level default: tracing is off unless a Pipeline with an
+    #: enabled tracer installs an instance attribute (zero hot-path cost
+    #: beyond one identity check).
+    _tracer = None
+
     def __init__(self, left: IncrementalNode, right: IncrementalNode) -> None:
         super().__init__(left.certain_variables | right.certain_variables)
         self._left = left
@@ -408,6 +413,17 @@ class JoinNode(IncrementalNode):
         self._right_table: dict[tuple, list[Binding]] = {}
 
     def process(self, delta: Delta, dataset: Dataset) -> list[Binding]:
+        tracer = self._tracer
+        if tracer is None:
+            return self._process(delta, dataset)
+        with tracer.span(
+            "join", key=" ".join(v.value for v in self._key_variables)
+        ) as span:
+            produced = self._process(delta, dataset)
+            span.args["produced"] = len(produced)
+        return produced
+
+    def _process(self, delta: Delta, dataset: Dataset) -> list[Binding]:
         new_left = self._left.process(delta, dataset)
         new_right = self._right.process(delta, dataset)
         produced: list[Binding] = []
@@ -591,6 +607,20 @@ class Pipeline:
         self._cursor = 0
         self._router = DeltaRouter()
         root.register(self._router)
+        self._tracer = None
+        self._trace_parent = None
+
+    def enable_tracing(self, tracer, parent=None) -> None:
+        """Record one ``advance-batch`` span per :meth:`advance` (under
+        ``parent``) with nested ``join`` spans per join operator."""
+        self._tracer = tracer
+        self._trace_parent = parent
+        stack: list[IncrementalNode] = [self._root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, JoinNode):
+                node._tracer = tracer
+            stack.extend(node.children())
 
     @property
     def root(self) -> IncrementalNode:
@@ -614,7 +644,15 @@ class Pipeline:
         self._cursor = position
         if not delta:
             return []
-        return self._root.process(self._router.batch(delta), dataset)
+        tracer = self._tracer
+        if tracer is None:
+            return self._root.process(self._router.batch(delta), dataset)
+        with tracer.span(
+            "advance-batch", parent=self._trace_parent, quads=len(delta)
+        ) as span:
+            produced = self._root.process(self._router.batch(delta), dataset)
+            span.args["produced"] = len(produced)
+        return produced
 
 
 def compile_pipeline(

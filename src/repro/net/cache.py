@@ -75,10 +75,17 @@ class HttpCache:
         cache_control = response.header("cache-control")
         if "no-store" in cache_control:
             return None
-        max_age = self._default_max_age
-        match = _MAX_AGE_RE.search(cache_control)
-        if match:
-            max_age = float(match.group(1))
+        if "no-cache" in cache_control:
+            # RFC 9111 §5.2.2.4: ``no-cache`` responses MAY be stored but
+            # MUST be revalidated before every reuse — a zero max-age makes
+            # the entry permanently stale, so each hit goes through the
+            # ETag / 304 path instead of being served from memory.
+            max_age = 0.0
+        else:
+            max_age = self._default_max_age
+            match = _MAX_AGE_RE.search(cache_control)
+            if match:
+                max_age = float(match.group(1))
         if len(self._entries) >= self._max_entries and url not in self._entries:
             # Simple bound: drop the oldest entry.
             oldest = min(self._entries, key=lambda key: self._entries[key].stored_at)

@@ -104,8 +104,17 @@ class HttpClient:
         self._cache = cache
         self._explicit_policy = policy is not None
         self._policy = policy if policy is not None else NetworkPolicy()
-        self._breakers = BreakerRegistry(self._policy.breaker)
+        self._breakers = BreakerRegistry(
+            self._policy.breaker, on_transition=self._on_breaker_transition
+        )
         self._resilience = ResilienceStats()
+        #: Observability hooks (see :mod:`repro.obs`): when set by the
+        #: engine, ``fetch`` records per-attempt trace spans and metrics,
+        #: and all timestamps (including request-log entries) come from
+        #: ``tracer.clock``.  ``None`` (the default) keeps the hot path
+        #: untouched beyond one identity check.
+        self.tracer = None
+        self.metrics = None
 
     @property
     def cache(self) -> Optional[HttpCache]:
@@ -133,7 +142,14 @@ class HttpClient:
     def apply_policy(self, policy: NetworkPolicy) -> None:
         """Install ``policy``, resetting per-origin breakers to match."""
         self._policy = policy
-        self._breakers = BreakerRegistry(policy.breaker)
+        self._breakers = BreakerRegistry(
+            policy.breaker, on_transition=self._on_breaker_transition
+        )
+
+    def _on_breaker_transition(self, origin: str, old: str, new: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(f"breaker.transitions.{old}->{new}").inc()
+            self.metrics.counter(f"breaker.transitions[{origin}]").inc()
 
     @property
     def resilience(self) -> ResilienceStats:
@@ -161,6 +177,7 @@ class HttpClient:
         headers: Optional[dict[str, str]] = None,
         parent_url: Optional[str] = None,
         strict: bool = False,
+        trace_parent=None,
     ) -> Response:
         """Fetch a URL through the simulated Web.
 
@@ -170,89 +187,202 @@ class HttpClient:
         :class:`FetchError`.  Transient failures are retried according to
         the client's :class:`~repro.net.resilience.NetworkPolicy`; each
         attempt is logged separately.
+
+        When the client's ``tracer`` is set, the call records a ``fetch``
+        span (nested under ``trace_parent``) with one ``attempt`` child
+        per logged request record — identical timestamps, so log and
+        trace reconcile exactly — plus ``backoff`` children for retry
+        sleeps; all timestamps then come from the tracer's clock.
         """
         origin, _, clean_url = split_url(url)
-        request_headers = dict(self._default_headers)
-        request_headers.setdefault("accept", "text/turtle, application/n-triples;q=0.8")
-        if headers:
-            request_headers.update(headers)
+        tracer = self.tracer
+        metrics = self.metrics
+        clock = tracer.clock if tracer is not None else time.monotonic
+        fetch_span = (
+            tracer.begin(
+                "fetch", parent=trace_parent, url=clean_url, parent_url=parent_url or ""
+            )
+            if tracer is not None
+            else None
+        )
+        try:
+            request_headers = dict(self._default_headers)
+            request_headers.setdefault("accept", "text/turtle, application/n-triples;q=0.8")
+            if headers:
+                request_headers.update(headers)
 
-        # -- cache consultation (the browser "(disk cache)" of Fig. 4) ----
-        cache_entry = None
-        if self._cache is not None and method == "GET":
-            cache_entry = self._cache.lookup(clean_url)
-            if cache_entry is not None and cache_entry.is_fresh():
-                self._cache.hits += 1
-                now = time.monotonic()
+            # -- cache consultation (the browser "(disk cache)" of Fig. 4) ----
+            cache_entry = None
+            if self._cache is not None and method == "GET":
+                cache_entry = self._cache.lookup(clean_url)
+                if cache_entry is not None and cache_entry.is_fresh():
+                    self._cache.hits += 1
+                    if metrics is not None:
+                        metrics.counter("cache.hits").inc()
+                    now = clock()
+                    self._log.record(
+                        method=method,
+                        url=clean_url,
+                        status=cache_entry.response.status,
+                        started_at=now,
+                        finished_at=now,
+                        response_size=len(cache_entry.response.body),
+                        parent_url=parent_url,
+                        from_cache=True,
+                    )
+                    if tracer is not None:
+                        tracer.add(
+                            "attempt",
+                            now,
+                            now,
+                            parent=fetch_span,
+                            url=clean_url,
+                            status=cache_entry.response.status,
+                            attempt=1,
+                            from_cache=True,
+                            error="",
+                            size=len(cache_entry.response.body),
+                        )
+                    return cache_entry.response
+                if cache_entry is not None and cache_entry.etag:
+                    request_headers["if-none-match"] = cache_entry.etag
+
+            request = Request(method=method, url=clean_url, headers=request_headers)
+
+            retry = self._policy.retry
+            max_attempts = max(1, retry.max_attempts)
+            breaker = self._breakers.for_origin(origin)
+            attempt = 0
+            started = finished = clock()
+            # The breaker judges the *final* outcome of the last real attempt —
+            # a request that recovers via retries proves the origin is alive,
+            # so transient flakiness never trips it; only requests that stay
+            # failed after the retry loop (or with retries off) count.
+            last_real_response: Optional[Response] = None
+            while True:
+                attempt += 1
+                if not breaker.allow():
+                    # Fast-fail: the origin tripped its breaker; don't queue
+                    # behind it, and don't retry — the dereferencer may
+                    # re-queue the link for after the recovery window.
+                    self._resilience.breaker_fast_fails += 1
+                    if metrics is not None:
+                        metrics.counter("breaker.fast_fails").inc()
+                    started = finished = clock()
+                    response = Response(0, {"x-error": "circuit-open"}, b"")
+                    break
+                self._resilience.attempts += 1
+                if metrics is not None:
+                    metrics.counter("http.attempts").inc()
+                semaphore = self._semaphore_for(origin)
+                async with semaphore:
+                    started = clock()
+                    try:
+                        timeout = self._policy.request_timeout
+                        if timeout and timeout > 0:
+                            # asyncio.timeout (3.11+) instead of wait_for: it
+                            # adds no extra task or scheduling point, so an
+                            # in-process app that answers without awaiting
+                            # keeps the exact pre-timeout interleaving.
+                            async with asyncio.timeout(timeout):
+                                response = await self._internet.dispatch(request)
+                        else:
+                            response = await self._internet.dispatch(request)
+                    except asyncio.TimeoutError:
+                        self._resilience.timeouts += 1
+                        if metrics is not None:
+                            metrics.counter("http.timeouts").inc()
+                        response = Response(0, {"x-error": "timeout"}, b"")
+                    except Exception as error:  # a buggy app is a 500, not a crash
+                        response = Response(500, {"content-type": "text/plain"}, str(error).encode())
+                    delay = self._latency.latency_for(clean_url, len(response.body))
+                    if delay > 0 and self._latency_scale > 0:
+                        await asyncio.sleep(delay * self._latency_scale)
+                    finished = clock()
+                last_real_response = response
+                if metrics is not None:
+                    metrics.histogram("fetch.latency_s").observe(finished - started)
+
+                if not _is_retryable(response) or attempt >= max_attempts:
+                    break
+                if retry.budget and self._resilience.retries >= retry.budget:
+                    self._resilience.budget_exhausted += 1
+                    break
+
+                # -- log the failed attempt, back off, go again ------------
                 self._log.record(
                     method=method,
                     url=clean_url,
-                    status=cache_entry.response.status,
-                    started_at=now,
-                    finished_at=now,
-                    response_size=len(cache_entry.response.body),
+                    status=response.status,
+                    started_at=started,
+                    finished_at=finished,
+                    response_size=len(response.body),
                     parent_url=parent_url,
-                    from_cache=True,
+                    error=_error_text(response) or f"HTTP {response.status}",
+                    attempt=attempt,
                 )
-                return cache_entry.response
-            if cache_entry is not None and cache_entry.etag:
-                request_headers["if-none-match"] = cache_entry.etag
-
-        request = Request(method=method, url=clean_url, headers=request_headers)
-
-        retry = self._policy.retry
-        max_attempts = max(1, retry.max_attempts)
-        breaker = self._breakers.for_origin(origin)
-        attempt = 0
-        started = finished = time.monotonic()
-        # The breaker judges the *final* outcome of the last real attempt —
-        # a request that recovers via retries proves the origin is alive,
-        # so transient flakiness never trips it; only requests that stay
-        # failed after the retry loop (or with retries off) count.
-        last_real_response: Optional[Response] = None
-        while True:
-            attempt += 1
-            if not breaker.allow():
-                # Fast-fail: the origin tripped its breaker; don't queue
-                # behind it, and don't retry — the dereferencer may
-                # re-queue the link for after the recovery window.
-                self._resilience.breaker_fast_fails += 1
-                started = finished = time.monotonic()
-                response = Response(0, {"x-error": "circuit-open"}, b"")
-                break
-            self._resilience.attempts += 1
-            semaphore = self._semaphore_for(origin)
-            async with semaphore:
-                started = time.monotonic()
-                try:
-                    timeout = self._policy.request_timeout
-                    if timeout and timeout > 0:
-                        # asyncio.timeout (3.11+) instead of wait_for: it
-                        # adds no extra task or scheduling point, so an
-                        # in-process app that answers without awaiting
-                        # keeps the exact pre-timeout interleaving.
-                        async with asyncio.timeout(timeout):
-                            response = await self._internet.dispatch(request)
+                if tracer is not None:
+                    tracer.add(
+                        "attempt",
+                        started,
+                        finished,
+                        parent=fetch_span,
+                        url=clean_url,
+                        status=response.status,
+                        attempt=attempt,
+                        retried=True,
+                        error=_error_text(response) or f"HTTP {response.status}",
+                        size=len(response.body),
+                    )
+                self._resilience.retries += 1
+                if metrics is not None:
+                    metrics.counter("http.retries").inc()
+                backoff = retry.backoff_delay(clean_url, attempt - 1)
+                retry_after = response.header("retry-after")
+                if retry.respect_retry_after and retry_after:
+                    try:
+                        backoff = max(backoff, min(float(retry_after), retry.max_retry_after))
+                        self._resilience.retry_after_waits += 1
+                    except ValueError:
+                        pass
+                if backoff > 0:
+                    if tracer is not None:
+                        backoff_started = clock()
+                        await asyncio.sleep(backoff * self._latency_scale)
+                        tracer.add(
+                            "backoff",
+                            backoff_started,
+                            clock(),
+                            parent=fetch_span,
+                            attempt=attempt,
+                        )
                     else:
-                        response = await self._internet.dispatch(request)
-                except asyncio.TimeoutError:
-                    self._resilience.timeouts += 1
-                    response = Response(0, {"x-error": "timeout"}, b"")
-                except Exception as error:  # a buggy app is a 500, not a crash
-                    response = Response(500, {"content-type": "text/plain"}, str(error).encode())
-                delay = self._latency.latency_for(clean_url, len(response.body))
-                if delay > 0 and self._latency_scale > 0:
-                    await asyncio.sleep(delay * self._latency_scale)
-                finished = time.monotonic()
-            last_real_response = response
+                        await asyncio.sleep(backoff * self._latency_scale)
 
-            if not _is_retryable(response) or attempt >= max_attempts:
-                break
-            if retry.budget and self._resilience.retries >= retry.budget:
-                self._resilience.budget_exhausted += 1
-                break
+            if last_real_response is not None:
+                # Fast-failed requests (no real attempt) carry no health signal.
+                if _is_breaker_failure(last_real_response):
+                    breaker.record_failure()
+                else:
+                    breaker.record_success()
 
-            # -- log the failed attempt, back off, go again ------------
+            served_from_cache = False
+            revalidated = False
+            if self._cache is not None and method == "GET":
+                if response.status == 304 and cache_entry is not None:
+                    # Revalidated: renew and answer with the cached body.
+                    cache_entry.renew(now=clock())
+                    self._cache.revalidations += 1
+                    if metrics is not None:
+                        metrics.counter("cache.revalidations").inc()
+                    response = cache_entry.response
+                    served_from_cache = True
+                    revalidated = True
+                elif response.status == 200:
+                    self._cache.misses += 1
+                    self._cache.store(clean_url, response)
+
+            error_text = _error_text(response)
             self._log.record(
                 method=method,
                 url=clean_url,
@@ -261,56 +391,30 @@ class HttpClient:
                 finished_at=finished,
                 response_size=len(response.body),
                 parent_url=parent_url,
-                error=_error_text(response) or f"HTTP {response.status}",
+                error=error_text,
+                from_cache=served_from_cache,
                 attempt=attempt,
             )
-            self._resilience.retries += 1
-            backoff = retry.backoff_delay(clean_url, attempt - 1)
-            retry_after = response.header("retry-after")
-            if retry.respect_retry_after and retry_after:
-                try:
-                    backoff = max(backoff, min(float(retry_after), retry.max_retry_after))
-                    self._resilience.retry_after_waits += 1
-                except ValueError:
-                    pass
-            if backoff > 0:
-                await asyncio.sleep(backoff * self._latency_scale)
-
-        if last_real_response is not None:
-            # Fast-failed requests (no real attempt) carry no health signal.
-            if _is_breaker_failure(last_real_response):
-                breaker.record_failure()
-            else:
-                breaker.record_success()
-
-        served_from_cache = False
-        if self._cache is not None and method == "GET":
-            if response.status == 304 and cache_entry is not None:
-                # Revalidated: renew and answer with the cached body.
-                cache_entry.renew()
-                self._cache.revalidations += 1
-                response = cache_entry.response
-                served_from_cache = True
-            elif response.status == 200:
-                self._cache.misses += 1
-                self._cache.store(clean_url, response)
-
-        error_text = _error_text(response)
-        self._log.record(
-            method=method,
-            url=clean_url,
-            status=response.status,
-            started_at=started,
-            finished_at=finished,
-            response_size=len(response.body),
-            parent_url=parent_url,
-            error=error_text,
-            from_cache=served_from_cache,
-            attempt=attempt,
-        )
-        if strict and (response.status == 0 or response.status >= 400):
-            raise FetchError(clean_url, f"HTTP {response.status}" if response.status else error_text)
-        return response
+            if tracer is not None:
+                tracer.add(
+                    "attempt",
+                    started,
+                    finished,
+                    parent=fetch_span,
+                    url=clean_url,
+                    status=response.status,
+                    attempt=attempt,
+                    from_cache=served_from_cache,
+                    revalidated=revalidated,
+                    error=error_text,
+                    size=len(response.body),
+                )
+            if strict and (response.status == 0 or response.status >= 400):
+                raise FetchError(clean_url, f"HTTP {response.status}" if response.status else error_text)
+            return response
+        finally:
+            if fetch_span is not None:
+                tracer.end(fetch_span)
 
     async def get_text(self, url: str, strict: bool = True) -> str:
         """Convenience GET returning the body text."""

@@ -125,6 +125,7 @@ class CircuitBreaker:
         self,
         policy: Optional[BreakerPolicy] = None,
         clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[str, str], None]] = None,
     ) -> None:
         self._policy = policy if policy is not None else BreakerPolicy()
         self._clock = clock
@@ -133,18 +134,29 @@ class CircuitBreaker:
         self._opened_at = 0.0
         self._probes_in_flight = 0
         self.trips = 0  # closed→open transitions
+        #: Observer called with ``(old_state, new_state)`` on every change
+        #: (metrics wiring: breaker state-transition counters).
+        self.on_transition = on_transition
 
     @property
     def state(self) -> str:
         self._maybe_half_open()
         return self._state
 
+    def _set_state(self, new_state: str) -> None:
+        if new_state == self._state:
+            return
+        old_state = self._state
+        self._state = new_state
+        if self.on_transition is not None:
+            self.on_transition(old_state, new_state)
+
     def _maybe_half_open(self) -> None:
         if (
             self._state == self.OPEN
             and self._clock() - self._opened_at >= self._policy.recovery_seconds
         ):
-            self._state = self.HALF_OPEN
+            self._set_state(self.HALF_OPEN)
             self._probes_in_flight = 0
 
     def allow(self) -> bool:
@@ -167,7 +179,7 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         if self._state == self.HALF_OPEN:
-            self._state = self.CLOSED
+            self._set_state(self.CLOSED)
         self._consecutive_failures = 0
         self._probes_in_flight = 0
 
@@ -182,7 +194,7 @@ class CircuitBreaker:
             self._trip()
 
     def _trip(self) -> None:
-        self._state = self.OPEN
+        self._set_state(self.OPEN)
         self._opened_at = self._clock()
         self._consecutive_failures = 0
         self._probes_in_flight = 0
@@ -196,15 +208,28 @@ class BreakerRegistry:
         self,
         policy: Optional[BreakerPolicy] = None,
         clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[str, str, str], None]] = None,
     ) -> None:
         self._policy = policy if policy is not None else BreakerPolicy()
         self._clock = clock
         self._breakers: dict[str, CircuitBreaker] = {}
+        #: Observer called with ``(origin, old_state, new_state)``.
+        self.on_transition = on_transition
 
     def for_origin(self, origin: str) -> CircuitBreaker:
         breaker = self._breakers.get(origin)
         if breaker is None:
-            breaker = self._breakers[origin] = CircuitBreaker(self._policy, clock=self._clock)
+            hook = None
+            if self.on_transition is not None:
+                registry = self
+
+                def hook(old: str, new: str, _origin: str = origin) -> None:
+                    if registry.on_transition is not None:
+                        registry.on_transition(_origin, old, new)
+
+            breaker = self._breakers[origin] = CircuitBreaker(
+                self._policy, clock=self._clock, on_transition=hook
+            )
         return breaker
 
     def trips_by_origin(self) -> dict[str, int]:

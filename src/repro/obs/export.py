@@ -1,0 +1,180 @@
+"""Trace exporters: Chrome trace-event JSON and a flamegraph-style text summary.
+
+Two renderings of the same span tree:
+
+* :func:`chrome_trace_events` / :func:`write_chrome_trace` — the Chrome
+  trace-event format (``chrome://tracing`` / https://ui.perfetto.dev):
+  complete events (``ph: "X"``) per span, instant events (``ph: "i"``)
+  for markers, one ``tid`` per worker track.  Timestamps are microseconds
+  relative to the earliest span, so traces from the deterministic
+  :class:`~repro.obs.trace.TickClock` are byte-stable.
+* :func:`render_trace_summary` — a terminal flamegraph: the span tree
+  indented by depth with inclusive/self times and per-name aggregate
+  rollups, for ``--trace-summary`` and quick bench inspection.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Optional
+
+from .trace import Span, Tracer
+
+__all__ = ["chrome_trace_events", "write_chrome_trace", "render_trace_summary"]
+
+#: Track (``tid``) names shown by the Chrome trace viewer.
+_MAIN_TRACK = 0
+
+
+def _micros(ts: float, epoch: float) -> int:
+    return round((ts - epoch) * 1_000_000)
+
+
+def _json_safe(args: dict) -> dict:
+    safe = {}
+    for key, value in args.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            safe[key] = value
+        else:
+            safe[key] = str(value)
+    return safe
+
+
+def chrome_trace_events(tracer: Tracer, process_name: str = "repro-ltqp") -> list[dict]:
+    """The tracer's spans as a Chrome trace-event list (JSON-able).
+
+    Open spans are skipped (a finished execution closes everything).
+    """
+    spans = [span for span in tracer.spans if span.closed]
+    if not spans:
+        return []
+    epoch = min(span.start for span in spans)
+
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": process_name},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": _MAIN_TRACK,
+            "args": {"name": "engine"},
+        },
+    ]
+    tracks = sorted({span.track for span in spans if span.track != _MAIN_TRACK})
+    for track in tracks:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": track,
+                "args": {"name": f"worker-{track}"},
+            }
+        )
+
+    for span in spans:
+        args = _json_safe(span.args)
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if span.kind == "instant":
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "i",
+                    "s": "p",
+                    "pid": 1,
+                    "tid": span.track,
+                    "ts": _micros(span.start, epoch),
+                    "args": args,
+                }
+            )
+        else:
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": span.track,
+                    "ts": _micros(span.start, epoch),
+                    "dur": _micros(span.end, epoch) - _micros(span.start, epoch),
+                    "args": args,
+                }
+            )
+    return events
+
+
+def write_chrome_trace(tracer: Tracer, path: str, process_name: str = "repro-ltqp") -> int:
+    """Write ``{"traceEvents": [...]}`` to ``path``; returns the event count."""
+    events = chrome_trace_events(tracer, process_name=process_name)
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+    return len(events)
+
+
+def _self_time(span: Span) -> float:
+    child_time = sum(child.duration for child in span.children if child.kind != "instant")
+    return max(0.0, span.duration - child_time)
+
+
+def _render_span(span: Span, depth: int, total: float, lines: list[str], max_children: int) -> None:
+    if span.kind == "instant":
+        lines.append(f"{'  ' * depth}· {span.name} @ {span.start * 1000:.2f}ms")
+        return
+    share = span.duration / total if total else 0.0
+    label = span.args.get("url") or span.args.get("query") or ""
+    label = f"  {label}" if label else ""
+    lines.append(
+        f"{'  ' * depth}{span.name:<{max(1, 24 - 2 * depth)}}"
+        f"{span.duration * 1000:>10.2f}ms{share:>7.1%}"
+        f"  self {_self_time(span) * 1000:.2f}ms{label}"
+    )
+    children = span.children
+    shown = children[:max_children]
+    for child in shown:
+        _render_span(child, depth + 1, total, lines, max_children)
+    if len(children) > len(shown):
+        lines.append(f"{'  ' * (depth + 1)}… {len(children) - len(shown)} more")
+
+
+def _aggregate(spans: Iterable[Span]) -> list[tuple[str, int, float, float]]:
+    rollup: dict[str, list[float]] = {}
+    for span in spans:
+        if span.kind == "instant" or not span.closed:
+            continue
+        entry = rollup.setdefault(span.name, [0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += span.duration
+        entry[2] += _self_time(span)
+    return sorted(
+        ((name, int(e[0]), e[1], e[2]) for name, e in rollup.items()),
+        key=lambda row: -row[3],
+    )
+
+
+def render_trace_summary(tracer: Tracer, max_children: int = 8) -> str:
+    """Flamegraph-style text: indented tree + per-name self-time rollup."""
+    roots = [span for span in tracer.roots if span.closed]
+    if not roots:
+        return "(empty trace)"
+    total = sum(span.duration for span in roots if span.kind != "instant")
+
+    lines = [f"{'span':<24}{'incl':>12}{'share':>7}"]
+    for root in roots:
+        _render_span(root, 0, total, lines, max_children)
+
+    lines.append("")
+    lines.append(f"{'by span name':<24}{'count':>8}{'incl_ms':>14}{'self_ms':>14}")
+    for name, count, incl, self_t in _aggregate(tracer.spans):
+        lines.append(
+            f"{name:<24}{count:>8}{incl * 1000:>14,.2f}{self_t * 1000:>14,.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,198 @@
+"""A zero-dependency metrics registry: counters, gauges, histograms.
+
+Complements :mod:`repro.obs.trace`: spans answer *when and where time
+went inside one execution*; metrics answer *how much, how often, and how
+distributed* — queue depth over time, fetch latency distribution,
+triples/s, breaker state transitions.  Like the tracer, the registry is
+opt-in: instrumentation points hold a ``metrics`` reference that is
+``None`` by default and guard with one identity check.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = ["Counter", "Gauge", "Histogram", "Metrics"]
+
+#: Default histogram buckets, tuned for sub-second latencies (seconds).
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A value that goes up and down; remembers its observed extremes."""
+
+    __slots__ = ("name", "value", "min", "max", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.samples = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.samples += 1
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.set(self.value - amount)
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "gauge",
+            "value": self.value,
+            "min": self.min,
+            "max": self.max,
+            "samples": self.samples,
+        }
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum (Prometheus-style semantics).
+
+    ``buckets[i]`` counts observations ``<= bounds[i]``; an implicit
+    overflow bucket counts the rest.
+    """
+
+    __slots__ = ("name", "bounds", "buckets", "overflow", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.buckets = [0] * len(self.bounds)
+        self.overflow = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.buckets[i] += 1
+                return
+        self.overflow += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from bucket bounds (upper-bound estimate)."""
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        running = 0
+        for i, bound in enumerate(self.bounds):
+            running += self.buckets[i]
+            if running >= target:
+                return bound
+        return self.max if self.max is not None else self.bounds[-1]
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": round(self.sum, 6),
+            "mean": round(self.mean, 6),
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+            "buckets": dict(zip((str(b) for b in self.bounds), self.buckets)),
+            "overflow": self.overflow,
+        }
+
+
+class Metrics:
+    """Named registry of counters, gauges, and histograms.
+
+    Instruments are created on first use (``metrics.counter("http.retries")``)
+    so call sites need no setup, and a name always maps to one instrument.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, object] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = self._instruments[name] = Counter(name)
+        return instrument  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = self._instruments[name] = Gauge(name)
+        return instrument  # type: ignore[return-value]
+
+    def histogram(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = self._instruments[name] = Histogram(name, bounds)
+        return instrument  # type: ignore[return-value]
+
+    def get(self, name: str):
+        return self._instruments.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def as_dict(self) -> dict:
+        """All instruments, sorted by name — a stable JSON-able snapshot."""
+        return {
+            name: self._instruments[name].as_dict()  # type: ignore[attr-defined]
+            for name in sorted(self._instruments)
+        }
+
+    def render(self) -> str:
+        """Plain-text summary table (``--metrics`` CLI output)."""
+        lines = [f"{'metric':<36}{'value':>14}  detail"]
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                lines.append(f"{name:<36}{instrument.value:>14,.0f}  counter")
+            elif isinstance(instrument, Gauge):
+                detail = f"gauge min={instrument.min} max={instrument.max}"
+                lines.append(f"{name:<36}{instrument.value:>14,.1f}  {detail}")
+            elif isinstance(instrument, Histogram):
+                detail = (
+                    f"histogram n={instrument.count} mean={instrument.mean:.4f}"
+                    f" p95={instrument.quantile(0.95):.4f}"
+                )
+                lines.append(f"{name:<36}{instrument.sum:>14,.3f}  {detail}")
+        return "\n".join(lines)

@@ -69,12 +69,14 @@ class SolidBenchUniverse:
         latency: Optional[LatencyModel] = None,
         log: Optional[RequestLog] = None,
         latency_scale: float = 1.0,
+        cache=None,
     ) -> HttpClient:
         return HttpClient(
             self.internet,
             latency=latency if latency is not None else SeededJitterLatency(seed=self.config.seed),
             latency_scale=latency_scale,
             log=log,
+            cache=cache,
         )
 
     def engine(

@@ -24,6 +24,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from .ltqp.engine import LinkTraversalEngine
 from .net.latency import SeededJitterLatency
+from .obs import Tracer, chrome_trace_events
 from .sparql.parser import SparqlParseError, parse_query
 from .sparql.results import binding_to_cli_line
 from .solidbench.config import SolidBenchConfig
@@ -44,6 +45,18 @@ _PAGE_TEMPLATE = """<!DOCTYPE html>
  #results {{ border: 1px solid #ccc; padding: 0.5em; height: 20em; overflow-y: scroll;
             font-family: monospace; white-space: pre; }}
  .meta {{ color: #666; }}
+ #timeline {{ border: 1px solid #ccc; margin-top: 0.5em; padding: 0.5em;
+             height: 16em; overflow-y: scroll; position: relative;
+             font-size: 0.7em; font-family: monospace; }}
+ .tl-row {{ position: relative; height: 1.1em; }}
+ .tl-bar {{ position: absolute; height: 0.9em; background: #4a90d9;
+           border-radius: 2px; min-width: 2px; }}
+ .tl-bar.cache {{ background: #9b9b9b; }}
+ .tl-bar.retry {{ background: #d98b4a; }}
+ .tl-bar.error {{ background: #d9534f; }}
+ .tl-label {{ position: absolute; left: 0; white-space: nowrap; color: #333; }}
+ #first-result-marker {{ position: absolute; top: 0; bottom: 0; width: 0;
+                        border-left: 2px dashed #2ca02c; }}
 </style>
 </head>
 <body>
@@ -56,6 +69,12 @@ _PAGE_TEMPLATE = """<!DOCTYPE html>
 <span id="status" class="meta"></span>
 <h2>Query results:</h2>
 <div id="results"></div>
+<h2>Request timeline:</h2>
+<p class="meta">Fetch spans from the execution trace — blue = network,
+grey = cache hit, orange = retry, red = error; dashed green line marks the
+first streamed result. Full trace at <a href="/trace.json">/trace.json</a>
+(Chrome trace-event format).</p>
+<div id="timeline"></div>
 <script>
 const PRESETS = {presets_json};
 function pick() {{
@@ -89,6 +108,62 @@ async function execute() {{
   }}
   status.textContent = count + ' results in ' +
       ((performance.now() - started) / 1000).toFixed(1) + 's (done)';
+  await renderTimeline();
+}}
+async function renderTimeline() {{
+  const pane = document.getElementById('timeline');
+  pane.textContent = '';
+  let trace;
+  try {{
+    trace = await (await fetch('/trace.json')).json();
+  }} catch (err) {{
+    pane.textContent = '(no trace available)';
+    return;
+  }}
+  const spans = trace.traceEvents.filter(e => e.ph === 'X' && e.name === 'attempt');
+  if (!spans.length) {{ pane.textContent = '(no requests recorded)'; return; }}
+  const t0 = Math.min(...spans.map(e => e.ts));
+  const t1 = Math.max(...spans.map(e => e.ts + (e.dur || 0)));
+  const total = Math.max(t1 - t0, 1);
+  const labelWidth = 28;  // percent reserved for URL labels
+  spans.sort((a, b) => a.ts - b.ts);
+  for (const e of spans.slice(0, 400)) {{
+    const row = document.createElement('div');
+    row.className = 'tl-row';
+    const label = document.createElement('span');
+    label.className = 'tl-label';
+    const url = (e.args && e.args.url) || '';
+    label.textContent = url.split('/').filter(Boolean).slice(-1)[0] || url;
+    label.title = url;
+    const bar = document.createElement('div');
+    bar.className = 'tl-bar';
+    if (e.args && e.args.from_cache) bar.className += ' cache';
+    else if (e.args && e.args.attempt > 1) bar.className += ' retry';
+    if (e.args && e.args.error) bar.className += ' error';
+    const left = labelWidth + ((e.ts - t0) / total) * (100 - labelWidth);
+    const width = Math.max(((e.dur || 0) / total) * (100 - labelWidth), 0.15);
+    bar.style.left = left + '%';
+    bar.style.width = width + '%';
+    bar.title = url + ' — ' + ((e.dur || 0) / 1000).toFixed(1) + ' ms' +
+        (e.args && e.args.from_cache ? ' (cache)' : '');
+    row.appendChild(label);
+    row.appendChild(bar);
+    pane.appendChild(row);
+  }}
+  const first = trace.traceEvents.find(e => e.ph === 'i' && e.name === 'first-result');
+  if (first) {{
+    const marker = document.createElement('div');
+    marker.id = 'first-result-marker';
+    marker.style.left = (labelWidth + ((first.ts - t0) / total) * (100 - labelWidth)) + '%';
+    marker.title = 'first result';
+    pane.appendChild(marker);
+  }}
+  if (spans.length > 400) {{
+    const more = document.createElement('div');
+    more.className = 'meta';
+    more.textContent = '... and ' + (spans.length - 400) + ' more requests';
+    pane.appendChild(more);
+  }}
 }}
 </script>
 </body>
@@ -129,6 +204,8 @@ class DemoServer:
         self._server: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
         self._page = render_page(self._universe)
+        #: Tracer of the most recent ``/execute`` run, served at /trace.json.
+        self._last_trace: Optional[Tracer] = None
 
     @property
     def universe(self) -> SolidBenchUniverse:
@@ -161,6 +238,9 @@ class DemoServer:
                     query_text = parse_qs(parts.query).get("query", [""])[0]
                     demo._execute(self, query_text)
                     return
+                if parts.path == "/trace.json":
+                    demo._serve_trace(self)
+                    return
                 self.send_response(404)
                 self.end_headers()
 
@@ -182,7 +262,9 @@ class DemoServer:
             return
         client = self._universe.client(latency=SeededJitterLatency())
         engine = LinkTraversalEngine(client)
-        execution = engine.query(query).run_sync()
+        tracer = Tracer()
+        execution = engine.query(query, tracer=tracer).run_sync()
+        self._last_trace = tracer
         variables = query.variables()
         handler.send_response(200)
         handler.send_header("content-type", "application/x-ndjson")
@@ -191,6 +273,22 @@ class DemoServer:
             line = binding_to_cli_line(timed.binding, variables) + "\n"
             handler.wfile.write(line.encode("utf-8"))
             handler.wfile.flush()
+
+    def _serve_trace(self, handler: BaseHTTPRequestHandler) -> None:
+        """Chrome trace-event JSON for the most recent execution."""
+        tracer = self._last_trace
+        if tracer is None:
+            body = json.dumps({"error": "no execution traced yet"}).encode("utf-8")
+            handler.send_response(404)
+        else:
+            body = json.dumps(
+                {"traceEvents": chrome_trace_events(tracer), "displayTimeUnit": "ms"}
+            ).encode("utf-8")
+            handler.send_response(200)
+        handler.send_header("content-type", "application/json")
+        handler.send_header("content-length", str(len(body)))
+        handler.end_headers()
+        handler.wfile.write(body)
 
     def stop(self) -> None:
         if self._server is not None:

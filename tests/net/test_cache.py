@@ -22,7 +22,9 @@ def run(coro):
 class CountingApp(FunctionApp):
     """Serves a fixed body with ETag support and counts real hits."""
 
-    def __init__(self, body: bytes = b"data", max_age: str = "") -> None:
+    def __init__(
+        self, body: bytes = b"data", max_age: str = "", cache_control: str = ""
+    ) -> None:
         self.served = 0
         self.revalidated = 0
         app = self
@@ -34,7 +36,9 @@ class CountingApp(FunctionApp):
                 return Response(304, {"etag": etag})
             app.served += 1
             headers = {"content-type": "text/turtle", "etag": etag}
-            if max_age:
+            if cache_control:
+                headers["cache-control"] = cache_control
+            elif max_age:
                 headers["cache-control"] = f"max-age={max_age}"
             return Response(200, headers, body)
 
@@ -132,6 +136,94 @@ class TestClientIntegration:
         cache.hits = 3
         cache.clear()
         assert len(cache) == 0 and cache.hits == 0
+
+
+class TestNoCacheDirective:
+    """``Cache-Control: no-cache`` — store, but revalidate on every reuse."""
+
+    def test_no_cache_stored_but_never_fresh(self):
+        cache = HttpCache(default_max_age=300)
+        entry = cache.store(
+            "https://h/x", Response(200, {"cache-control": "no-cache"}, b"x")
+        )
+        assert entry is not None and len(cache) == 1
+        assert entry.max_age == 0.0
+        assert not entry.is_fresh()
+
+    def test_no_cache_overrides_max_age(self):
+        cache = HttpCache(default_max_age=300)
+        entry = cache.store(
+            "https://h/x",
+            Response(200, {"cache-control": "no-cache, max-age=600"}, b"x"),
+        )
+        assert entry is not None and entry.max_age == 0.0
+
+    def test_no_store_still_wins(self):
+        cache = HttpCache()
+        response = Response(200, {"cache-control": "no-store, no-cache"}, b"x")
+        assert cache.store("https://h/x", response) is None
+
+    def test_every_reuse_revalidates(self):
+        app = CountingApp(cache_control="no-cache")
+        cache = HttpCache(default_max_age=300)
+        client = make_client(app, cache)
+        bodies = [run(client.fetch("https://h/doc")).body for _ in range(3)]
+        assert bodies == [b"data"] * 3
+        assert app.served == 1  # body transferred exactly once
+        assert app.revalidated == 2  # every reuse hit the validator
+        assert cache.hits == 0 and cache.revalidations == 2
+
+
+class TestRenewalThroughTrace:
+    """304 renewal observed via the tracer's attempt spans."""
+
+    def _traced_client(self, app, cache):
+        from repro.obs import TickClock, Tracer
+
+        client = make_client(app, cache)
+        tracer = Tracer(clock=TickClock(step=0.001))
+        client.tracer = tracer
+        return client, tracer
+
+    def test_304_renewal_recorded_as_revalidated_attempt(self):
+        from repro.obs import check_trace_invariants
+
+        app = CountingApp(cache_control="no-cache")
+        cache = HttpCache(default_max_age=300)
+        client, tracer = self._traced_client(app, cache)
+        run(client.fetch("https://h/doc"))
+        stored_at_before = cache.lookup("https://h/doc").stored_at
+        second = run(client.fetch("https://h/doc"))
+
+        assert second.status == 200 and second.body == b"data"
+        attempts = [s for s in tracer.spans if s.name == "attempt"]
+        assert len(attempts) == 2
+        first_attempt, reval_attempt = attempts
+        assert not first_attempt.args.get("revalidated")
+        assert not first_attempt.args.get("from_cache")
+        # The conditional GET went to the network (a real attempt with
+        # duration), came back 304, and was served from the cached body.
+        assert reval_attempt.args["revalidated"] is True
+        assert reval_attempt.args["from_cache"] is True
+        assert reval_attempt.args["status"] == 200
+        assert reval_attempt.end > reval_attempt.start
+        # The 304 renewed the entry's clock.
+        assert cache.lookup("https://h/doc").stored_at != stored_at_before
+        assert check_trace_invariants(tracer) == []
+
+    def test_fresh_hit_recorded_as_zero_duration_cache_attempt(self):
+        app = CountingApp()
+        cache = HttpCache(default_max_age=300)
+        client, tracer = self._traced_client(app, cache)
+        run(client.fetch("https://h/doc"))
+        run(client.fetch("https://h/doc"))
+        attempts = [s for s in tracer.spans if s.name == "attempt"]
+        assert len(attempts) == 2
+        hit = attempts[1]
+        assert hit.args["from_cache"] is True
+        assert not hit.args.get("revalidated")  # never touched the network
+        assert hit.end == hit.start  # served instantaneously
+        assert app.served == 1
 
 
 class TestSolidServerEtags:

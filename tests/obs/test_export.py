@@ -1,0 +1,101 @@
+"""Unit tests for the Chrome trace-event and text-summary exporters."""
+
+import json
+
+from repro.obs import (
+    TickClock,
+    Tracer,
+    chrome_trace_events,
+    render_trace_summary,
+    write_chrome_trace,
+)
+
+
+def small_trace() -> Tracer:
+    tracer = Tracer(clock=TickClock(step=0.001))
+    query = tracer.begin("query", start=1.0)
+    tracer.add("plan", 1.0, 1.25, parent=query)
+    deref = tracer.add(
+        "dereference", 1.25, 1.75, parent=query, track=2, url="https://h/doc"
+    )
+    tracer.add("attempt", 1.3, 1.6, parent=deref, url="https://h/doc", status=200)
+    tracer.instant("first-result", parent=query, ts=1.5)
+    tracer.end(query, end=2.0)
+    return tracer
+
+
+class TestChromeTraceEvents:
+    def test_metadata_names_process_and_tracks(self):
+        events = chrome_trace_events(small_trace(), process_name="test-proc")
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert {"test-proc", "engine", "worker-2"} <= names
+
+    def test_complete_events_use_relative_microseconds(self):
+        events = chrome_trace_events(small_trace())
+        query = next(e for e in events if e["name"] == "query")
+        assert query["ph"] == "X"
+        assert query["ts"] == 0  # epoch = earliest span start
+        assert query["dur"] == 1_000_000
+        deref = next(e for e in events if e["name"] == "dereference")
+        assert deref["ts"] == 250_000 and deref["dur"] == 500_000
+        assert deref["tid"] == 2
+
+    def test_parent_links_preserved_in_args(self):
+        events = chrome_trace_events(small_trace())
+        attempt = next(e for e in events if e["name"] == "attempt")
+        deref = next(e for e in events if e["name"] == "dereference")
+        assert attempt["args"]["parent_id"] == deref["args"]["span_id"]
+
+    def test_instant_events(self):
+        events = chrome_trace_events(small_trace())
+        marker = next(e for e in events if e["name"] == "first-result")
+        assert marker["ph"] == "i" and marker["s"] == "p"
+        assert marker["ts"] == 500_000
+        assert "dur" not in marker
+
+    def test_open_spans_skipped(self):
+        tracer = Tracer(clock=TickClock())
+        tracer.begin("still-open")
+        assert chrome_trace_events(tracer) == []
+
+    def test_non_primitive_args_stringified(self):
+        tracer = Tracer(clock=TickClock())
+        tracer.add("s", 0.0, 1.0, payload=["a", "b"])
+        events = chrome_trace_events(tracer)
+        span = next(e for e in events if e["name"] == "s")
+        assert span["args"]["payload"] == "['a', 'b']"
+
+    def test_deterministic_under_tick_clock(self):
+        assert chrome_trace_events(small_trace()) == chrome_trace_events(small_trace())
+
+
+class TestWriteChromeTrace:
+    def test_writes_loadable_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(small_trace(), str(path))
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        assert len(payload["traceEvents"]) == count
+        assert count > 0
+
+
+class TestRenderTraceSummary:
+    def test_tree_and_rollup(self):
+        text = render_trace_summary(small_trace())
+        assert "query" in text and "dereference" in text
+        assert "first-result" in text
+        assert "by span name" in text
+        assert "https://h/doc" in text
+
+    def test_empty_trace(self):
+        assert render_trace_summary(Tracer(clock=TickClock())) == "(empty trace)"
+
+    def test_child_cap(self):
+        tracer = Tracer(clock=TickClock())
+        root = tracer.begin("query", start=0.0)
+        for index in range(12):
+            tracer.add("child", float(index), float(index) + 0.5, parent=root)
+        tracer.end(root, end=20.0)
+        text = render_trace_summary(tracer, max_children=8)
+        assert "… 4 more" in text

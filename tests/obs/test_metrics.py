@@ -1,0 +1,81 @@
+"""Unit tests for the counters/gauges/histograms registry."""
+
+from repro.obs import Counter, Gauge, Histogram, Metrics
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        assert counter.as_dict() == {"type": "counter", "value": 3.5}
+
+
+class TestGauge:
+    def test_tracks_extremes_and_samples(self):
+        gauge = Gauge("g")
+        for value in (3.0, -1.0, 7.0):
+            gauge.set(value)
+        assert gauge.value == 7.0
+        assert (gauge.min, gauge.max, gauge.samples) == (-1.0, 7.0, 3)
+
+    def test_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 3.0
+        assert gauge.samples == 2
+
+
+class TestHistogram:
+    def test_bucketing_and_overflow(self):
+        histogram = Histogram("h", bounds=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 99.0):
+            histogram.observe(value)
+        assert histogram.buckets == [1, 2]
+        assert histogram.overflow == 1
+        assert histogram.count == 4
+        assert histogram.min == 0.05 and histogram.max == 99.0
+
+    def test_mean_and_quantile(self):
+        histogram = Histogram("h", bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 3.5):
+            histogram.observe(value)
+        assert histogram.mean == 2.125
+        assert histogram.quantile(0.5) == 2.0
+        assert histogram.quantile(1.0) == 4.0
+
+    def test_empty_histogram(self):
+        histogram = Histogram("h")
+        assert histogram.mean == 0.0
+        assert histogram.quantile(0.95) == 0.0
+
+
+class TestMetricsRegistry:
+    def test_create_on_first_use_returns_same_instrument(self):
+        metrics = Metrics()
+        assert metrics.counter("x") is metrics.counter("x")
+        assert metrics.gauge("y") is metrics.gauge("y")
+        assert metrics.histogram("z") is metrics.histogram("z")
+        assert len(metrics) == 3
+        assert "x" in metrics and "missing" not in metrics
+
+    def test_as_dict_sorted_and_typed(self):
+        metrics = Metrics()
+        metrics.counter("b.count").inc()
+        metrics.gauge("a.depth").set(4)
+        snapshot = metrics.as_dict()
+        assert list(snapshot) == ["a.depth", "b.count"]
+        assert snapshot["b.count"]["type"] == "counter"
+        assert snapshot["a.depth"]["type"] == "gauge"
+
+    def test_render_mentions_every_instrument(self):
+        metrics = Metrics()
+        metrics.counter("http.attempts").inc(7)
+        metrics.gauge("queue.depth").set(12)
+        metrics.histogram("fetch.latency_s").observe(0.03)
+        text = metrics.render()
+        for name in ("http.attempts", "queue.depth", "fetch.latency_s"):
+            assert name in text
+        assert "counter" in text and "gauge" in text and "histogram" in text

@@ -1,0 +1,154 @@
+"""Trace/stats/metrics reconciliation on real engine executions.
+
+The trace is only trustworthy if it agrees with every other account of
+the same run: the engine's :class:`ExecutionStats`, the client's
+:class:`RequestLog`, and the metrics registry must all derive the same
+numbers.  These tests run Discover queries (clean and under injected
+faults) and cross-check all four books.
+"""
+
+import pytest
+
+from repro.ltqp import EngineConfig, NetworkPolicy
+from repro.net.faults import FaultPlan
+from repro.net.resilience import BreakerPolicy, CircuitBreaker, RetryPolicy
+from repro.obs import (
+    Metrics,
+    Tracer,
+    check_trace_invariants,
+    match_requests_to_attempts,
+    trace_execution_stats,
+)
+from repro.solidbench import discover_query
+
+
+def traced_discover(universe, template=1, variant=5, plan=None, network=None):
+    universe.internet.install_fault_plan(plan)
+    try:
+        query = discover_query(universe, template, variant)
+        config = EngineConfig(network=network) if network is not None else None
+        engine = universe.fast_engine(config=config)
+        tracer = Tracer()
+        metrics = Metrics()
+        execution = engine.query(
+            query.text, seeds=query.seeds, tracer=tracer, metrics=metrics
+        ).run_sync()
+        return execution, tracer, metrics, engine.client.log
+    finally:
+        universe.internet.install_fault_plan(None)
+
+
+def fast_retry() -> NetworkPolicy:
+    return NetworkPolicy(
+        retry=RetryPolicy(max_attempts=4, base_delay=0.0001, max_delay=0.001)
+    )
+
+
+def assert_books_agree(execution, tracer, metrics, log):
+    stats = execution.stats
+    derived = trace_execution_stats(tracer)
+
+    assert check_trace_invariants(tracer) == []
+    assert match_requests_to_attempts(log, tracer) == []
+
+    assert derived["documents_fetched"] == stats.documents_fetched
+    assert derived["documents_retried"] == stats.documents_retried
+    assert derived["documents_abandoned"] == stats.documents_abandoned
+    assert derived["http_retries"] == stats.http_retries
+    assert derived["http_timeouts"] == stats.http_timeouts
+    assert derived["breaker_fast_fails"] == stats.breaker_fast_fails
+    assert derived["time_to_first_result"] == stats.time_to_first_result
+
+    assert metrics.counter("documents.fetched").value == stats.documents_fetched
+    assert metrics.counter("results.emitted").value == stats.result_count
+    if stats.http_retries:
+        assert metrics.counter("http.retries").value == stats.http_retries
+
+
+class TestCleanRun:
+    def test_all_books_agree(self, tiny_universe):
+        execution, tracer, metrics, log = traced_discover(tiny_universe)
+        assert len(execution) > 0
+        assert_books_agree(execution, tracer, metrics, log)
+
+    def test_first_result_marker_matches_stats_exactly(self, tiny_universe):
+        execution, tracer, _, _ = traced_discover(tiny_universe)
+        markers = [s for s in tracer.spans if s.name == "first-result"]
+        assert len(markers) == 1
+        query_span = next(s for s in tracer.spans if s.name == "query")
+        derived_ttfr = markers[0].start - query_span.start
+        assert derived_ttfr == execution.stats.time_to_first_result
+
+    def test_one_dereference_span_per_fetched_document(self, tiny_universe):
+        execution, tracer, _, _ = traced_discover(tiny_universe)
+        ok_derefs = [
+            s
+            for s in tracer.spans
+            if s.name == "dereference" and s.args.get("outcome") == "ok"
+        ]
+        assert len(ok_derefs) == execution.stats.documents_fetched
+
+    def test_http_attempt_metric_matches_log(self, tiny_universe):
+        _, tracer, metrics, log = traced_discover(tiny_universe)
+        network_records = [r for r in log.records if not r.from_cache]
+        assert metrics.counter("http.attempts").value == len(network_records)
+        assert metrics.histogram("fetch.latency_s").count == len(network_records)
+
+
+class TestFaultedRun:
+    def test_books_agree_under_transient_faults(self, tiny_universe):
+        plan = FaultPlan.transient(rate=0.3, seed=13, fail_attempts=2)
+        execution, tracer, metrics, log = traced_discover(
+            tiny_universe, plan=plan, network=fast_retry()
+        )
+        assert execution.stats.http_retries > 0  # faults actually fired
+        assert_books_agree(execution, tracer, metrics, log)
+
+    def test_retry_attempts_carry_backoff_spans(self, tiny_universe):
+        plan = FaultPlan.transient(rate=0.3, seed=13, fail_attempts=2)
+        execution, tracer, _, _ = traced_discover(
+            tiny_universe, plan=plan, network=fast_retry()
+        )
+        backoffs = [s for s in tracer.spans if s.name == "backoff"]
+        assert len(backoffs) == execution.stats.http_retries
+        for span in backoffs:
+            assert span.end >= span.start
+
+    def test_answer_unchanged_but_trace_differs(self, tiny_universe):
+        clean_exec, clean_trace, _, _ = traced_discover(
+            tiny_universe, network=fast_retry()
+        )
+        plan = FaultPlan.transient(rate=0.3, seed=13, fail_attempts=2)
+        faulted_exec, faulted_trace, _, _ = traced_discover(
+            tiny_universe, plan=plan, network=fast_retry()
+        )
+        assert sorted(map(repr, clean_exec.bindings)) == sorted(
+            map(repr, faulted_exec.bindings)
+        )
+        clean_attempts = sum(1 for s in clean_trace.spans if s.name == "attempt")
+        faulted_attempts = sum(1 for s in faulted_trace.spans if s.name == "attempt")
+        assert faulted_attempts > clean_attempts
+
+
+class TestBreakerTransitionMetrics:
+    def test_transitions_counted(self):
+        metrics = Metrics()
+
+        def hook(old: str, new: str) -> None:
+            metrics.counter(f"breaker.transitions.{old}->{new}").inc()
+
+        clock_now = [0.0]
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=2, recovery_seconds=1.0),
+            clock=lambda: clock_now[0],
+            on_transition=hook,
+        )
+        breaker.record_failure()
+        breaker.record_failure()  # trips: closed -> open
+        clock_now[0] = 2.0
+        assert breaker.allow()  # recovery elapsed: open -> half-open probe
+        breaker.record_success()  # half-open -> closed
+        snapshot = metrics.as_dict()
+        assert snapshot["breaker.transitions.closed->open"]["value"] == 1
+        assert snapshot["breaker.transitions.open->half-open"]["value"] == 1
+        assert snapshot["breaker.transitions.half-open->closed"]["value"] == 1

@@ -1,0 +1,143 @@
+"""Unit tests for the span tracer: recording, nesting, invariant checks."""
+
+from repro.obs import Span, TickClock, Tracer, check_trace_invariants
+
+
+def ticked() -> Tracer:
+    return Tracer(clock=TickClock(step=1.0))
+
+
+class TestTickClock:
+    def test_advances_on_every_call(self):
+        clock = TickClock(step=0.5, start=10.0)
+        assert clock() == 10.5
+        assert clock() == 11.0
+
+    def test_sequence_is_reproducible(self):
+        assert [TickClock()() for _ in range(3)] == [TickClock()() for _ in range(3)]
+
+
+class TestSpanRecording:
+    def test_begin_assigns_sequential_ids_from_one(self):
+        tracer = ticked()
+        a = tracer.begin("a")
+        b = tracer.begin("b", parent=a)
+        assert (a.span_id, b.span_id) == (1, 2)
+        assert b.parent_id == a.span_id
+
+    def test_roots_and_children(self):
+        tracer = ticked()
+        root = tracer.begin("root")
+        child = tracer.begin("child", parent=root)
+        assert tracer.roots == [root]
+        assert root.children == [child]
+        assert tracer.spans == [root, child]
+
+    def test_child_inherits_parent_track(self):
+        tracer = ticked()
+        root = tracer.begin("root", track=3)
+        child = tracer.begin("child", parent=root)
+        override = tracer.begin("other", parent=root, track=7)
+        assert child.track == 3
+        assert override.track == 7
+
+    def test_end_is_idempotent_but_merges_args(self):
+        tracer = ticked()
+        span = tracer.begin("s")
+        tracer.end(span, end=5.0, outcome="ok")
+        tracer.end(span, end=99.0, extra=1)
+        assert span.end == 5.0
+        assert span.args == {"outcome": "ok", "extra": 1}
+
+    def test_add_records_retroactive_closed_span(self):
+        tracer = ticked()
+        span = tracer.add("attempt", 2.0, 3.5, url="https://h/x")
+        assert span.closed and (span.start, span.end) == (2.0, 3.5)
+        assert span.duration == 1.5
+
+    def test_instant_has_zero_duration_and_kind(self):
+        tracer = ticked()
+        marker = tracer.instant("first-result", ts=4.0)
+        assert marker.kind == "instant"
+        assert marker.start == marker.end == 4.0
+
+    def test_duration_zero_while_open(self):
+        tracer = ticked()
+        span = tracer.begin("s")
+        assert not span.closed and span.duration == 0.0
+
+
+class TestContextManagerNesting:
+    def test_cm_spans_nest_via_stack(self):
+        tracer = ticked()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.closed and inner.closed
+
+    def test_explicit_parent_overrides_stack(self):
+        tracer = ticked()
+        other = tracer.begin("other")
+        with tracer.span("outer"):
+            with tracer.span("inner", parent=other) as inner:
+                pass
+        assert inner.parent_id == other.span_id
+
+    def test_cm_closes_on_exception(self):
+        tracer = ticked()
+        try:
+            with tracer.span("boom") as span:
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert span.closed
+
+    def test_close_open_spans(self):
+        tracer = ticked()
+        tracer.begin("a")
+        b = tracer.begin("b")
+        tracer.end(b)
+        assert len(tracer.open_spans()) == 1
+        assert tracer.close_open_spans(end=50.0) == 1
+        assert tracer.open_spans() == []
+        assert tracer.spans[0].end == 50.0
+
+
+class TestInvariantChecker:
+    def _well_formed(self) -> Tracer:
+        tracer = ticked()
+        root = tracer.begin("query", start=0.0)
+        child = tracer.add("plan", 1.0, 2.0, parent=root)
+        tracer.add("traversal", 2.0, 9.0, parent=root)
+        tracer.end(root, end=10.0)
+        return tracer
+
+    def test_clean_tree_has_no_violations(self):
+        assert check_trace_invariants(self._well_formed()) == []
+
+    def test_unclosed_span_reported(self):
+        tracer = ticked()
+        tracer.begin("query")
+        assert any("never closed" in v for v in check_trace_invariants(tracer))
+
+    def test_end_before_start_reported(self):
+        tracer = ticked()
+        span = tracer.begin("s", start=5.0)
+        span.end = 1.0
+        assert check_trace_invariants(tracer) != []
+
+    def test_child_escaping_parent_reported(self):
+        tracer = ticked()
+        root = tracer.begin("query", start=0.0)
+        tracer.add("plan", 1.0, 99.0, parent=root)  # ends after the parent
+        tracer.end(root, end=10.0)
+        assert check_trace_invariants(tracer) != []
+
+    def test_sibling_start_regression_reported(self):
+        tracer = ticked()
+        root = tracer.begin("query", start=0.0)
+        tracer.add("a", 5.0, 6.0, parent=root)
+        tracer.add("b", 1.0, 2.0, parent=root)  # recorded after, starts before
+        tracer.end(root, end=10.0)
+        assert check_trace_invariants(tracer) != []
