@@ -1,0 +1,151 @@
+"""Service-mode benchmarks: cold vs warm latency, concurrent throughput.
+
+The :class:`~repro.service.QueryService` exists to amortize work across
+queries: one HTTP cache and one parsed-document store serve every
+execution.  Two claims to measure:
+
+* **warm speedup** — re-running a Discover query against a warm service
+  must be at least 2× faster than the cold run (every document comes
+  from the HTTP cache, every parse from the document store), with a
+  byte-identical result multiset and *zero* re-parses;
+* **concurrent throughput** — running a mixed query batch concurrently
+  through one service must beat running the same batch serially on the
+  same simulated network (traversal latency overlaps).
+
+``REPRO_WRITE_BENCH=1 pytest benchmarks/bench_service.py`` rewrites the
+committed baseline ``BENCH_service.json``;
+``python benchmarks/check_hotpath_regression.py`` gates against it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import print_banner
+
+from repro.bench import render_table
+from repro.net import SeededJitterLatency
+from repro.service import QueryService, SharedResources
+from repro.solidbench import discover_query
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+#: The mixed batch for the throughput comparison (template, variant).
+BATCH = ((1, 5), (2, 5), (4, 5), (5, 5))
+
+
+def _service(universe, **kwargs) -> QueryService:
+    resources = SharedResources.for_universe(
+        universe, latency=SeededJitterLatency(seed=13)
+    )
+    return QueryService(resources, **kwargs)
+
+
+def measure_cold_vs_warm(universe) -> dict:
+    """One query, cold then warm, through a fresh service."""
+    service = _service(universe)
+    named = discover_query(universe, 1, 5)
+
+    async def scenario():
+        start = time.perf_counter()
+        cold = await service.run(named.text, seeds=named.seeds)
+        cold_wall = time.perf_counter() - start
+        parses_after_cold = service.resources.document_store.parses
+        start = time.perf_counter()
+        warm = await service.run(named.text, seeds=named.seeds)
+        warm_wall = time.perf_counter() - start
+        return cold, cold_wall, parses_after_cold, warm, warm_wall
+
+    cold, cold_wall, parses_after_cold, warm, warm_wall = asyncio.run(scenario())
+    store = service.resources.document_store
+    identical = sorted(repr(t.binding) for t in cold.results) == sorted(
+        repr(t.binding) for t in warm.results
+    )
+    return {
+        "cold_wall_s": round(cold_wall, 4),
+        "warm_wall_s": round(warm_wall, 4),
+        "warm_speedup": round(cold_wall / warm_wall, 2) if warm_wall else 0.0,
+        "warm_reparses": store.parses - parses_after_cold,
+        "warm_from_store": warm.stats.documents_from_store,
+        "warm_fetched": warm.stats.documents_fetched,
+        "identical_results": identical,
+        "results": len(cold.results),
+    }
+
+
+def measure_concurrency(universe) -> dict:
+    """The BATCH serially vs concurrently, each on a fresh (cold) service."""
+    queries = [discover_query(universe, t, v) for t, v in BATCH]
+
+    async def serial():
+        service = _service(universe, max_concurrent=1)
+        start = time.perf_counter()
+        for named in queries:
+            await service.run(named.text, seeds=named.seeds)
+        return time.perf_counter() - start
+
+    async def concurrent():
+        service = _service(universe, max_concurrent=len(queries))
+        start = time.perf_counter()
+        handles = [service.submit(n.text, seeds=n.seeds) for n in queries]
+        await asyncio.gather(*(h.wait() for h in handles))
+        return time.perf_counter() - start
+
+    serial_wall = asyncio.run(serial())
+    concurrent_wall = asyncio.run(concurrent())
+    return {
+        "serial_wall_s": round(serial_wall, 4),
+        "concurrent_wall_s": round(concurrent_wall, 4),
+        "concurrent_speedup": (
+            round(serial_wall / concurrent_wall, 2) if concurrent_wall else 0.0
+        ),
+        "batch_size": len(queries),
+    }
+
+
+def measure_service(universe) -> dict:
+    return {**measure_cold_vs_warm(universe), **measure_concurrency(universe)}
+
+
+def _report(metrics: dict) -> None:
+    print_banner("QueryService — cold vs warm, serial vs concurrent")
+    print(
+        render_table(
+            [
+                {"run": "cold", "wall_s": metrics["cold_wall_s"],
+                 "results": metrics["results"], "from_store": 0},
+                {"run": "warm", "wall_s": metrics["warm_wall_s"],
+                 "results": metrics["results"],
+                 "from_store": metrics["warm_from_store"]},
+            ]
+        )
+    )
+    print(
+        f"warm speedup: {metrics['warm_speedup']}x "
+        f"(re-parses: {metrics['warm_reparses']}, "
+        f"identical: {metrics['identical_results']})"
+    )
+    print(
+        f"batch of {metrics['batch_size']}: serial {metrics['serial_wall_s']}s, "
+        f"concurrent {metrics['concurrent_wall_s']}s "
+        f"({metrics['concurrent_speedup']}x)"
+    )
+
+
+def test_service_warm_and_concurrent(universe):
+    metrics = measure_service(universe)
+    _report(metrics)
+
+    if os.environ.get("REPRO_WRITE_BENCH") == "1":
+        BASELINE_PATH.write_text(json.dumps(metrics, indent=1) + "\n")
+        print(f"wrote {BASELINE_PATH}")
+
+    assert metrics["identical_results"]
+    assert metrics["warm_reparses"] == 0
+    assert metrics["warm_from_store"] == metrics["warm_fetched"]
+    assert metrics["warm_speedup"] >= 2.0
+    assert metrics["concurrent_speedup"] > 1.0

@@ -39,6 +39,10 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from bench_faults import measure_zero_fault_overhead  # noqa: E402
 from bench_hotpath import BASELINE_PATH, collect_metrics  # noqa: E402
+from bench_service import (  # noqa: E402
+    BASELINE_PATH as SERVICE_BASELINE_PATH,
+    measure_service,
+)
 from bench_tracing import (  # noqa: E402
     BASELINE_PATH as TRACING_BASELINE_PATH,
     measure_tracing_overhead,
@@ -176,10 +180,75 @@ def gate_tracing_overhead(universe) -> list[str]:
     return failures
 
 
+#: A warm service query must stay at least this much faster than cold.
+SERVICE_WARM_SPEEDUP_FLOOR = 2.0
+
+
+def gate_service(universe) -> list[str]:
+    """Warm service runs: ≥2× faster, zero re-parses, identical results.
+
+    These are *absolute* properties of the shared-cache design, not
+    machine-relative ones: a warm query that re-parses documents or
+    diverges from its cold run is a correctness bug, and a warm speedup
+    under 2× means the document store stopped doing its job.  The
+    committed ``BENCH_service.json`` baseline pins the result count and
+    is refreshed by this script under ``REPRO_WRITE_BENCH=1``.  Like the
+    tracing gate, an under-floor speedup is re-measured once so a
+    transient contention spike on the cold/warm timing cannot flake.
+    """
+    import os
+
+    current = measure_service(universe)
+    if current["warm_speedup"] < SERVICE_WARM_SPEEDUP_FLOOR:
+        print("under speedup floor; re-measuring once (contention filter)")
+        retry = measure_service(universe)
+        if retry["warm_speedup"] > current["warm_speedup"]:
+            current = retry
+    if os.environ.get("REPRO_WRITE_BENCH") == "1":
+        SERVICE_BASELINE_PATH.write_text(json.dumps(current, indent=1) + "\n")
+        print(f"wrote {SERVICE_BASELINE_PATH}: {current}")
+        return []
+    if not SERVICE_BASELINE_PATH.exists():
+        return [
+            f"no baseline at {SERVICE_BASELINE_PATH}; "
+            "run this script with REPRO_WRITE_BENCH=1 first"
+        ]
+    baseline = json.loads(SERVICE_BASELINE_PATH.read_text())
+
+    print(f"{'metric':<24}{'baseline':>14}{'current':>14}")
+    for key in ("cold_wall_s", "warm_wall_s", "warm_speedup", "concurrent_speedup"):
+        print(f"{key:<24}{baseline.get(key)!s:>14}{current.get(key)!s:>14}")
+    print(
+        f"{'warm_reparses':<24}{baseline.get('warm_reparses')!s:>14}"
+        f"{current['warm_reparses']!s:>14}"
+    )
+
+    failures = []
+    if current["warm_speedup"] < SERVICE_WARM_SPEEDUP_FLOOR:
+        failures.append(
+            f"warm service speedup {current['warm_speedup']}x "
+            f"(≥{SERVICE_WARM_SPEEDUP_FLOOR}x required)"
+        )
+    if current["warm_reparses"] != 0:
+        failures.append(
+            f"warm service run re-parsed {current['warm_reparses']} documents "
+            "(document store must make warm parses free)"
+        )
+    if not current["identical_results"]:
+        failures.append("warm service results diverged from the cold run")
+    if current["results"] != baseline.get("results"):
+        failures.append(
+            f"service bench result count changed: "
+            f"{baseline.get('results')} -> {current['results']}"
+        )
+    return failures
+
+
 GATES = (
     ("hot path vs baseline", gate_hotpath),
     ("zero-fault resilience overhead", gate_fault_overhead),
     ("tracing overhead", gate_tracing_overhead),
+    ("service warm/concurrent", gate_service),
 )
 
 

@@ -8,6 +8,12 @@ per result as results stream in::
     repro-sparql-ltqp --simulate 0.02 SEED_URL "SELECT ..." --lenient
     repro-sparql-ltqp --simulate 0.02 --discover 1.5 --waterfall
 
+``repro-sparql-ltqp serve`` instead starts the long-lived
+:class:`~repro.service.QueryService` behind the demo web UI and a real
+SPARQL-protocol endpoint (see :func:`serve_main`)::
+
+    repro-sparql-ltqp serve --simulate 0.02 --port 8765
+
 Since the session has no network, queries run against a simulated
 SolidBench environment (``--simulate SCALE``); the engine itself is
 transport-agnostic and would run unchanged against real pods.
@@ -31,11 +37,12 @@ from .net.latency import NoLatency, SeededJitterLatency
 from .net.resilience import NetworkPolicy
 from .sparql.parser import parse_query
 from .sparql.results import binding_to_cli_line
+from .ltqp.links import QUEUE_POLICIES
 from .solidbench.config import SolidBenchConfig
 from .solidbench.queries import discover_query
 from .solidbench.universe import build_universe
 
-__all__ = ["main", "build_arg_parser"]
+__all__ = ["main", "build_arg_parser", "serve_main", "build_serve_arg_parser"]
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -120,6 +127,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-latency", action="store_true", help="disable simulated network latency"
     )
+    parser.add_argument(
+        "--queue-policy",
+        choices=sorted(QUEUE_POLICIES),
+        default="fifo",
+        help="link queue discipline: fifo = breadth-first (default), "
+        "lifo = depth-first, priority = shallowest-link-first",
+    )
     parser.add_argument("--limit", type=int, default=0, help="stop after N results (0 = all)")
     parser.add_argument(
         "--format",
@@ -135,7 +149,113 @@ def build_arg_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_serve_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sparql-ltqp serve",
+        description="Host the demo web UI and a SPARQL endpoint over one "
+        "long-lived QueryService with shared cross-query caches",
+    )
+    parser.add_argument(
+        "--simulate",
+        type=float,
+        default=0.02,
+        metavar="SCALE",
+        help="SolidBench universe scale (default 0.02 ≈ 31 pods)",
+    )
+    parser.add_argument("--bench-seed", type=int, default=42, help="generator seed")
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=8765, help="bind port (0 = ephemeral)")
+    parser.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=8,
+        help="queries traversing at once; more wait in the admission queue",
+    )
+    parser.add_argument(
+        "--max-queued",
+        type=int,
+        default=32,
+        help="admission queue length; past it submissions get a 503",
+    )
+    parser.add_argument(
+        "--max-documents",
+        type=int,
+        default=0,
+        metavar="N",
+        help="default per-query link budget (0 = unbounded)",
+    )
+    parser.add_argument(
+        "--max-duration",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="default per-query time budget in seconds (0 = unbounded)",
+    )
+    parser.add_argument(
+        "--queue-policy",
+        choices=sorted(QUEUE_POLICIES),
+        default="fifo",
+        help="link queue discipline for every query (default fifo)",
+    )
+    parser.add_argument(
+        "--no-latency", action="store_true", help="disable simulated network latency"
+    )
+    return parser
+
+
+def build_service_stack(args):
+    """Wire universe → shared resources → service → host → web UI.
+
+    Returns the (unstarted) :class:`~repro.webui.DemoServer` whose
+    :class:`~repro.service.ServiceHost` is already running.  Split from
+    :func:`serve_main` so tests can drive the stack without blocking.
+    """
+    from .service import QueryService, ServiceHost, SharedResources
+    from .webui import DemoServer
+
+    universe = build_universe(SolidBenchConfig(scale=args.simulate, seed=args.bench_seed))
+    latency = NoLatency() if args.no_latency else SeededJitterLatency(seed=args.bench_seed)
+    resources = SharedResources.for_universe(universe, latency=latency)
+    service = QueryService(
+        resources,
+        config=EngineConfig(queue_policy=args.queue_policy),
+        max_concurrent=args.max_concurrent,
+        max_queued=args.max_queued,
+        default_max_documents=args.max_documents,
+        default_max_duration=args.max_duration,
+    )
+    host = ServiceHost(service).start()
+    return DemoServer(universe, host=args.host, port=args.port, service=host)
+
+
+def serve_main(argv: Optional[list[str]] = None) -> int:
+    """``repro-sparql-ltqp serve``: one service behind UI + endpoint."""
+    import threading
+
+    args = build_serve_arg_parser().parse_args(argv)
+    server = build_service_stack(args)
+    server.start()
+    print(f"Demo UI running at {server.url} — Ctrl-C to stop", file=sys.stderr)
+    print(
+        f"SPARQL endpoint at {server.url}sparql — "
+        f"status at {server.url}status.json",
+        file=sys.stderr,
+    )
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        server.service_host.stop()
+    return 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     args = build_arg_parser().parse_args(argv)
 
     config = SolidBenchConfig(scale=args.simulate, seed=args.bench_seed)
@@ -182,7 +302,9 @@ def main(argv: Optional[list[str]] = None) -> int:
         network.request_timeout = args.timeout
     engine = LinkTraversalEngine(
         client,
-        config=EngineConfig(network=network, lenient=args.lenient),
+        config=EngineConfig(
+            network=network, lenient=args.lenient, queue_policy=args.queue_policy
+        ),
         auth_headers=auth_headers,
     )
 

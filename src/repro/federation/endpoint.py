@@ -6,6 +6,12 @@ are known up front.  To reproduce that comparison we need the substrate
 the federation literature assumes: this module turns any dataset (e.g. a
 pod's documents) into a ``GET /sparql?query=...`` endpoint speaking the
 SPARQL JSON results format.
+
+The protocol plumbing (query extraction from GET/POST, parse errors as
+400s) lives in :class:`SparqlProtocolApp` so other back-ends can reuse
+it — the :class:`~repro.service.protocol.ServiceSparqlApp` serves the
+same protocol backed by the live link-traversal
+:class:`~repro.service.QueryService` instead of a fixed dataset.
 """
 
 from __future__ import annotations
@@ -17,25 +23,35 @@ from urllib.parse import parse_qs, unquote_plus, urlsplit
 from ..net.message import Request, Response
 from ..net.router import App
 from ..rdf.dataset import Dataset, Graph
+from ..sparql.algebra import Query
 from ..sparql.eval import SnapshotEvaluator
 from ..sparql.parser import SparqlParseError, parse_query
 from ..sparql.results import results_to_sparql_json
 
-__all__ = ["SparqlEndpointApp"]
+__all__ = ["SparqlProtocolApp", "SparqlEndpointApp"]
 
 
-class SparqlEndpointApp(App):
-    """Answers SPARQL queries over a fixed dataset at ``/sparql``."""
+class SparqlProtocolApp(App):
+    """SPARQL-protocol plumbing: request → parsed query → ``answer``.
 
-    def __init__(self, data: Union[Graph, Dataset], path: str = "/sparql") -> None:
-        self._data = data
+    Subclasses implement :meth:`answer`; everything protocol-shaped —
+    extracting the query text from ``GET ?query=`` or a POST body
+    (``application/sparql-query`` or form-encoded), 400s for missing or
+    unparsable queries, 405 for other methods — is handled here.
+    """
+
+    def __init__(self, path: str = "/sparql") -> None:
         self._path = path
         self.queries_served = 0
+
+    @property
+    def path(self) -> str:
+        return self._path
 
     async def handle(self, request: Request) -> Response:
         parts = urlsplit(request.url)
         if parts.path != self._path:
-            return Response.not_found(request.url)
+            return await self.handle_other(request)
         if request.method == "GET":
             query_text = parse_qs(parts.query).get("query", [""])[0]
         elif request.method == "POST":
@@ -54,17 +70,42 @@ class SparqlEndpointApp(App):
             query = parse_query(query_text)
         except SparqlParseError as error:
             return Response(400, {"content-type": "text/plain"}, str(error).encode("utf-8"))
-        evaluator = SnapshotEvaluator(self._data)
         self.queries_served += 1
+        return await self.answer(query, request)
+
+    async def handle_other(self, request: Request) -> Response:
+        """Any path other than the endpoint's; 404 unless overridden."""
+        return Response.not_found(request.url)
+
+    async def answer(self, query: Query, request: Request) -> Response:
+        raise NotImplementedError
+
+    @staticmethod
+    def select_response(variables, bindings) -> Response:
+        body = results_to_sparql_json(variables, bindings)
+        return Response(
+            200, {"content-type": "application/sparql-results+json"}, body.encode("utf-8")
+        )
+
+    @staticmethod
+    def ask_response(answer: bool) -> Response:
+        document = json.dumps({"head": {}, "boolean": answer})
+        return Response(
+            200, {"content-type": "application/sparql-results+json"}, document.encode("utf-8")
+        )
+
+
+class SparqlEndpointApp(SparqlProtocolApp):
+    """Answers SPARQL queries over a fixed dataset at ``/sparql``."""
+
+    def __init__(self, data: Union[Graph, Dataset], path: str = "/sparql") -> None:
+        super().__init__(path)
+        self._data = data
+
+    async def answer(self, query: Query, request: Request) -> Response:
+        evaluator = SnapshotEvaluator(self._data)
         if query.form == "SELECT":
-            bindings = list(evaluator.select(query))
-            body = results_to_sparql_json(query.variables(), bindings)
-            return Response(
-                200, {"content-type": "application/sparql-results+json"}, body.encode("utf-8")
-            )
+            return self.select_response(query.variables(), list(evaluator.select(query)))
         if query.form == "ASK":
-            document = json.dumps({"head": {}, "boolean": evaluator.ask(query)})
-            return Response(
-                200, {"content-type": "application/sparql-results+json"}, document.encode("utf-8")
-            )
+            return self.ask_response(evaluator.ask(query))
         return Response(400, {"content-type": "text/plain"}, b"only SELECT/ASK supported")

@@ -31,7 +31,16 @@ from .extractors import (
     build_query_context,
     default_extractors,
 )
-from .links import FifoLinkQueue, LifoLinkQueue, Link, LinkQueue, PriorityLinkQueue, QueueSample
+from .links import (
+    FifoLinkQueue,
+    LifoLinkQueue,
+    Link,
+    LinkQueue,
+    PriorityLinkQueue,
+    QUEUE_POLICIES,
+    QueueSample,
+    queue_factory_for,
+)
 from .pipeline import NotStreamable, Pipeline, compile_pipeline, total_work
 from .source import GrowingTripleSource
 from .stats import ExecutionStats, TimedResult
@@ -50,6 +59,8 @@ __all__ = [
     "FifoLinkQueue",
     "LifoLinkQueue",
     "PriorityLinkQueue",
+    "QUEUE_POLICIES",
+    "queue_factory_for",
     "QueueSample",
     "GrowingTripleSource",
     "Dereferencer",

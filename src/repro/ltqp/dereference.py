@@ -12,6 +12,18 @@ URLs, unsupported content types, and parse failures all yield an empty
 Failures are additionally classified as *retryable* (transient transport
 or server trouble — worth re-queueing through the link queue) or
 permanent (the document simply is not there / is not RDF).
+
+A dereferencer may be shared across many query executions (the
+:class:`~repro.service.QueryService` injects one long-lived instance into
+its engine): pass ``document_store`` (see
+:class:`~repro.service.docstore.DocumentStore`) and successfully parsed
+documents are remembered keyed by their HTTP validator (ETag, or a body
+hash when the server sends none) — a repeat dereference whose response
+carries the same validator skips the parse entirely and returns the
+stored triples, with ``from_store`` set on the result.  Because the
+validator comes from the response, the existing HTTP-cache revalidation
+machinery is also the store's invalidation: a changed document gets a new
+ETag, misses the store, and is re-parsed.
 """
 
 from __future__ import annotations
@@ -48,6 +60,8 @@ class DereferenceResult:
     error: str = ""
     #: Transient failure — retrying (or re-queueing the link) may succeed.
     retryable: bool = False
+    #: Parse was skipped: the triples came from the parsed-document store.
+    from_store: bool = False
 
     @property
     def ok(self) -> bool:
@@ -64,6 +78,7 @@ class Dereferencer:
         extra_headers: Optional[dict[str, str]] = None,
         max_redirects: int = 5,
         tracer=None,
+        document_store=None,
     ) -> None:
         self._client = client
         self._lenient = lenient
@@ -72,7 +87,12 @@ class Dereferencer:
         self._document_counter = 0
         #: Optional :class:`~repro.obs.trace.Tracer`; when set, each
         #: dereference records ``parse`` spans under ``trace_parent``.
+        #: Per-call ``tracer=`` arguments override it, so one shared
+        #: dereferencer can serve differently traced executions.
         self.tracer = tracer
+        #: Optional :class:`~repro.service.docstore.DocumentStore` — the
+        #: cross-query parsed-document cache.
+        self.document_store = document_store
 
     @property
     def client(self) -> HttpClient:
@@ -83,12 +103,16 @@ class Dereferencer:
         url: str,
         parent_url: Optional[str] = None,
         trace_parent=None,
+        tracer=None,
     ) -> DereferenceResult:
         """Fetch ``url`` (fragment stripped), following redirects, and
         parse the RDF body.  The *final* URL becomes the base IRI and the
         document's provenance — e.g. a slash-less container URL 301s to
         the container, whose members then resolve correctly.
-        ``trace_parent`` nests this dereference's fetch/parse spans."""
+        ``trace_parent`` nests this dereference's fetch/parse spans;
+        ``tracer`` overrides the instance tracer for this call."""
+        if tracer is None:
+            tracer = self.tracer
         clean_url = url.split("#", 1)[0]
         for _ in range(self._max_redirects + 1):
             try:
@@ -124,14 +148,24 @@ class Dereferencer:
                 f"HTTP {response.status}",
                 retryable=_response_retryable(response),
             )
-        return self._parse(clean_url, response, trace_parent=trace_parent)
+        return self._parse(clean_url, response, trace_parent=trace_parent, tracer=tracer)
 
     def _parse(
-        self, url: str, response: Response, trace_parent=None
+        self, url: str, response: Response, trace_parent=None, tracer=None
     ) -> DereferenceResult:
         content_type = response.content_type
+        store = self.document_store
+        if store is not None:
+            validator = store.validator_for(response)
+            stored = store.lookup(url, validator)
+            if stored is not None:
+                return DereferenceResult(
+                    url=url,
+                    status=response.status,
+                    triples=list(stored.triples),
+                    from_store=True,
+                )
         self._document_counter += 1
-        tracer = self.tracer
         parse_started = tracer.clock() if tracer is not None else 0.0
         try:
             if content_type in ("application/n-triples", "application/n-quads"):
@@ -175,6 +209,8 @@ class Dereferencer:
                 format=content_type,
                 triples=len(triples),
             )
+        if store is not None:
+            store.put(url, validator, triples)
         return DereferenceResult(url=url, status=response.status, triples=triples)
 
     def _failure(

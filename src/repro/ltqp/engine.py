@@ -54,7 +54,7 @@ from .extractors import (
     build_query_context,
     default_extractors,
 )
-from .links import FifoLinkQueue, Link, LinkQueue
+from .links import Link, LinkQueue, queue_factory_for
 from .pipeline import NotStreamable, Pipeline, compile_pipeline
 from .source import GrowingTripleSource
 from .stats import ExecutionStats, TimedResult
@@ -87,6 +87,12 @@ class TraversalPolicy:
     lenient: bool = True
     follow_unknown_origins: bool = True
     adaptive: bool = False
+    #: Link-queue discipline: ``"fifo"`` (breadth-first, the paper's
+    #: default), ``"lifo"`` (depth-first), or ``"priority"`` (shallow +
+    #: Solid-metadata links first; see
+    #: :class:`~repro.ltqp.links.PriorityLinkQueue`).  An explicit
+    #: ``queue_factory`` passed to the engine overrides this.
+    queue_policy: str = "fifo"
     #: Micro-batching of pipeline advancement: documents accumulate in the
     #: growing source until at least this many new quads are pending, then
     #: one ``advance`` feeds them all — tiny documents coalesce instead of
@@ -201,11 +207,15 @@ class QueryExecution:
         seeds: Optional[Iterable[str]],
         tracer=None,
         metrics=None,
+        extractors: Optional[list[LinkExtractor]] = None,
+        traversal: Optional[TraversalPolicy] = None,
     ) -> None:
         self._result = ExecutionResult(query=query)
         self._tracer = tracer
         self._metrics = metrics
-        self._generator = engine._run(self._result, seeds, tracer, metrics)
+        self._generator = engine._run(
+            self._result, seeds, tracer, metrics, extractors=extractors, traversal=traversal
+        )
         self._finished = False
         self._cancelled = False
 
@@ -298,14 +308,22 @@ class LinkTraversalEngine:
         client: HttpClient,
         extractors: Optional[list[LinkExtractor]] = None,
         config: Optional[EngineConfig] = None,
-        queue_factory=FifoLinkQueue,
+        queue_factory=None,
         auth_headers: Optional[dict[str, str]] = None,
+        dereferencer: Optional[Dereferencer] = None,
     ) -> None:
         self._client = client
         self._extractors = extractors if extractors is not None else default_extractors()
         self._config = config if config is not None else EngineConfig()
+        # ``None`` defers to the traversal policy's ``queue_policy`` at
+        # execution time; an explicit factory always wins.
         self._queue_factory = queue_factory
         self._auth_headers = dict(auth_headers or {})
+        # A shared (service-owned) dereferencer may be injected so many
+        # engines/executions reuse one parsed-document store; when set, it
+        # supersedes the per-run default and its own leniency/header
+        # settings apply instead of this engine's.
+        self._dereferencer = dereferencer
         # The engine's network policy governs its client, unless the
         # caller constructed the client with an explicit policy of its own.
         if not client.has_explicit_policy:
@@ -323,6 +341,11 @@ class LinkTraversalEngine:
     def extractors(self) -> list[LinkExtractor]:
         return list(self._extractors)
 
+    @property
+    def dereferencer(self) -> Optional[Dereferencer]:
+        """The injected shared dereferencer, if any (else one is built per run)."""
+        return self._dereferencer
+
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
@@ -333,6 +356,8 @@ class LinkTraversalEngine:
         seeds: Optional[Iterable[str]] = None,
         tracer=None,
         metrics=None,
+        extractors: Optional[list[LinkExtractor]] = None,
+        traversal: Optional[TraversalPolicy] = None,
     ) -> QueryExecution:
         """Begin a query execution and return its :class:`QueryExecution`.
 
@@ -345,8 +370,22 @@ class LinkTraversalEngine:
         span tree and/or a :class:`~repro.obs.metrics.Metrics` registry
         for counters/gauges/histograms; with neither, no instrumentation
         code runs (the observability layer is strictly opt-in).
+
+        ``extractors`` and ``traversal`` override the engine's defaults
+        for this execution only — the :class:`~repro.service.QueryService`
+        uses them to give every concurrent query fresh extractor state and
+        its own link/time budgets while the engine (client, dereferencer,
+        caches) stays shared.
         """
-        return QueryExecution(self, self._parse(query), seeds, tracer=tracer, metrics=metrics)
+        return QueryExecution(
+            self,
+            self._parse(query),
+            seeds,
+            tracer=tracer,
+            metrics=metrics,
+            extractors=extractors,
+            traversal=traversal,
+        )
 
     # -- deprecated entry points (kept as thin wrappers) ----------------
 
@@ -423,7 +462,18 @@ class LinkTraversalEngine:
         seeds: Optional[Iterable[str]],
         tracer=None,
         metrics=None,
+        extractors: Optional[list[LinkExtractor]] = None,
+        traversal: Optional[TraversalPolicy] = None,
     ) -> AsyncIterator[Binding]:
+        # Per-execution view of the configuration: shared engine state
+        # (client, dereferencer, network policy) stays engine-level, while
+        # traversal bounds and extractor state may vary query by query.
+        config = (
+            self._config
+            if traversal is None
+            else EngineConfig(network=self._config.network, traversal=traversal)
+        )
+        run_extractors = extractors if extractors is not None else self._extractors
         query = execution.query
         context = build_query_context(query.where)
         seed_list = list(seeds) if seeds is not None else self.seeds_from_query(query)
@@ -450,7 +500,12 @@ class LinkTraversalEngine:
             self._client.metrics = metrics
 
         source = GrowingTripleSource()
-        queue: LinkQueue = self._queue_factory()
+        queue_factory = (
+            self._queue_factory
+            if self._queue_factory is not None
+            else queue_factory_for(config.queue_policy)
+        )
+        queue: LinkQueue = queue_factory()
         queue.clock = clock
         if metrics is not None:
             depth_gauge = metrics.gauge("queue.depth")
@@ -475,7 +530,7 @@ class LinkTraversalEngine:
                 # DESCRIBE needs the final snapshot to compute bounded
                 # descriptions; traversal streams, the answer does not.
                 raise NotStreamable("DESCRIBE evaluates at quiescence")
-            if self._config.adaptive:
+            if config.adaptive:
                 from .adaptive import AdaptivePipeline
 
                 pipeline = AdaptivePipeline(pipeline_where, seed_iris=context.iris)
@@ -490,7 +545,7 @@ class LinkTraversalEngine:
                 clock(),
                 parent=query_span,
                 streaming=stats.streaming,
-                adaptive=self._config.adaptive,
+                adaptive=config.adaptive,
             )
             if pipeline is not None:
                 pipeline.enable_tracing(tracer, query_span)
@@ -530,7 +585,7 @@ class LinkTraversalEngine:
             # acceptance and traversal stop: the binding that lands exactly on
             # the limit is counted *and* triggers the stop — it is never
             # silently dropped, and anything past the limit is ignored.
-            limit = self._config.max_results
+            limit = config.max_results
             count = stats.result_count
             if limit and count >= limit:
                 return
@@ -547,7 +602,7 @@ class LinkTraversalEngine:
             if limit and count + 1 >= limit:
                 stop_traversal.set()
 
-        batch_quads = max(1, self._config.advance_batch_quads)
+        batch_quads = max(1, config.advance_batch_quads)
         pending_quads = 0
 
         def flush_pipeline() -> None:
@@ -565,7 +620,7 @@ class LinkTraversalEngine:
             # Hard document bound: concurrent workers may all pass the
             # pre-fetch check, but only the first max_documents results
             # are admitted into the source.
-            doc_limit = self._config.max_documents
+            doc_limit = config.max_documents
             if doc_limit and source.document_count >= doc_limit:
                 stop_traversal.set()
                 return
@@ -580,7 +635,7 @@ class LinkTraversalEngine:
                 flush_pipeline()
 
         async def flush_timer() -> None:
-            interval = self._config.advance_flush_interval
+            interval = config.advance_flush_interval
             while not stop_traversal.is_set():
                 await asyncio.sleep(interval)
                 flush_pipeline()
@@ -593,13 +648,15 @@ class LinkTraversalEngine:
                 stats,
                 on_document,
                 stop_traversal,
+                config=config,
+                extractors=run_extractors,
                 tracer=tracer,
                 traversal_span=traversal_span,
                 clock=clock,
             )
         )
         timer: Optional[asyncio.Task] = None
-        if pipeline is not None and batch_quads > 1 and self._config.advance_flush_interval > 0:
+        if pipeline is not None and batch_quads > 1 and config.advance_flush_interval > 0:
             timer = asyncio.create_task(flush_timer())
 
         drain: Optional[asyncio.Task] = None
@@ -729,16 +786,24 @@ class LinkTraversalEngine:
         stats: ExecutionStats,
         on_document,
         stop_traversal: asyncio.Event,
+        config: Optional[EngineConfig] = None,
+        extractors: Optional[list[LinkExtractor]] = None,
         tracer=None,
         traversal_span=None,
         clock=time.monotonic,
     ) -> None:
-        dereferencer = Dereferencer(
-            self._client,
-            lenient=self._config.lenient,
-            extra_headers=self._auth_headers,
-            tracer=tracer,
-        )
+        if config is None:
+            config = self._config
+        if extractors is None:
+            extractors = self._extractors
+        dereferencer = self._dereferencer
+        if dereferencer is None:
+            dereferencer = Dereferencer(
+                self._client,
+                lenient=config.lenient,
+                extra_headers=self._auth_headers,
+                tracer=tracer,
+            )
         in_flight = 0
         wake = asyncio.Condition()
 
@@ -764,6 +829,8 @@ class LinkTraversalEngine:
                         context,
                         stats,
                         on_document,
+                        config=config,
+                        extractors=extractors,
                         tracer=tracer,
                         traversal_span=traversal_span,
                         clock=clock,
@@ -776,7 +843,7 @@ class LinkTraversalEngine:
 
         workers = [
             asyncio.create_task(worker(index + 1))
-            for index in range(self._config.worker_count)
+            for index in range(config.worker_count)
         ]
         try:
             await asyncio.gather(*workers)
@@ -793,16 +860,22 @@ class LinkTraversalEngine:
         context: QueryContext,
         stats: ExecutionStats,
         on_document,
+        config: Optional[EngineConfig] = None,
+        extractors: Optional[list[LinkExtractor]] = None,
         tracer=None,
         traversal_span=None,
         clock=time.monotonic,
         track: int = 0,
     ) -> None:
-        if self._config.max_documents and stats.documents_fetched >= self._config.max_documents:
+        if config is None:
+            config = self._config
+        if extractors is None:
+            extractors = self._extractors
+        if config.max_documents and stats.documents_fetched >= config.max_documents:
             return
         if (
-            self._config.max_duration
-            and clock() - stats.started_at > self._config.max_duration
+            config.max_duration
+            and clock() - stats.started_at > config.max_duration
         ):
             return
         deref_span = None
@@ -824,7 +897,7 @@ class LinkTraversalEngine:
             tracer.add("queue-wait", enqueued_at, popped_at, parent=deref_span)
         try:
             result = await dereferencer.dereference(
-                link.url, parent_url=link.parent_url, trace_parent=deref_span
+                link.url, parent_url=link.parent_url, trace_parent=deref_span, tracer=tracer
             )
             if not result.ok:
                 stats.documents_failed += 1
@@ -833,7 +906,7 @@ class LinkTraversalEngine:
                     # Transient trouble that survived client-level retries
                     # (e.g. a tripped breaker): give the link another pass
                     # through the queue instead of discarding the document.
-                    if link.attempts < self._config.network.max_link_requeues:
+                    if link.attempts < config.network.max_link_requeues:
                         queue.requeue(
                             Link(
                                 url=link.url,
@@ -854,15 +927,19 @@ class LinkTraversalEngine:
                 return
             on_document(result.url, result.triples)
             stats.documents_fetched += 1
+            if result.from_store:
+                stats.documents_from_store += 1
             if deref_span is not None:
                 deref_span.args["outcome"] = "ok"
                 deref_span.args["triples"] = len(result.triples)
+                if result.from_store:
+                    deref_span.args["from_store"] = True
 
-            if self._config.max_depth and link.depth >= self._config.max_depth:
+            if config.max_depth and link.depth >= config.max_depth:
                 return
             extract_started = clock() if tracer is not None else 0.0
             links_pushed = 0
-            for extractor in self._extractors:
+            for extractor in extractors:
                 for url in extractor.extract(result.url, result.triples, context):
                     if not url.startswith(("http://", "https://")):
                         continue

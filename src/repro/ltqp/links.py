@@ -13,7 +13,16 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-__all__ = ["Link", "LinkQueue", "FifoLinkQueue", "LifoLinkQueue", "PriorityLinkQueue", "QueueSample"]
+__all__ = [
+    "Link",
+    "LinkQueue",
+    "FifoLinkQueue",
+    "LifoLinkQueue",
+    "PriorityLinkQueue",
+    "QueueSample",
+    "QUEUE_POLICIES",
+    "queue_factory_for",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -240,6 +249,25 @@ class PriorityLinkQueue(LinkQueue):
 
     def __len__(self) -> int:
         return len(self._heap)
+
+
+#: Named queue disciplines selectable via ``TraversalPolicy.queue_policy``
+#: (and the CLI ``--queue-policy`` flag).
+QUEUE_POLICIES: dict[str, Callable[[], LinkQueue]] = {
+    "fifo": FifoLinkQueue,
+    "lifo": LifoLinkQueue,
+    "priority": PriorityLinkQueue,
+}
+
+
+def queue_factory_for(policy: str) -> Callable[[], LinkQueue]:
+    """Resolve a queue-policy name to its queue factory."""
+    try:
+        return QUEUE_POLICIES[policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown queue policy {policy!r} (choose from {sorted(QUEUE_POLICIES)})"
+        ) from None
 
 
 def _strip_fragment(url: str) -> str:

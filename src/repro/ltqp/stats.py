@@ -44,6 +44,9 @@ class ExecutionStats:
     result_count: int = 0
     documents_fetched: int = 0
     documents_failed: int = 0
+    #: Of the fetched documents, how many skipped the parse because the
+    #: shared parsed-document store already held them (warm service runs).
+    documents_from_store: int = 0
     triples_discovered: int = 0
     links_queued: int = 0
     links_by_extractor: dict[str, int] = field(default_factory=dict)
@@ -122,6 +125,7 @@ class ExecutionStats:
             ),
             "documents_fetched": self.documents_fetched,
             "documents_failed": self.documents_failed,
+            "documents_from_store": self.documents_from_store,
             "triples_discovered": self.triples_discovered,
             "links_queued": self.links_queued,
             "links_by_extractor": dict(sorted(self.links_by_extractor.items())),

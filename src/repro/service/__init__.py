@@ -1,0 +1,39 @@
+"""The long-lived multi-query service layer (ROADMAP north star).
+
+The paper's demo executes one Discover query at a time; serving heavy
+traffic means many concurrent queries over the *same* pods.  This package
+separates what those queries can share from what they cannot:
+
+* :class:`SharedResources` — one HTTP client, HTTP cache,
+  parsed-document store (:class:`DocumentStore`), dereferencer, and
+  metrics registry, reused across every query;
+* :class:`QueryService` — admission control (concurrency cap + waiting
+  queue), a live query registry with cancellation, and per-query
+  link/time budgets, all over one shared engine;
+* :class:`ServiceSparqlApp` — the SPARQL-protocol front-end backed by
+  link traversal (vs. the fixed-dataset federation endpoint);
+* :class:`ServiceHost` — a background event-loop thread so synchronous
+  front-ends (the demo web UI, the CLI ``serve`` command) can drive one
+  service from many threads.
+
+Warm queries hit both caches: the fetch is answered locally (or via a
+304 revalidation) and the parse is skipped entirely — the two costs the
+related work identifies as dominating traversal time.
+"""
+
+from .docstore import DocumentStore, StoredDocument
+from .host import ServiceHost
+from .protocol import ServiceSparqlApp
+from .resources import SharedResources
+from .service import QueryService, ServiceOverloadedError, ServiceQuery
+
+__all__ = [
+    "DocumentStore",
+    "StoredDocument",
+    "SharedResources",
+    "QueryService",
+    "ServiceQuery",
+    "ServiceOverloadedError",
+    "ServiceSparqlApp",
+    "ServiceHost",
+]

@@ -1,0 +1,144 @@
+"""The cross-query parsed-document store.
+
+The structural-assumptions evaluation (Taelman & Verborgh 2023) shows
+dereference cost — fetch *plus parse* — dominates LTQP end-to-end time.
+The HTTP cache (:mod:`repro.net.cache`) already amortizes the fetch
+across queries; this store amortizes the parse: it remembers, per URL,
+the triples a response body parsed into, keyed by the response's
+*validator* (its ETag, or a hash of the body when the server sends none).
+
+A warm query through the :class:`~repro.service.QueryService` therefore
+touches neither the network (HTTP-cache hit) nor the parser (store hit):
+the dereferencer asks the store before parsing and feeds the stored
+triples straight into the per-query triple source.
+
+Invalidation rides the existing ETag/revalidation machinery: the store
+never guesses at freshness itself.  The HTTP layer decides whether a
+cached response may be reused or must be revalidated; whatever response
+comes out of that machinery carries a validator, and a changed document
+has a changed validator — the store drops the stale entry and the
+document is re-parsed.  Alongside the triples each entry records the
+document's out-going HTTP IRIs (the cAll link superset from which every
+extractor's context-dependent selection draws).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..net.message import Response
+from ..rdf.terms import NamedNode
+from ..rdf.triples import Triple
+
+__all__ = ["StoredDocument", "DocumentStore"]
+
+
+@dataclass(slots=True, frozen=True)
+class StoredDocument:
+    """One parsed document: its triples, links, and identity validator."""
+
+    url: str
+    validator: str
+    triples: tuple[Triple, ...]
+    #: Every HTTP(S) IRI mentioned in the document — the superset of what
+    #: any link extractor can propose from it.
+    links: frozenset[str]
+    stored_at: float
+
+
+def _links_of(triples: Iterable[Triple]) -> frozenset[str]:
+    links: set[str] = set()
+    for triple in triples:
+        for term in triple:
+            if isinstance(term, NamedNode) and term.value.startswith(("http://", "https://")):
+                links.add(term.value)
+    return frozenset(links)
+
+
+class DocumentStore:
+    """URL-keyed store of parsed documents with validator-based identity.
+
+    ``max_documents`` bounds memory; beyond it the oldest entry is
+    evicted (same simple discipline as :class:`~repro.net.cache.HttpCache`).
+    Counters (``hits``/``misses``/``invalidations``) feed the service's
+    doc-store hit-rate metrics.
+    """
+
+    def __init__(self, max_documents: int = 100_000) -> None:
+        self._entries: dict[str, StoredDocument] = {}
+        self._max_documents = max_documents
+        self.hits = 0
+        self.misses = 0
+        #: Lookups that found the URL but with a *different* validator —
+        #: the document changed upstream and its entry was dropped.
+        self.invalidations = 0
+        #: Parses that went through the store (cold-path ``put`` calls).
+        self.parses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._entries
+
+    @staticmethod
+    def validator_for(response: Response) -> str:
+        """The response's identity: its ETag, else a body digest."""
+        etag = response.header("etag")
+        if etag:
+            return etag
+        return "sha1:" + hashlib.sha1(response.body).hexdigest()
+
+    def lookup(self, url: str, validator: str) -> Optional[StoredDocument]:
+        """The stored parse of ``url`` *iff* the validator still matches."""
+        entry = self._entries.get(url)
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry.validator != validator:
+            # The revalidation machinery produced a different body: the
+            # document changed, so the stored parse is stale.
+            del self._entries[url]
+            self.invalidations += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, url: str, validator: str, triples: Iterable[Triple]) -> StoredDocument:
+        triple_tuple = tuple(triples)
+        if len(self._entries) >= self._max_documents and url not in self._entries:
+            oldest = min(self._entries, key=lambda key: self._entries[key].stored_at)
+            del self._entries[oldest]
+        entry = StoredDocument(
+            url=url,
+            validator=validator,
+            triples=triple_tuple,
+            links=_links_of(triple_tuple),
+            stored_at=time.monotonic(),
+        )
+        self._entries[url] = entry
+        self.parses += 1
+        return entry
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = self.misses = self.invalidations = self.parses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def statistics(self) -> dict:
+        return {
+            "documents": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "parses": self.parses,
+            "hit_rate": round(self.hit_rate, 4),
+        }

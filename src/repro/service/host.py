@@ -1,0 +1,94 @@
+"""Run a QueryService on a dedicated event-loop thread.
+
+The :class:`~repro.service.QueryService` is asyncio-native; the demo web
+UI (:mod:`repro.webui`) is a threaded ``http.server``.  This bridge owns
+a background event loop so synchronous callers (HTTP handler threads, the
+CLI) can submit queries into one long-lived service::
+
+    host = ServiceHost(service).start()
+    result = host.execute("SELECT ...", seeds=[...])   # from any thread
+    host.statistics()
+    host.stop()
+
+All executions funnel into the *same* loop, so the service's admission
+control and shared caches behave exactly as they do in-process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Iterable, Optional
+
+from ..ltqp.engine import ExecutionResult
+from .service import QueryService
+
+__all__ = ["ServiceHost"]
+
+
+class ServiceHost:
+    """Thread-owning wrapper exposing a blocking façade over a service."""
+
+    def __init__(self, service: QueryService) -> None:
+        self._service = service
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+
+    @property
+    def service(self) -> QueryService:
+        return self._service
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None:
+            raise RuntimeError("service host is not running")
+        return self._loop
+
+    def start(self) -> "ServiceHost":
+        if self._thread is not None:
+            return self
+        self._loop = asyncio.new_event_loop()
+
+        def run() -> None:
+            asyncio.set_event_loop(self._loop)
+            self._started.set()
+            self._loop.run_forever()
+
+        self._thread = threading.Thread(target=run, name="query-service", daemon=True)
+        self._thread.start()
+        self._started.wait()
+        return self
+
+    def execute(
+        self,
+        query: str,
+        seeds: Optional[Iterable[str]] = None,
+        timeout: Optional[float] = None,
+        **kwargs,
+    ) -> ExecutionResult:
+        """Submit-and-wait from any thread (blocking)."""
+        future = asyncio.run_coroutine_threadsafe(
+            self._service.run(query, seeds=seeds, **kwargs), self.loop
+        )
+        return future.result(timeout)
+
+    def statistics(self) -> dict:
+        return self._service.statistics()
+
+    def stop(self) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        if self._loop is not None:
+            self._loop.close()
+            self._loop = None
+        self._started.clear()
+
+    def __enter__(self) -> "ServiceHost":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

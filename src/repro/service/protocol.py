@@ -1,0 +1,80 @@
+"""SPARQL-protocol front-end backed by the link-traversal QueryService.
+
+Where :class:`~repro.federation.endpoint.SparqlEndpointApp` answers from
+a fixed dataset, this app answers by *traversal*: each request becomes a
+query submitted to a shared :class:`~repro.service.QueryService`, so
+repeat and concurrent requests benefit from the service's HTTP cache and
+parsed-document store.
+
+Protocol extensions beyond the shared plumbing:
+
+* ``GET /sparql?query=...&seeds=url1,url2`` — optional comma-separated
+  seed URLs (without them the engine falls back to IRIs in the query);
+* admission rejections surface as ``503`` with a ``retry-after`` hint;
+* ``GET /service/status`` — JSON service statistics + query registry.
+"""
+
+from __future__ import annotations
+
+import json
+from urllib.parse import parse_qs, urlsplit
+
+from ..federation.endpoint import SparqlProtocolApp
+from ..net.message import Request, Response
+from ..sparql.algebra import Query
+from .service import QueryService, ServiceOverloadedError
+
+__all__ = ["ServiceSparqlApp"]
+
+
+class ServiceSparqlApp(SparqlProtocolApp):
+    """``/sparql`` over live link traversal, with a ``/service/status`` view."""
+
+    def __init__(
+        self,
+        service: QueryService,
+        path: str = "/sparql",
+        status_path: str = "/service/status",
+    ) -> None:
+        super().__init__(path)
+        self._service = service
+        self._status_path = status_path
+
+    @property
+    def service(self) -> QueryService:
+        return self._service
+
+    async def handle_other(self, request: Request) -> Response:
+        if urlsplit(request.url).path == self._status_path:
+            body = json.dumps(self.status_document()).encode("utf-8")
+            return Response(200, {"content-type": "application/json"}, body)
+        return Response.not_found(request.url)
+
+    def status_document(self) -> dict:
+        return {
+            "service": self._service.statistics(),
+            "queries": [handle.snapshot() for handle in self._service.queries()],
+        }
+
+    async def answer(self, query: Query, request: Request) -> Response:
+        if query.form not in ("SELECT", "ASK"):
+            return Response(400, {"content-type": "text/plain"}, b"only SELECT/ASK supported")
+        params = parse_qs(urlsplit(request.url).query)
+        seeds_param = params.get("seeds", [""])[0]
+        seeds = [seed for seed in seeds_param.split(",") if seed] or None
+        try:
+            handle = self._service.submit(query, seeds=seeds)
+        except ServiceOverloadedError as error:
+            return Response(
+                503,
+                {"content-type": "text/plain", "retry-after": "1"},
+                str(error).encode("utf-8"),
+            )
+        try:
+            result = await handle.wait()
+        except Exception as error:  # noqa: BLE001 — a failed query is a 500
+            return Response(500, {"content-type": "text/plain"}, str(error).encode("utf-8"))
+        if query.form == "ASK":
+            # The engine represents ASK as zero-or-one empty binding.
+            return self.ask_response(bool(result.results))
+        return self.select_response(query.variables(), result.bindings)

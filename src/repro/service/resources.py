@@ -1,0 +1,91 @@
+"""Long-lived resources shared by every query a service executes.
+
+The one-shot engine rebuilds its dereferencer and caches per run — fine
+for a demo, wasteful for a service answering many queries over the same
+pods.  :class:`SharedResources` owns the state whose *value grows* with
+reuse:
+
+* one :class:`~repro.net.client.HttpClient` (per-origin connection caps
+  and circuit breakers keep their history across queries),
+* one :class:`~repro.net.cache.HttpCache` (repeat fetches served locally
+  or revalidated via ETag/304),
+* one :class:`~repro.service.docstore.DocumentStore` (repeat parses
+  skipped entirely),
+* one :class:`~repro.ltqp.dereference.Dereferencer` wired to all three,
+* one :class:`~repro.obs.metrics.Metrics` registry for service-level
+  counters and gauges.
+
+Everything *per-query* — link queue, triple source, pipeline, stats,
+tracer — stays inside :class:`~repro.ltqp.engine.QueryExecution`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ltqp.dereference import Dereferencer
+from ..net.cache import HttpCache
+from ..net.client import HttpClient
+from ..net.latency import LatencyModel
+from ..net.log import RequestLog
+from ..net.resilience import NetworkPolicy
+from ..net.router import Internet
+from ..obs.metrics import Metrics
+from .docstore import DocumentStore
+
+__all__ = ["SharedResources"]
+
+
+class SharedResources:
+    """The shared half of the execution stack: client, caches, metrics."""
+
+    def __init__(
+        self,
+        internet: Internet,
+        latency: Optional[LatencyModel] = None,
+        policy: Optional[NetworkPolicy] = None,
+        http_cache: Optional[HttpCache] = None,
+        document_store: Optional[DocumentStore] = None,
+        metrics: Optional[Metrics] = None,
+        log: Optional[RequestLog] = None,
+        lenient: bool = True,
+        auth_headers: Optional[dict[str, str]] = None,
+        max_connections_per_origin: int = 6,
+        latency_scale: float = 1.0,
+    ) -> None:
+        self.policy = policy if policy is not None else NetworkPolicy()
+        self.http_cache = http_cache if http_cache is not None else HttpCache()
+        self.document_store = (
+            document_store if document_store is not None else DocumentStore()
+        )
+        self.metrics = metrics if metrics is not None else Metrics()
+        # The client gets an *explicit* policy so engines adopting it do
+        # not re-install their own (which would reset breaker history on
+        # every query).
+        self.client = HttpClient(
+            internet,
+            latency=latency,
+            latency_scale=latency_scale,
+            max_connections_per_origin=max_connections_per_origin,
+            log=log,
+            cache=self.http_cache,
+            policy=self.policy,
+        )
+        self.dereferencer = Dereferencer(
+            self.client,
+            lenient=lenient,
+            extra_headers=auth_headers,
+            document_store=self.document_store,
+        )
+
+    @classmethod
+    def for_universe(cls, universe, **kwargs) -> "SharedResources":
+        """Shared resources over a simulated SolidBench universe."""
+        return cls(universe.internet, **kwargs)
+
+    def statistics(self) -> dict:
+        return {
+            "http_cache": self.http_cache.statistics(),
+            "document_store": self.document_store.statistics(),
+            "requests": len(self.client.log),
+        }

@@ -1,0 +1,324 @@
+"""The long-lived multi-query service on top of the LTQP engine.
+
+One :class:`QueryService` owns one engine over one set of
+:class:`~repro.service.resources.SharedResources` and executes many
+queries — concurrently, with admission control — against them:
+
+* **Admission control** — at most ``max_concurrent`` queries traverse at
+  once; up to ``max_queued`` more wait their turn; past that,
+  :meth:`submit` raises :class:`ServiceOverloadedError` (the SPARQL
+  front-end turns it into a 503).
+* **Registry** — every accepted query gets an id and a
+  :class:`ServiceQuery` handle with live status
+  (``queued → running → done | failed | cancelled``), timings, and
+  cancellation via the underlying
+  :class:`~repro.ltqp.engine.QueryExecution`.
+* **Budgets** — per-query link (``max_documents``) and time
+  (``max_duration``) budgets override the service defaults through a
+  per-execution :class:`~repro.ltqp.engine.TraversalPolicy`.
+* **Isolation** — every execution gets *fresh* extractor instances (some
+  extractors carry per-query state) and its own link queue, triple
+  source, pipeline, and stats; only the client, caches, and
+  parsed-document store are shared — which is exactly what makes warm
+  queries fast without letting one query's state leak into another's.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import itertools
+import time
+from typing import Iterable, Optional, Union as TypingUnion
+
+from ..ltqp.engine import (
+    EngineConfig,
+    ExecutionResult,
+    LinkTraversalEngine,
+    QueryExecution,
+    TraversalPolicy,
+)
+from ..ltqp.extractors import default_extractors
+from ..sparql.algebra import Query
+from .resources import SharedResources
+
+__all__ = ["ServiceOverloadedError", "ServiceQuery", "QueryService"]
+
+
+class ServiceOverloadedError(RuntimeError):
+    """Raised when both the running set and the waiting queue are full."""
+
+
+class ServiceQuery:
+    """Registry entry + handle for one query admitted to the service."""
+
+    def __init__(self, query_id: str, query: Query, seeds: Optional[list[str]]) -> None:
+        self.id = query_id
+        self.query = query
+        self.seeds = seeds
+        self.status = "queued"
+        self.submitted_at = time.monotonic()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.error: Optional[BaseException] = None
+        #: The engine-level handle; ``None`` until the query leaves the
+        #: waiting queue.
+        self.execution: Optional[QueryExecution] = None
+        self._done = asyncio.Event()
+        self._task: Optional[asyncio.Task] = None
+
+    @property
+    def done(self) -> bool:
+        return self.status in ("done", "failed", "cancelled")
+
+    async def wait(self) -> ExecutionResult:
+        """Block until the query finishes; returns its results (or raises)."""
+        await self._done.wait()
+        if self.error is not None:
+            raise self.error
+        assert self.execution is not None
+        return self.execution.result
+
+    async def cancel(self) -> "ServiceQuery":
+        """Stop the query: dequeue it if waiting, interrupt it if running.
+
+        Always cancels the driving task rather than the execution's own
+        generator — a generator cannot be ``aclose()``d from a second
+        task while the driver is suspended inside it, but a task cancel
+        interrupts it at its await point and runs its cleanup.
+        """
+        if self.done:
+            return self
+        if self._task is not None:
+            self._task.cancel()
+        elif self.execution is not None:
+            await self.execution.cancel()
+        await self._done.wait()
+        return self
+
+    def snapshot(self) -> dict:
+        """A JSON-friendly view for the registry/status endpoints."""
+        stats = self.execution.stats if self.execution is not None else None
+        return {
+            "id": self.id,
+            "status": self.status,
+            "form": self.query.form,
+            "submitted_at": round(self.submitted_at, 4),
+            "started_at": round(self.started_at, 4) if self.started_at else None,
+            "finished_at": round(self.finished_at, 4) if self.finished_at else None,
+            "results": stats.result_count if stats is not None else 0,
+            "documents_fetched": stats.documents_fetched if stats is not None else 0,
+            "documents_from_store": stats.documents_from_store if stats is not None else 0,
+            "error": str(self.error) if self.error is not None else None,
+        }
+
+
+class QueryService:
+    """Executes many queries over shared resources with admission control."""
+
+    def __init__(
+        self,
+        resources: SharedResources,
+        config: Optional[EngineConfig] = None,
+        extractor_factory=default_extractors,
+        max_concurrent: int = 8,
+        max_queued: int = 32,
+        default_max_documents: int = 0,
+        default_max_duration: float = 0.0,
+    ) -> None:
+        self._resources = resources
+        self._config = config if config is not None else EngineConfig()
+        self._extractor_factory = extractor_factory
+        self._max_concurrent = max(1, max_concurrent)
+        self._max_queued = max(0, max_queued)
+        self._default_max_documents = default_max_documents
+        self._default_max_duration = default_max_duration
+        self._engine = LinkTraversalEngine(
+            resources.client,
+            config=self._config,
+            dereferencer=resources.dereferencer,
+        )
+        self._semaphore = asyncio.Semaphore(self._max_concurrent)
+        self._registry: dict[str, ServiceQuery] = {}
+        self._ids = itertools.count(1)
+        self._active = 0
+        self._queued = 0
+        self.accepted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def resources(self) -> SharedResources:
+        return self._resources
+
+    @property
+    def engine(self) -> LinkTraversalEngine:
+        return self._engine
+
+    @property
+    def active_count(self) -> int:
+        return self._active
+
+    @property
+    def queued_count(self) -> int:
+        return self._queued
+
+    def get(self, query_id: str) -> Optional[ServiceQuery]:
+        return self._registry.get(query_id)
+
+    def queries(self) -> list[ServiceQuery]:
+        return list(self._registry.values())
+
+    def statistics(self) -> dict:
+        """Service counters plus the shared caches' statistics."""
+        return {
+            "active": self._active,
+            "queued": self._queued,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            **self._resources.statistics(),
+        }
+
+    # -- submission -----------------------------------------------------
+
+    def submit(
+        self,
+        query: TypingUnion[str, Query],
+        seeds: Optional[Iterable[str]] = None,
+        max_documents: Optional[int] = None,
+        max_duration: Optional[float] = None,
+        tracer=None,
+        metrics=None,
+    ) -> ServiceQuery:
+        """Admit a query (or raise :class:`ServiceOverloadedError`).
+
+        Must be called with a running event loop — the returned handle's
+        execution is driven as an :class:`asyncio.Task`.  ``await
+        handle.wait()`` for the result, ``await handle.cancel()`` to stop
+        it; live status is on the handle throughout.
+        """
+        metrics_registry = self._resources.metrics
+        if self._active + self._queued >= self._max_concurrent + self._max_queued:
+            self.rejected += 1
+            metrics_registry.counter("service.rejected").inc()
+            raise ServiceOverloadedError(
+                f"service at capacity ({self._active} running, {self._queued} queued)"
+            )
+        parsed = self._engine._parse(query)
+        handle = ServiceQuery(
+            f"q{next(self._ids)}", parsed, list(seeds) if seeds is not None else None
+        )
+        self._registry[handle.id] = handle
+        self.accepted += 1
+        metrics_registry.counter("service.accepted").inc()
+        self._queued += 1
+        self._sync_gauges()
+        traversal = self._traversal_for(max_documents, max_duration)
+        handle._task = asyncio.create_task(
+            self._drive(handle, traversal, tracer, metrics),
+            name=f"query-service-{handle.id}",
+        )
+        return handle
+
+    async def run(
+        self,
+        query: TypingUnion[str, Query],
+        seeds: Optional[Iterable[str]] = None,
+        **kwargs,
+    ) -> ExecutionResult:
+        """Submit and wait: the one-call path for front-ends."""
+        return await self.submit(query, seeds=seeds, **kwargs).wait()
+
+    # -- internals ------------------------------------------------------
+
+    def _traversal_for(
+        self, max_documents: Optional[int], max_duration: Optional[float]
+    ) -> Optional[TraversalPolicy]:
+        """A per-query policy when any budget differs from the engine's."""
+        documents = (
+            max_documents if max_documents is not None else self._default_max_documents
+        )
+        duration = (
+            max_duration if max_duration is not None else self._default_max_duration
+        )
+        base = self._config.traversal
+        if documents == base.max_documents and duration == base.max_duration:
+            return None
+        return dataclasses.replace(
+            base, max_documents=documents, max_duration=duration
+        )
+
+    def _sync_gauges(self) -> None:
+        metrics = self._resources.metrics
+        metrics.gauge("service.queries.active").set(self._active)
+        metrics.gauge("service.queries.queued").set(self._queued)
+        metrics.gauge("service.docstore.hit_rate").set(
+            self._resources.document_store.hit_rate
+        )
+
+    async def _drive(
+        self,
+        handle: ServiceQuery,
+        traversal: Optional[TraversalPolicy],
+        tracer,
+        metrics,
+    ) -> None:
+        metrics_registry = self._resources.metrics
+        dequeued = False
+        try:
+            async with self._semaphore:
+                self._queued -= 1
+                dequeued = True
+                self._active += 1
+                handle.status = "running"
+                handle.started_at = time.monotonic()
+                self._sync_gauges()
+                try:
+                    execution = self._engine.query(
+                        handle.query,
+                        seeds=handle.seeds,
+                        tracer=tracer,
+                        metrics=metrics,
+                        extractors=self._extractor_factory(),
+                        traversal=traversal,
+                    )
+                    handle.execution = execution
+                    await execution.gather()
+                    if execution.cancelled:
+                        handle.status = "cancelled"
+                        self.cancelled += 1
+                        metrics_registry.counter("service.cancelled").inc()
+                    else:
+                        handle.status = "done"
+                        self.completed += 1
+                        metrics_registry.counter("service.completed").inc()
+                finally:
+                    self._active -= 1
+        except asyncio.CancelledError:
+            # Either cancelled while waiting in the admission queue, or a
+            # task cancel interrupted ``gather`` mid-run — in which case
+            # the generator has already unwound and ``execution.cancel``
+            # just finalizes its bookkeeping.
+            if not dequeued:
+                self._queued -= 1
+            if handle.execution is not None:
+                await handle.execution.cancel()
+            handle.status = "cancelled"
+            self.cancelled += 1
+            metrics_registry.counter("service.cancelled").inc()
+        except Exception as error:  # noqa: BLE001 — registry reports it
+            handle.status = "failed"
+            handle.error = error
+            self.failed += 1
+            metrics_registry.counter("service.failed").inc()
+        finally:
+            handle.finished_at = time.monotonic()
+            self._sync_gauges()
+            handle._done.set()

@@ -10,11 +10,20 @@ list.  This module reproduces that experience locally:
   engine against the simulated pods, streaming results as NDJSON — the
   same incremental display the demo's Web worker provides.
 
+By default every ``/execute`` builds a fresh client and engine (the
+paper's one-shot demo).  Pass a started
+:class:`~repro.service.ServiceHost` to run in **service mode** instead:
+executions go through the shared :class:`~repro.service.QueryService`
+(so repeat queries hit the HTTP cache and parsed-document store), the
+SPARQL protocol is exposed over real HTTP at ``/sparql``, and
+``/status.json`` reports live service statistics.
+
 Run ``python -m repro.webui`` and open the printed URL.
 """
 
 from __future__ import annotations
 
+import asyncio
 import html
 import json
 import threading
@@ -24,6 +33,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from .ltqp.engine import LinkTraversalEngine
 from .net.latency import SeededJitterLatency
+from .net.message import Request
 from .obs import Tracer, chrome_trace_events
 from .sparql.parser import SparqlParseError, parse_query
 from .sparql.results import binding_to_cli_line
@@ -195,6 +205,7 @@ class DemoServer:
         universe: Optional[SolidBenchUniverse] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        service=None,
     ) -> None:
         self._universe = universe if universe is not None else build_universe(
             SolidBenchConfig(scale=0.02)
@@ -206,10 +217,22 @@ class DemoServer:
         self._page = render_page(self._universe)
         #: Tracer of the most recent ``/execute`` run, served at /trace.json.
         self._last_trace: Optional[Tracer] = None
+        #: A started :class:`~repro.service.ServiceHost` (service mode) or
+        #: ``None`` (one-shot mode, the paper's original demo).
+        self._service_host = service
+        self._sparql_app = None
+        if service is not None:
+            from .service import ServiceSparqlApp
+
+            self._sparql_app = ServiceSparqlApp(service.service)
 
     @property
     def universe(self) -> SolidBenchUniverse:
         return self._universe
+
+    @property
+    def service_host(self):
+        return self._service_host
 
     @property
     def url(self) -> str:
@@ -241,6 +264,23 @@ class DemoServer:
                 if parts.path == "/trace.json":
                     demo._serve_trace(self)
                     return
+                if parts.path == "/status.json":
+                    demo._serve_status(self)
+                    return
+                if demo._sparql_app is not None and parts.path in (
+                    "/sparql",
+                    "/service/status",
+                ):
+                    demo._serve_sparql(self)
+                    return
+                self.send_response(404)
+                self.end_headers()
+
+            def do_POST(self) -> None:
+                parts = urlsplit(self.path)
+                if demo._sparql_app is not None and parts.path == "/sparql":
+                    demo._serve_sparql(self)
+                    return
                 self.send_response(404)
                 self.end_headers()
 
@@ -260,19 +300,65 @@ class DemoServer:
             handler.end_headers()
             handler.wfile.write(body)
             return
-        client = self._universe.client(latency=SeededJitterLatency())
-        engine = LinkTraversalEngine(client)
         tracer = Tracer()
-        execution = engine.query(query, tracer=tracer).run_sync()
+        if self._service_host is not None:
+            # Service mode: the shared engine, caches, and document store.
+            result = self._service_host.execute(query, tracer=tracer)
+            results = result.results
+        else:
+            # One-shot mode: a fresh client + engine per request.
+            client = self._universe.client(latency=SeededJitterLatency())
+            engine = LinkTraversalEngine(client)
+            results = engine.query(query, tracer=tracer).run_sync().results
         self._last_trace = tracer
         variables = query.variables()
         handler.send_response(200)
         handler.send_header("content-type", "application/x-ndjson")
         handler.end_headers()
-        for timed in execution.results:
+        for timed in results:
             line = binding_to_cli_line(timed.binding, variables) + "\n"
             handler.wfile.write(line.encode("utf-8"))
             handler.wfile.flush()
+
+    def _serve_status(self, handler: BaseHTTPRequestHandler) -> None:
+        """Live service statistics (or the one-shot marker)."""
+        if self._service_host is None:
+            document = {"mode": "one-shot", "service": None}
+        else:
+            document = {
+                "mode": "service",
+                "service": self._service_host.statistics(),
+                "queries": [
+                    q.snapshot() for q in self._service_host.service.queries()
+                ],
+            }
+        body = json.dumps(document).encode("utf-8")
+        handler.send_response(200)
+        handler.send_header("content-type", "application/json")
+        handler.send_header("content-length", str(len(body)))
+        handler.end_headers()
+        handler.wfile.write(body)
+
+    def _serve_sparql(self, handler: BaseHTTPRequestHandler) -> None:
+        """Bridge real HTTP to the simulated SPARQL-protocol app."""
+        length = int(handler.headers.get("content-length") or 0)
+        request = Request(
+            handler.command,
+            f"http://service.local{handler.path}",
+            {k.lower(): v for k, v in handler.headers.items()},
+            handler.rfile.read(length) if length else b"",
+        )
+        future = asyncio.run_coroutine_threadsafe(
+            self._sparql_app.handle(request), self._service_host.loop
+        )
+        response = future.result()
+        handler.send_response(response.status)
+        for name, value in response.headers.items():
+            if name.lower() != "content-length":
+                handler.send_header(name, value)
+        handler.send_header("content-length", str(len(response.body)))
+        handler.end_headers()
+        handler.wfile.write(response.body)
 
     def _serve_trace(self, handler: BaseHTTPRequestHandler) -> None:
         """Chrome trace-event JSON for the most recent execution."""

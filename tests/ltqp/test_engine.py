@@ -195,3 +195,82 @@ class TestConfiguration:
         assert stats.triples_discovered > 0
         summary = stats.summary()
         assert summary["results"] == 2
+
+
+class TestServiceOrientedEngine:
+    """The injectable dereferencer + per-execution overrides (service mode)."""
+
+    def test_queue_policy_via_traversal_policy(self, world):
+        internet, pod1, _ = world
+        query = SNB + f"SELECT ?c WHERE {{ ?m snvoc:hasCreator <{pod1.webid}> ; snvoc:content ?c }}"
+        for policy in ("fifo", "lifo", "priority"):
+            engine = engine_for(internet, config=EngineConfig(queue_policy=policy))
+            assert len(engine.execute_sync(query)) == 2
+
+    def test_explicit_queue_factory_beats_policy(self, world):
+        internet, pod1, _ = world
+        made = []
+
+        def factory():
+            queue = PriorityLinkQueue()
+            made.append(queue)
+            return queue
+
+        engine = engine_for(
+            internet,
+            queue_factory=factory,
+            config=EngineConfig(queue_policy="lifo"),
+        )
+        query = SNB + f"SELECT ?c WHERE {{ ?m snvoc:hasCreator <{pod1.webid}> ; snvoc:content ?c }}"
+        assert len(engine.execute_sync(query)) == 2
+        assert made  # the explicit factory was used, not the policy
+
+    def test_injected_dereferencer_is_used(self, world):
+        from repro.ltqp.dereference import Dereferencer
+        from repro.service import DocumentStore
+
+        internet, pod1, _ = world
+        client = HttpClient(internet, latency=NoLatency())
+        store = DocumentStore()
+        dereferencer = Dereferencer(client, document_store=store)
+        engine = LinkTraversalEngine(client, dereferencer=dereferencer)
+        assert engine.dereferencer is dereferencer
+        query = SNB + f"SELECT ?c WHERE {{ ?m snvoc:hasCreator <{pod1.webid}> ; snvoc:content ?c }}"
+        cold = engine.execute_sync(query)
+        warm = engine.execute_sync(query)
+        assert len(cold) == len(warm) == 2
+        assert cold.stats.documents_from_store == 0
+        assert warm.stats.documents_from_store == warm.stats.documents_fetched
+        assert store.hits > 0
+
+    def test_per_execution_extractors_override(self, world):
+        internet, pod1, _ = world
+        engine = engine_for(internet)  # default extractor stack
+        query = SNB + f"SELECT ?c WHERE {{ ?m snvoc:hasCreator <{pod1.webid}> ; snvoc:content ?c }}"
+
+        async def run():
+            execution = engine.query(query, extractors=[AllIriExtractor()])
+            await execution.gather()
+            return execution
+
+        execution = asyncio.run(run())
+        assert len(execution.results) == 2
+        assert set(execution.stats.links_by_extractor) <= {"seed", "all-iris"}
+
+    def test_per_execution_traversal_override(self, world):
+        from repro.ltqp.engine import TraversalPolicy
+
+        internet, pod1, _ = world
+        engine = engine_for(internet)
+        query = SNB + f"SELECT ?c WHERE {{ ?m snvoc:hasCreator <{pod1.webid}> ; snvoc:content ?c }}"
+
+        async def run(traversal):
+            execution = engine.query(query, traversal=traversal)
+            await execution.gather()
+            return execution
+
+        bounded = asyncio.run(run(TraversalPolicy(max_documents=2)))
+        assert bounded.stats.documents_fetched <= 2
+        # The engine's own config is untouched: a plain run is unbounded.
+        full = asyncio.run(run(None))
+        assert full.stats.documents_fetched > 2

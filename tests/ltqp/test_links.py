@@ -99,3 +99,27 @@ class TestLink:
     def test_seed_detection(self):
         assert Link("https://h/a").is_seed
         assert not Link("https://h/a", parent_url="https://h/b").is_seed
+
+
+class TestQueuePolicyRegistry:
+    def test_policies_map_to_queue_classes(self):
+        from repro.ltqp import (
+            FifoLinkQueue,
+            LifoLinkQueue,
+            PriorityLinkQueue,
+            QUEUE_POLICIES,
+            queue_factory_for,
+        )
+
+        assert set(QUEUE_POLICIES) == {"fifo", "lifo", "priority"}
+        assert isinstance(queue_factory_for("fifo")(), FifoLinkQueue)
+        assert isinstance(queue_factory_for("lifo")(), LifoLinkQueue)
+        assert isinstance(queue_factory_for("priority")(), PriorityLinkQueue)
+
+    def test_unknown_policy_raises(self):
+        import pytest
+
+        from repro.ltqp import queue_factory_for
+
+        with pytest.raises(ValueError, match="unknown queue policy"):
+            queue_factory_for("random")

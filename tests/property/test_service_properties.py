@@ -1,0 +1,86 @@
+"""Property test: concurrency through the service is unobservable.
+
+For *any* mix of Discover queries and any under-budget transient fault
+plan, running them concurrently through one :class:`QueryService` —
+sharing one client, HTTP cache, and parsed-document store — must yield,
+per query, exactly the result multiset of a serial fault-free run.
+Faults stay masked by retries, and no shared state leaks between
+concurrent executions.
+"""
+
+import asyncio
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ltqp import EngineConfig, NetworkPolicy
+from repro.net import NoLatency
+from repro.net.faults import FaultPlan
+from repro.net.resilience import RetryPolicy
+from repro.service import QueryService, SharedResources
+from repro.solidbench import discover_query
+
+_SERIAL_BASELINES: dict[tuple[int, int], list[str]] = {}
+
+
+def _network() -> NetworkPolicy:
+    return NetworkPolicy(
+        retry=RetryPolicy(max_attempts=4, base_delay=0.0001, max_delay=0.001)
+    )
+
+
+def serial_baseline(universe, template: int) -> list[str]:
+    key = (id(universe), template)
+    if key not in _SERIAL_BASELINES:
+        named = discover_query(universe, template, 5)
+        engine = universe.fast_engine(config=EngineConfig(network=_network()))
+        execution = engine.query(named.text, seeds=named.seeds).run_sync()
+        _SERIAL_BASELINES[key] = sorted(repr(b) for b in execution.bindings)
+    return _SERIAL_BASELINES[key]
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    templates=st.lists(st.sampled_from([1, 2, 4, 5]), min_size=2, max_size=5),
+    rate=st.floats(min_value=0.0, max_value=0.4),
+    fault_seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_concurrent_service_matches_serial_runs(
+    tiny_universe, templates, rate, fault_seed
+):
+    # A *fresh* plan per run: FaultPlan is stateful (it counts attempts).
+    plan = (
+        FaultPlan.transient(rate=rate, seed=fault_seed, fail_attempts=2)
+        if rate > 0
+        else None
+    )
+    tiny_universe.internet.install_fault_plan(plan)
+    try:
+        resources = SharedResources.for_universe(tiny_universe, latency=NoLatency())
+        service = QueryService(
+            resources,
+            config=EngineConfig(network=_network()),
+            max_concurrent=len(templates),
+        )
+        queries = [discover_query(tiny_universe, t, 5) for t in templates]
+
+        async def scenario():
+            handles = [
+                service.submit(named.text, seeds=named.seeds) for named in queries
+            ]
+            return await asyncio.gather(*(h.wait() for h in handles))
+
+        results = asyncio.run(scenario())
+    finally:
+        tiny_universe.internet.install_fault_plan(None)
+
+    for template, result in zip(templates, results):
+        got = sorted(repr(timed.binding) for timed in result.results)
+        assert got == serial_baseline(tiny_universe, template), (
+            f"concurrent Discover {template} diverged from its serial run"
+        )
+    assert service.completed == len(templates)

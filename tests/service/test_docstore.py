@@ -1,0 +1,102 @@
+"""Unit tests for the cross-query parsed-document store."""
+
+import hashlib
+
+from repro.net.message import Response
+from repro.rdf.terms import Literal, intern_iri
+from repro.rdf.triples import Triple
+from repro.service import DocumentStore
+
+
+def triple(n: int) -> Triple:
+    return Triple(
+        intern_iri(f"https://pod/doc#{n}"),
+        intern_iri("https://vocab/p"),
+        Literal(str(n)),
+    )
+
+
+class TestValidator:
+    def test_prefers_etag(self):
+        response = Response(200, {"etag": '"abc123"'}, b"body")
+        assert DocumentStore.validator_for(response) == '"abc123"'
+
+    def test_falls_back_to_body_digest(self):
+        response = Response(200, {}, b"body")
+        expected = "sha1:" + hashlib.sha1(b"body").hexdigest()
+        assert DocumentStore.validator_for(response) == expected
+
+    def test_different_bodies_different_validators(self):
+        a = DocumentStore.validator_for(Response(200, {}, b"one"))
+        b = DocumentStore.validator_for(Response(200, {}, b"two"))
+        assert a != b
+
+
+class TestLookup:
+    def test_miss_on_unknown_url(self):
+        store = DocumentStore()
+        assert store.lookup("https://pod/doc", "v1") is None
+        assert store.misses == 1 and store.hits == 0
+
+    def test_hit_returns_stored_triples(self):
+        store = DocumentStore()
+        store.put("https://pod/doc", "v1", [triple(1), triple(2)])
+        entry = store.lookup("https://pod/doc", "v1")
+        assert entry is not None
+        assert entry.triples == (triple(1), triple(2))
+        assert store.hits == 1 and store.parses == 1
+
+    def test_validator_change_invalidates(self):
+        store = DocumentStore()
+        store.put("https://pod/doc", "v1", [triple(1)])
+        assert store.lookup("https://pod/doc", "v2") is None
+        assert store.invalidations == 1
+        # The stale entry is gone: a matching validator no longer hits.
+        assert "https://pod/doc" not in store
+        assert store.lookup("https://pod/doc", "v1") is None
+
+    def test_links_are_http_iris_of_the_document(self):
+        store = DocumentStore()
+        entry = store.put("https://pod/doc", "v1", [triple(7)])
+        assert "https://pod/doc#7" in entry.links
+        assert "https://vocab/p" in entry.links
+        # Literals contribute nothing.
+        assert all(link.startswith("http") for link in entry.links)
+
+
+class TestBoundsAndStats:
+    def test_evicts_oldest_beyond_capacity(self):
+        store = DocumentStore(max_documents=2)
+        store.put("https://pod/a", "v", [triple(1)])
+        store.put("https://pod/b", "v", [triple(2)])
+        store.put("https://pod/c", "v", [triple(3)])
+        assert len(store) == 2
+        assert "https://pod/a" not in store
+        assert "https://pod/b" in store and "https://pod/c" in store
+
+    def test_replacing_existing_url_does_not_evict(self):
+        store = DocumentStore(max_documents=2)
+        store.put("https://pod/a", "v1", [triple(1)])
+        store.put("https://pod/b", "v1", [triple(2)])
+        store.put("https://pod/a", "v2", [triple(3)])
+        assert len(store) == 2
+
+    def test_hit_rate_and_statistics(self):
+        store = DocumentStore()
+        store.put("https://pod/doc", "v1", [triple(1)])
+        store.lookup("https://pod/doc", "v1")
+        store.lookup("https://pod/other", "v1")
+        assert store.hit_rate == 0.5
+        stats = store.statistics()
+        assert stats["documents"] == 1
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["parses"] == 1
+
+    def test_clear_resets_everything(self):
+        store = DocumentStore()
+        store.put("https://pod/doc", "v1", [triple(1)])
+        store.lookup("https://pod/doc", "v1")
+        store.clear()
+        assert len(store) == 0
+        assert store.hits == 0 and store.misses == 0 and store.parses == 0
+        assert store.hit_rate == 0.0

@@ -1,0 +1,262 @@
+"""Tests for the long-lived QueryService and its shared resources."""
+
+import asyncio
+
+import pytest
+
+from repro.ltqp.engine import EngineConfig
+from repro.net import HttpClient, Internet, NoLatency, StaticApp
+from repro.service import (
+    QueryService,
+    ServiceHost,
+    ServiceOverloadedError,
+    SharedResources,
+)
+from repro.solidbench import discover_query
+
+
+def make_service(universe, **kwargs):
+    resources = SharedResources.for_universe(universe, latency=NoLatency())
+    return QueryService(resources, **kwargs)
+
+
+def bindings_of(result):
+    return sorted(repr(timed.binding) for timed in result.results)
+
+
+class TestWarmRuns:
+    def test_warm_run_identical_and_parse_free(self, tiny_universe):
+        service = make_service(tiny_universe)
+        named = discover_query(tiny_universe, 1, 5)
+
+        async def scenario():
+            cold = await service.run(named.text, seeds=named.seeds)
+            parses_after_cold = service.resources.document_store.parses
+            warm = await service.run(named.text, seeds=named.seeds)
+            return cold, parses_after_cold, warm
+
+        cold, parses_after_cold, warm = asyncio.run(scenario())
+        # Byte-identical result multisets…
+        assert bindings_of(cold) == bindings_of(warm)
+        assert bindings_of(cold)
+        # …with every document served from the parsed-document store:
+        assert warm.stats.documents_from_store == warm.stats.documents_fetched
+        assert cold.stats.documents_from_store == 0
+        # zero re-parses on the warm run.
+        assert service.resources.document_store.parses == parses_after_cold
+
+    def test_caches_shared_across_distinct_queries(self, tiny_universe):
+        service = make_service(tiny_universe)
+        # Both Discover 1 and Discover 2 traverse the same person's pod,
+        # so the second query reuses the first one's parses.
+        first = discover_query(tiny_universe, 1, 5)
+        second = discover_query(tiny_universe, 2, 5, person_index=first.person_index)
+
+        async def scenario():
+            await service.run(first.text, seeds=first.seeds)
+            return await service.run(second.text, seeds=second.seeds)
+
+        result = asyncio.run(scenario())
+        assert result.stats.documents_from_store > 0
+
+
+class TestAdmissionControl:
+    def test_overload_rejected_with_503_semantics(self, tiny_universe):
+        service = make_service(tiny_universe, max_concurrent=1, max_queued=1)
+        named = discover_query(tiny_universe, 1, 5)
+
+        async def scenario():
+            first = service.submit(named.text, seeds=named.seeds)
+            second = service.submit(named.text, seeds=named.seeds)
+            with pytest.raises(ServiceOverloadedError):
+                service.submit(named.text, seeds=named.seeds)
+            assert service.rejected == 1
+            await asyncio.gather(first.wait(), second.wait())
+            # Capacity freed: submissions are accepted again.
+            await service.run(named.text, seeds=named.seeds)
+
+        asyncio.run(scenario())
+        assert service.accepted == 3 and service.completed == 3
+
+    def test_concurrent_queries_all_complete(self, tiny_universe):
+        service = make_service(tiny_universe, max_concurrent=4)
+        named = discover_query(tiny_universe, 1, 5)
+
+        async def scenario():
+            handles = [service.submit(named.text, seeds=named.seeds) for _ in range(6)]
+            assert service.queued_count + service.active_count == 6
+            return await asyncio.gather(*(h.wait() for h in handles))
+
+        results = asyncio.run(scenario())
+        expected = bindings_of(results[0])
+        assert expected
+        assert all(bindings_of(r) == expected for r in results)
+        assert service.completed == 6
+
+
+class TestCancellation:
+    def test_cancel_running_query(self, tiny_universe):
+        service = make_service(tiny_universe)
+        named = discover_query(tiny_universe, 1, 5)
+
+        async def scenario():
+            handle = service.submit(named.text, seeds=named.seeds)
+            await asyncio.sleep(0.005)
+            await handle.cancel()
+            return handle
+
+        handle = asyncio.run(scenario())
+        assert handle.status == "cancelled"
+        assert service.cancelled == 1 and service.active_count == 0
+
+    def test_cancel_queued_query_never_runs(self, tiny_universe):
+        service = make_service(tiny_universe, max_concurrent=1, max_queued=2)
+        named = discover_query(tiny_universe, 1, 5)
+
+        async def scenario():
+            first = service.submit(named.text, seeds=named.seeds)
+            queued = service.submit(named.text, seeds=named.seeds)
+            await asyncio.sleep(0)
+            await queued.cancel()
+            await first.wait()
+            return queued
+
+        queued = asyncio.run(scenario())
+        assert queued.status == "cancelled"
+        assert queued.execution is None  # never left the admission queue
+        assert service.queued_count == 0
+
+    def test_wait_after_cancel_is_safe(self, tiny_universe):
+        service = make_service(tiny_universe)
+        named = discover_query(tiny_universe, 1, 5)
+
+        async def scenario():
+            handle = service.submit(named.text, seeds=named.seeds)
+            await asyncio.sleep(0.005)
+            await handle.cancel()
+            return await handle.wait()
+
+        result = asyncio.run(scenario())
+        assert result.stats is not None
+
+
+class TestBudgetsAndRegistry:
+    def test_per_query_document_budget(self, tiny_universe):
+        service = make_service(tiny_universe)
+        named = discover_query(tiny_universe, 1, 5)
+
+        async def scenario():
+            bounded = await service.run(named.text, seeds=named.seeds, max_documents=3)
+            unbounded = await service.run(named.text, seeds=named.seeds)
+            return bounded, unbounded
+
+        bounded, unbounded = asyncio.run(scenario())
+        assert bounded.stats.documents_fetched <= 3
+        assert unbounded.stats.documents_fetched > bounded.stats.documents_fetched
+
+    def test_service_default_budget(self, tiny_universe):
+        service = make_service(tiny_universe, default_max_documents=2)
+        named = discover_query(tiny_universe, 1, 5)
+        result = asyncio.run(service.run(named.text, seeds=named.seeds))
+        assert result.stats.documents_fetched <= 2
+
+    def test_registry_snapshots(self, tiny_universe):
+        service = make_service(tiny_universe)
+        named = discover_query(tiny_universe, 1, 5)
+
+        async def scenario():
+            handle = service.submit(named.text, seeds=named.seeds)
+            await handle.wait()
+            return handle
+
+        handle = asyncio.run(scenario())
+        assert service.get(handle.id) is handle
+        snapshot = handle.snapshot()
+        assert snapshot["id"] == handle.id
+        assert snapshot["status"] == "done"
+        assert snapshot["results"] > 0
+        assert snapshot["documents_fetched"] > 0
+        assert snapshot["error"] is None
+
+    def test_failed_query_is_reported(self, tiny_universe):
+        # Strict mode turns a parse failure into a query error; the
+        # registry must report it rather than swallow it.
+        resources = SharedResources.for_universe(
+            tiny_universe, latency=NoLatency(), lenient=False
+        )
+        service = QueryService(resources)
+        query = "SELECT ?o WHERE { <https://nowhere.invalid/x> <https://p/p> ?o }"
+
+        async def scenario():
+            handle = service.submit(query, seeds=["https://nowhere.invalid/x"])
+            with pytest.raises(Exception):
+                await handle.wait()
+            return handle
+
+        handle = asyncio.run(scenario())
+        assert handle.status == "failed"
+        assert service.failed == 1
+
+    def test_statistics_and_gauges(self, tiny_universe):
+        service = make_service(tiny_universe)
+        named = discover_query(tiny_universe, 1, 5)
+        asyncio.run(service.run(named.text, seeds=named.seeds))
+        asyncio.run(service.run(named.text, seeds=named.seeds))
+        stats = service.statistics()
+        assert stats["completed"] == 2
+        assert stats["document_store"]["hits"] > 0
+        metrics = service.resources.metrics
+        assert metrics.gauge("service.docstore.hit_rate").value > 0
+        assert metrics.counter("service.completed").value == 2
+
+
+class TestInvalidation:
+    def test_changed_document_is_reparsed(self):
+        internet = Internet()
+        app = StaticApp()
+        app.put("/doc", '<https://h/doc#s> <https://h/p> "one" .')
+        internet.register("https://h", app)
+        resources = SharedResources(internet, latency=NoLatency())
+        service = QueryService(resources)
+        query = "SELECT ?o WHERE { <https://h/doc#s> <https://h/p> ?o }"
+
+        async def run():
+            return await service.run(query, seeds=["https://h/doc"])
+
+        first = asyncio.run(run())
+        assert [t.binding for t in first.results][0] is not None
+        # The document changes upstream: new body → new validator → the
+        # store drops its entry and the new content is parsed.
+        app.put("/doc", '<https://h/doc#s> <https://h/p> "two" .')
+        resources.http_cache.clear()
+        second = asyncio.run(run())
+        assert "two" in repr(second.results[0].binding)
+        assert resources.document_store.invalidations == 1
+        assert resources.document_store.parses == 2
+
+
+class TestServiceHost:
+    def test_blocking_facade_from_sync_code(self, tiny_universe):
+        service = make_service(tiny_universe)
+        named = discover_query(tiny_universe, 1, 5)
+        with ServiceHost(service) as host:
+            first = host.execute(named.text, seeds=named.seeds, timeout=60)
+            second = host.execute(named.text, seeds=named.seeds, timeout=60)
+            assert bindings_of(first) == bindings_of(second)
+            assert host.statistics()["completed"] == 2
+        # Restartable after stop().
+        host = ServiceHost(service).start()
+        try:
+            assert host.execute(named.text, seeds=named.seeds, timeout=60).results
+        finally:
+            host.stop()
+
+
+class TestEngineSharing:
+    def test_service_does_not_reset_shared_breakers(self, tiny_universe):
+        resources = SharedResources.for_universe(tiny_universe, latency=NoLatency())
+        # Building a service must not install a fresh policy on the shared
+        # client (which would reset circuit-breaker history).
+        policy_before = resources.client.policy
+        QueryService(resources, config=EngineConfig())
+        assert resources.client.policy is policy_before

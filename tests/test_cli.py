@@ -121,3 +121,66 @@ class TestCliFormatsAndExplain:
         out = capsys.readouterr().out
         assert "zero-knowledge join order" in out
         assert "extractors:" in out
+
+
+class TestQueuePolicyFlag:
+    def test_default_is_fifo(self):
+        assert build_arg_parser().parse_args([]).queue_policy == "fifo"
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_arg_parser().parse_args(["--queue-policy", "random"])
+
+    @pytest.mark.parametrize("policy", ["fifo", "lifo", "priority"])
+    def test_each_policy_runs_and_answers(self, policy, capsys):
+        code = ltqp_main(
+            [
+                "--simulate", "0.01", "--bench-seed", "7",
+                "--discover", "1.5", "--no-latency",
+                "--queue-policy", policy,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        # The traversal order changes but the answer must not: all three
+        # disciplines exhaust the same reachable subweb.
+        assert len(out) == 33
+
+
+class TestServeCommand:
+    def test_serve_parser_defaults(self):
+        from repro.cli import build_serve_arg_parser
+
+        args = build_serve_arg_parser().parse_args([])
+        assert args.max_concurrent == 8 and args.max_queued == 32
+        assert args.queue_policy == "fifo" and args.port == 8765
+
+    def test_serve_stack_answers_over_http(self):
+        import urllib.request
+        from urllib.parse import quote
+
+        from repro.cli import build_serve_arg_parser, build_service_stack
+        from repro.solidbench import discover_query
+
+        args = build_serve_arg_parser().parse_args(
+            ["--simulate", "0.01", "--bench-seed", "7", "--port", "0",
+             "--no-latency", "--max-concurrent", "2"]
+        )
+        server = build_service_stack(args)
+        server.start()
+        try:
+            named = discover_query(server.universe, 1, 5)
+            url = (
+                f"{server.url}sparql?query={quote(named.text)}"
+                f"&seeds={quote(','.join(named.seeds))}"
+            )
+            with urllib.request.urlopen(url, timeout=60) as response:
+                document = json.loads(response.read().decode("utf-8"))
+            assert document["results"]["bindings"]
+            with urllib.request.urlopen(server.url + "status.json", timeout=10) as r:
+                status = json.loads(r.read().decode("utf-8"))
+            assert status["mode"] == "service"
+            assert status["service"]["completed"] == 1
+        finally:
+            server.stop()
+            server.service_host.stop()

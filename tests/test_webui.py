@@ -68,3 +68,78 @@ class TestDemoServer:
             assert error.code == 404
         else:
             raise AssertionError("expected HTTP 404")
+
+
+class TestServiceMode:
+    """The demo server backed by a long-lived QueryService."""
+
+    @pytest.fixture(scope="class")
+    def service_demo(self, tiny_universe):
+        from repro.net import NoLatency
+        from repro.service import QueryService, ServiceHost, SharedResources
+
+        resources = SharedResources.for_universe(tiny_universe, latency=NoLatency())
+        host = ServiceHost(QueryService(resources)).start()
+        server = DemoServer(universe=tiny_universe, service=host)
+        server.start()
+        yield server
+        server.stop()
+        host.stop()
+
+    def test_execute_goes_through_service(self, service_demo):
+        from repro.solidbench import discover_query
+
+        query = discover_query(service_demo.universe, 1, 5)
+        url = service_demo.url + "execute?query=" + urllib.parse.quote(query.text)
+        with urllib.request.urlopen(url, timeout=60) as response:
+            first = [l for l in response.read().decode("utf-8").splitlines() if l]
+        with urllib.request.urlopen(url, timeout=60) as response:
+            second = [l for l in response.read().decode("utf-8").splitlines() if l]
+        assert sorted(first) == sorted(second)
+        stats = service_demo.service_host.statistics()
+        assert stats["completed"] == 2
+        # The warm run was answered from the parsed-document store.
+        assert stats["document_store"]["hits"] > 0
+
+    def test_sparql_endpoint_over_real_http(self, service_demo):
+        from repro.solidbench import discover_query
+
+        query = discover_query(service_demo.universe, 1, 5)
+        url = (
+            service_demo.url
+            + "sparql?query="
+            + urllib.parse.quote(query.text)
+            + "&seeds="
+            + urllib.parse.quote(",".join(query.seeds))
+        )
+        with urllib.request.urlopen(url, timeout=60) as response:
+            assert response.status == 200
+            assert "sparql-results+json" in response.headers["content-type"]
+            document = json.loads(response.read().decode("utf-8"))
+        assert document["results"]["bindings"]
+
+    def test_sparql_post_over_real_http(self, service_demo):
+        from repro.solidbench import discover_query
+
+        query = discover_query(service_demo.universe, 1, 5)
+        request = urllib.request.Request(
+            service_demo.url + "sparql",
+            data=query.text.encode("utf-8"),
+            headers={"content-type": "application/sparql-query"},
+        )
+        with urllib.request.urlopen(request, timeout=60) as response:
+            document = json.loads(response.read().decode("utf-8"))
+        assert document["results"]["bindings"]
+
+    def test_status_json_reports_service(self, service_demo):
+        with urllib.request.urlopen(service_demo.url + "status.json", timeout=10) as r:
+            document = json.loads(r.read().decode("utf-8"))
+        assert document["mode"] == "service"
+        assert "document_store" in document["service"]
+        assert isinstance(document["queries"], list)
+
+    def test_one_shot_mode_status_json(self, demo):
+        with urllib.request.urlopen(demo.url + "status.json", timeout=10) as r:
+            document = json.loads(r.read().decode("utf-8"))
+        assert document["mode"] == "one-shot"
+        assert document["service"] is None
