@@ -1,0 +1,154 @@
+"""Quiescence-flush benchmark: incremental finalize vs snapshot re-evaluation.
+
+Companion to the unified execution stack.  Before it, any non-monotonic
+query was answered by throwing away the pipeline at traversal quiescence
+and re-evaluating the whole query over the final snapshot.  Now blocking
+operators (OrderSlice, LeftJoin, GroupAggregate, ...) maintain their
+state per delta during traversal and *finalize* in O(result) when the
+link queue drains.
+
+This bench measures that end-game directly, on non-monotonic variants of
+the Discover templates (no Discover template is natively non-monotonic,
+so the template bodies are wrapped with ORDER BY, OPTIONAL, and GROUP
+BY).  The variants are *unanchored* — they range over every message in
+the universe rather than one person's — because a person-anchored query
+leaves both sides with microseconds of endgame work, which measures
+timer noise, not the design.  The traversal itself is simulated by
+feeding the universe's oracle dataset through ``pipeline.advance`` in
+untimed chunks (that is the point of the unified stack: the join work
+amortizes into traversal); the timed region is quiescence→last-result:
+
+* **flush_s** — ``pipeline.finalize(dataset)`` on the fed pipeline,
+* **snapshot_s** — what the seed engine did instead: build a
+  :class:`SnapshotEvaluator` over the final dataset and evaluate the
+  full query from scratch.
+
+Both sides must produce identical result multisets; the committed
+``BENCH_quiescence.json`` pins result counts and the regression gate
+(``check_hotpath_regression.py``) requires the flush to stay at least
+``3×`` faster than the snapshot re-evaluation.
+
+``REPRO_WRITE_BENCH=1 pytest benchmarks/bench_quiescence.py`` rewrites
+the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.ltqp.pipeline import compile_query_pipeline
+from repro.rdf import Dataset
+from repro.solidbench import discover_query
+from repro.sparql import parse_query
+from repro.sparql.eval import SnapshotEvaluator
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_quiescence.json"
+
+#: Untimed feeding granularity (quads per pipeline.advance call).
+FEED_CHUNK = 2000
+
+
+def nonmonotonic_queries(universe) -> list[tuple[str, str]]:
+    """Non-monotonic Discover variants: one per blocking-operator family.
+
+    The bodies reuse the Discover template patterns (message / content /
+    id / creator over snvoc:) with the person anchor removed, then wrap
+    them with the operator under test.
+    """
+    prefixes = discover_query(universe, 1, 1).text.partition("SELECT")[0]
+    ordered = prefixes + (
+        "SELECT ?message ?messageId ?messageContent WHERE {\n"
+        "  ?message snvoc:content ?messageContent ;\n"
+        "    snvoc:id ?messageId .\n"
+        "}\nORDER BY ?messageId ?message"
+    )
+    optional = prefixes + (
+        "SELECT ?message ?messageContent ?date WHERE {\n"
+        "  ?message snvoc:content ?messageContent .\n"
+        "  OPTIONAL { ?message snvoc:creationDate ?date }\n"
+        "}"
+    )
+    grouped = prefixes + (
+        "SELECT ?creator (COUNT(?message) AS ?n) WHERE {\n"
+        "  ?message snvoc:hasCreator ?creator ;\n"
+        "    snvoc:content ?messageContent .\n"
+        "}\nGROUP BY ?creator"
+    )
+    return [
+        ("messages+order", ordered),
+        ("messages+optional", optional),
+        ("creators+group", grouped),
+    ]
+
+
+def _key(binding):
+    return sorted((v.value, str(t)) for v, t in binding.items())
+
+
+def measure_quiescence(universe) -> dict:
+    """Flush vs snapshot timings for each non-monotonic Discover variant."""
+    quads = universe.oracle_dataset().log_slice(0)
+    per_query = {}
+    for name, text in nonmonotonic_queries(universe):
+        query = parse_query(text)
+        pipeline = compile_query_pipeline(query)
+        assert pipeline.blocking_nodes, f"{name} must compile to a blocking plan"
+
+        dataset = Dataset()
+        streamed = []
+        for start in range(0, len(quads), FEED_CHUNK):
+            for quad in quads[start : start + FEED_CHUNK]:
+                dataset.add(quad)
+            streamed.extend(pipeline.advance(dataset))
+
+        start_time = time.perf_counter()
+        flushed = pipeline.finalize(dataset)
+        flush_s = time.perf_counter() - start_time
+
+        start_time = time.perf_counter()
+        snapshot = list(SnapshotEvaluator(dataset).evaluate(query.where))
+        snapshot_s = time.perf_counter() - start_time
+
+        incremental = streamed + flushed
+        per_query[name] = {
+            "flush_s": round(flush_s, 6),
+            "snapshot_s": round(snapshot_s, 6),
+            "speedup": round(snapshot_s / flush_s, 2) if flush_s else float("inf"),
+            "results": len(incremental),
+            "identical_results": sorted(map(_key, incremental))
+            == sorted(map(_key, snapshot)),
+        }
+
+    return {
+        "queries": per_query,
+        "speedup_min": min(q["speedup"] for q in per_query.values()),
+    }
+
+
+# -- pytest benches ----------------------------------------------------------
+
+
+def test_flush_beats_snapshot(benchmark, universe):
+    metrics = benchmark.pedantic(
+        lambda: measure_quiescence(universe), rounds=1, iterations=1
+    )
+    for name, entry in metrics["queries"].items():
+        print(
+            f"\n{name}: flush {entry['flush_s'] * 1000:.2f} ms, "
+            f"snapshot {entry['snapshot_s'] * 1000:.2f} ms "
+            f"({entry['speedup']}x), {entry['results']} results"
+        )
+        assert entry["identical_results"], name
+    assert metrics["speedup_min"] > 3.0
+
+
+def test_write_baseline(universe):
+    """Rewrite BENCH_quiescence.json when REPRO_WRITE_BENCH=1 (no-op otherwise)."""
+    if os.environ.get("REPRO_WRITE_BENCH") != "1":
+        return
+    metrics = measure_quiescence(universe)
+    BASELINE_PATH.write_text(json.dumps(metrics, indent=1) + "\n")
+    print(f"\nwrote {BASELINE_PATH}: {metrics}")

@@ -17,7 +17,7 @@ from .engine import (
     TraversalPolicy,
 )
 from ..net.resilience import NetworkPolicy
-from .explain import explain_algebra, explain_plan
+from .explain import explain_algebra, explain_physical, explain_plan
 from .extractors import (
     AllIriExtractor,
     LdpContainerExtractor,
@@ -41,7 +41,19 @@ from .links import (
     QueueSample,
     queue_factory_for,
 )
-from .pipeline import NotStreamable, Pipeline, compile_pipeline, total_work
+from .pipeline import (
+    DescribeNode,
+    ExistsFilterNode,
+    GroupAggregateNode,
+    LeftJoinNode,
+    MinusNode,
+    NotStreamable,
+    OrderSliceNode,
+    Pipeline,
+    compile_pipeline,
+    compile_query_pipeline,
+    total_work,
+)
 from .source import GrowingTripleSource
 from .stats import ExecutionStats, TimedResult
 
@@ -81,8 +93,16 @@ __all__ = [
     "AdaptivePipeline",
     "observed_cardinality",
     "explain_algebra",
+    "explain_physical",
     "explain_plan",
     "compile_pipeline",
+    "compile_query_pipeline",
+    "LeftJoinNode",
+    "MinusNode",
+    "ExistsFilterNode",
+    "GroupAggregateNode",
+    "OrderSliceNode",
+    "DescribeNode",
     "total_work",
     "NotStreamable",
 ]

@@ -13,7 +13,12 @@ recompile the pipeline with a cardinality-informed order and replay the
 deduplicated, so downstream consumers never see repeats; replay is cheap
 because LTQP keeps all fetched triples in the growing source.
 
-Restriction: replanning applies per BGP; queries stream correctly either
+Restriction: replanning applies per BGP — always *below* the plan's
+blocking boundary (BGP join trees are the monotonic feet of the plan;
+blocking operators sit above them).  Recompiling builds a fresh pipeline
+whose blocking operators start empty, and replaying the traversal log
+through it rebuilds their held state exactly, so OPTIONAL/MINUS/GROUP BY
+queries replan as safely as plain joins.  Queries stream correctly either
 way — adaptivity only changes intermediate-result volume, never answers.
 Replayed results are set-deduplicated, which matches the DISTINCT
 semantics of the benchmark queries; for non-DISTINCT queries replanning
@@ -28,10 +33,10 @@ from typing import Iterable, Optional, Sequence
 from ..rdf.dataset import Dataset
 from ..rdf.terms import Variable
 from ..rdf.triples import TriplePattern
-from ..sparql.algebra import Operator, PathPattern
+from ..sparql.algebra import Operator, PathPattern, Query
 from ..sparql.bindings import Binding
 from ..sparql.planner import plan_bgp_order
-from .pipeline import NotStreamable, Pipeline, compile_pipeline, total_work
+from .pipeline import Pipeline, compile_pipeline, compile_query_pipeline, total_work
 
 __all__ = ["AdaptivePipeline", "observed_cardinality"]
 
@@ -87,8 +92,12 @@ class AdaptivePipeline:
         check_interval: int = 10,
         replan_factor: float = 4.0,
         max_replans: int = 2,
+        query: Optional[Query] = None,
     ) -> None:
         self._where = where
+        #: When the full query is supplied, compilation goes through
+        #: :func:`compile_query_pipeline` so ASK/DESCRIBE wrapping applies.
+        self._query = query
         self._seed_iris = tuple(seed_iris)
         self._check_interval = max(1, check_interval)
         self._replan_factor = replan_factor
@@ -132,9 +141,18 @@ class AdaptivePipeline:
         return self._pipeline.router
 
     @property
+    def blocking_nodes(self):
+        """The active plan's blocking operators (empty = fully streaming)."""
+        return self._pipeline.blocking_nodes
+
+    @property
     def total_work(self) -> int:
         """Bindings produced across all plans, including retired ones."""
         return self._retired_work + total_work(self._pipeline.root)
+
+    def finalize(self, dataset: Dataset) -> list[Binding]:
+        """Quiescence flush through the active plan, deduplicated."""
+        return self._dedupe(self._pipeline.finalize(dataset))
 
     def advance(self, dataset: Dataset) -> list[Binding]:
         produced = self._dedupe(self._pipeline.advance(dataset))
@@ -168,6 +186,10 @@ class AdaptivePipeline:
                 self._current_order = chosen
                 return chosen
 
+        if self._query is not None:
+            return compile_query_pipeline(
+                self._query, seed_iris=self._seed_iris, bgp_order=bgp_order
+            )
         return compile_pipeline(self._where, seed_iris=self._seed_iris, bgp_order=bgp_order)
 
     @staticmethod

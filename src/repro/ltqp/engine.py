@@ -18,10 +18,13 @@ Usage::
     engine.query(query_text).run_sync()              # blocking convenience
 
 Seed URLs come from the caller or, following the demo UI's fallback, from
-the IRIs mentioned in the query itself.  Monotonic queries stream through
-the incremental pipeline; non-monotonic ones (OPTIONAL, ORDER BY, …) are
-evaluated over the final snapshot at traversal quiescence — matching the
-paper's "pipelined implementations of all *monotonic* SPARQL operators".
+the IRIs mentioned in the query itself.  Every query — any form, any
+operator mix — compiles into one incremental pipeline.  Monotonic
+subtrees stream results during traversal (the paper's "pipelined
+implementations of all *monotonic* SPARQL operators"); non-monotonic
+operators (OPTIONAL, MINUS, ORDER BY, GROUP BY, …) become blocking
+physical nodes that fold deltas into running state and release their
+held-back output in one O(result) finalize pass at traversal quiescence.
 
 Configuration is split by layer: :class:`TraversalPolicy` bounds the
 crawl (depth, documents, duration, results), while
@@ -45,7 +48,6 @@ from ..rdf.terms import NamedNode
 from ..rdf.triples import Triple
 from ..sparql.algebra import Query
 from ..sparql.bindings import Binding
-from ..sparql.eval import SnapshotEvaluator
 from ..sparql.parser import parse_query
 from .dereference import Dereferencer
 from .extractors import (
@@ -55,7 +57,7 @@ from .extractors import (
     default_extractors,
 )
 from .links import Link, LinkQueue, queue_factory_for
-from .pipeline import NotStreamable, Pipeline, compile_pipeline
+from .pipeline import compile_query_pipeline
 from .source import GrowingTripleSource
 from .stats import ExecutionStats, TimedResult
 
@@ -515,29 +517,21 @@ class LinkTraversalEngine:
                 stats.links_queued += 1
                 stats.links_by_extractor["seed"] = stats.links_by_extractor.get("seed", 0) + 1
 
-        # ASK streams at most one (empty) solution; CONSTRUCT streams its
-        # WHERE bindings and instantiates the template per new solution.
-        pipeline_where = query.where
-        if query.form == "ASK":
-            from ..sparql.algebra import Project, Slice
-
-            pipeline_where = Slice(Project(query.where, ()), offset=0, limit=1)
-
-        pipeline: Optional[Pipeline] = None
+        # One compiler for every query form: ASK wraps in LIMIT 1 over an
+        # empty projection, DESCRIBE streams CBD triples, CONSTRUCT streams
+        # its WHERE bindings and instantiates the template per new solution.
+        # Non-monotonic operators become blocking physical nodes that flush
+        # at quiescence via Pipeline.finalize.
         plan_started = clock() if tracer is not None else 0.0
-        try:
-            if query.form == "DESCRIBE":
-                # DESCRIBE needs the final snapshot to compute bounded
-                # descriptions; traversal streams, the answer does not.
-                raise NotStreamable("DESCRIBE evaluates at quiescence")
-            if config.adaptive:
-                from .adaptive import AdaptivePipeline
+        if config.adaptive:
+            from .adaptive import AdaptivePipeline
 
-                pipeline = AdaptivePipeline(pipeline_where, seed_iris=context.iris)
-            else:
-                pipeline = compile_pipeline(pipeline_where, seed_iris=context.iris)
-        except NotStreamable:
-            stats.streaming = False
+            pipeline = AdaptivePipeline(query.where, seed_iris=context.iris, query=query)
+        else:
+            pipeline = compile_query_pipeline(query, seed_iris=context.iris)
+        # "Streaming" now means the plan holds nothing back: no blocking
+        # operators, so every result can reach the caller mid-traversal.
+        stats.streaming = not pipeline.blocking_nodes
         if tracer is not None:
             tracer.add(
                 "plan",
@@ -545,10 +539,10 @@ class LinkTraversalEngine:
                 clock(),
                 parent=query_span,
                 streaming=stats.streaming,
+                blocking=len(pipeline.blocking_nodes),
                 adaptive=config.adaptive,
             )
-            if pipeline is not None:
-                pipeline.enable_tracing(tracer, query_span)
+            pipeline.enable_tracing(tracer, query_span)
 
         constructed: set = set()
 
@@ -607,7 +601,7 @@ class LinkTraversalEngine:
 
         def flush_pipeline() -> None:
             nonlocal pending_quads
-            if pipeline is None or pending_quads == 0:
+            if pending_quads == 0:
                 return
             pending_quads = 0
             for binding in transform_results(pipeline.advance(source.dataset)):
@@ -626,7 +620,7 @@ class LinkTraversalEngine:
                 return
             added = source.add_document(url, triples)
             stats.triples_discovered += added
-            if pipeline is None or not added:
+            if not added:
                 return
             pending_quads += added
             # Flush per document until the first result (TTFR protection),
@@ -656,7 +650,7 @@ class LinkTraversalEngine:
             )
         )
         timer: Optional[asyncio.Task] = None
-        if pipeline is not None and batch_quads > 1 and config.advance_flush_interval > 0:
+        if batch_quads > 1 and config.advance_flush_interval > 0:
             timer = asyncio.create_task(flush_timer())
 
         drain: Optional[asyncio.Task] = None
@@ -678,13 +672,11 @@ class LinkTraversalEngine:
             if tracer is not None:
                 tracer.end(traversal_span)
             # Quiescence flush: feed whatever landed after the last batched
-            # advance (the cursor makes this exact, batching or not).
-            if pipeline is not None:
-                pending_quads = 0
-                for binding in transform_results(pipeline.advance(source.dataset)):
-                    emit(binding)
-            else:
-                self._evaluate_snapshot(execution, source, context, emit)
+            # advance (the cursor makes this exact, batching or not), then
+            # release everything the blocking operators held back.
+            pending_quads = 0
+            for binding in transform_results(pipeline.finalize(source.dataset)):
+                emit(binding)
             while not result_queue.empty():
                 binding = result_queue.get_nowait()
                 if binding is not None:
@@ -692,18 +684,27 @@ class LinkTraversalEngine:
         finally:
             if drain is not None and not drain.done():
                 drain.cancel()
+            # CancelledError is a BaseException (not an Exception) on modern
+            # Python, so it needs its own clause; the expected outcome of
+            # cancelling is the task raising it.  Anything else is a real
+            # teardown bug — shutdown must not fail the query, but the error
+            # is recorded in the stats instead of being swallowed silently.
             if timer is not None and not timer.done():
                 timer.cancel()
                 try:
                     await timer
-                except (asyncio.CancelledError, Exception):
+                except asyncio.CancelledError:
                     pass
+                except Exception as error:
+                    stats.note_shutdown_error("flush-timer", error)
             if not traversal.done():
                 traversal.cancel()
                 try:
                     await traversal
-                except (asyncio.CancelledError, Exception):
+                except asyncio.CancelledError:
                     pass
+                except Exception as error:
+                    stats.note_shutdown_error("traversal", error)
             source.close()
             stats.finished_at = clock()
             stats.documents_fetched = source.document_count
@@ -742,37 +743,6 @@ class LinkTraversalEngine:
             for origin, trips in after["trips_by_origin"].items()
             if trips > trips_before.get(origin, 0)
         }
-
-    def _evaluate_snapshot(self, execution, source, context, emit) -> None:
-        """Endgame evaluation for non-monotonic queries."""
-        query = execution.query
-        evaluator = SnapshotEvaluator(source.dataset, seed_iris=context.iris)
-        if query.form == "ASK":
-            # Represent ASK as zero/one empty binding result.
-            if evaluator.ask(query):
-                emit(Binding())
-            return
-        if query.form in ("CONSTRUCT", "DESCRIBE"):
-            triples = (
-                evaluator.construct(query)
-                if query.form == "CONSTRUCT"
-                else evaluator.describe(query)
-            )
-            for triple in triples:
-                from ..rdf.terms import Variable
-
-                emit(
-                    Binding(
-                        {
-                            Variable("subject"): triple.subject,
-                            Variable("predicate"): triple.predicate,
-                            Variable("object"): triple.object,
-                        }
-                    )
-                )
-            return
-        for binding in evaluator.select(query):
-            emit(binding)
 
     # ------------------------------------------------------------------
     # traversal loop

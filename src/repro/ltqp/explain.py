@@ -1,15 +1,16 @@
 """Query plan explanation.
 
 Renders what the engine will do before it does it: the algebra tree, the
-zero-knowledge BGP join order with per-pattern scores, whether the query
-streams through the incremental pipeline or waits for traversal
-quiescence, the seed URLs, and the extractor stack — the observability
-counterpart to Comunica's ``--explain`` flag.
+compiled physical operator tree with the *blocking boundary* marked
+(which operators stream during traversal and which hold output for the
+quiescence finalize pass), the zero-knowledge BGP join order with
+per-pattern scores, the seed URLs, and the extractor stack — the
+observability counterpart to Comunica's ``--explain`` flag.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Union as TypingUnion
 
 from ..rdf.terms import Variable
 from ..sparql.algebra import (
@@ -31,12 +32,22 @@ from ..sparql.algebra import (
     SubSelect,
     Union,
     ValuesOp,
-    is_monotonic,
 )
 from ..sparql.planner import pattern_score, plan_bgp_order
 from .extractors import LinkExtractor, build_query_context
+from .pipeline import (
+    DescribeNode,
+    ExistsFilterNode,
+    GroupAggregateNode,
+    IncrementalNode,
+    LeftJoinNode,
+    MinusNode,
+    OrderSliceNode,
+    Pipeline,
+    compile_query_pipeline,
+)
 
-__all__ = ["explain_algebra", "explain_plan"]
+__all__ = ["explain_algebra", "explain_physical", "explain_plan"]
 
 
 def explain_algebra(op: Operator, indent: int = 0) -> str:
@@ -86,6 +97,95 @@ def explain_algebra(op: Operator, indent: int = 0) -> str:
     return f"{pad}{type(op).__name__}"
 
 
+def _physical_label(node: IncrementalNode) -> str:
+    from .pipeline import (
+        DistinctNode,
+        ExtendNode,
+        FilterNode,
+        JoinNode,
+        LimitNode,
+        PathScanNode,
+        ProjectNode,
+        ScanNode,
+        ValuesNode,
+    )
+
+    if isinstance(node, ScanNode):
+        return f"Scan {node._pattern}"
+    if isinstance(node, PathScanNode):
+        return f"PathScan {node._pattern.subject} <path> {node._pattern.object}"
+    if isinstance(node, JoinNode):
+        key = " ".join(f"?{v.value}" for v in node._key_variables)
+        return f"HashJoin [{key}]" if key else "HashJoin [cross]"
+    if isinstance(node, LeftJoinNode):
+        key = " ".join(f"?{v.value}" for v in node._key_variables)
+        return f"LeftJoin [{key}]" if key else "LeftJoin [cross]"
+    if isinstance(node, MinusNode):
+        key = " ".join(f"?{v.value}" for v in node._key_variables)
+        return f"Minus [{key}]" if key else "Minus [scan]"
+    if isinstance(node, ExistsFilterNode):
+        mode = "eager" if node._eager else "deferred"
+        return f"ExistsFilter ({mode})"
+    if isinstance(node, GroupAggregateNode):
+        return (
+            f"GroupAggregate ({len(node._op.keys)} keys, "
+            f"{len(node._aggregates)} aggregates)"
+        )
+    if isinstance(node, OrderSliceNode):
+        return (
+            f"OrderSlice ({len(node._conditions)} keys, "
+            f"offset={node._offset}, limit={node._limit})"
+        )
+    if isinstance(node, DescribeNode):
+        return f"Describe ({len(node._constants)} constant targets)"
+    if isinstance(node, FilterNode):
+        return "Filter"
+    if isinstance(node, ExtendNode):
+        return f"Extend ?{node._variable.value}"
+    if isinstance(node, ProjectNode):
+        variables = " ".join(f"?{v.value}" for v in node._variables)
+        return f"Project [{variables}]"
+    if isinstance(node, DistinctNode):
+        return "Distinct"
+    if isinstance(node, LimitNode):
+        return f"Limit {node._limit}"
+    if isinstance(node, ValuesNode):
+        return f"Values ({len(node._rows)} rows)"
+    return type(node).__name__
+
+
+def _subtree_blocks(node: IncrementalNode) -> bool:
+    return node.blocking or any(_subtree_blocks(child) for child in node.children())
+
+
+def explain_physical(
+    plan: TypingUnion[Pipeline, IncrementalNode], indent: int = 0
+) -> str:
+    """Indented rendering of a compiled physical operator tree.
+
+    Blocking operators are annotated; the lowest ones — those whose inputs
+    are fully streaming — are the *blocking boundary*: everything below
+    them delivers results mid-traversal, everything on or above flushes at
+    quiescence via the finalize pass.
+    """
+    node = plan.root if isinstance(plan, Pipeline) else plan
+    lines: list[str] = []
+
+    def render(node: IncrementalNode, depth: int) -> None:
+        label = "  " * depth + _physical_label(node)
+        if node.blocking:
+            if any(_subtree_blocks(child) for child in node.children()):
+                label += "   [blocking]"
+            else:
+                label += "   <-- blocking boundary (finalizes at quiescence)"
+        lines.append(label)
+        for child in node.children():
+            render(child, depth + 1)
+
+    render(node, indent)
+    return "\n".join(lines)
+
+
 def _find_bgps(op: Operator, out: list[BGP]) -> None:
     if isinstance(op, BGP):
         out.append(op)
@@ -112,12 +212,17 @@ def explain_plan(
     sections: list[str] = []
 
     sections.append(f"query form: {query.form}")
+    pipeline = compile_query_pipeline(query, seed_iris=context.iris)
+    blocking_count = len(pipeline.blocking_nodes)
     sections.append(
         "execution: "
         + (
             "streaming (pipelined incremental operators)"
-            if is_monotonic(query.where)
-            else "snapshot at traversal quiescence (non-monotonic operators)"
+            if not blocking_count
+            else (
+                f"streaming below the blocking boundary; {blocking_count} "
+                "blocking operator(s) finalize at traversal quiescence"
+            )
         )
     )
 
@@ -136,6 +241,9 @@ def explain_plan(
 
     sections.append("\nalgebra:")
     sections.append(explain_algebra(query.where, indent=1))
+
+    sections.append("\nphysical plan:")
+    sections.append(explain_physical(pipeline, indent=1))
 
     bgps: list[BGP] = []
     _find_bgps(query.where, bgps)

@@ -1,63 +1,120 @@
-"""Incremental pipelined query operators.
+"""Incremental pipelined query operators — the unified execution stack.
 
 The paper's engine evaluates queries *while* traversal is still adding
 triples: "the actual query processing happens in parallel over the
 continuously growing internal triple source", with "pipelined
 implementations of all monotonic SPARQL operators".  This module provides
-exactly that: an operator tree compiled from the algebra where every node
-consumes *deltas* (batches of newly added quads) and emits only the *new*
-solutions they enable.
+exactly that, plus incremental physical forms of the *non-monotonic*
+operators, so every query — OPTIONAL, MINUS, ORDER BY, GROUP BY, EXISTS,
+DESCRIBE included — compiles into one operator tree that consumes *deltas*
+(batches of newly added quads) during traversal.
+
+Monotonic operators emit every new solution immediately:
 
 * :class:`ScanNode` — matches delta quads against a triple pattern.
 * :class:`PathScanNode` — property paths; re-evaluates the path over the
-  grown snapshot per delta and emits unseen endpoint pairs (paths are
-  monotonic, so previously emitted pairs stay valid).
+  grown snapshot per delta and emits unseen endpoint pairs.
 * :class:`JoinNode` — symmetric hash join: each side keeps a table of all
-  bindings seen; new left bindings probe the right table and vice versa,
-  so late-arriving data joins with everything that came before without
-  restarting the pipeline.
+  bindings seen; new left bindings probe the right table and vice versa.
 * Union / Filter / Extend / Project / Distinct / Limit — straightforward
   streaming forms.
+* :class:`DescribeNode` — DESCRIBE is monotonic: concise bounded
+  descriptions only grow, so CBD triples stream as roots are discovered.
+
+Non-monotonic operators are *blocking*: they fold deltas into per-operator
+state during traversal and release their held-back output in a single
+O(result) ``finalize`` pass at traversal quiescence — no snapshot
+re-evaluation:
+
+* :class:`LeftJoinNode` — OPTIONAL; matched merges stream (they stay
+  valid), bare unmatched lefts wait for finalize.
+* :class:`MinusNode` — incremental anti-join; exclusion flags update per
+  delta, survivors emit at finalize.
+* :class:`ExistsFilterNode` — (NOT) EXISTS filters; positive EXISTS under
+  conjunction/disjunction emits eagerly (it is monotone-true), everything
+  else defers the decision to finalize.
+* :class:`GroupAggregateNode` — running :class:`AggregateState` per group
+  key; finalize evaluates output expressions from the states.
+* :class:`OrderSliceNode` — ORDER BY (+ OFFSET/LIMIT); with a LIMIT it
+  keeps only a top-k heap during traversal.
+
+The *blocking boundary* (see :func:`repro.sparql.planner.blocking_boundary`)
+is where streaming stops: below it, deltas flow and results reach the user
+mid-traversal; on and above it, ``Pipeline.finalize`` flushes at
+quiescence.  A plan with no blocking nodes behaves exactly as before.
 
 Delta dispatch is *predicate-routed*: at compile time every scan registers
 its concrete predicate with the pipeline's :class:`DeltaRouter`; each
 ``advance`` buckets the incoming quads once by predicate
 (:class:`DeltaBatch`) and every scan then reads only its own bucket —
-wildcard-predicate scans get the full delta.  A document whose predicates
-touch none of a scan's patterns costs that scan nothing, instead of a full
-broadcast re-match per scan per delta.
+wildcard-predicate scans get the full delta.
 
-Non-monotonic operators (OPTIONAL, MINUS, ORDER BY, GROUP BY, OFFSET,
-EXISTS filters) cannot stream soundly; :func:`compile_pipeline` raises
-:class:`NotStreamable` and the engine falls back to snapshot evaluation at
-traversal quiescence.
+EXISTS inside expressions is evaluated against the *current* growing
+dataset through :class:`CurrentDatasetExists`, which lends the snapshot
+evaluator's pattern matcher to the expression evaluator without copying
+any data (the dataset grows in place).
+
+:class:`NotStreamable` survives only as a safety net for algebra operators
+with no physical implementation; no SPARQL form produced by the parser
+triggers it.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Iterable, Iterator, Optional, Sequence, Union as TypingUnion
 
 from ..rdf.dataset import Dataset
-from ..rdf.terms import NamedNode, Term, Variable
-from ..rdf.triples import Quad, TriplePattern
+from ..rdf.terms import BlankNode, Literal, NamedNode, Term, Variable
+from ..rdf.triples import Quad, Triple, TriplePattern
+from ..sparql.aggregates import (
+    AggregateState,
+    collect_aggregates,
+    compute_aggregates,
+    evaluate_having,
+    evaluate_with_states,
+    group_solutions,
+    having_with_states,
+)
 from ..sparql.algebra import (
     BGP,
+    AggregateExpr,
+    And,
+    Arithmetic,
+    Compare,
     Distinct,
+    ExistsExpr,
     Extend,
     Filter,
+    FunctionCall,
     GraphOp,
+    GroupBy,
+    InExpr,
     Join,
+    LeftJoin,
+    Minus,
+    Not,
     Operator,
+    Or,
+    OrderBy,
+    OrderCondition,
     PathPattern,
     Project,
+    Query,
     Reduced,
     Slice,
     SubSelect,
+    UnaryMinus,
+    UnaryPlus,
     Union,
     ValuesOp,
-    is_monotonic,
+    VariableExpr,
+    expression_contains_exists,
+    operator_children,
+    operator_variables,
 )
 from ..sparql.bindings import EMPTY_BINDING, Binding
+from ..sparql.eval import SnapshotEvaluator, order_sort_key
 from ..sparql.expr import ExpressionError, ExpressionEvaluator
 from ..sparql.paths import evaluate_path, path_predicates
 from ..sparql.planner import plan_bgp_order
@@ -67,14 +124,26 @@ __all__ = [
     "IncrementalNode",
     "DeltaRouter",
     "DeltaBatch",
+    "CurrentDatasetExists",
+    "LeftJoinNode",
+    "MinusNode",
+    "ExistsFilterNode",
+    "GroupAggregateNode",
+    "OrderSliceNode",
+    "DescribeNode",
     "Pipeline",
     "compile_pipeline",
+    "compile_query_pipeline",
     "total_work",
 ]
 
 
 class NotStreamable(ValueError):
-    """The operator tree contains non-monotonic operators."""
+    """The operator tree contains an operator with no physical form.
+
+    Every SPARQL operator the parser produces compiles; this remains only
+    as a guard against future algebra additions outpacing the compiler.
+    """
 
 
 _EMPTY_QUADS: tuple[Quad, ...] = ()
@@ -179,12 +248,48 @@ class DeltaRouter:
 Delta = TypingUnion[Sequence[Quad], DeltaBatch]
 
 
+class CurrentDatasetExists:
+    """EXISTS scope for the growing dataset.
+
+    The pipeline's expression evaluator needs to answer ``EXISTS { … }``
+    against whatever the traversal has discovered *so far* (and, at
+    finalize, against the complete snapshot).  This binder lends a
+    :class:`SnapshotEvaluator` over the live dataset: the dataset grows in
+    place and its union graph is maintained incrementally, so one evaluator
+    stays valid for the whole execution — ``bind`` only rebuilds it when
+    pointed at a different dataset object.
+    """
+
+    __slots__ = ("_dataset", "_evaluator")
+
+    def __init__(self) -> None:
+        self._dataset: Optional[Dataset] = None
+        self._evaluator: Optional[SnapshotEvaluator] = None
+
+    def bind(self, dataset: Dataset) -> None:
+        if dataset is not self._dataset:
+            self._dataset = dataset
+            self._evaluator = SnapshotEvaluator(dataset)
+
+    def __call__(self, pattern: Operator, binding: Binding) -> bool:
+        evaluator = self._evaluator
+        if evaluator is None:
+            raise ExpressionError("EXISTS evaluated before any data arrived")
+        return evaluator.exists(pattern, binding)
+
+
 class IncrementalNode:
-    """Base class: push-based delta processing.
+    """Base class: push-based delta processing with a finalize phase.
 
     ``certain_variables`` are bound in every emitted solution — the safe
-    hash-key basis for joins above this node.
+    hash-key basis for joins above this node.  ``blocking`` marks nodes
+    that hold (part of) their output until :meth:`finalize`; the default
+    finalize just closes out children (leaves have nothing held back —
+    the pipeline cursor guarantees every quad was already processed).
     """
+
+    #: Class-level default; blocking physical nodes override it.
+    blocking = False
 
     def __init__(self, certain_variables: frozenset[Variable]) -> None:
         self.certain_variables = certain_variables
@@ -193,6 +298,10 @@ class IncrementalNode:
     def process(self, delta: Delta, dataset: Dataset) -> list[Binding]:
         """Consume newly added quads; return newly derivable solutions."""
         raise NotImplementedError
+
+    def finalize(self, dataset: Dataset) -> list[Binding]:
+        """Release held-back solutions at traversal quiescence."""
+        return []
 
     def register(self, router: DeltaRouter) -> None:
         """Declare this subtree's delta interests to the router."""
@@ -372,7 +481,11 @@ def _is_negated(path) -> bool:
 
 
 class ValuesNode(IncrementalNode):
-    """Inline data: emits its rows exactly once, on the first delta."""
+    """Inline data: emits its rows exactly once, on the first delta.
+
+    A traversal that discovers nothing never delivers a delta, so
+    :meth:`finalize` emits the rows as a backstop.
+    """
 
     def __init__(self, op: ValuesOp) -> None:
         certain = frozenset(
@@ -388,6 +501,12 @@ class ValuesNode(IncrementalNode):
         self._emitted = False
 
     def process(self, delta: Delta, dataset: Dataset) -> list[Binding]:
+        if self._emitted:
+            return []
+        self._emitted = True
+        return self._count(list(self._rows))
+
+    def finalize(self, dataset: Dataset) -> list[Binding]:
         if self._emitted:
             return []
         self._emitted = True
@@ -424,8 +543,20 @@ class JoinNode(IncrementalNode):
         return produced
 
     def _process(self, delta: Delta, dataset: Dataset) -> list[Binding]:
-        new_left = self._left.process(delta, dataset)
-        new_right = self._right.process(delta, dataset)
+        return self._count(
+            self._consume(
+                self._left.process(delta, dataset), self._right.process(delta, dataset)
+            )
+        )
+
+    def finalize(self, dataset: Dataset) -> list[Binding]:
+        # Blocking children may release rows at quiescence; join them against
+        # everything seen so far exactly like a late delta.
+        return self._count(
+            self._consume(self._left.finalize(dataset), self._right.finalize(dataset))
+        )
+
+    def _consume(self, new_left: list[Binding], new_right: list[Binding]) -> list[Binding]:
         produced: list[Binding] = []
 
         # New left rows join the right table as it stood before this delta…
@@ -448,7 +579,7 @@ class JoinNode(IncrementalNode):
                     produced.append(merged)
         for binding in new_right:
             self._right_table.setdefault(binding.key(self._key_variables), []).append(binding)
-        return self._count(produced)
+        return produced
 
     def children(self):
         return (self._left, self._right)
@@ -463,11 +594,16 @@ class UnionNode(IncrementalNode):
     def process(self, delta: Delta, dataset: Dataset) -> list[Binding]:
         return self._count(self._left.process(delta, dataset) + self._right.process(delta, dataset))
 
+    def finalize(self, dataset: Dataset) -> list[Binding]:
+        return self._count(self._left.finalize(dataset) + self._right.finalize(dataset))
+
     def children(self):
         return (self._left, self._right)
 
 
 class FilterNode(IncrementalNode):
+    """EXISTS-free FILTER; EXISTS filters compile to :class:`ExistsFilterNode`."""
+
     def __init__(self, input_node: IncrementalNode, expression, evaluator: ExpressionEvaluator) -> None:
         super().__init__(input_node.certain_variables)
         self._input = input_node
@@ -475,47 +611,664 @@ class FilterNode(IncrementalNode):
         self._evaluator = evaluator
 
     def process(self, delta: Delta, dataset: Dataset) -> list[Binding]:
-        return self._count(
-            [
-                binding
-                for binding in self._input.process(delta, dataset)
-                if self._evaluator.satisfied(self._expression, binding)
-            ]
-        )
+        return self._count(self._apply(self._input.process(delta, dataset)))
+
+    def finalize(self, dataset: Dataset) -> list[Binding]:
+        return self._count(self._apply(self._input.finalize(dataset)))
+
+    def _apply(self, bindings: list[Binding]) -> list[Binding]:
+        return [
+            binding
+            for binding in bindings
+            if self._evaluator.satisfied(self._expression, binding)
+        ]
 
     def children(self):
         return (self._input,)
 
 
-class ExtendNode(IncrementalNode):
+class ExistsFilterNode(IncrementalNode):
+    """FILTER whose expression contains (NOT) EXISTS.
+
+    A positive ``EXISTS`` is monotone-true over a growing dataset: once a
+    binding passes, it passes forever.  When every EXISTS in the expression
+    is non-negated and reached only through AND/OR, bindings that pass are
+    emitted immediately and the rest wait in a pending set, retested when a
+    delta touches the EXISTS pattern's predicates and finally at
+    quiescence.  ``NOT EXISTS`` (or EXISTS under negation) can flip from
+    true to false as data arrives, so those filters defer every decision to
+    :meth:`finalize`.
+    """
+
+    blocking = True
+
+    def __init__(self, input_node: IncrementalNode, expression, evaluator: ExpressionEvaluator) -> None:
+        super().__init__(input_node.certain_variables)
+        self._input = input_node
+        self._expression = expression
+        self._evaluator = evaluator
+        self._eager = _exists_eagerly_emittable(expression)
+        self._exists_predicates = _exists_pattern_predicates(expression)
+        self._pending: list[Binding] = []
+
+    def register(self, router: DeltaRouter) -> None:
+        super().register(router)
+        # The EXISTS pattern's predicates matter even when no scan wants
+        # them: a delta carrying one can flip pending bindings to passing.
+        if self._exists_predicates is None:
+            router.register(None)
+        else:
+            for predicate in self._exists_predicates:
+                router.register(predicate)
+
+    def process(self, delta: Delta, dataset: Dataset) -> list[Binding]:
+        new = self._input.process(delta, dataset)
+        if not self._eager:
+            self._pending.extend(new)
+            return []
+        produced: list[Binding] = []
+        if self._pending and self._delta_relevant(delta):
+            still_pending: list[Binding] = []
+            for binding in self._pending:
+                if self._evaluator.satisfied(self._expression, binding):
+                    produced.append(binding)
+                else:
+                    still_pending.append(binding)
+            self._pending = still_pending
+        for binding in new:
+            if self._evaluator.satisfied(self._expression, binding):
+                produced.append(binding)
+            else:
+                self._pending.append(binding)
+        return self._count(produced)
+
+    def finalize(self, dataset: Dataset) -> list[Binding]:
+        candidates = self._pending + self._input.finalize(dataset)
+        self._pending = []
+        return self._count(
+            [
+                binding
+                for binding in candidates
+                if self._evaluator.satisfied(self._expression, binding)
+            ]
+        )
+
+    def _delta_relevant(self, delta: Delta) -> bool:
+        if not delta:
+            return False
+        predicates = self._exists_predicates
+        if predicates is None:
+            return True
+        if isinstance(delta, DeltaBatch):
+            return any(delta.for_predicate(predicate) for predicate in predicates)
+        return any(quad.predicate in predicates for quad in delta)
+
+    def children(self):
+        return (self._input,)
+
+
+def _exists_eagerly_emittable(expression) -> bool:
+    """True when a pass decision is stable as the dataset grows."""
+    if not expression_contains_exists(expression):
+        return True  # dataset-independent subexpression
+    if isinstance(expression, ExistsExpr):
+        return not expression.negated
+    if isinstance(expression, (And, Or)):
+        return _exists_eagerly_emittable(expression.left) and _exists_eagerly_emittable(
+            expression.right
+        )
+    return False
+
+
+def _collect_exists_patterns(expression, found: list) -> None:
+    if isinstance(expression, ExistsExpr):
+        found.append(expression.pattern)
+    elif isinstance(expression, (And, Or, Compare, Arithmetic)):
+        _collect_exists_patterns(expression.left, found)
+        _collect_exists_patterns(expression.right, found)
+    elif isinstance(expression, (Not, UnaryMinus, UnaryPlus)):
+        _collect_exists_patterns(expression.operand, found)
+    elif isinstance(expression, FunctionCall):
+        for argument in expression.args:
+            _collect_exists_patterns(argument, found)
+    elif isinstance(expression, InExpr):
+        _collect_exists_patterns(expression.operand, found)
+        for choice in expression.choices:
+            _collect_exists_patterns(choice, found)
+
+
+def _exists_pattern_predicates(expression) -> Optional[frozenset]:
+    """Concrete predicates the EXISTS patterns can match; None = wildcard."""
+    patterns: list[Operator] = []
+    _collect_exists_patterns(expression, patterns)
+    predicates: set = set()
+    stack = list(patterns)
+    while stack:
+        op = stack.pop()
+        if isinstance(op, BGP):
+            for pattern in op.patterns:
+                predicate = pattern.predicate
+                if predicate is None or isinstance(predicate, Variable):
+                    return None
+                predicates.add(predicate)
+            for path in op.path_patterns:
+                if _is_negated(path.path):
+                    return None
+                relevant = path_predicates(path.path)
+                if not relevant:
+                    return None
+                predicates.update(relevant)
+        else:
+            stack.extend(operator_children(op))
+    return frozenset(predicates)
+
+
+class LeftJoinNode(IncrementalNode):
+    """OPTIONAL as an incremental left outer hash join.
+
+    Matched merges are monotone (a join partner never disappears), so they
+    stream the moment both sides exist.  Whether a left row ends up *bare*
+    (unmatched) is only decidable at quiescence; each left row carries a
+    matched flag that deltas flip, and :meth:`finalize` emits the rows
+    whose flag never flipped.  An ON-expression containing EXISTS defers
+    all matching to finalize, since the expression's verdict can change as
+    the dataset grows.
+    """
+
+    blocking = True
+
     def __init__(
         self,
-        input_node: IncrementalNode,
-        variable: Variable,
+        left: IncrementalNode,
+        right: IncrementalNode,
         expression,
         evaluator: ExpressionEvaluator,
     ) -> None:
-        # The extended variable is not *certain*: the expression may error.
-        super().__init__(input_node.certain_variables)
-        self._input = input_node
-        self._variable = variable
+        # Only the required side's variables are certain: bare lefts carry
+        # nothing from the optional side.
+        super().__init__(left.certain_variables)
+        self._left = left
+        self._right = right
         self._expression = expression
         self._evaluator = evaluator
+        self._defer = expression is not None and expression_contains_exists(expression)
+        self._key_variables = tuple(
+            sorted(left.certain_variables & right.certain_variables, key=lambda v: v.value)
+        )
+        #: Every left row as a mutable [binding, matched] entry.
+        self._lefts: list[list] = []
+        self._left_buckets: dict[tuple, list[list]] = {}
+        self._right_table: dict[tuple, list[Binding]] = {}
 
     def process(self, delta: Delta, dataset: Dataset) -> list[Binding]:
+        new_left = self._left.process(delta, dataset)
+        new_right = self._right.process(delta, dataset)
+        if self._defer:
+            self._insert(new_left, new_right)
+            return []
+        return self._count(self._consume(new_left, new_right))
+
+    def finalize(self, dataset: Dataset) -> list[Binding]:
+        final_left = self._left.finalize(dataset)
+        final_right = self._right.finalize(dataset)
         produced: list[Binding] = []
-        for binding in self._input.process(delta, dataset):
-            try:
-                value = self._evaluator.evaluate(self._expression, binding)
-            except ExpressionError:
-                produced.append(binding)
-                continue
-            if self._variable in binding:
-                if binding[self._variable] == value:
-                    produced.append(binding)
-                continue
-            produced.append(binding.extended(self._variable, value))
+        if self._defer:
+            self._insert(final_left, final_right)
+            # All pairs match at once against the final dataset.
+            for entry in self._lefts:
+                binding = entry[0]
+                for other in self._right_table.get(binding.key(self._key_variables), ()):
+                    merged = self._try_match(binding, other)
+                    if merged is not None:
+                        entry[1] = True
+                        produced.append(merged)
+        else:
+            produced.extend(self._consume(final_left, final_right))
+        for entry in self._lefts:
+            if not entry[1]:
+                produced.append(entry[0])
         return self._count(produced)
+
+    def _insert(self, new_left: list[Binding], new_right: list[Binding]) -> None:
+        for binding in new_left:
+            entry = [binding, False]
+            self._lefts.append(entry)
+            self._left_buckets.setdefault(binding.key(self._key_variables), []).append(entry)
+        for binding in new_right:
+            self._right_table.setdefault(binding.key(self._key_variables), []).append(binding)
+
+    def _try_match(self, left_binding: Binding, right_binding: Binding) -> Optional[Binding]:
+        merged = left_binding.merged(right_binding)
+        if merged is None:
+            return None
+        if self._expression is not None and not self._evaluator.satisfied(
+            self._expression, merged
+        ):
+            return None
+        return merged
+
+    def _consume(self, new_left: list[Binding], new_right: list[Binding]) -> list[Binding]:
+        produced: list[Binding] = []
+
+        # New left rows probe the right table as it stood before this delta…
+        for binding in new_left:
+            entry = [binding, False]
+            for other in self._right_table.get(binding.key(self._key_variables), ()):
+                merged = self._try_match(binding, other)
+                if merged is not None:
+                    entry[1] = True
+                    produced.append(merged)
+            self._lefts.append(entry)
+            self._left_buckets.setdefault(binding.key(self._key_variables), []).append(entry)
+
+        # …and new right rows probe every left row seen so far (including
+        # this delta's), flipping matched flags as they land.
+        for binding in new_right:
+            key = binding.key(self._key_variables)
+            for entry in self._left_buckets.get(key, ()):
+                merged = self._try_match(entry[0], binding)
+                if merged is not None:
+                    entry[1] = True
+                    produced.append(merged)
+            self._right_table.setdefault(key, []).append(binding)
+        return produced
+
+    def children(self):
+        return (self._left, self._right)
+
+
+class MinusNode(IncrementalNode):
+    """MINUS as an incremental anti-join.
+
+    A left row is excluded iff some right row shares at least one bound
+    variable with it and is compatible.  Exclusion is monotone (more data
+    can only add excluders), so each left row carries an excluded flag that
+    deltas flip; survivors emit at :meth:`finalize`.  When the two sides
+    certainly share variables, candidate excluders come from an exact-key
+    bucket (rows elsewhere disagree on a certainly-shared variable and are
+    incompatible by construction); otherwise every right row is scanned.
+    """
+
+    blocking = True
+
+    def __init__(self, left: IncrementalNode, right: IncrementalNode) -> None:
+        super().__init__(left.certain_variables)
+        self._left = left
+        self._right = right
+        self._key_variables = tuple(
+            sorted(left.certain_variables & right.certain_variables, key=lambda v: v.value)
+        )
+        self._lefts: list[list] = []
+        self._left_buckets: dict[tuple, list[list]] = {}
+        self._rights: list[Binding] = []
+        self._right_buckets: dict[tuple, list[Binding]] = {}
+
+    def process(self, delta: Delta, dataset: Dataset) -> list[Binding]:
+        self._consume(self._left.process(delta, dataset), self._right.process(delta, dataset))
+        return []
+
+    def finalize(self, dataset: Dataset) -> list[Binding]:
+        self._consume(self._left.finalize(dataset), self._right.finalize(dataset))
+        return self._count([entry[0] for entry in self._lefts if not entry[1]])
+
+    @staticmethod
+    def _excludes(left_binding: Binding, right_binding: Binding) -> bool:
+        if not set(left_binding) & set(right_binding):
+            return False
+        return left_binding.compatible(right_binding)
+
+    def _consume(self, new_left: list[Binding], new_right: list[Binding]) -> None:
+        keyed = bool(self._key_variables)
+        for binding in new_left:
+            entry = [binding, False]
+            candidates = (
+                self._right_buckets.get(binding.key(self._key_variables), ())
+                if keyed
+                else self._rights
+            )
+            for other in candidates:
+                if self._excludes(binding, other):
+                    entry[1] = True
+                    break
+            self._lefts.append(entry)
+            if keyed:
+                self._left_buckets.setdefault(binding.key(self._key_variables), []).append(entry)
+        for binding in new_right:
+            if keyed:
+                key = binding.key(self._key_variables)
+                self._right_buckets.setdefault(key, []).append(binding)
+                targets = self._left_buckets.get(key, ())
+            else:
+                self._rights.append(binding)
+                targets = self._lefts
+            for entry in targets:
+                if not entry[1] and self._excludes(entry[0], binding):
+                    entry[1] = True
+
+    def children(self):
+        return (self._left, self._right)
+
+
+class GroupAggregateNode(IncrementalNode):
+    """GROUP BY with running aggregate states per group key.
+
+    Each delta folds new member solutions into per-group
+    :class:`AggregateState` accumulators; :meth:`finalize` evaluates the
+    output expressions from those states in O(groups), never re-scanning
+    members.  Expressions containing EXISTS are dataset-dependent, so that
+    (rare) case buffers members and falls back to the batch helpers against
+    the final snapshot.
+    """
+
+    blocking = True
+
+    def __init__(self, input_node: IncrementalNode, op: GroupBy, evaluator: ExpressionEvaluator) -> None:
+        certain = set()
+        for expression, alias in op.keys:
+            if (
+                isinstance(expression, VariableExpr)
+                and expression.variable in input_node.certain_variables
+            ):
+                certain.add(alias if alias is not None else expression.variable)
+        super().__init__(frozenset(certain))
+        self._input = input_node
+        self._op = op
+        self._evaluator = evaluator
+        aggregates: list[AggregateExpr] = []
+        for _, expression in op.bindings:
+            collect_aggregates(expression, aggregates)
+        for condition in op.having:
+            collect_aggregates(condition, aggregates)
+        self._aggregates = tuple(aggregates)
+        expressions = [expression for expression, _ in op.keys]
+        expressions += [expression for _, expression in op.bindings]
+        expressions += list(op.having)
+        self._defer = any(expression_contains_exists(e) for e in expressions)
+        self._held: list[Binding] = []
+        self._groups: dict[tuple, tuple[Binding, dict]] = {}
+        if not op.keys and not self._defer:
+            # Aggregates over no keys produce one row even for zero members.
+            self._groups[()] = (EMPTY_BINDING, self._new_states())
+
+    def _new_states(self) -> dict:
+        return {aggregate: AggregateState(aggregate) for aggregate in self._aggregates}
+
+    def _member(self, member: Binding) -> None:
+        op = self._op
+        if not op.keys:
+            group = self._groups[()]
+        else:
+            key_terms: list[Optional[Term]] = []
+            items: dict[Variable, Term] = {}
+            for expression, alias in op.keys:
+                try:
+                    value: Optional[Term] = self._evaluator.evaluate(expression, member)
+                except ExpressionError:
+                    value = None
+                key_terms.append(value)
+                if value is not None:
+                    if alias is not None:
+                        items[alias] = value
+                    elif isinstance(expression, VariableExpr):
+                        items[expression.variable] = value
+            key = tuple(key_terms)
+            group = self._groups.get(key)
+            if group is None:
+                group = self._groups[key] = (Binding(items), self._new_states())
+        for state in group[1].values():
+            state.update(member, self._evaluator)
+
+    def process(self, delta: Delta, dataset: Dataset) -> list[Binding]:
+        new = self._input.process(delta, dataset)
+        if self._defer:
+            self._held.extend(new)
+        else:
+            for member in new:
+                self._member(member)
+        return []
+
+    def finalize(self, dataset: Dataset) -> list[Binding]:
+        finals = self._input.finalize(dataset)
+        if self._defer:
+            self._held.extend(finals)
+            return self._count(self._finalize_batch())
+        for member in finals:
+            self._member(member)
+        produced: list[Binding] = []
+        for key_binding, states in self._groups.values():
+            result = dict(key_binding)
+            for variable, expression in self._op.bindings:
+                try:
+                    value = evaluate_with_states(expression, states, key_binding, self._evaluator)
+                except ExpressionError:
+                    continue  # aggregate error leaves the variable unbound
+                result[variable] = value
+            result_binding = Binding(result)
+            if all(
+                having_with_states(condition, states, result_binding, self._evaluator)
+                for condition in self._op.having
+            ):
+                produced.append(result_binding)
+        return self._count(produced)
+
+    def _finalize_batch(self) -> list[Binding]:
+        op = self._op
+        produced: list[Binding] = []
+        for key_binding, members in group_solutions(self._held, op.keys, self._evaluator):
+            result = compute_aggregates(key_binding, members, op.bindings, self._evaluator)
+            if result is None:
+                continue
+            if all(
+                evaluate_having(condition, members, result, self._evaluator)
+                for condition in op.having
+            ):
+                produced.append(result)
+        return produced
+
+    def children(self):
+        return (self._input,)
+
+
+class _MaxHeapEntry:
+    """Inverts comparison so ``heapq``'s min-heap keeps the k *smallest*
+    entries with the current worst at the root."""
+
+    __slots__ = ("entry",)
+
+    def __init__(self, entry: tuple) -> None:
+        self.entry = entry
+
+    def __lt__(self, other: "_MaxHeapEntry") -> bool:
+        # entry[:2] is (sort_key, arrival_seq): never compares bindings.
+        return other.entry[:2] < self.entry[:2]
+
+
+class OrderSliceNode(IncrementalNode):
+    """ORDER BY, optionally fused with OFFSET/LIMIT (top-k).
+
+    Without a LIMIT every solution is keyed on arrival and sorted once at
+    :meth:`finalize`.  With a LIMIT only the best ``offset + limit``
+    entries survive traversal in a bounded heap — the common
+    ORDER BY + LIMIT page costs O(n log k) instead of buffering
+    everything.  Arrival sequence breaks key ties, keeping the emitted
+    order deterministic for a given delta schedule.  ORDER conditions
+    containing EXISTS compute their keys only at finalize (no pruning),
+    since a key could change as the dataset grows.
+    """
+
+    blocking = True
+
+    def __init__(
+        self,
+        input_node: IncrementalNode,
+        conditions: Sequence[OrderCondition],
+        offset: int,
+        limit: Optional[int],
+        evaluator: ExpressionEvaluator,
+    ) -> None:
+        super().__init__(input_node.certain_variables)
+        self._input = input_node
+        self._conditions = tuple(conditions)
+        self._offset = offset
+        self._limit = limit
+        self._evaluator = evaluator
+        self._defer_keys = any(
+            expression_contains_exists(condition.expression) for condition in self._conditions
+        )
+        self._seq = 0
+        self._heap: list[_MaxHeapEntry] = []
+        self._entries: list[tuple] = []
+        self._held: list[Binding] = []
+
+    @property
+    def _capacity(self) -> Optional[int]:
+        return None if self._limit is None else self._offset + self._limit
+
+    def _admit(self, bindings: list[Binding]) -> None:
+        if self._defer_keys:
+            self._held.extend(bindings)
+            return
+        capacity = self._capacity
+        for binding in bindings:
+            key = order_sort_key(self._conditions, binding, self._evaluator)
+            entry = (key, self._seq, binding)
+            self._seq += 1
+            if capacity is None:
+                self._entries.append(entry)
+            elif capacity == 0:
+                continue
+            elif len(self._heap) < capacity:
+                heapq.heappush(self._heap, _MaxHeapEntry(entry))
+            elif entry[:2] < self._heap[0].entry[:2]:
+                heapq.heapreplace(self._heap, _MaxHeapEntry(entry))
+
+    def process(self, delta: Delta, dataset: Dataset) -> list[Binding]:
+        self._admit(self._input.process(delta, dataset))
+        return []
+
+    def finalize(self, dataset: Dataset) -> list[Binding]:
+        self._admit(self._input.finalize(dataset))
+        if self._defer_keys:
+            entries = []
+            for binding in self._held:
+                key = order_sort_key(self._conditions, binding, self._evaluator)
+                entries.append((key, self._seq, binding))
+                self._seq += 1
+        elif self._limit is None:
+            entries = self._entries
+        else:
+            entries = [wrapper.entry for wrapper in self._heap]
+        entries.sort(key=lambda entry: entry[:2])
+        stop = None if self._limit is None else self._offset + self._limit
+        return self._count([entry[2] for entry in entries[self._offset : stop]])
+
+    def children(self):
+        return (self._input,)
+
+
+class DescribeNode(IncrementalNode):
+    """DESCRIBE as a *streaming* operator.
+
+    A concise bounded description only grows with the dataset, so DESCRIBE
+    is monotonic: as traversal discovers root resources (constant targets
+    immediately, WHERE-bound ones as solutions arrive) their CBD triples
+    stream out, and each delta quad whose subject is already a root emits
+    directly.  Blank-node objects join the root set so descriptions recurse
+    exactly as the snapshot evaluator's CBD does; an emitted-triple set
+    dedupes across overlapping descriptions.
+    """
+
+    _SUBJECT = Variable("subject")
+    _PREDICATE = Variable("predicate")
+    _OBJECT = Variable("object")
+
+    def __init__(self, input_node: IncrementalNode, query: Query) -> None:
+        super().__init__(frozenset((self._SUBJECT, self._PREDICATE, self._OBJECT)))
+        self._input = input_node
+        targets = query.describe_targets
+        variables = [t for t in targets if isinstance(t, Variable)]
+        self._constants = [t for t in targets if not isinstance(t, Variable)]
+        if variables:
+            self._scope: tuple[Variable, ...] = tuple(variables)
+        elif not targets:
+            self._scope = tuple(
+                sorted(operator_variables(query.where), key=lambda v: v.value)
+            )
+        else:
+            self._scope = ()
+        self._roots: set[Term] = set()
+        self._emitted: set[Triple] = set()
+        self._seeded = False
+
+    def register(self, router: DeltaRouter) -> None:
+        super().register(router)
+        # CBD expansion needs every quad whose subject is a known root.
+        router.register(None)
+
+    def process(self, delta: Delta, dataset: Dataset) -> list[Binding]:
+        graph = dataset.union
+        produced: list[Triple] = []
+        if not self._seeded:
+            self._seeded = True
+            for constant in self._constants:
+                self._add_root(constant, graph, produced)
+        self._harvest(self._input.process(delta, dataset), graph, produced)
+        quads = delta.quads if isinstance(delta, DeltaBatch) else delta
+        for quad in quads:
+            if quad.subject in self._roots:
+                triple = quad.triple
+                if triple not in self._emitted:
+                    self._emitted.add(triple)
+                    produced.append(triple)
+                obj = triple.object
+                if isinstance(obj, BlankNode) and obj not in self._roots:
+                    self._add_root(obj, graph, produced)
+        return self._count(self._to_bindings(produced))
+
+    def finalize(self, dataset: Dataset) -> list[Binding]:
+        graph = dataset.union
+        produced: list[Triple] = []
+        if not self._seeded:
+            self._seeded = True
+            for constant in self._constants:
+                self._add_root(constant, graph, produced)
+        self._harvest(self._input.finalize(dataset), graph, produced)
+        return self._count(self._to_bindings(produced))
+
+    def _harvest(self, bindings: list[Binding], graph, produced: list[Triple]) -> None:
+        for binding in bindings:
+            for variable in self._scope:
+                term = binding.get(variable)
+                if term is not None and not isinstance(term, Literal):
+                    self._add_root(term, graph, produced)
+
+    def _add_root(self, resource: Term, graph, produced: list[Triple]) -> None:
+        if resource in self._roots:
+            return
+        self._roots.add(resource)
+        frontier = [resource]
+        while frontier:
+            node = frontier.pop()
+            for triple in graph.match(node, None, None):
+                if triple not in self._emitted:
+                    self._emitted.add(triple)
+                    produced.append(triple)
+                obj = triple.object
+                if isinstance(obj, BlankNode) and obj not in self._roots:
+                    self._roots.add(obj)
+                    frontier.append(obj)
+
+    def _to_bindings(self, triples: list[Triple]) -> list[Binding]:
+        return [
+            Binding(
+                {
+                    self._SUBJECT: triple.subject,
+                    self._PREDICATE: triple.predicate,
+                    self._OBJECT: triple.object,
+                }
+            )
+            for triple in triples
+        ]
 
     def children(self):
         return (self._input,)
@@ -532,6 +1285,11 @@ class ProjectNode(IncrementalNode):
             [b.projected(self._variables) for b in self._input.process(delta, dataset)]
         )
 
+    def finalize(self, dataset: Dataset) -> list[Binding]:
+        return self._count(
+            [b.projected(self._variables) for b in self._input.finalize(dataset)]
+        )
+
     def children(self):
         return (self._input,)
 
@@ -543,12 +1301,18 @@ class DistinctNode(IncrementalNode):
         self._seen: set[Binding] = set()
 
     def process(self, delta: Delta, dataset: Dataset) -> list[Binding]:
+        return self._count(self._dedupe(self._input.process(delta, dataset)))
+
+    def finalize(self, dataset: Dataset) -> list[Binding]:
+        return self._count(self._dedupe(self._input.finalize(dataset)))
+
+    def _dedupe(self, bindings: list[Binding]) -> list[Binding]:
         produced: list[Binding] = []
-        for binding in self._input.process(delta, dataset):
+        for binding in bindings:
             if binding not in self._seen:
                 self._seen.add(binding)
                 produced.append(binding)
-        return self._count(produced)
+        return produced
 
     def children(self):
         return (self._input,)
@@ -583,6 +1347,67 @@ class LimitNode(IncrementalNode):
         self._taken += len(produced)
         return self._counted(produced)
 
+    def finalize(self, dataset: Dataset) -> list[Binding]:
+        if self.satisfied:
+            return []
+        produced = self._input.finalize(dataset)
+        remaining = self._limit - self._taken
+        produced = produced[:remaining]
+        self._taken += len(produced)
+        return self._counted(produced)
+
+
+class ExtendNode(IncrementalNode):
+    def __init__(
+        self,
+        input_node: IncrementalNode,
+        variable: Variable,
+        expression,
+        evaluator: ExpressionEvaluator,
+    ) -> None:
+        # The extended variable is not *certain*: the expression may error.
+        super().__init__(input_node.certain_variables)
+        self._input = input_node
+        self._variable = variable
+        self._expression = expression
+        self._evaluator = evaluator
+        # BIND(EXISTS{…} AS ?x) can change value as data arrives; hold the
+        # inputs and bind against the final snapshot.
+        self.blocking = expression_contains_exists(expression)
+        self._held: list[Binding] = []
+
+    def process(self, delta: Delta, dataset: Dataset) -> list[Binding]:
+        new = self._input.process(delta, dataset)
+        if self.blocking:
+            self._held.extend(new)
+            return []
+        return self._count(self._apply(new))
+
+    def finalize(self, dataset: Dataset) -> list[Binding]:
+        finals = self._input.finalize(dataset)
+        if self.blocking:
+            finals = self._held + finals
+            self._held = []
+        return self._count(self._apply(finals))
+
+    def _apply(self, bindings: list[Binding]) -> list[Binding]:
+        produced: list[Binding] = []
+        for binding in bindings:
+            try:
+                value = self._evaluator.evaluate(self._expression, binding)
+            except ExpressionError:
+                produced.append(binding)
+                continue
+            if self._variable in binding:
+                if binding[self._variable] == value:
+                    produced.append(binding)
+                continue
+            produced.append(binding.extended(self._variable, value))
+        return produced
+
+    def children(self):
+        return (self._input,)
+
 
 def total_work(node: IncrementalNode) -> int:
     """Sum of bindings produced by every node in a pipeline tree.
@@ -600,13 +1425,28 @@ class Pipeline:
     Construction walks the tree once so every scan registers its predicate
     key with the pipeline's :class:`DeltaRouter`; each :meth:`advance` then
     buckets the delta once and dispatches only the matching slices.
+    ``blocking_nodes`` lists the physical operators that hold output for
+    the :meth:`finalize` pass — empty means the whole plan streams.
     """
 
-    def __init__(self, root: IncrementalNode) -> None:
+    def __init__(
+        self,
+        root: IncrementalNode,
+        exists_context: Optional[CurrentDatasetExists] = None,
+    ) -> None:
         self._root = root
         self._cursor = 0
         self._router = DeltaRouter()
         root.register(self._router)
+        self._exists = exists_context
+        blocking: list[IncrementalNode] = []
+        stack: list[IncrementalNode] = [root]
+        while stack:
+            node = stack.pop()
+            if node.blocking:
+                blocking.append(node)
+            stack.extend(node.children())
+        self.blocking_nodes: tuple[IncrementalNode, ...] = tuple(blocking)
         self._tracer = None
         self._trace_parent = None
 
@@ -644,6 +1484,8 @@ class Pipeline:
         self._cursor = position
         if not delta:
             return []
+        if self._exists is not None:
+            self._exists.bind(dataset)
         tracer = self._tracer
         if tracer is None:
             return self._root.process(self._router.batch(delta), dataset)
@@ -654,6 +1496,28 @@ class Pipeline:
             span.args["produced"] = len(produced)
         return produced
 
+    def finalize(self, dataset: Dataset) -> list[Binding]:
+        """Quiescence flush: drain the cursor, then release blocked output.
+
+        Returns the tail of the result stream — any solutions from the
+        final delta plus everything the blocking operators held back.
+        Runs in O(held results); no operator re-scans its inputs.
+        """
+        produced = self.advance(dataset)
+        if self._exists is not None:
+            self._exists.bind(dataset)
+        tracer = self._tracer
+        if tracer is None:
+            return produced + self._root.finalize(dataset)
+        with tracer.span(
+            "finalize",
+            parent=self._trace_parent,
+            blocking=len(self.blocking_nodes),
+        ) as span:
+            finals = self._root.finalize(dataset)
+            span.args["produced"] = len(finals)
+        return produced + finals
+
 
 def compile_pipeline(
     where: Operator,
@@ -661,7 +1525,11 @@ def compile_pipeline(
     seed_iris: Iterable[str] = (),
     bgp_order=None,
 ) -> Pipeline:
-    """Compile a monotonic algebra tree into an incremental pipeline.
+    """Compile an algebra tree into an incremental pipeline.
+
+    Monotonic operators stream; non-monotonic ones compile into blocking
+    physical nodes that release held output via ``Pipeline.finalize`` at
+    traversal quiescence.
 
     ``bgp_order`` optionally overrides join ordering: a callable taking the
     list of (triple & path) patterns of a BGP and returning them in the
@@ -669,14 +1537,11 @@ def compile_pipeline(
     zero-knowledge planner.  The adaptive engine (see
     :mod:`repro.ltqp.adaptive`) re-compiles with a cardinality-informed
     order mid-execution.
-
-    Raises :class:`NotStreamable` when the tree contains non-monotonic
-    operators; callers should then fall back to snapshot evaluation.
     """
-    if not is_monotonic(where):
-        raise NotStreamable("query contains non-monotonic operators")
+    exists_context: Optional[CurrentDatasetExists] = None
     if evaluator is None:
-        evaluator = ExpressionEvaluator()
+        exists_context = CurrentDatasetExists()
+        evaluator = ExpressionEvaluator(exists_evaluator=exists_context)
     if bgp_order is None:
         seeds = tuple(seed_iris)
 
@@ -684,7 +1549,38 @@ def compile_pipeline(
             return plan_bgp_order(patterns, seed_iris=seeds)
 
     root = _compile(where, evaluator, bgp_order, graph=None)
-    return Pipeline(root)
+    return Pipeline(root, exists_context)
+
+
+def compile_query_pipeline(
+    query: Query,
+    seed_iris: Iterable[str] = (),
+    bgp_order=None,
+) -> Pipeline:
+    """Compile a full parsed query — any form — into one pipeline.
+
+    * SELECT/CONSTRUCT use the WHERE tree directly (CONSTRUCT's template is
+      instantiated by the engine per solution).
+    * ASK wraps the WHERE tree in ``LIMIT 1`` over an empty projection: one
+      empty binding means true, none means false — and a monotonic body
+      still stops traversal at the first proof.
+    * DESCRIBE wraps the WHERE tree in a streaming :class:`DescribeNode`.
+    """
+    exists_context = CurrentDatasetExists()
+    evaluator = ExpressionEvaluator(exists_evaluator=exists_context)
+    if bgp_order is None:
+        seeds = tuple(seed_iris)
+
+        def bgp_order(patterns):
+            return plan_bgp_order(patterns, seed_iris=seeds)
+
+    where = query.where
+    if query.form == "ASK":
+        where = Slice(Project(where, ()), offset=0, limit=1)
+    root = _compile(where, evaluator, bgp_order, graph=None)
+    if query.form == "DESCRIBE":
+        root = DescribeNode(root, query)
+    return Pipeline(root, exists_context)
 
 
 def _compile(
@@ -700,13 +1596,28 @@ def _compile(
             _compile(op.left, evaluator, bgp_order, graph),
             _compile(op.right, evaluator, bgp_order, graph),
         )
+    if isinstance(op, LeftJoin):
+        return LeftJoinNode(
+            _compile(op.left, evaluator, bgp_order, graph),
+            _compile(op.right, evaluator, bgp_order, graph),
+            op.expression,
+            evaluator,
+        )
     if isinstance(op, Union):
         return UnionNode(
             _compile(op.left, evaluator, bgp_order, graph),
             _compile(op.right, evaluator, bgp_order, graph),
         )
+    if isinstance(op, Minus):
+        return MinusNode(
+            _compile(op.left, evaluator, bgp_order, graph),
+            _compile(op.right, evaluator, bgp_order, graph),
+        )
     if isinstance(op, Filter):
-        return FilterNode(_compile(op.input, evaluator, bgp_order, graph), op.expression, evaluator)
+        inner = _compile(op.input, evaluator, bgp_order, graph)
+        if expression_contains_exists(op.expression):
+            return ExistsFilterNode(inner, op.expression, evaluator)
+        return FilterNode(inner, op.expression, evaluator)
     if isinstance(op, Extend):
         return ExtendNode(
             _compile(op.input, evaluator, bgp_order, graph), op.variable, op.expression, evaluator
@@ -722,16 +1633,47 @@ def _compile(
     if isinstance(op, Reduced):
         # Streaming REDUCED: full dedup is permitted by the spec and free here.
         return DistinctNode(_compile(op.input, evaluator, bgp_order, graph))
+    if isinstance(op, OrderBy):
+        return OrderSliceNode(
+            _compile(op.input, evaluator, bgp_order, graph), op.conditions, 0, None, evaluator
+        )
     if isinstance(op, Slice):
-        if op.offset != 0:
-            raise NotStreamable("OFFSET is not streamable")
+        # Fuse ORDER BY + OFFSET/LIMIT into one top-k operator; sort keys
+        # are computed before projection so conditions may reference
+        # projected-away variables.
+        if isinstance(op.input, OrderBy):
+            return OrderSliceNode(
+                _compile(op.input.input, evaluator, bgp_order, graph),
+                op.input.conditions,
+                op.offset,
+                op.limit,
+                evaluator,
+            )
+        if isinstance(op.input, Project) and isinstance(op.input.input, OrderBy):
+            order = op.input.input
+            return ProjectNode(
+                OrderSliceNode(
+                    _compile(order.input, evaluator, bgp_order, graph),
+                    order.conditions,
+                    op.offset,
+                    op.limit,
+                    evaluator,
+                ),
+                op.input.variables,
+            )
         inner = _compile(op.input, evaluator, bgp_order, graph)
+        if op.offset != 0:
+            return OrderSliceNode(inner, (), op.offset, op.limit, evaluator)
         if op.limit is None:
             return inner
         return LimitNode(inner, op.limit)
+    if isinstance(op, GroupBy):
+        return GroupAggregateNode(
+            _compile(op.input, evaluator, bgp_order, graph), op, evaluator
+        )
     if isinstance(op, SubSelect):
         return _compile(op.query.where, evaluator, bgp_order, graph)
-    raise NotStreamable(f"operator {type(op).__name__} is not streamable")
+    raise NotStreamable(f"operator {type(op).__name__} has no physical implementation")
 
 
 def _compile_bgp(

@@ -51,8 +51,14 @@ class ExecutionStats:
     links_queued: int = 0
     links_by_extractor: dict[str, int] = field(default_factory=dict)
     queue_samples: list[QueueSample] = field(default_factory=list)
+    #: True when the compiled plan has no blocking operators — every result
+    #: can stream during traversal instead of waiting for the finalize pass.
     streaming: bool = True
     replans: int = 0
+    #: Errors raised while tearing down background tasks (flush timer,
+    #: traversal).  Shutdown must not fail the query, but swallowing these
+    #: silently hides real bugs — they are recorded here instead.
+    shutdown_errors: list[str] = field(default_factory=list)
 
     # -- degradation accounting (lenient mode under faults) ----------------
     #: Links re-queued after a retryable dereference failure.
@@ -67,6 +73,10 @@ class ExecutionStats:
     breaker_fast_fails: int = 0
     #: Origin → number of closed→open breaker transitions in this run.
     origins_tripped: dict[str, int] = field(default_factory=dict)
+
+    def note_shutdown_error(self, stage: str, error: BaseException) -> None:
+        """Record an exception swallowed during task teardown."""
+        self.shutdown_errors.append(f"{stage}: {type(error).__name__}: {error}")
 
     @property
     def total_time(self) -> float:
@@ -131,5 +141,6 @@ class ExecutionStats:
             "links_by_extractor": dict(sorted(self.links_by_extractor.items())),
             "streaming": self.streaming,
             "replans": self.replans,
+            "shutdown_errors": list(self.shutdown_errors),
             "completeness": self.completeness(),
         }

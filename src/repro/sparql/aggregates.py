@@ -1,4 +1,16 @@
-"""Grouping and aggregate computation for GROUP BY queries."""
+"""Grouping and aggregate computation for GROUP BY queries.
+
+Two consumption styles share one semantics:
+
+* **batch** — :func:`group_solutions` / :func:`compute_aggregates` /
+  :func:`evaluate_having` partition a materialized solution list (the
+  snapshot evaluator's path);
+* **incremental** — :class:`AggregateState` accumulates one member at a
+  time and :func:`evaluate_with_states` / :func:`having_with_states`
+  resolve the same output expressions from running states (the unified
+  pipeline's ``GroupAggregateNode``), so a group's aggregates finalize in
+  O(result) at traversal quiescence instead of re-scanning members.
+"""
 
 from __future__ import annotations
 
@@ -24,7 +36,15 @@ from .algebra import (
 from .bindings import Binding
 from .expr import ExpressionError, ExpressionEvaluator, compare_terms
 
-__all__ = ["group_solutions", "compute_aggregates"]
+__all__ = [
+    "group_solutions",
+    "compute_aggregates",
+    "evaluate_having",
+    "AggregateState",
+    "collect_aggregates",
+    "evaluate_with_states",
+    "having_with_states",
+]
 
 
 def group_solutions(
@@ -218,3 +238,205 @@ def _to_literal(value) -> Literal:
     if isinstance(value, Decimal):
         return Literal(format(value, "f"), datatype=XSD_DECIMAL)
     return Literal(repr(value), datatype=XSD_DOUBLE)
+
+
+# ---------------------------------------------------------------------------
+# Incremental aggregation (one member at a time)
+# ---------------------------------------------------------------------------
+
+
+def collect_aggregates(expression: Expression, found: list[AggregateExpr]) -> None:
+    """Append every distinct :class:`AggregateExpr` in the tree to ``found``.
+
+    Nested aggregates are illegal in SPARQL, so the walk does not descend
+    into aggregate operands.
+    """
+    if isinstance(expression, AggregateExpr):
+        if expression not in found:
+            found.append(expression)
+        return
+    if isinstance(expression, (And, Or, Compare, Arithmetic)):
+        collect_aggregates(expression.left, found)
+        collect_aggregates(expression.right, found)
+    elif isinstance(expression, (Not, UnaryMinus, UnaryPlus)):
+        collect_aggregates(expression.operand, found)
+    elif isinstance(expression, FunctionCall):
+        for argument in expression.args:
+            collect_aggregates(argument, found)
+    elif isinstance(expression, InExpr):
+        collect_aggregates(expression.operand, found)
+        for choice in expression.choices:
+            collect_aggregates(choice, found)
+
+
+class AggregateState:
+    """Running state for one aggregate over one group.
+
+    ``update`` folds members in as traversal delivers them; ``result``
+    produces the same term :func:`_compute_aggregate` would compute from
+    the full member list (same error semantics: an evaluation error in a
+    ``COUNT`` operand skips the member, in any other aggregate it poisons
+    the group's value, which :meth:`result` then raises).
+    """
+
+    __slots__ = ("aggregate", "_error", "_count", "_total", "_best", "_first", "_parts", "_seen")
+
+    def __init__(self, aggregate: AggregateExpr) -> None:
+        self.aggregate = aggregate
+        # A non-COUNT ``agg(*)`` is undefined: poison the group so ``result``
+        # raises (mirrors the batch path) instead of failing at compile time.
+        self._error = aggregate.operand is None and aggregate.name != "COUNT"
+        self._count = 0
+        self._total: object = 0
+        self._best: Optional[Term] = None
+        self._first: Optional[Term] = None
+        self._parts: list[str] = []
+        self._seen: Optional[set] = set() if aggregate.distinct else None
+
+    def update(self, member: Binding, expressions: ExpressionEvaluator) -> None:
+        """Fold one group member into the running state."""
+        if self._error:
+            return
+        aggregate = self.aggregate
+        if aggregate.operand is None:
+            # COUNT(*): every solution counts; DISTINCT dedupes whole rows.
+            if self._seen is not None:
+                if member in self._seen:
+                    return
+                self._seen.add(member)
+            self._count += 1
+            return
+        try:
+            value = expressions.evaluate(aggregate.operand, member)
+        except ExpressionError:
+            if aggregate.name != "COUNT":
+                self._error = True
+            return
+        if self._seen is not None:
+            if value in self._seen:
+                return
+            self._seen.add(value)
+        name = aggregate.name
+        if name == "COUNT":
+            self._count += 1
+        elif name in ("SUM", "AVG"):
+            if not isinstance(value, Literal) or not value.is_numeric:
+                self._error = True
+                return
+            number = value.to_python()
+            total = self._total
+            if isinstance(total, float) or isinstance(number, float):
+                self._total = float(total) + float(number)
+            elif isinstance(total, Decimal) or isinstance(number, Decimal):
+                self._total = Decimal(total) + Decimal(number)
+            else:
+                self._total = total + number
+            self._count += 1
+        elif name in ("MIN", "MAX"):
+            if self._count == 0:
+                self._best = value
+            else:
+                best = self._best
+                operator = "<" if name == "MIN" else ">"
+                try:
+                    if compare_terms(value, best, operator):
+                        self._best = value
+                except ExpressionError:
+                    # Lexical fallback for mixed types (mirrors batch path).
+                    if (str(value) < str(best)) == (name == "MIN"):
+                        self._best = value
+            self._count += 1
+        elif name == "SAMPLE":
+            if self._count == 0:
+                self._first = value
+            self._count += 1
+        elif name == "GROUP_CONCAT":
+            if not isinstance(value, Literal):
+                self._error = True
+                return
+            self._parts.append(value.value)
+            self._count += 1
+        else:
+            self._error = True
+
+    def result(self) -> Term:
+        """The aggregate's value; raises :class:`ExpressionError` like the
+        batch path (poisoned group, empty non-COUNT/SUM/GROUP_CONCAT group,
+        unknown aggregate)."""
+        if self._error:
+            raise ExpressionError(f"{self.aggregate.name} aggregation error")
+        name = self.aggregate.name
+        if name == "COUNT":
+            return Literal(str(self._count), datatype=XSD_INTEGER)
+        if name == "SAMPLE":
+            if self._count == 0:
+                raise ExpressionError("SAMPLE of empty group")
+            return self._first
+        if name == "GROUP_CONCAT":
+            return Literal(self.aggregate.separator.join(self._parts))
+        if self._count == 0:
+            if name == "SUM":
+                return Literal("0", datatype=XSD_INTEGER)
+            raise ExpressionError(f"{name} of empty group")
+        if name in ("MIN", "MAX"):
+            return self._best
+        if name == "SUM":
+            return _to_literal(self._total)
+        if name == "AVG":
+            total = self._total
+            if isinstance(total, float):
+                average = total / self._count
+            else:
+                average = Decimal(total) / Decimal(self._count)
+            return _to_literal(average)
+        raise ExpressionError(f"unknown aggregate {name!r}")
+
+
+def evaluate_with_states(
+    expression: Expression,
+    states: dict[AggregateExpr, AggregateState],
+    key_binding: Binding,
+    expressions: ExpressionEvaluator,
+) -> Term:
+    """Like :func:`_evaluate_with_aggregates`, but aggregates resolve from
+    running :class:`AggregateState` values instead of a member list."""
+    if isinstance(expression, AggregateExpr):
+        return states[expression].result()
+    if isinstance(expression, (TermExpr, VariableExpr)):
+        return expressions.evaluate(expression, key_binding)
+    if isinstance(expression, Arithmetic):
+        left = evaluate_with_states(expression.left, states, key_binding, expressions)
+        right = evaluate_with_states(expression.right, states, key_binding, expressions)
+        return expressions.evaluate(
+            Arithmetic(expression.operator, TermExpr(left), TermExpr(right)), key_binding
+        )
+    if isinstance(expression, Compare):
+        left = evaluate_with_states(expression.left, states, key_binding, expressions)
+        right = evaluate_with_states(expression.right, states, key_binding, expressions)
+        return expressions.evaluate(
+            Compare(expression.operator, TermExpr(left), TermExpr(right)), key_binding
+        )
+    if isinstance(expression, FunctionCall):
+        evaluated_args = tuple(
+            TermExpr(evaluate_with_states(argument, states, key_binding, expressions))
+            for argument in expression.args
+        )
+        return expressions.evaluate(FunctionCall(expression.name, evaluated_args), key_binding)
+    # And/Or/Not etc. with aggregates inside are rare; evaluate per key binding.
+    return expressions.evaluate(expression, key_binding)
+
+
+def having_with_states(
+    expression: Expression,
+    states: dict[AggregateExpr, AggregateState],
+    result_binding: Binding,
+    expressions: ExpressionEvaluator,
+) -> bool:
+    """HAVING over running states: aggregate-aware EBV; errors are false."""
+    from .expr import effective_boolean_value
+
+    try:
+        value = evaluate_with_states(expression, states, result_binding, expressions)
+        return effective_boolean_value(value)
+    except ExpressionError:
+        return False

@@ -64,6 +64,9 @@ __all__ = [
     "SubSelect",
     "Query",
     "is_monotonic",
+    "is_blocking",
+    "expression_contains_exists",
+    "operator_children",
     "operator_variables",
 ]
 
@@ -455,21 +458,79 @@ def is_monotonic(op: Operator) -> bool:
     return False
 
 
+def expression_contains_exists(expression: Expression) -> bool:
+    """True when the expression mentions ``EXISTS``/``NOT EXISTS`` anywhere.
+
+    Such expressions cannot be decided against a growing dataset: an
+    ``EXISTS`` that is false now may become true once more documents
+    arrive (and vice versa for ``NOT EXISTS``), so any operator evaluating
+    them must hold its verdict until traversal quiescence.
+    """
+    if isinstance(expression, ExistsExpr):
+        return True
+    if isinstance(expression, (And, Or, Compare, Arithmetic)):
+        return expression_contains_exists(expression.left) or expression_contains_exists(
+            expression.right
+        )
+    if isinstance(expression, (Not, UnaryMinus, UnaryPlus)):
+        return expression_contains_exists(expression.operand)
+    if isinstance(expression, FunctionCall):
+        return any(expression_contains_exists(a) for a in expression.args)
+    if isinstance(expression, InExpr):
+        return expression_contains_exists(expression.operand) or any(
+            expression_contains_exists(c) for c in expression.choices
+        )
+    if isinstance(expression, AggregateExpr):
+        return expression.operand is not None and expression_contains_exists(
+            expression.operand
+        )
+    return False
+
+
 def _expression_monotonic(expression: Expression) -> bool:
     """EXISTS / NOT EXISTS make a filter non-monotonic; everything else is fine."""
-    if isinstance(expression, ExistsExpr):
-        return False
-    if isinstance(expression, (And, Or, Compare, Arithmetic)):
-        return _expression_monotonic(expression.left) and _expression_monotonic(expression.right)
-    if isinstance(expression, (Not, UnaryMinus, UnaryPlus)):
-        return _expression_monotonic(expression.operand)
-    if isinstance(expression, FunctionCall):
-        return all(_expression_monotonic(a) for a in expression.args)
-    if isinstance(expression, InExpr):
-        return _expression_monotonic(expression.operand) and all(
-            _expression_monotonic(c) for c in expression.choices
-        )
-    return True
+    return not expression_contains_exists(expression)
+
+
+def is_blocking(op: Operator) -> bool:
+    """True when *this* operator must hold (some) results until quiescence.
+
+    Blocking operators still consume deltas incrementally — the unified
+    pipeline compiles them into stateful physical nodes — but part (or
+    all) of their output can only be emitted once the underlying data has
+    stopped growing:
+
+    * ``LeftJoin`` — matched merges are monotonic, but the bare-left rows
+      for never-matched solutions are only known at the end.
+    * ``Minus`` — a late right-side solution can retract a left row.
+    * ``OrderBy`` / ``Slice`` with ``OFFSET`` — position depends on the
+      full result.
+    * ``GroupBy`` — group membership and aggregates finalize at the end.
+    * ``Filter`` / ``Extend`` whose expression mentions ``EXISTS``.
+
+    Note this is a property of the operator itself, not its subtree; use
+    :func:`repro.sparql.planner.annotate` for subtree-level analysis.
+    """
+    if isinstance(op, (LeftJoin, Minus, OrderBy, GroupBy)):
+        return True
+    if isinstance(op, Slice):
+        return op.offset != 0
+    if isinstance(op, (Filter, Extend)):
+        return expression_contains_exists(op.expression)
+    return False
+
+
+def operator_children(op: Operator) -> tuple[Operator, ...]:
+    """The direct child operators of ``op`` (empty for leaves)."""
+    if isinstance(op, (Join, LeftJoin, Union, Minus)):
+        return (op.left, op.right)
+    if isinstance(
+        op, (Filter, Extend, GraphOp, Project, Distinct, Reduced, Slice, OrderBy, GroupBy)
+    ):
+        return (op.input,)
+    if isinstance(op, SubSelect):
+        return (op.query.where,)
+    return ()
 
 
 def operator_variables(op: Operator) -> set[Variable]:

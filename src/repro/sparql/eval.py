@@ -7,10 +7,14 @@ Evaluates an algebra tree over an immutable snapshot of data — a
 This evaluator plays three roles in the reproduction:
 
 * the *oracle* for LTQP completeness tests (evaluate over the union of all
-  generated documents);
-* the endgame evaluator for non-monotonic queries inside the LTQP engine
-  (OPTIONAL / MINUS / ORDER BY / GROUP BY wait for traversal quiescence);
-* a standalone local query engine over any parsed RDF document.
+  generated documents) — including the equivalence property suite that
+  checks the incremental pipeline against it;
+* a library of building blocks reused by the unified incremental pipeline
+  (:mod:`repro.ltqp.pipeline`): ``EXISTS`` evaluation for
+  ``ExistsFilterNode``, sort keys for ``OrderSliceNode``, the aggregate
+  machinery in :mod:`repro.sparql.aggregates` for ``GroupAggregateNode``;
+* a standalone local query engine over any parsed RDF document (and the
+  federation/update endpoints).
 
 Generator-based: every operator yields :class:`Binding` solutions lazily.
 """
@@ -57,12 +61,18 @@ from .algebra import (
     VariableExpr,
 )
 from .bindings import EMPTY_BINDING, Binding
-from .expr import ExpressionError, ExpressionEvaluator, order_key
+from .expr import DescendingKey, ExpressionError, ExpressionEvaluator, order_key
 from .aggregates import compute_aggregates, evaluate_having, group_solutions
 from .paths import evaluate_path
 from .planner import plan_bgp_order
 
-__all__ = ["SnapshotEvaluator", "evaluate_query", "construct_triples"]
+__all__ = [
+    "SnapshotEvaluator",
+    "evaluate_query",
+    "construct_triples",
+    "order_sort_key",
+    "substitute_operator",
+]
 
 
 class SnapshotEvaluator:
@@ -80,7 +90,12 @@ class SnapshotEvaluator:
             self._dataset = None
             self._graph = data
         self._seed_iris = tuple(seed_iris)
-        self._expressions = ExpressionEvaluator(exists_evaluator=self._evaluate_exists)
+        self._expressions = ExpressionEvaluator(exists_evaluator=self.exists)
+
+    @property
+    def expressions(self) -> ExpressionEvaluator:
+        """The expression evaluator wired to this snapshot's EXISTS scope."""
+        return self._expressions
 
     # ------------------------------------------------------------------
     # public API
@@ -418,19 +433,7 @@ class SnapshotEvaluator:
 
     def _eval_order(self, op: OrderBy, graph: Graph) -> Iterator[Binding]:
         solutions = list(self._eval(op.input, graph))
-
-        def sort_key(binding: Binding):
-            keys = []
-            for condition in op.conditions:
-                try:
-                    term = self._expressions.evaluate(condition.expression, binding)
-                except ExpressionError:
-                    term = None
-                key = order_key(term)
-                keys.append(_Reversed(key) if condition.descending else key)
-            return tuple(keys)
-
-        solutions.sort(key=sort_key)
+        solutions.sort(key=lambda b: order_sort_key(op.conditions, b, self._expressions))
         return iter(solutions)
 
     def _eval_group(self, op: GroupBy, graph: Graph) -> Iterator[Binding]:
@@ -450,26 +453,38 @@ class SnapshotEvaluator:
 
     # ------------------------------------------------------------------
 
-    def _evaluate_exists(self, pattern: Operator, binding: Binding) -> bool:
-        substituted = _substitute_operator(pattern, binding)
+    def exists(self, pattern: Operator, binding: Binding) -> bool:
+        """Does the (substituted) pattern have any solution in this snapshot?
+
+        Public because the incremental pipeline's ``ExistsFilterNode``
+        evaluates ``EXISTS`` through a snapshot evaluator over the current
+        (growing) dataset.
+        """
+        substituted = substitute_operator(pattern, binding)
         for _ in self._eval(substituted, self._graph):
             return True
         return False
 
 
-class _Reversed:
-    """Inverts comparison order for DESC sort keys."""
+def order_sort_key(
+    conditions, binding: Binding, expressions: ExpressionEvaluator
+) -> tuple:
+    """The composite ORDER BY sort key for one solution.
 
-    __slots__ = ("key",)
-
-    def __init__(self, key) -> None:
-        self.key = key
-
-    def __lt__(self, other: "_Reversed") -> bool:
-        return other.key < self.key
-
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, _Reversed) and other.key == self.key
+    Expression errors order as unbound; ``DESC`` conditions wrap their key
+    in :class:`~repro.sparql.expr.DescendingKey`.  Shared by the snapshot
+    evaluator's sort and the pipeline's ``OrderSliceNode`` so both produce
+    the same ordering.
+    """
+    keys = []
+    for condition in conditions:
+        try:
+            term = expressions.evaluate(condition.expression, binding)
+        except ExpressionError:
+            term = None
+        key = order_key(term)
+        keys.append(DescendingKey(key) if condition.descending else key)
+    return tuple(keys)
 
 
 def _substitute(term: Optional[Term], binding: Binding) -> Optional[Term]:
@@ -505,7 +520,7 @@ def _keys_compatible(left: tuple, right: tuple) -> bool:
     return True
 
 
-def _substitute_operator(op: Operator, binding: Binding) -> Operator:
+def substitute_operator(op: Operator, binding: Binding) -> Operator:
     """Inject bound variable values into a pattern (for EXISTS)."""
     if isinstance(op, BGP):
         new_patterns = tuple(
@@ -526,15 +541,15 @@ def _substitute_operator(op: Operator, binding: Binding) -> Operator:
         )
         return BGP(new_patterns, new_paths)
     if isinstance(op, Join):
-        return Join(_substitute_operator(op.left, binding), _substitute_operator(op.right, binding))
+        return Join(substitute_operator(op.left, binding), substitute_operator(op.right, binding))
     if isinstance(op, Union):
-        return Union(_substitute_operator(op.left, binding), _substitute_operator(op.right, binding))
+        return Union(substitute_operator(op.left, binding), substitute_operator(op.right, binding))
     if isinstance(op, Filter):
-        return Filter(op.expression, _substitute_operator(op.input, binding))
+        return Filter(op.expression, substitute_operator(op.input, binding))
     if isinstance(op, LeftJoin):
         return LeftJoin(
-            _substitute_operator(op.left, binding),
-            _substitute_operator(op.right, binding),
+            substitute_operator(op.left, binding),
+            substitute_operator(op.right, binding),
             op.expression,
         )
     return op

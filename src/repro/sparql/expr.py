@@ -63,6 +63,7 @@ __all__ = [
     "effective_boolean_value",
     "compare_terms",
     "order_key",
+    "DescendingKey",
 ]
 
 _TRUE = Literal("true", datatype=XSD_BOOLEAN)
@@ -232,6 +233,25 @@ def order_key(term: Optional[Term]):
     if isinstance(value, datetime):
         return (3, "datetime", value.timestamp())
     return (3, "string", str(value))
+
+
+class DescendingKey:
+    """Wraps an :func:`order_key` to invert comparison for ``DESC`` sorts.
+
+    Shared by the snapshot evaluator's sort and the incremental
+    ``OrderSliceNode`` top-k heap, so both produce identical orderings.
+    """
+
+    __slots__ = ("key",)
+
+    def __init__(self, key) -> None:
+        self.key = key
+
+    def __lt__(self, other: "DescendingKey") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DescendingKey) and other.key == self.key
 
 
 class ExpressionEvaluator:

@@ -123,13 +123,16 @@ class TestExecution:
         assert len(limited) == 1
         assert limited.stats.documents_fetched <= unbounded.stats.documents_fetched
 
-    def test_non_monotonic_query_falls_back_to_snapshot(self, world):
+    def test_non_monotonic_query_finalizes_at_quiescence(self, world):
         internet, pod1, _ = world
         engine = engine_for(internet)
         query = SNB + (
             f"SELECT ?c WHERE {{ ?m snvoc:hasCreator <{pod1.webid}> ; snvoc:content ?c }} ORDER BY ?c"
         )
         result = engine.execute_sync(query)
+        # The blocking OrderSlice operator holds output for the finalize
+        # pass, so the plan does not stream — but it runs through the same
+        # unified pipeline (no snapshot re-evaluation).
         assert not result.stats.streaming
         assert [b[Variable("c")].value for b in result.bindings] == ["post 0", "post 1"]
 

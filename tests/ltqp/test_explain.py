@@ -48,9 +48,19 @@ class TestExplainPlan:
         first_line = order_section.splitlines()[1]
         assert "creator" in first_line  # the bound-object anchor pattern
 
-    def test_non_monotonic_flagged(self):
+    def test_non_monotonic_marks_blocking_boundary(self):
         query = parse_query(EX + "SELECT ?a WHERE { ?a ex:p ?b } ORDER BY ?a")
-        assert "snapshot at traversal quiescence" in explain_plan(query)
+        text = explain_plan(query)
+        assert "1 blocking operator(s) finalize at traversal quiescence" in text
+        assert "physical plan:" in text
+        assert "blocking boundary" in text
+        assert "OrderSlice" in text
+
+    def test_monotonic_physical_plan_has_no_boundary(self):
+        text = explain_plan(self.make_query())
+        assert "physical plan:" in text
+        assert "blocking boundary" not in text
+        assert "HashJoin" in text
 
     def test_no_seed_query(self):
         query = parse_query(EX + "SELECT ?a WHERE { ?a ex:p ?b }")

@@ -157,7 +157,9 @@ class TestPathStreaming:
         assert {b[Variable("x")] for b in second} == {n("c")}
 
 
-class TestNotStreamable:
+class TestNonMonotonicCompiles:
+    """Formerly-NotStreamable queries now compile into blocking plans."""
+
     @pytest.mark.parametrize(
         "text",
         [
@@ -168,10 +170,73 @@ class TestNotStreamable:
             "SELECT ?a WHERE { ?a ex:p ?b } LIMIT 1 OFFSET 1",
         ],
     )
-    def test_non_monotonic_queries_rejected(self, text):
+    def test_non_monotonic_queries_compile_blocking(self, text):
         query = parse_query(EX + text)
+        pipeline = compile_pipeline(query.where)
+        assert pipeline.blocking_nodes  # holds output until finalize
+
+    def test_optional_emits_bare_left_at_finalize(self):
+        pipeline, ds = make("SELECT ?a ?c WHERE { ?a ex:p ?b OPTIONAL { ?b ex:q ?c } }")
+        assert feed(pipeline, ds, [q(n("a"), n("p"), n("b"))]) == []
+        results = pipeline.finalize(ds)
+        assert len(results) == 1
+        assert Variable("c") not in results[0]
+
+    def test_optional_streams_matched_merges(self):
+        pipeline, ds = make("SELECT ?a ?c WHERE { ?a ex:p ?b OPTIONAL { ?b ex:q ?c } }")
+        feed(pipeline, ds, [q(n("a"), n("p"), n("b"))])
+        streamed = feed(pipeline, ds, [q(n("b"), n("q"), Literal("1"))])
+        assert len(streamed) == 1
+        assert streamed[0][Variable("c")] == Literal("1")
+        assert pipeline.finalize(ds) == []  # left matched: no bare emission
+
+    def test_minus_excludes_incrementally(self):
+        pipeline, ds = make("SELECT ?a ?b WHERE { ?a ex:p ?b MINUS { ?a ex:q ?b } }")
+        feed(pipeline, ds, [q(n("a"), n("p"), Literal("1")), q(n("c"), n("p"), Literal("2"))])
+        feed(pipeline, ds, [q(n("a"), n("q"), Literal("1"))])
+        results = pipeline.finalize(ds)
+        assert [b[Variable("a")] for b in results] == [n("c")]
+
+    def test_order_by_sorts_at_finalize(self):
+        pipeline, ds = make("SELECT ?b WHERE { ?a ex:p ?b } ORDER BY ?b")
+        assert feed(pipeline, ds, [q(n("a"), n("p"), Literal("2"))]) == []
+        feed(pipeline, ds, [q(n("c"), n("p"), Literal("1"))])
+        results = pipeline.finalize(ds)
+        assert [b[Variable("b")].value for b in results] == ["1", "2"]
+
+    def test_order_limit_keeps_top_k(self):
+        pipeline, ds = make("SELECT ?b WHERE { ?a ex:p ?b } ORDER BY ?b LIMIT 2")
+        for index in [5, 3, 9, 1, 7]:
+            feed(pipeline, ds, [q(n(f"s{index}"), n("p"), Literal(str(index)))])
+        results = pipeline.finalize(ds)
+        assert [b[Variable("b")].value for b in results] == ["1", "3"]
+
+    def test_offset_drops_prefix_at_finalize(self):
+        pipeline, ds = make("SELECT ?b WHERE { ?a ex:p ?b } ORDER BY ?b LIMIT 1 OFFSET 1")
+        feed(pipeline, ds, [q(n("a"), n("p"), Literal("1")), q(n("c"), n("p"), Literal("2"))])
+        results = pipeline.finalize(ds)
+        assert [b[Variable("b")].value for b in results] == ["2"]
+
+    def test_count_star_aggregates_deltas(self):
+        pipeline, ds = make("SELECT (COUNT(*) AS ?n) WHERE { ?a ex:p ?b }")
+        feed(pipeline, ds, [q(n("a"), n("p"), Literal("1"))])
+        feed(pipeline, ds, [q(n("c"), n("p"), Literal("2"))])
+        results = pipeline.finalize(ds)
+        assert [b[Variable("n")].value for b in results] == ["2"]
+
+    def test_count_star_empty_traversal_yields_zero(self):
+        pipeline, ds = make("SELECT (COUNT(*) AS ?n) WHERE { ?a ex:p ?b }")
+        results = pipeline.finalize(ds)
+        assert [b[Variable("n")].value for b in results] == ["0"]
+
+    def test_unknown_operator_still_guarded(self):
+        class Alien:
+            pass
+
         with pytest.raises(NotStreamable):
-            compile_pipeline(query.where)
+            from repro.ltqp.pipeline import _compile
+
+            _compile(Alien(), None, lambda p: p, None)
 
     def test_graph_scoped_scan(self):
         query = parse_query(EX + "SELECT ?o WHERE { GRAPH <https://h/d1> { ex:a ex:p ?o } }")

@@ -43,6 +43,17 @@ class TestSuite:
         assert len(persons) > 1
 
 
+class TestUnifiedCompilation:
+    def test_all_37_queries_compile_through_unified_planner(self, tiny_universe):
+        from repro.ltqp import compile_query_pipeline
+
+        for named in discover_suite(tiny_universe):
+            pipeline = compile_query_pipeline(parse_query(named.text))
+            # The Discover templates are monotonic, so the unified planner
+            # produces fully streaming plans: no blocking boundary.
+            assert not pipeline.blocking_nodes, named.name
+
+
 class TestDiscoverQuery:
     def test_explicit_person_index(self, tiny_universe):
         query = discover_query(tiny_universe, 1, 5, person_index=3)

@@ -86,7 +86,8 @@ class TestEngineIntegration:
         webid = tiny_universe.webid(0)
         result = engine.execute_sync(f"DESCRIBE <{webid}>")
         assert len(result) > 0
-        assert not result.stats.streaming  # snapshot at quiescence
+        # DESCRIBE is monotonic: CBD triples stream as roots are discovered.
+        assert result.stats.streaming
         subjects = {
             timed.binding[Variable("subject")] for timed in result.results
         }
