@@ -38,9 +38,9 @@ BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
 BATCH = ((1, 5), (2, 5), (4, 5), (5, 5))
 
 
-def _service(universe, **kwargs) -> QueryService:
+def _service(universe, latency_scale: float = 1.0, **kwargs) -> QueryService:
     resources = SharedResources.for_universe(
-        universe, latency=SeededJitterLatency(seed=13)
+        universe, latency=SeededJitterLatency(seed=13), latency_scale=latency_scale
     )
     return QueryService(resources, **kwargs)
 
@@ -77,19 +77,36 @@ def measure_cold_vs_warm(universe) -> dict:
     }
 
 
-def measure_concurrency(universe) -> dict:
-    """The BATCH serially vs concurrently, each on a fresh (cold) service."""
-    queries = [discover_query(universe, t, v) for t, v in BATCH]
+def measure_concurrency(
+    universe,
+    batch=BATCH,
+    max_concurrent=None,
+    latency_scale: float = 1.0,
+) -> dict:
+    """A query batch serially vs concurrently, each on a fresh (cold) service.
+
+    Parametrized so one harness serves both the in-process concurrency
+    baseline (``BENCH_service.json``, default 4-query batch) and the
+    scale-out comparison (``bench_scaleout.py`` reuses the serial side
+    with a bigger batch, more admission slots, and scaled-up latency).
+    """
+    queries = [
+        named if hasattr(named, "text") else discover_query(universe, *named)
+        for named in batch
+    ]
+    slots = max_concurrent if max_concurrent is not None else len(queries)
 
     async def serial():
-        service = _service(universe, max_concurrent=1)
+        service = _service(universe, max_concurrent=1, latency_scale=latency_scale)
         start = time.perf_counter()
         for named in queries:
             await service.run(named.text, seeds=named.seeds)
         return time.perf_counter() - start
 
     async def concurrent():
-        service = _service(universe, max_concurrent=len(queries))
+        service = _service(
+            universe, max_concurrent=slots, latency_scale=latency_scale
+        )
         start = time.perf_counter()
         handles = [service.submit(n.text, seeds=n.seeds) for n in queries]
         await asyncio.gather(*(h.wait() for h in handles))
@@ -104,7 +121,26 @@ def measure_concurrency(universe) -> dict:
             round(serial_wall / concurrent_wall, 2) if concurrent_wall else 0.0
         ),
         "batch_size": len(queries),
+        "max_concurrent": slots,
     }
+
+
+def run_serial_batch(universe, queries, latency_scale: float = 1.0) -> tuple[float, list]:
+    """One cold serial pass over ``queries``; returns (wall, results).
+
+    The serial half of the scale-out comparison: a fresh single-slot
+    in-process service, same latency model the shard workers use.
+    """
+
+    async def scenario():
+        service = _service(universe, max_concurrent=1, latency_scale=latency_scale)
+        results = []
+        start = time.perf_counter()
+        for named in queries:
+            results.append(await service.run(named.text, seeds=named.seeds))
+        return time.perf_counter() - start, results
+
+    return asyncio.run(scenario())
 
 
 def measure_service(universe) -> dict:

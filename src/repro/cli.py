@@ -200,6 +200,21 @@ def build_serve_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-latency", action="store_true", help="disable simulated network latency"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard the service over N worker processes (1 = in-process); "
+        "each worker owns its own caches and document store",
+    )
+    parser.add_argument(
+        "--routing",
+        choices=["query", "origin"],
+        default="query",
+        help="shard routing key: 'query' spreads distinct queries, "
+        "'origin' pins queries to the shard owning their seed's pod",
+    )
     return parser
 
 
@@ -213,23 +228,50 @@ def build_service_stack(args):
     from .service import QueryService, ServiceHost, SharedResources
     from .webui import DemoServer
 
-    universe = build_universe(SolidBenchConfig(scale=args.simulate, seed=args.bench_seed))
-    latency = NoLatency() if args.no_latency else SeededJitterLatency(seed=args.bench_seed)
-    resources = SharedResources.for_universe(universe, latency=latency)
-    service = QueryService(
-        resources,
-        config=EngineConfig(queue_policy=args.queue_policy),
-        max_concurrent=args.max_concurrent,
-        max_queued=args.max_queued,
-        default_max_documents=args.max_documents,
-        default_max_duration=args.max_duration,
-    )
+    config = SolidBenchConfig(scale=args.simulate, seed=args.bench_seed)
+    universe = build_universe(config)
+    workers = getattr(args, "workers", 1)
+    if workers > 1:
+        from .service.shards import ShardSpec, ShardedQueryService
+
+        spec = ShardSpec(
+            config=config,
+            latency_seed=args.bench_seed,
+            no_latency=args.no_latency,
+            queue_policy=args.queue_policy,
+            max_concurrent=args.max_concurrent,
+            max_queued=args.max_queued,
+            default_max_documents=args.max_documents,
+            default_max_duration=args.max_duration,
+        )
+        service = ShardedQueryService(
+            spec, workers=workers, routing=getattr(args, "routing", "query")
+        )
+    else:
+        latency = (
+            NoLatency() if args.no_latency else SeededJitterLatency(seed=args.bench_seed)
+        )
+        resources = SharedResources.for_universe(universe, latency=latency)
+        service = QueryService(
+            resources,
+            config=EngineConfig(queue_policy=args.queue_policy),
+            max_concurrent=args.max_concurrent,
+            max_queued=args.max_queued,
+            default_max_documents=args.max_documents,
+            default_max_duration=args.max_duration,
+        )
     host = ServiceHost(service).start()
     return DemoServer(universe, host=args.host, port=args.port, service=host)
 
 
 def serve_main(argv: Optional[list[str]] = None) -> int:
-    """``repro-sparql-ltqp serve``: one service behind UI + endpoint."""
+    """``repro-sparql-ltqp serve``: one service behind UI + endpoint.
+
+    SIGTERM (and Ctrl-C) trigger a *graceful* shutdown: stop accepting
+    HTTP, drain in-flight queries for a few seconds, and report whatever
+    was still running when the deadline hit.
+    """
+    import signal
     import threading
 
     args = build_serve_arg_parser().parse_args(argv)
@@ -241,13 +283,35 @@ def serve_main(argv: Optional[list[str]] = None) -> int:
         f"status at {server.url}status.json",
         file=sys.stderr,
     )
+    if getattr(args, "workers", 1) > 1:
+        print(
+            f"Sharded over {args.workers} workers ({args.routing} routing)",
+            file=sys.stderr,
+        )
+    shutdown = threading.Event()
+
+    def _on_sigterm(signum, frame):  # noqa: ARG001 — signal handler shape
+        print("SIGTERM received; draining...", file=sys.stderr)
+        shutdown.set()
+
+    previous = signal.signal(signal.SIGTERM, _on_sigterm)
     try:
-        threading.Event().wait()
+        shutdown.wait()
     except KeyboardInterrupt:
-        pass
+        print("Interrupted; draining...", file=sys.stderr)
     finally:
+        signal.signal(signal.SIGTERM, previous)
         server.stop()
-        server.service_host.stop()
+        pending = server.service_host.stop()
+        if pending:
+            print(
+                f"# {len(pending)} queries still in flight at shutdown:",
+                file=sys.stderr,
+            )
+            for snapshot in pending:
+                print(f"#   {json.dumps(snapshot)}", file=sys.stderr)
+        else:
+            print("# drained cleanly", file=sys.stderr)
     return 0
 
 

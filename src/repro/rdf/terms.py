@@ -132,6 +132,14 @@ class NamedNode:
     def __repr__(self) -> str:
         return f"NamedNode({self.value!r})"
 
+    def __reduce__(self):
+        # Pickle as a call to :func:`intern_iri`, never as raw state: the
+        # stored ``_hash`` is salted by the *sending* process's string
+        # hash randomization, so the receiving side must recompute it —
+        # and re-interning means every deserialized occurrence of an IRI
+        # shares one object in the receiver's pool.
+        return (intern_iri, (self.value,))
+
 
 class BlankNode:
     """A blank node with a document/store-scoped label."""
@@ -158,6 +166,11 @@ class BlankNode:
     def __repr__(self) -> str:
         return f"BlankNode({self.value!r})"
 
+    def __reduce__(self):
+        # Reconstruct through __init__ so the hash is recomputed with the
+        # receiving process's string salt (see NamedNode.__reduce__).
+        return (BlankNode, (self.value,))
+
 
 class Variable:
     """A SPARQL variable (``?name``); never appears in stored data."""
@@ -183,6 +196,9 @@ class Variable:
 
     def __repr__(self) -> str:
         return f"Variable({self.value!r})"
+
+    def __reduce__(self):
+        return (Variable, (self.value,))
 
 
 class Literal:
@@ -249,6 +265,11 @@ class Literal:
         if dt == XSD_DATE:
             return date.fromisoformat(self.value)
         return self.value
+
+    def __reduce__(self):
+        # ``language`` re-coerces the datatype to rdf:langString in
+        # __init__, so passing both back is lossless.
+        return (Literal, (self.value, self.language, self.datatype))
 
     def __str__(self) -> str:
         return term_to_ntriples(self)

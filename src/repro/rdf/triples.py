@@ -65,6 +65,12 @@ class Triple:
     def __repr__(self) -> str:
         return f"Triple({self.subject!r}, {self.predicate!r}, {self.object!r})"
 
+    def __reduce__(self):
+        # Rebuild through __init__: the cached hash is process-local (it
+        # derives from salted string hashes), so it must be recomputed on
+        # the receiving side rather than carried across as state.
+        return (Triple, (self.subject, self.predicate, self.object))
+
 
 class Quad:
     """An RDF quad: a triple plus the graph (document IRI) it came from."""
@@ -123,6 +129,9 @@ class Quad:
 
     def __repr__(self) -> str:
         return f"Quad({self.subject!r}, {self.predicate!r}, {self.object!r}, {self.graph!r})"
+
+    def __reduce__(self):
+        return (Quad, (self.subject, self.predicate, self.object, self.graph))
 
 
 @dataclass(frozen=True, slots=True)

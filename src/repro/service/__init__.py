@@ -14,7 +14,11 @@ separates what those queries can share from what they cannot:
   link traversal (vs. the fixed-dataset federation endpoint);
 * :class:`ServiceHost` — a background event-loop thread so synchronous
   front-ends (the demo web UI, the CLI ``serve`` command) can drive one
-  service from many threads.
+  service from many threads;
+* :class:`ShardedQueryService` — N shard worker processes (each its own
+  :class:`SharedResources`, shared-nothing) behind one consistent-hash
+  front-end (:class:`ShardRouter`), with crash restart and warm
+  drain-and-restart handoff of the parsed-document store.
 
 Warm queries hit both caches: the fetch is answered locally (or via a
 304 revalidation) and the parse is skipped entirely — the two costs the
@@ -25,7 +29,15 @@ from .docstore import DocumentStore, StoredDocument
 from .host import ServiceHost
 from .protocol import ServiceSparqlApp
 from .resources import SharedResources
+from .router import HashRing, ShardRouter, pod_origin
 from .service import QueryService, ServiceOverloadedError, ServiceQuery
+from .shards import (
+    ShardedQuery,
+    ShardedQueryService,
+    ShardedResult,
+    ShardSpec,
+    WorkerCrashedError,
+)
 
 __all__ = [
     "DocumentStore",
@@ -36,4 +48,12 @@ __all__ = [
     "ServiceOverloadedError",
     "ServiceSparqlApp",
     "ServiceHost",
+    "HashRing",
+    "ShardRouter",
+    "pod_origin",
+    "ShardSpec",
+    "ShardedQuery",
+    "ShardedQueryService",
+    "ShardedResult",
+    "WorkerCrashedError",
 ]

@@ -124,6 +124,23 @@ class DocumentStore:
         self.parses += 1
         return entry
 
+    def entries(self) -> list[StoredDocument]:
+        """All stored documents, oldest first (export order)."""
+        return sorted(self._entries.values(), key=lambda entry: entry.stored_at)
+
+    def adopt(self, entry: StoredDocument) -> None:
+        """Install an entry parsed elsewhere (warm shard handoff).
+
+        Counts as neither a hit nor a parse: the *receiving* process did
+        no work.  The entry keeps its validator, so the first lookup after
+        an upstream change still invalidates it through the ordinary
+        revalidation path.  Eviction discipline matches :meth:`put`.
+        """
+        if len(self._entries) >= self._max_documents and entry.url not in self._entries:
+            oldest = min(self._entries, key=lambda key: self._entries[key].stored_at)
+            del self._entries[oldest]
+        self._entries[entry.url] = entry
+
     def clear(self) -> None:
         self._entries.clear()
         self.hits = self.misses = self.invalidations = self.parses = 0

@@ -21,7 +21,6 @@ import threading
 from typing import Iterable, Optional
 
 from ..ltqp.engine import ExecutionResult
-from .service import QueryService
 
 __all__ = ["ServiceHost"]
 
@@ -29,14 +28,17 @@ __all__ = ["ServiceHost"]
 class ServiceHost:
     """Thread-owning wrapper exposing a blocking façade over a service."""
 
-    def __init__(self, service: QueryService) -> None:
+    def __init__(self, service) -> None:
+        # Any service with (submit/)run/statistics works: QueryService or
+        # the sharded front-end (whose async start/stop/drain the host
+        # runs on its loop).
         self._service = service
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self._started = threading.Event()
 
     @property
-    def service(self) -> QueryService:
+    def service(self):
         return self._service
 
     @property
@@ -45,7 +47,7 @@ class ServiceHost:
             raise RuntimeError("service host is not running")
         return self._loop
 
-    def start(self) -> "ServiceHost":
+    def start(self, timeout: Optional[float] = None) -> "ServiceHost":
         if self._thread is not None:
             return self
         self._loop = asyncio.new_event_loop()
@@ -58,6 +60,11 @@ class ServiceHost:
         self._thread = threading.Thread(target=run, name="query-service", daemon=True)
         self._thread.start()
         self._started.wait()
+        # Services with an async lifecycle (the sharded front-end spawns
+        # its workers here) start on their own loop.
+        starter = getattr(self._service, "start", None)
+        if starter is not None:
+            asyncio.run_coroutine_threadsafe(starter(), self._loop).result(timeout)
         return self
 
     def execute(
@@ -76,16 +83,67 @@ class ServiceHost:
     def statistics(self) -> dict:
         return self._service.statistics()
 
-    def stop(self) -> None:
+    def stop(
+        self, drain_timeout: float = 5.0, join_timeout: float = 10.0
+    ) -> list[dict]:
+        """Drain, stop the service, and join the loop thread.
+
+        Returns the snapshots of queries *still in flight* at the drain
+        deadline — they are about to be torn down with the loop, and
+        silently swallowing them hides exactly the shutdowns an operator
+        needs to see.  Raises :class:`RuntimeError` if the loop thread
+        refuses to die within ``join_timeout``.
+        """
+        pending: list[dict] = []
+        if self._loop is not None and self._thread is not None:
+            drainer = getattr(self._service, "drain", None)
+            if drainer is not None:
+                try:
+                    pending = asyncio.run_coroutine_threadsafe(
+                        drainer(drain_timeout), self._loop
+                    ).result(drain_timeout + 10.0)
+                except Exception:  # noqa: BLE001 — drain is best-effort
+                    pass
+            if pending:
+                # Surfaced — now shut them down properly instead of
+                # letting loop teardown garbage-collect live traversals.
+                try:
+                    asyncio.run_coroutine_threadsafe(
+                        self._cancel_inflight(), self._loop
+                    ).result(10.0)
+                except Exception:  # noqa: BLE001 — keep tearing down
+                    pass
+            # Async-lifecycle services (sharded) shut their workers down
+            # on the loop before it stops.
+            stopper = getattr(self._service, "stop", None)
+            if stopper is not None:
+                try:
+                    asyncio.run_coroutine_threadsafe(
+                        stopper(), self._loop
+                    ).result(30.0)
+                except Exception:  # noqa: BLE001 — keep tearing down
+                    pass
         if self._loop is not None:
             self._loop.call_soon_threadsafe(self._loop.stop)
         if self._thread is not None:
-            self._thread.join(timeout=5)
+            self._thread.join(timeout=join_timeout)
+            if self._thread.is_alive():
+                raise RuntimeError(
+                    f"service loop thread still alive after {join_timeout}s; "
+                    f"{len(pending)} queries were pending at drain"
+                )
             self._thread = None
         if self._loop is not None:
             self._loop.close()
             self._loop = None
         self._started.clear()
+        return pending
+
+    async def _cancel_inflight(self) -> None:
+        handles = [h for h in self._service.inflight() if not h.done]
+        await asyncio.gather(
+            *(handle.cancel() for handle in handles), return_exceptions=True
+        )
 
     def __enter__(self) -> "ServiceHost":
         return self.start()

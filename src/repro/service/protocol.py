@@ -46,7 +46,19 @@ class ServiceSparqlApp(SparqlProtocolApp):
 
     async def handle_other(self, request: Request) -> Response:
         if urlsplit(request.url).path == self._status_path:
-            body = json.dumps(self.status_document()).encode("utf-8")
+            status = getattr(self._service, "status", None)
+            if status is not None:
+                # Sharded front-end: poll every worker live so the
+                # document aggregates *current* shard gauges, not the
+                # last cached snapshot.
+                document = dict(await status())
+                document = {
+                    "service": document,
+                    "queries": document.pop("queries", []),
+                }
+            else:
+                document = self.status_document()
+            body = json.dumps(document).encode("utf-8")
             return Response(200, {"content-type": "application/json"}, body)
         return Response.not_found(request.url)
 
@@ -72,6 +84,14 @@ class ServiceSparqlApp(SparqlProtocolApp):
             )
         try:
             result = await handle.wait()
+        except ServiceOverloadedError as error:
+            # Sharded deployments detect overload inside the worker, so
+            # it can surface at wait time rather than submit time.
+            return Response(
+                503,
+                {"content-type": "text/plain", "retry-after": "1"},
+                str(error).encode("utf-8"),
+            )
         except Exception as error:  # noqa: BLE001 — a failed query is a 500
             return Response(500, {"content-type": "text/plain"}, str(error).encode("utf-8"))
         if query.form == "ASK":

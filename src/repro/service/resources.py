@@ -83,6 +83,33 @@ class SharedResources:
         """Shared resources over a simulated SolidBench universe."""
         return cls(universe.internet, **kwargs)
 
+    @classmethod
+    def for_config(
+        cls,
+        config,
+        latency_seed: Optional[int] = None,
+        no_latency: bool = False,
+        **kwargs,
+    ) -> "SharedResources":
+        """Build the universe *and* the resources from a picklable config.
+
+        This is the shard workers' entry point: a worker process receives
+        only primitives (a :class:`~repro.solidbench.config.SolidBenchConfig`
+        plus latency parameters), regenerates the deterministic universe
+        locally, and owns every resource outright — shared-nothing by
+        construction.
+        """
+        from ..net.latency import NoLatency, SeededJitterLatency
+        from ..solidbench.universe import build_universe
+
+        universe = build_universe(config)
+        latency = (
+            NoLatency()
+            if no_latency
+            else SeededJitterLatency(seed=latency_seed if latency_seed is not None else config.seed)
+        )
+        return cls(universe.internet, latency=latency, **kwargs)
+
     def statistics(self) -> dict:
         return {
             "http_cache": self.http_cache.statistics(),

@@ -1,0 +1,154 @@
+"""Consistent-hash routing for the sharded QueryService.
+
+The front-end must answer one question per query: *which worker?*  Two
+properties matter:
+
+* **Stability across processes and runs** — routing decisions feed cache
+  locality (a repeat query should land on the shard whose document store
+  is already warm), so the hash must not depend on Python's per-process
+  string hash randomization.  Everything here hashes through SHA-1.
+* **Minimal disruption on membership change** — when a worker crashes
+  and is replaced, or the pool is resized, only ~1/N of the key space
+  may move.  :class:`HashRing` is a classic consistent-hash ring with
+  virtual nodes; removing one of N nodes remaps only the keys that
+  pointed at it.
+
+Two routing modes (:class:`ShardRouter`):
+
+* ``query`` (default) — key is the canonical query text plus its seeds.
+  Spreads distinct queries across the pool while keeping *repeats* of
+  the same query on the same shard, so its HTTP cache and parsed
+  document store are warm.
+* ``origin`` — key is the first seed's *pod origin*.  In a real Solid
+  deployment every pod is its own origin (its own subdomain); in the
+  simulated single-host universe the pod root path plays that role
+  (:func:`pod_origin`).  Queries anchored in the same pod share a shard,
+  so seed-heavy workloads keep every document of a pod parsed exactly
+  once across the whole deployment — the per-pod data locality the
+  structural-assumptions evaluation observes in Solid data.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Optional, Sequence
+from urllib.parse import urlsplit
+
+__all__ = ["pod_origin", "HashRing", "ShardRouter", "ROUTING_MODES"]
+
+ROUTING_MODES = ("query", "origin")
+
+
+def pod_origin(url: str) -> str:
+    """The data-locality unit a URL belongs to.
+
+    Real Solid pods are origins of their own, so the scheme+host would
+    suffice; the simulated universe hosts every pod under one host with
+    ``/pods/<name>/`` roots, so when that shape is present the pod root
+    is included.  Everything under one pod maps to one key.
+    """
+    parts = urlsplit(url)
+    origin = f"{parts.scheme}://{parts.netloc}"
+    segments = [s for s in parts.path.split("/") if s]
+    if len(segments) >= 2 and segments[0] == "pods":
+        return f"{origin}/pods/{segments[1]}"
+    return origin
+
+
+def _stable_hash(key: str) -> int:
+    """A 64-bit hash that is a pure function of the key (SHA-1 prefix)."""
+    return int.from_bytes(hashlib.sha1(key.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes.
+
+    Each node is placed at ``vnodes`` pseudo-random (but fully
+    deterministic) points on a 64-bit ring; a key routes to the first
+    node clockwise from its hash.  With enough virtual nodes the key
+    space splits near-evenly, and removing a node hands only its own
+    arcs to the survivors.
+    """
+
+    def __init__(self, nodes: Sequence[str] = (), vnodes: int = 64) -> None:
+        self._vnodes = vnodes
+        self._points: list[int] = []
+        self._owners: dict[int, str] = {}
+        self._nodes: set[str] = set()
+        for node in nodes:
+            self.add(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    @property
+    def nodes(self) -> frozenset[str]:
+        return frozenset(self._nodes)
+
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for replica in range(self._vnodes):
+            point = _stable_hash(f"{node}#{replica}")
+            # SHA-1 collisions across distinct vnode labels are not a
+            # practical concern; first owner keeps the point.
+            if point not in self._owners:
+                self._owners[point] = node
+                bisect.insort(self._points, point)
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        self._points = [p for p in self._points if self._owners[p] != node]
+        self._owners = {p: n for p, n in self._owners.items() if n != node}
+
+    def route(self, key: str) -> Optional[str]:
+        """The node owning ``key``, or ``None`` on an empty ring."""
+        if not self._points:
+            return None
+        point = _stable_hash(key)
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0
+        return self._owners[self._points[index]]
+
+
+class ShardRouter:
+    """Maps a query (text + seeds) to a shard name via the ring."""
+
+    def __init__(
+        self,
+        shard_names: Sequence[str],
+        mode: str = "query",
+        vnodes: int = 64,
+    ) -> None:
+        if mode not in ROUTING_MODES:
+            raise ValueError(f"unknown routing mode {mode!r} (use {ROUTING_MODES})")
+        self.mode = mode
+        self._ring = HashRing(shard_names, vnodes=vnodes)
+
+    @property
+    def ring(self) -> HashRing:
+        return self._ring
+
+    def add_shard(self, name: str) -> None:
+        self._ring.add(name)
+
+    def remove_shard(self, name: str) -> None:
+        self._ring.remove(name)
+
+    def key_for(self, query_text: str, seeds: Optional[Sequence[str]]) -> str:
+        """The routing key a query hashes under (exposed for tests)."""
+        if self.mode == "origin" and seeds:
+            return pod_origin(seeds[0])
+        seed_part = ",".join(seeds) if seeds else ""
+        return f"{query_text}\n--seeds--\n{seed_part}"
+
+    def route(self, query_text: str, seeds: Optional[Sequence[str]]) -> Optional[str]:
+        return self._ring.route(self.key_for(query_text, seeds))

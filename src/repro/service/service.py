@@ -173,6 +173,32 @@ class QueryService:
     def queries(self) -> list[ServiceQuery]:
         return list(self._registry.values())
 
+    def inflight(self) -> list[ServiceQuery]:
+        """Queries admitted but not yet finished (queued or running)."""
+        return [handle for handle in self._registry.values() if not handle.done]
+
+    async def drain(self, timeout: float = 5.0) -> list[dict]:
+        """Wait up to ``timeout`` for in-flight queries to finish.
+
+        Returns the snapshots of queries *still* unfinished at the
+        deadline — the callers' drain reports.  An empty list means the
+        service went quiet.  Nothing is cancelled here; the caller
+        decides what to do with the stragglers.
+        """
+        deadline = time.monotonic() + max(0.0, timeout)
+        pending = self.inflight()
+        while pending and time.monotonic() < deadline:
+            waiters = [handle._done.wait() for handle in pending]
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                await asyncio.wait_for(asyncio.gather(*waiters), timeout=remaining)
+            except asyncio.TimeoutError:
+                pass
+            pending = self.inflight()
+        return [handle.snapshot() for handle in pending]
+
     def statistics(self) -> dict:
         """Service counters plus the shared caches' statistics."""
         return {

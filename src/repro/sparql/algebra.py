@@ -402,6 +402,12 @@ class Query:
     describe_targets: tuple[Term, ...] = ()
     prefixes: tuple[tuple[str, str], ...] = ()
     base_iri: str = ""
+    #: The source text this query was parsed from (``""`` for queries
+    #: built programmatically).  Excluded from equality/hash: two parses
+    #: of differently-formatted but structurally identical text still
+    #: compare equal.  Front-ends that ship queries across process
+    #: boundaries (the sharded service) re-submit this text.
+    text: str = field(default="", compare=False)
 
     def variables(self) -> tuple[Variable, ...]:
         """Projected variables (for SELECT), in projection order."""

@@ -113,5 +113,10 @@ class Binding(Mapping[Variable, Term]):
             self._items.items(), key=lambda item: item[0].value))
         return f"{{{body}}}"
 
+    def __reduce__(self):
+        # Slotted with a process-local cached hash — rebuild via __init__
+        # so the hash is recomputed on the receiving side.
+        return (Binding, (self._items,))
+
 
 EMPTY_BINDING = Binding()

@@ -15,6 +15,7 @@ standard semantics that query blank nodes behave as fresh variables.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Optional, Union as TypingUnion
 from urllib.parse import urljoin
 
@@ -1060,5 +1061,10 @@ def _contains_aggregate(expression: Expression) -> bool:
 
 
 def parse_query(text: str) -> Query:
-    """Parse SPARQL query text into a :class:`repro.sparql.algebra.Query`."""
-    return _Parser(text).parse()
+    """Parse SPARQL query text into a :class:`repro.sparql.algebra.Query`.
+
+    The returned query keeps its source text (``Query.text``) so
+    front-ends that route on or re-transmit the original string — e.g.
+    the sharded service — never need to reconstruct it.
+    """
+    return dataclasses.replace(_Parser(text).parse(), text=text)

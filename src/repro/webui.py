@@ -325,9 +325,12 @@ class DemoServer:
         if self._service_host is None:
             document = {"mode": "one-shot", "service": None}
         else:
+            statistics = self._service_host.statistics()
             document = {
-                "mode": "service",
-                "service": self._service_host.statistics(),
+                # The sharded front-end reports mode "sharded"; the
+                # in-process service has no mode key.
+                "mode": statistics.get("mode", "service"),
+                "service": statistics,
                 "queries": [
                     q.snapshot() for q in self._service_host.service.queries()
                 ],

@@ -1,0 +1,60 @@
+"""ServiceHost shutdown semantics: drain, surface, join-with-timeout."""
+
+import asyncio
+
+from repro.net import NoLatency, SeededJitterLatency
+from repro.service import QueryService, ServiceHost, SharedResources
+from repro.solidbench import discover_query
+
+
+def make_host(universe, latency=None, latency_scale=1.0):
+    resources = SharedResources.for_universe(
+        universe,
+        latency=latency if latency is not None else NoLatency(),
+        latency_scale=latency_scale,
+    )
+    return ServiceHost(QueryService(resources)).start()
+
+
+class TestHostStop:
+    def test_clean_stop_after_completion_reports_nothing(self, tiny_universe):
+        host = make_host(tiny_universe)
+        named = discover_query(tiny_universe, 1, 5)
+        result = host.execute(named.text, seeds=list(named.seeds))
+        assert result.results
+        assert host.stop() == []
+
+    def test_stop_surfaces_inflight_queries(self, tiny_universe):
+        # Heavy simulated latency: the query cannot finish inside the
+        # tiny drain window, so stop() must report it instead of
+        # swallowing it.
+        host = make_host(
+            tiny_universe, latency=SeededJitterLatency(seed=3), latency_scale=200.0
+        )
+        service = host.service
+        named = discover_query(tiny_universe, 1, 5)
+
+        async def submit():
+            return service.submit(named.text, seeds=list(named.seeds))
+
+        handle = asyncio.run_coroutine_threadsafe(submit(), host.loop).result(30)
+        pending = host.stop(drain_timeout=0.1)
+        assert [snapshot["id"] for snapshot in pending] == [handle.id]
+        assert pending[0]["status"] in ("queued", "running")
+
+    def test_drain_waits_for_short_queries(self, tiny_universe):
+        host = make_host(tiny_universe)
+        service = host.service
+        named = discover_query(tiny_universe, 1, 5)
+
+        async def submit():
+            return service.submit(named.text, seeds=list(named.seeds))
+
+        asyncio.run_coroutine_threadsafe(submit(), host.loop).result(30)
+        # Generous drain: the no-latency query finishes well inside it.
+        assert host.stop(drain_timeout=30.0) == []
+
+    def test_stop_is_idempotent(self, tiny_universe):
+        host = make_host(tiny_universe)
+        assert host.stop() == []
+        assert host.stop() == []

@@ -1,0 +1,131 @@
+"""Property tests for consistent-hash routing (stability + minimal remap)."""
+
+import os
+import string
+import subprocess
+import sys
+import textwrap
+
+from hypothesis import given, settings, strategies as st
+
+from repro.service.router import HashRing, ShardRouter, pod_origin
+
+_keys = st.text(alphabet=string.ascii_letters + string.digits + " ?{}<>./:#", min_size=1, max_size=60)
+
+
+class TestPodOrigin:
+    def test_simulated_pod_path(self):
+        assert (
+            pod_origin("https://solidbench.example/pods/alice/profile/card#me")
+            == "https://solidbench.example/pods/alice"
+        )
+
+    def test_same_pod_same_key(self):
+        a = pod_origin("https://solidbench.example/pods/alice/posts/2024.ttl")
+        b = pod_origin("https://solidbench.example/pods/alice/profile")
+        assert a == b
+
+    def test_distinct_pods_distinct_keys(self):
+        a = pod_origin("https://solidbench.example/pods/alice/profile")
+        b = pod_origin("https://solidbench.example/pods/bob/profile")
+        assert a != b
+
+    def test_real_origin_fallback(self):
+        assert pod_origin("https://alice.pod.example/profile#me") == "https://alice.pod.example"
+
+
+class TestHashRingProperties:
+    @given(st.lists(_keys, min_size=50, max_size=200, unique=True), st.integers(2, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_removing_one_shard_remaps_at_most_its_keys(self, keys, n):
+        """Consistent hashing's defining property: dropping one of N nodes
+        moves ONLY the keys that pointed at it — everything else stays."""
+        names = [f"shard-{i}" for i in range(n)]
+        ring = HashRing(names)
+        before = {key: ring.route(key) for key in keys}
+        victim = names[0]
+        ring.remove(victim)
+        for key, owner in before.items():
+            if owner != victim:
+                assert ring.route(key) == owner
+
+    @given(st.lists(_keys, min_size=100, max_size=300, unique=True), st.integers(2, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_adding_one_shard_steals_roughly_one_over_n(self, keys, n):
+        names = [f"shard-{i}" for i in range(n)]
+        ring = HashRing(names)
+        before = {key: ring.route(key) for key in keys}
+        ring.add("shard-new")
+        moved = sum(1 for key in keys if ring.route(key) != before[key])
+        # Expected share is 1/(n+1); allow generous slack for small samples
+        # and vnode placement variance, but far below a full reshuffle.
+        assert moved <= max(5, int(len(keys) * 2.5 / (n + 1)))
+        # And every moved key went to the new shard, nowhere else.
+        for key in keys:
+            if ring.route(key) != before[key]:
+                assert ring.route(key) == "shard-new"
+
+    @given(st.lists(_keys, min_size=50, max_size=150, unique=True))
+    @settings(max_examples=25, deadline=None)
+    def test_distribution_covers_all_shards(self, keys):
+        ring = HashRing([f"shard-{i}" for i in range(4)])
+        owners = {ring.route(key) for key in keys}
+        # With >=50 distinct keys over 4 shards and 64 vnodes each, every
+        # shard owning zero keys would mean a broken ring.
+        assert len(owners) >= 2
+
+    def test_empty_ring_routes_none(self):
+        assert HashRing([]).route("anything") is None
+
+
+class TestRouterStability:
+    def test_routing_is_process_stable(self):
+        """The same keys must route identically under a different
+        PYTHONHASHSEED — warm-shard locality depends on it."""
+        router = ShardRouter([f"shard-{i}" for i in range(4)], mode="origin")
+        seeds = [
+            [f"https://solidbench.example/pods/pod{i:05d}/profile/card#me"]
+            for i in range(40)
+        ]
+        local = [router.route("SELECT * WHERE { ?s ?p ?o }", s) for s in seeds]
+        script = textwrap.dedent(
+            """
+            from repro.service.router import ShardRouter
+            router = ShardRouter([f"shard-{i}" for i in range(4)], mode="origin")
+            seeds = [
+                [f"https://solidbench.example/pods/pod{i:05d}/profile/card#me"]
+                for i in range(40)
+            ]
+            print(",".join(router.route("SELECT * WHERE { ?s ?p ?o }", s) for s in seeds))
+            """
+        )
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = "99999"
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.getcwd(), "src"), env.get("PYTHONPATH", "")]
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=60,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert completed.stdout.strip() == ",".join(local)
+
+    def test_origin_mode_keys_on_first_seed_pod(self):
+        router = ShardRouter(["a", "b", "c"], mode="origin")
+        key1 = router.key_for("QUERY ONE", ["https://x.example/pods/p1/profile"])
+        key2 = router.key_for("QUERY TWO", ["https://x.example/pods/p1/posts/1"])
+        assert key1 == key2 == "https://x.example/pods/p1"
+
+    def test_query_mode_distinguishes_seeds(self):
+        router = ShardRouter(["a", "b"], mode="query")
+        assert router.key_for("Q", ["s1"]) != router.key_for("Q", ["s2"])
+
+    def test_rejects_unknown_mode(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ShardRouter(["a"], mode="random")
