@@ -1,0 +1,125 @@
+"""Warm-restart benchmark: a service reopening its store starts warm.
+
+The persistence tier's claim (ROADMAP: persistent storage tier): a
+service restarted against the same ``--store-path`` must answer a repeat
+query from the reopened SQLite file —
+
+* at least **2× faster** than the cold run that populated it,
+* with **zero re-parses** (every document decodes from the stored
+  term-table wire form) and **zero re-fetches** (every HTTP entry is
+  still inside its freshness window, so not even a 304 revalidation
+  goes out),
+* with a **byte-identical result multiset**.
+
+The "restart" builds a completely fresh :class:`SharedResources` over
+the same store file — new backend connection, new HTTP client, empty
+in-memory LRUs — which is exactly what a new process sees, minus the
+interpreter startup that would only add noise to the comparison.
+
+``REPRO_WRITE_BENCH=1 pytest benchmarks/bench_warmrestart.py`` rewrites
+the committed baseline ``BENCH_warmrestart.json``;
+``python benchmarks/check_hotpath_regression.py`` gates against it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from conftest import print_banner
+
+from repro.bench import render_table
+from repro.net import SeededJitterLatency
+from repro.service import QueryService, SharedResources
+from repro.solidbench import discover_query
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_warmrestart.json"
+
+
+def _run_once(universe, store_path: str, named) -> dict:
+    """One service lifetime over ``store_path``: run the query, close."""
+    resources = SharedResources.for_universe(
+        universe, latency=SeededJitterLatency(seed=13), store_path=store_path
+    )
+    service = QueryService(resources)
+
+    async def scenario():
+        start = time.perf_counter()
+        result = await service.run(named.text, seeds=named.seeds)
+        return result, time.perf_counter() - start
+
+    result, wall = asyncio.run(scenario())
+    cache = resources.http_cache
+    outcome = {
+        "wall_s": round(wall, 4),
+        "results": sorted(repr(timed.binding) for timed in result.results),
+        "reparses": resources.document_store.parses,
+        "refetches": cache.misses + cache.revalidations,
+        "from_store": result.stats.documents_from_store,
+        "fetched": result.stats.documents_fetched,
+        "file_bytes": resources.storage.file_bytes(),
+    }
+    resources.close()  # flush + release: the next lifetime reopens warm
+    return outcome
+
+
+def measure_warm_restart(universe) -> dict:
+    """Cold lifetime populates the store; a fresh lifetime reopens it."""
+    named = discover_query(universe, 1, 5)
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = os.path.join(tmp, "service.sqlite")
+        cold = _run_once(universe, store_path, named)
+        warm = _run_once(universe, store_path, named)
+    return {
+        "cold_wall_s": cold["wall_s"],
+        "warm_wall_s": warm["wall_s"],
+        "warm_speedup": (
+            round(cold["wall_s"] / warm["wall_s"], 2) if warm["wall_s"] else 0.0
+        ),
+        "warm_reparses": warm["reparses"],
+        "warm_refetches": warm["refetches"],
+        "warm_from_store": warm["from_store"],
+        "warm_fetched": warm["fetched"],
+        "identical_results": cold["results"] == warm["results"],
+        "results": len(cold["results"]),
+        "store_file_bytes": cold["file_bytes"],
+    }
+
+
+def _report(metrics: dict) -> None:
+    print_banner("Warm restart — same store path, fresh process state")
+    print(
+        render_table(
+            [
+                {"run": "cold (populates store)", "wall_s": metrics["cold_wall_s"],
+                 "reparses": "-", "refetches": "-"},
+                {"run": "warm (reopens store)", "wall_s": metrics["warm_wall_s"],
+                 "reparses": metrics["warm_reparses"],
+                 "refetches": metrics["warm_refetches"]},
+            ]
+        )
+    )
+    print(
+        f"restart speedup: {metrics['warm_speedup']}x over "
+        f"{metrics['store_file_bytes']} stored bytes "
+        f"(identical: {metrics['identical_results']})"
+    )
+
+
+def test_warm_restart(universe):
+    metrics = measure_warm_restart(universe)
+    _report(metrics)
+
+    if os.environ.get("REPRO_WRITE_BENCH") == "1":
+        BASELINE_PATH.write_text(json.dumps(metrics, indent=1) + "\n")
+        print(f"wrote {BASELINE_PATH}")
+
+    assert metrics["identical_results"]
+    assert metrics["warm_reparses"] == 0
+    assert metrics["warm_refetches"] == 0
+    assert metrics["warm_from_store"] == metrics["warm_fetched"]
+    assert metrics["warm_speedup"] >= 2.0

@@ -14,6 +14,11 @@ Runs every registered gate against one freshly built universe and fails
   checks, installed-but-empty fault plan) must keep the zero-fault
   Discover 8.5 path within ``TOLERANCE`` of the plain client, measured
   in-process so machine speed cancels out.
+* **warm-restart gate** — a service restarted against the same
+  ``--store-path`` must answer the repeat query at least ``2×`` faster
+  than the cold run that populated the store, with zero re-parses, zero
+  network round-trips (not even 304 revalidations), and an identical
+  result multiset (``BENCH_warmrestart.json`` pins the result count).
 * **sharded scale-out gate** — a latency-dominated 8-query batch over
   four shared-nothing worker processes must run at least ``2.5×`` faster
   than the same batch serially (median of paired interleaved-round
@@ -65,6 +70,10 @@ from bench_service import (  # noqa: E402
 from bench_tracing import (  # noqa: E402
     BASELINE_PATH as TRACING_BASELINE_PATH,
     measure_tracing_overhead,
+)
+from bench_warmrestart import (  # noqa: E402
+    BASELINE_PATH as WARMRESTART_BASELINE_PATH,
+    measure_warm_restart,
 )
 
 from repro.solidbench import SolidBenchConfig, build_universe  # noqa: E402
@@ -263,6 +272,78 @@ def gate_service(universe) -> list[str]:
     return failures
 
 
+#: A restart against the same store path must stay at least this much
+#: faster than the cold run that populated it.
+WARMRESTART_SPEEDUP_FLOOR = 2.0
+
+
+def gate_warmrestart(universe) -> list[str]:
+    """Restart over the same store: ≥2× faster, zero re-parses/re-fetches.
+
+    The persistence tier's claim in absolute form: fresh process state
+    reopening the SQLite store must answer the repeat query from disk —
+    no parse (documents decode from the stored wire form), no network
+    (HTTP entries are still inside their freshness window, so not even a
+    304 goes out), identical result multiset.  The committed
+    ``BENCH_warmrestart.json`` pins the result count and is refreshed by
+    this script under ``REPRO_WRITE_BENCH=1``; an under-floor speedup is
+    re-measured once (contention filter) before failing.
+    """
+    import os
+
+    current = measure_warm_restart(universe)
+    if current["warm_speedup"] < WARMRESTART_SPEEDUP_FLOOR:
+        print("under speedup floor; re-measuring once (contention filter)")
+        retry = measure_warm_restart(universe)
+        if retry["warm_speedup"] > current["warm_speedup"]:
+            current = retry
+    if os.environ.get("REPRO_WRITE_BENCH") == "1":
+        WARMRESTART_BASELINE_PATH.write_text(json.dumps(current, indent=1) + "\n")
+        print(f"wrote {WARMRESTART_BASELINE_PATH}: {current}")
+        return []
+    if not WARMRESTART_BASELINE_PATH.exists():
+        return [
+            f"no baseline at {WARMRESTART_BASELINE_PATH}; "
+            "run this script with REPRO_WRITE_BENCH=1 first"
+        ]
+    baseline = json.loads(WARMRESTART_BASELINE_PATH.read_text())
+
+    print(f"{'metric':<24}{'baseline':>14}{'current':>14}")
+    for key in (
+        "cold_wall_s",
+        "warm_wall_s",
+        "warm_speedup",
+        "warm_reparses",
+        "warm_refetches",
+    ):
+        print(f"{key:<24}{baseline.get(key)!s:>14}{current.get(key)!s:>14}")
+
+    failures = []
+    if current["warm_speedup"] < WARMRESTART_SPEEDUP_FLOOR:
+        failures.append(
+            f"warm restart speedup {current['warm_speedup']}x "
+            f"(≥{WARMRESTART_SPEEDUP_FLOOR}x required)"
+        )
+    if current["warm_reparses"] != 0:
+        failures.append(
+            f"restarted service re-parsed {current['warm_reparses']} documents "
+            "(the reopened store must make warm parses free)"
+        )
+    if current["warm_refetches"] != 0:
+        failures.append(
+            f"restarted service made {current['warm_refetches']} network "
+            "round-trips (reopened HTTP entries must still be fresh)"
+        )
+    if not current["identical_results"]:
+        failures.append("restarted service results diverged from the cold run")
+    if current["results"] != baseline.get("results"):
+        failures.append(
+            f"warm-restart bench result count changed: "
+            f"{baseline.get('results')} -> {current['results']}"
+        )
+    return failures
+
+
 #: A 4-worker sharded batch must beat the serial run by at least this.
 SCALEOUT_SPEEDUP_FLOOR = 2.5
 
@@ -401,6 +482,7 @@ GATES = (
     ("zero-fault resilience overhead", gate_fault_overhead),
     ("tracing overhead", gate_tracing_overhead),
     ("service warm/concurrent", gate_service),
+    ("warm restart (persistent store)", gate_warmrestart),
     ("sharded scale-out", gate_scaleout),
     ("quiescence flush", gate_quiescence),
 )

@@ -215,6 +215,21 @@ def build_serve_arg_parser() -> argparse.ArgumentParser:
         help="shard routing key: 'query' spreads distinct queries, "
         "'origin' pins queries to the shard owning their seed's pod",
     )
+    parser.add_argument(
+        "--store-path",
+        default=None,
+        metavar="PATH",
+        help="persist the HTTP cache and parsed-document store to PATH "
+        "(a SQLite file; with --workers N, a directory holding one file "
+        "per shard); restarting against the same path starts warm",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["memory", "sqlite"],
+        default=None,
+        help="storage backend under the caches (default: memory, or "
+        "sqlite when --store-path is given)",
+    )
     return parser
 
 
@@ -231,6 +246,8 @@ def build_service_stack(args):
     config = SolidBenchConfig(scale=args.simulate, seed=args.bench_seed)
     universe = build_universe(config)
     workers = getattr(args, "workers", 1)
+    store_path = getattr(args, "store_path", None)
+    storage_backend = getattr(args, "backend", None)
     if workers > 1:
         from .service.shards import ShardSpec, ShardedQueryService
 
@@ -243,6 +260,8 @@ def build_service_stack(args):
             max_queued=args.max_queued,
             default_max_documents=args.max_documents,
             default_max_duration=args.max_duration,
+            store_path=store_path,
+            storage_backend=storage_backend,
         )
         service = ShardedQueryService(
             spec, workers=workers, routing=getattr(args, "routing", "query")
@@ -251,7 +270,12 @@ def build_service_stack(args):
         latency = (
             NoLatency() if args.no_latency else SeededJitterLatency(seed=args.bench_seed)
         )
-        resources = SharedResources.for_universe(universe, latency=latency)
+        resources = SharedResources.for_universe(
+            universe,
+            latency=latency,
+            store_path=store_path,
+            storage_backend=storage_backend,
+        )
         service = QueryService(
             resources,
             config=EngineConfig(queue_policy=args.queue_policy),
@@ -288,6 +312,8 @@ def serve_main(argv: Optional[list[str]] = None) -> int:
             f"Sharded over {args.workers} workers ({args.routing} routing)",
             file=sys.stderr,
         )
+    if getattr(args, "store_path", None):
+        print(f"Persistent store at {args.store_path}", file=sys.stderr)
     shutdown = threading.Event()
 
     def _on_sigterm(signum, frame):  # noqa: ARG001 — signal handler shape

@@ -11,15 +11,28 @@ requests — the Fig. 4 waterfall shows almost every document served
 
 The cache is transport-agnostic: :class:`~repro.net.client.HttpClient`
 consults it when constructed with ``cache=HttpCache()``.
+
+Like the parsed-document store, the cache rides the shared
+:class:`~repro.storage.tier.StorageTier` discipline: a bounded true-LRU
+set of decoded entries in memory and — when a persistent
+:class:`~repro.storage.StorageBackend` is attached — a write-through
+durable copy, so a restarted service answers repeat requests from the
+store file exactly like the browser's disk cache answers them across
+browser restarts.  Persisted entries carry wall-clock timestamps;
+freshness windows therefore survive the restart, and anything past its
+window simply revalidates through the ordinary ETag/304 path.
 """
 
 from __future__ import annotations
 
+import base64
+import json
 import re
 import time
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
+from typing import Iterable, Optional
 
+from ..storage import StorageBackend, StorageTier
 from .message import Response
 
 __all__ = ["CacheEntry", "HttpCache"]
@@ -35,6 +48,10 @@ class CacheEntry:
     etag: str
     stored_at: float
     max_age: float
+    #: The request URL the entry answers — carried on the entry so the
+    #: cache can export/adopt entries wholesale (shard handoff parity
+    #: with :class:`~repro.service.docstore.StoredDocument`).
+    url: str = ""
 
     def is_fresh(self, now: Optional[float] = None) -> bool:
         if self.max_age <= 0:
@@ -46,27 +63,76 @@ class CacheEntry:
         self.stored_at = now if now is not None else time.monotonic()
 
 
+def encode_cache_entry(entry: CacheEntry) -> bytes:
+    """Storage-backend bytes: response + validators, wall-clock stamped."""
+    payload = {
+        "url": entry.url,
+        "status": entry.response.status,
+        "headers": entry.response.headers,
+        "body": base64.b64encode(entry.response.body).decode("ascii"),
+        "etag": entry.etag,
+        "max_age": entry.max_age,
+        "stored_wall": time.time() - (time.monotonic() - entry.stored_at),
+    }
+    return json.dumps(payload).encode("utf-8")
+
+
+def decode_cache_entry(raw: bytes) -> CacheEntry:
+    payload = json.loads(raw.decode("utf-8"))
+    age = max(0.0, time.time() - float(payload["stored_wall"]))
+    return CacheEntry(
+        response=Response(
+            payload["status"],
+            dict(payload["headers"]),
+            base64.b64decode(payload["body"]),
+        ),
+        etag=payload["etag"],
+        stored_at=time.monotonic() - age,
+        max_age=float(payload["max_age"]),
+        url=payload.get("url", ""),
+    )
+
+
 class HttpCache:
     """URL-keyed response cache with ETag revalidation.
 
     Only successful ``GET`` responses are cached.  ``default_max_age``
     applies when the server sends no ``Cache-Control``; pass ``0`` to
-    force revalidation on every reuse.
+    force revalidation on every reuse.  ``max_entries`` bounds the
+    in-memory LRU; a persistent ``backend`` keeps evicted and
+    across-restart entries reachable.
     """
 
-    def __init__(self, default_max_age: float = 300.0, max_entries: int = 100_000) -> None:
-        self._entries: dict[str, CacheEntry] = {}
+    def __init__(
+        self,
+        default_max_age: float = 300.0,
+        max_entries: int = 100_000,
+        backend: Optional[StorageBackend] = None,
+    ) -> None:
+        self._tier = StorageTier(
+            "http",
+            max_entries,
+            encode_cache_entry,
+            decode_cache_entry,
+            backend=backend,
+        )
         self._default_max_age = default_max_age
-        self._max_entries = max_entries
         self.hits = 0
         self.revalidations = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._tier)
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._tier
+
+    @property
+    def tier(self) -> StorageTier:
+        return self._tier
 
     def lookup(self, url: str) -> Optional[CacheEntry]:
-        return self._entries.get(url)
+        return self._tier.get(url)
 
     def store(self, url: str, response: Response) -> Optional[CacheEntry]:
         """Cache a 200 response; returns the entry (or None if uncacheable)."""
@@ -86,27 +152,62 @@ class HttpCache:
             match = _MAX_AGE_RE.search(cache_control)
             if match:
                 max_age = float(match.group(1))
-        if len(self._entries) >= self._max_entries and url not in self._entries:
-            # Simple bound: drop the oldest entry.
-            oldest = min(self._entries, key=lambda key: self._entries[key].stored_at)
-            del self._entries[oldest]
         entry = CacheEntry(
             response=response,
             etag=response.header("etag"),
             stored_at=time.monotonic(),
             max_age=max_age,
+            url=url,
         )
-        self._entries[url] = entry
+        self._tier.put(url, entry)
         return entry
 
+    def entries(self) -> list[CacheEntry]:
+        """All cached responses, oldest first (export order)."""
+        entries = []
+        for url, entry in self._tier.items():
+            if not entry.url:
+                entry.url = url
+            entries.append(entry)
+        return sorted(entries, key=lambda entry: entry.stored_at)
+
+    def adopt(self, entry: CacheEntry) -> None:
+        """Install an entry cached elsewhere (shard handoff parity).
+
+        Counts as neither a hit nor a miss: no request was answered.
+        Freshness and revalidation behave exactly as for a locally
+        stored entry.
+        """
+        if not entry.url:
+            raise ValueError("cannot adopt a CacheEntry without a url")
+        self._tier.put(entry.url, entry)
+
+    def adopt_all(self, entries: Iterable[CacheEntry]) -> int:
+        count = 0
+        for entry in entries:
+            self.adopt(entry)
+            count += 1
+        return count
+
+    def flush(self) -> None:
+        """Commit pending backend writes (no-op without persistence)."""
+        self._tier.flush()
+
     def clear(self) -> None:
-        self._entries.clear()
+        self._tier.clear()
         self.hits = self.revalidations = self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
     def statistics(self) -> dict:
         return {
-            "entries": len(self._entries),
+            "entries": len(self._tier),
             "hits": self.hits,
             "revalidations": self.revalidations,
             "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "storage": self._tier.statistics(),
         }

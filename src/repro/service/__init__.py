@@ -38,8 +38,12 @@ from .shards import (
     ShardSpec,
     WorkerCrashedError,
 )
+from .status import STATUS_SCHEMA_VERSION, build_status, build_status_async
 
 __all__ = [
+    "STATUS_SCHEMA_VERSION",
+    "build_status",
+    "build_status_async",
     "DocumentStore",
     "StoredDocument",
     "SharedResources",

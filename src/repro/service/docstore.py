@@ -20,11 +20,22 @@ has a changed validator — the store drops the stale entry and the
 document is re-parsed.  Alongside the triples each entry records the
 document's out-going HTTP IRIs (the cAll link superset from which every
 extractor's context-dependent selection draws).
+
+Bounded memory and (optional) persistence both live in the shared
+:class:`~repro.storage.tier.StorageTier`: hot entries stay decoded in a
+true-LRU in-process cache; with a persistent
+:class:`~repro.storage.StorageBackend` below, entries additionally
+write through in the process-portable term-table wire form
+(:mod:`repro.service.wire`), validator included — so a restarted
+service reopens the same store file warm, and the *first* lookup after
+an upstream change still invalidates through the ordinary revalidation
+path.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import time
 from dataclasses import dataclass
 from typing import Iterable, Optional
@@ -32,6 +43,7 @@ from typing import Iterable, Optional
 from ..net.message import Response
 from ..rdf.terms import NamedNode
 from ..rdf.triples import Triple
+from ..storage import StorageBackend, StorageTier
 
 __all__ = ["StoredDocument", "DocumentStore"]
 
@@ -58,18 +70,56 @@ def _links_of(triples: Iterable[Triple]) -> frozenset[str]:
     return frozenset(links)
 
 
+def encode_stored_document(document: StoredDocument) -> bytes:
+    """Wire form plus a wall-clock timestamp, as storage-backend bytes.
+
+    ``stored_at`` is monotonic (meaningless across processes); the
+    persisted form carries the equivalent wall-clock instant so a
+    restarted process can reconstruct a comparable monotonic age.
+    """
+    from .wire import document_to_wire
+
+    payload = document_to_wire(document)
+    payload["stored_wall"] = time.time() - (time.monotonic() - document.stored_at)
+    return json.dumps(payload).encode("utf-8")
+
+
+def decode_stored_document(raw: bytes) -> StoredDocument:
+    """Rebuild a document, re-interning terms in this process."""
+    from .wire import document_from_wire
+
+    payload = json.loads(raw.decode("utf-8"))
+    stored_wall = payload.get("stored_wall")
+    stored_at: Optional[float] = None
+    if stored_wall is not None:
+        stored_at = time.monotonic() - max(0.0, time.time() - float(stored_wall))
+    return document_from_wire(payload, stored_at=stored_at)
+
+
 class DocumentStore:
     """URL-keyed store of parsed documents with validator-based identity.
 
-    ``max_documents`` bounds memory; beyond it the oldest entry is
-    evicted (same simple discipline as :class:`~repro.net.cache.HttpCache`).
-    Counters (``hits``/``misses``/``invalidations``) feed the service's
-    doc-store hit-rate metrics.
+    ``max_documents`` bounds *memory*: beyond it the least-recently-used
+    entry leaves the in-process cache (the same
+    :class:`~repro.storage.tier.StorageTier` discipline as
+    :class:`~repro.net.cache.HttpCache`).  With a persistent ``backend``
+    the evicted entry stays reachable on disk — capacity outgrows RAM
+    and survives restarts.  Counters (``hits``/``misses``/
+    ``invalidations``) feed the service's doc-store hit-rate metrics.
     """
 
-    def __init__(self, max_documents: int = 100_000) -> None:
-        self._entries: dict[str, StoredDocument] = {}
-        self._max_documents = max_documents
+    def __init__(
+        self,
+        max_documents: int = 100_000,
+        backend: Optional[StorageBackend] = None,
+    ) -> None:
+        self._tier = StorageTier(
+            "documents",
+            max_documents,
+            encode_stored_document,
+            decode_stored_document,
+            backend=backend,
+        )
         self.hits = 0
         self.misses = 0
         #: Lookups that found the URL but with a *different* validator —
@@ -79,10 +129,14 @@ class DocumentStore:
         self.parses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._tier)
 
     def __contains__(self, url: str) -> bool:
-        return url in self._entries
+        return url in self._tier
+
+    @property
+    def tier(self) -> StorageTier:
+        return self._tier
 
     @staticmethod
     def validator_for(response: Response) -> str:
@@ -94,14 +148,14 @@ class DocumentStore:
 
     def lookup(self, url: str, validator: str) -> Optional[StoredDocument]:
         """The stored parse of ``url`` *iff* the validator still matches."""
-        entry = self._entries.get(url)
+        entry = self._tier.get(url)
         if entry is None:
             self.misses += 1
             return None
         if entry.validator != validator:
             # The revalidation machinery produced a different body: the
             # document changed, so the stored parse is stale.
-            del self._entries[url]
+            self._tier.delete(url)
             self.invalidations += 1
             self.misses += 1
             return None
@@ -110,9 +164,6 @@ class DocumentStore:
 
     def put(self, url: str, validator: str, triples: Iterable[Triple]) -> StoredDocument:
         triple_tuple = tuple(triples)
-        if len(self._entries) >= self._max_documents and url not in self._entries:
-            oldest = min(self._entries, key=lambda key: self._entries[key].stored_at)
-            del self._entries[oldest]
         entry = StoredDocument(
             url=url,
             validator=validator,
@@ -120,13 +171,16 @@ class DocumentStore:
             links=_links_of(triple_tuple),
             stored_at=time.monotonic(),
         )
-        self._entries[url] = entry
+        self._tier.put(url, entry)
         self.parses += 1
         return entry
 
     def entries(self) -> list[StoredDocument]:
         """All stored documents, oldest first (export order)."""
-        return sorted(self._entries.values(), key=lambda entry: entry.stored_at)
+        return sorted(
+            (entry for _, entry in self._tier.items()),
+            key=lambda entry: entry.stored_at,
+        )
 
     def adopt(self, entry: StoredDocument) -> None:
         """Install an entry parsed elsewhere (warm shard handoff).
@@ -136,13 +190,14 @@ class DocumentStore:
         an upstream change still invalidates it through the ordinary
         revalidation path.  Eviction discipline matches :meth:`put`.
         """
-        if len(self._entries) >= self._max_documents and entry.url not in self._entries:
-            oldest = min(self._entries, key=lambda key: self._entries[key].stored_at)
-            del self._entries[oldest]
-        self._entries[entry.url] = entry
+        self._tier.put(entry.url, entry)
+
+    def flush(self) -> None:
+        """Commit pending backend writes (no-op without persistence)."""
+        self._tier.flush()
 
     def clear(self) -> None:
-        self._entries.clear()
+        self._tier.clear()
         self.hits = self.misses = self.invalidations = self.parses = 0
 
     @property
@@ -152,10 +207,11 @@ class DocumentStore:
 
     def statistics(self) -> dict:
         return {
-            "documents": len(self._entries),
+            "documents": len(self._tier),
             "hits": self.hits,
             "misses": self.misses,
             "invalidations": self.invalidations,
             "parses": self.parses,
             "hit_rate": round(self.hit_rate, 4),
+            "storage": self._tier.statistics(),
         }

@@ -123,6 +123,15 @@ class ServiceHost:
                     ).result(30.0)
                 except Exception:  # noqa: BLE001 — keep tearing down
                     pass
+        # In-process services own their resources directly: release the
+        # storage backend so pending writes are durable — a clean stop
+        # must leave the store file warm for the next lifetime.
+        resources = getattr(self._service, "resources", None)
+        if resources is not None:
+            try:
+                resources.close()
+            except Exception:  # noqa: BLE001 — keep tearing down
+                pass
         if self._loop is not None:
             self._loop.call_soon_threadsafe(self._loop.stop)
         if self._thread is not None:

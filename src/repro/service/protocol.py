@@ -11,7 +11,9 @@ Protocol extensions beyond the shared plumbing:
 * ``GET /sparql?query=...&seeds=url1,url2`` — optional comma-separated
   seed URLs (without them the engine falls back to IRIs in the query);
 * admission rejections surface as ``503`` with a ``retry-after`` hint;
-* ``GET /service/status`` — JSON service statistics + query registry.
+* ``GET /service/status`` — the versioned schema-2 status document
+  (:mod:`repro.service.status`): service counters, per-tier cache and
+  storage statistics, worker pool summary, query registry.
 """
 
 from __future__ import annotations
@@ -23,6 +25,7 @@ from ..federation.endpoint import SparqlProtocolApp
 from ..net.message import Request, Response
 from ..sparql.algebra import Query
 from .service import QueryService, ServiceOverloadedError
+from .status import build_status, build_status_async
 
 __all__ = ["ServiceSparqlApp"]
 
@@ -46,27 +49,15 @@ class ServiceSparqlApp(SparqlProtocolApp):
 
     async def handle_other(self, request: Request) -> Response:
         if urlsplit(request.url).path == self._status_path:
-            status = getattr(self._service, "status", None)
-            if status is not None:
-                # Sharded front-end: poll every worker live so the
-                # document aggregates *current* shard gauges, not the
-                # last cached snapshot.
-                document = dict(await status())
-                document = {
-                    "service": document,
-                    "queries": document.pop("queries", []),
-                }
-            else:
-                document = self.status_document()
+            # Sharded front-ends poll every worker live inside the async
+            # build, so the document aggregates *current* shard gauges.
+            document = await build_status_async(self._service)
             body = json.dumps(document).encode("utf-8")
             return Response(200, {"content-type": "application/json"}, body)
         return Response.not_found(request.url)
 
     def status_document(self) -> dict:
-        return {
-            "service": self._service.statistics(),
-            "queries": [handle.snapshot() for handle in self._service.queries()],
-        }
+        return build_status(self._service)
 
     async def answer(self, query: Query, request: Request) -> Response:
         if query.form not in ("SELECT", "ASK"):

@@ -31,13 +31,23 @@ from ..net.log import RequestLog
 from ..net.resilience import NetworkPolicy
 from ..net.router import Internet
 from ..obs.metrics import Metrics
+from ..storage import StorageBackend, open_backend
 from .docstore import DocumentStore
 
 __all__ = ["SharedResources"]
 
 
 class SharedResources:
-    """The shared half of the execution stack: client, caches, metrics."""
+    """The shared half of the execution stack: client, caches, metrics.
+
+    ``store_path``/``storage_backend`` select the persistence tier under
+    both caches (see :mod:`repro.storage`): the default is the in-memory
+    backend (nothing survives the process); a store path opens — or
+    reopens, warm — a single SQLite file holding both the HTTP cache and
+    the parsed-document store.  Call :meth:`close` (or :meth:`flush`) to
+    make pending writes durable; a crash in between loses only the
+    un-flushed window, never the file.
+    """
 
     def __init__(
         self,
@@ -52,11 +62,23 @@ class SharedResources:
         auth_headers: Optional[dict[str, str]] = None,
         max_connections_per_origin: int = 6,
         latency_scale: float = 1.0,
+        store_path: Optional[str] = None,
+        storage_backend: Optional[str] = None,
+        storage: Optional[StorageBackend] = None,
     ) -> None:
         self.policy = policy if policy is not None else NetworkPolicy()
-        self.http_cache = http_cache if http_cache is not None else HttpCache()
+        self.storage = (
+            storage
+            if storage is not None
+            else open_backend(storage_backend, path=store_path)
+        )
+        self.http_cache = (
+            http_cache if http_cache is not None else HttpCache(backend=self.storage)
+        )
         self.document_store = (
-            document_store if document_store is not None else DocumentStore()
+            document_store
+            if document_store is not None
+            else DocumentStore(backend=self.storage)
         )
         self.metrics = metrics if metrics is not None else Metrics()
         # The client gets an *explicit* policy so engines adopting it do
@@ -110,9 +132,18 @@ class SharedResources:
         )
         return cls(universe.internet, latency=latency, **kwargs)
 
+    def flush(self) -> None:
+        """Commit pending storage writes (no-op on the memory backend)."""
+        self.storage.flush()
+
+    def close(self) -> None:
+        """Flush and release the storage backend."""
+        self.storage.close()
+
     def statistics(self) -> dict:
         return {
             "http_cache": self.http_cache.statistics(),
             "document_store": self.document_store.statistics(),
+            "storage": self.storage.statistics(),
             "requests": len(self.client.log),
         }

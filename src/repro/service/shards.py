@@ -88,6 +88,26 @@ class ShardSpec:
     max_queued: int = 32
     default_max_documents: int = 0
     default_max_duration: float = 0.0
+    #: Persistence tier (see :mod:`repro.storage`).  On the front-end
+    #: spec this is a *directory*; each worker receives a copy with its
+    #: own file path under it (``<dir>/<shard-name>.sqlite``), so a
+    #: respawned worker reopens its predecessor's store warm.
+    store_path: Optional[str] = None
+    storage_backend: Optional[str] = None
+
+    def for_worker(self, name: str) -> "ShardSpec":
+        """The per-worker spec: the store directory becomes this worker's file."""
+        if self.store_path is None:
+            return self
+        import dataclasses
+
+        return dataclasses.replace(
+            self, store_path=os.path.join(self.store_path, f"{name}.sqlite")
+        )
+
+    @property
+    def persistent(self) -> bool:
+        return self.store_path is not None or self.storage_backend == "sqlite"
 
 
 # ---------------------------------------------------------------------------
@@ -152,6 +172,8 @@ async def _worker_loop(conn, spec: ShardSpec) -> None:
             no_latency=spec.no_latency,
             latency_scale=spec.latency_scale,
             lenient=spec.lenient,
+            store_path=spec.store_path,
+            storage_backend=spec.storage_backend,
         )
         service = QueryService(
             resources,
@@ -210,6 +232,10 @@ async def _worker_loop(conn, spec: ShardSpec) -> None:
                 conn.send(("done", req_id, {"pid": os.getpid()}))
             elif kind == "drain":
                 pending = await service.drain(timeout=message[2])
+                # A drained worker is about to stop or hand off: make its
+                # store durable so a replacement reopening the same file
+                # (persistent handoff) sees everything it parsed.
+                resources.flush()
                 conn.send(("done", req_id, {"pending": pending}))
             elif kind == "export_store":
                 store = resources.document_store
@@ -232,6 +258,7 @@ async def _worker_loop(conn, spec: ShardSpec) -> None:
                 conn.send(("error", req_id, "internal", f"{type(error).__name__}: {error}"))
             except (OSError, BrokenPipeError):
                 break
+    resources.close()
     conn.close()
 
 
@@ -336,7 +363,10 @@ class _ShardWorker:
 
     def __init__(self, name: str, spec: ShardSpec, context) -> None:
         self.name = name
-        self.spec = spec
+        # Each worker persists into its own file under the spec's store
+        # directory; the derived spec survives respawns, so a replacement
+        # process reopens its predecessor's store warm.
+        self.spec = spec.for_worker(name)
         self._context = context
         self.process = None
         self.conn = None
@@ -623,20 +653,30 @@ class ShardedQueryService:
         """Graceful drain + restart of one shard.
 
         Removes the shard from the ring (new queries remap), drains its
-        in-flight queries, exports its parsed-document store, spawns the
-        replacement, imports the store (warm start), and rejoins the
-        ring.  Returns a report with the drain leftovers and the number
-        of documents handed over.
+        in-flight queries, hands its parsed-document store to the
+        replacement, and rejoins the ring.  With a persistent spec the
+        handoff is *by file*: the drained worker flushes and closes its
+        store, and the replacement — whose derived spec points at the
+        same path — simply reopens it warm (``handoff: "file"``).
+        Otherwise every entry streams through the pipe in wire form
+        (``handoff: "stream"``).  Returns a report with the drain
+        leftovers and the number of documents handed over.
         """
         worker = self._workers[name]
+        by_file = warm and worker.spec.persistent
         self._router.remove_shard(name)
-        report = {"shard": name, "pending": [], "documents": 0}
+        report = {
+            "shard": name,
+            "pending": [],
+            "documents": 0,
+            "handoff": "file" if by_file else "stream",
+        }
         exported: list[dict] = []
         if worker.state == "ready":
             try:
                 drained = await worker.request("drain", drain_timeout, timeout=drain_timeout + 10.0)
                 report["pending"] = drained["pending"]
-                if warm:
+                if warm and not by_file:
                     store = await worker.request("export_store", timeout=60.0)
                     exported = store["documents"]
             except (WorkerCrashedError, ShardQueryError, asyncio.TimeoutError):
@@ -649,6 +689,14 @@ class ShardedQueryService:
         if exported:
             imported = await worker.request("import_store", exported, timeout=60.0)
             report["documents"] = imported["imported"]
+        elif by_file:
+            try:
+                status = await worker.request("status", timeout=15.0)
+                report["documents"] = (
+                    status["statistics"]["document_store"]["documents"]
+                )
+            except (WorkerCrashedError, ShardQueryError, asyncio.TimeoutError, KeyError):
+                pass
         self._router.add_shard(name)
         self._restarts += 1
         return report

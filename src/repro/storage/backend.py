@@ -1,0 +1,185 @@
+"""The storage-backend protocol and its in-memory reference implementation.
+
+A backend is a namespaced key/value store over opaque byte values.  The
+namespace keeps independent tiers (parsed documents, HTTP responses,
+future delta logs) in one physical store — one SQLite file per worker —
+without key collisions.
+
+Backends declare whether they are ``persistent``.  The
+:class:`~repro.storage.tier.StorageTier` only write-throughs to
+persistent backends: a non-persistent backend under a bounded in-memory
+LRU would just hold a redundant encoded copy of what the LRU already
+holds decoded, so the memory configuration keeps today's exact
+LRU-only behavior (and hot-path cost).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Protocol, runtime_checkable
+
+__all__ = ["StorageBackend", "MemoryBackend", "Keyspace", "open_backend"]
+
+
+@runtime_checkable
+class StorageBackend(Protocol):
+    """Namespaced key/value byte store.
+
+    ``kind`` names the implementation (``"memory"``, ``"sqlite"``);
+    ``persistent`` says whether entries survive :meth:`close` — the tier
+    above uses it to decide between write-through and LRU-only modes.
+    """
+
+    kind: str
+    persistent: bool
+
+    def get(self, namespace: str, key: str) -> Optional[bytes]:
+        """The stored value, or ``None``."""
+        ...
+
+    def put(self, namespace: str, key: str, value: bytes) -> None:
+        """Insert or replace one entry."""
+        ...
+
+    def delete(self, namespace: str, key: str) -> None:
+        """Remove one entry (no-op when absent)."""
+        ...
+
+    def scan(self, namespace: str) -> Iterator[tuple[str, bytes]]:
+        """Iterate every ``(key, value)`` in the namespace."""
+        ...
+
+    def count(self, namespace: str) -> int:
+        """Number of entries in the namespace."""
+        ...
+
+    def clear(self, namespace: str) -> None:
+        """Drop every entry in the namespace."""
+        ...
+
+    def flush(self) -> None:
+        """Make every accepted write durable (commit)."""
+        ...
+
+    def close(self) -> None:
+        """Flush and release the store."""
+        ...
+
+    def statistics(self) -> dict:
+        """JSON-friendly store statistics for the status endpoints."""
+        ...
+
+
+class MemoryBackend:
+    """Plain-dict backend: the protocol's reference implementation.
+
+    Nothing survives the process; ``flush``/``close`` are no-ops.  This
+    is the default backend and exists so every code path (and test) can
+    exercise the protocol without touching disk.
+    """
+
+    kind = "memory"
+    persistent = False
+
+    def __init__(self) -> None:
+        self._namespaces: dict[str, dict[str, bytes]] = {}
+        self.puts = 0
+        self.gets = 0
+        self.deletes = 0
+
+    def _space(self, namespace: str) -> dict[str, bytes]:
+        return self._namespaces.setdefault(namespace, {})
+
+    def get(self, namespace: str, key: str) -> Optional[bytes]:
+        self.gets += 1
+        return self._namespaces.get(namespace, {}).get(key)
+
+    def put(self, namespace: str, key: str, value: bytes) -> None:
+        self.puts += 1
+        self._space(namespace)[key] = bytes(value)
+
+    def delete(self, namespace: str, key: str) -> None:
+        self.deletes += 1
+        self._namespaces.get(namespace, {}).pop(key, None)
+
+    def scan(self, namespace: str) -> Iterator[tuple[str, bytes]]:
+        yield from list(self._namespaces.get(namespace, {}).items())
+
+    def count(self, namespace: str) -> int:
+        return len(self._namespaces.get(namespace, {}))
+
+    def clear(self, namespace: str) -> None:
+        self._namespaces.pop(namespace, None)
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def statistics(self) -> dict:
+        return {
+            "kind": self.kind,
+            "persistent": self.persistent,
+            "namespaces": {
+                name: len(space) for name, space in self._namespaces.items()
+            },
+            "puts": self.puts,
+            "gets": self.gets,
+            "deletes": self.deletes,
+        }
+
+
+class Keyspace:
+    """One namespace of a backend, bound for callers that take a flat store."""
+
+    def __init__(self, backend: StorageBackend, namespace: str) -> None:
+        self.backend = backend
+        self.namespace = namespace
+
+    @property
+    def persistent(self) -> bool:
+        return self.backend.persistent
+
+    def get(self, key: str) -> Optional[bytes]:
+        return self.backend.get(self.namespace, key)
+
+    def put(self, key: str, value: bytes) -> None:
+        self.backend.put(self.namespace, key, value)
+
+    def delete(self, key: str) -> None:
+        self.backend.delete(self.namespace, key)
+
+    def scan(self) -> Iterator[tuple[str, bytes]]:
+        return self.backend.scan(self.namespace)
+
+    def count(self) -> int:
+        return self.backend.count(self.namespace)
+
+    def clear(self) -> None:
+        self.backend.clear(self.namespace)
+
+    def flush(self) -> None:
+        self.backend.flush()
+
+
+def open_backend(backend: Optional[str] = None, path: Optional[str] = None) -> StorageBackend:
+    """Build a backend from CLI-shaped arguments.
+
+    ``backend`` may be ``"memory"``, ``"sqlite"``, or ``None`` to infer:
+    a ``path`` means SQLite, no path means memory.  SQLite requires a
+    path; memory rejects one (a silently ignored ``--store-path`` would
+    surprise exactly the operator who asked for persistence).
+    """
+    if backend is None:
+        backend = "sqlite" if path else "memory"
+    if backend == "memory":
+        if path:
+            raise ValueError("the memory backend takes no store path")
+        return MemoryBackend()
+    if backend == "sqlite":
+        if not path:
+            raise ValueError("the sqlite backend needs a store path")
+        from .sqlite import SqliteBackend
+
+        return SqliteBackend(path)
+    raise ValueError(f"unknown storage backend {backend!r}")

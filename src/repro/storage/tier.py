@@ -1,0 +1,173 @@
+"""The shared cache discipline above a storage backend.
+
+:class:`StorageTier` is the one eviction/statistics surface both the
+parsed-document store and the HTTP cache used to duplicate (each had its
+own ``max_*`` bound and an O(n) ``min(..., key=stored_at)`` oldest-entry
+scan).  The tier keeps *decoded* entries in a bounded
+:class:`~collections.OrderedDict` in true LRU order — a hit refreshes
+recency in O(1), eviction pops the least-recently-used entry in O(1) —
+and, when a persistent backend sits below, spills beyond the bound to it:
+
+* **put** inserts into the LRU and write-throughs the encoded bytes;
+* **get** answers from the LRU, else reads through (decode + promote);
+* **eviction** only forgets the in-memory copy when the backend is
+  persistent — capacity becomes disk-bounded, not RAM-bounded;
+* with no persistent backend the LRU is authoritative and eviction
+  discards, which is exactly the pre-persistence behavior.
+
+The LRU holds live objects: callers may mutate an entry in place (the
+HTTP cache renews validator timestamps on 304) and such mutations are
+visible to every in-process reader but not written back — after a
+restart a renewed entry simply revalidates once more, which is correct,
+just one conditional request slower.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Iterator, Optional
+
+from .backend import Keyspace, StorageBackend
+
+__all__ = ["StorageTier"]
+
+
+class StorageTier:
+    """Bounded-LRU cache of decoded entries over an optional keyspace."""
+
+    def __init__(
+        self,
+        namespace: str,
+        max_entries: int,
+        encode: Callable[[object], bytes],
+        decode: Callable[[bytes], object],
+        backend: Optional[StorageBackend] = None,
+    ) -> None:
+        self.namespace = namespace
+        self._max_entries = max(1, max_entries)
+        self._encode = encode
+        self._decode = decode
+        # Only a persistent backend earns the encode/decode round trip:
+        # a memory backend below a memory LRU would double-store.
+        self._keyspace = (
+            Keyspace(backend, namespace)
+            if backend is not None and backend.persistent
+            else None
+        )
+        self._lru: "OrderedDict[str, object]" = OrderedDict()
+        self.evictions = 0
+        self.backend_reads = 0
+        self.backend_writes = 0
+
+    # -- capacity -------------------------------------------------------
+
+    @property
+    def persistent(self) -> bool:
+        return self._keyspace is not None
+
+    @property
+    def max_memory_entries(self) -> int:
+        return self._max_entries
+
+    def __len__(self) -> int:
+        """Total reachable entries (disk-backed when persistent)."""
+        if self._keyspace is not None:
+            return self._keyspace.count()
+        return len(self._lru)
+
+    def memory_entries(self) -> int:
+        return len(self._lru)
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._lru:
+            return True
+        return self._keyspace is not None and self._keyspace.get(key) is not None
+
+    # -- the discipline -------------------------------------------------
+
+    def _admit(self, key: str, entry: object) -> None:
+        # With a persistent keyspace below, eviction only forgets the
+        # in-memory copy (the durable one remains reachable); without
+        # one, eviction is deletion — the old in-memory bound.
+        self._lru[key] = entry
+        self._lru.move_to_end(key)
+        while len(self._lru) > self._max_entries:
+            self._lru.popitem(last=False)
+            self.evictions += 1
+
+    def get(self, key: str) -> Optional[object]:
+        entry = self._lru.get(key)
+        if entry is not None:
+            self._lru.move_to_end(key)
+            return entry
+        if self._keyspace is not None:
+            raw = self._keyspace.get(key)
+            if raw is not None:
+                entry = self._decode(raw)
+                self.backend_reads += 1
+                self._admit(key, entry)
+                return entry
+        return None
+
+    def peek(self, key: str) -> Optional[object]:
+        """Like :meth:`get` without refreshing recency (introspection)."""
+        entry = self._lru.get(key)
+        if entry is not None:
+            return entry
+        if self._keyspace is not None:
+            raw = self._keyspace.get(key)
+            if raw is not None:
+                self.backend_reads += 1
+                return self._decode(raw)
+        return None
+
+    def put(self, key: str, entry: object) -> None:
+        self._admit(key, entry)
+        if self._keyspace is not None:
+            self._keyspace.put(key, self._encode(entry))
+            self.backend_writes += 1
+
+    def delete(self, key: str) -> None:
+        self._lru.pop(key, None)
+        if self._keyspace is not None:
+            self._keyspace.delete(key)
+
+    def items(self) -> Iterator[tuple[str, object]]:
+        """Every reachable entry, in-memory copies winning over stored ones."""
+        if self._keyspace is None:
+            yield from list(self._lru.items())
+            return
+        seen: set[str] = set()
+        for key, raw in self._keyspace.scan():
+            seen.add(key)
+            entry = self._lru.get(key)
+            yield key, entry if entry is not None else self._decode(raw)
+        for key, entry in list(self._lru.items()):
+            if key not in seen:
+                yield key, entry
+
+    def clear(self) -> None:
+        self._lru.clear()
+        self.evictions = 0
+        self.backend_reads = 0
+        self.backend_writes = 0
+        if self._keyspace is not None:
+            self._keyspace.clear()
+
+    def flush(self) -> None:
+        if self._keyspace is not None:
+            self._keyspace.flush()
+
+    def statistics(self) -> dict:
+        stats = {
+            "entries": len(self),
+            "memory_entries": len(self._lru),
+            "max_memory_entries": self._max_entries,
+            "evictions": self.evictions,
+            "persistent": self.persistent,
+            "backend_reads": self.backend_reads,
+            "backend_writes": self.backend_writes,
+        }
+        if self._keyspace is not None:
+            stats["backend"] = self._keyspace.backend.kind
+        return stats

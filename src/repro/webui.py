@@ -321,20 +321,17 @@ class DemoServer:
             handler.wfile.flush()
 
     def _serve_status(self, handler: BaseHTTPRequestHandler) -> None:
-        """Live service statistics (or the one-shot marker)."""
+        """The schema-2 status document (or the one-shot marker)."""
+        from .service.status import STATUS_SCHEMA_VERSION, build_status
+
         if self._service_host is None:
-            document = {"mode": "one-shot", "service": None}
-        else:
-            statistics = self._service_host.statistics()
             document = {
-                # The sharded front-end reports mode "sharded"; the
-                # in-process service has no mode key.
-                "mode": statistics.get("mode", "service"),
-                "service": statistics,
-                "queries": [
-                    q.snapshot() for q in self._service_host.service.queries()
-                ],
+                "schema": STATUS_SCHEMA_VERSION,
+                "mode": "one-shot",
+                "service": None,
             }
+        else:
+            document = build_status(self._service_host.service)
         body = json.dumps(document).encode("utf-8")
         handler.send_response(200)
         handler.send_header("content-type", "application/json")

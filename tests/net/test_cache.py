@@ -128,7 +128,13 @@ class TestClientIntegration:
         run(client.fetch("https://h/doc"))
         run(client.fetch("https://h/doc"))
         stats = cache.statistics()
-        assert stats == {"entries": 1, "hits": 1, "revalidations": 0, "misses": 1}
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["revalidations"] == 0
+        assert stats["hit_rate"] == 0.5
+        # The shared storage-tier discipline reports its own block.
+        assert stats["storage"]["memory_entries"] == 1
+        assert stats["storage"]["persistent"] is False
 
     def test_clear(self):
         cache = HttpCache()

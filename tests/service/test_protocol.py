@@ -108,7 +108,12 @@ class TestProtocol:
         response = ask(app, Request("GET", "http://svc/service/status"))
         assert response.status == 200
         document = json.loads(response.body)
+        assert document["schema"] == 2
+        assert document["mode"] == "single"
         assert document["service"]["completed"] == 1
+        # Every tier reports its storage block through the unified shape.
+        assert "storage" in document["service"]["document_store"]
+        assert "storage" in document["service"]["http_cache"]
         assert len(document["queries"]) == 1
         assert document["queries"][0]["status"] == "done"
 

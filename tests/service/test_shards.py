@@ -165,6 +165,44 @@ class TestLifecycle:
         finally:
             host.stop()
 
+    def test_persistent_spec_derives_per_worker_paths(self, tmp_path):
+        import os
+
+        spec = make_spec(store_path=str(tmp_path))
+        derived = spec.for_worker("shard-3")
+        assert derived.store_path == os.path.join(str(tmp_path), "shard-3.sqlite")
+        assert derived.persistent and spec.persistent
+        # Without a store path the spec is shared untouched.
+        plain = make_spec()
+        assert plain.for_worker("shard-0") is plain
+        assert not plain.persistent
+
+    def test_file_handoff_on_graceful_restart(self, tmp_path):
+        import os
+
+        spec = make_spec(store_path=str(tmp_path))
+        host = ServiceHost(ShardedQueryService(spec, workers=1)).start()
+        try:
+            service = host.service
+            universe = build_universe(CONFIG)
+            named = discover_query(universe, 1, 1)
+            cold = host.execute(named.text, seeds=list(named.seeds))
+            assert os.path.exists(os.path.join(str(tmp_path), "shard-0.sqlite"))
+
+            # Persistent spec: the handoff references the file — nothing
+            # streams through the pipe, yet the replacement starts warm.
+            report = run_on(
+                host, service.restart_worker("shard-0", warm=True), timeout=120
+            )
+            assert report["handoff"] == "file"
+            assert report["documents"] > 0
+
+            warm = host.execute(named.text, seeds=list(named.seeds))
+            assert multiset(warm) == multiset(cold)
+            assert warm.stats.documents_from_store == warm.stats.documents_fetched
+        finally:
+            host.stop()
+
     def test_drain_idle_service_is_clean(self):
         host = ServiceHost(ShardedQueryService(make_spec(), workers=1)).start()
         try:

@@ -1,0 +1,161 @@
+"""Unit tests for the storage-backend protocol and its implementations."""
+
+import pytest
+
+from repro.storage import (
+    Keyspace,
+    MemoryBackend,
+    SqliteBackend,
+    StorageBackend,
+    open_backend,
+)
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def backend(request, tmp_path):
+    if request.param == "memory":
+        built = MemoryBackend()
+    else:
+        built = SqliteBackend(str(tmp_path / "store.sqlite"))
+    yield built
+    built.close()
+
+
+class TestProtocolBehavior:
+    """Every backend satisfies the same observable contract."""
+
+    def test_satisfies_protocol(self, backend):
+        assert isinstance(backend, StorageBackend)
+
+    def test_get_put_delete(self, backend):
+        assert backend.get("ns", "k") is None
+        backend.put("ns", "k", b"value")
+        assert backend.get("ns", "k") == b"value"
+        backend.put("ns", "k", b"replaced")
+        assert backend.get("ns", "k") == b"replaced"
+        backend.delete("ns", "k")
+        assert backend.get("ns", "k") is None
+        backend.delete("ns", "k")  # absent delete is a no-op
+
+    def test_namespaces_are_isolated(self, backend):
+        backend.put("documents", "k", b"doc")
+        backend.put("http", "k", b"response")
+        assert backend.get("documents", "k") == b"doc"
+        assert backend.get("http", "k") == b"response"
+        backend.clear("documents")
+        assert backend.get("documents", "k") is None
+        assert backend.get("http", "k") == b"response"
+
+    def test_scan_and_count(self, backend):
+        for index in range(5):
+            backend.put("ns", f"k{index}", bytes([index]))
+        assert backend.count("ns") == 5
+        assert dict(backend.scan("ns")) == {f"k{i}": bytes([i]) for i in range(5)}
+        assert backend.count("empty") == 0
+        assert list(backend.scan("empty")) == []
+
+    def test_statistics_are_json_friendly(self, backend):
+        import json
+
+        backend.put("ns", "k", b"v")
+        stats = backend.statistics()
+        assert stats["kind"] == backend.kind
+        assert stats["persistent"] == backend.persistent
+        assert stats["namespaces"] == {"ns": 1}
+        json.dumps(stats)  # must serialize for /service/status
+
+
+class TestSqlitePersistence:
+    def test_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "store.sqlite")
+        backend = SqliteBackend(path)
+        backend.put("ns", "k", b"durable")
+        backend.close()  # close flushes
+
+        reopened = SqliteBackend(path)
+        try:
+            assert reopened.get("ns", "k") == b"durable"
+            assert reopened.count("ns") == 1
+        finally:
+            reopened.close()
+
+    def test_flush_commits_without_close(self, tmp_path):
+        path = str(tmp_path / "store.sqlite")
+        backend = SqliteBackend(path)
+        backend.put("ns", "k", b"v")
+        assert backend.pending_writes == 1
+        backend.flush()
+        assert backend.pending_writes == 0
+        assert backend.flushes >= 1
+        backend.close()
+
+    def test_auto_flush_bounds_the_open_transaction(self, tmp_path):
+        backend = SqliteBackend(str(tmp_path / "store.sqlite"), auto_flush=4)
+        for index in range(10):
+            backend.put("ns", f"k{index}", b"v")
+        # 10 writes with a batch of 4: two automatic commits happened and
+        # at most 3 writes can still be pending.
+        assert backend.flushes >= 2
+        assert backend.pending_writes < 4
+        backend.close()
+
+    def test_creates_parent_directory(self, tmp_path):
+        backend = SqliteBackend(str(tmp_path / "deep" / "nested" / "s.sqlite"))
+        backend.put("ns", "k", b"v")
+        backend.close()
+
+    def test_integrity_and_file_size(self, tmp_path):
+        backend = SqliteBackend(str(tmp_path / "store.sqlite"))
+        backend.put("ns", "k", b"x" * 1024)
+        backend.flush()
+        assert backend.integrity_ok()
+        assert backend.file_bytes() > 0
+        backend.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        backend = SqliteBackend(str(tmp_path / "store.sqlite"))
+        backend.close()
+        backend.close()
+
+
+class TestKeyspace:
+    def test_binds_one_namespace(self):
+        backend = MemoryBackend()
+        documents = Keyspace(backend, "documents")
+        http = Keyspace(backend, "http")
+        documents.put("k", b"doc")
+        assert documents.get("k") == b"doc"
+        assert http.get("k") is None
+        assert documents.count() == 1
+        assert dict(documents.scan()) == {"k": b"doc"}
+        documents.delete("k")
+        assert documents.count() == 0
+        assert documents.persistent is False
+
+
+class TestOpenBackend:
+    def test_default_is_memory(self):
+        assert open_backend().kind == "memory"
+        assert open_backend("memory").kind == "memory"
+
+    def test_path_infers_sqlite(self, tmp_path):
+        backend = open_backend(path=str(tmp_path / "s.sqlite"))
+        assert backend.kind == "sqlite" and backend.persistent
+        backend.close()
+
+    def test_explicit_sqlite(self, tmp_path):
+        backend = open_backend("sqlite", path=str(tmp_path / "s.sqlite"))
+        assert backend.kind == "sqlite"
+        backend.close()
+
+    def test_memory_rejects_path(self, tmp_path):
+        with pytest.raises(ValueError):
+            open_backend("memory", path=str(tmp_path / "s.sqlite"))
+
+    def test_sqlite_requires_path(self):
+        with pytest.raises(ValueError):
+            open_backend("sqlite")
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            open_backend("lmdb")

@@ -1,0 +1,91 @@
+"""Crash-mid-write fault injection for the SQLite backend.
+
+A child process writes entry A, flushes, writes entry B, and dies hard
+(``os._exit``) before flushing — the exact window the batched-commit
+design leaves open.  The parent then reopens the file and proves the
+crash cost only the un-flushed window: the file passes SQLite's
+integrity check, A is present, B is absent, and a DocumentStore over
+the reopened backend answers B's URL with a clean miss — the cold
+dereference path, same as a never-seen URL.
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import repro
+from repro.service.docstore import DocumentStore
+from repro.storage import SqliteBackend
+
+SRC = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+URL_FLUSHED = "https://pod.example/flushed"
+URL_LOST = "https://pod.example/lost"
+
+
+def crash_writer(path: str) -> None:
+    """Run the put→flush→put→die sequence in a separate process."""
+    script = textwrap.dedent(
+        """
+        import os, sys
+        from repro.service.docstore import DocumentStore
+        from repro.rdf.terms import Literal, NamedNode
+        from repro.rdf.triples import Triple
+        from repro.storage import SqliteBackend
+
+        path, url_flushed, url_lost = sys.argv[1:4]
+        backend = SqliteBackend(path, auto_flush=1000)
+        store = DocumentStore(backend=backend)
+        triple = Triple(NamedNode(url_flushed), NamedNode("p"), Literal("o"))
+        store.put(url_flushed, 'W/"kept"', [triple])
+        backend.flush()
+        store.put(url_lost, 'W/"lost"', [triple])
+        # Die without flush/close: no COMMIT, no rollback, no goodbye —
+        # the harshest stop short of kill -9 that stays portable.
+        os._exit(1)
+        """
+    )
+    env = dict(os.environ, PYTHONPATH=SRC)
+    process = subprocess.run(
+        [sys.executable, "-c", script, path, URL_FLUSHED, URL_LOST],
+        env=env,
+        timeout=60,
+    )
+    assert process.returncode == 1
+
+
+class TestCrashMidWrite:
+    def test_reopen_is_clean_and_loses_only_the_unflushed_window(self, tmp_path):
+        path = str(tmp_path / "store.sqlite")
+        crash_writer(path)
+
+        backend = SqliteBackend(path)
+        try:
+            # The file is never corrupt, only behind.
+            assert backend.integrity_ok()
+            assert backend.count("documents") == 1
+            assert backend.get("documents", URL_FLUSHED) is not None
+            assert backend.get("documents", URL_LOST) is None
+        finally:
+            backend.close()
+
+    def test_lost_url_falls_back_to_cold_dereference(self, tmp_path):
+        path = str(tmp_path / "store.sqlite")
+        crash_writer(path)
+
+        backend = SqliteBackend(path)
+        try:
+            store = DocumentStore(backend=backend)
+            # The flushed document survived, warm.
+            assert store.lookup(URL_FLUSHED, 'W/"kept"') is not None
+            # The lost one is an ordinary miss — the dereferencer will
+            # fetch and re-parse it exactly like a never-seen URL.
+            assert store.lookup(URL_LOST, 'W/"lost"') is None
+            assert store.misses == 1 and store.invalidations == 0
+            # And the store accepts new writes after the crash.
+            restored = store.put(URL_LOST, 'W/"lost"', [])
+            store.flush()
+            assert store.lookup(URL_LOST, 'W/"lost"') == restored
+        finally:
+            backend.close()

@@ -1,0 +1,218 @@
+"""Round-trip tests: every RDF term shape through the storage codec.
+
+The persistence tier serializes parsed documents via the term-table wire
+codec (:mod:`repro.service.wire`) and HTTP cache entries via a JSON
+envelope.  These tests push each through a *real* SQLite reopen — the
+exact path a warm restart takes — and assert term-level equality, so an
+encoding bug in any surface form (language tags, datatypes, blank
+nodes, embedded quotes/newlines) cannot hide behind the in-memory LRU.
+"""
+
+import time
+
+import pytest
+
+from repro.net.cache import CacheEntry, HttpCache, decode_cache_entry, encode_cache_entry
+from repro.net.message import Response
+from repro.rdf.terms import (
+    XSD_DATETIME,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+    BlankNode,
+    Literal,
+    NamedNode,
+)
+from repro.rdf.triples import Triple
+from repro.service.docstore import (
+    DocumentStore,
+    decode_stored_document,
+    encode_stored_document,
+)
+from repro.storage import SqliteBackend
+
+EX = "https://pod.example/profile/card#"
+
+
+def iri(suffix):
+    return NamedNode(EX + suffix)
+
+
+TERM_SHAPE_TRIPLES = [
+    Triple(iri("me"), iri("name"), Literal("Zulma")),
+    Triple(iri("me"), iri("name"), Literal("Çınar Ağaçlı", language="tr")),
+    Triple(iri("me"), iri("bio"), Literal("line one\nline \"two\"\ttab\\slash", language="en-GB")),
+    Triple(iri("me"), iri("age"), Literal("42", datatype=XSD_INTEGER)),
+    Triple(iri("me"), iri("score"), Literal("6.02E23", datatype=XSD_DOUBLE)),
+    Triple(iri("me"), iri("born"), Literal("1990-05-04T12:30:00Z", datatype=XSD_DATETIME)),
+    Triple(BlankNode("b0"), iri("knows"), BlankNode("b1")),
+    Triple(iri("me"), iri("address"), BlankNode("addr")),
+    Triple(iri("me"), iri("homepage"), NamedNode("https://example.org/päge?q=a&b=c#frag")),
+    Triple(iri("me"), iri("note"), Literal("x" * 5000)),  # long literal
+]
+
+
+class TestDocumentCodec:
+    def test_every_term_shape_round_trips(self):
+        store = DocumentStore()
+        document = store.put("https://pod.example/doc", 'W/"v1"', TERM_SHAPE_TRIPLES)
+        decoded = decode_stored_document(encode_stored_document(document))
+        assert decoded.url == document.url
+        assert decoded.validator == document.validator
+        assert decoded.triples == tuple(TERM_SHAPE_TRIPLES)
+        assert decoded.links == document.links
+
+    def test_age_survives_the_clock_translation(self):
+        store = DocumentStore()
+        document = store.put("https://pod.example/doc", "sha1:abc", TERM_SHAPE_TRIPLES)
+        decoded = decode_stored_document(encode_stored_document(document))
+        # Persisted entries carry wall-clock stamps; the decoded monotonic
+        # stored_at must reconstruct (approximately) the same age.
+        assert abs(decoded.stored_at - document.stored_at) < 2.0
+
+
+class TestDocumentStoreRestart:
+    URL = "https://pod.example/profile/card"
+
+    def _warm_store(self, path):
+        backend = SqliteBackend(path)
+        store = DocumentStore(backend=backend)
+        store.put(self.URL, 'W/"v1"', TERM_SHAPE_TRIPLES)
+        backend.close()
+
+    def test_lookup_hits_across_restart(self, tmp_path):
+        path = str(tmp_path / "store.sqlite")
+        self._warm_store(path)
+
+        backend = SqliteBackend(path)
+        try:
+            store = DocumentStore(backend=backend)
+            assert len(store) == 1
+            document = store.lookup(self.URL, 'W/"v1"')
+            assert document is not None
+            assert store.hits == 1
+            assert document.triples == tuple(TERM_SHAPE_TRIPLES)
+            assert document.validator == 'W/"v1"'
+        finally:
+            backend.close()
+
+    def test_validator_keyed_invalidation_after_restart(self, tmp_path):
+        path = str(tmp_path / "store.sqlite")
+        self._warm_store(path)
+
+        backend = SqliteBackend(path)
+        try:
+            store = DocumentStore(backend=backend)
+            # The document changed upstream while we were down: the
+            # revalidation machinery now presents a different validator.
+            assert store.lookup(self.URL, 'W/"v2"') is None
+            assert store.invalidations == 1 and store.misses == 1
+            # The stale entry is gone from both tiers — the next lookup
+            # is an ordinary cold miss (re-parse path).
+            assert self.URL not in store
+            assert store.lookup(self.URL, 'W/"v2"') is None
+            assert store.invalidations == 1  # no double-count
+        finally:
+            backend.close()
+
+    def test_validator_digest_form_survives(self, tmp_path):
+        path = str(tmp_path / "store.sqlite")
+        backend = SqliteBackend(path)
+        validator = DocumentStore.validator_for(Response(200, {}, b"body-bytes"))
+        assert validator.startswith("sha1:")
+        store = DocumentStore(backend=backend)
+        store.put(self.URL, validator, TERM_SHAPE_TRIPLES[:2])
+        backend.close()
+
+        reopened = SqliteBackend(path)
+        try:
+            assert DocumentStore(backend=reopened).lookup(self.URL, validator) is not None
+        finally:
+            reopened.close()
+
+
+class TestCacheEntryCodec:
+    def _entry(self, max_age=300.0):
+        response = Response(
+            200,
+            {"content-type": "text/turtle", "etag": '"v1"'},
+            "décodage \n\"quoted\"".encode("utf-8"),
+        )
+        return CacheEntry(
+            response=response,
+            etag='"v1"',
+            stored_at=time.monotonic(),
+            max_age=max_age,
+            url="https://pod.example/doc",
+        )
+
+    def test_round_trip(self):
+        entry = self._entry()
+        decoded = decode_cache_entry(encode_cache_entry(entry))
+        assert decoded.url == entry.url
+        assert decoded.etag == entry.etag
+        assert decoded.max_age == entry.max_age
+        assert decoded.response.status == 200
+        assert decoded.response.headers == entry.response.headers
+        assert decoded.response.body == entry.response.body
+
+    def test_freshness_window_survives(self):
+        fresh = decode_cache_entry(encode_cache_entry(self._entry(max_age=300.0)))
+        assert fresh.is_fresh()
+        stale = decode_cache_entry(encode_cache_entry(self._entry(max_age=0.0)))
+        assert not stale.is_fresh()
+
+
+class TestHttpCacheRestart:
+    def test_lookup_across_restart(self, tmp_path):
+        path = str(tmp_path / "store.sqlite")
+        backend = SqliteBackend(path)
+        cache = HttpCache(default_max_age=300, backend=backend)
+        cache.store(
+            "https://pod.example/doc",
+            Response(200, {"etag": '"v1"'}, b"payload"),
+        )
+        backend.close()
+
+        reopened = SqliteBackend(path)
+        try:
+            warm = HttpCache(default_max_age=300, backend=reopened)
+            assert len(warm) == 1
+            entry = warm.lookup("https://pod.example/doc")
+            assert entry is not None
+            assert entry.response.body == b"payload"
+            assert entry.etag == '"v1"'
+            # Stored moments ago: still inside its freshness window, so a
+            # warm restart serves it without touching the network at all.
+            assert entry.is_fresh()
+        finally:
+            reopened.close()
+
+    def test_both_tiers_share_one_file(self, tmp_path):
+        backend = SqliteBackend(str(tmp_path / "store.sqlite"))
+        try:
+            cache = HttpCache(backend=backend)
+            store = DocumentStore(backend=backend)
+            cache.store("https://pod.example/doc", Response(200, {}, b"x"))
+            store.put("https://pod.example/doc", "v", TERM_SHAPE_TRIPLES[:1])
+            assert backend.namespaces() == {"http": 1, "documents": 1}
+        finally:
+            backend.close()
+
+
+class TestAdoptParity:
+    """Satellite 1: HttpCache now has the entries()/adopt() shape."""
+
+    def test_cache_export_import(self):
+        source = HttpCache()
+        source.store("https://pod.example/a", Response(200, {"etag": '"a"'}, b"a"))
+        source.store("https://pod.example/b", Response(200, {"etag": '"b"'}, b"b"))
+        target = HttpCache()
+        assert target.adopt_all(source.entries()) == 2
+        assert target.lookup("https://pod.example/a").response.body == b"a"
+        # Adoption answers no request: neither hits nor misses move.
+        assert target.hits == 0 and target.misses == 0
+
+    def test_adopt_requires_url(self):
+        entry = CacheEntry(Response(200), etag="", stored_at=0.0, max_age=0.0)
+        with pytest.raises(ValueError):
+            HttpCache().adopt(entry)

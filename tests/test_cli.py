@@ -154,6 +154,49 @@ class TestServeCommand:
         args = build_serve_arg_parser().parse_args([])
         assert args.max_concurrent == 8 and args.max_queued == 32
         assert args.queue_policy == "fifo" and args.port == 8765
+        assert args.store_path is None and args.backend is None
+
+    def test_serve_stack_warm_restart_over_store_path(self, tmp_path):
+        import urllib.request
+        from urllib.parse import quote
+
+        from repro.cli import build_serve_arg_parser, build_service_stack
+        from repro.solidbench import discover_query
+
+        argv = [
+            "--simulate", "0.01", "--bench-seed", "7", "--port", "0",
+            "--no-latency", "--store-path", str(tmp_path / "store.sqlite"),
+        ]
+
+        def run_lifetime():
+            args = build_serve_arg_parser().parse_args(argv)
+            server = build_service_stack(args)
+            server.start()
+            try:
+                named = discover_query(server.universe, 1, 5)
+                url = (
+                    f"{server.url}sparql?query={quote(named.text)}"
+                    f"&seeds={quote(','.join(named.seeds))}"
+                )
+                with urllib.request.urlopen(url, timeout=60) as response:
+                    document = json.loads(response.read().decode("utf-8"))
+                bindings = document["results"]["bindings"]
+                with urllib.request.urlopen(server.url + "status.json", timeout=10) as r:
+                    status = json.loads(r.read().decode("utf-8"))
+                return bindings, status
+            finally:
+                server.stop()
+                server.service_host.stop()
+
+        cold_bindings, cold_status = run_lifetime()
+        assert cold_status["service"]["storage"]["kind"] == "sqlite"
+        assert cold_status["service"]["document_store"]["parses"] > 0
+
+        # A brand-new stack over the same path answers from the store.
+        warm_bindings, warm_status = run_lifetime()
+        assert warm_bindings == cold_bindings
+        assert warm_status["service"]["document_store"]["parses"] == 0
+        assert warm_status["service"]["document_store"]["hits"] > 0
 
     def test_serve_stack_answers_over_http(self):
         import urllib.request
@@ -179,7 +222,8 @@ class TestServeCommand:
             assert document["results"]["bindings"]
             with urllib.request.urlopen(server.url + "status.json", timeout=10) as r:
                 status = json.loads(r.read().decode("utf-8"))
-            assert status["mode"] == "service"
+            assert status["schema"] == 2
+            assert status["mode"] == "single"
             assert status["service"]["completed"] == 1
         finally:
             server.stop()

@@ -134,12 +134,22 @@ class TestServiceMode:
     def test_status_json_reports_service(self, service_demo):
         with urllib.request.urlopen(service_demo.url + "status.json", timeout=10) as r:
             document = json.loads(r.read().decode("utf-8"))
-        assert document["mode"] == "service"
+        assert document["schema"] == 2
+        assert document["mode"] == "single"
+        assert document["workers"] == {
+            "total": 1,
+            "ready": 1,
+            "restarts": 0,
+            "routing": None,
+        }
         assert "document_store" in document["service"]
+        assert "storage" in document["service"]
+        assert document["shards"] == {}
         assert isinstance(document["queries"], list)
 
     def test_one_shot_mode_status_json(self, demo):
         with urllib.request.urlopen(demo.url + "status.json", timeout=10) as r:
             document = json.loads(r.read().decode("utf-8"))
+        assert document["schema"] == 2
         assert document["mode"] == "one-shot"
         assert document["service"] is None
