@@ -35,6 +35,14 @@ Runs every registered gate against one freshly built universe and fails
   of the committed ``BENCH_tracing.json`` baseline — instrumentation
   points are identity checks, not work; with a live tracer + metrics
   registry the in-process overhead must stay within ``TOLERANCE`` (20%).
+* **adversarial-hardening gate** — the full hardening stack (per-origin
+  budgets, read/parse caps, fair queueing) must cost ≤10% over the
+  unhardened engine on a benign Discover 8.5 run with identical results,
+  while a hostile deployment's lure-induced work stays bounded: the
+  hardened engine fetches at least ``10×`` fewer documents than the
+  unhardened engine's global-backstop run, and a combined benign+lured
+  run restricted to benign pods matches the adversary-free answer
+  exactly (``BENCH_adversarial.json`` pins the result counts).
 
 Usage::
 
@@ -53,6 +61,11 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
+from bench_adversarial import (  # noqa: E402
+    BASELINE_PATH as ADVERSARIAL_BASELINE_PATH,
+    measure_adversarial,
+    measure_benign_overhead,
+)
 from bench_faults import measure_zero_fault_overhead  # noqa: E402
 from bench_hotpath import BASELINE_PATH, collect_metrics  # noqa: E402
 from bench_quiescence import (  # noqa: E402
@@ -477,6 +490,85 @@ def gate_quiescence(universe) -> list[str]:
     return failures
 
 
+#: Benign-workload overhead ceiling for the full hardening stack.
+ADVERSARIAL_OVERHEAD_CEILING = 1.10
+
+#: Hardened lure-only traversal must induce ≥10× less work than unhardened.
+CONTAINMENT_FLOOR = 10.0
+
+
+def gate_adversarial(universe) -> list[str]:
+    """Hardening ≤10% on benign runs; hostile induced work bounded ≥10×.
+
+    Two absolute claims from DESIGN.md §4e.  The benign side is
+    wall-relative (interleaved paired rounds, median ratio) so machine
+    speed cancels; an over-ceiling reading is re-measured once
+    (contention filter) before failing.  The hostile side is counted in
+    documents, not seconds — the containment ratio replays exactly.
+    ``BENCH_adversarial.json`` pins both result counts and is refreshed
+    by this script under ``REPRO_WRITE_BENCH=1``.
+    """
+    import os
+
+    current = measure_adversarial(universe)
+    if current["overhead_ratio"] >= ADVERSARIAL_OVERHEAD_CEILING:
+        print("over overhead ceiling; re-measuring once (contention filter)")
+        retry = measure_benign_overhead(universe)
+        if retry["overhead_ratio"] < current["overhead_ratio"]:
+            current = {**current, **retry}
+    if os.environ.get("REPRO_WRITE_BENCH") == "1":
+        ADVERSARIAL_BASELINE_PATH.write_text(json.dumps(current, indent=1) + "\n")
+        print(f"wrote {ADVERSARIAL_BASELINE_PATH}: {current}")
+        return []
+    if not ADVERSARIAL_BASELINE_PATH.exists():
+        return [
+            f"no baseline at {ADVERSARIAL_BASELINE_PATH}; "
+            "run this script with REPRO_WRITE_BENCH=1 first"
+        ]
+    baseline = json.loads(ADVERSARIAL_BASELINE_PATH.read_text())
+
+    print(f"{'metric':<24}{'baseline':>14}{'current':>14}")
+    for key in (
+        "plain_wall_s",
+        "hardened_wall_s",
+        "overhead_ratio",
+        "unhardened_induced",
+        "hardened_induced",
+        "containment_ratio",
+    ):
+        print(f"{key:<24}{baseline.get(key)!s:>14}{current.get(key)!s:>14}")
+
+    failures = []
+    if current["overhead_ratio"] >= ADVERSARIAL_OVERHEAD_CEILING:
+        failures.append(
+            f"benign hardening overhead {current['overhead_ratio']:.2f}x "
+            f"(<{ADVERSARIAL_OVERHEAD_CEILING:.2f}x required)"
+        )
+    if not current["identical_results"]:
+        failures.append("hardened benign results diverged from the plain run")
+    if current["containment_ratio"] < CONTAINMENT_FLOOR:
+        failures.append(
+            f"hostile containment only {current['containment_ratio']}x "
+            f"(≥{CONTAINMENT_FLOOR}x induced-work reduction required)"
+        )
+    if not current["benign_identical"]:
+        failures.append(
+            "benign-restricted results under attack diverged from the "
+            "adversary-free run"
+        )
+    if current["results"] != baseline.get("results"):
+        failures.append(
+            f"benign bench result count changed: "
+            f"{baseline.get('results')} -> {current['results']}"
+        )
+    if current["benign_results"] != baseline.get("benign_results"):
+        failures.append(
+            f"adversary-free reference result count changed: "
+            f"{baseline.get('benign_results')} -> {current['benign_results']}"
+        )
+    return failures
+
+
 GATES = (
     ("hot path vs baseline", gate_hotpath),
     ("zero-fault resilience overhead", gate_fault_overhead),
@@ -485,6 +577,7 @@ GATES = (
     ("warm restart (persistent store)", gate_warmrestart),
     ("sharded scale-out", gate_scaleout),
     ("quiescence flush", gate_quiescence),
+    ("adversarial hardening", gate_adversarial),
 )
 
 

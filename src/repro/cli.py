@@ -132,7 +132,31 @@ def build_arg_parser() -> argparse.ArgumentParser:
         choices=sorted(QUEUE_POLICIES),
         default="fifo",
         help="link queue discipline: fifo = breadth-first (default), "
-        "lifo = depth-first, priority = shallowest-link-first",
+        "lifo = depth-first, priority = shallowest-link-first, "
+        "fair = round-robin across origins (starvation-resistant)",
+    )
+    parser.add_argument(
+        "--max-depth",
+        type=int,
+        default=0,
+        metavar="N",
+        help="drop links more than N hops from a seed (0 = unbounded)",
+    )
+    parser.add_argument(
+        "--max-origin-derefs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="per-origin dereference budget: refuse further links from an "
+        "origin after N documents (0 = unbounded)",
+    )
+    parser.add_argument(
+        "--max-doc-bytes",
+        type=int,
+        default=0,
+        metavar="B",
+        help="per-document size cap in bytes: abort transfers and refuse "
+        "parses over B (0 = unbounded)",
     )
     parser.add_argument("--limit", type=int, default=0, help="stop after N results (0 = all)")
     parser.add_argument(
@@ -195,7 +219,29 @@ def build_serve_arg_parser() -> argparse.ArgumentParser:
         "--queue-policy",
         choices=sorted(QUEUE_POLICIES),
         default="fifo",
-        help="link queue discipline for every query (default fifo)",
+        help="link queue discipline for every query (default fifo; "
+        "'fair' round-robins dereferences across origins)",
+    )
+    parser.add_argument(
+        "--max-depth",
+        type=int,
+        default=0,
+        metavar="N",
+        help="per-query link-depth bound (0 = unbounded)",
+    )
+    parser.add_argument(
+        "--max-origin-derefs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="per-origin dereference budget per query (0 = unbounded)",
+    )
+    parser.add_argument(
+        "--max-doc-bytes",
+        type=int,
+        default=0,
+        metavar="B",
+        help="per-document size cap in bytes (0 = unbounded)",
     )
     parser.add_argument(
         "--no-latency", action="store_true", help="disable simulated network latency"
@@ -233,6 +279,24 @@ def build_serve_arg_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _engine_config(args, **extra) -> EngineConfig:
+    """An :class:`EngineConfig` carrying the shared hardening flags.
+
+    ``--max-doc-bytes`` installs the same bound on both sides of the
+    dereference: the network client aborts oversized transfers
+    (``max_response_bytes``) and the dereferencer refuses oversized
+    bodies arriving from cache or store (``max_parse_bytes``).
+    """
+    config = EngineConfig(**extra)
+    config.max_depth = getattr(args, "max_depth", 0)
+    config.max_origin_derefs = getattr(args, "max_origin_derefs", 0)
+    doc_bytes = getattr(args, "max_doc_bytes", 0)
+    if doc_bytes:
+        config.max_response_bytes = doc_bytes
+        config.max_parse_bytes = doc_bytes
+    return config
+
+
 def build_service_stack(args):
     """Wire universe → shared resources → service → host → web UI.
 
@@ -260,6 +324,9 @@ def build_service_stack(args):
             max_queued=args.max_queued,
             default_max_documents=args.max_documents,
             default_max_duration=args.max_duration,
+            max_depth=getattr(args, "max_depth", 0),
+            max_origin_derefs=getattr(args, "max_origin_derefs", 0),
+            max_doc_bytes=getattr(args, "max_doc_bytes", 0),
             store_path=store_path,
             storage_backend=storage_backend,
         )
@@ -278,7 +345,7 @@ def build_service_stack(args):
         )
         service = QueryService(
             resources,
-            config=EngineConfig(queue_policy=args.queue_policy),
+            config=_engine_config(args, queue_policy=args.queue_policy),
             max_concurrent=args.max_concurrent,
             max_queued=args.max_queued,
             default_max_documents=args.max_documents,
@@ -392,8 +459,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         network.request_timeout = args.timeout
     engine = LinkTraversalEngine(
         client,
-        config=EngineConfig(
-            network=network, lenient=args.lenient, queue_policy=args.queue_policy
+        config=_engine_config(
+            args, network=network, lenient=args.lenient, queue_policy=args.queue_policy
         ),
         auth_headers=auth_headers,
     )

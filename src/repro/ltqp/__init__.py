@@ -32,6 +32,7 @@ from .extractors import (
     default_extractors,
 )
 from .links import (
+    FairLinkQueue,
     FifoLinkQueue,
     LifoLinkQueue,
     Link,
@@ -71,6 +72,7 @@ __all__ = [
     "FifoLinkQueue",
     "LifoLinkQueue",
     "PriorityLinkQueue",
+    "FairLinkQueue",
     "QUEUE_POLICIES",
     "queue_factory_for",
     "QueueSample",

@@ -62,6 +62,16 @@ class DereferenceResult:
     retryable: bool = False
     #: Parse was skipped: the triples came from the parsed-document store.
     from_store: bool = False
+    #: Budget kind that refused this document (``"doc-bytes"`` when the
+    #: client aborted the transfer at its read cap, ``"parse-bytes"``
+    #: when the body arrived but exceeded the parse cap).  Empty for
+    #: ordinary successes and failures.  Refusals are never retryable:
+    #: the document will be over the cap on every retry too.
+    refused: str = ""
+    #: Bytes actually transferred for this document (at most the client
+    #: read cap when the transfer was aborted) — what per-origin byte
+    #: budgets are charged with.
+    bytes_fetched: int = 0
 
     @property
     def ok(self) -> bool:
@@ -79,12 +89,19 @@ class Dereferencer:
         max_redirects: int = 5,
         tracer=None,
         document_store=None,
+        max_parse_bytes: int = 0,
     ) -> None:
         self._client = client
         self._lenient = lenient
         self._extra_headers = dict(extra_headers or {})
         self._max_redirects = max_redirects
         self._document_counter = 0
+        #: Global parse-size cap: a body larger than this is refused
+        #: (kind ``"parse-bytes"``) *before* decoding or tokenizing, so a
+        #: hostile document cannot buy CPU with bytes.  ``0`` disables.
+        #: Public so an engine adopting a shared dereferencer can install
+        #: its execution's cap.
+        self.max_parse_bytes = max_parse_bytes
         #: Optional :class:`~repro.obs.trace.Tracer`; when set, each
         #: dereference records ``parse`` spans under ``trace_parent``.
         #: Per-call ``tracer=`` arguments override it, so one shared
@@ -138,6 +155,22 @@ class Dereferencer:
         else:
             return self._failure(clean_url, 0, "too many redirects")
         if response.status == 0:
+            if response.header("x-error") == "body-too-large":
+                # The client aborted the transfer at its read cap.  This
+                # is a policy refusal, not a network failure — and it is
+                # permanent: the body is over the cap on every retry.
+                result = self._failure(
+                    clean_url, 0, "refused: response body over read cap"
+                )
+                result.refused = "doc-bytes"
+                try:
+                    result.bytes_fetched = min(
+                        int(response.header("x-refused-bytes") or 0),
+                        self._client.policy.max_response_bytes or 0,
+                    )
+                except ValueError:
+                    result.bytes_fetched = 0
+                return result
             return self._failure(
                 clean_url, 0, "connection failed", retryable=_response_retryable(response)
             )
@@ -154,6 +187,18 @@ class Dereferencer:
         self, url: str, response: Response, trace_parent=None, tracer=None
     ) -> DereferenceResult:
         content_type = response.content_type
+        body_bytes = len(response.body)
+        if self.max_parse_bytes and body_bytes > self.max_parse_bytes:
+            # Checked on the raw byte length before any decode/tokenize
+            # work — an oversized document costs O(1) CPU to refuse.
+            result = self._failure(
+                url,
+                response.status,
+                f"refused: document of {body_bytes} bytes over parse cap",
+            )
+            result.refused = "parse-bytes"
+            result.bytes_fetched = body_bytes
+            return result
         store = self.document_store
         if store is not None:
             validator = store.validator_for(response)
@@ -164,6 +209,7 @@ class Dereferencer:
                     status=response.status,
                     triples=list(stored.triples),
                     from_store=True,
+                    bytes_fetched=body_bytes,
                 )
         self._document_counter += 1
         parse_started = tracer.clock() if tracer is not None else 0.0
@@ -211,7 +257,9 @@ class Dereferencer:
             )
         if store is not None:
             store.put(url, validator, triples)
-        return DereferenceResult(url=url, status=response.status, triples=triples)
+        return DereferenceResult(
+            url=url, status=response.status, triples=triples, bytes_fetched=body_bytes
+        )
 
     def _failure(
         self, url: str, status: int, message: str, retryable: bool = False

@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from typing import AsyncIterator, Iterable, Optional, Union as TypingUnion
 
 from ..net.client import HttpClient
+from ..net.message import split_url
 from ..net.resilience import NetworkPolicy
 from ..rdf.terms import NamedNode
 from ..rdf.triples import Triple
@@ -86,6 +87,24 @@ class TraversalPolicy:
     max_depth: int = 0
     max_duration: float = 0.0
     max_results: int = 0
+    #: Per-origin dereference budget: at most this many documents are
+    #: taken from any single origin per execution; further links from
+    #: that origin are *refused* (kind ``origin-derefs``) and attributed
+    #: in ``ExecutionStats.completeness()``.  A link-trap origin spinning
+    #: an infinite container chain therefore costs a bounded number of
+    #: requests.  ``0`` disables.
+    max_origin_derefs: int = 0
+    #: Per-origin byte budget: once an origin has served this many body
+    #: bytes, further links from it are refused (kind ``origin-bytes``).
+    #: Bounds growing-document origins whose individual documents stay
+    #: under the per-document caps.  ``0`` disables.
+    max_origin_bytes: int = 0
+    #: Global parse-size cap, installed on the dereferencer: a body over
+    #: this many bytes is refused before decode/tokenize work (kind
+    #: ``parse-bytes``).  The network-side counterpart — aborting the
+    #: transfer itself — is ``NetworkPolicy.max_response_bytes``.
+    #: ``0`` disables.
+    max_parse_bytes: int = 0
     lenient: bool = True
     follow_unknown_origins: bool = True
     adaptive: bool = False
@@ -110,6 +129,45 @@ class TraversalPolicy:
 
 _TRAVERSAL_FIELDS = frozenset(f.name for f in dataclasses.fields(TraversalPolicy))
 _NETWORK_FIELDS = frozenset(f.name for f in dataclasses.fields(NetworkPolicy))
+
+
+def _origin_of(url: str) -> str:
+    try:
+        origin, _, _ = split_url(url)
+    except ValueError:
+        return ""
+    return origin
+
+
+class _OriginBudgets:
+    """Per-execution ledger of what each origin has cost so far.
+
+    ``admit`` is the gate :meth:`LinkTraversalEngine._process_link` asks
+    before dereferencing: it returns the budget kind that refuses the
+    link (``"origin-derefs"`` / ``"origin-bytes"``) or ``""`` to admit,
+    charging the dereference on admission.  Body bytes are charged after
+    the fetch via ``charge_bytes``.
+    """
+
+    __slots__ = ("_derefs", "_bytes")
+
+    def __init__(self) -> None:
+        self._derefs: dict[str, int] = {}
+        self._bytes: dict[str, int] = {}
+
+    def admit(self, origin: str, traversal: TraversalPolicy) -> str:
+        cap = traversal.max_origin_derefs
+        if cap and self._derefs.get(origin, 0) >= cap:
+            return "origin-derefs"
+        cap = traversal.max_origin_bytes
+        if cap and self._bytes.get(origin, 0) >= cap:
+            return "origin-bytes"
+        self._derefs[origin] = self._derefs.get(origin, 0) + 1
+        return ""
+
+    def charge_bytes(self, origin: str, count: int) -> None:
+        if count:
+            self._bytes[origin] = self._bytes.get(origin, 0) + count
 
 
 class EngineConfig:
@@ -773,7 +831,14 @@ class LinkTraversalEngine:
                 lenient=config.lenient,
                 extra_headers=self._auth_headers,
                 tracer=tracer,
+                max_parse_bytes=config.max_parse_bytes,
             )
+        elif config.max_parse_bytes and not dereferencer.max_parse_bytes:
+            # A shared (service-owned) dereferencer keeps its own cap if it
+            # has one; otherwise this execution's cap is installed for good
+            # (the service configures all executions uniformly).
+            dereferencer.max_parse_bytes = config.max_parse_bytes
+        budgets = _OriginBudgets()
         in_flight = 0
         wake = asyncio.Condition()
 
@@ -805,6 +870,7 @@ class LinkTraversalEngine:
                         traversal_span=traversal_span,
                         clock=clock,
                         track=track,
+                        budgets=budgets,
                     )
                 finally:
                     async with wake:
@@ -836,6 +902,7 @@ class LinkTraversalEngine:
         traversal_span=None,
         clock=time.monotonic,
         track: int = 0,
+        budgets: Optional[_OriginBudgets] = None,
     ) -> None:
         if config is None:
             config = self._config
@@ -865,10 +932,34 @@ class LinkTraversalEngine:
                 attempt=link.attempts + 1,
             )
             tracer.add("queue-wait", enqueued_at, popped_at, parent=deref_span)
+        origin = _origin_of(link.url)
         try:
+            # Origin-budget gate — after span creation, so every refusal
+            # leaves a ``dereference`` span with ``outcome: refused`` for
+            # the trace/stats reconciliation to count.
+            if budgets is not None:
+                refusal = budgets.admit(origin, config.traversal)
+                if refusal:
+                    stats.note_refusal(refusal, origin)
+                    if deref_span is not None:
+                        deref_span.args["outcome"] = "refused"
+                        deref_span.args["refused"] = refusal
+                    return
             result = await dereferencer.dereference(
                 link.url, parent_url=link.parent_url, trace_parent=deref_span, tracer=tracer
             )
+            if budgets is not None:
+                budgets.charge_bytes(origin, result.bytes_fetched)
+            if result.refused:
+                # Per-document cap (client read abort or parse cap): a
+                # deliberate, attributed, never-retried refusal — not a
+                # network failure.
+                stats.note_refusal(result.refused, origin)
+                if deref_span is not None:
+                    deref_span.args["outcome"] = "refused"
+                    deref_span.args["refused"] = result.refused
+                    deref_span.args["error"] = result.error
+                return
             if not result.ok:
                 stats.documents_failed += 1
                 outcome = "failed"
@@ -906,6 +997,11 @@ class LinkTraversalEngine:
                     deref_span.args["from_store"] = True
 
             if config.max_depth and link.depth >= config.max_depth:
+                # Attribution only (``document=False``): the document itself
+                # was taken, but its out-links are suppressed at the depth
+                # budget — the completeness report says so without marking
+                # the run incomplete.
+                stats.note_refusal("depth", origin, document=False)
                 return
             extract_started = clock() if tracer is not None else 0.0
             links_pushed = 0

@@ -10,8 +10,11 @@ from __future__ import annotations
 
 import heapq
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
+
+from ..net.message import split_url
 
 __all__ = [
     "Link",
@@ -19,6 +22,7 @@ __all__ = [
     "FifoLinkQueue",
     "LifoLinkQueue",
     "PriorityLinkQueue",
+    "FairLinkQueue",
     "QueueSample",
     "QUEUE_POLICIES",
     "queue_factory_for",
@@ -251,12 +255,73 @@ class PriorityLinkQueue(LinkQueue):
         return len(self._heap)
 
 
+class FairLinkQueue(LinkQueue):
+    """Round-robin across origins — the anti-starvation discipline.
+
+    Each origin gets its own FIFO lane; ``pop`` serves one link from the
+    origin at the head of a rotation, then moves that origin to the back.
+    Within a round, every origin with pending links is served exactly
+    once, so an origin holding 1000 links cannot delay another origin's
+    first dereference by more than one round.  This is the queue-side
+    half of the adversarial hardening (DESIGN.md §4e): a hostile pod can
+    fill its own lane, never the queue.
+
+    Newly seen origins join the *back* of the rotation (they wait at most
+    one full round), and an origin whose lane drains leaves the rotation
+    until it has links again.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._lanes: dict[str, deque[Link]] = {}
+        self._rotation: deque[str] = deque()
+        self._size = 0
+
+    @staticmethod
+    def _lane_key(url: str) -> str:
+        try:
+            origin, _, _ = split_url(url)
+        except ValueError:
+            return ""  # unparseable URLs share a lane; dereference rejects them
+        return origin
+
+    def _push_impl(self, link: Link) -> None:
+        origin = self._lane_key(link.url)
+        lane = self._lanes.get(origin)
+        if lane is None:
+            lane = self._lanes[origin] = deque()
+            self._rotation.append(origin)
+        lane.append(link)
+        self._size += 1
+
+    def _pop_impl(self) -> Link:
+        while self._rotation:
+            origin = self._rotation[0]
+            lane = self._lanes.get(origin)
+            if not lane:
+                # Lane drained since its last turn: retire it.  A later
+                # push for this origin re-creates lane and rotation entry
+                # together, so the two structures never disagree.
+                self._rotation.popleft()
+                self._lanes.pop(origin, None)
+                continue
+            link = lane.popleft()
+            self._rotation.rotate(-1)
+            self._size -= 1
+            return link
+        raise IndexError("pop from empty link queue")
+
+    def __len__(self) -> int:
+        return self._size
+
+
 #: Named queue disciplines selectable via ``TraversalPolicy.queue_policy``
 #: (and the CLI ``--queue-policy`` flag).
 QUEUE_POLICIES: dict[str, Callable[[], LinkQueue]] = {
     "fifo": FifoLinkQueue,
     "lifo": LifoLinkQueue,
     "priority": PriorityLinkQueue,
+    "fair": FairLinkQueue,
 }
 
 

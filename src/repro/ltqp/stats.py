@@ -74,6 +74,30 @@ class ExecutionStats:
     #: Origin → number of closed→open breaker transitions in this run.
     origins_tripped: dict[str, int] = field(default_factory=dict)
 
+    # -- refusal accounting (adversarial hardening budgets) -----------------
+    #: Documents the engine *chose* not to take: origin dereference/byte
+    #: budgets, the client read cap, or the parse cap.  Distinct from
+    #: ``documents_abandoned`` (wanted but lost to faults) — a refusal is
+    #: deliberate, attributed, and never retried.
+    documents_refused: int = 0
+    #: Budget kind → refusal count.  Kinds: ``origin-derefs``,
+    #: ``origin-bytes``, ``doc-bytes`` (client read cap), ``parse-bytes``
+    #: (parse cap), ``depth`` (link-extraction suppressed at max depth —
+    #: attribution only, not counted in ``documents_refused``).
+    refusals_by_kind: dict[str, int] = field(default_factory=dict)
+    #: Origin → refusal count (same attribution, sliced by who caused it).
+    refusals_by_origin: dict[str, int] = field(default_factory=dict)
+
+    def note_refusal(self, kind: str, origin: str, document: bool = True) -> None:
+        """Attribute one budget refusal to ``kind`` and ``origin``.
+
+        ``document=False`` records attribution without counting a refused
+        document (depth suppression: the document itself was taken)."""
+        if document:
+            self.documents_refused += 1
+        self.refusals_by_kind[kind] = self.refusals_by_kind.get(kind, 0) + 1
+        self.refusals_by_origin[origin] = self.refusals_by_origin.get(origin, 0) + 1
+
     def note_shutdown_error(self, stage: str, error: BaseException) -> None:
         """Record an exception swallowed during task teardown."""
         self.shutdown_errors.append(f"{stage}: {type(error).__name__}: {error}")
@@ -90,8 +114,9 @@ class ExecutionStats:
 
     @property
     def documents_attempted(self) -> int:
-        """Distinct documents traversal tried to obtain (fetched or lost)."""
-        return self.documents_fetched + self.documents_abandoned
+        """Distinct documents traversal tried to obtain (fetched, lost,
+        or refused by a hardening budget)."""
+        return self.documents_fetched + self.documents_abandoned + self.documents_refused
 
     def estimated_missing_links(self) -> int:
         """How many links the abandoned documents likely held.
@@ -111,11 +136,14 @@ class ExecutionStats:
     def completeness(self) -> dict:
         """The degradation report: what lenient execution may have lost."""
         return {
-            "complete": self.documents_abandoned == 0,
+            "complete": self.documents_abandoned == 0 and self.documents_refused == 0,
             "documents_attempted": self.documents_attempted,
             "documents_fetched": self.documents_fetched,
             "documents_retried": self.documents_retried,
             "documents_abandoned": self.documents_abandoned,
+            "documents_refused": self.documents_refused,
+            "refusals_by_kind": dict(sorted(self.refusals_by_kind.items())),
+            "refusals_by_origin": dict(sorted(self.refusals_by_origin.items())),
             "http_retries": self.http_retries,
             "http_timeouts": self.http_timeouts,
             "breaker_fast_fails": self.breaker_fast_fails,

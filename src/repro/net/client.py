@@ -53,6 +53,8 @@ def _error_text(response: Response) -> str:
         return "connection failed (unknown origin)"
     if marker == "timeout":
         return "request timed out"
+    if marker == "body-too-large":
+        return "response body too large"
     if marker == "circuit-open":
         return "circuit breaker open"
     if response.header("x-fault"):
@@ -295,7 +297,27 @@ class HttpClient:
                         response = Response(0, {"x-error": "timeout"}, b"")
                     except Exception as error:  # a buggy app is a 500, not a crash
                         response = Response(500, {"content-type": "text/plain"}, str(error).encode())
-                    delay = self._latency.latency_for(clean_url, len(response.body))
+                    cap = self._policy.max_response_bytes
+                    if cap and len(response.body) > cap:
+                        # Abort the transfer *at* the cap: the oversized tail
+                        # is never read, so latency is paid for at most
+                        # ``cap`` bytes and no downstream layer ever holds
+                        # the full body.  Permanent — see
+                        # ``PERMANENT_ERROR_MARKERS``.
+                        self._resilience.body_cap_aborts += 1
+                        if metrics is not None:
+                            metrics.counter("http.body_cap_aborts").inc()
+                        response = Response(
+                            0,
+                            {
+                                "x-error": "body-too-large",
+                                "x-refused-bytes": str(len(response.body)),
+                            },
+                            b"",
+                        )
+                        delay = self._latency.latency_for(clean_url, cap)
+                    else:
+                        delay = self._latency.latency_for(clean_url, len(response.body))
                     if delay > 0 and self._latency_scale > 0:
                         await asyncio.sleep(delay * self._latency_scale)
                     finished = clock()

@@ -57,6 +57,14 @@ class FaultRule:
     retry_after: float = 0.0
     #: Extra simulated delay for ``delay``/``trickle`` (seconds).
     delay_seconds: float = 0.05
+    #: For ``kind="trickle"``: when > 0, the delay also scales with the
+    #: response size — ``delay_seconds + len(body) / drip_bytes_per_second``
+    #: — modelling a server that drips bytes at a fixed rate, so bigger
+    #: documents stall longer.  The sleep happens inside the dispatch the
+    #: client wraps in its per-attempt timeout, which is exactly the
+    #: defense: a trickling origin costs at most ``request_timeout`` per
+    #: attempt.
+    drip_bytes_per_second: float = 0.0
     #: For ``kind="flap"``: window length and down-fraction, in requests.
     flap_period: int = 8
     flap_down: int = 4
@@ -191,5 +199,11 @@ class FaultPlan:
                 headers["retry-after"] = f"{rule.retry_after:g}"
             return Response(rule.status, headers, b"injected fault")
         # delay / trickle: the response is intact but late.
+        if rule.kind == "trickle" and rule.drip_bytes_per_second > 0:
+            response = await forward()
+            await asyncio.sleep(
+                rule.delay_seconds + len(response.body) / rule.drip_bytes_per_second
+            )
+            return response
         await asyncio.sleep(rule.delay_seconds)
         return await forward()

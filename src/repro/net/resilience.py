@@ -46,8 +46,9 @@ __all__ = [
 RETRYABLE_STATUSES = frozenset({0, 408, 429, 500, 502, 503, 504})
 
 #: ``x-error`` marker values that make a status-0 response *permanent*
-#: (an unresolvable host is NXDOMAIN, not a transient blip).
-PERMANENT_ERROR_MARKERS = frozenset({"unknown-origin"})
+#: (an unresolvable host is NXDOMAIN, not a transient blip; a response
+#: body over the read cap will be over it on every retry too).
+PERMANENT_ERROR_MARKERS = frozenset({"unknown-origin", "body-too-large"})
 
 
 @dataclass(slots=True)
@@ -251,6 +252,13 @@ class NetworkPolicy:
 
     #: Per-attempt timeout in simulated seconds (0 disables).
     request_timeout: float = 5.0
+    #: Hard cap on a response body, enforced *while the body is read*:
+    #: a transfer that exceeds it is aborted and surfaces as a status-0
+    #: response marked ``x-error: body-too-large`` (permanent — the body
+    #: will be over the cap on every retry).  An unbounded-document
+    #: attack therefore costs at most ``max_response_bytes`` of memory
+    #: and transfer per document.  ``0`` disables the cap.
+    max_response_bytes: int = 0
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     breaker: BreakerPolicy = field(default_factory=BreakerPolicy)
     #: How many times the *dereferencer* may re-queue a link whose fetch
@@ -282,6 +290,9 @@ class ResilienceStats:
     retry_after_waits: int = 0
     breaker_fast_fails: int = 0
     budget_exhausted: int = 0
+    #: Transfers aborted mid-read because the body exceeded
+    #: :attr:`NetworkPolicy.max_response_bytes`.
+    body_cap_aborts: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -291,4 +302,5 @@ class ResilienceStats:
             "retry_after_waits": self.retry_after_waits,
             "breaker_fast_fails": self.breaker_fast_fails,
             "budget_exhausted": self.budget_exhausted,
+            "body_cap_aborts": self.body_cap_aborts,
         }

@@ -79,6 +79,13 @@ class Internet:
     def register(self, origin: str, app: App) -> None:
         self._origins[origin.rstrip("/")] = app
 
+    def unregister(self, origin: str) -> None:
+        """Remove an origin (subsequent requests behave like NXDOMAIN).
+
+        Lets tests deploy and retract hostile origins around a single
+        universe without rebuilding it."""
+        self._origins.pop(origin.rstrip("/"), None)
+
     def set_fallback(self, app: App) -> None:
         self._fallback = app
 

@@ -39,6 +39,7 @@ _SIGNATURE_ARGS = (
     "via",
     "depth",
     "outcome",
+    "refused",
     "from_cache",
     "revalidated",
     "retried",
@@ -68,6 +69,18 @@ def check_trace_invariants(tracer: Tracer) -> list[str]:
         if span.kind == "instant" and span.closed and span.end != span.start:
             violations.append(f"instant {span.name!r} (id {span.span_id}) has duration")
 
+    def _ordering_time(span: Span) -> float:
+        # Dereference spans are backdated to their link's *enqueue* time
+        # (queue wait included), so under non-FIFO queue disciplines
+        # (lifo/priority/fair) sibling starts legitimately run backwards.
+        # Order siblings by when they actually entered service — the end
+        # of the queue-wait child — which is chronological for every
+        # discipline; spans without a queue-wait child are not backdated.
+        for child in span.children:
+            if child.name == "queue-wait":
+                return child.end
+        return span.start
+
     for parent in spans:
         previous_start: Optional[float] = None
         for child in parent.children:
@@ -86,13 +99,14 @@ def check_trace_invariants(tracer: Tracer) -> list[str]:
                     f"{child.name!r} (id {child.span_id}) ends at {child.end:.6f} "
                     f"after parent {parent.name!r} at {parent.end:.6f}"
                 )
-            if previous_start is not None and child.start < previous_start - _EPS:
+            ordering = _ordering_time(child)
+            if previous_start is not None and ordering < previous_start - _EPS:
                 violations.append(
                     f"sibling {child.name!r} (id {child.span_id}) under "
                     f"{parent.name!r} starts before its predecessor "
-                    f"({child.start:.6f} < {previous_start:.6f})"
+                    f"({ordering:.6f} < {previous_start:.6f})"
                 )
-            previous_start = child.start
+            previous_start = ordering
 
     return violations
 
@@ -167,6 +181,8 @@ def trace_execution_stats(tracer: Tracer) -> dict:
     documents_failed = 0
     documents_retried = 0
     documents_abandoned = 0
+    documents_refused = 0
+    refusals_by_kind: dict[str, int] = {}
     http_retries = 0
     http_timeouts = 0
     breaker_fast_fails = 0
@@ -178,6 +194,11 @@ def trace_execution_stats(tracer: Tracer) -> dict:
             outcome = span.args.get("outcome")
             if outcome == "ok":
                 documents_fetched += 1
+            elif outcome == "refused":
+                # A budget refusal is deliberate, not a failure.
+                documents_refused += 1
+                kind = span.args.get("refused") or "unknown"
+                refusals_by_kind[kind] = refusals_by_kind.get(kind, 0) + 1
             else:
                 documents_failed += 1
                 if outcome == "retried":
@@ -206,6 +227,8 @@ def trace_execution_stats(tracer: Tracer) -> dict:
         "documents_failed": documents_failed,
         "documents_retried": documents_retried,
         "documents_abandoned": documents_abandoned,
+        "documents_refused": documents_refused,
+        "refusals_by_kind": dict(sorted(refusals_by_kind.items())),
         "http_retries": http_retries,
         "http_timeouts": http_timeouts,
         "breaker_fast_fails": breaker_fast_fails,

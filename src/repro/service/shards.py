@@ -88,6 +88,12 @@ class ShardSpec:
     max_queued: int = 32
     default_max_documents: int = 0
     default_max_duration: float = 0.0
+    #: Traversal hardening (see :class:`~repro.ltqp.engine.TraversalPolicy`):
+    #: applied uniformly to every query on every shard.  ``max_doc_bytes``
+    #: caps both the network transfer and the parse admission.
+    max_depth: int = 0
+    max_origin_derefs: int = 0
+    max_doc_bytes: int = 0
     #: Persistence tier (see :mod:`repro.storage`).  On the front-end
     #: spec this is a *directory*; each worker receives a copy with its
     #: own file path under it (``<dir>/<shard-name>.sqlite``), so a
@@ -175,9 +181,17 @@ async def _worker_loop(conn, spec: ShardSpec) -> None:
             store_path=spec.store_path,
             storage_backend=spec.storage_backend,
         )
+        engine_config = EngineConfig(
+            queue_policy=spec.queue_policy,
+            max_depth=spec.max_depth,
+            max_origin_derefs=spec.max_origin_derefs,
+        )
+        if spec.max_doc_bytes:
+            engine_config.max_response_bytes = spec.max_doc_bytes
+            engine_config.max_parse_bytes = spec.max_doc_bytes
         service = QueryService(
             resources,
-            config=EngineConfig(queue_policy=spec.queue_policy),
+            config=engine_config,
             max_concurrent=spec.max_concurrent,
             max_queued=spec.max_queued,
             default_max_documents=spec.default_max_documents,

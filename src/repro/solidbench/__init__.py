@@ -5,6 +5,12 @@ paper demonstrates against (§4.2): an LDBC-SNB-style social network
 fragmented into Solid pods, plus the 37-query "Discover" suite.
 """
 
+from .adversary import (
+    ATTACK_KINDS,
+    AdversaryDeployment,
+    AdversaryPlan,
+    deploy_adversary,
+)
 from .config import Fragmentation, PAPER_SCALE_TARGETS, SolidBenchConfig
 from .fragmenter import PodFragmenter
 from .queries import NamedQuery, TEMPLATE_DESCRIPTIONS, discover_query, discover_suite
@@ -19,6 +25,10 @@ from .validation import (
 )
 
 __all__ = [
+    "ATTACK_KINDS",
+    "AdversaryPlan",
+    "AdversaryDeployment",
+    "deploy_adversary",
     "SolidBenchConfig",
     "Fragmentation",
     "PAPER_SCALE_TARGETS",

@@ -1,0 +1,324 @@
+"""Each attack class is contained by the hardening — and demonstrably
+not contained without it.
+
+Structure per attack:
+
+* a *lure-only* cost comparison (seeds = the hostile entry URL alone):
+  the hardened engine's attack cost — requests answered by the hostile
+  apps, bytes in the request log, fault-injection counters — is bounded
+  by its budget, while the unhardened engine's cost is at least 10×;
+* a *combined* run (benign Discover seeds + lure) proving benign results
+  are untouched by the attack under hardening, with the refusals
+  attributed in ``completeness()`` by kind and origin.
+
+Costs are counted deterministically; only the slow-trickle test touches
+wall clock (the attack *is* time), and there only with a ≥10× seeded
+sleep margin.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.ltqp import TraversalPolicy
+from repro.solidbench.adversary import (
+    AdversaryPlan,
+    POISON_WATERMARK,
+    is_tainted_binding,
+)
+
+from .conftest import (
+    baseline_results,
+    hardened_traversal,
+    no_retry_network,
+    result_key,
+    run_discover,
+)
+
+#: Budget generous enough for the benign host (~91 documents for
+#: Discover 1.5 on the tiny universe) yet binding for hostile origins.
+GENEROUS_DEREFS = 256
+
+
+class TestLinkTrap:
+    def test_lure_only_cost_bounded_10x(self, tiny_universe, adversary):
+        hard_dep = adversary(AdversaryPlan(seed=11, kinds=("link-trap",), origin_prefix="adv-th"))
+        run_discover(
+            tiny_universe,
+            lures=hard_dep.lures,
+            traversal=hardened_traversal(max_origin_derefs=8),
+            benign_seeds=False,
+        )
+        assert hard_dep.total_requests() == 8
+
+        soft_dep = adversary(AdversaryPlan(seed=11, kinds=("link-trap",), origin_prefix="adv-ts"))
+        run_discover(
+            tiny_universe,
+            lures=soft_dep.lures,
+            max_documents=120,  # backstop: without it the trap never ends
+            benign_seeds=False,
+        )
+        assert soft_dep.total_requests() >= 10 * hard_dep.total_requests()
+
+    def test_benign_results_identical_and_refusals_attributed(self, tiny_universe, adversary):
+        dep = adversary(AdversaryPlan(seed=12, kinds=("link-trap",), origin_prefix="adv-tb"))
+        execution = run_discover(
+            tiny_universe,
+            lures=dep.lures,
+            traversal=hardened_traversal(max_origin_derefs=GENEROUS_DEREFS),
+        )
+        assert result_key(execution) == baseline_results(tiny_universe)
+        report = execution.stats.completeness()
+        assert not report["complete"]
+        assert report["refusals_by_kind"]["origin-derefs"] > 0
+        assert set(report["refusals_by_origin"]) == {dep.origins[0]}
+        assert dep.total_requests() <= GENEROUS_DEREFS
+
+    def test_origin_byte_budget_also_contains_the_trap(self, tiny_universe, adversary):
+        dep = adversary(AdversaryPlan(seed=13, kinds=("link-trap",), origin_prefix="adv-ty"))
+        execution = run_discover(
+            tiny_universe,
+            lures=dep.lures,
+            traversal=hardened_traversal(max_origin_derefs=0, max_origin_bytes=4096),
+            benign_seeds=False,
+        )
+        report = execution.stats.completeness()
+        assert report["refusals_by_kind"]["origin-bytes"] > 0
+        # Charged bytes stop a little past the budget (the admitting fetch
+        # may overshoot once), never grow unboundedly.
+        hostile_bytes = sum(
+            r.response_size for r in execution.client.log.records if dep.origins[0] in r.url
+        )
+        assert hostile_bytes < 4 * 4096
+
+
+class TestGrowingDocument:
+    def test_growth_is_cut_at_the_read_cap(self, tiny_universe, adversary):
+        cap = 16 * 1024
+        plan = AdversaryPlan(seed=21, kinds=("growing-doc",), growth_step_triples=192)
+
+        soft_dep = adversary(
+            AdversaryPlan(
+                seed=21, kinds=("growing-doc",), growth_step_triples=192, origin_prefix="adv-gs"
+            )
+        )
+        soft_sizes = []
+        for _ in range(12):
+            execution = run_discover(tiny_universe, lures=soft_dep.lures, benign_seeds=False)
+            soft_sizes.append(
+                max(r.response_size for r in execution.client.log.records if "/doc" in r.url)
+            )
+        # The attack is real: the document grows on every re-fetch, and the
+        # unhardened engine eventually buffers >= 10x what the cap allows.
+        assert soft_sizes == sorted(soft_sizes) and soft_sizes[0] < soft_sizes[-1]
+        assert soft_sizes[-1] >= 10 * cap
+
+        hard_dep = adversary(plan.__class__(**{**_asdict(plan), "origin_prefix": "adv-gh"}))
+        refused_rounds = 0
+        for _ in range(12):
+            execution = run_discover(
+                tiny_universe,
+                lures=hard_dep.lures,
+                network=no_retry_network(max_response_bytes=cap),
+                benign_seeds=False,
+            )
+            report = execution.stats.completeness()
+            if report["refusals_by_kind"].get("doc-bytes"):
+                refused_rounds += 1
+            # No parsed hostile body ever exceeded the cap.
+            assert all(
+                r.response_size <= cap
+                for r in execution.client.log.records
+                if "/doc" in r.url
+            )
+        assert refused_rounds >= 10  # every round past the cap is refused
+
+    def test_benign_results_identical_under_read_cap(self, tiny_universe, adversary):
+        dep = adversary(AdversaryPlan(seed=22, kinds=("growing-doc",), origin_prefix="adv-gb"))
+        execution = run_discover(
+            tiny_universe,
+            lures=dep.lures,
+            traversal=hardened_traversal(max_origin_derefs=GENEROUS_DEREFS),
+            network=no_retry_network(max_response_bytes=16 * 1024),
+        )
+        assert result_key(execution) == baseline_results(tiny_universe)
+
+
+class TestOversizedDocument:
+    def test_read_cap_aborts_the_transfer(self, tiny_universe, adversary):
+        cap = 64 * 1024
+        soft_dep = adversary(
+            AdversaryPlan(seed=31, kinds=("oversized-doc",), oversized_bytes=1 << 20,
+                          origin_prefix="adv-os")
+        )
+        execution = run_discover(tiny_universe, lures=soft_dep.lures, benign_seeds=False)
+        soft_bytes = sum(
+            r.response_size for r in execution.client.log.records if soft_dep.origins[0] in r.url
+        )
+        assert soft_bytes >= 10 * cap  # the unhardened engine swallowed it whole
+
+        hard_dep = adversary(
+            AdversaryPlan(seed=31, kinds=("oversized-doc",), oversized_bytes=1 << 20,
+                          origin_prefix="adv-oh")
+        )
+        execution = run_discover(
+            tiny_universe,
+            lures=hard_dep.lures,
+            network=no_retry_network(max_response_bytes=cap),
+            benign_seeds=False,
+        )
+        report = execution.stats.completeness()
+        assert report["refusals_by_kind"] == {"doc-bytes": 1}
+        assert set(report["refusals_by_origin"]) == {hard_dep.origins[0]}
+        hard_bytes = sum(
+            r.response_size for r in execution.client.log.records if hard_dep.origins[0] in r.url
+        )
+        assert hard_bytes < cap  # only the tiny container body was ever parsed
+        # The refusal is permanent: no retries were burned on it.
+        assert execution.stats.http_retries == 0
+
+    def test_parse_cap_refuses_before_tokenizing(self, tiny_universe, adversary):
+        dep = adversary(
+            AdversaryPlan(seed=32, kinds=("oversized-doc",), oversized_bytes=1 << 20,
+                          origin_prefix="adv-op")
+        )
+        execution = run_discover(
+            tiny_universe,
+            lures=dep.lures,
+            traversal=TraversalPolicy(max_parse_bytes=64 * 1024),
+            benign_seeds=False,
+        )
+        report = execution.stats.completeness()
+        assert report["refusals_by_kind"] == {"parse-bytes": 1}
+        assert not report["complete"]
+
+    def test_benign_results_identical_under_caps(self, tiny_universe, adversary):
+        dep = adversary(
+            AdversaryPlan(seed=33, kinds=("oversized-doc",), oversized_bytes=1 << 20,
+                          origin_prefix="adv-ob")
+        )
+        execution = run_discover(
+            tiny_universe,
+            lures=dep.lures,
+            traversal=hardened_traversal(
+                max_origin_derefs=GENEROUS_DEREFS, max_parse_bytes=256 * 1024
+            ),
+            network=no_retry_network(max_response_bytes=256 * 1024),
+        )
+        assert result_key(execution) == baseline_results(tiny_universe)
+        assert execution.stats.completeness()["refusals_by_kind"]["doc-bytes"] == 1
+
+
+class TestSlowTrickle:
+    def test_timeout_plus_budget_bound_the_stall(self, tiny_universe, adversary):
+        delay = 0.03
+        soft_dep = adversary(
+            AdversaryPlan(seed=41, kinds=("slow-trickle",), trickle_chain=40,
+                          trickle_delay=delay, origin_prefix="adv-ss")
+        )
+        started = time.monotonic()
+        run_discover(tiny_universe, lures=soft_dep.lures, benign_seeds=False)
+        soft_elapsed = time.monotonic() - started
+        soft_injected = soft_dep.fault_plan.injected_by_kind.get("trickle", 0)
+        assert soft_injected >= 40  # paid the full drip for the whole chain
+        assert soft_elapsed >= 40 * delay * 0.9
+        soft_dep.uninstall()  # retract its fault plan before the hardened run
+
+        hard_dep = adversary(
+            AdversaryPlan(seed=41, kinds=("slow-trickle",), trickle_chain=40,
+                          trickle_delay=delay, origin_prefix="adv-sh")
+        )
+        started = time.monotonic()
+        execution = run_discover(
+            tiny_universe,
+            lures=hard_dep.lures,
+            traversal=hardened_traversal(max_origin_derefs=2),
+            network=no_retry_network(request_timeout=0.01, max_link_requeues=2),
+            benign_seeds=False,
+        )
+        hard_elapsed = time.monotonic() - started
+        hard_injected = hard_dep.fault_plan.injected_by_kind.get("trickle", 0)
+        assert hard_injected <= 2  # the origin budget stops re-feeding the stall
+        assert soft_injected >= 10 * hard_injected
+        assert hard_elapsed < soft_elapsed / 2
+        report = execution.stats.completeness()
+        assert report["http_timeouts"] >= 1
+        assert report["refusals_by_kind"].get("origin-derefs", 0) >= 1
+        assert not report["complete"]
+
+    def test_benign_results_identical_under_timeout(self, tiny_universe, adversary):
+        dep = adversary(
+            AdversaryPlan(seed=42, kinds=("slow-trickle",), trickle_chain=8,
+                          trickle_delay=0.05, origin_prefix="adv-sb")
+        )
+        execution = run_discover(
+            tiny_universe,
+            lures=dep.lures,
+            traversal=hardened_traversal(max_origin_derefs=GENEROUS_DEREFS),
+            network=no_retry_network(request_timeout=0.01),
+        )
+        assert result_key(execution) == baseline_results(tiny_universe)
+        assert execution.stats.http_timeouts >= 1
+
+
+class TestPoisoning:
+    def _targets(self, universe):
+        from repro.solidbench import discover_query
+
+        query = discover_query(universe, 1, 5)
+        return [universe.webid(query.person_index)]
+
+    def test_unhardened_results_are_poisoned(self, tiny_universe, adversary):
+        dep = adversary(
+            AdversaryPlan(seed=51, kinds=("poison",), poison_docs=12, origin_prefix="adv-ps"),
+            targets=self._targets(tiny_universe),
+        )
+        execution = run_discover(tiny_universe, lures=dep.lures)
+        tainted = [b for b in execution.bindings if is_tainted_binding(b)]
+        assert tainted, "fabricated posts should reach the unhardened results"
+        assert any(POISON_WATERMARK in repr(b) for b in tainted)
+        assert result_key(execution) != baseline_results(tiny_universe)
+
+    def test_hardened_restricted_results_equal_baseline(self, tiny_universe, adversary):
+        dep = adversary(
+            AdversaryPlan(seed=52, kinds=("poison",), poison_docs=300, origin_prefix="adv-ph"),
+            targets=self._targets(tiny_universe),
+        )
+        execution = run_discover(
+            tiny_universe,
+            lures=dep.lures,
+            traversal=hardened_traversal(max_origin_derefs=GENEROUS_DEREFS),
+        )
+        benign = sorted(
+            repr(b) for b in execution.bindings if not is_tainted_binding(b)
+        )
+        assert benign == baseline_results(tiny_universe)
+        report = execution.stats.completeness()
+        assert report["refusals_by_kind"]["origin-derefs"] > 0
+        assert dep.total_requests() <= GENEROUS_DEREFS
+
+    def test_lure_only_cost_bounded_10x(self, tiny_universe, adversary):
+        hard_dep = adversary(
+            AdversaryPlan(seed=53, kinds=("poison",), poison_docs=120, origin_prefix="adv-pc"),
+            targets=self._targets(tiny_universe),
+        )
+        run_discover(
+            tiny_universe,
+            lures=hard_dep.lures,
+            traversal=hardened_traversal(max_origin_derefs=8),
+            benign_seeds=False,
+        )
+        assert hard_dep.total_requests() == 8
+
+        soft_dep = adversary(
+            AdversaryPlan(seed=53, kinds=("poison",), poison_docs=120, origin_prefix="adv-pd"),
+            targets=self._targets(tiny_universe),
+        )
+        run_discover(tiny_universe, lures=soft_dep.lures, benign_seeds=False)
+        assert soft_dep.total_requests() >= 10 * hard_dep.total_requests()
+
+
+def _asdict(plan: AdversaryPlan) -> dict:
+    import dataclasses
+
+    return {f.name: getattr(plan, f.name) for f in dataclasses.fields(plan)}

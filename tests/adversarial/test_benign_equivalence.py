@@ -1,0 +1,67 @@
+"""Hypothesis property: hardening makes any adversary unobservable in
+benign results.
+
+For *any* seeded :class:`AdversaryPlan` (any non-empty subset of the five
+attack classes, any seed), the hardened engine's results restricted to
+benign pods are multiset-identical to the adversary-free run.  Lures are
+delivered as extra seeds — benign documents are never modified — so the
+only way the property could fail is hostile data displacing, duplicating,
+or suppressing benign results.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.solidbench import deploy_adversary, discover_query
+from repro.solidbench.adversary import ATTACK_KINDS, AdversaryPlan, is_tainted_binding
+
+from .conftest import baseline_results, hardened_traversal, no_retry_network, run_discover
+
+#: Budgets generous for the benign host, binding for hostile origins.
+_DEREFS = 256
+_READ_CAP = 32 * 1024
+
+
+def _plan(seed: int, kinds: tuple[str, ...]) -> AdversaryPlan:
+    return AdversaryPlan(
+        seed=seed,
+        kinds=kinds,
+        oversized_bytes=128 * 1024,
+        trickle_chain=6,
+        trickle_delay=0.004,
+        poison_docs=6,
+        growth_step_triples=64,
+    )
+
+
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=99_999),
+    kinds=st.sets(st.sampled_from(ATTACK_KINDS), min_size=1).map(
+        lambda s: tuple(sorted(s))
+    ),
+)
+def test_hardened_benign_results_equal_adversary_free_run(tiny_universe, seed, kinds):
+    query = discover_query(tiny_universe, 1, 5)
+    deployment = deploy_adversary(
+        tiny_universe.internet,
+        _plan(seed, kinds),
+        targets=[tiny_universe.webid(query.person_index)],
+    )
+    try:
+        execution = run_discover(
+            tiny_universe,
+            lures=deployment.lures,
+            traversal=hardened_traversal(max_origin_derefs=_DEREFS),
+            network=no_retry_network(max_response_bytes=_READ_CAP, request_timeout=0.05),
+        )
+    finally:
+        deployment.uninstall()
+    benign = sorted(repr(b) for b in execution.bindings if not is_tainted_binding(b))
+    assert benign == baseline_results(tiny_universe)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.ltqp.links import FifoLinkQueue, Link, PriorityLinkQueue
+from repro.ltqp.links import FairLinkQueue, FifoLinkQueue, Link, PriorityLinkQueue
 
 
 class TestFifoQueue:
@@ -95,6 +95,84 @@ class TestPriorityQueue:
             PriorityLinkQueue().pop()
 
 
+class TestFairQueue:
+    def test_interleaves_across_origins(self):
+        queue = FairLinkQueue()
+        # Push origin-clustered (the pathological arrival order for FIFO):
+        # all of a's links, then all of b's, then all of c's.
+        for origin in ("a", "b", "c"):
+            for i in range(3):
+                queue.push(Link(f"https://{origin}.example/{i}"))
+        popped = [queue.pop().url for _ in range(9)]
+        origins = [url.split("/")[2].split(".")[0] for url in popped]
+        # Every consecutive window of 3 pops serves all three origins.
+        assert origins == ["a", "b", "c"] * 3
+
+    def test_heavy_origin_cannot_starve_light_origin(self):
+        queue = FairLinkQueue()
+        for i in range(1000):
+            queue.push(Link(f"https://hog.example/{i}"))
+        for i in range(3):
+            queue.push(Link(f"https://light.example/{i}"))
+        first_light = next(
+            position
+            for position in range(1, 1004)
+            if queue.pop().url.startswith("https://light")
+        )
+        # The light origin joined the rotation at the back of round 1, so
+        # it waits at most one round — one pop from each other origin.
+        assert first_light <= 2
+
+    def test_every_light_link_within_one_round(self):
+        queue = FairLinkQueue()
+        for i in range(1000):
+            queue.push(Link(f"https://hog.example/{i}"))
+        for i in range(3):
+            queue.push(Link(f"https://light.example/{i}"))
+        positions = [
+            position
+            for position in range(1, 1004)
+            if queue.pop().url.startswith("https://light")
+        ]
+        # With 2 origins a round is 2 pops: every light link is served
+        # within 2 pops of the previous one, regardless of the 1000 hogs.
+        assert len(positions) == 3
+        assert all(b - a <= 2 for a, b in zip(positions, positions[1:]))
+
+    def test_drained_origin_leaves_rotation(self):
+        queue = FairLinkQueue()
+        queue.push(Link("https://a.example/0"))
+        queue.push(Link("https://b.example/0"))
+        queue.push(Link("https://b.example/1"))
+        assert queue.pop().url == "https://a.example/0"
+        # a's lane is empty now; the remaining pops are b's alone.
+        assert queue.pop().url == "https://b.example/0"
+        assert queue.pop().url == "https://b.example/1"
+        assert queue.empty
+
+    def test_late_origin_joins_back_of_rotation(self):
+        queue = FairLinkQueue()
+        queue.push(Link("https://a.example/0"))
+        queue.push(Link("https://a.example/1"))
+        assert queue.pop().url == "https://a.example/0"
+        queue.push(Link("https://b.example/0"))
+        # b arrives mid-round: it waits for a's turn, then is served.
+        assert queue.pop().url == "https://a.example/1"
+        assert queue.pop().url == "https://b.example/0"
+
+    def test_requeue_and_dedup_still_apply(self):
+        queue = FairLinkQueue()
+        assert queue.push(Link("https://a.example/0"))
+        assert not queue.push(Link("https://a.example/0"))
+        queue.pop()
+        queue.requeue(Link("https://a.example/0", attempts=1))
+        assert queue.pop().attempts == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            FairLinkQueue().pop()
+
+
 class TestLink:
     def test_seed_detection(self):
         assert Link("https://h/a").is_seed
@@ -104,6 +182,7 @@ class TestLink:
 class TestQueuePolicyRegistry:
     def test_policies_map_to_queue_classes(self):
         from repro.ltqp import (
+            FairLinkQueue,
             FifoLinkQueue,
             LifoLinkQueue,
             PriorityLinkQueue,
@@ -111,10 +190,11 @@ class TestQueuePolicyRegistry:
             queue_factory_for,
         )
 
-        assert set(QUEUE_POLICIES) == {"fifo", "lifo", "priority"}
+        assert set(QUEUE_POLICIES) == {"fifo", "lifo", "priority", "fair"}
         assert isinstance(queue_factory_for("fifo")(), FifoLinkQueue)
         assert isinstance(queue_factory_for("lifo")(), LifoLinkQueue)
         assert isinstance(queue_factory_for("priority")(), PriorityLinkQueue)
+        assert isinstance(queue_factory_for("fair")(), FairLinkQueue)
 
     def test_unknown_policy_raises(self):
         import pytest

@@ -54,6 +54,16 @@ def assert_books_agree(execution, tracer, metrics, log):
     assert derived["documents_fetched"] == stats.documents_fetched
     assert derived["documents_retried"] == stats.documents_retried
     assert derived["documents_abandoned"] == stats.documents_abandoned
+    assert derived["documents_refused"] == stats.documents_refused
+    # Depth suppression is attribution-only (the document itself was
+    # taken, so there is no refused dereference span); every other kind
+    # must reconcile count-for-count with the trace.
+    engine_kinds = {
+        kind: count
+        for kind, count in stats.refusals_by_kind.items()
+        if kind != "depth"
+    }
+    assert derived["refusals_by_kind"] == engine_kinds
     assert derived["http_retries"] == stats.http_retries
     assert derived["http_timeouts"] == stats.http_timeouts
     assert derived["breaker_fast_fails"] == stats.breaker_fast_fails
@@ -128,6 +138,86 @@ class TestFaultedRun:
         clean_attempts = sum(1 for s in clean_trace.spans if s.name == "attempt")
         faulted_attempts = sum(1 for s in faulted_trace.spans if s.name == "attempt")
         assert faulted_attempts > clean_attempts
+
+
+class TestRefusedRun:
+    """Budget refusals must keep all four books in agreement.
+
+    A link-trap origin is lured into an origin-budgeted traversal: every
+    refusal the engine counts must appear in the trace as a dereference
+    span with ``outcome="refused"`` and the budget kind, and
+    :func:`trace_execution_stats` must re-derive the same counters.
+    """
+
+    def _refused_run(self, universe):
+        from repro.ltqp import TraversalPolicy
+        from repro.solidbench.adversary import AdversaryPlan, deploy_adversary
+
+        deployment = deploy_adversary(
+            universe.internet,
+            AdversaryPlan(seed=7, kinds=("link-trap",), origin_prefix="adv-rec"),
+        )
+        try:
+            query = discover_query(universe, 1, 5)
+            config = EngineConfig(
+                network=NetworkPolicy(
+                    retry=RetryPolicy.disabled(),
+                    breaker=BreakerPolicy(failure_threshold=0),
+                    max_link_requeues=0,
+                ),
+                traversal=TraversalPolicy(max_origin_derefs=128, queue_policy="fair"),
+            )
+            engine = universe.fast_engine(config=config)
+            tracer = Tracer()
+            metrics = Metrics()
+            execution = engine.query(
+                query.text,
+                seeds=list(query.seeds) + list(deployment.lures),
+                tracer=tracer,
+                metrics=metrics,
+            ).run_sync()
+            return execution, tracer, metrics, engine.client.log
+        finally:
+            deployment.uninstall()
+
+    def test_books_agree_under_refusals(self, tiny_universe):
+        execution, tracer, metrics, log = self._refused_run(tiny_universe)
+        stats = execution.stats
+        assert stats.documents_refused > 0  # the budget actually fired
+        assert stats.refusals_by_kind.get("origin-derefs", 0) > 0
+        assert_books_agree(execution, tracer, metrics, log)
+
+    def test_every_refusal_leaves_an_attributed_span(self, tiny_universe):
+        execution, tracer, _, _ = self._refused_run(tiny_universe)
+        refused_spans = [
+            s
+            for s in tracer.spans
+            if s.name == "dereference" and s.args.get("outcome") == "refused"
+        ]
+        assert len(refused_spans) == execution.stats.documents_refused
+        for span in refused_spans:
+            assert span.args.get("refused") in (
+                "origin-derefs",
+                "origin-bytes",
+                "doc-bytes",
+                "parse-bytes",
+            )
+
+    def test_refusals_are_not_failures_in_any_book(self, tiny_universe):
+        execution, tracer, _, _ = self._refused_run(tiny_universe)
+        derived = trace_execution_stats(tracer)
+        # Refusals never double-count as failures: both books agree on
+        # the (benign, pre-existing) failure count, and no failed span
+        # is on the adversary's origin — every hostile-origin denial is
+        # a refusal, not a failure.
+        assert derived["documents_failed"] == execution.stats.documents_failed
+        failed_spans = [
+            s
+            for s in tracer.spans
+            if s.name == "dereference"
+            and s.args.get("outcome") not in ("ok", "refused")
+        ]
+        assert not [s for s in failed_spans if "adv-rec" in s.args.get("url", "")]
 
 
 class TestBreakerTransitionMetrics:

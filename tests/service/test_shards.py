@@ -106,6 +106,64 @@ class TestShardedExecution:
         assert multiset(result)
 
 
+class TestHardenedShards:
+    """Traversal-hardening budgets cross the process boundary intact."""
+
+    def test_spec_budget_fields_survive_pickling_and_worker_derivation(self):
+        import pickle
+
+        spec = make_spec(
+            max_depth=3,
+            max_origin_derefs=5,
+            max_doc_bytes=1024,
+            store_path="/tmp/shard-store",
+        )
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        derived = spec.for_worker("shard-0")
+        assert derived.max_depth == 3
+        assert derived.max_origin_derefs == 5
+        assert derived.max_doc_bytes == 1024
+
+    def test_stats_summary_ships_refusal_attribution(self):
+        import pickle
+
+        from repro.ltqp.stats import ExecutionStats
+        from repro.service.shards import ShardStats, _stats_summary
+
+        stats = ExecutionStats(started_at=1.0, finished_at=2.0)
+        stats.documents_fetched = 4
+        stats.note_refusal("origin-derefs", "https://adv-trap.example")
+        stats.note_refusal("doc-bytes", "https://adv-huge.example")
+        shipped = ShardStats(pickle.loads(pickle.dumps(_stats_summary(stats))))
+        report = shipped.completeness()
+        assert not report["complete"]
+        assert report["documents_refused"] == 2
+        assert report["refusals_by_kind"] == {"doc-bytes": 1, "origin-derefs": 1}
+        assert report["refusals_by_origin"] == {
+            "https://adv-huge.example": 1,
+            "https://adv-trap.example": 1,
+        }
+        assert report["documents_attempted"] == 6
+
+    def test_budgeted_worker_reports_refusals_end_to_end(self, universe):
+        # Every benign pod shares one origin, so a tight per-origin budget
+        # forces refusals on an ordinary run — exercising the whole path:
+        # spec → worker EngineConfig → execution → summary → pipe → front-end.
+        host = ServiceHost(
+            ShardedQueryService(make_spec(max_origin_derefs=6), workers=1)
+        ).start()
+        try:
+            named = discover_query(universe, 1, 1)
+            result = host.execute(named.text, seeds=list(named.seeds))
+            report = result.stats.completeness()
+            assert not report["complete"]
+            assert report["documents_refused"] > 0
+            assert report["refusals_by_kind"].get("origin-derefs", 0) > 0
+            assert set(report["refusals_by_origin"]) == {CONFIG.host}
+        finally:
+            host.stop()
+
+
 class TestOriginAffinity:
     def test_same_pod_queries_share_a_shard(self):
         host = ServiceHost(
