@@ -1,0 +1,177 @@
+"""Live-maintenance benchmark: signed refresh vs full re-execution.
+
+Before standing queries, the demo's only way to keep a result set
+current was the paper's "live data" observation: re-run the whole
+traversal.  A :class:`~repro.ltqp.live.LiveQuery` instead re-derefereces
+*one* changed document, diffs it against the growing source, and pushes
+the signed delta through the retained pipeline — O(changed triples ×
+affected operators), not O(re-execution).
+
+This bench measures that claim directly on a friends-of-one-person
+query (profile + one document per friend — a real multi-document
+traversal).  Per edit (an owner-authenticated PATCH renaming one
+friend):
+
+* **maintain_s** — ``live.refresh(document)``: one conditional fetch,
+  one diff, signed maintenance through the standing pipeline;
+* **reexec_s** — what the demo did instead: a fresh engine re-running
+  the full traversal over the current universe state.
+
+Both sides see identical pod state per edit.  Two absolute checks ride
+along: the maintained multiset must replay to exactly the fresh
+execution's answer after every edit (the signed-delta correctness
+anchor, enforced per edit), and the regression gate
+(``check_hotpath_regression.py``) requires the median maintenance
+refresh to stay at least ``10×`` faster than the median re-execution.
+
+The bench builds a *private* universe (same knobs as the shared bench
+fixture) because its edits mutate pod documents — the shared
+session universe must stay pristine for the other gates.
+
+``REPRO_WRITE_BENCH=1 pytest benchmarks/bench_live.py`` rewrites the
+committed ``BENCH_live.json`` baseline (which pins the result count).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from collections import Counter
+from pathlib import Path
+from statistics import median
+from urllib.parse import urlsplit
+
+from repro.ltqp.live import LiveQuery
+from repro.net.message import Request
+from repro.solidbench import SolidBenchConfig, build_universe
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_live.json"
+
+FOAF = "http://xmlns.com/foaf/0.1/"
+
+#: Number of edit/maintain/re-exec rounds (medians are taken over these).
+EDITS = 5
+
+LIVE_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
+LIVE_SEED = int(os.environ.get("REPRO_BENCH_SEED", "42"))
+
+
+def _key(binding):
+    return tuple(sorted((v.value, str(t)) for v, t in binding.items()))
+
+
+def _multiset(bindings) -> Counter:
+    return Counter(_key(b) for b in bindings)
+
+
+async def _patch(universe, url: str, update: str) -> None:
+    parts = urlsplit(url)
+    app = universe.internet.app_for(f"{parts.scheme}://{parts.netloc}")
+    headers = {"content-type": "application/sparql-update"}
+    headers.update(app.login_owner(parts.path))
+    response = await universe.internet.dispatch(
+        Request("PATCH", url, headers, update.encode("utf-8"))
+    )
+    if response.status >= 400:
+        raise RuntimeError(f"bench PATCH rejected: HTTP {response.status} for {url}")
+
+
+def measure_live(_shared_universe=None) -> dict:
+    """Per-edit maintenance vs re-execution timings, plus replay checks."""
+    universe = build_universe(SolidBenchConfig(scale=LIVE_SCALE, seed=LIVE_SEED))
+    pod = next(iter(universe.pods.values()))
+    query = (
+        f"SELECT ?friend ?name WHERE {{ <{pod.webid}> <{FOAF}knows> ?friend . "
+        f"?friend <{FOAF}name> ?name }}"
+    )
+    seeds = [pod.profile_url]
+
+    async def scenario():
+        live = LiveQuery(universe.fast_engine(), query, seeds=seeds)
+        start = time.perf_counter()
+        initial = await live.start()
+        initial_wall = time.perf_counter() - start
+        if not initial:
+            raise RuntimeError("live bench query returned no initial results")
+
+        # friend IRI -> (profile document, current name), from the results.
+        friends = {}
+        for binding in initial:
+            entries = {var.value: term for var, term in binding.items()}
+            friend = entries["friend"].value
+            friends[friend] = (friend.split("#", 1)[0], entries["name"].value)
+        targets = sorted(friends)
+
+        maintain_walls, reexec_walls = [], []
+        replay_identical = True
+        for round_index in range(EDITS):
+            friend = targets[round_index % len(targets)]
+            document, old_name = friends[friend]
+            new_name = f"Live Edit {round_index}"
+            update = (
+                f'DELETE DATA {{ <{friend}> <{FOAF}name> "{old_name}" }} ;\n'
+                f'INSERT DATA {{ <{friend}> <{FOAF}name> "{new_name}" }}'
+            )
+            await _patch(universe, document, update)
+            friends[friend] = (document, new_name)
+
+            start = time.perf_counter()
+            events = await live.refresh(document)
+            maintain_walls.append(time.perf_counter() - start)
+            if len(events) != 2:  # one retraction + one addition per rename
+                raise RuntimeError(
+                    f"rename produced {len(events)} events, expected 2"
+                )
+
+            start = time.perf_counter()
+            fresh = await universe.fast_engine().query(query, seeds=seeds).gather()
+            reexec_walls.append(time.perf_counter() - start)
+            maintained = Counter()
+            for binding, count in live.current_results().items():
+                maintained[_key(binding)] += count
+            if maintained != _multiset(fresh.bindings):
+                replay_identical = False
+
+        live.close()
+        return initial, initial_wall, maintain_walls, reexec_walls, replay_identical
+
+    initial, initial_wall, maintain_walls, reexec_walls, replay_identical = (
+        asyncio.run(scenario())
+    )
+    maintain_s = median(maintain_walls)
+    reexec_s = median(reexec_walls)
+    return {
+        "initial_wall_s": round(initial_wall, 6),
+        "maintain_s": round(maintain_s, 6),
+        "reexec_s": round(reexec_s, 6),
+        "live_speedup": round(reexec_s / maintain_s, 2) if maintain_s else float("inf"),
+        "edits": EDITS,
+        "results": len(initial),
+        "replay_identical": replay_identical,
+    }
+
+
+# -- pytest benches ----------------------------------------------------------
+
+
+def test_maintenance_beats_reexecution(benchmark):
+    metrics = benchmark.pedantic(measure_live, rounds=1, iterations=1)
+    print(
+        f"\ninitial {metrics['initial_wall_s'] * 1000:.2f} ms, "
+        f"maintain {metrics['maintain_s'] * 1000:.3f} ms, "
+        f"re-exec {metrics['reexec_s'] * 1000:.2f} ms "
+        f"({metrics['live_speedup']}x), {metrics['results']} results"
+    )
+    assert metrics["replay_identical"]
+    assert metrics["live_speedup"] > 10.0
+
+
+def test_write_baseline():
+    """Rewrite BENCH_live.json when REPRO_WRITE_BENCH=1 (no-op otherwise)."""
+    if os.environ.get("REPRO_WRITE_BENCH") != "1":
+        return
+    metrics = measure_live()
+    BASELINE_PATH.write_text(json.dumps(metrics, indent=1) + "\n")
+    print(f"\nwrote {BASELINE_PATH}: {metrics}")

@@ -14,6 +14,14 @@ SPARQL-protocol endpoint (see :func:`serve_main`)::
 
     repro-sparql-ltqp serve --simulate 0.02 --port 8765
 
+``repro-sparql-ltqp watch`` runs a *standing* query: the initial
+traversal results stream out as ``+1`` events, then each SPARQL Update
+from ``--updates FILE`` (one JSON object per line: ``{"url": ...,
+"update": ...}``) is applied to its pod document and the signed result
+changes print as they happen (see :func:`watch_main`)::
+
+    repro-sparql-ltqp watch --discover 1.5 --updates edits.jsonl
+
 Since the session has no network, queries run against a simulated
 SolidBench environment (``--simulate SCALE``); the engine itself is
 transport-agnostic and would run unchanged against real pods.
@@ -42,7 +50,14 @@ from .solidbench.config import SolidBenchConfig
 from .solidbench.queries import discover_query
 from .solidbench.universe import build_universe
 
-__all__ = ["main", "build_arg_parser", "serve_main", "build_serve_arg_parser"]
+__all__ = [
+    "main",
+    "build_arg_parser",
+    "serve_main",
+    "build_serve_arg_parser",
+    "watch_main",
+    "build_watch_arg_parser",
+]
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -279,6 +294,147 @@ def build_serve_arg_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_watch_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sparql-ltqp watch",
+        description="Run a standing (live) query: print initial results as "
+        "+1 events, then signed result changes as pod documents change",
+    )
+    parser.add_argument(
+        "seeds", nargs="*", help="seed URLs followed by the SPARQL query text"
+    )
+    parser.add_argument(
+        "--query", help="SPARQL query text (alternative to trailing positional)"
+    )
+    parser.add_argument(
+        "--discover",
+        metavar="T.V",
+        help="watch a predefined SolidBench Discover query, e.g. 1.5",
+    )
+    parser.add_argument(
+        "--simulate",
+        type=float,
+        default=0.02,
+        metavar="SCALE",
+        help="SolidBench universe scale (default 0.02 ≈ 31 pods)",
+    )
+    parser.add_argument("--bench-seed", type=int, default=42, help="generator seed")
+    parser.add_argument(
+        "--updates",
+        metavar="FILE",
+        help="JSON-lines file of edits to apply, one {\"url\": ..., "
+        "\"update\": ...} object per line ('-' reads stdin); each update "
+        "is PATCHed to its pod owner-authenticated and the resulting "
+        "signed events print before the next edit applies",
+    )
+    parser.add_argument(
+        "--no-latency", action="store_true", help="disable simulated network latency"
+    )
+    return parser
+
+
+def watch_main(argv: Optional[list[str]] = None) -> int:
+    """``repro-sparql-ltqp watch``: one standing query over the simulation.
+
+    Change flow is the full live path: the edit is a real PATCH against
+    the simulated Solid server, whose change listener notifies the
+    standing query; a drain then re-dereferences the changed document
+    (conditional request), diffs it against the stored parse, and pushes
+    the signed delta through the retained pipeline.
+    """
+    from .ltqp.live import LiveQuery
+
+    args = build_watch_arg_parser().parse_args(argv)
+    config = SolidBenchConfig(scale=args.simulate, seed=args.bench_seed)
+    universe = build_universe(config)
+
+    if args.discover:
+        template_text, _, variant_text = args.discover.partition(".")
+        named = discover_query(universe, int(template_text), int(variant_text or "1"))
+        query_text = named.text
+        seeds: list[str] = list(named.seeds)
+        print(f"# {named.name}: {named.description}", file=sys.stderr)
+    else:
+        positional = list(args.seeds)
+        query_text = args.query
+        if query_text is None:
+            if not positional:
+                print(
+                    "error: no query given (use --discover or pass a query)",
+                    file=sys.stderr,
+                )
+                return 2
+            query_text = positional.pop()
+        seeds = positional
+
+    latency = NoLatency() if args.no_latency else SeededJitterLatency(seed=args.bench_seed)
+    client = universe.client(latency=latency)
+    engine = LinkTraversalEngine(client, config=_engine_config(args, lenient=True))
+    query = parse_query(query_text)
+    variables = query.variables()
+    live = LiveQuery(engine, query, seeds=seeds or None)
+
+    def emit(events) -> None:
+        for event in events:
+            sign = f"+{event.delta}" if event.delta > 0 else str(event.delta)
+            line = f"{sign} {binding_to_cli_line(event.binding, variables)}"
+            if event.url:
+                line += f"  # {event.url}"
+            print(line, flush=True)
+
+    edits: list[dict] = []
+    if args.updates:
+        stream = sys.stdin if args.updates == "-" else open(args.updates)
+        with stream:
+            for raw in stream:
+                raw = raw.strip()
+                if raw:
+                    edits.append(json.loads(raw))
+
+    async def run() -> int:
+        from .net.message import Request
+
+        await live.start()
+        emit(live.events)
+        print(f"# {len(live.events)} initial results; watching", file=sys.stderr)
+        internet = client.internet
+        for origin in internet.origins():
+            app = internet.app_for(origin)
+            add = getattr(app, "add_change_listener", None)
+            if add is not None:
+                add(live.notify)
+        for edit in edits:
+            url = edit["url"].split("#", 1)[0]
+            from urllib.parse import urlsplit
+
+            parts = urlsplit(url)
+            app = internet.app_for(f"{parts.scheme}://{parts.netloc}")
+            headers = {"content-type": "application/sparql-update"}
+            login = getattr(app, "login_owner", None)
+            if login is not None:
+                headers.update(login(parts.path))
+            response = await internet.dispatch(
+                Request("PATCH", url, headers, edit["update"].encode("utf-8"))
+            )
+            if response.status >= 400:
+                print(
+                    f"# update rejected: HTTP {response.status} for {url}",
+                    file=sys.stderr,
+                )
+                continue
+            emit(await live.drain())
+        live.close()
+        size = sum(live.current_results().values())
+        print(
+            f"# {len(edits)} edits applied; {size} current results "
+            f"({len(live.events)} events total)",
+            file=sys.stderr,
+        )
+        return 0
+
+    return asyncio.run(run())
+
+
 def _engine_config(args, **extra) -> EngineConfig:
     """An :class:`EngineConfig` carrying the shared hardening flags.
 
@@ -413,6 +569,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0] == "watch":
+        return watch_main(argv[1:])
     args = build_arg_parser().parse_args(argv)
 
     config = SolidBenchConfig(scale=args.simulate, seed=args.bench_seed)

@@ -55,6 +55,7 @@ from .pipeline import (
     compile_query_pipeline,
     total_work,
 )
+from .live import LiveQuery, ResultChange
 from .source import GrowingTripleSource
 from .stats import ExecutionStats, TimedResult
 
@@ -107,4 +108,6 @@ __all__ = [
     "DescribeNode",
     "total_work",
     "NotStreamable",
+    "LiveQuery",
+    "ResultChange",
 ]

@@ -72,6 +72,11 @@ class DereferenceResult:
     #: read cap when the transfer was aborted) — what per-origin byte
     #: budgets are charged with.
     bytes_fetched: int = 0
+    #: When the document store held a *different* validator for this URL,
+    #: the minimal signed delta between the stale parse and this one
+    #: (:class:`~repro.service.docstore.DocumentDiff`).  ``None`` for
+    #: first fetches, unchanged validators, and store-less dereferencers.
+    diff: Optional[object] = None
 
     @property
     def ok(self) -> bool:
@@ -96,6 +101,12 @@ class Dereferencer:
         self._extra_headers = dict(extra_headers or {})
         self._max_redirects = max_redirects
         self._document_counter = 0
+        #: Stable per-URL blank-node namespaces: re-parsing a document
+        #: reuses its first parse's prefix, so identical content yields
+        #: *identical* blank-node labels and a live re-diff of an edited
+        #: document stays minimal instead of churning every bnode triple.
+        #: Distinct documents still get distinct prefixes (no collisions).
+        self._document_ids: dict[str, int] = {}
         #: Global parse-size cap: a body larger than this is refused
         #: (kind ``"parse-bytes"``) *before* decoding or tokenizing, so a
         #: hostile document cannot buy CPU with bytes.  ``0`` disables.
@@ -121,13 +132,17 @@ class Dereferencer:
         parent_url: Optional[str] = None,
         trace_parent=None,
         tracer=None,
+        revalidate: bool = False,
     ) -> DereferenceResult:
         """Fetch ``url`` (fragment stripped), following redirects, and
         parse the RDF body.  The *final* URL becomes the base IRI and the
         document's provenance — e.g. a slash-less container URL 301s to
         the container, whose members then resolve correctly.
         ``trace_parent`` nests this dereference's fetch/parse spans;
-        ``tracer`` overrides the instance tracer for this call."""
+        ``tracer`` overrides the instance tracer for this call.
+        ``revalidate=True`` forces a conditional request even while the
+        HTTP cache still considers its copy fresh — the live-refresh path,
+        where the point is to observe upstream change *now*."""
         if tracer is None:
             tracer = self.tracer
         clean_url = url.split("#", 1)[0]
@@ -138,6 +153,7 @@ class Dereferencer:
                     headers=self._extra_headers,
                     parent_url=parent_url,
                     trace_parent=trace_parent,
+                    revalidate=revalidate,
                 )
             except ValueError as error:
                 # An unsupported scheme or malformed URL is the same class
@@ -200,8 +216,12 @@ class Dereferencer:
             result.bytes_fetched = body_bytes
             return result
         store = self.document_store
+        stale = None
         if store is not None:
             validator = store.validator_for(response)
+            # Capture the outgoing parse *before* lookup deletes it on a
+            # validator mismatch — it is the diff base for live refreshes.
+            stale = store.peek(url)
             stored = store.lookup(url, validator)
             if stored is not None:
                 return DereferenceResult(
@@ -211,7 +231,12 @@ class Dereferencer:
                     from_store=True,
                     bytes_fetched=body_bytes,
                 )
-        self._document_counter += 1
+        doc_id = self._document_ids.get(url)
+        if doc_id is None:
+            self._document_counter += 1
+            doc_id = self._document_counter
+            self._document_ids[url] = doc_id
+        bnode_prefix = f"d{doc_id}_"
         parse_started = tracer.clock() if tracer is not None else 0.0
         try:
             if content_type in ("application/n-triples", "application/n-quads"):
@@ -224,12 +249,12 @@ class Dereferencer:
                 triples = [
                     quad.triple
                     for quad in parse_trig(
-                        response.text, base_iri=url, bnode_prefix=f"d{self._document_counter}_"
+                        response.text, base_iri=url, bnode_prefix=bnode_prefix
                     )
                 ]
             elif content_type in ("text/turtle", "", "text/plain"):
                 triples = parse_turtle(
-                    response.text, base_iri=url, bnode_prefix=f"d{self._document_counter}_"
+                    response.text, base_iri=url, bnode_prefix=bnode_prefix
                 )
             else:
                 return self._failure(url, response.status, f"unsupported content type {content_type!r}")
@@ -255,10 +280,29 @@ class Dereferencer:
                 format=content_type,
                 triples=len(triples),
             )
+        diff = None
         if store is not None:
             store.put(url, validator, triples)
+            if stale is not None and stale.validator != validator:
+                diff_started = tracer.clock() if tracer is not None else 0.0
+                diff = store.diff(stale, validator, triples)
+                if tracer is not None:
+                    tracer.add(
+                        "diff",
+                        diff_started,
+                        tracer.clock(),
+                        parent=trace_parent,
+                        url=url,
+                        added=len(diff.added),
+                        removed=len(diff.removed),
+                        unchanged=diff.unchanged,
+                    )
         return DereferenceResult(
-            url=url, status=response.status, triples=triples, bytes_fetched=body_bytes
+            url=url,
+            status=response.status,
+            triples=triples,
+            bytes_fetched=body_bytes,
+            diff=diff,
         )
 
     def _failure(

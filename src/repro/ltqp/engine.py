@@ -236,6 +236,17 @@ class ExecutionResult:
     results: list[TimedResult] = field(default_factory=list)
     stats: ExecutionStats = field(default_factory=ExecutionStats)
     seeds: list[str] = field(default_factory=list)
+    #: Live executions keep their pipeline, triple source, and
+    #: dereferencer past quiescence so
+    #: :class:`~repro.ltqp.live.LiveQuery` can maintain the result
+    #: multiset under signed deltas.  The dereferencer matters for diff
+    #: minimality: its per-URL blank-node namespaces make a refresh
+    #: re-parse label-stable against the traversal's parse.  ``None``
+    #: for ordinary runs.
+    live: bool = False
+    pipeline: Optional[object] = None
+    source: Optional[object] = None
+    dereferencer: Optional[object] = None
 
     @property
     def bindings(self) -> list[Binding]:
@@ -269,12 +280,19 @@ class QueryExecution:
         metrics=None,
         extractors: Optional[list[LinkExtractor]] = None,
         traversal: Optional[TraversalPolicy] = None,
+        live: bool = False,
     ) -> None:
-        self._result = ExecutionResult(query=query)
+        self._result = ExecutionResult(query=query, live=live)
         self._tracer = tracer
         self._metrics = metrics
         self._generator = engine._run(
-            self._result, seeds, tracer, metrics, extractors=extractors, traversal=traversal
+            self._result,
+            seeds,
+            tracer,
+            metrics,
+            extractors=extractors,
+            traversal=traversal,
+            live=live,
         )
         self._finished = False
         self._cancelled = False
@@ -418,6 +436,7 @@ class LinkTraversalEngine:
         metrics=None,
         extractors: Optional[list[LinkExtractor]] = None,
         traversal: Optional[TraversalPolicy] = None,
+        live: bool = False,
     ) -> QueryExecution:
         """Begin a query execution and return its :class:`QueryExecution`.
 
@@ -436,6 +455,14 @@ class LinkTraversalEngine:
         uses them to give every concurrent query fresh extractor state and
         its own link/time budgets while the engine (client, dereferencer,
         caches) stays shared.
+
+        ``live=True`` compiles the pipeline for *standing* execution: the
+        run proceeds to true quiescence (no LIMIT short-circuit), every
+        operator retains signed-maintenance state, and after completion
+        ``execution.result.pipeline`` / ``.source`` stay usable so a
+        :class:`~repro.ltqp.live.LiveQuery` can keep the result multiset
+        current as documents change.  Live runs never use the adaptive
+        re-planner (its replay is additive-only).
         """
         return QueryExecution(
             self,
@@ -445,6 +472,7 @@ class LinkTraversalEngine:
             metrics=metrics,
             extractors=extractors,
             traversal=traversal,
+            live=live,
         )
 
     # -- deprecated entry points (kept as thin wrappers) ----------------
@@ -524,6 +552,7 @@ class LinkTraversalEngine:
         metrics=None,
         extractors: Optional[list[LinkExtractor]] = None,
         traversal: Optional[TraversalPolicy] = None,
+        live: bool = False,
     ) -> AsyncIterator[Binding]:
         # Per-execution view of the configuration: shared engine state
         # (client, dereferencer, network policy) stays engine-level, while
@@ -581,7 +610,12 @@ class LinkTraversalEngine:
         # Non-monotonic operators become blocking physical nodes that flush
         # at quiescence via Pipeline.finalize.
         plan_started = clock() if tracer is not None else 0.0
-        if config.adaptive:
+        if live:
+            # Signed maintenance needs per-operator live state; the
+            # adaptive re-planner's replay is additive-only, so live
+            # executions always compile the static live pipeline.
+            pipeline = compile_query_pipeline(query, seed_iris=context.iris, live=True)
+        elif config.adaptive:
             from .adaptive import AdaptivePipeline
 
             pipeline = AdaptivePipeline(query.where, seed_iris=context.iris, query=query)
@@ -692,6 +726,10 @@ class LinkTraversalEngine:
                 await asyncio.sleep(interval)
                 flush_pipeline()
 
+        # Resolved here (not inside _traverse) so live executions can
+        # retain it: refreshes must reuse the same per-URL blank-node
+        # namespaces the traversal parses established.
+        dereferencer = self._resolve_dereferencer(config, tracer)
         traversal = asyncio.create_task(
             self._traverse(
                 queue,
@@ -705,6 +743,7 @@ class LinkTraversalEngine:
                 tracer=tracer,
                 traversal_span=traversal_span,
                 clock=clock,
+                dereferencer=dereferencer,
             )
         )
         timer: Optional[asyncio.Task] = None
@@ -735,6 +774,13 @@ class LinkTraversalEngine:
             pending_quads = 0
             for binding in transform_results(pipeline.finalize(source.dataset)):
                 emit(binding)
+            if live:
+                # Arm signed maintenance and hand the standing machinery
+                # to the caller (LiveQuery) before the generator returns.
+                pipeline.prepare_live(source.dataset)
+                execution.pipeline = pipeline
+                execution.source = source
+                execution.dereferencer = dereferencer
             while not result_queue.empty():
                 binding = result_queue.get_nowait()
                 if binding is not None:
@@ -806,6 +852,26 @@ class LinkTraversalEngine:
     # traversal loop
     # ------------------------------------------------------------------
 
+    def _resolve_dereferencer(
+        self, config: EngineConfig, tracer=None
+    ) -> Dereferencer:
+        """The injected shared dereferencer, or a fresh per-run one."""
+        dereferencer = self._dereferencer
+        if dereferencer is None:
+            return Dereferencer(
+                self._client,
+                lenient=config.lenient,
+                extra_headers=self._auth_headers,
+                tracer=tracer,
+                max_parse_bytes=config.max_parse_bytes,
+            )
+        if config.max_parse_bytes and not dereferencer.max_parse_bytes:
+            # A shared (service-owned) dereferencer keeps its own cap if it
+            # has one; otherwise this execution's cap is installed for good
+            # (the service configures all executions uniformly).
+            dereferencer.max_parse_bytes = config.max_parse_bytes
+        return dereferencer
+
     async def _traverse(
         self,
         queue: LinkQueue,
@@ -819,25 +885,14 @@ class LinkTraversalEngine:
         tracer=None,
         traversal_span=None,
         clock=time.monotonic,
+        dereferencer: Optional[Dereferencer] = None,
     ) -> None:
         if config is None:
             config = self._config
         if extractors is None:
             extractors = self._extractors
-        dereferencer = self._dereferencer
         if dereferencer is None:
-            dereferencer = Dereferencer(
-                self._client,
-                lenient=config.lenient,
-                extra_headers=self._auth_headers,
-                tracer=tracer,
-                max_parse_bytes=config.max_parse_bytes,
-            )
-        elif config.max_parse_bytes and not dereferencer.max_parse_bytes:
-            # A shared (service-owned) dereferencer keeps its own cap if it
-            # has one; otherwise this execution's cap is installed for good
-            # (the service configures all executions uniformly).
-            dereferencer.max_parse_bytes = config.max_parse_bytes
+            dereferencer = self._resolve_dereferencer(config, tracer)
         budgets = _OriginBudgets()
         in_flight = 0
         wake = asyncio.Condition()

@@ -1,0 +1,316 @@
+"""Standing (live) query executions: the paper's demo, kept *current*.
+
+The demo scenario ends where real Solid apps begin: the result set a
+traversal produced is stale the moment a pod changes.  A
+:class:`LiveQuery` runs one ordinary link-traversal execution to
+quiescence — compiled ``live`` so every operator retains signed
+maintenance state — and then keeps the result multiset current:
+
+* :meth:`refresh` re-dereferences one document with ``revalidate=True``
+  (a conditional request that bypasses HTTP-cache freshness), diffs the
+  new parse against the document's named graph in the growing source,
+  and feeds the resulting *signed* delta through
+  :meth:`~repro.ltqp.pipeline.Pipeline.poll_changes`;
+* :meth:`notify` buffers change notifications (e.g. from a
+  :class:`~repro.solid.server.SolidServer` change listener) that
+  :meth:`drain` then turns into refreshes;
+* :meth:`subscribe` hands out event queues that replay the full change
+  history (initial results as additions, then every maintenance event)
+  — replaying a subscription therefore reconstructs the exact current
+  result multiset.
+
+Maintenance cost is O(changed triples × affected operators), not
+O(re-execution): the whole point of the signed-delta machinery.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Iterable, Optional, Union as TypingUnion
+
+from ..sparql.algebra import Query
+from ..sparql.bindings import Binding
+from .dereference import Dereferencer
+from .engine import LinkTraversalEngine, QueryExecution, TraversalPolicy
+
+__all__ = ["ResultChange", "LiveQuery"]
+
+#: HTTP statuses meaning "the document is gone" — a refresh treats them
+#: as the document becoming empty rather than as a failed refresh.
+_GONE_STATUSES = frozenset({404, 410})
+
+
+@dataclass(slots=True, frozen=True)
+class ResultChange:
+    """One signed adjustment to a standing query's result multiset.
+
+    ``delta`` is a non-zero signed multiplicity: ``+n`` adds *n*
+    occurrences of ``binding``, ``-n`` removes *n*.  ``seq`` orders the
+    event stream (initial results included); ``url`` names the refreshed
+    document that caused the change (empty for initial results).
+    """
+
+    seq: int
+    binding: Binding
+    delta: int
+    url: str = ""
+
+
+class LiveQuery:
+    """One standing query: an execution that stays open past quiescence.
+
+    Usage::
+
+        live = LiveQuery(engine, "SELECT ...", seeds=[...])
+        initial = await live.start()          # list[Binding], traversal done
+        events = await live.refresh(url)      # re-diff one document
+        queue = live.subscribe()              # replayed + future events
+        live.close()
+
+    SELECT, ASK, and DESCRIBE are supported.  CONSTRUCT is rejected:
+    its output dedupes constructed triples additively across the whole
+    execution, which has no meaningful retraction semantics.
+    """
+
+    def __init__(
+        self,
+        engine: LinkTraversalEngine,
+        query: TypingUnion[str, Query],
+        seeds: Optional[Iterable[str]] = None,
+        tracer=None,
+        metrics=None,
+        traversal: Optional[TraversalPolicy] = None,
+    ) -> None:
+        parsed = engine._parse(query)
+        if parsed.form == "CONSTRUCT":
+            raise ValueError(
+                "CONSTRUCT queries cannot be standing queries: constructed-"
+                "triple dedup is additive-only and cannot retract"
+            )
+        self._engine = engine
+        self._tracer = tracer
+        self._execution: QueryExecution = engine.query(
+            parsed,
+            seeds=seeds,
+            tracer=tracer,
+            metrics=metrics,
+            traversal=traversal,
+            live=True,
+        )
+        self._pipeline = None
+        self._source = None
+        self._dereferencer: Optional[Dereferencer] = None
+        self._seq = 0
+        self._started = False
+        self._closed = False
+        #: Full ordered event history (initial results first) — the
+        #: replay source for late subscribers.
+        self.events: list[ResultChange] = []
+        self._subscribers: list[asyncio.Queue] = []
+        self._listeners: list = []
+        #: Documents flagged by :meth:`notify`, awaiting :meth:`drain`.
+        self._pending: dict[str, None] = {}
+        #: Refreshes whose dereference failed (kept for observability).
+        self.failed_refreshes: dict[str, str] = {}
+
+    # -- live views ----------------------------------------------------
+
+    @property
+    def execution(self) -> QueryExecution:
+        return self._execution
+
+    @property
+    def query(self) -> Query:
+        return self._execution.query
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def current_results(self) -> dict[Binding, int]:
+        """The maintained result multiset (replay of the event history)."""
+        multiset: dict[Binding, int] = {}
+        for event in self.events:
+            total = multiset.get(event.binding, 0) + event.delta
+            if total:
+                multiset[event.binding] = total
+            else:
+                multiset.pop(event.binding, None)
+        return multiset
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> list[Binding]:
+        """Run the underlying execution to quiescence; returns the
+        initial result bindings (also published as ``+1`` events)."""
+        if self._started:
+            raise RuntimeError("LiveQuery.start() called twice")
+        self._started = True
+        await self._execution.gather()
+        result = self._execution.result
+        if result.pipeline is None or result.source is None:
+            raise RuntimeError("live execution did not retain its pipeline")
+        self._pipeline = result.pipeline
+        self._source = result.source
+        # Reuse the execution's own dereferencer: its per-URL blank-node
+        # namespaces keep refresh re-parses label-stable against the
+        # traversal's parses, so diffs stay minimal.
+        self._dereferencer = result.dereferencer
+        if self._dereferencer is None:
+            self._dereferencer = Dereferencer(
+                self._engine.client,
+                lenient=True,
+                extra_headers=self._engine._auth_headers,
+                tracer=self._tracer,
+            )
+        bindings = self._execution.bindings
+        self._publish([(binding, 1) for binding in bindings], url="")
+        return bindings
+
+    def close(self) -> None:
+        """End the standing query: subscribers see end-of-stream."""
+        if self._closed:
+            return
+        self._closed = True
+        for queue in self._subscribers:
+            queue.put_nowait(None)
+        self._subscribers.clear()
+        for listener in self._listeners:
+            listener(None)
+        self._listeners.clear()
+
+    # -- change intake -------------------------------------------------
+
+    def notify(self, url: str) -> None:
+        """Flag ``url`` as changed; the next :meth:`drain` refreshes it."""
+        if not self._closed:
+            self._pending[url.split("#", 1)[0]] = None
+
+    @property
+    def pending(self) -> list[str]:
+        return list(self._pending)
+
+    async def drain(self) -> list[ResultChange]:
+        """Refresh every notified document, in notification order."""
+        events: list[ResultChange] = []
+        while self._pending:
+            url = next(iter(self._pending))
+            del self._pending[url]
+            events.extend(await self.refresh(url))
+        return events
+
+    async def refresh(self, url: str) -> list[ResultChange]:
+        """Re-dereference one document and maintain the result multiset.
+
+        Forces a conditional request (``revalidate=True``): an unchanged
+        document costs a 304 and produces no events; a changed one is
+        re-parsed, diffed against its named graph in the growing source,
+        and the signed delta is pushed through the pipeline.  A document
+        that has gone away (404/410) is treated as now-empty; any other
+        failure leaves the standing results untouched.
+        """
+        if not self._started:
+            raise RuntimeError("LiveQuery.refresh() before start()")
+        if self._closed:
+            return []
+        url = url.split("#", 1)[0]
+        tracer = self._tracer
+        refresh_started = tracer.clock() if tracer is not None else 0.0
+        span = (
+            tracer.begin("refresh", start=refresh_started, url=url)
+            if tracer is not None
+            else None
+        )
+        try:
+            result = await self._dereferencer.dereference(
+                url, trace_parent=span, tracer=tracer, revalidate=True
+            )
+            if result.ok:
+                triples = result.triples
+            elif result.status in _GONE_STATUSES:
+                triples = []
+            else:
+                self.failed_refreshes[url] = result.error or f"HTTP {result.status}"
+                if span is not None:
+                    span.args["outcome"] = "failed"
+                    span.args["error"] = result.error
+                return []
+            added, removed = self._source.update_document(url, triples)
+            if span is not None:
+                span.args["added"] = len(added)
+                span.args["removed"] = len(removed)
+            if not added and not removed:
+                if span is not None:
+                    span.args["outcome"] = "unchanged"
+                return []
+            if span is not None:
+                # Maintenance batches nest under *this* refresh — the
+                # original query span closed at quiescence, and a span
+                # may not outlive its parent.
+                self._pipeline._trace_parent = span
+            changes = self._pipeline.poll_changes(self._source.dataset)
+            if span is not None:
+                span.args["outcome"] = "changed"
+                span.args["changes"] = len(changes)
+            return self._publish(changes, url=url)
+        finally:
+            if span is not None:
+                tracer.end(span)
+
+    # -- subscriptions -------------------------------------------------
+
+    def subscribe(self) -> asyncio.Queue:
+        """An event queue carrying this query's full change history.
+
+        The queue is pre-loaded with every past :class:`ResultChange`
+        (initial results included) and then receives each future event;
+        ``None`` marks end-of-stream after :meth:`close`.
+        """
+        queue: asyncio.Queue = asyncio.Queue()
+        for event in self.events:
+            queue.put_nowait(event)
+        if self._closed:
+            queue.put_nowait(None)
+        else:
+            self._subscribers.append(queue)
+        return queue
+
+    def unsubscribe(self, queue: asyncio.Queue) -> None:
+        try:
+            self._subscribers.remove(queue)
+        except ValueError:
+            pass
+
+    def add_listener(self, callback) -> None:
+        """Register a *synchronous* event-batch callback.
+
+        Called inline from :meth:`_publish` with each new batch of
+        :class:`ResultChange` events, and once with ``None`` on
+        :meth:`close`.  Unlike queues, listeners observe events in strict
+        publish order relative to the caller — the sharded worker uses
+        this to put events on the wire before acking the edit that
+        caused them.
+        """
+        self._listeners.append(callback)
+
+    def _publish(
+        self, changes: list[tuple[Binding, int]], url: str
+    ) -> list[ResultChange]:
+        events: list[ResultChange] = []
+        for binding, delta in changes:
+            event = ResultChange(seq=self._seq, binding=binding, delta=delta, url=url)
+            self._seq += 1
+            events.append(event)
+        if events:
+            self.events.extend(events)
+            for queue in self._subscribers:
+                for event in events:
+                    queue.put_nowait(event)
+            for listener in self._listeners:
+                listener(events)
+        return events

@@ -159,16 +159,24 @@ class DeltaBatch:
     registered — everything else in the delta is noise to this pipeline.
     Iterable and sized, so code written against ``Sequence[Quad]`` deltas
     keeps working.
+
+    Batches carry a *polarity*: ``sign`` is ``+1`` for insertions (the
+    only kind traversal produces) and ``-1`` for retractions (live
+    refreshes of changed documents).  All quads in one batch share the
+    sign — the dataset's signed log is dispatched as maximal same-sign
+    runs (:meth:`repro.rdf.dataset.Dataset.signed_runs`).
     """
 
-    __slots__ = ("quads", "_routed", "_buckets")
+    __slots__ = ("quads", "sign", "_routed", "_buckets")
 
     def __init__(
         self,
         quads: Sequence[Quad],
         routed_predicates: Optional[frozenset] = None,
+        sign: int = 1,
     ) -> None:
         self.quads = quads
+        self.sign = sign
         self._routed = routed_predicates
         self._buckets: Optional[dict] = None
 
@@ -240,12 +248,42 @@ class DeltaRouter:
     def wildcard_listeners(self) -> int:
         return self._wildcard_listeners
 
-    def batch(self, quads: Sequence[Quad]) -> DeltaBatch:
+    def batch(self, quads: Sequence[Quad], sign: int = 1) -> DeltaBatch:
         """Wrap one advance's delta for routed dispatch."""
-        return DeltaBatch(quads, self.predicates)
+        return DeltaBatch(quads, self.predicates, sign=sign)
 
 
 Delta = TypingUnion[Sequence[Quad], DeltaBatch]
+
+#: The live-maintenance currency: ``(binding, count)`` where ``count`` is a
+#: non-zero signed multiplicity change — ``+n`` adds *n* occurrences of the
+#: binding to a node's output multiset, ``-n`` removes *n*.
+Change = tuple[Binding, int]
+
+
+def _diff_multisets(
+    old: dict[Binding, int], new: dict[Binding, int]
+) -> list[Change]:
+    """The signed changes turning multiset ``old`` into ``new``."""
+    changes: list[Change] = []
+    for binding, count in old.items():
+        delta = new.get(binding, 0) - count
+        if delta:
+            changes.append((binding, delta))
+    for binding, count in new.items():
+        if count and binding not in old:
+            changes.append((binding, count))
+    return changes
+
+
+def _bump(multiset: dict[Binding, int], binding: Binding, count: int) -> int:
+    """Adjust one multiset entry; returns the new total (0 = removed)."""
+    total = multiset.get(binding, 0) + count
+    if total:
+        multiset[binding] = total
+    else:
+        multiset.pop(binding, None)
+    return total
 
 
 class CurrentDatasetExists:
@@ -303,6 +341,27 @@ class IncrementalNode:
         """Release held-back solutions at traversal quiescence."""
         return []
 
+    def prepare_live(self, dataset: Dataset) -> None:
+        """Build post-quiescence state for signed maintenance (:meth:`apply`).
+
+        Called once by :meth:`Pipeline.prepare_live` after :meth:`finalize`
+        on a live-compiled pipeline.  The default is a no-op — most nodes
+        either retain everything :meth:`apply` needs during traversal or
+        are stateless transforms.
+        """
+
+    def apply(self, delta: Delta, dataset: Dataset) -> list[Change]:
+        """Maintain this node's output under one *signed* delta batch.
+
+        Only legal after :meth:`finalize` on a live pipeline (see
+        :meth:`Pipeline.poll_changes`).  Returns the signed changes to this
+        node's output multiset; unlike :meth:`process` the result can
+        carry retractions, so consumers must handle both polarities.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support signed maintenance"
+        )
+
     def register(self, router: DeltaRouter) -> None:
         """Declare this subtree's delta interests to the router."""
         for child in self.children():
@@ -338,7 +397,12 @@ class ScanNode(IncrementalNode):
         super().__init__(frozenset(variables))
         self._pattern = pattern
         self._graph = graph
-        self._emitted: set[Binding] = set()
+        #: Binding → number of matching quads (cross-graph duplicates give
+        #: multiplicity > 1).  Doubles as the dedup set during traversal
+        #: and as the support count signed retraction decrements: a
+        #: binding leaves the output only when its last supporting quad
+        #: does.
+        self._support: dict[Binding, int] = {}
 
         # Precomputed slot checks.
         def concrete(term: Optional[Term]) -> Optional[Term]:
@@ -368,16 +432,49 @@ class ScanNode(IncrementalNode):
         if not quads:
             return []
         produced: list[Binding] = []
-        emitted = self._emitted
+        support = self._support
         graph_term = self._graph_concrete
         for quad in quads:
             if graph_term is not None and quad.graph != graph_term:
                 continue
             binding = self._match(quad)
-            if binding is not None and binding not in emitted:
-                emitted.add(binding)
-                produced.append(binding)
+            if binding is not None:
+                count = support.get(binding, 0)
+                support[binding] = count + 1
+                if count == 0:
+                    produced.append(binding)
         return self._count(produced)
+
+    def apply(self, delta: Delta, dataset: Dataset) -> list[Change]:
+        if isinstance(delta, DeltaBatch):
+            quads = delta.for_predicate(self._p) if self._p is not None else delta.quads
+            sign = delta.sign
+        else:
+            quads, sign = delta, 1
+        if not quads:
+            return []
+        changes: list[Change] = []
+        support = self._support
+        graph_term = self._graph_concrete
+        for quad in quads:
+            if graph_term is not None and quad.graph != graph_term:
+                continue
+            binding = self._match(quad)
+            if binding is None:
+                continue
+            if sign > 0:
+                count = support.get(binding, 0)
+                support[binding] = count + 1
+                if count == 0:
+                    changes.append((binding, 1))
+            else:
+                count = support[binding]
+                if count == 1:
+                    del support[binding]
+                    changes.append((binding, -1))
+                else:
+                    support[binding] = count - 1
+        return changes
 
     def _match(self, quad: Quad) -> Optional[Binding]:
         if self._s is not None and quad.subject != self._s:
@@ -439,15 +536,52 @@ class PathScanNode(IncrementalNode):
             if pair in self._emitted:
                 continue
             self._emitted.add(pair)
-            items: dict[Variable, Term] = {}
-            if isinstance(subject, Variable):
-                items[subject] = start
-            if isinstance(object_term, Variable):
-                if object_term in items and items[object_term] != end:
-                    continue
-                items[object_term] = end
-            produced.append(Binding(items))
+            binding = self._pair_binding(start, end)
+            if binding is not None:
+                produced.append(binding)
         return self._count(produced)
+
+    def _pair_binding(self, start: Term, end: Term) -> Optional[Binding]:
+        subject = self._pattern.subject
+        object_term = self._pattern.object
+        items: dict[Variable, Term] = {}
+        if isinstance(subject, Variable):
+            items[subject] = start
+        if isinstance(object_term, Variable):
+            if object_term in items and items[object_term] != end:
+                return None
+            items[object_term] = end
+        return Binding(items)
+
+    def apply(self, delta: Delta, dataset: Dataset) -> list[Change]:
+        # Property paths are not incrementally maintainable in general (a
+        # retracted edge can sever arbitrarily many derived pairs), so the
+        # path is re-evaluated over the current snapshot and the endpoint
+        # pairs diffed against what was previously emitted.
+        if isinstance(delta, DeltaBatch):
+            if not delta.quads:
+                return []
+            if not self._negated and not any(
+                delta.for_predicate(predicate) for predicate in self._relevant
+            ):
+                return []
+        elif not self._delta_relevant(delta):
+            return []
+        graph = dataset.union if self._graph is None else dataset.graph(self._graph)
+        current = set(
+            evaluate_path(graph, self._pattern.subject, self._pattern.path, self._pattern.object)
+        )
+        changes: list[Change] = []
+        for pair in sorted(self._emitted - current, key=repr):
+            binding = self._pair_binding(*pair)
+            if binding is not None:
+                changes.append((binding, -1))
+        for pair in sorted(current - self._emitted, key=repr):
+            binding = self._pair_binding(*pair)
+            if binding is not None:
+                changes.append((binding, 1))
+        self._emitted = current
+        return changes
 
     def _delta_relevant(self, delta: Sequence[Quad]) -> bool:
         if self._negated:
@@ -511,6 +645,9 @@ class ValuesNode(IncrementalNode):
             return []
         self._emitted = True
         return self._count(list(self._rows))
+
+    def apply(self, delta: Delta, dataset: Dataset) -> list[Change]:
+        return []  # inline data never changes
 
 
 class JoinNode(IncrementalNode):
@@ -581,6 +718,46 @@ class JoinNode(IncrementalNode):
             self._right_table.setdefault(binding.key(self._key_variables), []).append(binding)
         return produced
 
+    def apply(self, delta: Delta, dataset: Dataset) -> list[Change]:
+        # Signed symmetric hash join: each change probes the *current*
+        # other-side table, then lands in its own — processing changes one
+        # at a time keeps the exactly-once algebra (ΔL ⋈ R, then L' ⋈ ΔR)
+        # correct even when one batch mixes polarities.
+        left_changes = self._left.apply(delta, dataset)
+        right_changes = self._right.apply(delta, dataset)
+        if not left_changes and not right_changes:
+            return []
+        changes: list[Change] = []
+        key_variables = self._key_variables
+        for binding, count in left_changes:
+            key = binding.key(key_variables)
+            for other in self._right_table.get(key, ()):
+                merged = binding.merged(other)
+                if merged is not None:
+                    changes.append((merged, count))
+            self._update_table(self._left_table, key, binding, count)
+        for binding, count in right_changes:
+            key = binding.key(key_variables)
+            for other in self._left_table.get(key, ()):
+                merged = other.merged(binding)
+                if merged is not None:
+                    changes.append((merged, count))
+            self._update_table(self._right_table, key, binding, count)
+        return changes
+
+    @staticmethod
+    def _update_table(
+        table: dict[tuple, list[Binding]], key: tuple, binding: Binding, count: int
+    ) -> None:
+        if count > 0:
+            table.setdefault(key, []).extend([binding] * count)
+            return
+        bucket = table[key]
+        for _ in range(-count):
+            bucket.remove(binding)
+        if not bucket:
+            del table[key]
+
     def children(self):
         return (self._left, self._right)
 
@@ -596,6 +773,9 @@ class UnionNode(IncrementalNode):
 
     def finalize(self, dataset: Dataset) -> list[Binding]:
         return self._count(self._left.finalize(dataset) + self._right.finalize(dataset))
+
+    def apply(self, delta: Delta, dataset: Dataset) -> list[Change]:
+        return self._left.apply(delta, dataset) + self._right.apply(delta, dataset)
 
     def children(self):
         return (self._left, self._right)
@@ -620,6 +800,15 @@ class FilterNode(IncrementalNode):
         return [
             binding
             for binding in bindings
+            if self._evaluator.satisfied(self._expression, binding)
+        ]
+
+    def apply(self, delta: Delta, dataset: Dataset) -> list[Change]:
+        # EXISTS-free, so the verdict depends only on the binding: a
+        # retraction filters exactly as its original insertion did.
+        return [
+            (binding, count)
+            for binding, count in self._input.apply(delta, dataset)
             if self._evaluator.satisfied(self._expression, binding)
         ]
 
@@ -650,6 +839,11 @@ class ExistsFilterNode(IncrementalNode):
         self._eager = _exists_eagerly_emittable(expression)
         self._exists_predicates = _exists_pattern_predicates(expression)
         self._pending: list[Binding] = []
+        #: Every input binding ever seen, kept past finalize: the live
+        #: maintenance base (EXISTS verdicts are dataset-dependent, so a
+        #: relevant delta re-tests the full candidate multiset).
+        self._candidates: dict[Binding, int] = {}
+        self._live_passing: dict[Binding, int] = {}
 
     def register(self, router: DeltaRouter) -> None:
         super().register(router)
@@ -663,6 +857,8 @@ class ExistsFilterNode(IncrementalNode):
 
     def process(self, delta: Delta, dataset: Dataset) -> list[Binding]:
         new = self._input.process(delta, dataset)
+        for binding in new:
+            self._candidates[binding] = self._candidates.get(binding, 0) + 1
         if not self._eager:
             self._pending.extend(new)
             return []
@@ -683,7 +879,10 @@ class ExistsFilterNode(IncrementalNode):
         return self._count(produced)
 
     def finalize(self, dataset: Dataset) -> list[Binding]:
-        candidates = self._pending + self._input.finalize(dataset)
+        finals = self._input.finalize(dataset)
+        for binding in finals:
+            self._candidates[binding] = self._candidates.get(binding, 0) + 1
+        candidates = self._pending + finals
         self._pending = []
         return self._count(
             [
@@ -692,6 +891,49 @@ class ExistsFilterNode(IncrementalNode):
                 if self._evaluator.satisfied(self._expression, binding)
             ]
         )
+
+    def prepare_live(self, dataset: Dataset) -> None:
+        self._live_passing = {
+            binding: count
+            for binding, count in self._candidates.items()
+            if self._evaluator.satisfied(self._expression, binding)
+        }
+
+    def apply(self, delta: Delta, dataset: Dataset) -> list[Change]:
+        input_changes = self._input.apply(delta, dataset)
+        candidates = self._candidates
+        for binding, count in input_changes:
+            total = candidates.get(binding, 0) + count
+            if total:
+                candidates[binding] = total
+            else:
+                candidates.pop(binding, None)
+        if self._delta_relevant(delta):
+            # A quad the EXISTS pattern can match (dis)appeared: any
+            # candidate's verdict may have flipped — re-test them all and
+            # diff against the previously passing multiset.
+            new_passing = {
+                binding: count
+                for binding, count in candidates.items()
+                if self._evaluator.satisfied(self._expression, binding)
+            }
+            changes = _diff_multisets(self._live_passing, new_passing)
+            self._live_passing = new_passing
+            return changes
+        # Verdicts of existing candidates are stable; only the input
+        # changes themselves need testing.
+        changes: list[Change] = []
+        passing = self._live_passing
+        for binding, count in input_changes:
+            if not self._evaluator.satisfied(self._expression, binding):
+                continue
+            changes.append((binding, count))
+            total = passing.get(binding, 0) + count
+            if total:
+                passing[binding] = total
+            else:
+                passing.pop(binding, None)
+        return changes
 
     def _delta_relevant(self, delta: Delta) -> bool:
         if not delta:
@@ -799,6 +1041,14 @@ class LeftJoinNode(IncrementalNode):
         self._lefts: list[list] = []
         self._left_buckets: dict[tuple, list[list]] = {}
         self._right_table: dict[tuple, list[Binding]] = {}
+        # -- live-maintenance state (built by prepare_live) --------------
+        #: Unique left binding → mutable [multiplicity, partner count].
+        self._live_lefts: dict[Binding, list[int]] = {}
+        #: Key → unique left bindings (probe index for right changes).
+        self._live_left_keys: dict[tuple, list[Binding]] = {}
+        #: Current output multiset — maintained only in the defer case,
+        #: where every delta forces a recompute-and-diff.
+        self._live_output: dict[Binding, int] = {}
 
     def process(self, delta: Delta, dataset: Dataset) -> list[Binding]:
         new_left = self._left.process(delta, dataset)
@@ -873,6 +1123,107 @@ class LeftJoinNode(IncrementalNode):
             self._right_table.setdefault(key, []).append(binding)
         return produced
 
+    def prepare_live(self, dataset: Dataset) -> None:
+        key_variables = self._key_variables
+        for entry in self._lefts:
+            binding = entry[0]
+            slot = self._live_lefts.get(binding)
+            if slot is None:
+                partners = sum(
+                    1
+                    for other in self._right_table.get(binding.key(key_variables), ())
+                    if self._try_match(binding, other) is not None
+                )
+                slot = self._live_lefts[binding] = [0, partners]
+                self._live_left_keys.setdefault(binding.key(key_variables), []).append(binding)
+            slot[0] += 1
+        if self._defer:
+            self._live_output = self._compute_output()
+
+    def _compute_output(self) -> dict[Binding, int]:
+        output: dict[Binding, int] = {}
+        key_variables = self._key_variables
+        for binding, slot in self._live_lefts.items():
+            multiplicity = slot[0]
+            matched = False
+            for other in self._right_table.get(binding.key(key_variables), ()):
+                merged = self._try_match(binding, other)
+                if merged is not None:
+                    matched = True
+                    _bump(output, merged, multiplicity)
+            if not matched:
+                _bump(output, binding, multiplicity)
+        return output
+
+    def apply(self, delta: Delta, dataset: Dataset) -> list[Change]:
+        left_changes = self._left.apply(delta, dataset)
+        right_changes = self._right.apply(delta, dataset)
+        key_variables = self._key_variables
+        if self._defer:
+            # The ON-expression contains EXISTS: any delta can flip any
+            # pair's verdict, so recompute the whole output and diff.
+            for binding, count in left_changes:
+                self._live_adjust_left(binding, count)
+            for binding, count in right_changes:
+                JoinNode._update_table(
+                    self._right_table, binding.key(key_variables), binding, count
+                )
+            if not left_changes and not right_changes and not delta:
+                return []
+            new_output = self._compute_output()
+            changes = _diff_multisets(self._live_output, new_output)
+            self._live_output = new_output
+            return changes
+        changes: list[Change] = []
+        rights = self._right_table
+        for binding, count in left_changes:
+            matches = [
+                merged
+                for other in rights.get(binding.key(key_variables), ())
+                if (merged := self._try_match(binding, other)) is not None
+            ]
+            self._live_adjust_left(binding, count, partners=len(matches))
+            if matches:
+                changes.extend((merged, count) for merged in matches)
+            else:
+                changes.append((binding, count))
+        for binding, count in right_changes:
+            key = binding.key(key_variables)
+            for left_binding in self._live_left_keys.get(key, ()):
+                merged = self._try_match(left_binding, binding)
+                if merged is None:
+                    continue
+                slot = self._live_lefts[left_binding]
+                old_partners = slot[1]
+                slot[1] = old_partners + count
+                if count > 0 and old_partners == 0:
+                    # First partner arrived: the bare left row retracts.
+                    changes.append((left_binding, -slot[0]))
+                changes.append((merged, count * slot[0]))
+                if count < 0 and slot[1] == 0:
+                    # Last partner left: the bare left row returns.
+                    changes.append((left_binding, slot[0]))
+            JoinNode._update_table(rights, key, binding, count)
+        return changes
+
+    def _live_adjust_left(
+        self, binding: Binding, count: int, partners: int = 0
+    ) -> None:
+        slot = self._live_lefts.get(binding)
+        if slot is None:
+            slot = self._live_lefts[binding] = [0, partners]
+            self._live_left_keys.setdefault(
+                binding.key(self._key_variables), []
+            ).append(binding)
+        slot[0] += count
+        if slot[0] == 0:
+            del self._live_lefts[binding]
+            key = binding.key(self._key_variables)
+            bucket = self._live_left_keys[key]
+            bucket.remove(binding)
+            if not bucket:
+                del self._live_left_keys[key]
+
     def children(self):
         return (self._left, self._right)
 
@@ -902,6 +1253,10 @@ class MinusNode(IncrementalNode):
         self._left_buckets: dict[tuple, list[list]] = {}
         self._rights: list[Binding] = []
         self._right_buckets: dict[tuple, list[Binding]] = {}
+        # -- live-maintenance state (built by prepare_live) --------------
+        #: Unique left binding → mutable [multiplicity, excluder count].
+        self._live_lefts: dict[Binding, list[int]] = {}
+        self._live_left_keys: dict[tuple, list[Binding]] = {}
 
     def process(self, delta: Delta, dataset: Dataset) -> list[Binding]:
         self._consume(self._left.process(delta, dataset), self._right.process(delta, dataset))
@@ -945,6 +1300,78 @@ class MinusNode(IncrementalNode):
                 if not entry[1] and self._excludes(entry[0], binding):
                     entry[1] = True
 
+    def _right_candidates(self, binding: Binding) -> Iterable[Binding]:
+        if self._key_variables:
+            return self._right_buckets.get(binding.key(self._key_variables), ())
+        return self._rights
+
+    def prepare_live(self, dataset: Dataset) -> None:
+        key_variables = self._key_variables
+        for entry in self._lefts:
+            binding = entry[0]
+            slot = self._live_lefts.get(binding)
+            if slot is None:
+                excluders = sum(
+                    1
+                    for other in self._right_candidates(binding)
+                    if self._excludes(binding, other)
+                )
+                slot = self._live_lefts[binding] = [0, excluders]
+                self._live_left_keys.setdefault(binding.key(key_variables), []).append(binding)
+            slot[0] += 1
+
+    def apply(self, delta: Delta, dataset: Dataset) -> list[Change]:
+        left_changes = self._left.apply(delta, dataset)
+        right_changes = self._right.apply(delta, dataset)
+        changes: list[Change] = []
+        key_variables = self._key_variables
+        keyed = bool(key_variables)
+        for binding, count in left_changes:
+            excluders = sum(
+                1 for other in self._right_candidates(binding) if self._excludes(binding, other)
+            )
+            slot = self._live_lefts.get(binding)
+            if slot is None:
+                slot = self._live_lefts[binding] = [0, excluders]
+                self._live_left_keys.setdefault(binding.key(key_variables), []).append(binding)
+            slot[0] += count
+            if slot[0] == 0:
+                del self._live_lefts[binding]
+                key = binding.key(key_variables)
+                bucket = self._live_left_keys[key]
+                bucket.remove(binding)
+                if not bucket:
+                    del self._live_left_keys[key]
+            if excluders == 0:
+                changes.append((binding, count))
+        for binding, count in right_changes:
+            if keyed:
+                key = binding.key(key_variables)
+                JoinNode._update_table(self._right_buckets, key, binding, count)
+                targets = self._live_left_keys.get(key, ())
+            else:
+                if count > 0:
+                    self._rights.extend([binding] * count)
+                else:
+                    for _ in range(-count):
+                        self._rights.remove(binding)
+                targets = [
+                    left
+                    for bucket in self._live_left_keys.values()
+                    for left in bucket
+                ]
+            for left_binding in targets:
+                if not self._excludes(left_binding, binding):
+                    continue
+                slot = self._live_lefts[left_binding]
+                old_excluders = slot[1]
+                slot[1] = old_excluders + count
+                if count > 0 and old_excluders == 0:
+                    changes.append((left_binding, -slot[0]))  # now excluded
+                elif count < 0 and slot[1] == 0:
+                    changes.append((left_binding, slot[0]))  # survives again
+        return changes
+
     def children(self):
         return (self._left, self._right)
 
@@ -962,7 +1389,13 @@ class GroupAggregateNode(IncrementalNode):
 
     blocking = True
 
-    def __init__(self, input_node: IncrementalNode, op: GroupBy, evaluator: ExpressionEvaluator) -> None:
+    def __init__(
+        self,
+        input_node: IncrementalNode,
+        op: GroupBy,
+        evaluator: ExpressionEvaluator,
+        live: bool = False,
+    ) -> None:
         certain = set()
         for expression, alias in op.keys:
             if (
@@ -989,34 +1422,49 @@ class GroupAggregateNode(IncrementalNode):
         if not op.keys and not self._defer:
             # Aggregates over no keys produce one row even for zero members.
             self._groups[()] = (EMPTY_BINDING, self._new_states())
+        # -- live-maintenance state -------------------------------------
+        #: When live, every group also remembers its member multiset so a
+        #: retraction that no :meth:`AggregateState.retract` can absorb
+        #: (DISTINCT, MIN/MAX, …) rebuilds the states from survivors.
+        self._live = live
+        self._members: dict[tuple, dict[Binding, int]] = {}
+        #: Group key → its currently-emitted output row (HAVING-passing).
+        self._live_rows: dict[tuple, Binding] = {}
+        #: Defer case: the whole output multiset, re-diffed per batch.
+        self._live_defer_rows: dict[Binding, int] = {}
 
     def _new_states(self) -> dict:
         return {aggregate: AggregateState(aggregate) for aggregate in self._aggregates}
 
-    def _member(self, member: Binding) -> None:
+    def _key_of(self, member: Binding) -> tuple[tuple, Binding]:
+        """The group key and key binding one member falls into."""
         op = self._op
         if not op.keys:
-            group = self._groups[()]
-        else:
-            key_terms: list[Optional[Term]] = []
-            items: dict[Variable, Term] = {}
-            for expression, alias in op.keys:
-                try:
-                    value: Optional[Term] = self._evaluator.evaluate(expression, member)
-                except ExpressionError:
-                    value = None
-                key_terms.append(value)
-                if value is not None:
-                    if alias is not None:
-                        items[alias] = value
-                    elif isinstance(expression, VariableExpr):
-                        items[expression.variable] = value
-            key = tuple(key_terms)
-            group = self._groups.get(key)
-            if group is None:
-                group = self._groups[key] = (Binding(items), self._new_states())
+            return (), EMPTY_BINDING
+        key_terms: list[Optional[Term]] = []
+        items: dict[Variable, Term] = {}
+        for expression, alias in op.keys:
+            try:
+                value: Optional[Term] = self._evaluator.evaluate(expression, member)
+            except ExpressionError:
+                value = None
+            key_terms.append(value)
+            if value is not None:
+                if alias is not None:
+                    items[alias] = value
+                elif isinstance(expression, VariableExpr):
+                    items[expression.variable] = value
+        return tuple(key_terms), Binding(items)
+
+    def _member(self, member: Binding) -> None:
+        key, key_binding = self._key_of(member)
+        group = self._groups.get(key)
+        if group is None:
+            group = self._groups[key] = (key_binding, self._new_states())
         for state in group[1].values():
             state.update(member, self._evaluator)
+        if self._live:
+            _bump(self._members.setdefault(key, {}), member, 1)
 
     def process(self, delta: Delta, dataset: Dataset) -> list[Binding]:
         new = self._input.process(delta, dataset)
@@ -1035,21 +1483,120 @@ class GroupAggregateNode(IncrementalNode):
         for member in finals:
             self._member(member)
         produced: list[Binding] = []
-        for key_binding, states in self._groups.values():
-            result = dict(key_binding)
-            for variable, expression in self._op.bindings:
-                try:
-                    value = evaluate_with_states(expression, states, key_binding, self._evaluator)
-                except ExpressionError:
-                    continue  # aggregate error leaves the variable unbound
-                result[variable] = value
-            result_binding = Binding(result)
-            if all(
-                having_with_states(condition, states, result_binding, self._evaluator)
-                for condition in self._op.having
-            ):
-                produced.append(result_binding)
+        for key in self._groups:
+            row = self._group_row(key)
+            if row is not None:
+                produced.append(row)
         return self._count(produced)
+
+    def _group_row(self, key: tuple) -> Optional[Binding]:
+        """One group's output row from its running states; ``None`` when
+        HAVING rejects it (or the group no longer exists)."""
+        group = self._groups.get(key)
+        if group is None:
+            return None
+        key_binding, states = group
+        result = dict(key_binding)
+        for variable, expression in self._op.bindings:
+            try:
+                value = evaluate_with_states(expression, states, key_binding, self._evaluator)
+            except ExpressionError:
+                continue  # aggregate error leaves the variable unbound
+            result[variable] = value
+        result_binding = Binding(result)
+        if all(
+            having_with_states(condition, states, result_binding, self._evaluator)
+            for condition in self._op.having
+        ):
+            return result_binding
+        return None
+
+    def prepare_live(self, dataset: Dataset) -> None:
+        if self._defer:
+            for row in self._finalize_batch():
+                _bump(self._live_defer_rows, row, 1)
+            return
+        for key in self._groups:
+            row = self._group_row(key)
+            if row is not None:
+                self._live_rows[key] = row
+
+    def _rebuild_group(self, key: tuple) -> None:
+        """Recompute one group's states from its surviving members (the
+        fallback when an aggregate cannot un-apply a retraction)."""
+        key_binding = self._groups[key][0]
+        states = self._new_states()
+        for member, count in self._members.get(key, {}).items():
+            for _ in range(count):
+                for state in states.values():
+                    state.update(member, self._evaluator)
+        self._groups[key] = (key_binding, states)
+
+    def apply(self, delta: Delta, dataset: Dataset) -> list[Change]:
+        member_changes = self._input.apply(delta, dataset)
+        if self._defer:
+            # EXISTS in keys/bindings/HAVING is dataset-dependent: any
+            # delta can flip a row, so re-derive the whole (small) output
+            # from the held member multiset and diff against last time.
+            for binding, count in member_changes:
+                if count > 0:
+                    self._held.extend([binding] * count)
+                else:
+                    for _ in range(-count):
+                        self._held.remove(binding)
+            new_rows: dict[Binding, int] = {}
+            for row in self._finalize_batch():
+                _bump(new_rows, row, 1)
+            changes = _diff_multisets(self._live_defer_rows, new_rows)
+            self._live_defer_rows = new_rows
+            return changes
+        dirty: set[tuple] = set()
+        for member, count in member_changes:
+            key, key_binding = self._key_of(member)
+            dirty.add(key)
+            members = self._members.setdefault(key, {})
+            if count > 0:
+                group = self._groups.get(key)
+                if group is None:
+                    group = self._groups[key] = (key_binding, self._new_states())
+                for _ in range(count):
+                    for state in group[1].values():
+                        state.update(member, self._evaluator)
+                _bump(members, member, count)
+                continue
+            if members.get(member, 0) < -count:
+                raise ValueError(
+                    f"retraction of unseen group member {member!r}"
+                )
+            _bump(members, member, count)
+            states = self._groups[key][1]
+            clean = True
+            for _ in range(-count):
+                for state in states.values():
+                    if not state.retract(member, self._evaluator):
+                        clean = False
+            if not clean:
+                self._rebuild_group(key)
+        changes: list[Change] = []
+        # Sorted so change order is deterministic across processes.
+        for key in sorted(dirty, key=repr):
+            old_row = self._live_rows.get(key)
+            if self._op.keys and not self._members.get(key):
+                # Keyed group emptied out: it no longer exists at all.
+                self._members.pop(key, None)
+                self._groups.pop(key, None)
+                new_row = None
+            else:
+                new_row = self._group_row(key)
+            if new_row == old_row:
+                continue
+            if old_row is not None:
+                changes.append((old_row, -1))
+                del self._live_rows[key]
+            if new_row is not None:
+                changes.append((new_row, 1))
+                self._live_rows[key] = new_row
+        return changes
 
     def _finalize_batch(self) -> list[Binding]:
         op = self._op
@@ -1105,6 +1652,7 @@ class OrderSliceNode(IncrementalNode):
         offset: int,
         limit: Optional[int],
         evaluator: ExpressionEvaluator,
+        live: bool = False,
     ) -> None:
         super().__init__(input_node.certain_variables)
         self._input = input_node
@@ -1119,6 +1667,11 @@ class OrderSliceNode(IncrementalNode):
         self._heap: list[_MaxHeapEntry] = []
         self._entries: list[tuple] = []
         self._held: list[Binding] = []
+        #: Live executions keep *every* keyed entry (no top-k pruning): a
+        #: retraction inside the page must be refillable from below it.
+        self._live = live
+        #: The currently-emitted page as a multiset (built by prepare_live).
+        self._live_page: dict[Binding, int] = {}
 
     @property
     def _capacity(self) -> Optional[int]:
@@ -1133,7 +1686,7 @@ class OrderSliceNode(IncrementalNode):
             key = order_sort_key(self._conditions, binding, self._evaluator)
             entry = (key, self._seq, binding)
             self._seq += 1
-            if capacity is None:
+            if capacity is None or self._live:
                 self._entries.append(entry)
             elif capacity == 0:
                 continue
@@ -1154,13 +1707,70 @@ class OrderSliceNode(IncrementalNode):
                 key = order_sort_key(self._conditions, binding, self._evaluator)
                 entries.append((key, self._seq, binding))
                 self._seq += 1
-        elif self._limit is None:
+        elif self._limit is None or self._live:
             entries = self._entries
         else:
             entries = [wrapper.entry for wrapper in self._heap]
         entries.sort(key=lambda entry: entry[:2])
         stop = None if self._limit is None else self._offset + self._limit
         return self._count([entry[2] for entry in entries[self._offset : stop]])
+
+    def _page(self, entries: list[tuple]) -> dict[Binding, int]:
+        """The OFFSET/LIMIT window of ``entries`` as a multiset."""
+        ordered = sorted(entries, key=lambda entry: entry[:2])
+        stop = None if self._limit is None else self._offset + self._limit
+        page: dict[Binding, int] = {}
+        for entry in ordered[self._offset : stop]:
+            _bump(page, entry[2], 1)
+        return page
+
+    def _keyed_held(self) -> list[tuple]:
+        entries = []
+        for index, binding in enumerate(self._held):
+            key = order_sort_key(self._conditions, binding, self._evaluator)
+            entries.append((key, index, binding))
+        return entries
+
+    def prepare_live(self, dataset: Dataset) -> None:
+        entries = self._keyed_held() if self._defer_keys else self._entries
+        self._live_page = self._page(entries)
+
+    def apply(self, delta: Delta, dataset: Dataset) -> list[Change]:
+        input_changes = self._input.apply(delta, dataset)
+        if self._defer_keys:
+            # EXISTS in an ORDER key: re-key everything against the
+            # current dataset — any delta can reorder the page.
+            for binding, count in input_changes:
+                if count > 0:
+                    self._held.extend([binding] * count)
+                else:
+                    for _ in range(-count):
+                        self._held.remove(binding)
+            entries = self._keyed_held()
+        else:
+            if not input_changes:
+                return []
+            for binding, count in input_changes:
+                if count > 0:
+                    key = order_sort_key(self._conditions, binding, self._evaluator)
+                    for _ in range(count):
+                        self._entries.append((key, self._seq, binding))
+                        self._seq += 1
+                else:
+                    for _ in range(-count):
+                        for index, entry in enumerate(self._entries):
+                            if entry[2] == binding:
+                                del self._entries[index]
+                                break
+                        else:
+                            raise ValueError(
+                                f"retraction of unseen ordered binding {binding!r}"
+                            )
+            entries = self._entries
+        new_page = self._page(entries)
+        changes = _diff_multisets(self._live_page, new_page)
+        self._live_page = new_page
+        return changes
 
     def children(self):
         return (self._input,)
@@ -1199,6 +1809,10 @@ class DescribeNode(IncrementalNode):
         self._roots: set[Term] = set()
         self._emitted: set[Triple] = set()
         self._seeded = False
+        #: WHERE-bound root resource → how many scope bindings support it
+        #: (maintained during traversal; lets :meth:`apply` drop a root
+        #: whose last supporting solution is retracted).
+        self._scope_support: dict[Term, int] = {}
 
     def register(self, router: DeltaRouter) -> None:
         super().register(router)
@@ -1240,6 +1854,7 @@ class DescribeNode(IncrementalNode):
             for variable in self._scope:
                 term = binding.get(variable)
                 if term is not None and not isinstance(term, Literal):
+                    self._scope_support[term] = self._scope_support.get(term, 0) + 1
                     self._add_root(term, graph, produced)
 
     def _add_root(self, resource: Term, graph, produced: list[Triple]) -> None:
@@ -1270,6 +1885,38 @@ class DescribeNode(IncrementalNode):
             for triple in triples
         ]
 
+    def apply(self, delta: Delta, dataset: Dataset) -> list[Change]:
+        # A description is not monotonic under retraction (a root's CBD
+        # can shrink, a root itself can vanish): recompute the description
+        # set from the surviving roots and diff against what was emitted.
+        graph = dataset.union
+        for binding, count in self._input.apply(delta, dataset):
+            for variable in self._scope:
+                term = binding.get(variable)
+                if term is not None and not isinstance(term, Literal):
+                    _bump(self._scope_support, term, count)
+        roots: set[Term] = set(self._constants)
+        roots.update(self._scope_support)
+        emitted: set[Triple] = set()
+        frontier = list(roots)
+        while frontier:
+            node = frontier.pop()
+            for triple in graph.match(node, None, None):
+                if triple not in emitted:
+                    emitted.add(triple)
+                    obj = triple.object
+                    if isinstance(obj, BlankNode) and obj not in roots:
+                        roots.add(obj)
+                        frontier.append(obj)
+        sort_key = lambda t: (repr(t.subject), repr(t.predicate), repr(t.object))  # noqa: E731
+        removed = sorted(self._emitted - emitted, key=sort_key)
+        added = sorted(emitted - self._emitted, key=sort_key)
+        self._emitted = emitted
+        self._roots = roots
+        changes: list[Change] = [(b, -1) for b in self._to_bindings(removed)]
+        changes.extend((b, 1) for b in self._to_bindings(added))
+        return changes
+
     def children(self):
         return (self._input,)
 
@@ -1290,6 +1937,12 @@ class ProjectNode(IncrementalNode):
             [b.projected(self._variables) for b in self._input.finalize(dataset)]
         )
 
+    def apply(self, delta: Delta, dataset: Dataset) -> list[Change]:
+        return [
+            (binding.projected(self._variables), count)
+            for binding, count in self._input.apply(delta, dataset)
+        ]
+
     def children(self):
         return (self._input,)
 
@@ -1298,7 +1951,9 @@ class DistinctNode(IncrementalNode):
     def __init__(self, input_node: IncrementalNode) -> None:
         super().__init__(input_node.certain_variables)
         self._input = input_node
-        self._seen: set[Binding] = set()
+        #: Distinct binding → input multiplicity.  ``process`` emits on the
+        #: 0→1 transition; ``apply`` additionally retracts on 1→0.
+        self._seen: dict[Binding, int] = {}
 
     def process(self, delta: Delta, dataset: Dataset) -> list[Binding]:
         return self._count(self._dedupe(self._input.process(delta, dataset)))
@@ -1308,24 +1963,50 @@ class DistinctNode(IncrementalNode):
 
     def _dedupe(self, bindings: list[Binding]) -> list[Binding]:
         produced: list[Binding] = []
+        seen = self._seen
         for binding in bindings:
-            if binding not in self._seen:
-                self._seen.add(binding)
+            count = seen.get(binding, 0)
+            seen[binding] = count + 1
+            if count == 0:
                 produced.append(binding)
         return produced
+
+    def apply(self, delta: Delta, dataset: Dataset) -> list[Change]:
+        changes: list[Change] = []
+        seen = self._seen
+        for binding, count in self._input.apply(delta, dataset):
+            if count < 0 and seen.get(binding, 0) < -count:
+                raise ValueError(f"retraction of unseen distinct binding {binding!r}")
+            before = seen.get(binding, 0)
+            after = _bump(seen, binding, count)
+            if before == 0 and after > 0:
+                changes.append((binding, 1))
+            elif before > 0 and after == 0:
+                changes.append((binding, -1))
+        return changes
 
     def children(self):
         return (self._input,)
 
 
 class LimitNode(IncrementalNode):
-    """LIMIT without OFFSET: any N results are a correct answer prefix."""
+    """LIMIT without OFFSET: any N results are a correct answer prefix.
 
-    def __init__(self, input_node: IncrementalNode, limit: int) -> None:
+    Live executions keep consuming input past satisfaction into a *pool*:
+    when a retraction later removes an emitted row, the page refills from
+    pooled surplus instead of under-delivering.
+    """
+
+    def __init__(self, input_node: IncrementalNode, limit: int, live: bool = False) -> None:
         super().__init__(input_node.certain_variables)
         self._input = input_node
         self._limit = limit
         self._taken = 0
+        self._live = live
+        #: Every input row ever seen (live only), insertion-ordered.
+        self._pool: dict[Binding, int] = {}
+        #: What is currently emitted (live only); total ≤ ``limit``.
+        self._out: dict[Binding, int] = {}
 
     @property
     def satisfied(self) -> bool:
@@ -1338,23 +2019,55 @@ class LimitNode(IncrementalNode):
     def children(self):
         return (self._input,)
 
-    def process(self, delta: Delta, dataset: Dataset) -> list[Binding]:
-        if self.satisfied:
-            return []
-        produced = self._input.process(delta, dataset)
+    def _admit(self, produced: list[Binding]) -> list[Binding]:
+        if self._live:
+            for binding in produced:
+                _bump(self._pool, binding, 1)
         remaining = self._limit - self._taken
         produced = produced[:remaining]
         self._taken += len(produced)
-        return self._counted(produced)
+        if self._live:
+            for binding in produced:
+                _bump(self._out, binding, 1)
+        return produced
+
+    def process(self, delta: Delta, dataset: Dataset) -> list[Binding]:
+        if self.satisfied and not self._live:
+            return []
+        return self._counted(self._admit(self._input.process(delta, dataset)))
 
     def finalize(self, dataset: Dataset) -> list[Binding]:
-        if self.satisfied:
+        if self.satisfied and not self._live:
             return []
-        produced = self._input.finalize(dataset)
-        remaining = self._limit - self._taken
-        produced = produced[:remaining]
-        self._taken += len(produced)
-        return self._counted(produced)
+        return self._counted(self._admit(self._input.finalize(dataset)))
+
+    def apply(self, delta: Delta, dataset: Dataset) -> list[Change]:
+        changes: list[Change] = []
+        for binding, count in self._input.apply(delta, dataset):
+            if count < 0 and self._pool.get(binding, 0) < -count:
+                raise ValueError(f"retraction of unseen limited binding {binding!r}")
+            _bump(self._pool, binding, count)
+        # Clamp emissions to what the pool still holds…
+        for binding in list(self._out):
+            excess = self._out[binding] - self._pool.get(binding, 0)
+            if excess > 0:
+                _bump(self._out, binding, -excess)
+                changes.append((binding, -excess))
+        # …then refill up to the limit from pooled surplus.
+        total = sum(self._out.values())
+        if total < self._limit:
+            for binding, available in self._pool.items():
+                surplus = available - self._out.get(binding, 0)
+                if surplus <= 0:
+                    continue
+                take = min(surplus, self._limit - total)
+                _bump(self._out, binding, take)
+                changes.append((binding, take))
+                total += take
+                if total >= self._limit:
+                    break
+        self._taken = total
+        return changes
 
 
 class ExtendNode(IncrementalNode):
@@ -1375,6 +2088,9 @@ class ExtendNode(IncrementalNode):
         # inputs and bind against the final snapshot.
         self.blocking = expression_contains_exists(expression)
         self._held: list[Binding] = []
+        #: Blocking (EXISTS) live state: input multiset and emitted output.
+        self._candidates: dict[Binding, int] = {}
+        self._live_out: dict[Binding, int] = {}
 
     def process(self, delta: Delta, dataset: Dataset) -> list[Binding]:
         new = self._input.process(delta, dataset)
@@ -1388,6 +2104,8 @@ class ExtendNode(IncrementalNode):
         if self.blocking:
             finals = self._held + finals
             self._held = []
+            for binding in finals:
+                _bump(self._candidates, binding, 1)
         return self._count(self._apply(finals))
 
     def _apply(self, bindings: list[Binding]) -> list[Binding]:
@@ -1404,6 +2122,36 @@ class ExtendNode(IncrementalNode):
                 continue
             produced.append(binding.extended(self._variable, value))
         return produced
+
+    def _recompute_out(self) -> dict[Binding, int]:
+        out: dict[Binding, int] = {}
+        for binding, count in self._candidates.items():
+            for mapped in self._apply([binding]):
+                _bump(out, mapped, count)
+        return out
+
+    def prepare_live(self, dataset: Dataset) -> None:
+        if self.blocking:
+            self._live_out = self._recompute_out()
+
+    def apply(self, delta: Delta, dataset: Dataset) -> list[Change]:
+        input_changes = self._input.apply(delta, dataset)
+        if not self.blocking:
+            changes: list[Change] = []
+            for binding, count in input_changes:
+                for mapped in self._apply([binding]):
+                    changes.append((mapped, count))
+            return changes
+        # EXISTS inside the expression: its value depends on the dataset,
+        # so any delta can flip an output — re-derive and diff.
+        for binding, count in input_changes:
+            if count < 0 and self._candidates.get(binding, 0) < -count:
+                raise ValueError(f"retraction of unseen extend input {binding!r}")
+            _bump(self._candidates, binding, count)
+        out = self._recompute_out()
+        changes = _diff_multisets(self._live_out, out)
+        self._live_out = out
+        return changes
 
     def children(self):
         return (self._input,)
@@ -1433,8 +2181,12 @@ class Pipeline:
         self,
         root: IncrementalNode,
         exists_context: Optional[CurrentDatasetExists] = None,
+        live: bool = False,
     ) -> None:
         self._root = root
+        #: Live pipelines stay open past quiescence and maintain their
+        #: result multiset under signed deltas (:meth:`poll_changes`).
+        self.live = live
         self._cursor = 0
         self._router = DeltaRouter()
         root.register(self._router)
@@ -1472,7 +2224,14 @@ class Pipeline:
 
     @property
     def complete(self) -> bool:
-        """True once a top-level LIMIT has been satisfied."""
+        """True once a top-level LIMIT has been satisfied.
+
+        Always false for live pipelines: maintenance needs the traversal
+        to reach true quiescence (a satisfied LIMIT still pools surplus
+        rows for later refills), so early termination is disabled.
+        """
+        if self.live:
+            return False
         return isinstance(self._root, LimitNode) and self._root.satisfied
 
     def advance(self, dataset: Dataset) -> list[Binding]:
@@ -1518,12 +2277,61 @@ class Pipeline:
             span.args["produced"] = len(finals)
         return produced + finals
 
+    def prepare_live(self, dataset: Dataset) -> None:
+        """Arm signed maintenance: every node builds its apply-time state.
+
+        Call exactly once, after :meth:`finalize`, on a live-compiled
+        pipeline.  From then on :meth:`poll_changes` maintains the result
+        multiset under signed dataset deltas.
+        """
+        if self._exists is not None:
+            self._exists.bind(dataset)
+        stack: list[IncrementalNode] = [self._root]
+        while stack:
+            node = stack.pop()
+            node.prepare_live(dataset)
+            stack.extend(node.children())
+
+    def poll_changes(self, dataset: Dataset) -> list[Change]:
+        """Feed signed log growth since the last call through the tree.
+
+        The slice is split into maximal same-sign runs so each
+        :meth:`IncrementalNode.apply` batch has a single polarity; the
+        returned changes are the net signed adjustments to the query's
+        result multiset.
+        """
+        position = dataset.log_position
+        if position == self._cursor:
+            return []
+        runs = dataset.signed_runs(self._cursor, position)
+        self._cursor = position
+        if self._exists is not None:
+            self._exists.bind(dataset)
+        tracer = self._tracer
+        changes: list[Change] = []
+        for sign, quads in runs:
+            batch = self._router.batch(quads, sign)
+            if tracer is None:
+                changes.extend(self._root.apply(batch, dataset))
+                continue
+            with tracer.span(
+                "apply-batch",
+                parent=self._trace_parent,
+                quads=len(quads),
+                sign=sign,
+            ) as span:
+                produced = self._root.apply(batch, dataset)
+                span.args["changes"] = len(produced)
+            changes.extend(produced)
+        return changes
+
 
 def compile_pipeline(
     where: Operator,
     evaluator: Optional[ExpressionEvaluator] = None,
     seed_iris: Iterable[str] = (),
     bgp_order=None,
+    live: bool = False,
 ) -> Pipeline:
     """Compile an algebra tree into an incremental pipeline.
 
@@ -1548,14 +2356,15 @@ def compile_pipeline(
         def bgp_order(patterns):
             return plan_bgp_order(patterns, seed_iris=seeds)
 
-    root = _compile(where, evaluator, bgp_order, graph=None)
-    return Pipeline(root, exists_context)
+    root = _compile(where, evaluator, bgp_order, graph=None, live=live)
+    return Pipeline(root, exists_context, live=live)
 
 
 def compile_query_pipeline(
     query: Query,
     seed_iris: Iterable[str] = (),
     bgp_order=None,
+    live: bool = False,
 ) -> Pipeline:
     """Compile a full parsed query — any form — into one pipeline.
 
@@ -1577,10 +2386,10 @@ def compile_query_pipeline(
     where = query.where
     if query.form == "ASK":
         where = Slice(Project(where, ()), offset=0, limit=1)
-    root = _compile(where, evaluator, bgp_order, graph=None)
+    root = _compile(where, evaluator, bgp_order, graph=None, live=live)
     if query.form == "DESCRIBE":
         root = DescribeNode(root, query)
-    return Pipeline(root, exists_context)
+    return Pipeline(root, exists_context, live=live)
 
 
 def _compile(
@@ -1588,54 +2397,63 @@ def _compile(
     evaluator: ExpressionEvaluator,
     bgp_order,
     graph: Optional[Term],
+    live: bool = False,
 ) -> IncrementalNode:
     if isinstance(op, BGP):
         return _compile_bgp(op, bgp_order, graph)
     if isinstance(op, Join):
         return JoinNode(
-            _compile(op.left, evaluator, bgp_order, graph),
-            _compile(op.right, evaluator, bgp_order, graph),
+            _compile(op.left, evaluator, bgp_order, graph, live),
+            _compile(op.right, evaluator, bgp_order, graph, live),
         )
     if isinstance(op, LeftJoin):
         return LeftJoinNode(
-            _compile(op.left, evaluator, bgp_order, graph),
-            _compile(op.right, evaluator, bgp_order, graph),
+            _compile(op.left, evaluator, bgp_order, graph, live),
+            _compile(op.right, evaluator, bgp_order, graph, live),
             op.expression,
             evaluator,
         )
     if isinstance(op, Union):
         return UnionNode(
-            _compile(op.left, evaluator, bgp_order, graph),
-            _compile(op.right, evaluator, bgp_order, graph),
+            _compile(op.left, evaluator, bgp_order, graph, live),
+            _compile(op.right, evaluator, bgp_order, graph, live),
         )
     if isinstance(op, Minus):
         return MinusNode(
-            _compile(op.left, evaluator, bgp_order, graph),
-            _compile(op.right, evaluator, bgp_order, graph),
+            _compile(op.left, evaluator, bgp_order, graph, live),
+            _compile(op.right, evaluator, bgp_order, graph, live),
         )
     if isinstance(op, Filter):
-        inner = _compile(op.input, evaluator, bgp_order, graph)
+        inner = _compile(op.input, evaluator, bgp_order, graph, live)
         if expression_contains_exists(op.expression):
             return ExistsFilterNode(inner, op.expression, evaluator)
         return FilterNode(inner, op.expression, evaluator)
     if isinstance(op, Extend):
         return ExtendNode(
-            _compile(op.input, evaluator, bgp_order, graph), op.variable, op.expression, evaluator
+            _compile(op.input, evaluator, bgp_order, graph, live),
+            op.variable,
+            op.expression,
+            evaluator,
         )
     if isinstance(op, GraphOp):
-        return _compile(op.input, evaluator, bgp_order, op.name)
+        return _compile(op.input, evaluator, bgp_order, op.name, live)
     if isinstance(op, ValuesOp):
         return ValuesNode(op)
     if isinstance(op, Project):
-        return ProjectNode(_compile(op.input, evaluator, bgp_order, graph), op.variables)
+        return ProjectNode(_compile(op.input, evaluator, bgp_order, graph, live), op.variables)
     if isinstance(op, Distinct):
-        return DistinctNode(_compile(op.input, evaluator, bgp_order, graph))
+        return DistinctNode(_compile(op.input, evaluator, bgp_order, graph, live))
     if isinstance(op, Reduced):
         # Streaming REDUCED: full dedup is permitted by the spec and free here.
-        return DistinctNode(_compile(op.input, evaluator, bgp_order, graph))
+        return DistinctNode(_compile(op.input, evaluator, bgp_order, graph, live))
     if isinstance(op, OrderBy):
         return OrderSliceNode(
-            _compile(op.input, evaluator, bgp_order, graph), op.conditions, 0, None, evaluator
+            _compile(op.input, evaluator, bgp_order, graph, live),
+            op.conditions,
+            0,
+            None,
+            evaluator,
+            live=live,
         )
     if isinstance(op, Slice):
         # Fuse ORDER BY + OFFSET/LIMIT into one top-k operator; sort keys
@@ -1643,36 +2461,38 @@ def _compile(
         # projected-away variables.
         if isinstance(op.input, OrderBy):
             return OrderSliceNode(
-                _compile(op.input.input, evaluator, bgp_order, graph),
+                _compile(op.input.input, evaluator, bgp_order, graph, live),
                 op.input.conditions,
                 op.offset,
                 op.limit,
                 evaluator,
+                live=live,
             )
         if isinstance(op.input, Project) and isinstance(op.input.input, OrderBy):
             order = op.input.input
             return ProjectNode(
                 OrderSliceNode(
-                    _compile(order.input, evaluator, bgp_order, graph),
+                    _compile(order.input, evaluator, bgp_order, graph, live),
                     order.conditions,
                     op.offset,
                     op.limit,
                     evaluator,
+                    live=live,
                 ),
                 op.input.variables,
             )
-        inner = _compile(op.input, evaluator, bgp_order, graph)
+        inner = _compile(op.input, evaluator, bgp_order, graph, live)
         if op.offset != 0:
-            return OrderSliceNode(inner, (), op.offset, op.limit, evaluator)
+            return OrderSliceNode(inner, (), op.offset, op.limit, evaluator, live=live)
         if op.limit is None:
             return inner
-        return LimitNode(inner, op.limit)
+        return LimitNode(inner, op.limit, live=live)
     if isinstance(op, GroupBy):
         return GroupAggregateNode(
-            _compile(op.input, evaluator, bgp_order, graph), op, evaluator
+            _compile(op.input, evaluator, bgp_order, graph, live), op, evaluator, live=live
         )
     if isinstance(op, SubSelect):
-        return _compile(op.query.where, evaluator, bgp_order, graph)
+        return _compile(op.query.where, evaluator, bgp_order, graph, live)
     raise NotStreamable(f"operator {type(op).__name__} has no physical implementation")
 
 

@@ -61,6 +61,39 @@ class GrowingTripleSource:
             self._notify()
         return added
 
+    def update_document(
+        self, url: str, triples: Iterable[Triple]
+    ) -> tuple[list[Triple], list[Triple]]:
+        """Replace a document's graph with a new parse, minimally.
+
+        Diffs ``triples`` against the document's current named graph and
+        applies only the difference: removed triples are retracted (signed
+        ``-1`` log entries), new ones inserted.  Returns
+        ``(added, removed)`` — empty/empty when the parse is unchanged.
+
+        This is the live-refresh ingest path: unlike :meth:`add_document`
+        it may *shrink* the store, so it must only run on executions whose
+        pipeline understands signed deltas.
+        """
+        graph_name = intern_iri(url)
+        graph = self._dataset.graph(graph_name)
+        new_triples = set(triples)
+        # Sorted so the signed log (and every downstream event stream) is
+        # deterministic regardless of set iteration order — sharded and
+        # unsharded subscriptions must observe identical change sequences.
+        sort_key = lambda t: (repr(t.subject), repr(t.predicate), repr(t.object))  # noqa: E731
+        removed = sorted((t for t in graph if t not in new_triples), key=sort_key)
+        added = sorted((t for t in new_triples if t not in graph), key=sort_key)
+        # Retractions first: an in-place mutation (same subject/predicate,
+        # new object) then reads retract-then-insert, never both present.
+        for triple in removed:
+            self._dataset.remove(Quad(triple.subject, triple.predicate, triple.object, graph_name))
+        for triple in added:
+            self._dataset.add(Quad(triple.subject, triple.predicate, triple.object, graph_name))
+        if added or removed:
+            self._notify()
+        return added, removed
+
     def close(self) -> None:
         """Signal end of traversal: no more growth will happen."""
         self._closed = True

@@ -180,6 +180,7 @@ class HttpClient:
         parent_url: Optional[str] = None,
         strict: bool = False,
         trace_parent=None,
+        revalidate: bool = False,
     ) -> Response:
         """Fetch a URL through the simulated Web.
 
@@ -189,6 +190,11 @@ class HttpClient:
         :class:`FetchError`.  Transient failures are retried according to
         the client's :class:`~repro.net.resilience.NetworkPolicy`; each
         attempt is logged separately.
+
+        ``revalidate=True`` skips the cache's freshness fast-path and
+        always issues a conditional request (``If-None-Match`` when an
+        ETag is cached): the live-refresh path, where a still-fresh cached
+        copy is exactly what must be re-checked against the origin.
 
         When the client's ``tracer`` is set, the call records a ``fetch``
         span (nested under ``trace_parent``) with one ``attempt`` child
@@ -217,7 +223,7 @@ class HttpClient:
             cache_entry = None
             if self._cache is not None and method == "GET":
                 cache_entry = self._cache.lookup(clean_url)
-                if cache_entry is not None and cache_entry.is_fresh():
+                if cache_entry is not None and not revalidate and cache_entry.is_fresh():
                     self._cache.hits += 1
                     if metrics is not None:
                         metrics.counter("cache.hits").inc()

@@ -176,6 +176,13 @@ def trace_execution_stats(tracer: Tracer) -> dict:
 
     Used by reconciliation tests: each value here must equal the
     corresponding field the engine accumulated through its own counters.
+
+    Live (standing-query) executions add the maintenance books: every
+    :meth:`~repro.ltqp.live.LiveQuery.refresh` leaves one ``refresh``
+    span (outcome ``changed``/``unchanged``/``failed`` plus the diff
+    sizes) and each signed maintenance batch leaves an ``apply-batch``
+    span, so the counters here must reconcile with the standing query's
+    event history and ``failed_refreshes`` map.
     """
     documents_fetched = 0
     documents_failed = 0
@@ -186,11 +193,36 @@ def trace_execution_stats(tracer: Tracer) -> dict:
     http_retries = 0
     http_timeouts = 0
     breaker_fast_fails = 0
+    refreshes = 0
+    refreshes_changed = 0
+    refreshes_unchanged = 0
+    refreshes_failed = 0
+    diff_added = 0
+    diff_removed = 0
+    apply_batches = 0
+    retraction_batches = 0
+    maintenance_changes = 0
     first_result_ts: Optional[float] = None
     query_start: Optional[float] = None
 
     for span in tracer.spans:
-        if span.name == "dereference":
+        if span.name == "refresh":
+            refreshes += 1
+            outcome = span.args.get("outcome")
+            if outcome == "changed":
+                refreshes_changed += 1
+                diff_added += span.args.get("added", 0)
+                diff_removed += span.args.get("removed", 0)
+            elif outcome == "unchanged":
+                refreshes_unchanged += 1
+            elif outcome == "failed":
+                refreshes_failed += 1
+        elif span.name == "apply-batch":
+            apply_batches += 1
+            if span.args.get("sign", 1) < 0:
+                retraction_batches += 1
+            maintenance_changes += span.args.get("changes", 0)
+        elif span.name == "dereference":
             outcome = span.args.get("outcome")
             if outcome == "ok":
                 documents_fetched += 1
@@ -233,4 +265,13 @@ def trace_execution_stats(tracer: Tracer) -> dict:
         "http_timeouts": http_timeouts,
         "breaker_fast_fails": breaker_fast_fails,
         "time_to_first_result": time_to_first_result,
+        "refreshes": refreshes,
+        "refreshes_changed": refreshes_changed,
+        "refreshes_unchanged": refreshes_unchanged,
+        "refreshes_failed": refreshes_failed,
+        "diff_added": diff_added,
+        "diff_removed": diff_removed,
+        "apply_batches": apply_batches,
+        "retraction_batches": retraction_batches,
+        "maintenance_changes": maintenance_changes,
     }

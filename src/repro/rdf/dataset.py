@@ -236,14 +236,24 @@ class Dataset:
     monotonically increasing sequence number.  :meth:`match_since` lets
     consumers resume a scan from a previous log position, which is the
     mechanism behind the LTQP engine's restartable pipelined scans.
+
+    The log is *signed*: every entry carries a polarity (``+1`` insertion,
+    ``-1`` retraction via :meth:`remove`).  During traversal the web only
+    grows, so the log is all-positive and :meth:`log_slice` is the whole
+    story; once documents start *changing* (live standing queries), signed
+    entries appear and :meth:`signed_runs` delivers them as maximal
+    same-polarity runs for incremental view maintenance.
     """
 
-    __slots__ = ("_graphs", "_union", "_log")
+    __slots__ = ("_graphs", "_union", "_log", "_signs", "_retractions")
 
     def __init__(self) -> None:
         self._graphs: dict[Optional[NamedNode], Graph] = {}
         self._union = Graph()
         self._log: list[Quad] = []
+        #: Parallel to ``_log``: +1 for insertions, -1 for retractions.
+        self._signs: list[int] = []
+        self._retractions = 0
 
     @property
     def union(self) -> Graph:
@@ -278,6 +288,31 @@ class Dataset:
             return False
         self._union.add(triple)
         self._log.append(quad)
+        self._signs.append(1)
+        return True
+
+    def remove(self, quad: Quad) -> bool:
+        """Retract a quad; returns ``True`` when it was present in its graph.
+
+        The union graph only drops the triple when *no other* graph still
+        holds it (cross-document duplicates keep the union entry alive).
+        The retraction is appended to the log with sign ``-1`` so signed
+        consumers (:meth:`signed_runs`) observe it in arrival order.
+        """
+        graph = self._graphs.get(quad.graph)
+        if graph is None:
+            return False
+        triple = quad.triple
+        if not graph.discard(triple):
+            return False
+        for name, other in self._graphs.items():
+            if name != quad.graph and triple in other:
+                break
+        else:
+            self._union.discard(triple)
+        self._log.append(quad)
+        self._signs.append(-1)
+        self._retractions += 1
         return True
 
     def add_triples(self, triples: Iterable[Triple], graph: Optional[NamedNode] = None) -> int:
@@ -315,7 +350,10 @@ class Dataset:
         s = subject if _is_concrete(subject) else None
         p = predicate if _is_concrete(predicate) else None
         o = object if _is_concrete(object) else None
+        signs = self._signs
         for index in range(position, len(self._log)):
+            if signs[index] < 0:
+                continue
             quad = self._log[index]
             if s is not None and quad.subject != s:
                 continue
@@ -334,12 +372,60 @@ class Dataset:
             return self._log[start:]
         return self._log[start:stop]
 
+    def retractions_since(self, start: int) -> int:
+        """Number of sign ``-1`` log entries at sequence >= ``start``.
+
+        Zero for the whole traversal phase; the pipeline uses this to tell
+        a plain additive advance from a window that needs signed dispatch.
+        """
+        if not self._retractions:
+            return 0
+        return sum(1 for sign in self._signs[start:] if sign < 0)
+
+    def signed_runs(self, start: int, stop: Optional[int] = None) -> list[tuple[int, list[Quad]]]:
+        """The log window ``[start, stop)`` as maximal same-sign runs.
+
+        Returns ``[(sign, quads), ...]`` in log order — the shape the live
+        pipeline dispatches: each run becomes one signed
+        :class:`~repro.ltqp.pipeline.DeltaBatch`.
+        """
+        end = len(self._log) if stop is None else stop
+        runs: list[tuple[int, list[Quad]]] = []
+        signs = self._signs
+        log = self._log
+        index = start
+        while index < end:
+            sign = signs[index]
+            run_end = index + 1
+            while run_end < end and signs[run_end] == sign:
+                run_end += 1
+            runs.append((sign, log[index:run_end]))
+            index = run_end
+        return runs
+
     def quads(self) -> Iterator[Quad]:
-        return iter(self._log)
+        """The *live* quads in first-insertion order.
+
+        All-positive log: a plain log iteration.  After retractions, log
+        order is kept but dead entries are filtered out.
+        """
+        if not self._retractions:
+            return iter(self._log)
+        return self._live_quads()
+
+    def _live_quads(self) -> Iterator[Quad]:
+        emitted: set[Quad] = set()
+        for quad, sign in zip(self._log, self._signs):
+            if sign < 0 or quad in emitted:
+                continue
+            graph = self._graphs.get(quad.graph)
+            if graph is not None and quad.triple in graph:
+                emitted.add(quad)
+                yield quad
 
     def __len__(self) -> int:
-        """Total number of (triple, graph) pairs stored."""
-        return len(self._log)
+        """Total number of *live* (triple, graph) pairs stored."""
+        return len(self._log) - 2 * self._retractions
 
     def __contains__(self, triple: object) -> bool:
         return triple in self._union

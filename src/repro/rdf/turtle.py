@@ -320,7 +320,12 @@ class TurtleParser:
             label = label[:-1]
             self._pos -= 1
         if label not in self._bnode_labels:
-            self._bnode_labels[label] = self._fresh_bnode(hint=label)
+            # Keyed by the document's own label, not the allocation
+            # counter: re-parsing the same document yields the same term
+            # for ``_:x`` regardless of statement order, so live re-diffs
+            # of an edited document stay minimal.  Only anonymous ``[]``
+            # nodes draw from the counter.
+            self._bnode_labels[label] = BlankNode(f"{self._bnode_prefix}{label}")
         return self._bnode_labels[label]
 
     def _read_rdf_literal(self) -> Literal:

@@ -30,11 +30,17 @@ from .host import ServiceHost
 from .protocol import ServiceSparqlApp
 from .resources import SharedResources
 from .router import HashRing, ShardRouter, pod_origin
-from .service import QueryService, ServiceOverloadedError, ServiceQuery
+from .service import (
+    QueryService,
+    ServiceOverloadedError,
+    ServiceQuery,
+    ServiceSubscription,
+)
 from .shards import (
     ShardedQuery,
     ShardedQueryService,
     ShardedResult,
+    ShardedSubscription,
     ShardSpec,
     WorkerCrashedError,
 )
@@ -49,6 +55,7 @@ __all__ = [
     "SharedResources",
     "QueryService",
     "ServiceQuery",
+    "ServiceSubscription",
     "ServiceOverloadedError",
     "ServiceSparqlApp",
     "ServiceHost",
@@ -59,5 +66,6 @@ __all__ = [
     "ShardedQuery",
     "ShardedQueryService",
     "ShardedResult",
+    "ShardedSubscription",
     "WorkerCrashedError",
 ]

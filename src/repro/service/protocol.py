@@ -13,12 +13,21 @@ Protocol extensions beyond the shared plumbing:
 * admission rejections surface as ``503`` with a ``retry-after`` hint;
 * ``GET /service/status`` — the versioned schema-2 status document
   (:mod:`repro.service.status`): service counters, per-tier cache and
-  storage statistics, worker pool summary, query registry.
+  storage statistics, worker pool summary, query registry;
+* ``GET /subscribe?query=...`` — open a *standing* query: the response
+  carries a subscription id plus the initial signed events; poll
+  ``/subscribe?id=...&after=SEQ`` (long-poll via ``&wait=SECONDS``) for
+  subsequent result changes, ``&close=1`` to end the stream;
+* ``POST /update?url=...`` — apply a SPARQL Update to one pod document
+  (owner-authenticated on the simulated server); standing queries are
+  drained before the response, so their events are ready to poll.
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
+import time
 from urllib.parse import parse_qs, urlsplit
 
 from ..federation.endpoint import SparqlProtocolApp
@@ -26,8 +35,29 @@ from ..net.message import Request, Response
 from ..sparql.algebra import Query
 from .service import QueryService, ServiceOverloadedError
 from .status import build_status, build_status_async
+from .wire import encode_term
 
 __all__ = ["ServiceSparqlApp"]
+
+
+def _event_json(event) -> dict:
+    """One signed result change as a JSON-friendly object."""
+    return {
+        "seq": event.seq,
+        "delta": event.delta,
+        "url": event.url,
+        "binding": {
+            variable.value: encode_term(term)
+            for variable, term in sorted(
+                event.binding.items(), key=lambda item: item[0].value
+            )
+        },
+    }
+
+
+def _json_response(document: dict, status: int = 200) -> Response:
+    body = json.dumps(document).encode("utf-8")
+    return Response(status, {"content-type": "application/json"}, body)
 
 
 class ServiceSparqlApp(SparqlProtocolApp):
@@ -38,23 +68,118 @@ class ServiceSparqlApp(SparqlProtocolApp):
         service: QueryService,
         path: str = "/sparql",
         status_path: str = "/service/status",
+        subscribe_path: str = "/subscribe",
+        update_path: str = "/update",
     ) -> None:
         super().__init__(path)
         self._service = service
         self._status_path = status_path
+        self._subscribe_path = subscribe_path
+        self._update_path = update_path
 
     @property
     def service(self) -> QueryService:
         return self._service
 
     async def handle_other(self, request: Request) -> Response:
-        if urlsplit(request.url).path == self._status_path:
+        path = urlsplit(request.url).path
+        if path == self._status_path:
             # Sharded front-ends poll every worker live inside the async
             # build, so the document aggregates *current* shard gauges.
             document = await build_status_async(self._service)
-            body = json.dumps(document).encode("utf-8")
-            return Response(200, {"content-type": "application/json"}, body)
+            return _json_response(document)
+        if path == self._subscribe_path:
+            return await self._handle_subscribe(request)
+        if path == self._update_path:
+            return await self._handle_update(request)
         return Response.not_found(request.url)
+
+    # -- standing queries over HTTP -------------------------------------
+
+    async def _handle_subscribe(self, request: Request) -> Response:
+        """Open, poll, or close a standing query (long-poll transport).
+
+        ``?query=...[&seeds=...]`` opens one and returns its id plus the
+        initial events; ``?id=...&after=SEQ[&wait=S]`` returns events
+        with ``seq > SEQ``, blocking up to ``S`` seconds for new ones;
+        ``?id=...&close=1`` ends the subscription.
+        """
+        params = parse_qs(urlsplit(request.url).query)
+        sub_id = params.get("id", [""])[0]
+        if not sub_id:
+            query_text = params.get("query", [""])[0]
+            if not query_text:
+                return Response(
+                    400, {"content-type": "text/plain"}, b"missing query or id"
+                )
+            seeds_param = params.get("seeds", [""])[0]
+            seeds = [seed for seed in seeds_param.split(",") if seed] or None
+            try:
+                subscription = await self._service.subscribe(query_text, seeds=seeds)
+            except ServiceOverloadedError as error:
+                return Response(
+                    503,
+                    {"content-type": "text/plain", "retry-after": "1"},
+                    str(error).encode("utf-8"),
+                )
+            except Exception as error:  # noqa: BLE001 — a bad query is a 400
+                return Response(
+                    400, {"content-type": "text/plain"}, str(error).encode("utf-8")
+                )
+            events = list(subscription.events)
+            return _json_response(
+                {
+                    "subscription": subscription.id,
+                    "events": [_event_json(event) for event in events],
+                    "next": events[-1].seq + 1 if events else 0,
+                }
+            )
+        subscription = self._service.get_subscription(sub_id)
+        if subscription is None:
+            return Response(404, {"content-type": "text/plain"}, b"unknown subscription")
+        if params.get("close", [""])[0]:
+            await subscription.close()
+            return _json_response({"subscription": sub_id, "closed": True})
+        after = int(params.get("after", ["-1"])[0])
+        wait = float(params.get("wait", ["0"])[0])
+
+        async def fresh_events() -> list:
+            # In-process services drain here so writes applied directly
+            # to a pod (not via /update) surface without an extra poke;
+            # sharded workers drain on their own loops.
+            drainer = getattr(self._service, "drain_subscriptions", None)
+            if drainer is not None:
+                await drainer()
+            return [event for event in subscription.events if event.seq > after]
+
+        events = await fresh_events()
+        deadline = time.monotonic() + wait
+        while not events and not subscription.closed and time.monotonic() < deadline:
+            await asyncio.sleep(0.05)
+            events = await fresh_events()
+        return _json_response(
+            {
+                "subscription": sub_id,
+                "events": [_event_json(event) for event in events],
+                "next": events[-1].seq + 1 if events else after + 1,
+                "closed": subscription.closed,
+            }
+        )
+
+    async def _handle_update(self, request: Request) -> Response:
+        """Apply a SPARQL Update to one pod document via the service."""
+        params = parse_qs(urlsplit(request.url).query)
+        url = params.get("url", [""])[0]
+        update = request.body.decode("utf-8") if request.body else ""
+        if not url or not update:
+            return Response(
+                400, {"content-type": "text/plain"}, b"need url param and update body"
+            )
+        try:
+            report = await self._service.apply_update(url, update)
+        except RuntimeError as error:
+            return Response(409, {"content-type": "text/plain"}, str(error).encode("utf-8"))
+        return _json_response(report)
 
     def status_document(self) -> dict:
         return build_status(self._service)

@@ -66,6 +66,10 @@ class SharedResources:
         storage_backend: Optional[str] = None,
         storage: Optional[StorageBackend] = None,
     ) -> None:
+        #: The simulated Web this service answers from — retained so the
+        #: service layer can reach origin apps directly (change listeners
+        #: on Solid servers, authenticated control-plane updates).
+        self.internet = internet
         self.policy = policy if policy is not None else NetworkPolicy()
         self.storage = (
             storage

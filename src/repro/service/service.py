@@ -31,6 +31,8 @@ import itertools
 import time
 from typing import Iterable, Optional, Union as TypingUnion
 
+from urllib.parse import urlsplit
+
 from ..ltqp.engine import (
     EngineConfig,
     ExecutionResult,
@@ -39,10 +41,17 @@ from ..ltqp.engine import (
     TraversalPolicy,
 )
 from ..ltqp.extractors import default_extractors
+from ..ltqp.live import LiveQuery, ResultChange
+from ..net.message import Request
 from ..sparql.algebra import Query
 from .resources import SharedResources
 
-__all__ = ["ServiceOverloadedError", "ServiceQuery", "QueryService"]
+__all__ = [
+    "ServiceOverloadedError",
+    "ServiceQuery",
+    "ServiceSubscription",
+    "QueryService",
+]
 
 
 class ServiceOverloadedError(RuntimeError):
@@ -113,6 +122,60 @@ class ServiceQuery:
         }
 
 
+class ServiceSubscription:
+    """Registry entry + handle for one standing query on the service.
+
+    Wraps a :class:`~repro.ltqp.live.LiveQuery` whose change intake is
+    wired to every Solid server the service's simulated internet hosts:
+    an accepted PATCH/PUT anywhere notifies the live query, and the
+    service drains the notifications into signed result-change events.
+    """
+
+    def __init__(self, sub_id: str, live: LiveQuery, service: "QueryService") -> None:
+        self.id = sub_id
+        self.live = live
+        self._service = service
+
+    @property
+    def query(self) -> Query:
+        return self.live.query
+
+    @property
+    def events(self) -> list[ResultChange]:
+        """Full ordered change history (initial results as ``+1`` events)."""
+        return self.live.events
+
+    @property
+    def closed(self) -> bool:
+        return self.live.closed
+
+    def current_results(self) -> dict:
+        return self.live.current_results()
+
+    def queue(self) -> asyncio.Queue:
+        """An event queue replaying the history, then streaming updates."""
+        return self.live.subscribe()
+
+    async def drain(self) -> list[ResultChange]:
+        """Refresh every document flagged changed since the last drain."""
+        return await self.live.drain()
+
+    async def close(self) -> None:
+        """End the standing query and unregister it from the service."""
+        self._service._drop_subscription(self)
+
+    def snapshot(self) -> dict:
+        return {
+            "id": self.id,
+            "form": self.query.form,
+            "events": len(self.live.events),
+            "results": sum(self.live.current_results().values()),
+            "pending": len(self.live.pending),
+            "failed_refreshes": len(self.live.failed_refreshes),
+            "closed": self.live.closed,
+        }
+
+
 class QueryService:
     """Executes many queries over shared resources with admission control."""
 
@@ -140,6 +203,10 @@ class QueryService:
         )
         self._semaphore = asyncio.Semaphore(self._max_concurrent)
         self._registry: dict[str, ServiceQuery] = {}
+        self._subscriptions: dict[str, ServiceSubscription] = {}
+        self._sub_ids = itertools.count(1)
+        self._listening: list = []  # SolidServers we installed listeners on
+        self._drain_task: Optional[asyncio.Task] = None
         self._ids = itertools.count(1)
         self._active = 0
         self._queued = 0
@@ -209,8 +276,28 @@ class QueryService:
             "completed": self.completed,
             "failed": self.failed,
             "cancelled": self.cancelled,
+            "subscriptions": len(self._subscriptions),
+            "shutdown_errors": self.shutdown_errors(),
             **self._resources.statistics(),
         }
+
+    def shutdown_errors(self) -> list[str]:
+        """Teardown exceptions swallowed by any execution, query-tagged.
+
+        Shutdown must not fail a query, but an operator must still see
+        these — they surface here and in ``/service/status``.
+        """
+        errors: list[str] = []
+        for handle in self._registry.values():
+            execution = handle.execution
+            if execution is None:
+                continue
+            for error in execution.stats.shutdown_errors:
+                errors.append(f"{handle.id}: {error}")
+        for subscription in self._subscriptions.values():
+            for error in subscription.live.execution.stats.shutdown_errors:
+                errors.append(f"{subscription.id}: {error}")
+        return errors
 
     # -- submission -----------------------------------------------------
 
@@ -261,6 +348,128 @@ class QueryService:
     ) -> ExecutionResult:
         """Submit and wait: the one-call path for front-ends."""
         return await self.submit(query, seeds=seeds, **kwargs).wait()
+
+    # -- standing queries -----------------------------------------------
+
+    def subscriptions(self) -> list[ServiceSubscription]:
+        return list(self._subscriptions.values())
+
+    def get_subscription(self, sub_id: str) -> Optional[ServiceSubscription]:
+        return self._subscriptions.get(sub_id)
+
+    async def subscribe(
+        self,
+        query: TypingUnion[str, Query],
+        seeds: Optional[Iterable[str]] = None,
+        tracer=None,
+        metrics=None,
+        max_documents: Optional[int] = None,
+        max_duration: Optional[float] = None,
+    ) -> ServiceSubscription:
+        """Open a standing query: run it to quiescence, then keep its
+        result multiset current as pods change.
+
+        The returned :class:`ServiceSubscription` exposes the signed
+        event stream (:meth:`ServiceSubscription.queue`); change intake
+        is automatic — every :class:`~repro.solid.server.SolidServer` on
+        the service's internet notifies the subscription on accepted
+        writes, and a drain task turns notifications into refreshes.
+        Counts against the same admission capacity as :meth:`submit`.
+        """
+        metrics_registry = self._resources.metrics
+        if self._active + self._queued >= self._max_concurrent + self._max_queued:
+            self.rejected += 1
+            metrics_registry.counter("service.rejected").inc()
+            raise ServiceOverloadedError(
+                f"service at capacity ({self._active} running, {self._queued} queued)"
+            )
+        traversal = self._traversal_for(max_documents, max_duration)
+        live = LiveQuery(
+            self._engine,
+            query,
+            seeds=seeds,
+            tracer=tracer,
+            metrics=metrics,
+            traversal=traversal,
+        )
+        self._active += 1
+        self._sync_gauges()
+        try:
+            await live.start()
+        finally:
+            self._active -= 1
+            self._sync_gauges()
+        subscription = ServiceSubscription(f"s{next(self._sub_ids)}", live, self)
+        self._subscriptions[subscription.id] = subscription
+        metrics_registry.counter("service.subscriptions").inc()
+        self._ensure_change_listeners()
+        return subscription
+
+    async def apply_update(self, url: str, update: str) -> dict:
+        """Apply a SPARQL Update to one pod document, owner-authenticated.
+
+        The control-plane edit path for demos and tests: dispatches a
+        ``PATCH`` (``application/sparql-update``) to the document's
+        origin app with the pod owner's credentials, then drains every
+        standing query so the resulting signed events are published
+        before this call returns.  Raises on a rejected update.
+        """
+        url = url.split("#", 1)[0]
+        internet = self._resources.internet
+        parts = urlsplit(url)
+        app = internet.app_for(f"{parts.scheme}://{parts.netloc}")
+        headers = {"content-type": "application/sparql-update"}
+        login = getattr(app, "login_owner", None)
+        if login is not None:
+            headers.update(login(parts.path))
+        response = await internet.dispatch(
+            Request("PATCH", url, headers, update.encode("utf-8"))
+        )
+        if response.status >= 400:
+            raise RuntimeError(
+                f"update rejected: HTTP {response.status} for {url}: "
+                f"{response.body.decode('utf-8', 'replace')[:200]}"
+            )
+        events = await self.drain_subscriptions()
+        return {"url": url, "status": response.status, "events": len(events)}
+
+    async def drain_subscriptions(self) -> list[ResultChange]:
+        """Refresh every changed document across all standing queries."""
+        events: list[ResultChange] = []
+        for subscription in list(self._subscriptions.values()):
+            events.extend(await subscription.live.drain())
+        return events
+
+    def _ensure_change_listeners(self) -> None:
+        """Install one change listener per Solid server, once."""
+        internet = self._resources.internet
+        for origin in internet.origins():
+            app = internet.app_for(origin)
+            if app in self._listening:
+                continue
+            add = getattr(app, "add_change_listener", None)
+            if add is None:
+                continue
+            add(self._on_document_changed)
+            self._listening.append(app)
+
+    def _on_document_changed(self, url: str) -> None:
+        """Solid-server write listener: flag the document, schedule a drain."""
+        notified = False
+        for subscription in self._subscriptions.values():
+            if not subscription.live.closed:
+                subscription.live.notify(url)
+                notified = True
+        if notified:
+            self._schedule_drain()
+
+    def _schedule_drain(self) -> None:
+        if self._drain_task is None or self._drain_task.done():
+            self._drain_task = asyncio.ensure_future(self.drain_subscriptions())
+
+    def _drop_subscription(self, subscription: ServiceSubscription) -> None:
+        subscription.live.close()
+        self._subscriptions.pop(subscription.id, None)
 
     # -- internals ------------------------------------------------------
 

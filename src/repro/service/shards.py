@@ -41,12 +41,20 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Union as TypingUnion
 
+from ..ltqp.live import ResultChange
 from ..ltqp.stats import TimedResult
 from ..sparql.algebra import Query
 from ..sparql.parser import parse_query
 from .router import ShardRouter
 from .service import ServiceOverloadedError
-from .wire import decode_results, document_from_wire, document_to_wire, encode_results
+from .wire import (
+    decode_events,
+    decode_results,
+    document_from_wire,
+    document_to_wire,
+    encode_events,
+    encode_results,
+)
 
 __all__ = [
     "ShardSpec",
@@ -54,6 +62,7 @@ __all__ = [
     "ShardQueryError",
     "ShardedQuery",
     "ShardedResult",
+    "ShardedSubscription",
     "ShardedQueryService",
 ]
 
@@ -133,6 +142,7 @@ def _stats_summary(stats) -> dict:
         "total_time": stats.total_time,
         "time_to_first_result": stats.time_to_first_result,
         "streaming": stats.streaming,
+        "shutdown_errors": list(stats.shutdown_errors),
         "completeness": stats.completeness(),
     }
 
@@ -164,6 +174,28 @@ async def _report_query(conn, req_id: str, handle, registry: dict) -> None:
             },
         )
     )
+
+
+def _event_forwarder(conn, req_id: str):
+    """A synchronous LiveQuery listener shipping signed events to the
+    front-end.
+
+    Invoked inline at publish time, so every ``events`` message hits the
+    pipe *before* the ``done`` ack of the edit that caused it — the
+    front-end observes events-then-ack ordering deterministically.
+    ``None`` (close) becomes the end-of-stream marker.
+    """
+
+    def forward(events) -> None:
+        try:
+            if events is None:
+                conn.send(("events", req_id, None))
+            else:
+                conn.send(("events", req_id, encode_events(events)))
+        except (OSError, BrokenPipeError, ValueError):
+            pass
+
+    return forward
 
 
 async def _worker_loop(conn, spec: ShardSpec) -> None:
@@ -204,6 +236,7 @@ async def _worker_loop(conn, spec: ShardSpec) -> None:
 
     loop = asyncio.get_running_loop()
     inflight: dict[str, object] = {}
+    subscriptions: dict[str, object] = {}
     while True:
         try:
             message = await loop.run_in_executor(None, conn.recv)
@@ -216,6 +249,11 @@ async def _worker_loop(conn, spec: ShardSpec) -> None:
             handle = inflight.get(message[1])
             if handle is not None:
                 asyncio.ensure_future(handle.cancel())
+            continue
+        if kind == "unsubscribe":
+            subscription = subscriptions.pop(message[1], None)
+            if subscription is not None:
+                asyncio.ensure_future(subscription.close())
             continue
         req_id = message[1]
         try:
@@ -230,6 +268,38 @@ async def _worker_loop(conn, spec: ShardSpec) -> None:
                     asyncio.ensure_future(
                         _report_query(conn, req_id, handle, inflight)
                     )
+            elif kind == "subscribe":
+                # Standing queries run to quiescence inline: ordering
+                # matters here — a "patch" arriving after this message is
+                # guaranteed to see the subscription live.
+                _, _, text, seeds, opts = message
+                try:
+                    subscription = await service.subscribe(text, seeds=seeds, **opts)
+                except ServiceOverloadedError as error:
+                    conn.send(("error", req_id, "overloaded", str(error)))
+                else:
+                    subscriptions[req_id] = subscription
+                    conn.send(
+                        (
+                            "done",
+                            req_id,
+                            {
+                                "subscription": subscription.id,
+                                "events": len(subscription.events),
+                            },
+                        )
+                    )
+                    forward = _event_forwarder(conn, req_id)
+                    if subscription.events:
+                        forward(subscription.events)  # replay initial results
+                    subscription.live.add_listener(forward)
+            elif kind == "patch":
+                # A pod edit: every worker owns a private copy of the
+                # deterministic universe, so edits are *broadcast* by the
+                # front-end and applied locally on each shard.
+                _, _, url, update = message
+                report = await service.apply_update(url, update)
+                conn.send(("done", req_id, report))
             elif kind == "status":
                 conn.send(
                     (
@@ -391,6 +461,10 @@ class _ShardWorker:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._reader: Optional[threading.Thread] = None
         self._pending: dict[str, dict] = {}
+        #: req-id → callback for streamed subscription events; unlike
+        #: ``_pending`` entries these outlive their "done" ack and are
+        #: removed only by the ``None`` end-of-stream marker (or a crash).
+        self._events: dict[str, object] = {}
         self._ids = itertools.count(1)
         self.ready: Optional[asyncio.Future] = None
         self.on_crash = None  # callback(worker) installed by the service
@@ -432,6 +506,8 @@ class _ShardWorker:
                 # Decode off the event loop: re-interning is GIL-safe and
                 # keeps row decoding out of the front-end's latency path.
                 message = ("rows", message[1], decode_results(message[2]))
+            elif message[0] == "events" and message[2] is not None:
+                message = ("events", message[1], decode_events(message[2]))
             elif message[0] == "done" and isinstance(message[2], dict) and "rows" in message[2]:
                 payload = dict(message[2])
                 payload["rows"] = decode_results(payload["rows"])
@@ -462,6 +538,14 @@ class _ShardWorker:
                 self.ready.set_exception(WorkerCrashedError(message[1]))
             return
         req_id = message[1]
+        if kind == "events":
+            handler = self._events.get(req_id)
+            if handler is None:
+                return
+            if message[2] is None:
+                del self._events[req_id]
+            handler(message[2])
+            return
         entry = self._pending.get(req_id)
         if entry is None:
             return
@@ -497,6 +581,10 @@ class _ShardWorker:
                 entry["future"].set_exception(
                     WorkerCrashedError(f"shard {self.name} died mid-query")
                 )
+        # Subscriptions on a dead worker end their event streams cleanly.
+        handlers, self._events = self._events, {}
+        for handler in handlers.values():
+            handler(None)
         if not was_stopping and self.on_crash is not None:
             self.on_crash(self)
 
@@ -526,6 +614,12 @@ class _ShardWorker:
         except (OSError, BrokenPipeError, ValueError):
             pass
 
+    def send_unsubscribe(self, req_id: str) -> None:
+        try:
+            self.conn.send(("unsubscribe", req_id))
+        except (OSError, BrokenPipeError, ValueError):
+            pass
+
     async def stop(self, join_timeout: float = 5.0) -> None:
         """Ask the worker to exit; escalate to terminate/kill on timeout."""
         if self.process is None:
@@ -551,7 +645,7 @@ class _ShardWorker:
 
 
 def _sum_stats(documents: Iterable[dict]) -> dict:
-    """Merge shard statistics: sum numbers, recurse into dicts."""
+    """Merge shard statistics: sum numbers, concatenate lists, recurse."""
     total: dict = {}
     for document in documents:
         for key, value in document.items():
@@ -561,7 +655,92 @@ def _sum_stats(documents: Iterable[dict]) -> dict:
                 continue
             elif isinstance(value, (int, float)):
                 total[key] = total.get(key, 0) + value
+            elif isinstance(value, list):
+                # Error lists (e.g. shutdown_errors) aggregate by concat,
+                # so per-shard teardown failures stay visible in totals.
+                total[key] = total.get(key, []) + value
     return total
+
+
+class ShardedSubscription:
+    """Front-end handle for one standing query living on a shard worker.
+
+    Mirrors :class:`~repro.service.service.ServiceSubscription`: signed
+    :class:`~repro.ltqp.live.ResultChange` events accumulate on
+    :attr:`events` (decoded and re-interned from the worker's wire
+    blocks), :meth:`queue` hands out asyncio queues that replay the
+    history and then stream, and :meth:`close` tears down the
+    worker-side subscription (queues receive ``None``).
+    """
+
+    def __init__(
+        self, sub_id: str, query: Query, shard: str, worker: "_ShardWorker", req_id: str
+    ) -> None:
+        self.id = sub_id
+        self.query = query
+        self.shard = shard
+        self._worker = worker
+        self._req_id = req_id
+        self.events: list[ResultChange] = []
+        self._queues: list[asyncio.Queue] = []
+        self._closed = False
+        self._ended = asyncio.Event()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _deliver(self, events: Optional[list[ResultChange]]) -> None:
+        """Reader-loop callback: append a decoded batch (None = stream end)."""
+        if events is None:
+            if not self._closed:
+                self._closed = True
+                for queue in self._queues:
+                    queue.put_nowait(None)
+                self._queues.clear()
+            self._ended.set()
+            return
+        self.events.extend(events)
+        for queue in self._queues:
+            for event in events:
+                queue.put_nowait(event)
+
+    def current_results(self) -> dict:
+        """The maintained result multiset (replay of the event history)."""
+        multiset: dict = {}
+        for event in self.events:
+            total = multiset.get(event.binding, 0) + event.delta
+            if total:
+                multiset[event.binding] = total
+            else:
+                multiset.pop(event.binding, None)
+        return multiset
+
+    def queue(self) -> asyncio.Queue:
+        queue: asyncio.Queue = asyncio.Queue()
+        for event in self.events:
+            queue.put_nowait(event)
+        if self._closed:
+            queue.put_nowait(None)
+        else:
+            self._queues.append(queue)
+        return queue
+
+    async def close(self) -> None:
+        """Unsubscribe on the worker; returns once the stream has ended."""
+        if not self._closed:
+            self._worker.send_unsubscribe(self._req_id)
+        await self._ended.wait()
+
+    def snapshot(self) -> dict:
+        return {
+            "id": self.id,
+            "shard": self.shard,
+            "form": self.query.form,
+            "events": len(self.events),
+            "results": sum(self.current_results().values()),
+            "closed": self._closed,
+        }
 
 
 class ShardedQueryService:
@@ -595,6 +774,8 @@ class ShardedQueryService:
         self._router = ShardRouter((), mode=routing)
         self._workers = {name: _ShardWorker(name, spec, self._context) for name in names}
         self._registry: dict[str, ShardedQuery] = {}
+        self._subscriptions: dict[str, ShardedSubscription] = {}
+        self._sub_ids = itertools.count(1)
         self._ids = itertools.count(1)
         self._restarts = 0
         self.accepted = 0
@@ -822,6 +1003,83 @@ class ShardedQueryService:
         """Submit and wait: the one-call path for front-ends."""
         return await self.submit(query, seeds=seeds, **kwargs).wait()
 
+    # -- standing queries -----------------------------------------------
+
+    def subscriptions(self) -> list[ShardedSubscription]:
+        return list(self._subscriptions.values())
+
+    def get_subscription(self, sub_id: str) -> Optional[ShardedSubscription]:
+        return self._subscriptions.get(sub_id)
+
+    async def subscribe(
+        self,
+        query: TypingUnion[str, Query],
+        seeds: Optional[Iterable[str]] = None,
+        max_documents: Optional[int] = None,
+        max_duration: Optional[float] = None,
+    ) -> ShardedSubscription:
+        """Open a standing query on the shard its routing key selects.
+
+        The worker runs it to quiescence, keeps the live execution open,
+        and streams every signed result-change event back over the wire
+        (rows carry their sign); the returned handle re-interns them and
+        replays the exact same event sequence an unsharded subscription
+        would observe.
+        """
+        text, parsed = self._coerce(query)
+        seed_list = list(seeds) if seeds is not None else None
+        shard_name = self._router.route(text, seed_list)
+        if shard_name is None:
+            self.rejected += 1
+            raise ServiceOverloadedError("no shards ready")
+        worker = self._workers[shard_name]
+        opts = {}
+        if max_documents is not None:
+            opts["max_documents"] = max_documents
+        if max_duration is not None:
+            opts["max_duration"] = max_duration
+        try:
+            req_id, future = worker.begin("subscribe", text, seed_list, opts)
+        except WorkerCrashedError:
+            self.rejected += 1
+            raise ServiceOverloadedError(f"shard {shard_name} just died") from None
+        handle = ShardedSubscription(
+            f"s{next(self._sub_ids)}", parsed, shard_name, worker, req_id
+        )
+        # Register the event route *before* awaiting the ack: the worker
+        # may pump the initial-results batch immediately after it.
+        worker._events[req_id] = handle._deliver
+        try:
+            await future
+        except BaseException:
+            worker._events.pop(req_id, None)
+            raise
+        self._subscriptions[handle.id] = handle
+        self.accepted += 1
+        return handle
+
+    async def apply_update(self, url: str, update: str) -> dict:
+        """Apply one pod edit across the whole deployment.
+
+        Every worker owns a private deterministic copy of the simulated
+        universe, so a write must reach *all* of them — the front-end
+        broadcasts a ``patch`` message and each shard applies the
+        authenticated PATCH locally, then drains its standing queries.
+        Events reach subscribers before this returns.
+        """
+        ready = [w for w in self._workers.values() if w.state == "ready"]
+        if not ready:
+            raise ServiceOverloadedError("no shards ready")
+        reports = await asyncio.gather(
+            *(w.request("patch", url, update, timeout=60.0) for w in ready)
+        )
+        return {
+            "url": url,
+            "status": reports[0]["status"],
+            "events": sum(report.get("events", 0) for report in reports),
+            "shards": len(reports),
+        }
+
     # -- introspection --------------------------------------------------
 
     def get(self, query_id: str) -> Optional[ShardedQuery]:
@@ -858,6 +1116,7 @@ class ShardedQueryService:
             "completed": self.completed,
             "failed": self.failed,
             "cancelled": self.cancelled,
+            "subscriptions": len(self._subscriptions),
             "inflight": sum(w.inflight for w in self._workers.values()),
             "shards": shard_stats,
             "totals": _sum_stats(

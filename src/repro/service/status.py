@@ -36,6 +36,8 @@ _SERVICE_KEYS = (
     "completed",
     "failed",
     "cancelled",
+    "subscriptions",
+    "shutdown_errors",
     "http_cache",
     "document_store",
     "storage",
@@ -48,10 +50,17 @@ def _service_block(source: dict, counters: dict) -> dict:
     admission counters from ``counters`` (the same dict when unsharded)."""
     block = {}
     for key in _SERVICE_KEYS:
-        origin = counters if key in ("accepted", "rejected", "completed", "failed", "cancelled") else source
+        origin = counters if key in ("accepted", "rejected", "completed", "failed", "cancelled", "subscriptions") else source
         value = origin.get(key)
         if value is None:
-            value = {} if key in ("http_cache", "document_store", "storage") else 0
+            if key in ("http_cache", "document_store", "storage"):
+                value = {}
+            elif key == "shutdown_errors":
+                # Swallowed teardown exceptions, aggregated across shards;
+                # an empty list is the healthy state.
+                value = []
+            else:
+                value = 0
         block[key] = value
     return block
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
+from ..ltqp.live import ResultChange
 from ..ltqp.stats import TimedResult
 from ..rdf.ntriples import _parse_term
 from ..rdf.terms import Term, Variable, intern, term_to_ntriples
@@ -40,6 +41,8 @@ __all__ = [
     "decode_term",
     "encode_results",
     "decode_results",
+    "encode_events",
+    "decode_events",
     "document_to_wire",
     "document_from_wire",
 ]
@@ -132,6 +135,86 @@ def decode_results(block: dict) -> list[TimedResult]:
         }
         results.append(TimedResult(binding=Binding(items), elapsed=when))
     return results
+
+
+def encode_events(events: Iterable[ResultChange]) -> dict:
+    """Pack signed result-change events into a term-table block.
+
+    Same term-table layout as :func:`encode_results`, but every row
+    carries its *sign* — the signed multiplicity delta — plus its event
+    sequence number and the index of the document URL that caused it
+    (``-1`` for initial results).  Replaying a decoded block therefore
+    reconstructs the subscriber-visible result multiset exactly.
+    """
+    table = _TermTable()
+    variables: list[str] = []
+    var_index: dict[Variable, int] = {}
+    urls: list[str] = []
+    url_index: dict[str, int] = {}
+    rows: list[list[int]] = []
+    signs: list[int] = []
+    seqs: list[int] = []
+    url_refs: list[int] = []
+    for event in events:
+        row_width = len(variables)
+        row = [-1] * row_width
+        for variable, term in event.binding.items():
+            slot = var_index.get(variable)
+            if slot is None:
+                slot = len(variables)
+                var_index[variable] = slot
+                variables.append(variable.value)
+                for other in rows:
+                    other.append(-1)
+                row.append(-1)
+            row[slot] = table.add(term)
+        rows.append(row)
+        signs.append(event.delta)
+        seqs.append(event.seq)
+        if event.url:
+            ref = url_index.get(event.url)
+            if ref is None:
+                ref = len(urls)
+                url_index[event.url] = ref
+                urls.append(event.url)
+            url_refs.append(ref)
+        else:
+            url_refs.append(-1)
+    return {
+        "kind": "events",
+        "vars": variables,
+        "terms": table.terms,
+        "rows": rows,
+        "signs": signs,
+        "seqs": seqs,
+        "urls": urls,
+        "url_refs": url_refs,
+    }
+
+
+def decode_events(block: dict) -> list[ResultChange]:
+    """Rebuild the signed event list, re-interning every term."""
+    terms = [decode_term(text) for text in block["terms"]]
+    variables = [Variable(name) for name in block["vars"]]
+    urls = block["urls"]
+    events: list[ResultChange] = []
+    for row, sign, seq, ref in zip(
+        block["rows"], block["signs"], block["seqs"], block["url_refs"]
+    ):
+        items = {
+            variables[slot]: terms[index]
+            for slot, index in enumerate(row)
+            if index >= 0
+        }
+        events.append(
+            ResultChange(
+                seq=seq,
+                binding=Binding(items),
+                delta=sign,
+                url=urls[ref] if ref >= 0 else "",
+            )
+        )
+    return events
 
 
 def document_to_wire(document: StoredDocument) -> dict:

@@ -29,6 +29,18 @@ __all__ = ["SolidServer"]
 _LDP_CONTAINER_LINK = '<http://www.w3.org/ns/ldp#BasicContainer>; rel="type"'
 _LDP_RESOURCE_LINK = '<http://www.w3.org/ns/ldp#Resource>; rel="type"'
 
+#: Deterministic write clock origin: every accepted write advances the
+#: server's clock by exactly one second from this fixed epoch, so
+#: ``Last-Modified`` stamps are monotone *and* reproducible run to run
+#: (no wall-clock dependence) — 2025-08-01T00:00:00Z.
+_WRITE_EPOCH = 1754006400
+
+
+def _http_date(timestamp: int) -> str:
+    from email.utils import formatdate
+
+    return formatdate(timestamp, usegmt=True)
+
 
 class SolidServer(App):
     """Serves a set of pods mounted at path prefixes under one origin."""
@@ -43,6 +55,57 @@ class SolidServer(App):
         # dominant per-GET cost — is paid once per representation; any
         # PATCH/PUT invalidates the whole cache (writes are rare).
         self._render_cache: dict[tuple[str, str, str], bytes] = {}
+        # Write bookkeeping: document URL → monotone write version and
+        # write-clock stamp.  The version rides the ETag so *every*
+        # accepted write yields a distinct validator, even a write that
+        # leaves the body byte-identical (insert-then-delete PATCHes).
+        self._versions: dict[str, int] = {}
+        self._modified: dict[str, int] = {}
+        self._write_clock = 0
+        # Called with the document URL after every accepted write — the
+        # change-notification hook standing queries subscribe through.
+        self._change_listeners: list = []
+
+    # ------------------------------------------------------------------
+    # change notification
+    # ------------------------------------------------------------------
+
+    def add_change_listener(self, listener) -> None:
+        """Register ``listener(url)`` to fire after each accepted write."""
+        self._change_listeners.append(listener)
+
+    def remove_change_listener(self, listener) -> None:
+        try:
+            self._change_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def document_version(self, url: str) -> int:
+        """How many accepted writes ``url`` has seen (0 = pristine)."""
+        return self._versions.get(url, 0)
+
+    def login_owner(self, path: str) -> dict[str, str]:
+        """Auth headers for the owner of the pod serving ``path``.
+
+        The simulation driver's "the pod owner edits their pod" helper:
+        update traffic (:meth:`~repro.service.QueryService.apply_update`)
+        authenticates with these.  Empty when the server runs without an
+        identity provider or the path matches no pod.
+        """
+        if self.idp is None:
+            return {}
+        resolved = self._resolve(path)
+        if resolved is None:
+            return {}
+        pod, _, _ = resolved
+        return dict(self.idp.login(pod.webid).headers)
+
+    def _record_write(self, url: str) -> None:
+        self._write_clock += 1
+        self._versions[url] = self._versions.get(url, 0) + 1
+        self._modified[url] = self._write_clock
+        for listener in list(self._change_listeners):
+            listener(url)
 
     # ------------------------------------------------------------------
     # pod management
@@ -120,7 +183,7 @@ class SolidServer(App):
                 "content-type": content_type,
                 "link": _LDP_CONTAINER_LINK,
             }
-            return self._finish(request, headers, body)
+            return self._finish(request, headers, body, url=pod.base_url + container_path)
 
         document = pod.document(relative)
         if document is None:
@@ -138,7 +201,7 @@ class SolidServer(App):
             body = self._render(document.triples, pod, request)
             self._render_cache[cache_key] = body
         headers = {"content-type": content_type, "link": _LDP_RESOURCE_LINK}
-        return self._finish(request, headers, body)
+        return self._finish(request, headers, body, url=pod.base_url + relative)
 
     def _serve_acl(
         self,
@@ -156,7 +219,9 @@ class SolidServer(App):
         acl_url = pod.base_url + relative
         triples = acl_document_triples(resource_url, acl_url, acl.rules_for(resource_path))
         body = self._render(triples, pod, request)
-        return self._finish(request, {"content-type": self._content_type(request)}, body)
+        return self._finish(
+            request, {"content-type": self._content_type(request)}, body, url=acl_url
+        )
 
     # ------------------------------------------------------------------
     # writes (Solid protocol: SPARQL-Update PATCH, Turtle PUT)
@@ -196,6 +261,7 @@ class SolidServer(App):
         counts = apply_update(graph, operations)
         document.triples[:] = list(graph)
         self._render_cache.clear()
+        self._record_write(pod.base_url + relative)
         body = f"added {counts['added']}, removed {counts['removed']}".encode("utf-8")
         return Response(200, {"content-type": "text/plain"}, body)
 
@@ -225,6 +291,7 @@ class SolidServer(App):
         existed = pod.has_document(relative)
         pod.add_document(relative, triples)
         self._render_cache.clear()
+        self._record_write(pod.base_url + relative)
         return Response(204 if existed else 201, {"content-type": "text/plain"}, b"")
 
     # ------------------------------------------------------------------
@@ -248,15 +315,24 @@ class SolidServer(App):
             return serialize_ntriples(triples).encode("utf-8")
         return serialize_turtle(triples, base_iri=pod.base_url).encode("utf-8")
 
-    @staticmethod
-    def _finish(request: Request, headers: dict[str, str], body: bytes) -> Response:
-        # Weak validator over the representation, enabling client caching
-        # (the browser disk cache visible in the paper's Fig. 4).
+    def _finish(
+        self, request: Request, headers: dict[str, str], body: bytes, url: str = ""
+    ) -> Response:
+        # Validator over the representation, enabling client caching (the
+        # browser disk cache visible in the paper's Fig. 4).  The body
+        # hash is salted with the document's write version so every
+        # accepted write — even one leaving the body byte-identical —
+        # yields a distinct, monotone validator.
         import hashlib
 
-        etag = '"' + hashlib.sha1(body).hexdigest()[:16] + '"'
+        version = self._versions.get(url, 0)
+        digest = hashlib.sha1(body).hexdigest()[:16]
+        etag = f'"{digest}-v{version}"' if version else f'"{digest}"'
         headers = dict(headers)
         headers["etag"] = etag
+        stamp = self._modified.get(url)
+        if stamp is not None:
+            headers["last-modified"] = _http_date(_WRITE_EPOCH + stamp)
         if request.header("if-none-match") == etag:
             return Response(304, headers, b"")
         if request.method == "HEAD":

@@ -359,6 +359,49 @@ class AggregateState:
         else:
             self._error = True
 
+    def retract(self, member: Binding, expressions: ExpressionEvaluator) -> bool:
+        """Un-fold one previously-:meth:`update`-ed member, when possible.
+
+        Returns ``True`` when the state now reflects the group without
+        ``member``; ``False`` when this aggregate cannot be decremented
+        (DISTINCT, MIN/MAX/SAMPLE/GROUP_CONCAT order/extremum state, or a
+        poisoned group) — the caller must then rebuild the state from the
+        surviving members.
+        """
+        if self._error:
+            # The poisoning member might be this one; only a rebuild knows.
+            return False
+        if self._seen is not None:
+            return False  # DISTINCT: removal may resurrect a duplicate.
+        aggregate = self.aggregate
+        name = aggregate.name
+        if name in ("MIN", "MAX", "SAMPLE", "GROUP_CONCAT"):
+            return False  # extremum / order-sensitive state
+        if aggregate.operand is None:  # COUNT(*)
+            self._count -= 1
+            return True
+        try:
+            value = expressions.evaluate(aggregate.operand, member)
+        except ExpressionError:
+            # COUNT skipped this member on update; nothing to undo.
+            return True
+        if name == "COUNT":
+            self._count -= 1
+            return True
+        # SUM / AVG: subtract with the same numeric-promotion rules.
+        if not isinstance(value, Literal) or not value.is_numeric:
+            return False
+        number = value.to_python()
+        total = self._total
+        if isinstance(total, float) or isinstance(number, float):
+            self._total = float(total) - float(number)
+        elif isinstance(total, Decimal) or isinstance(number, Decimal):
+            self._total = Decimal(total) - Decimal(number)
+        else:
+            self._total = total - number
+        self._count -= 1
+        return True
+
     def result(self) -> Term:
         """The aggregate's value; raises :class:`ExpressionError` like the
         batch path (poisoned group, empty non-COUNT/SUM/GROUP_CONCAT group,

@@ -67,6 +67,12 @@ _PAGE_TEMPLATE = """<!DOCTYPE html>
  .tl-label {{ position: absolute; left: 0; white-space: nowrap; color: #333; }}
  #first-result-marker {{ position: absolute; top: 0; bottom: 0; width: 0;
                         border-left: 2px dashed #2ca02c; }}
+ #live-events {{ border: 1px solid #ccc; padding: 0.5em; height: 10em;
+                overflow-y: scroll; font-family: monospace; white-space: pre;
+                margin: 0.5em 0; }}
+ #live-update {{ width: 100%; font-family: monospace; }}
+ .live-add {{ color: #2ca02c; }}
+ .live-del {{ color: #d9534f; }}
 </style>
 </head>
 <body>
@@ -85,6 +91,19 @@ grey = cache hit, orange = retry, red = error; dashed green line marks the
 first streamed result. Full trace at <a href="/trace.json">/trace.json</a>
 (Chrome trace-event format).</p>
 <div id="timeline"></div>
+<h2>Live query (service mode):</h2>
+<p class="meta">Subscribe turns the query above into a <em>standing</em>
+query: the pane below streams signed result changes (<span class="live-add">+</span>
+additions, <span class="live-del">&minus;</span> retractions) as pod documents
+change. Apply a SPARQL Update to a document URL to see maintenance live.</p>
+<button id="live-subscribe" onclick="liveSubscribe()">Subscribe</button>
+<button id="live-close" onclick="liveClose()" disabled>Close subscription</button>
+<span id="live-status" class="meta"></span>
+<div id="live-events"></div>
+<label>Document URL: <input id="live-url" type="text" size="60"></label><br>
+<textarea id="live-update" rows="4"
+ placeholder="DELETE DATA {{ ... }} ; INSERT DATA {{ ... }}"></textarea><br>
+<button onclick="liveUpdate()">Apply update</button>
 <script>
 const PRESETS = {presets_json};
 function pick() {{
@@ -174,6 +193,79 @@ async function renderTimeline() {{
     more.textContent = '... and ' + (spans.length - 400) + ' more requests';
     pane.appendChild(more);
   }}
+}}
+let liveId = null, liveNext = 0, livePolling = false;
+function liveRender(events) {{
+  const pane = document.getElementById('live-events');
+  for (const e of events) {{
+    const row = document.createElement('div');
+    const sign = document.createElement('span');
+    sign.className = e.delta > 0 ? 'live-add' : 'live-del';
+    sign.textContent = (e.delta > 0 ? '+' : '') + e.delta + ' ';
+    row.appendChild(sign);
+    const parts = Object.entries(e.binding).map(([k, v]) => '?' + k + '=' + v);
+    row.appendChild(document.createTextNode(
+        parts.join(' ') + (e.url ? '   [' + e.url.split('/').slice(-2).join('/') + ']' : '')));
+    pane.appendChild(row);
+  }}
+  pane.scrollTop = pane.scrollHeight;
+}}
+async function liveSubscribe() {{
+  const status = document.getElementById('live-status');
+  document.getElementById('live-events').textContent = '';
+  const query = document.getElementById('query').value;
+  const response = await fetch('/subscribe?query=' + encodeURIComponent(query));
+  if (!response.ok) {{
+    status.textContent = 'subscribe failed: ' + await response.text();
+    return;
+  }}
+  const opened = await response.json();
+  liveId = opened.subscription;
+  liveNext = opened.next;
+  liveRender(opened.events);
+  status.textContent = 'subscribed (' + liveId + ', ' +
+      opened.events.length + ' initial results)';
+  document.getElementById('live-subscribe').disabled = true;
+  document.getElementById('live-close').disabled = false;
+  livePolling = true;
+  livePoll();
+}}
+async function livePoll() {{
+  while (livePolling && liveId) {{
+    let poll;
+    try {{
+      poll = await (await fetch('/subscribe?id=' + liveId +
+          '&after=' + (liveNext - 1) + '&wait=5')).json();
+    }} catch (err) {{ break; }}
+    if (!livePolling) break;
+    if (poll.events && poll.events.length) {{
+      liveRender(poll.events);
+      liveNext = poll.next;
+    }}
+    if (poll.closed) break;
+  }}
+}}
+async function liveClose() {{
+  livePolling = false;
+  if (liveId) await fetch('/subscribe?id=' + liveId + '&close=1');
+  liveId = null;
+  document.getElementById('live-subscribe').disabled = false;
+  document.getElementById('live-close').disabled = true;
+  document.getElementById('live-status').textContent = 'closed';
+}}
+async function liveUpdate() {{
+  const status = document.getElementById('live-status');
+  const url = document.getElementById('live-url').value;
+  const update = document.getElementById('live-update').value;
+  if (!url || !update) {{
+    status.textContent = 'need a document URL and an update';
+    return;
+  }}
+  const response = await fetch('/update?url=' + encodeURIComponent(url),
+      {{method: 'POST', body: update}});
+  const text = await response.text();
+  status.textContent = response.ok ? 'update applied: ' + text
+                                   : 'update rejected: ' + text;
 }}
 </script>
 </body>
@@ -270,6 +362,7 @@ class DemoServer:
                 if demo._sparql_app is not None and parts.path in (
                     "/sparql",
                     "/service/status",
+                    "/subscribe",
                 ):
                     demo._serve_sparql(self)
                     return
@@ -278,7 +371,10 @@ class DemoServer:
 
             def do_POST(self) -> None:
                 parts = urlsplit(self.path)
-                if demo._sparql_app is not None and parts.path == "/sparql":
+                if demo._sparql_app is not None and parts.path in (
+                    "/sparql",
+                    "/update",
+                ):
                     demo._serve_sparql(self)
                     return
                 self.send_response(404)

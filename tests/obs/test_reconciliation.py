@@ -242,3 +242,81 @@ class TestBreakerTransitionMetrics:
         assert snapshot["breaker.transitions.closed->open"]["value"] == 1
         assert snapshot["breaker.transitions.open->half-open"]["value"] == 1
         assert snapshot["breaker.transitions.half-open->closed"]["value"] == 1
+
+
+class TestLiveRun:
+    """Live-maintenance spans must reconcile with the LiveQuery's state.
+
+    A standing query leaves its own books: ``refresh`` spans (outcome
+    changed/unchanged/failed with diff sizes) and ``apply-batch`` spans
+    (signed maintenance batches).  :func:`trace_execution_stats` derives
+    counters from them that must agree with the LiveQuery's event history
+    and failure record — and the trace must stay well-formed even though
+    maintenance happens after the query span closed.
+    """
+
+    def _traced_live(self):
+        import asyncio
+
+        from repro.ltqp.live import LiveQuery
+        from repro.net.message import Request
+        from repro.solidbench import SolidBenchConfig, build_universe
+
+        universe = build_universe(SolidBenchConfig(scale=0.005, seed=7))
+        pod = next(iter(universe.pods.values()))
+        foaf = "http://xmlns.com/foaf/0.1/"
+        query = f"SELECT ?name WHERE {{ <{pod.webid}> <{foaf}name> ?name }}"
+        tracer = Tracer()
+        engine = universe.fast_engine()
+        live = LiveQuery(engine, query, seeds=[pod.profile_url], tracer=tracer)
+
+        async def scenario():
+            from urllib.parse import urlsplit
+
+            await live.start()
+            await live.refresh(pod.profile_url)  # unchanged: 304, no events
+            parts = urlsplit(pod.profile_url)
+            app = universe.internet.app_for(f"{parts.scheme}://{parts.netloc}")
+            headers = {"content-type": "application/sparql-update"}
+            headers.update(app.login_owner(parts.path))
+            update = (
+                f'DELETE DATA {{ <{pod.webid}> <{foaf}name> "{pod.owner_name}" }} ;\n'
+                f'INSERT DATA {{ <{pod.webid}> <{foaf}name> "Reconciled" }}'
+            )
+            response = await universe.internet.dispatch(
+                Request("PATCH", pod.profile_url, headers, update.encode("utf-8"))
+            )
+            assert response.status == 200
+            await live.refresh(pod.profile_url)  # changed: -1/+1 events
+            await live.refresh("ftp://nowhere.invalid/doc")  # failed
+
+        asyncio.run(scenario())
+        return live, tracer
+
+    def test_live_counters_reconcile_with_event_history(self):
+        live, tracer = self._traced_live()
+        derived = trace_execution_stats(tracer)
+
+        assert derived["refreshes"] == 3
+        assert derived["refreshes_unchanged"] == 1
+        assert derived["refreshes_changed"] == 1
+        assert derived["refreshes_failed"] == len(live.failed_refreshes) == 1
+        # One rename is exactly one retraction plus one addition.
+        assert derived["diff_added"] == 1
+        assert derived["diff_removed"] == 1
+        # Every maintenance change the pipeline published is an event in
+        # the history (initial results are not maintenance changes).
+        initial = sum(1 for e in live.events if e.url == "")
+        assert derived["maintenance_changes"] == len(live.events) - initial == 2
+        assert derived["apply_batches"] >= 1
+        assert derived["retraction_batches"] >= 1
+
+    def test_live_trace_stays_well_formed_past_quiescence(self):
+        _, tracer = self._traced_live()
+        assert check_trace_invariants(tracer) == []
+        # apply-batch spans nest under their refresh, never the closed
+        # query span.
+        by_id = {span.span_id: span for span in tracer.spans}
+        for span in tracer.spans:
+            if span.name == "apply-batch":
+                assert by_id[span.parent_id].name == "refresh"

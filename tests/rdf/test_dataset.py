@@ -120,3 +120,85 @@ class TestDataset:
         count = ds.add_triples([Triple(n("a"), n("p"), n("b"))], graph=n("doc"))
         assert count == 1
         assert ds.has_graph(n("doc"))
+
+
+class TestSignedLog:
+    """The signed append-only log behind live standing queries."""
+
+    def quad(self, s, o, g="doc"):
+        return Quad(n(s), n("p"), n(o), n(g))
+
+    def test_remove_retracts_and_logs_negative(self):
+        ds = Dataset()
+        quad = self.quad("a", "b")
+        ds.add(quad)
+        assert ds.remove(quad)
+        assert quad.triple not in ds.union
+        assert len(ds) == 0
+        assert ds.signed_runs(0) == [(1, [quad]), (-1, [quad])]
+
+    def test_remove_absent_quad_is_a_noop(self):
+        ds = Dataset()
+        assert not ds.remove(self.quad("a", "b"))
+        assert not ds.remove(self.quad("a", "b", g="never-created"))
+        assert ds.log_position == 0
+        assert ds.retractions_since(0) == 0
+
+    def test_union_survives_while_another_graph_holds_the_triple(self):
+        ds = Dataset()
+        ds.add(self.quad("a", "b", g="doc1"))
+        ds.add(self.quad("a", "b", g="doc2"))
+        assert ds.remove(self.quad("a", "b", g="doc1"))
+        # doc2 still holds it: the union keeps the triple alive.
+        assert Triple(n("a"), n("p"), n("b")) in ds.union
+        assert ds.remove(self.quad("a", "b", g="doc2"))
+        assert Triple(n("a"), n("p"), n("b")) not in ds.union
+
+    def test_signed_runs_groups_maximal_same_sign_windows(self):
+        ds = Dataset()
+        a, b, c = self.quad("a", "x"), self.quad("b", "x"), self.quad("c", "x")
+        for quad in (a, b, c):
+            ds.add(quad)
+        ds.remove(a)
+        ds.remove(b)
+        ds.add(a)
+        runs = ds.signed_runs(0)
+        assert [(sign, len(quads)) for sign, quads in runs] == [(1, 3), (-1, 2), (1, 1)]
+        assert runs[1][1] == [a, b]
+        # A window can start mid-run: only entries >= start appear.
+        assert ds.signed_runs(4) == [(-1, [b]), (1, [a])]
+        assert ds.signed_runs(0, stop=3) == [(1, [a, b, c])]
+
+    def test_retractions_since_counts_only_the_window(self):
+        ds = Dataset()
+        a, b = self.quad("a", "x"), self.quad("b", "x")
+        ds.add(a)
+        ds.add(b)
+        assert ds.retractions_since(0) == 0
+        ds.remove(a)
+        cursor = ds.log_position
+        ds.remove(b)
+        assert ds.retractions_since(0) == 2
+        assert ds.retractions_since(cursor) == 1
+
+    def test_match_since_skips_retraction_entries(self):
+        ds = Dataset()
+        a = self.quad("a", "x")
+        ds.add(a)
+        cursor = ds.log_position
+        ds.remove(a)
+        ds.add(self.quad("b", "x"))
+        assert [q.subject for q in ds.match_since(cursor)] == [n("b")]
+
+    def test_quads_filters_dead_entries_in_first_insertion_order(self):
+        ds = Dataset()
+        a, b, c = self.quad("a", "x"), self.quad("b", "x"), self.quad("c", "x")
+        for quad in (a, b, c):
+            ds.add(quad)
+        ds.remove(b)
+        assert list(ds.quads()) == [a, c]
+        # Re-adding after retraction: live again at its *first-insertion*
+        # position, with no duplicate emission.
+        ds.add(b)
+        assert list(ds.quads()) == [a, b, c]
+        assert len(ds) == 3

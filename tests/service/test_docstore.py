@@ -100,3 +100,83 @@ class TestBoundsAndStats:
         assert len(store) == 0
         assert store.hits == 0 and store.misses == 0 and store.parses == 0
         assert store.hit_rate == 0.0
+
+
+class TestPersistentRestartInvalidation:
+    """Validator-keyed invalidation across a service restart.
+
+    A document edited while the service is *down* must not be served
+    from the persisted parse: the restart's first conditional fetch sees
+    a new validator, misses the store, re-parses — and the store diffs
+    the new parse against the persisted stale one (the live-refresh
+    delta source), while untouched documents keep answering parse-free.
+    """
+
+    def test_doc_changed_while_down_is_rediffed_on_restart(self, tmp_path):
+        import asyncio
+
+        from repro.net import NoLatency
+        from repro.net.message import Request
+        from repro.service import SharedResources
+        from repro.solidbench import SolidBenchConfig, build_universe
+
+        universe = build_universe(SolidBenchConfig(scale=0.005, seed=7))
+        pods = iter(universe.pods.values())
+        changed_pod, untouched_pod = next(pods), next(pods)
+        changed_url = changed_pod.profile_url
+        untouched_url = untouched_pod.profile_url
+        store_path = str(tmp_path / "store.sqlite")
+
+        def open_resources():
+            return SharedResources.for_universe(
+                universe, latency=NoLatency(), store_path=store_path
+            )
+
+        async def first_lifetime():
+            resources = open_resources()
+            for url in (changed_url, untouched_url):
+                result = await resources.dereferencer.dereference(url)
+                assert result.ok and not result.from_store
+            resources.close()
+
+        asyncio.run(first_lifetime())
+
+        async def edit_while_down():
+            from urllib.parse import urlsplit
+
+            parts = urlsplit(changed_url)
+            app = universe.internet.app_for(f"{parts.scheme}://{parts.netloc}")
+            headers = {"content-type": "application/sparql-update"}
+            headers.update(app.login_owner(parts.path))
+            foaf = "http://xmlns.com/foaf/0.1/"
+            update = (
+                f'DELETE DATA {{ <{changed_pod.webid}> <{foaf}name> '
+                f'"{changed_pod.owner_name}" }} ;\n'
+                f'INSERT DATA {{ <{changed_pod.webid}> <{foaf}name> "Offline Edit" }}'
+            )
+            response = await universe.internet.dispatch(
+                Request("PATCH", changed_url, headers, update.encode("utf-8"))
+            )
+            assert response.status == 200
+
+        asyncio.run(edit_while_down())
+
+        async def second_lifetime():
+            resources = open_resources()
+            changed = await resources.dereferencer.dereference(
+                changed_url, revalidate=True
+            )
+            assert changed.ok and not changed.from_store
+            # The persisted stale parse is the diff base: one rename is
+            # exactly one retraction plus one addition.
+            assert changed.diff is not None
+            assert len(changed.diff.added) == 1
+            assert len(changed.diff.removed) == 1
+            untouched = await resources.dereferencer.dereference(
+                untouched_url, revalidate=True
+            )
+            assert untouched.ok and untouched.from_store
+            assert untouched.diff is None
+            resources.close()
+
+        asyncio.run(second_lifetime())

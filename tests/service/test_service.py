@@ -260,3 +260,54 @@ class TestEngineSharing:
         policy_before = resources.client.policy
         QueryService(resources, config=EngineConfig())
         assert resources.client.policy is policy_before
+
+
+class TestShutdownErrorSurfacing:
+    """Teardown exceptions must not fail queries — but they must not be
+    silently swallowed either: they surface query-tagged in
+    ``statistics()`` and in the ``/service/status`` document."""
+
+    def test_query_shutdown_errors_surface_in_statistics(self, tiny_universe):
+        service = make_service(tiny_universe)
+        named = discover_query(tiny_universe, 1, 5)
+
+        async def scenario():
+            handle = service.submit(named.text, seeds=named.seeds)
+            await handle.wait()
+            return handle
+
+        handle = asyncio.run(scenario())
+        assert service.statistics()["shutdown_errors"] == []
+        handle.execution.stats.note_shutdown_error(
+            "traversal", RuntimeError("cancel timed out")
+        )
+        errors = service.statistics()["shutdown_errors"]
+        assert errors == [f"{handle.id}: traversal: RuntimeError: cancel timed out"]
+
+    def test_subscription_shutdown_errors_surface_too(self, tiny_universe):
+        from repro.service import ServiceSparqlApp
+        from repro.net.message import Request
+
+        service = make_service(tiny_universe)
+        named = discover_query(tiny_universe, 1, 5)
+
+        async def scenario():
+            subscription = await service.subscribe(named.text, seeds=named.seeds)
+            subscription.live.execution.stats.note_shutdown_error(
+                "flush-timer", OSError("disk gone")
+            )
+            assert service.shutdown_errors() == [
+                f"{subscription.id}: flush-timer: OSError: disk gone"
+            ]
+            # ...and through the status document (schema 2).
+            app = ServiceSparqlApp(service)
+            response = await app.handle(Request("GET", "http://svc/service/status"))
+            import json
+
+            document = json.loads(response.body)
+            assert document["service"]["shutdown_errors"] == [
+                f"{subscription.id}: flush-timer: OSError: disk gone"
+            ]
+            await subscription.close()
+
+        asyncio.run(scenario())

@@ -1,0 +1,294 @@
+"""Standing queries on the QueryService: subscriptions end-to-end.
+
+Covers the in-process service (`subscribe`/`apply_update`/change-listener
+wiring), the HTTP long-poll transport (`/subscribe` + `/update`), and the
+acceptance criterion that a sharded deployment publishes the *identical*
+signed event stream for the same subscription and the same edit.
+"""
+
+import asyncio
+import json
+from urllib.parse import quote
+
+import pytest
+
+from repro.net import NoLatency
+from repro.net.message import Request
+from repro.rdf.terms import term_to_ntriples
+from repro.service import (
+    QueryService,
+    ServiceSparqlApp,
+    ShardSpec,
+    ShardedQueryService,
+    SharedResources,
+)
+from repro.solidbench import SolidBenchConfig, build_universe
+
+FOAF = "http://xmlns.com/foaf/0.1/"
+CONFIG = SolidBenchConfig(scale=0.005, seed=7)
+
+
+def make_service(universe, **kwargs):
+    resources = SharedResources.for_universe(universe, latency=NoLatency())
+    return QueryService(resources, **kwargs)
+
+
+def name_query(pod) -> str:
+    return f"SELECT ?name WHERE {{ <{pod.webid}> <{FOAF}name> ?name }}"
+
+
+def rename_update(pod, new: str, old: str = "") -> str:
+    old = old or pod.owner_name
+    return (
+        f'DELETE DATA {{ <{pod.webid}> <{FOAF}name> "{old}" }} ;\n'
+        f'INSERT DATA {{ <{pod.webid}> <{FOAF}name> "{new}" }}'
+    )
+
+
+def event_key(event) -> tuple:
+    """Process-independent identity of one signed event."""
+    binding = tuple(
+        sorted((var.value, term_to_ntriples(term)) for var, term in event.binding.items())
+    )
+    return (event.seq, event.delta, binding, event.url)
+
+
+@pytest.fixture()
+def universe():
+    """Private per-test universe: these tests PATCH pod documents."""
+    return build_universe(CONFIG)
+
+
+class TestServiceSubscribe:
+    def test_subscribe_then_update_round_trip(self, universe):
+        async def scenario():
+            pod = next(iter(universe.pods.values()))
+            service = make_service(universe)
+            subscription = await service.subscribe(
+                name_query(pod), seeds=[pod.profile_url]
+            )
+            queue = subscription.queue()
+            initial = await asyncio.wait_for(queue.get(), 10)
+            assert initial.delta == 1
+            assert service.statistics()["subscriptions"] == 1
+
+            report = await service.apply_update(
+                pod.profile_url, rename_update(pod, "Renamed")
+            )
+            assert report["status"] == 200
+            assert report["events"] == 2
+            first = await asyncio.wait_for(queue.get(), 10)
+            second = await asyncio.wait_for(queue.get(), 10)
+            assert sorted([first.delta, second.delta]) == [-1, 1]
+            assert {first.url, second.url} == {pod.profile_url}
+
+            current = subscription.current_results()
+            assert sum(current.values()) == 1
+            (binding,) = current
+            assert "Renamed" in repr(binding)
+
+            await subscription.close()
+            assert await asyncio.wait_for(queue.get(), 10) is None
+            assert service.statistics()["subscriptions"] == 0
+
+        asyncio.run(scenario())
+
+    def test_direct_pod_write_surfaces_via_drain(self, universe):
+        """A PATCH straight to the pod (not via apply_update) still reaches
+        the subscription: the change listeners notify, drain refreshes."""
+
+        async def scenario():
+            pod = next(iter(universe.pods.values()))
+            service = make_service(universe)
+            subscription = await service.subscribe(
+                name_query(pod), seeds=[pod.profile_url]
+            )
+            from urllib.parse import urlsplit
+
+            parts = urlsplit(pod.profile_url)
+            app = universe.internet.app_for(f"{parts.scheme}://{parts.netloc}")
+            headers = {"content-type": "application/sparql-update"}
+            headers.update(app.login_owner(parts.path))
+            response = await universe.internet.dispatch(
+                Request(
+                    "PATCH",
+                    pod.profile_url,
+                    headers,
+                    rename_update(pod, "Sideways").encode("utf-8"),
+                )
+            )
+            assert response.status < 400
+            assert subscription.live.pending == [pod.profile_url]
+            events = await service.drain_subscriptions()
+            assert sorted(e.delta for e in events) == [-1, 1]
+
+        asyncio.run(scenario())
+
+    def test_rejected_update_raises_and_changes_nothing(self, universe):
+        async def scenario():
+            pod = next(iter(universe.pods.values()))
+            service = make_service(universe)
+            subscription = await service.subscribe(
+                name_query(pod), seeds=[pod.profile_url]
+            )
+            before = len(subscription.events)
+            with pytest.raises(RuntimeError, match="update rejected"):
+                await service.apply_update(pod.profile_url, "NOT SPARQL UPDATE")
+            assert len(subscription.events) == before
+
+        asyncio.run(scenario())
+
+    def test_subscription_counts_against_admission(self, universe):
+        from repro.service import ServiceOverloadedError
+
+        async def scenario():
+            pod = next(iter(universe.pods.values()))
+            service = make_service(universe, max_concurrent=1, max_queued=0)
+            first = asyncio.ensure_future(
+                service.subscribe(name_query(pod), seeds=[pod.profile_url])
+            )
+            await asyncio.sleep(0.005)  # let the first start traversing
+            with pytest.raises(ServiceOverloadedError):
+                await service.subscribe(name_query(pod), seeds=[pod.profile_url])
+            await (await first).close()
+
+        asyncio.run(scenario())
+
+
+class TestSubscribeProtocol:
+    """The `/subscribe` + `/update` HTTP endpoints."""
+
+    def open_subscription(self, app, pod):
+        url = (
+            f"http://svc/subscribe?query={quote(name_query(pod))}"
+            f"&seeds={quote(pod.profile_url)}"
+        )
+        return asyncio.run(app.handle(Request("GET", url)))
+
+    def test_open_poll_update_close(self, universe):
+        async def scenario():
+            pod = next(iter(universe.pods.values()))
+            app = ServiceSparqlApp(make_service(universe))
+            opened = await app.handle(
+                Request(
+                    "GET",
+                    f"http://svc/subscribe?query={quote(name_query(pod))}"
+                    f"&seeds={quote(pod.profile_url)}",
+                )
+            )
+            assert opened.status == 200
+            document = json.loads(opened.body)
+            sub_id = document["subscription"]
+            assert [e["delta"] for e in document["events"]] == [1]
+            next_seq = document["next"]
+            assert next_seq == 1
+
+            updated = await app.handle(
+                Request(
+                    "POST",
+                    f"http://svc/update?url={quote(pod.profile_url)}",
+                    {"content-type": "application/sparql-update"},
+                    rename_update(pod, "OverHttp").encode("utf-8"),
+                )
+            )
+            assert updated.status == 200
+            assert json.loads(updated.body)["events"] == 2
+
+            polled = await app.handle(
+                Request(
+                    "GET",
+                    f"http://svc/subscribe?id={sub_id}&after={next_seq - 1}",
+                )
+            )
+            events = json.loads(polled.body)["events"]
+            assert sorted(e["delta"] for e in events) == [-1, 1]
+            for event in events:
+                assert event["url"] == pod.profile_url
+                assert "binding" in event
+
+            closed = await app.handle(
+                Request("GET", f"http://svc/subscribe?id={sub_id}&close=1")
+            )
+            assert json.loads(closed.body)["closed"] is True
+
+        asyncio.run(scenario())
+
+    def test_unknown_subscription_is_404(self, universe):
+        app = ServiceSparqlApp(make_service(universe))
+        response = asyncio.run(
+            app.handle(Request("GET", "http://svc/subscribe?id=nope"))
+        )
+        assert response.status == 404
+
+    def test_missing_query_is_400(self, universe):
+        app = ServiceSparqlApp(make_service(universe))
+        assert (
+            asyncio.run(app.handle(Request("GET", "http://svc/subscribe"))).status
+            == 400
+        )
+
+    def test_bad_query_is_400(self, universe):
+        app = ServiceSparqlApp(make_service(universe))
+        response = asyncio.run(
+            app.handle(Request("GET", "http://svc/subscribe?query=NOT+SPARQL"))
+        )
+        assert response.status == 400
+
+    def test_update_needs_url_and_body(self, universe):
+        app = ServiceSparqlApp(make_service(universe))
+        assert (
+            asyncio.run(app.handle(Request("POST", "http://svc/update"))).status == 400
+        )
+
+
+class TestShardedSubscribeParity:
+    """Acceptance: sharded subscribe == unsharded subscribe, event for event."""
+
+    def test_identical_event_streams(self, universe):
+        async def unsharded_stream():
+            pod = next(iter(universe.pods.values()))
+            service = make_service(universe)
+            subscription = await service.subscribe(
+                name_query(pod), seeds=[pod.profile_url]
+            )
+            await service.apply_update(pod.profile_url, rename_update(pod, "Parity"))
+            events = [event_key(e) for e in subscription.events]
+            results = {
+                tuple(term_to_ntriples(t) for t in b.values()): n
+                for b, n in subscription.current_results().items()
+            }
+            await subscription.close()
+            return events, results
+
+        async def sharded_stream():
+            # Workers rebuild the same deterministic universe from CONFIG.
+            pod = next(iter(universe.pods.values()))
+            service = ShardedQueryService(
+                ShardSpec(config=CONFIG, no_latency=True), workers=2
+            )
+            await service.start()
+            try:
+                subscription = await service.subscribe(
+                    name_query(pod), seeds=[pod.profile_url]
+                )
+                report = await service.apply_update(
+                    pod.profile_url, rename_update(pod, "Parity")
+                )
+                assert report["status"] == 200
+                events = [event_key(e) for e in subscription.events]
+                results = {
+                    tuple(term_to_ntriples(t) for t in b.values()): n
+                    for b, n in subscription.current_results().items()
+                }
+                stats = service.statistics()
+                assert stats["subscriptions"] == 1
+                await subscription.close()
+                return events, results
+            finally:
+                await service.stop()
+
+        expected_events, expected_results = asyncio.run(unsharded_stream())
+        sharded_events, sharded_results = asyncio.run(sharded_stream())
+        assert sharded_events == expected_events
+        assert sharded_results == expected_results
+        assert expected_events  # the comparison is not vacuous

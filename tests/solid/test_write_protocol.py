@@ -178,3 +178,53 @@ class TestLiveRequery:
             "content-type": "application/sparql-update", **session.headers}))
         after = LinkTraversalEngine(client).execute_sync(query, seeds=[pod.webid])
         assert len(after) == len(before) + 1
+
+
+class TestWriteValidators:
+    """Regression: every accepted write must change the document's HTTP
+    validator — even a write that restores byte-identical content.
+
+    The parsed-document store and the live-refresh path both key
+    invalidation on the validator: a reused ETag would serve stale
+    triples forever, and an edit-then-revert would go unnoticed.
+    """
+
+    def test_consecutive_patches_yield_distinct_etags(self, setup):
+        idp, pod, client = setup
+        session = idp.login(pod.webid)
+        url = BASE + "posts/2010-10-12"
+        patch_headers = {"content-type": "application/sparql-update", **session.headers}
+
+        etag0 = run(client.fetch(url)).header("etag")
+        assert etag0
+
+        insert = SNB + f"INSERT DATA {{ <{url}#m> snvoc:id 42 }}"
+        assert run(_patch(client, url, insert, patch_headers)).status == 200
+        etag1 = run(client.fetch(url)).header("etag")
+
+        revert = SNB + f"DELETE DATA {{ <{url}#m> snvoc:id 42 }}"
+        assert run(_patch(client, url, revert, patch_headers)).status == 200
+        etag2 = run(client.fetch(url)).header("etag")
+
+        assert len({etag0, etag1, etag2}) == 3
+        # The revert restored byte-identical content: only the write
+        # version distinguishes etag2 from etag0 — that distinction is
+        # what lets a standing query notice edit-then-revert sequences.
+        server = client.internet.app_for(ORIGIN)
+        assert server.document_version(url) == 2
+
+    def test_conditional_get_tracks_the_validator(self, setup):
+        idp, pod, client = setup
+        session = idp.login(pod.webid)
+        url = BASE + "posts/2010-10-12"
+        patch_headers = {"content-type": "application/sparql-update", **session.headers}
+
+        etag = run(client.fetch(url)).header("etag")
+        assert run(client.fetch(url, headers={"if-none-match": etag})).status == 304
+
+        insert = SNB + f"INSERT DATA {{ <{url}#m> snvoc:id 7 }}"
+        assert run(_patch(client, url, insert, patch_headers)).status == 200
+        # The stale validator no longer matches: full 200 with a new ETag.
+        response = run(client.fetch(url, headers={"if-none-match": etag}))
+        assert response.status == 200
+        assert response.header("etag") != etag
