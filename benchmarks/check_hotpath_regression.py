@@ -41,6 +41,15 @@ Runs every registered gate against one freshly built universe and fails
   the full traversal, and after every edit the maintained multiset must
   replay to exactly the fresh execution's answer (``BENCH_live.json``
   pins the result count).
+* **guided-traversal gate** — on a hinted universe (every pod publishes
+  a ``settings/cardinality`` source index), ``--queue-policy guided``
+  with the declared-origins subweb spec must answer all 37 Discover
+  queries with result multisets identical to fifo's (100% recall) while
+  fetching at least ``2×`` fewer documents per query on average, and
+  with mean time-to-first-result (tick-clock event count, machine
+  independent) no worse than fifo's.  ``BENCH_guided.json`` pins the
+  per-query result counts.  Every number here is a deterministic
+  function of the traversal, so there is no contention filter.
 * **adversarial-hardening gate** — the full hardening stack (per-origin
   budgets, read/parse caps, fair queueing) must cost ≤10% over the
   unhardened engine on a benign Discover 8.5 run with identical results,
@@ -73,6 +82,12 @@ from bench_adversarial import (  # noqa: E402
     measure_benign_overhead,
 )
 from bench_faults import measure_zero_fault_overhead  # noqa: E402
+from bench_guided import (  # noqa: E402
+    BASELINE_PATH as GUIDED_BASELINE_PATH,
+    DEREF_REDUCTION_FLOOR,
+    build_hinted_universe,
+    measure_guided,
+)
 from bench_hotpath import BASELINE_PATH, collect_metrics  # noqa: E402
 from bench_live import (  # noqa: E402
     BASELINE_PATH as LIVE_BASELINE_PATH,
@@ -579,6 +594,72 @@ def gate_adversarial(universe) -> list[str]:
     return failures
 
 
+def gate_guided(universe) -> list[str]:
+    """Guided traversal: ≥2× fewer derefs at 100% recall, TTFR no worse.
+
+    The source-selection subsystem's claim in absolute form, per
+    DESIGN.md §4g: on a hinted universe the guided discipline plus the
+    declared-origins subweb spec must answer every Discover query with
+    fifo's exact result multiset while averaging at least
+    ``DEREF_REDUCTION_FLOOR`` times fewer dereferences, and its mean
+    tick-clock time-to-first-result must not exceed fifo's.  The shared
+    gate universe has no hint documents, so the bench builds its own
+    (same scale and seed, ``emit_hints=True``).  Dereference counts and
+    tick TTFRs are deterministic replay properties — no re-measurement,
+    no tolerance band.  ``BENCH_guided.json`` pins the per-query result
+    counts and is refreshed by this script under ``REPRO_WRITE_BENCH=1``.
+    """
+    import os
+
+    del universe  # the gate needs a *hinted* universe
+    current = measure_guided(build_hinted_universe())
+    if os.environ.get("REPRO_WRITE_BENCH") == "1":
+        GUIDED_BASELINE_PATH.write_text(json.dumps(current, indent=1) + "\n")
+        print(f"wrote {GUIDED_BASELINE_PATH}")
+        return []
+    if not GUIDED_BASELINE_PATH.exists():
+        return [
+            f"no baseline at {GUIDED_BASELINE_PATH}; "
+            "run this script with REPRO_WRITE_BENCH=1 first"
+        ]
+    baseline = json.loads(GUIDED_BASELINE_PATH.read_text())
+
+    print(f"{'metric':<24}{'baseline':>14}{'current':>14}")
+    for key in (
+        "fifo_derefs_total",
+        "guided_derefs_total",
+        "deref_ratio_mean",
+        "ttfr_ratio_mean",
+    ):
+        print(f"{key:<24}{baseline.get(key)!s:>14}{current.get(key)!s:>14}")
+
+    failures = []
+    if not current["all_identical"]:
+        broken = [
+            name
+            for name, entry in current["queries"].items()
+            if not entry["identical_results"]
+        ]
+        failures.append(f"guided lost results on {', '.join(broken)}")
+    if current["deref_ratio_mean"] < DEREF_REDUCTION_FLOOR:
+        failures.append(
+            f"guided dereference reduction {current['deref_ratio_mean']}x "
+            f"(≥{DEREF_REDUCTION_FLOOR}x required)"
+        )
+    if current["ttfr_ratio_mean"] > 1.0:
+        failures.append(
+            f"guided mean TTFR ratio {current['ttfr_ratio_mean']} "
+            "(must not exceed fifo's, ≤1.0)"
+        )
+    for name, entry in current["queries"].items():
+        pinned = baseline.get("queries", {}).get(name, {}).get("results")
+        if entry["results"] != pinned:
+            failures.append(
+                f"{name} result count changed: {pinned} -> {entry['results']}"
+            )
+    return failures
+
+
 #: A live maintenance refresh must beat full re-execution by at least this.
 LIVE_SPEEDUP_FLOOR = 10.0
 
@@ -649,6 +730,7 @@ GATES = (
     ("warm restart (persistent store)", gate_warmrestart),
     ("sharded scale-out", gate_scaleout),
     ("quiescence flush", gate_quiescence),
+    ("guided traversal", gate_guided),
     ("live maintenance", gate_live),
     ("adversarial hardening", gate_adversarial),
 )

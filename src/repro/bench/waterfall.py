@@ -48,6 +48,10 @@ class WaterfallRow:
     attempt: int = 1
     #: Served from the HTTP cache without touching the network.
     from_cache: bool = False
+    #: Link provenance: which extractor produced the link, refined with
+    #: the matching predicate/pattern or type-index class when the trace
+    #: recorded one — e.g. ``match(hasCreator)``, ``type-index(Post)``.
+    via: str = ""
 
     @property
     def is_retry(self) -> bool:
@@ -91,6 +95,27 @@ def _short_name(url: str) -> str:
     if url.endswith("/"):
         name += "/"
     return name
+
+
+def _via_label(deref) -> str:
+    """Compact provenance label from a ``dereference`` span's args."""
+    if deref is None:
+        return ""
+    via = str(deref.args.get("via", ""))
+    detail = (
+        deref.args.get("via_class")
+        or deref.args.get("via_predicate")
+        or deref.args.get("via_pattern")
+    )
+    if not detail:
+        return via
+    tail = str(detail)
+    for separator in ("#", "/"):
+        if separator in tail:
+            candidate = tail.rsplit(separator, 1)[-1]
+            if candidate:
+                tail = candidate
+    return f"{via}({tail})" if via else tail
 
 
 def _origin(url: str) -> str:
@@ -196,6 +221,7 @@ def build_waterfall_from_trace(tracer) -> Waterfall:
                 parent_url=(fetch.args.get("parent_url") or None) if fetch else None,
                 attempt=int(span.args.get("attempt", 1)),
                 from_cache=bool(span.args.get("from_cache", False)),
+                via=_via_label(deref),
             )
         )
 
@@ -220,13 +246,24 @@ def build_waterfall_from_trace(tracer) -> Waterfall:
 
 
 def render_waterfall(
-    waterfall: Waterfall, width: int = 60, max_rows: int = 40, name_width: int = 32
+    waterfall: Waterfall,
+    width: int = 60,
+    max_rows: int = 40,
+    name_width: int = 32,
+    show_via: bool = False,
+    via_width: int = 22,
 ) -> str:
-    """ASCII rendering in the spirit of the browser Network tab."""
+    """ASCII rendering in the spirit of the browser Network tab.
+
+    ``show_via`` adds the link-provenance column (trace-built waterfalls
+    only; the request log carries no provenance).  Off by default so the
+    classic layout — and its golden renderings — stay stable.
+    """
     if not waterfall.rows:
         return "(no requests)\n"
+    via_header = f" {'via':<{via_width}}" if show_via else ""
     lines = [
-        f"{'name':<{name_width}} {'status':>6} {'size':>8} {'ms':>7}  waterfall",
+        f"{'name':<{name_width}} {'status':>6} {'size':>8} {'ms':>7} {via_header} waterfall",
     ]
     scale = width / waterfall.total_duration if waterfall.total_duration > 0 else 0.0
     shown = waterfall.rows[:max_rows]
@@ -257,13 +294,19 @@ def render_waterfall(
         if len(name) > name_width:
             name = name[: name_width - 1] + "…"
         duration_ms = (row.end - row.start) * 1000
+        via_cell = ""
+        if show_via:
+            via_text = row.via
+            if len(via_text) > via_width:
+                via_text = via_text[: via_width - 1] + "…"
+            via_cell = f" {via_text:<{via_width}}"
         lines.append(
-            f"{name:<{name_width}} {row.status:>6} {row.size:>8} {duration_ms:>7.1f}  {bar}"
+            f"{name:<{name_width}} {row.status:>6} {row.size:>8} {duration_ms:>7.1f} {via_cell} {bar}"
         )
     if len(waterfall.rows) > max_rows:
         lines.append(f"... and {len(waterfall.rows) - max_rows} more requests")
     if first_marker is not None:
-        prefix = " " * (name_width + 6 + 8 + 7 + 5)
+        prefix = " " * (name_width + 6 + 8 + 7 + 5 + (via_width + 1 if show_via else 0))
         marker = " " * min(first_marker, width) + "▼"
         lines.append(
             f"{prefix}{marker} first result "

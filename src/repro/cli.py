@@ -148,7 +148,21 @@ def build_arg_parser() -> argparse.ArgumentParser:
         default="fifo",
         help="link queue discipline: fifo = breadth-first (default), "
         "lifo = depth-first, priority = shallowest-link-first, "
-        "fair = round-robin across origins (starvation-resistant)",
+        "fair = round-robin across origins (starvation-resistant), "
+        "guided = provenance/cardinality-scored (see --subweb)",
+    )
+    parser.add_argument(
+        "--subweb",
+        metavar="PATH",
+        help="subweb-specification JSON file scoping traversal to declared "
+        "sources (guided traversal; pruned links are reported in the "
+        "completeness stats)",
+    )
+    parser.add_argument(
+        "--emit-hints",
+        action="store_true",
+        help="generate per-pod cardinality-hint documents in the simulated "
+        "universe (source summaries the guided queue exploits)",
     )
     parser.add_argument(
         "--max-depth",
@@ -235,7 +249,21 @@ def build_serve_arg_parser() -> argparse.ArgumentParser:
         choices=sorted(QUEUE_POLICIES),
         default="fifo",
         help="link queue discipline for every query (default fifo; "
-        "'fair' round-robins dereferences across origins)",
+        "'fair' round-robins dereferences across origins; 'guided' "
+        "scores links by provenance and cardinality hints)",
+    )
+    parser.add_argument(
+        "--subweb",
+        metavar="PATH",
+        help="subweb-specification JSON file applied to every query "
+        "(workers load it independently, so the path must be readable "
+        "by each shard process)",
+    )
+    parser.add_argument(
+        "--emit-hints",
+        action="store_true",
+        help="generate per-pod cardinality-hint documents in the simulated "
+        "universe",
     )
     parser.add_argument(
         "--max-depth",
@@ -345,7 +373,11 @@ def watch_main(argv: Optional[list[str]] = None) -> int:
     from .ltqp.live import LiveQuery
 
     args = build_watch_arg_parser().parse_args(argv)
-    config = SolidBenchConfig(scale=args.simulate, seed=args.bench_seed)
+    config = SolidBenchConfig(
+        scale=args.simulate,
+        seed=args.bench_seed,
+        emit_hints=getattr(args, "emit_hints", False),
+    )
     universe = build_universe(config)
 
     if args.discover:
@@ -446,6 +478,7 @@ def _engine_config(args, **extra) -> EngineConfig:
     config = EngineConfig(**extra)
     config.max_depth = getattr(args, "max_depth", 0)
     config.max_origin_derefs = getattr(args, "max_origin_derefs", 0)
+    config.subweb = getattr(args, "subweb", None)
     doc_bytes = getattr(args, "max_doc_bytes", 0)
     if doc_bytes:
         config.max_response_bytes = doc_bytes
@@ -463,7 +496,11 @@ def build_service_stack(args):
     from .service import QueryService, ServiceHost, SharedResources
     from .webui import DemoServer
 
-    config = SolidBenchConfig(scale=args.simulate, seed=args.bench_seed)
+    config = SolidBenchConfig(
+        scale=args.simulate,
+        seed=args.bench_seed,
+        emit_hints=getattr(args, "emit_hints", False),
+    )
     universe = build_universe(config)
     workers = getattr(args, "workers", 1)
     store_path = getattr(args, "store_path", None)
@@ -483,6 +520,7 @@ def build_service_stack(args):
             max_depth=getattr(args, "max_depth", 0),
             max_origin_derefs=getattr(args, "max_origin_derefs", 0),
             max_doc_bytes=getattr(args, "max_doc_bytes", 0),
+            subweb=getattr(args, "subweb", None),
             store_path=store_path,
             storage_backend=storage_backend,
         )
@@ -573,7 +611,11 @@ def main(argv: Optional[list[str]] = None) -> int:
         return watch_main(argv[1:])
     args = build_arg_parser().parse_args(argv)
 
-    config = SolidBenchConfig(scale=args.simulate, seed=args.bench_seed)
+    config = SolidBenchConfig(
+        scale=args.simulate,
+        seed=args.bench_seed,
+        emit_hints=getattr(args, "emit_hints", False),
+    )
     universe = build_universe(config)
 
     if args.discover:
@@ -635,7 +677,10 @@ def main(argv: Optional[list[str]] = None) -> int:
 
     def emit_observability() -> None:
         if tracer is not None and args.waterfall:
-            print(render_waterfall(build_waterfall_from_trace(tracer)), file=sys.stderr)
+            print(
+                render_waterfall(build_waterfall_from_trace(tracer), show_via=True),
+                file=sys.stderr,
+            )
         if tracer is not None and args.trace:
             events = write_chrome_trace(tracer, args.trace)
             print(f"# trace: {events} events -> {args.trace}", file=sys.stderr)

@@ -31,15 +31,28 @@ from .extractors import (
     build_query_context,
     default_extractors,
 )
+from .guided import (
+    CardinalityHints,
+    GuidedLinkQueue,
+    HintDiscoveryExtractor,
+    SourceSelector,
+    SubwebRule,
+    SubwebSpecification,
+)
 from .links import (
+    EXTRACTOR_RANK,
     FairLinkQueue,
     FifoLinkQueue,
     LifoLinkQueue,
     Link,
+    LinkProvenance,
     LinkQueue,
     PriorityLinkQueue,
     QUEUE_POLICIES,
+    QueuePolicyContext,
     QueueSample,
+    build_queue,
+    provenance_rank,
     queue_factory_for,
 )
 from .pipeline import (
@@ -69,14 +82,25 @@ __all__ = [
     "ExecutionStats",
     "TimedResult",
     "Link",
+    "LinkProvenance",
     "LinkQueue",
     "FifoLinkQueue",
     "LifoLinkQueue",
     "PriorityLinkQueue",
     "FairLinkQueue",
+    "GuidedLinkQueue",
     "QUEUE_POLICIES",
+    "QueuePolicyContext",
     "queue_factory_for",
+    "build_queue",
+    "provenance_rank",
+    "EXTRACTOR_RANK",
     "QueueSample",
+    "SourceSelector",
+    "SubwebRule",
+    "SubwebSpecification",
+    "CardinalityHints",
+    "HintDiscoveryExtractor",
     "GrowingTripleSource",
     "Dereferencer",
     "DereferenceResult",

@@ -133,6 +133,7 @@ class Dereferencer:
         trace_parent=None,
         tracer=None,
         revalidate: bool = False,
+        provenance=None,
     ) -> DereferenceResult:
         """Fetch ``url`` (fragment stripped), following redirects, and
         parse the RDF body.  The *final* URL becomes the base IRI and the
@@ -142,7 +143,9 @@ class Dereferencer:
         ``tracer`` overrides the instance tracer for this call.
         ``revalidate=True`` forces a conditional request even while the
         HTTP cache still considers its copy fresh — the live-refresh path,
-        where the point is to observe upstream change *now*."""
+        where the point is to observe upstream change *now*.
+        ``provenance`` (a :class:`~repro.ltqp.links.LinkProvenance`)
+        annotates this document's parse span with why the link existed."""
         if tracer is None:
             tracer = self.tracer
         clean_url = url.split("#", 1)[0]
@@ -197,10 +200,12 @@ class Dereferencer:
                 f"HTTP {response.status}",
                 retryable=_response_retryable(response),
             )
-        return self._parse(clean_url, response, trace_parent=trace_parent, tracer=tracer)
+        return self._parse(
+            clean_url, response, trace_parent=trace_parent, tracer=tracer, provenance=provenance
+        )
 
     def _parse(
-        self, url: str, response: Response, trace_parent=None, tracer=None
+        self, url: str, response: Response, trace_parent=None, tracer=None, provenance=None
     ) -> DereferenceResult:
         content_type = response.content_type
         body_bytes = len(response.body)
@@ -279,6 +284,11 @@ class Dereferencer:
                 url=url,
                 format=content_type,
                 triples=len(triples),
+                **(
+                    {"discovered_via": provenance.describe()}
+                    if provenance is not None
+                    else {}
+                ),
             )
         diff = None
         if store is not None:

@@ -57,7 +57,7 @@ from .extractors import (
     build_query_context,
     default_extractors,
 )
-from .links import Link, LinkQueue, queue_factory_for
+from .links import Link, LinkQueue, QueuePolicyContext, build_queue, queue_factory_for
 from .pipeline import compile_query_pipeline
 from .source import GrowingTripleSource
 from .stats import ExecutionStats, TimedResult
@@ -109,11 +109,23 @@ class TraversalPolicy:
     follow_unknown_origins: bool = True
     adaptive: bool = False
     #: Link-queue discipline: ``"fifo"`` (breadth-first, the paper's
-    #: default), ``"lifo"`` (depth-first), or ``"priority"`` (shallow +
+    #: default), ``"lifo"`` (depth-first), ``"priority"`` (shallow +
     #: Solid-metadata links first; see
-    #: :class:`~repro.ltqp.links.PriorityLinkQueue`).  An explicit
+    #: :class:`~repro.ltqp.links.PriorityLinkQueue`), ``"fair"``
+    #: (round-robin across origins), or ``"guided"`` (provenance/hint
+    #: scoring with result-contribution feedback; see
+    #: :class:`~repro.ltqp.guided.GuidedLinkQueue`).  An explicit
     #: ``queue_factory`` passed to the engine overrides this.
     queue_policy: str = "fifo"
+    #: Subweb specification governing source selection (DESIGN.md §4g):
+    #: a :class:`~repro.ltqp.guided.SubwebSpecification`, a dict in its
+    #: JSON shape, or a path to a JSON spec file (the CLI's ``--subweb``).
+    #: Installing one activates the :class:`~repro.ltqp.guided
+    #: .SourceSelector` — links outside the declared subweb are pruned
+    #: *before* they cost a dereference, attributed in
+    #: ``ExecutionStats.completeness()``.  ``None`` plus a non-guided
+    #: queue policy leaves traversal exactly as before.
+    subweb: Optional[object] = None
     #: Micro-batching of pipeline advancement: documents accumulate in the
     #: growing source until at least this many new quads are pending, then
     #: one ``advance`` feeds them all — tiny documents coalesce instead of
@@ -137,6 +149,21 @@ def _origin_of(url: str) -> str:
     except ValueError:
         return ""
     return origin
+
+
+def _resolve_subweb(value):
+    """Normalize ``TraversalPolicy.subweb`` to a SubwebSpecification."""
+    if value is None:
+        return None
+    from .guided import SubwebSpecification
+
+    if isinstance(value, SubwebSpecification):
+        return value
+    if isinstance(value, dict):
+        return SubwebSpecification.from_json(value)
+    if isinstance(value, str):
+        return SubwebSpecification.from_file(value)
+    raise TypeError(f"subweb must be a SubwebSpecification, dict, or path; got {value!r}")
 
 
 class _OriginBudgets:
@@ -568,6 +595,17 @@ class LinkTraversalEngine:
         seed_list = list(seeds) if seeds is not None else self.seeds_from_query(query)
         execution.seeds = seed_list
         stats = execution.stats
+        # Guided source selection: a subweb spec and/or the guided queue
+        # policy installs a per-execution SourceSelector, and the hint
+        # extractor so pods' source indexes and published specs are
+        # discovered and absorbed during traversal.
+        selector = None
+        spec = _resolve_subweb(config.subweb)
+        if spec is not None or config.queue_policy == "guided":
+            from .guided import HintDiscoveryExtractor, SourceSelector
+
+            selector = SourceSelector(spec=spec, where=query.where, seeds=seed_list)
+            run_extractors = [HintDiscoveryExtractor(selector)] + list(run_extractors)
         # Every timestamp in a traced execution (stats, queue samples,
         # request log, spans) comes from the tracer's clock, so a seeded
         # TickClock makes the whole run a deterministic artifact.
@@ -594,7 +632,13 @@ class LinkTraversalEngine:
             if self._queue_factory is not None
             else queue_factory_for(config.queue_policy)
         )
-        queue: LinkQueue = queue_factory()
+        policy_context = QueuePolicyContext(
+            traversal=config.traversal,
+            selector=selector,
+            hints=selector.hints if selector is not None else None,
+            query=context,
+        )
+        queue: LinkQueue = build_queue(queue_factory, policy_context)
         queue.clock = clock
         if metrics is not None:
             depth_gauge = metrics.gauge("queue.depth")
@@ -665,6 +709,16 @@ class LinkTraversalEngine:
 
         result_queue: asyncio.Queue[Optional[Binding]] = asyncio.Queue()
         stop_traversal = asyncio.Event()
+        # Result-contribution feedback (guided queue only): the documents
+        # whose entities appear in an emitted binding get their pending
+        # sibling links promoted.
+        note_contribution = getattr(queue, "note_result_contribution", None)
+
+        def feed_contribution(binding: Binding) -> None:
+            for _var, term in binding.items():
+                value = getattr(term, "value", None)
+                if isinstance(value, str) and value.startswith(("http://", "https://")):
+                    note_contribution(value.split("#", 1)[0])
 
         def emit(binding: Binding) -> None:
             # Single limit check against the pre-increment count decides both
@@ -684,6 +738,8 @@ class LinkTraversalEngine:
                     tracer.instant("first-result", parent=query_span, ts=now)
             stats.result_count = count + 1
             execution.results.append(TimedResult(binding=binding, elapsed=now - stats.started_at))
+            if note_contribution is not None:
+                feed_contribution(binding)
             result_queue.put_nowait(binding)
             if limit and count + 1 >= limit:
                 stop_traversal.set()
@@ -744,6 +800,7 @@ class LinkTraversalEngine:
                 traversal_span=traversal_span,
                 clock=clock,
                 dereferencer=dereferencer,
+                selector=selector,
             )
         )
         timer: Optional[asyncio.Task] = None
@@ -809,6 +866,11 @@ class LinkTraversalEngine:
                     pass
                 except Exception as error:
                     stats.note_shutdown_error("traversal", error)
+            if selector is not None:
+                # Links still deferred at quiescence: their origins were
+                # never declared by any traversed document — pruned.
+                for parked in selector.drain_deferred():
+                    stats.note_pruned("origin:undeclared", _origin_of(parked.url))
             source.close()
             stats.finished_at = clock()
             stats.documents_fetched = source.document_count
@@ -886,6 +948,7 @@ class LinkTraversalEngine:
         traversal_span=None,
         clock=time.monotonic,
         dereferencer: Optional[Dereferencer] = None,
+        selector=None,
     ) -> None:
         if config is None:
             config = self._config
@@ -926,6 +989,7 @@ class LinkTraversalEngine:
                         clock=clock,
                         track=track,
                         budgets=budgets,
+                        selector=selector,
                     )
                 finally:
                     async with wake:
@@ -958,6 +1022,7 @@ class LinkTraversalEngine:
         clock=time.monotonic,
         track: int = 0,
         budgets: Optional[_OriginBudgets] = None,
+        selector=None,
     ) -> None:
         if config is None:
             config = self._config
@@ -986,9 +1051,37 @@ class LinkTraversalEngine:
                 depth=link.depth,
                 attempt=link.attempts + 1,
             )
+            provenance = link.provenance
+            if provenance is not None:
+                if provenance.predicate:
+                    deref_span.args["via_predicate"] = provenance.predicate
+                if provenance.pattern:
+                    deref_span.args["via_pattern"] = provenance.pattern
+                if provenance.for_class:
+                    deref_span.args["via_class"] = provenance.for_class
             tracer.add("queue-wait", enqueued_at, popped_at, parent=deref_span)
         origin = _origin_of(link.url)
         try:
+            # Source selection (pop time: origin admission needs the
+            # knowledge absorbed so far).  Before the origin-budget gate —
+            # a pruned link costs neither a request nor budget.
+            if selector is not None:
+                decision = selector.check(link)
+                if decision.action == "prune":
+                    stats.note_pruned(decision.rule, origin)
+                    if deref_span is not None:
+                        deref_span.args["outcome"] = "pruned"
+                        deref_span.args["pruned"] = decision.rule
+                    return
+                if decision.action == "defer":
+                    # Parked with the selector: re-queued the moment a
+                    # traversed document declares this link's origin, or
+                    # counted as pruned at quiescence.
+                    selector.defer(link)
+                    if deref_span is not None:
+                        deref_span.args["outcome"] = "deferred"
+                        deref_span.args["pruned"] = decision.rule
+                    return
             # Origin-budget gate — after span creation, so every refusal
             # leaves a ``dereference`` span with ``outcome: refused`` for
             # the trace/stats reconciliation to count.
@@ -1001,7 +1094,11 @@ class LinkTraversalEngine:
                         deref_span.args["refused"] = refusal
                     return
             result = await dereferencer.dereference(
-                link.url, parent_url=link.parent_url, trace_parent=deref_span, tracer=tracer
+                link.url,
+                parent_url=link.parent_url,
+                trace_parent=deref_span,
+                tracer=tracer,
+                provenance=link.provenance,
             )
             if budgets is not None:
                 budgets.charge_bytes(origin, result.bytes_fetched)
@@ -1022,16 +1119,10 @@ class LinkTraversalEngine:
                     # Transient trouble that survived client-level retries
                     # (e.g. a tripped breaker): give the link another pass
                     # through the queue instead of discarding the document.
+                    # ``replace`` keeps everything but the attempt count —
+                    # provenance and therefore queue rank survive the retry.
                     if link.attempts < config.network.max_link_requeues:
-                        queue.requeue(
-                            Link(
-                                url=link.url,
-                                parent_url=link.parent_url,
-                                depth=link.depth,
-                                via=link.via,
-                                attempts=link.attempts + 1,
-                            )
-                        )
+                        queue.requeue(dataclasses.replace(link, attempts=link.attempts + 1))
                         stats.documents_retried += 1
                         outcome = "retried"
                     else:
@@ -1041,6 +1132,14 @@ class LinkTraversalEngine:
                     deref_span.args["outcome"] = outcome
                     deref_span.args["error"] = result.error
                 return
+            if selector is not None:
+                # Absorb declarations (hints, specs, admitted origins)
+                # *before* the pipeline and link extraction see the
+                # document, so its own links are judged with its knowledge
+                # already in force; newly admitted origins release their
+                # parked links back into the queue.
+                for released in selector.absorb_document(result.url, result.triples):
+                    queue.requeue(released)
             on_document(result.url, result.triples)
             stats.documents_fetched += 1
             if result.from_store:
@@ -1060,17 +1159,48 @@ class LinkTraversalEngine:
                 return
             extract_started = clock() if tracer is not None else 0.0
             links_pushed = 0
+            links_pruned = 0
+            # Extractors may intern one LinkProvenance for many links; the
+            # parent-depth-stamped variant is cached alongside.
+            stamped: dict = {}
             for extractor in extractors:
-                for url in extractor.extract(result.url, result.triples, context):
+                for url, provenance in extractor.discover(result.url, result.triples, context):
                     if not url.startswith(("http://", "https://")):
                         continue
-                    pushed = queue.push(
-                        Link(url=url, parent_url=result.url, depth=link.depth + 1, via=extractor.name)
+                    if provenance is not None:
+                        if provenance.parent_depth != link.depth:
+                            cached = stamped.get(provenance)
+                            if cached is None:
+                                cached = stamped[provenance] = dataclasses.replace(
+                                    provenance, parent_depth=link.depth
+                                )
+                            provenance = cached
+                        via = provenance.extractor
+                    else:
+                        via = extractor.name
+                    candidate = Link(
+                        url=url,
+                        parent_url=result.url,
+                        depth=link.depth + 1,
+                        via=via,
+                        provenance=provenance,
                     )
-                    if pushed:
+                    # Push-time source selection, on static grounds only
+                    # (spec rules, hint relevance): these grow strictly
+                    # more restrictive, so pruning here can never drop a
+                    # link a later document would have justified.  Checked
+                    # for fresh URLs only — duplicates are the dedup's
+                    # business, not a prune.
+                    if selector is not None and not queue.has_seen(url):
+                        decision = selector.check_static(candidate)
+                        if decision.action == "prune":
+                            links_pruned += 1
+                            stats.note_pruned(decision.rule, _origin_of(url))
+                            continue
+                    if queue.push(candidate):
                         links_pushed += 1
-                        stats.links_by_extractor[extractor.name] = (
-                            stats.links_by_extractor.get(extractor.name, 0) + 1
+                        stats.links_by_extractor[via] = (
+                            stats.links_by_extractor.get(via, 0) + 1
                         )
             if tracer is not None:
                 tracer.add(
@@ -1079,6 +1209,7 @@ class LinkTraversalEngine:
                     clock(),
                     parent=deref_span,
                     links=links_pushed,
+                    **({"pruned": links_pruned} if links_pruned else {}),
                 )
         finally:
             if deref_span is not None:

@@ -1,7 +1,12 @@
 """Link extraction strategies.
 
 After each document is dereferenced, extractors inspect its triples and
-propose follow-up links.  The paper combines Solid-agnostic reachability
+propose follow-up links.  Each proposal carries a structured
+:class:`~repro.ltqp.links.LinkProvenance` — which extractor emitted it,
+on the evidence of which predicate / query pattern / type-index class —
+via the :meth:`LinkExtractor.discover` API; the engine, trace spans,
+waterfall, and the guided queue all consume that instead of parsing
+``via`` strings.  The paper combines Solid-agnostic reachability
 criteria [19] with Solid-specific extractors [14]:
 
 * :class:`AllIriExtractor` — the ``cAll`` criterion: follow every IRI.
@@ -24,8 +29,9 @@ effect on links followed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Optional
 
+from .links import LinkProvenance
 from ..rdf.namespaces import LDP, PIM, RDF, SOLID
 from ..rdf.terms import NamedNode, Term, Variable
 from ..rdf.triples import Triple, TriplePattern
@@ -142,20 +148,61 @@ def _collect_patterns(op: Operator, out: list[TriplePattern]) -> None:
 
 
 class LinkExtractor:
-    """Base class. ``name`` tags links for statistics and prioritization."""
+    """Base class. ``name`` tags links for statistics and prioritization.
+
+    Subclasses implement either :meth:`discover` (the rich API: yields
+    ``(url, LinkProvenance)`` pairs) or the legacy :meth:`extract` (bare
+    URLs); the base class bridges each in terms of the other, so existing
+    third-party extractors that only know ``extract`` keep working and
+    merely get coarse provenance (extractor kind alone).
+    """
 
     name = "abstract"
 
     def extract(
         self, document_url: str, triples: Iterable[Triple], context: QueryContext
     ) -> Iterator[str]:
-        raise NotImplementedError
+        if type(self).discover is LinkExtractor.discover:
+            raise NotImplementedError
+        for url, _provenance in self.discover(document_url, triples, context):
+            yield url
+
+    def discover(
+        self, document_url: str, triples: Iterable[Triple], context: QueryContext
+    ) -> Iterator[tuple[str, Optional[LinkProvenance]]]:
+        """Yield ``(url, provenance)`` pairs for follow-up links."""
+        if type(self).extract is LinkExtractor.extract:
+            raise NotImplementedError
+        provenance = LinkProvenance(extractor=self.name)
+        for url in self.extract(document_url, triples, context):
+            yield url, provenance
 
 
 def _iris_of(triple: Triple) -> Iterator[str]:
     for term in triple:
         if isinstance(term, NamedNode) and term.value.startswith(("http://", "https://")):
             yield term.value
+
+
+def _render_pattern(pattern: TriplePattern) -> str:
+    """Compact one-line rendering of a query pattern for provenance."""
+    return " ".join(_render_term(term) for term in pattern)
+
+
+def _render_term(term: Term | None) -> str:
+    if term is None:
+        return "?"
+    if isinstance(term, Variable):
+        return str(term)
+    if isinstance(term, NamedNode):
+        value = term.value
+        for sep in ("#", "/"):
+            if sep in value:
+                tail = value.rsplit(sep, 1)[1]
+                if tail:
+                    return tail
+        return value
+    return str(term)
 
 
 class AllIriExtractor(LinkExtractor):
@@ -169,11 +216,16 @@ class AllIriExtractor(LinkExtractor):
 
 
 class MatchIriExtractor(LinkExtractor):
-    """cMatch reachability: IRIs from triples matching some query pattern."""
+    """cMatch reachability: IRIs from triples matching some query pattern.
+
+    Provenance records the predicate of the producing triple and a compact
+    rendering of the query pattern it matched — the guided queue scores
+    cMatch links by *which* pattern justified them.
+    """
 
     name = "match"
 
-    def extract(self, document_url, triples, context):
+    def discover(self, document_url, triples, context):
         if not context.patterns:
             return
         # Bucket patterns by concrete predicate so a triple only ever tests
@@ -187,6 +239,9 @@ class MatchIriExtractor(LinkExtractor):
                 wildcard.append(pattern)
             else:
                 by_predicate.setdefault(predicate, []).append(pattern)
+        # Provenance is interned per (predicate, pattern): documents repeat
+        # the same few predicates thousands of times.
+        provenance_cache: dict[tuple[Term, TriplePattern], LinkProvenance] = {}
         for triple in triples:
             candidates = by_predicate.get(triple.predicate)
             if candidates is not None:
@@ -198,7 +253,20 @@ class MatchIriExtractor(LinkExtractor):
                 continue
             for pattern in candidates:
                 if pattern.matches(triple):
-                    yield from _iris_of(triple)
+                    key = (triple.predicate, pattern)
+                    provenance = provenance_cache.get(key)
+                    if provenance is None:
+                        provenance = provenance_cache[key] = LinkProvenance(
+                            extractor=self.name,
+                            predicate=(
+                                triple.predicate.value
+                                if isinstance(triple.predicate, NamedNode)
+                                else None
+                            ),
+                            pattern=_render_pattern(pattern),
+                        )
+                    for url in _iris_of(triple):
+                        yield url, provenance
                     break
 
 
@@ -207,10 +275,11 @@ class LdpContainerExtractor(LinkExtractor):
 
     name = "ldp-container"
 
-    def extract(self, document_url, triples, context):
+    def discover(self, document_url, triples, context):
+        provenance = LinkProvenance(extractor=self.name, predicate=LDP.contains.value)
         for triple in triples:
             if triple.predicate == LDP.contains and isinstance(triple.object, NamedNode):
-                yield triple.object.value
+                yield triple.object.value, provenance
 
 
 class StorageExtractor(LinkExtractor):
@@ -218,10 +287,11 @@ class StorageExtractor(LinkExtractor):
 
     name = "storage"
 
-    def extract(self, document_url, triples, context):
+    def discover(self, document_url, triples, context):
+        provenance = LinkProvenance(extractor=self.name, predicate=PIM.storage.value)
         for triple in triples:
             if triple.predicate == PIM.storage and isinstance(triple.object, NamedNode):
-                yield triple.object.value
+                yield triple.object.value, provenance
 
 
 class TypeIndexExtractor(LinkExtractor):
@@ -247,12 +317,17 @@ class TypeIndexExtractor(LinkExtractor):
     def __init__(self) -> None:
         self.registered_targets: set[str] = set()
 
-    def extract(self, document_url, triples, context):
+    def discover(self, document_url, triples, context):
         triple_list = list(triples)
+        index_provenance = None
         for triple in triple_list:
             if triple.predicate in (SOLID.publicTypeIndex, SOLID.privateTypeIndex):
                 if isinstance(triple.object, NamedNode):
-                    yield triple.object.value
+                    if index_provenance is None:
+                        index_provenance = LinkProvenance(
+                            extractor=self.name, predicate=triple.predicate.value
+                        )
+                    yield triple.object.value, index_provenance
 
         # Index registrations: group forClass and targets by subject.
         for_class: dict[Term, set[NamedNode]] = {}
@@ -267,9 +342,14 @@ class TypeIndexExtractor(LinkExtractor):
             classes = for_class.get(registration, set())
             if context.constrains_classes and classes and not (classes & context.classes):
                 continue
+            provenance = LinkProvenance(
+                extractor=self.name,
+                predicate=SOLID.instanceContainer.value,
+                for_class=min(c.value for c in classes) if classes else None,
+            )
             for target in links:
                 self.registered_targets.add(target.value)
-                yield target.value
+                yield target.value, provenance
 
 
 class ScopedLdpContainerExtractor(LinkExtractor):
@@ -288,13 +368,14 @@ class ScopedLdpContainerExtractor(LinkExtractor):
     def __init__(self, type_index: TypeIndexExtractor) -> None:
         self._type_index = type_index
 
-    def extract(self, document_url, triples, context):
+    def discover(self, document_url, triples, context):
         targets = self._type_index.registered_targets
         if not any(document_url.startswith(target) for target in targets):
             return
+        provenance = LinkProvenance(extractor=self.name, predicate=LDP.contains.value)
         for triple in triples:
             if triple.predicate == LDP.contains and isinstance(triple.object, NamedNode):
-                yield triple.object.value
+                yield triple.object.value, provenance
 
 
 #: The Solid-aware configuration demonstrated in the paper.

@@ -1,0 +1,44 @@
+"""Guided traversal: the source-selection subsystem (DESIGN.md §4g).
+
+Zero-knowledge LTQP dereferences every reachable document; the guided
+subsystem prunes and prioritizes instead, following two lines of work
+cited in PAPERS.md: *Guided Link-Traversal-Based Query Processing*
+(arXiv:2005.02239) and *Distributed Subweb Specifications for Traversing
+the Web* (arXiv:2302.14411).
+
+Three cooperating pieces:
+
+* :class:`SubwebSpecification` — declarative per-origin allow/deny/depth
+  rules, loadable from a JSON file (CLI ``--subweb``) or discovered as RDF
+  documents inside pods.
+* :class:`CardinalityHints` — per-pod source summaries (class partitions,
+  predicate sets, cardinalities per container) published by pods at a
+  ``subweb:cardinalityIndex`` document; SolidBench emits them.
+* :class:`SourceSelector` — combines both with the query's subject groups
+  to decide, per link, *follow*, *defer* (origin not yet admitted), or
+  *prune* — before the link ever costs a dereference.  Every pruned link
+  is attributed in ``ExecutionStats.completeness()``.
+
+The :class:`GuidedLinkQueue` (``queue_policy="guided"``) scores surviving
+links from their :class:`~repro.ltqp.links.LinkProvenance`, hint
+cardinalities, and result-contribution feedback from the pipeline.
+"""
+
+from .discovery import HintDiscoveryExtractor
+from .hints import CardinalityHints, ContainerHint, PodHints, query_scopes
+from .queue import GuidedLinkQueue
+from .selector import LinkDecision, SourceSelector
+from .subweb import SubwebRule, SubwebSpecification
+
+__all__ = [
+    "CardinalityHints",
+    "ContainerHint",
+    "PodHints",
+    "query_scopes",
+    "GuidedLinkQueue",
+    "HintDiscoveryExtractor",
+    "LinkDecision",
+    "SourceSelector",
+    "SubwebRule",
+    "SubwebSpecification",
+]

@@ -1,0 +1,47 @@
+"""Link extraction for guided traversal's own metadata documents.
+
+Two jobs, both only active when a :class:`~.selector.SourceSelector` is
+installed (the engine adds this extractor in that case):
+
+1. In *any* document: follow ``subweb:cardinalityIndex`` and
+   ``subweb:specification`` objects — pods advertise their source index
+   and traversal scope from the WebID profile, and the guided queue ranks
+   these links ahead of data (tier ``"hint"``).
+2. In a *source-index* document (the selector absorbed it just before
+   extraction runs): emit links to the pod's summarized containers that
+   are relevant to the query — ``"hint-container"`` tier, carrying the
+   container's class as provenance.  With a complete index this replaces
+   the LDP infrastructure crawl the selector prunes.
+"""
+
+from __future__ import annotations
+
+from ..extractors import LinkExtractor
+from ..links import LinkProvenance
+from ...rdf.namespaces import SUBWEB
+from ...rdf.terms import NamedNode
+
+__all__ = ["HintDiscoveryExtractor"]
+
+
+class HintDiscoveryExtractor(LinkExtractor):
+    name = "hint"
+
+    def __init__(self, selector) -> None:
+        self._selector = selector
+
+    def discover(self, document_url, triples, context):
+        triple_list = list(triples)
+        for triple in triple_list:
+            if triple.predicate in (SUBWEB.cardinalityIndex, SUBWEB.specification):
+                if isinstance(triple.object, NamedNode):
+                    yield triple.object.value, LinkProvenance(
+                        extractor=self.name, predicate=triple.predicate.value
+                    )
+        pod = self._selector.hints.pod_by_source(document_url)
+        if pod is not None:
+            for hint in self._selector.relevant_containers(pod):
+                first_class = min(hint.classes) if hint.classes else None
+                yield hint.container, LinkProvenance(
+                    extractor="hint-container", for_class=first_class
+                )

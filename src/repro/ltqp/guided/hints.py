@@ -1,0 +1,412 @@
+"""Per-pod cardinality hints (source summaries) and query subject groups.
+
+A pod may publish a *source index* document (SolidBench emits one per pod
+at ``settings/cardinality``, linked from the WebID profile via
+``subweb:cardinalityIndex``) describing each content container: the RDF
+classes of the entities stored there, the set of predicates that occur,
+and document/entity counts.  It may also declare predicate *ranges*
+(``subweb:rangeOf`` / ``subweb:rangeClass`` — e.g. every object of
+``snvoc:containerOf`` is a ``snvoc:Post``) and, with
+``subweb:completeIndex true``, that the summary covers the pod's whole
+content tree so the LDP infrastructure crawl (root container, profile and
+settings listings, type index) is redundant.
+
+The consuming side is VoID-style source selection: the query's WHERE
+clause decomposes into *subject groups* — per conjunctive scope, the set
+of predicates and class constraints attached to each subject term.  A
+summarized container is **relevant** iff some subject group could bind
+entities from it: its class partition intersects the group's (declared or
+range-derived) class constraints and its predicate set covers the group's
+required predicates.  Irrelevant containers are pruned before
+dereferencing — sound under subject-local fragmentation (all triples of
+an entity live in its container's documents) and trusting summaries to be
+accurate, the model of the distributed-subweb-specification line of work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional
+
+from ...rdf.namespaces import RDF, SUBWEB
+from ...rdf.terms import Literal, NamedNode, Term, Variable
+from ...rdf.triples import Triple, TriplePattern
+from ...sparql.algebra import (
+    BGP,
+    AlternativePath,
+    Distinct,
+    Extend,
+    Filter,
+    GraphOp,
+    GroupBy,
+    Join,
+    LeftJoin,
+    Minus,
+    Operator,
+    OrderBy,
+    PredicatePath,
+    Project,
+    Reduced,
+    Slice,
+    SubSelect,
+    Union,
+    ValuesOp,
+)
+
+__all__ = [
+    "ContainerHint",
+    "PodHints",
+    "CardinalityHints",
+    "SubjectGroup",
+    "QueryScope",
+    "query_scopes",
+    "container_relevant",
+    "is_hint_document",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ContainerHint:
+    """Summary of one content container."""
+
+    container: str
+    classes: frozenset = frozenset()
+    predicates: frozenset = frozenset()
+    documents: int = 0
+    entities: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class PodHints:
+    """Everything one source-index document declared about its pod."""
+
+    pod: str
+    source_url: str
+    complete: bool = False
+    containers: tuple = ()
+    #: Exact URLs of LDP infrastructure documents the index makes
+    #: redundant when ``complete`` (root/profile/settings listings, type
+    #: index).
+    infra: frozenset = frozenset()
+    ranges: Mapping[str, frozenset] = field(default_factory=dict)
+
+    def container_for(self, url: str) -> Optional[ContainerHint]:
+        best = None
+        for hint in self.containers:
+            if url.startswith(hint.container):
+                if best is None or len(hint.container) > len(best.container):
+                    best = hint
+        return best
+
+
+def is_hint_document(triples: Iterable[Triple]) -> bool:
+    return any(triple.predicate == SUBWEB.pod for triple in triples)
+
+
+class CardinalityHints:
+    """Accumulates :class:`PodHints` as source-index documents arrive."""
+
+    def __init__(self) -> None:
+        self._pods: dict[str, PodHints] = {}
+        self._by_source: dict[str, PodHints] = {}
+        self._ranges: dict[str, frozenset] = {}
+
+    @property
+    def pod_count(self) -> int:
+        return len(self._pods)
+
+    @property
+    def ranges(self) -> Mapping[str, frozenset]:
+        """Declared predicate ranges, unioned across every absorbed index.
+
+        Trusted as universe-wide: a declared range is assumed accurate for
+        the predicate wherever it occurs (the summaries-are-authoritative
+        assumption; DESIGN.md §4g discusses the trust model).
+        """
+        return self._ranges
+
+    def absorb_triples(self, url: str, triples: Iterable[Triple]) -> Optional[PodHints]:
+        """Parse a source-index document; returns the pod's hints, or None
+        when the document carries no ``subweb:pod`` declaration."""
+        triple_list = list(triples)
+        pod_base: Optional[str] = None
+        complete = False
+        infra: set[str] = set()
+        summaries: dict[Term, dict] = {}
+        range_of: dict[Term, str] = {}
+        range_classes: dict[Term, set] = {}
+        class_predicate = SUBWEB["class"]
+        for triple in triple_list:
+            predicate = triple.predicate
+            obj = triple.object
+            if predicate == SUBWEB.pod and isinstance(obj, NamedNode):
+                pod_base = obj.value
+            elif predicate == SUBWEB.completeIndex and isinstance(obj, Literal):
+                complete = obj.value == "true"
+            elif predicate == SUBWEB.infra and isinstance(obj, NamedNode):
+                infra.add(obj.value)
+            elif predicate == SUBWEB.container and isinstance(obj, NamedNode):
+                summaries.setdefault(triple.subject, {})["container"] = obj.value
+            elif predicate == class_predicate and isinstance(obj, NamedNode):
+                summaries.setdefault(triple.subject, {}).setdefault("classes", set()).add(obj.value)
+            elif predicate == SUBWEB.predicate and isinstance(obj, NamedNode):
+                summaries.setdefault(triple.subject, {}).setdefault("predicates", set()).add(
+                    obj.value
+                )
+            elif predicate == SUBWEB.documents and isinstance(obj, Literal):
+                summaries.setdefault(triple.subject, {})["documents"] = _safe_int(obj.value)
+            elif predicate == SUBWEB.entities and isinstance(obj, Literal):
+                summaries.setdefault(triple.subject, {})["entities"] = _safe_int(obj.value)
+            elif predicate == SUBWEB.rangeOf and isinstance(obj, NamedNode):
+                range_of[triple.subject] = obj.value
+            elif predicate == SUBWEB.rangeClass and isinstance(obj, NamedNode):
+                range_classes.setdefault(triple.subject, set()).add(obj.value)
+        if pod_base is None:
+            return None
+        containers = tuple(
+            ContainerHint(
+                container=str(fields["container"]),
+                classes=frozenset(fields.get("classes", ())),
+                predicates=frozenset(fields.get("predicates", ())),
+                documents=int(fields.get("documents", 0)),
+                entities=int(fields.get("entities", 0)),
+            )
+            for _, fields in sorted(summaries.items(), key=lambda item: str(item[0]))
+            if "container" in fields
+        )
+        pod = PodHints(
+            pod=pod_base,
+            source_url=url,
+            complete=complete,
+            containers=containers,
+            infra=frozenset(infra),
+            ranges={
+                predicate: frozenset(range_classes.get(subject, ()))
+                for subject, predicate in range_of.items()
+                if range_classes.get(subject)
+            },
+        )
+        self._pods[pod_base] = pod
+        self._by_source[url.split("#", 1)[0]] = pod
+        for predicate, classes in pod.ranges.items():
+            self._ranges[predicate] = self._ranges.get(predicate, frozenset()) | classes
+        return pod
+
+    def pod_by_source(self, url: str) -> Optional[PodHints]:
+        """The pod hints absorbed from exactly this source-index URL."""
+        return self._by_source.get(url.split("#", 1)[0])
+
+    def pod_for(self, url: str) -> Optional[PodHints]:
+        best = None
+        for base, pod in self._pods.items():
+            if url.startswith(base) and (best is None or len(base) > len(best.pod)):
+                best = pod
+        return best
+
+
+def _safe_int(text: str) -> int:
+    try:
+        return int(text)
+    except ValueError:
+        return 0
+
+
+# -- query subject groups ------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class SubjectGroup:
+    """Constraints one conjunctive scope places on one subject term.
+
+    ``predicates``: concrete predicate IRIs required of the subject.
+    ``any_of``: per property-path alternation, a set of predicates of
+    which at least one must be available.  ``classes``: declared
+    ``rdf:type`` constraints.  ``object_of`` / ``object_of_any``: the
+    predicates under which the subject appears in object position within
+    the same scope — range declarations turn these into additional class
+    constraints.
+    """
+
+    subject: str
+    predicates: frozenset = frozenset()
+    any_of: tuple = ()
+    classes: frozenset = frozenset()
+    object_of: frozenset = frozenset()
+    object_of_any: tuple = ()
+
+
+@dataclass(frozen=True, slots=True)
+class QueryScope:
+    """One conjunctive scope of the WHERE clause (one Union branch etc.)."""
+
+    groups: tuple = ()
+
+
+#: Safety valve for the Join cross-product of Union branches.
+_MAX_SCOPES = 64
+
+
+def query_scopes(where: Operator) -> tuple:
+    """Decompose a WHERE tree into conjunctive scopes of subject groups.
+
+    Union branches become separate scopes; Joins combine their children's
+    scopes pairwise; optional/minus parts are kept as their own scopes
+    (conservative: each part is source-selected as if required on its
+    own, so no container an optional part needs is ever pruned).
+    """
+    scopes = []
+    for items in _conjunctions(where):
+        groups = _build_groups(items)
+        if groups:
+            scopes.append(QueryScope(groups=tuple(groups)))
+    return tuple(scopes)
+
+
+def _conjunctions(op: Operator) -> list:
+    """Lists of pattern items, one list per conjunctive scope.
+
+    An item is ``("p", TriplePattern)`` or ``("any", subject, predicates,
+    object)`` for an alternation path with the given predicate options.
+    Unanalyzable paths are skipped — omitting a constraint only ever makes
+    more containers look relevant, never fewer.
+    """
+    if isinstance(op, BGP):
+        items = [("p", pattern) for pattern in op.patterns]
+        for path_pattern in op.path_patterns:
+            path = path_pattern.path
+            if isinstance(path, PredicatePath):
+                items.append(
+                    ("p", TriplePattern(path_pattern.subject, path.predicate, path_pattern.object))
+                )
+            elif isinstance(path, AlternativePath) and all(
+                isinstance(option, PredicatePath) for option in path.options
+            ):
+                predicates = frozenset(option.predicate.value for option in path.options)
+                items.append(("any", path_pattern.subject, predicates, path_pattern.object))
+        return [items]
+    if isinstance(op, Join):
+        left = _conjunctions(op.left)
+        right = _conjunctions(op.right)
+        if len(left) * len(right) <= _MAX_SCOPES:
+            return [a + b for a in left for b in right]
+        return left + right
+    if isinstance(op, Union):
+        return _conjunctions(op.left) + _conjunctions(op.right)
+    if isinstance(op, (LeftJoin, Minus)):
+        return _conjunctions(op.left) + _conjunctions(op.right)
+    if isinstance(op, (Filter, Extend, Project, Distinct, Reduced, Slice, OrderBy, GroupBy, GraphOp)):
+        return _conjunctions(op.input)
+    if isinstance(op, SubSelect):
+        return _conjunctions(op.query.where)
+    if isinstance(op, ValuesOp):
+        return [[]]
+    raise TypeError(f"unknown operator: {op!r}")
+
+
+def _build_groups(items: list) -> list:
+    predicates: dict[Term, set] = {}
+    any_of: dict[Term, list] = {}
+    classes: dict[Term, set] = {}
+    subjects: list[Term] = []
+
+    def _bucket(store: dict, term: Term) -> set:
+        if term not in predicates and term not in any_of:
+            subjects.append(term)
+        return store.setdefault(term, set() if store is not any_of else [])
+
+    for item in items:
+        if item[0] == "p":
+            pattern = item[1]
+            subject = pattern.subject
+            predicate = pattern.predicate
+            if isinstance(predicate, NamedNode):
+                _bucket(predicates, subject).add(predicate.value)
+                if predicate == RDF.type and isinstance(pattern.object, NamedNode):
+                    classes.setdefault(subject, set()).add(pattern.object.value)
+            else:
+                # Variable predicate: the subject is constrained, but by
+                # nothing a summary can check.  Record the group with no
+                # requirements so it matches every container (no pruning
+                # from this group — conservative).
+                _bucket(predicates, subject)
+        else:
+            _, subject, options, _obj = item
+            bucket = _bucket(any_of, subject)
+            bucket.append(options)
+            predicates.setdefault(subject, set())
+    # Object-position occurrences, for range-derived class constraints.
+    object_of: dict[Term, set] = {}
+    object_of_any: dict[Term, list] = {}
+    known = set(predicates) | set(any_of)
+    for item in items:
+        if item[0] == "p":
+            pattern = item[1]
+            if pattern.object in known and isinstance(pattern.predicate, NamedNode):
+                if pattern.predicate != RDF.type:
+                    object_of.setdefault(pattern.object, set()).add(pattern.predicate.value)
+        else:
+            _, _subject, options, obj = item
+            if obj in known:
+                object_of_any.setdefault(obj, []).append(options)
+    groups = []
+    for subject in subjects:
+        groups.append(
+            SubjectGroup(
+                subject=str(subject),
+                predicates=frozenset(predicates.get(subject, ())),
+                any_of=tuple(any_of.get(subject, ())),
+                classes=frozenset(classes.get(subject, ())),
+                object_of=frozenset(object_of.get(subject, ())),
+                object_of_any=tuple(object_of_any.get(subject, ())),
+            )
+        )
+    return groups
+
+
+def container_relevant(
+    hint: ContainerHint, scopes: tuple, ranges: Mapping[str, frozenset]
+) -> bool:
+    """Could any subject group bind entities out of this container?"""
+    if not scopes:
+        return True
+    for scope in scopes:
+        for group in scope.groups:
+            if _group_matches(group, hint, ranges):
+                return True
+    return False
+
+
+def _group_matches(group: SubjectGroup, hint: ContainerHint, ranges) -> bool:
+    # Class partition: every class constraint — declared rdf:type plus
+    # range-derived ones — must intersect the container's classes.
+    if hint.classes:
+        constraints = []
+        if group.classes:
+            constraints.append(group.classes)
+        for predicate in group.object_of:
+            declared = ranges.get(predicate)
+            if declared:
+                constraints.append(declared)
+        for options in group.object_of_any:
+            declared_union: set = set()
+            for predicate in options:
+                declared = ranges.get(predicate)
+                if not declared:
+                    declared_union = set()
+                    break
+                declared_union |= declared
+            if declared_union:
+                constraints.append(frozenset(declared_union))
+        for constraint in constraints:
+            if not (constraint & hint.classes):
+                return False
+    # Predicate coverage: every required predicate must occur in the
+    # container; alternations need at least one option.
+    if hint.predicates:
+        for predicate in group.predicates:
+            if predicate not in hint.predicates:
+                return False
+        for options in group.any_of:
+            if not (options & hint.predicates):
+                return False
+    return True

@@ -1,0 +1,126 @@
+"""The guided link queue: provenance- and hint-scored prioritization.
+
+Scores combine three signals, in lexicographic order:
+
+1. **Extractor tier** (:data:`~repro.ltqp.links.EXTRACTOR_RANK` via the
+   link's provenance) — structural metadata first: seeds, then hint /
+   source-index documents, storage and type-index pointers, then data
+   links.  Hint-derived container links share the type-index tier.  One
+   exception jumps the tiers: a data link whose producing *predicate*
+   appears in the query (``likes``, ``hasPost``, …) is a navigational
+   edge the join itself needs, so it is promoted to
+   :data:`QUERY_MATCH_TIER` — between storage and type-index.  Without
+   this, a query whose first answer lives across a ``likes`` hop (e.g.
+   Discover template 8) drains every container of the seed pod before
+   taking the one hop that produces a result.
+2. **Result-contribution boost** — when the pipeline emits a binding, the
+   engine calls :meth:`GuidedLinkQueue.note_result_contribution` with the
+   documents whose triples joined into it; pending links that are
+   *siblings* of a contributing document (same container prefix) move
+   ahead of equal-tier links.  Containers that are producing results get
+   drained first — the guided-LTQP heuristic that reachability from
+   productive sources predicts productivity.
+3. **Hint cardinality** — among equal-tier, equal-boost links, documents
+   from containers with more declared entities first, then shallow before
+   deep.
+
+Boosts arrive while links are already enqueued — and a boost *promotes*
+entries buried anywhere in the heap, which top-of-heap lazy re-scoring
+cannot see.  The queue instead marks itself dirty on each contribution
+and rebuilds entry scores once, on the next pop (many results between two
+pops coalesce into one O(n) re-heap).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from ..links import Link, LinkQueue, QueuePolicyContext, provenance_rank
+
+__all__ = ["GuidedLinkQueue", "QUERY_MATCH_TIER"]
+
+#: Tier for data links produced by a predicate the query itself uses —
+#: ahead of type-index/container structure (3) but after storage roots (2).
+QUERY_MATCH_TIER = 2.5
+
+
+class GuidedLinkQueue(LinkQueue):
+    def __init__(self, context: Optional[QueuePolicyContext] = None) -> None:
+        super().__init__()
+        self._context = context
+        self._heap: list[tuple[tuple, int, Link]] = []
+        self._counter = 0
+        #: IRIs of the query's concrete predicates — links discovered via
+        #: one of these are join edges, not speculative crawl.
+        query = getattr(context, "query", None)
+        self._query_predicates = frozenset(
+            predicate.value for predicate in getattr(query, "predicates", ())
+        )
+        #: Contribution boost per container prefix (see _prefix_of).
+        self._boosts: dict[str, int] = {}
+        #: Set when a boost landed after entries were scored; the next pop
+        #: re-scores the whole heap once.
+        self._dirty = False
+
+    # -- scoring --------------------------------------------------------------
+
+    def note_result_contribution(self, document_url: str) -> None:
+        """A document's triples just joined into an emitted binding —
+        promote its pending sibling links."""
+        prefix = _prefix_of(document_url)
+        if prefix:
+            self._boosts[prefix] = self._boosts.get(prefix, 0) + 1
+            self._dirty = True
+
+    def _boost_of(self, link: Link) -> int:
+        return self._boosts.get(_prefix_of(link.url), 0)
+
+    def _score(self, link: Link) -> tuple:
+        tier: float = provenance_rank(link)
+        provenance = link.provenance
+        if (
+            provenance is not None
+            and provenance.predicate in self._query_predicates
+            and tier > QUERY_MATCH_TIER
+        ):
+            tier = QUERY_MATCH_TIER
+        boost = self._boost_of(link)
+        entities = 0
+        context = self._context
+        if context is not None and context.hints is not None:
+            pod = context.hints.pod_for(link.url)
+            if pod is not None:
+                hint = pod.container_for(link.url)
+                if hint is not None:
+                    entities = hint.entities
+        return (tier, -boost, link.depth, -entities)
+
+    # -- queue plumbing -------------------------------------------------------
+
+    def _push_impl(self, link: Link) -> None:
+        self._counter += 1
+        heapq.heappush(self._heap, (self._score(link), self._counter, link))
+
+    def _pop_impl(self) -> Link:
+        if self._dirty:
+            self._heap = [
+                (self._score(link), counter, link) for _, counter, link in self._heap
+            ]
+            heapq.heapify(self._heap)
+            self._dirty = False
+        if not self._heap:
+            raise IndexError("pop from empty link queue")
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+def _prefix_of(url: str) -> str:
+    """The container prefix of a document URL: up to the last ``/``."""
+    clean = url.split("#", 1)[0]
+    slash = clean.rfind("/")
+    if slash <= len("https://"):
+        return ""
+    return clean[: slash + 1]

@@ -9,24 +9,65 @@ record statistics for the queue-evolution analysis (bench E9, after [34]).
 from __future__ import annotations
 
 import heapq
+import inspect
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Optional
 
 from ..net.message import split_url
 
 __all__ = [
     "Link",
+    "LinkProvenance",
     "LinkQueue",
     "FifoLinkQueue",
     "LifoLinkQueue",
     "PriorityLinkQueue",
     "FairLinkQueue",
     "QueueSample",
+    "QueuePolicyContext",
+    "EXTRACTOR_RANK",
+    "provenance_rank",
     "QUEUE_POLICIES",
     "queue_factory_for",
+    "build_queue",
 ]
+
+
+@dataclass(frozen=True, slots=True)
+class LinkProvenance:
+    """Why a link exists: the evidence the extractor saw when it emitted it.
+
+    ``extractor`` is the extractor kind (``"match"``, ``"type-index"``,
+    ``"hint"``, …— also mirrored in ``Link.via``).  ``predicate`` is the
+    IRI of the triple predicate that produced the link, when one did
+    (``ldp:contains`` for container members, ``pim:storage`` for storage
+    links, the matched data predicate for cMatch links).  ``pattern`` is a
+    compact rendering of the query pattern the producing triple matched
+    (cMatch only).  ``for_class`` is the ``solid:forClass`` IRI of the
+    type-index registration (or hint container summary) that scoped the
+    link.  ``parent_depth`` is the traversal depth of the document the
+    link was found in.  Guided scoring, trace spans, and the waterfall all
+    read from this instead of parsing ``via`` strings.
+    """
+
+    extractor: str
+    predicate: Optional[str] = None
+    pattern: Optional[str] = None
+    for_class: Optional[str] = None
+    parent_depth: int = 0
+
+    def describe(self) -> str:
+        """One-line human rendering for traces and the waterfall."""
+        parts = [self.extractor]
+        if self.predicate:
+            parts.append(f"via {_local_name(self.predicate)}")
+        if self.for_class:
+            parts.append(f"for {_local_name(self.for_class)}")
+        if self.pattern:
+            parts.append(f"matching {self.pattern}")
+        return " ".join(parts)
 
 
 @dataclass(frozen=True, slots=True)
@@ -38,7 +79,10 @@ class Link:
     the extractor that found it, ``attempts`` how many times it has been
     re-queued after retryable dereference failures.  ``enqueued_at`` is
     stamped by the queue (its clock) on push/requeue — the tracer's
-    ``queue-wait`` spans measure from it.
+    ``queue-wait`` spans measure from it.  ``provenance`` carries the
+    structured :class:`LinkProvenance` when the extractor supplied one;
+    ``via`` stays as the coarse extractor name so existing span
+    attributes and per-extractor counters keep their meaning.
     """
 
     url: str
@@ -47,10 +91,58 @@ class Link:
     via: str = "seed"
     attempts: int = 0
     enqueued_at: float = 0.0
+    provenance: Optional[LinkProvenance] = None
 
     @property
     def is_seed(self) -> bool:
         return self.parent_url is None
+
+
+#: Shared extractor ranking (smaller pops first) used by the priority and
+#: guided disciplines: structural metadata — hint/spec documents, storage
+#: and type-index pointers — before plain data links, seeds first.  This
+#: subsumes the old ``PriorityLinkQueue._DEFAULT_VIA_RANK``.
+EXTRACTOR_RANK: dict[str, int] = {
+    "seed": 0,
+    "hint": 1,
+    "storage": 2,
+    "type-index": 3,
+    "hint-container": 3,
+    "ldp-container": 4,
+    "ldp-scoped": 4,
+    "match": 5,
+    "all-iris": 6,
+}
+
+#: Rank for extractors absent from :data:`EXTRACTOR_RANK`.
+UNKNOWN_EXTRACTOR_RANK = 9
+
+
+def provenance_rank(link: Link) -> int:
+    """The shared coarse rank of a link's producing extractor."""
+    kind = link.provenance.extractor if link.provenance is not None else link.via
+    return EXTRACTOR_RANK.get(kind, UNKNOWN_EXTRACTOR_RANK)
+
+
+@dataclass(slots=True)
+class QueuePolicyContext:
+    """What a queue-policy factory may draw on when building its queue.
+
+    Every registered policy receives one (satellite of the guided-traversal
+    refactor: factories take a context instead of being zero-arg).  The
+    basic disciplines ignore it; the guided queue reads the selector and
+    cardinality hints for scoring.  Fields are deliberately loose-typed so
+    the registry keeps no import edges into the guided package.
+    """
+
+    #: The execution's :class:`~repro.ltqp.engine.TraversalPolicy` (or None).
+    traversal: Optional[object] = None
+    #: The execution's :class:`~repro.ltqp.guided.SourceSelector` (or None).
+    selector: Optional[object] = None
+    #: The execution's :class:`~repro.ltqp.guided.CardinalityHints` (or None).
+    hints: Optional[object] = None
+    #: The :class:`~repro.ltqp.extractors.QueryContext` of the query (or None).
+    query: Optional[object] = None
 
 
 @dataclass(slots=True)
@@ -97,9 +189,7 @@ class LinkQueue:
         if url in self._seen:
             return False
         self._seen.add(url)
-        self._push_impl(
-            Link(url, link.parent_url, link.depth, link.via, link.attempts, self.clock())
-        )
+        self._push_impl(replace(link, url=url, enqueued_at=self.clock()))
         self._pushed += 1
         self._sample()
         return True
@@ -111,13 +201,14 @@ class LinkQueue:
         give retryable failures (e.g. a tripped circuit breaker) another
         chance once the queue cycles back around, instead of silently
         discarding the document.  Requeues are counted separately from
-        first-time pushes so link statistics stay comparable.
+        first-time pushes so link statistics stay comparable.  The link is
+        re-stamped but otherwise kept whole — provenance, depth, and
+        therefore queue rank survive the retry (a link must not lose its
+        priority for having hit a flaky server).
         """
         url = _strip_fragment(link.url)
         self._seen.add(url)
-        self._push_impl(
-            Link(url, link.parent_url, link.depth, link.via, link.attempts, self.clock())
-        )
+        self._push_impl(replace(link, url=url, enqueued_at=self.clock()))
         self._requeued += 1
         self._sample()
         return True
@@ -221,17 +312,9 @@ class PriorityLinkQueue(LinkQueue):
     ``priority`` maps a link to a sortable key — smaller pops first.  The
     default prioritizes shallow links, then Solid-metadata extractors
     (profile/type-index links) over plain data links, so structural
-    documents are read early.
+    documents are read early.  The extractor ordering is the shared
+    :data:`EXTRACTOR_RANK` (also used by the guided discipline).
     """
-
-    _DEFAULT_VIA_RANK = {
-        "seed": 0,
-        "storage": 1,
-        "type-index": 2,
-        "ldp-container": 3,
-        "match": 4,
-        "all-iris": 5,
-    }
 
     def __init__(self, priority: Optional[Callable[[Link], tuple]] = None) -> None:
         super().__init__()
@@ -240,7 +323,7 @@ class PriorityLinkQueue(LinkQueue):
         self._counter = 0
 
     def _default_priority(self, link: Link) -> tuple:
-        return (link.depth, self._DEFAULT_VIA_RANK.get(link.via, 9))
+        return (link.depth, provenance_rank(link))
 
     def _push_impl(self, link: Link) -> None:
         self._counter += 1
@@ -315,17 +398,28 @@ class FairLinkQueue(LinkQueue):
         return self._size
 
 
+def _make_guided(context: Optional[QueuePolicyContext] = None) -> LinkQueue:
+    # Imported lazily: the guided package imports this module for Link and
+    # the ranking table, so a top-level import here would be circular.
+    from .guided import GuidedLinkQueue
+
+    return GuidedLinkQueue(context)
+
+
 #: Named queue disciplines selectable via ``TraversalPolicy.queue_policy``
-#: (and the CLI ``--queue-policy`` flag).
-QUEUE_POLICIES: dict[str, Callable[[], LinkQueue]] = {
-    "fifo": FifoLinkQueue,
-    "lifo": LifoLinkQueue,
-    "priority": PriorityLinkQueue,
-    "fair": FairLinkQueue,
+#: (and the CLI ``--queue-policy`` flag).  Every factory takes an optional
+#: :class:`QueuePolicyContext` — one construction path for all disciplines;
+#: the basic ones simply ignore it.
+QUEUE_POLICIES: dict[str, Callable[..., LinkQueue]] = {
+    "fifo": lambda context=None: FifoLinkQueue(),
+    "lifo": lambda context=None: LifoLinkQueue(),
+    "priority": lambda context=None: PriorityLinkQueue(),
+    "fair": lambda context=None: FairLinkQueue(),
+    "guided": _make_guided,
 }
 
 
-def queue_factory_for(policy: str) -> Callable[[], LinkQueue]:
+def queue_factory_for(policy: str) -> Callable[..., LinkQueue]:
     """Resolve a queue-policy name to its queue factory."""
     try:
         return QUEUE_POLICIES[policy]
@@ -335,5 +429,44 @@ def queue_factory_for(policy: str) -> Callable[[], LinkQueue]:
         ) from None
 
 
+def build_queue(
+    factory: Callable[..., LinkQueue], context: Optional[QueuePolicyContext] = None
+) -> LinkQueue:
+    """Invoke a queue factory with the policy context.
+
+    The context is only passed to factories that declare a ``context``
+    parameter (or ``**kwargs``): legacy injected factories — tests and
+    embedders that pass ``queue_factory=SomeQueue`` — predate the context
+    and may happily absorb a stray positional into an unrelated parameter
+    (``PriorityLinkQueue(priority=...)``), so a try/except TypeError probe
+    would mis-construct them silently instead of falling back.
+    """
+    if context is not None and _accepts_context(factory):
+        return factory(context)
+    return factory()
+
+
+def _accepts_context(factory: Callable[..., LinkQueue]) -> bool:
+    try:
+        parameters = inspect.signature(factory).parameters
+    except (TypeError, ValueError):
+        return False
+    if "context" in parameters:
+        return True
+    return any(
+        param.kind is inspect.Parameter.VAR_KEYWORD for param in parameters.values()
+    )
+
+
 def _strip_fragment(url: str) -> str:
     return url.split("#", 1)[0]
+
+
+def _local_name(iri: str) -> str:
+    """The part of an IRI after the last ``#`` or ``/`` — for display only."""
+    for sep in ("#", "/"):
+        if sep in iri:
+            tail = iri.rsplit(sep, 1)[1]
+            if tail:
+                return tail
+    return iri

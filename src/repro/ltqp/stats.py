@@ -88,6 +88,25 @@ class ExecutionStats:
     #: Origin → refusal count (same attribution, sliced by who caused it).
     refusals_by_origin: dict[str, int] = field(default_factory=dict)
 
+    # -- source-selection accounting (guided traversal, DESIGN.md §4g) ------
+    #: Links the :class:`~repro.ltqp.guided.SourceSelector` declined to
+    #: dereference.  A prune is *scoping*, not degradation: the user (or a
+    #: pod's published spec/summary) declared those documents outside the
+    #: query's subweb, so ``complete`` stays true — the answer is complete
+    #: *for the restricted subweb*, and ``spec_restricted`` says so.
+    links_pruned: int = 0
+    #: Selector rule label → pruned-link count (``spec:…``, ``hint:…``,
+    #: ``origin:undeclared``).
+    pruned_by_rule: dict[str, int] = field(default_factory=dict)
+    #: Origin → pruned-link count.
+    pruned_by_origin: dict[str, int] = field(default_factory=dict)
+
+    def note_pruned(self, rule: str, origin: str) -> None:
+        """Attribute one selector-pruned link to its rule and origin."""
+        self.links_pruned += 1
+        self.pruned_by_rule[rule] = self.pruned_by_rule.get(rule, 0) + 1
+        self.pruned_by_origin[origin] = self.pruned_by_origin.get(origin, 0) + 1
+
     def note_refusal(self, kind: str, origin: str, document: bool = True) -> None:
         """Attribute one budget refusal to ``kind`` and ``origin``.
 
@@ -137,6 +156,10 @@ class ExecutionStats:
         """The degradation report: what lenient execution may have lost."""
         return {
             "complete": self.documents_abandoned == 0 and self.documents_refused == 0,
+            "spec_restricted": self.links_pruned > 0,
+            "links_pruned": self.links_pruned,
+            "pruned_by_rule": dict(sorted(self.pruned_by_rule.items())),
+            "pruned_by_origin": dict(sorted(self.pruned_by_origin.items())),
             "documents_attempted": self.documents_attempted,
             "documents_fetched": self.documents_fetched,
             "documents_retried": self.documents_retried,

@@ -37,9 +37,14 @@ _SIGNATURE_ARGS = (
     "attempt",
     "status",
     "via",
+    "via_predicate",
+    "via_pattern",
+    "via_class",
+    "discovered_via",
     "depth",
     "outcome",
     "refused",
+    "pruned",
     "from_cache",
     "revalidated",
     "retried",

@@ -26,6 +26,7 @@ __all__ = [
     "SNVOC",
     "SNTAG",
     "DBPEDIA",
+    "SUBWEB",
     "RDF_TYPE",
     "PREFIXES",
 ]
@@ -91,6 +92,13 @@ SNTAG = Namespace(
     "https://solidbench.linkeddatafragments.org/www.ldbc.eu/ldbc_socialnet/1.0/tag/"
 )
 DBPEDIA = Namespace("https://solidbench.linkeddatafragments.org/dbpedia.org/resource/")
+
+# Subweb specifications and source summaries (after the distributed
+# subweb-specification proposal): pods describe which of their containers
+# hold what — class partitions, predicate sets, cardinalities — and may
+# publish traversal scopes.  Guided traversal (repro.ltqp.guided) consumes
+# these to prune and prioritize links.
+SUBWEB = Namespace("https://w3id.org/subweb#")
 
 RDF_TYPE = RDF.type
 

@@ -103,6 +103,11 @@ class ShardSpec:
     max_depth: int = 0
     max_origin_derefs: int = 0
     max_doc_bytes: int = 0
+    #: Guided traversal (DESIGN.md §4g): a subweb specification applied to
+    #: every query on every shard — a JSON file path or a plain dict in the
+    #: JSON shape (both picklable; each worker resolves it locally, so
+    #: routing never changes which links a query may follow).
+    subweb: Optional[object] = None
     #: Persistence tier (see :mod:`repro.storage`).  On the front-end
     #: spec this is a *directory*; each worker receives a copy with its
     #: own file path under it (``<dir>/<shard-name>.sqlite``), so a
@@ -217,6 +222,7 @@ async def _worker_loop(conn, spec: ShardSpec) -> None:
             queue_policy=spec.queue_policy,
             max_depth=spec.max_depth,
             max_origin_derefs=spec.max_origin_derefs,
+            subweb=spec.subweb,
         )
         if spec.max_doc_bytes:
             engine_config.max_response_bytes = spec.max_doc_bytes

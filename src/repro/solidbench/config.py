@@ -65,6 +65,14 @@ class SolidBenchConfig:
     start_year: int = 2010
     end_year: int = 2012
 
+    #: Publish a per-pod source index at ``settings/cardinality`` (class
+    #: partitions, predicate sets, cardinalities, predicate ranges) linked
+    #: from the WebID via ``subweb:cardinalityIndex`` — the summary side of
+    #: guided traversal (DESIGN.md §4g).  Off by default: a hinted universe
+    #: has extra documents/triples per pod, which would shift the baseline
+    #: zero-knowledge benchmarks.
+    emit_hints: bool = False
+
     @property
     def person_count(self) -> int:
         return max(2, round(PAPER_SCALE_TARGETS["pods"] * self.scale))

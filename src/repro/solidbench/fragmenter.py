@@ -24,7 +24,7 @@ from __future__ import annotations
 import random
 from typing import Iterable
 
-from ..rdf.namespaces import DBPEDIA, FOAF, RDF, SNTAG, SNVOC
+from ..rdf.namespaces import DBPEDIA, FOAF, RDF, SNTAG, SNVOC, SUBWEB
 from ..rdf.terms import BlankNode, Literal, NamedNode, XSD_DATETIME, XSD_LONG, intern_iri
 from ..rdf.triples import Triple
 from ..solid.pod import Pod
@@ -97,6 +97,14 @@ class PodFragmenter:
         self._add_message_documents(pod, person)
         self._add_forum_documents(pod, person)
         self._add_noise_documents(pod, person)
+        if self._config.emit_hints:
+            # Content documents are in place; the hint builder summarizes
+            # them, so it must run before (only) the profile/type index.
+            from .hints import HINT_DOCUMENT_PATH, build_hint_triples
+
+            pod.add_document(
+                HINT_DOCUMENT_PATH, build_hint_triples(pod, ranges=self._hint_ranges())
+            )
         pod.build_profile(extra_triples=self._profile_triples(person))
         pod.build_type_index(
             [
@@ -109,6 +117,37 @@ class PodFragmenter:
 
     def build_all_pods(self) -> dict[int, Pod]:
         return {person.index: self.build_pod(person) for person in self._network.persons}
+
+    def _hint_ranges(self) -> dict[str, set]:
+        """Predicate ranges declared in hint documents, computed from the
+        generated network so the declarations are accurate by construction
+        (the summaries-are-authoritative trust model requires it)."""
+        cached = getattr(self, "_hint_ranges_cache", None)
+        if cached is not None:
+            return cached
+        kind_class = {"post": SNVOC.Post.value, "comment": SNVOC.Comment.value}
+        # hasPost / hasComment are exact by construction: the like builder
+        # picks the predicate from the liked message's kind.
+        ranges: dict[str, set] = {
+            SNVOC.hasPost.value: {SNVOC.Post.value},
+            SNVOC.hasComment.value: {SNVOC.Comment.value},
+        }
+        container_classes = {
+            kind_class[self._network.messages[message_id].kind]
+            for forum in self._network.forums.values()
+            for message_id in forum.message_ids
+        }
+        if container_classes:
+            ranges[SNVOC.containerOf.value] = container_classes
+        reply_classes = {
+            kind_class[message.kind]
+            for message in self._network.messages.values()
+            if message.reply_of_id is not None
+        }
+        if reply_classes:
+            ranges[SNVOC.hasReply.value] = reply_classes
+        self._hint_ranges_cache = ranges
+        return ranges
 
     # ------------------------------------------------------------------
     # document builders
@@ -124,6 +163,16 @@ class PodFragmenter:
             Triple(me, SNVOC.isLocatedIn, DBPEDIA[person.city]),
             Triple(me, SNVOC.browserUsed, Literal(person.browser)),
         ]
+        if self._config.emit_hints:
+            from .hints import cardinality_index_url
+
+            triples.append(
+                Triple(
+                    me,
+                    SUBWEB.cardinalityIndex,
+                    intern_iri(cardinality_index_url(self.pod_base(person))),
+                )
+            )
         for friend_index in person.knows:
             friend = intern_iri(self.webid(friend_index))
             triples.append(Triple(me, SNVOC.knows, friend))

@@ -1,0 +1,109 @@
+"""Per-pod cardinality-hint documents (guided traversal, DESIGN.md §4g).
+
+With ``SolidBenchConfig.emit_hints`` enabled, every pod publishes a
+*source index* at ``settings/cardinality`` — the summary side of the
+guided-traversal subsystem (:mod:`repro.ltqp.guided`).  The document
+declares, per content container (``posts/``, ``comments/``, ``forums/``,
+``noise/`` …): the RDF classes of entities stored there, the predicates
+that occur, and document/entity counts.  It also declares predicate
+*ranges* computed from the generated network (e.g. every object of
+``snvoc:containerOf`` is a ``snvoc:Post``) and — because the generator
+knows the summary covers the whole pod — ``subweb:completeIndex true``
+plus the exact LDP infrastructure documents the index makes redundant
+(root, ``profile/`` and ``settings/`` listings, the public type index).
+
+The WebID profile links to it via ``subweb:cardinalityIndex`` so the
+:class:`~repro.ltqp.guided.HintDiscoveryExtractor` finds it one hop from
+any seed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..rdf.namespaces import RDF, SUBWEB
+from ..rdf.terms import Literal, NamedNode, intern_iri
+from ..rdf.triples import Triple
+from ..solid.pod import Pod
+
+__all__ = ["HINT_DOCUMENT_PATH", "build_hint_triples", "cardinality_index_url"]
+
+#: Where every pod serves its source index (inside ``settings/``, next to
+#: the public type index).
+HINT_DOCUMENT_PATH = "settings/cardinality"
+
+#: Containers that are LDP plumbing, not content — never summarized.
+_INFRA_CONTAINERS = ("profile/", "settings/")
+
+
+def cardinality_index_url(pod_base: str) -> str:
+    return pod_base + HINT_DOCUMENT_PATH
+
+
+def build_hint_triples(
+    pod: Pod, ranges: Mapping[str, Iterable[str]] = ()
+) -> list[Triple]:
+    """The source-index triples for one fully built pod.
+
+    Must run after the pod's content documents exist (the summary is
+    computed from them) — profile and type index need not exist yet; they
+    are infrastructure, addressed by URL.
+    """
+    document_url = cardinality_index_url(pod.base_url)
+    index = NamedNode(document_url + "#index")
+    triples = [
+        Triple(index, SUBWEB.pod, NamedNode(pod.base_url)),
+        Triple(index, SUBWEB.completeIndex, Literal("true")),
+    ]
+    for infra_url in (
+        pod.base_url,
+        pod.base_url + "profile/",
+        pod.base_url + "settings/",
+        pod.type_index_url,
+    ):
+        triples.append(Triple(index, SUBWEB.infra, intern_iri(infra_url)))
+
+    class_predicate = SUBWEB["class"]
+    for container, summary in sorted(_summarize_containers(pod).items()):
+        node = NamedNode(f"{document_url}#c-{container.rstrip('/')}")
+        triples.append(Triple(index, SUBWEB.summarizes, node))
+        triples.append(Triple(node, SUBWEB.container, intern_iri(pod.base_url + container)))
+        for class_iri in sorted(summary["classes"]):
+            triples.append(Triple(node, class_predicate, intern_iri(class_iri)))
+        for predicate_iri in sorted(summary["predicates"]):
+            triples.append(Triple(node, SUBWEB.predicate, intern_iri(predicate_iri)))
+        triples.append(Triple(node, SUBWEB.documents, Literal(str(summary["documents"]))))
+        triples.append(Triple(node, SUBWEB.entities, Literal(str(summary["entities"]))))
+
+    for position, (predicate_iri, classes) in enumerate(sorted(dict(ranges).items())):
+        if not classes:
+            continue
+        node = NamedNode(f"{document_url}#r{position}")
+        triples.append(Triple(node, SUBWEB.rangeOf, intern_iri(predicate_iri)))
+        for class_iri in sorted(classes):
+            triples.append(Triple(node, SUBWEB.rangeClass, intern_iri(class_iri)))
+    return triples
+
+
+def _summarize_containers(pod: Pod) -> dict[str, dict]:
+    """Aggregate class/predicate/count summaries per top-level container."""
+    summaries: dict[str, dict] = {}
+    for document in pod.documents():
+        if "/" not in document.path:
+            continue
+        container = document.path.split("/", 1)[0] + "/"
+        if container in _INFRA_CONTAINERS:
+            continue
+        summary = summaries.setdefault(
+            container,
+            {"classes": set(), "predicates": set(), "documents": 0, "entities": 0},
+        )
+        summary["documents"] += 1
+        entities = set()
+        for triple in document.triples:
+            summary["predicates"].add(triple.predicate.value)
+            if triple.predicate == RDF.type:
+                summary["classes"].add(triple.object.value)
+                entities.add(triple.subject)
+        summary["entities"] += len(entities)
+    return summaries

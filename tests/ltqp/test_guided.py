@@ -1,0 +1,299 @@
+"""Unit tests for the guided-traversal subsystem (DESIGN.md §4g)."""
+
+import pytest
+
+from repro.ltqp.guided.hints import CardinalityHints, container_relevant, query_scopes
+from repro.ltqp.guided.queue import GuidedLinkQueue
+from repro.ltqp.guided.selector import SourceSelector
+from repro.ltqp.guided.subweb import SubwebRule, SubwebSpecification, glob_to_regex
+from repro.ltqp.links import Link, LinkProvenance, QueuePolicyContext
+from repro.rdf.namespaces import RDF, SNVOC, SUBWEB
+from repro.rdf.terms import Literal, NamedNode
+from repro.rdf.triples import Triple
+from repro.sparql.parser import parse_query
+
+POD = "https://solidbench.example/pods/alice/"
+OTHER = "https://solidbench.example/pods/bob/"
+
+
+def hint_triples(pod_base=POD, complete=True):
+    doc = pod_base + "settings/cardinality"
+    index = NamedNode(doc + "#index")
+    posts = NamedNode(doc + "#c-posts")
+    noise = NamedNode(doc + "#c-noise")
+    triples = [
+        Triple(index, SUBWEB.pod, NamedNode(pod_base)),
+        Triple(index, SUBWEB.infra, NamedNode(pod_base)),
+        Triple(index, SUBWEB.infra, NamedNode(pod_base + "settings/publicTypeIndex")),
+        Triple(posts, SUBWEB.container, NamedNode(pod_base + "posts/")),
+        Triple(posts, SUBWEB["class"], SNVOC.Post),
+        Triple(posts, SUBWEB.predicate, SNVOC.hasCreator),
+        Triple(posts, SUBWEB.predicate, SNVOC.content),
+        Triple(posts, SUBWEB.predicate, RDF.type),
+        Triple(posts, SUBWEB.documents, Literal("28")),
+        Triple(posts, SUBWEB.entities, Literal("900")),
+        Triple(noise, SUBWEB.container, NamedNode(pod_base + "noise/")),
+        Triple(noise, SUBWEB.predicate, NamedNode("https://x/p0")),
+        Triple(noise, SUBWEB.documents, Literal("18")),
+        Triple(noise, SUBWEB.entities, Literal("0")),
+    ]
+    if complete:
+        triples.append(Triple(index, SUBWEB.completeIndex, Literal("true")))
+    return doc, triples
+
+
+def where_of(text: str):
+    return parse_query(text).where
+
+
+CREATOR_QUERY = (
+    f"PREFIX snvoc: <{SNVOC.hasCreator.value.rsplit('hasCreator', 1)[0]}>\n"
+    "SELECT ?c WHERE { ?m snvoc:hasCreator <https://x/me> ; snvoc:content ?c }"
+)
+
+
+class TestGlob:
+    def test_star_stays_within_segment(self):
+        pattern = glob_to_regex("https://h/pods/*/posts/")
+        assert pattern.match("https://h/pods/alice/posts/")
+        assert not pattern.match("https://h/pods/alice/sub/posts/")
+
+    def test_double_star_crosses_segments(self):
+        pattern = glob_to_regex("https://h/pods/**")
+        assert pattern.match("https://h/pods/alice/posts/2012-01-01")
+
+    def test_match_is_anchored(self):
+        assert not glob_to_regex("https://h/a").match("https://h/ab")
+
+
+class TestSubwebSpecification:
+    def test_first_match_wins(self):
+        spec = SubwebSpecification(
+            rules=(
+                SubwebRule(match=f"{POD}noise/**", action="deny", label="noise"),
+                SubwebRule(match=f"{POD}**", action="allow"),
+            ),
+            default_action="deny",
+        )
+        assert spec.decide(POD + "noise/noise-3", 2) == (False, "noise")
+        assert spec.decide(POD + "posts/2012-01-01", 2)[0]
+        assert spec.decide("https://elsewhere.example/x", 1) == (False, "default")
+
+    def test_allow_rule_depth_cap(self):
+        spec = SubwebSpecification(
+            rules=(SubwebRule(match="https://h/**", action="allow", max_depth=2, label="h"),)
+        )
+        assert spec.decide("https://h/doc", 2)[0]
+        allowed, rule = spec.decide("https://h/doc", 3)
+        assert not allowed and rule == "depth>2:h"
+
+    def test_json_roundtrip(self):
+        spec = SubwebSpecification(
+            rules=(SubwebRule(match="https://h/**", action="deny", label="x"),),
+            default_action="allow",
+            origins="declared",
+            admit_origins_via=(SNVOC.likes.value,),
+            source_depth=2,
+        )
+        assert SubwebSpecification.from_json(spec.to_json()) == spec
+
+    def test_compose_is_stricter(self):
+        base = SubwebSpecification(origins="any", source_depth=1)
+        extra = SubwebSpecification(
+            rules=(SubwebRule(match="https://h/x/**", action="deny"),),
+            origins="declared",
+            admit_origins_via=(SNVOC.likes.value,),
+            source_depth=2,
+        )
+        merged = base.compose(extra)
+        assert merged.origins == "declared"
+        assert merged.source_depth == 2
+        assert merged.admit_origins_via == (SNVOC.likes.value,)
+        assert not merged.decide("https://h/x/doc", 1)[0]
+
+    def test_from_triples_parses_rdf_form(self):
+        spec_iri = NamedNode("https://h/spec#it")
+        rule = NamedNode("https://h/spec#r1")
+        triples = [
+            Triple(spec_iri, SUBWEB.defaultAction, Literal("deny")),
+            Triple(spec_iri, SUBWEB.origins, Literal("declared")),
+            Triple(spec_iri, SUBWEB.admitVia, SNVOC.likes),
+            Triple(spec_iri, SUBWEB.sourceDepth, Literal("2")),
+            Triple(rule, SUBWEB.match, Literal("https://h/**")),
+            Triple(rule, SUBWEB.action, Literal("allow")),
+            Triple(rule, SUBWEB.maxDepth, Literal("3")),
+        ]
+        spec = SubwebSpecification.from_triples(triples)
+        assert spec is not None
+        assert spec.default_action == "deny"
+        assert spec.origins == "declared"
+        assert spec.source_depth == 2
+        assert spec.decide("https://h/doc", 3)[0]
+        assert not spec.decide("https://h/doc", 4)[0]
+
+    def test_from_triples_ignores_unrelated_documents(self):
+        triples = [Triple(NamedNode("https://h/a"), SNVOC.likes, NamedNode("https://h/b"))]
+        assert SubwebSpecification.from_triples(triples) is None
+
+
+class TestCardinalityHints:
+    def test_absorb_and_lookup(self):
+        url, triples = hint_triples()
+        hints = CardinalityHints()
+        pod = hints.absorb_triples(url, triples)
+        assert pod is not None and pod.complete
+        assert hints.pod_for(POD + "posts/2012-01-01") is pod
+        assert hints.pod_by_source(url) is pod
+        assert pod.container_for(POD + "posts/2012-01-01").entities == 900
+
+    def test_non_hint_document_is_ignored(self):
+        hints = CardinalityHints()
+        assert hints.absorb_triples("https://h/x", []) is None
+        assert hints.pod_count == 0
+
+
+class TestRelevance:
+    def test_noise_container_is_irrelevant_to_creator_query(self):
+        url, triples = hint_triples()
+        hints = CardinalityHints()
+        pod = hints.absorb_triples(url, triples)
+        scopes = query_scopes(where_of(CREATOR_QUERY))
+        posts = pod.container_for(POD + "posts/x")
+        noise = pod.container_for(POD + "noise/x")
+        assert container_relevant(posts, scopes, hints.ranges)
+        assert not container_relevant(noise, scopes, hints.ranges)
+
+    def test_no_scopes_means_everything_relevant(self):
+        url, triples = hint_triples()
+        hints = CardinalityHints()
+        pod = hints.absorb_triples(url, triples)
+        noise = pod.container_for(POD + "noise/x")
+        assert container_relevant(noise, (), hints.ranges)
+
+
+class TestSourceSelector:
+    def test_spec_prune_and_infra_prune(self):
+        spec = SubwebSpecification(
+            rules=(SubwebRule(match="**/noise/**", action="deny", label="noise"),)
+        )
+        selector = SourceSelector(spec=spec, where=where_of(CREATOR_QUERY), seeds=[POD])
+        url, triples = hint_triples()
+        selector.absorb_document(url, triples)
+        assert selector.check_static(Link(POD + "noise/noise-1")).action == "prune"
+        assert selector.check_static(Link(POD)).rule == "hint:infra"
+        assert selector.check_static(Link(POD + "posts/2012-01-01")).action == "follow"
+
+    def test_defer_then_release_on_admission(self):
+        spec = SubwebSpecification(
+            origins="declared",
+            admit_origins_via=(SNVOC.likes.value,),
+            source_depth=2,
+        )
+        selector = SourceSelector(spec=spec, seeds=[POD + "profile/card"])
+        foreign = Link(OTHER + "posts/2012-01-01", via="match")
+        assert selector.check(foreign).action == "defer"
+        selector.defer(foreign)
+        assert selector.deferred_count == 1
+        released = selector.absorb_document(
+            POD + "profile/card",
+            [
+                Triple(
+                    NamedNode(POD + "profile/card#me"),
+                    SNVOC.likes,
+                    NamedNode(OTHER + "posts/2012-01-01#42"),
+                )
+            ],
+        )
+        assert [link.url for link in released] == [foreign.url]
+        assert selector.check(foreign).action == "follow"
+        assert selector.drain_deferred() == []
+
+    def test_undeclared_links_drain_as_pruned(self):
+        spec = SubwebSpecification(origins="declared", source_depth=2)
+        selector = SourceSelector(spec=spec, seeds=[POD])
+        link = Link(OTHER + "x")
+        selector.defer(link)
+        assert [parked.url for parked in selector.drain_deferred()] == [link.url]
+        assert selector.deferred_count == 0
+
+
+class TestGuidedQueue:
+    def test_provenance_tiers_order_pops(self):
+        queue = GuidedLinkQueue()
+        queue.push(Link("https://h/data", provenance=LinkProvenance(extractor="match")))
+        queue.push(Link("https://h/root", provenance=LinkProvenance(extractor="storage")))
+        queue.push(Link("https://h/hint", provenance=LinkProvenance(extractor="hint")))
+        assert [queue.pop().url for _ in range(3)] == [
+            "https://h/hint",
+            "https://h/root",
+            "https://h/data",
+        ]
+
+    def test_query_predicate_links_jump_the_tiers(self):
+        # A match link produced by a predicate the query uses is a join
+        # edge — it pops ahead of container structure, not after it.
+        from repro.ltqp.extractors import build_query_context
+
+        context = QueuePolicyContext(query=build_query_context(where_of(CREATOR_QUERY)))
+        queue = GuidedLinkQueue(context)
+        queue.push(
+            Link(
+                "https://h/bob/posts/9",
+                provenance=LinkProvenance(
+                    extractor="match", predicate=SNVOC.hasCreator.value
+                ),
+            )
+        )
+        queue.push(
+            Link(
+                "https://h/alice/posts/",
+                provenance=LinkProvenance(extractor="hint-container"),
+            )
+        )
+        queue.push(
+            Link(
+                "https://h/bob/card",
+                provenance=LinkProvenance(
+                    extractor="match", predicate=SNVOC.knows.value
+                ),
+            )
+        )
+        assert [queue.pop().url for _ in range(3)] == [
+            "https://h/bob/posts/9",
+            "https://h/alice/posts/",
+            "https://h/bob/card",
+        ]
+
+    def test_result_contribution_boost_reorders_siblings(self):
+        queue = GuidedLinkQueue()
+        queue.push(Link("https://h/a/1", provenance=LinkProvenance(extractor="match")))
+        queue.push(Link("https://h/b/1", provenance=LinkProvenance(extractor="match")))
+        queue.note_result_contribution("https://h/b/0")
+        assert queue.pop().url == "https://h/b/1"
+
+    def test_entity_counts_break_ties(self):
+        url, triples = hint_triples()
+        hints = CardinalityHints()
+        hints.absorb_triples(url, triples)
+        queue = GuidedLinkQueue(QueuePolicyContext(hints=hints))
+        queue.push(Link(POD + "noise/x", provenance=LinkProvenance(extractor="match")))
+        queue.push(Link(POD + "posts/x", provenance=LinkProvenance(extractor="match")))
+        assert queue.pop().url == POD + "posts/x"
+
+    def test_requeue_preserves_provenance_and_rank(self):
+        # Regression: a retryable failure must not demote the link — the
+        # requeued copy keeps its provenance and therefore its queue rank.
+        import dataclasses
+
+        queue = GuidedLinkQueue()
+        storage = Link(
+            "https://h/root", via="storage", provenance=LinkProvenance(extractor="storage")
+        )
+        queue.push(storage)
+        popped = queue.pop()
+        queue.push(Link("https://h/data", provenance=LinkProvenance(extractor="match")))
+        assert queue.requeue(dataclasses.replace(popped, attempts=popped.attempts + 1))
+        head = queue.pop()
+        assert head.url == "https://h/root"
+        assert head.attempts == 1
+        assert head.provenance == storage.provenance

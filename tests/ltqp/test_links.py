@@ -184,17 +184,29 @@ class TestQueuePolicyRegistry:
         from repro.ltqp import (
             FairLinkQueue,
             FifoLinkQueue,
+            GuidedLinkQueue,
             LifoLinkQueue,
             PriorityLinkQueue,
             QUEUE_POLICIES,
+            build_queue,
             queue_factory_for,
         )
 
-        assert set(QUEUE_POLICIES) == {"fifo", "lifo", "priority", "fair"}
-        assert isinstance(queue_factory_for("fifo")(), FifoLinkQueue)
-        assert isinstance(queue_factory_for("lifo")(), LifoLinkQueue)
-        assert isinstance(queue_factory_for("priority")(), PriorityLinkQueue)
-        assert isinstance(queue_factory_for("fair")(), FairLinkQueue)
+        assert set(QUEUE_POLICIES) == {"fifo", "lifo", "priority", "fair", "guided"}
+        assert isinstance(build_queue(queue_factory_for("fifo")), FifoLinkQueue)
+        assert isinstance(build_queue(queue_factory_for("lifo")), LifoLinkQueue)
+        assert isinstance(build_queue(queue_factory_for("priority")), PriorityLinkQueue)
+        assert isinstance(build_queue(queue_factory_for("fair")), FairLinkQueue)
+        assert isinstance(build_queue(queue_factory_for("guided")), GuidedLinkQueue)
+
+    def test_build_queue_legacy_factory_gets_no_context(self):
+        # Embedders inject queue classes directly; PriorityLinkQueue's first
+        # parameter is ``priority``, which must NOT absorb the context.
+        from repro.ltqp import PriorityLinkQueue, QueuePolicyContext, build_queue
+
+        queue = build_queue(PriorityLinkQueue, QueuePolicyContext())
+        queue.push(Link("https://h/a"))
+        assert queue.pop().url == "https://h/a"
 
     def test_unknown_policy_raises(self):
         import pytest
